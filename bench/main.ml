@@ -1,0 +1,410 @@
+(* Benchmark harness: one Bechamel test per experiment of EXPERIMENTS.md,
+   preceded by the "paper-shape" tables each experiment regenerates.
+
+   The paper (pure theory) has no measurement tables; Figures 1–4 and the
+   lemmas define the shapes we reproduce: who gets a 1-2 pattern and who
+   does not, how structures grow, and how the reduction blows up.
+
+     dune exec bench/main.exe            tables + timing benches
+     dune exec bench/main.exe -- fast    tables only *)
+
+open Core
+
+let section name = Format.printf "@.== %s ==@." name
+
+(* --- E1: Figure 1 — chase(T∞, D_I) ------------------------------------- *)
+
+let table_fig1 () =
+  section "E1 (Fig 1): chase(T∞, D_I) growth and words";
+  Format.printf "%8s %8s %10s %8s %12s@." "stages" "edges" "vertices"
+    "words≤8" "1-2 pattern";
+  List.iter
+    (fun stages ->
+      let g, a, b, _ = Separating.Tinf.chase ~stages in
+      let words = Greengraph.Pg.words_upto g ~a ~b ~max_len:8 in
+      Format.printf "%8d %8d %10d %8d %12b@." stages (Greengraph.Graph.size g)
+        (Greengraph.Graph.order g) (List.length words)
+        (Greengraph.Graph.has_12_pattern g))
+    [ 4; 8; 12; 16; 20 ]
+
+(* --- E2/E3: Figures 2–4 — grids ----------------------------------------- *)
+
+(* a tile corner is a vertex whose in-edges include an n-label and a
+   w-label — each &·-firing of the grid rules creates exactly one *)
+let tile_corners g =
+  let is_dir d (e : Greengraph.Graph.edge) =
+    match e.Greengraph.Graph.label with
+    | Some i ->
+        List.exists
+          (fun gl -> gl.Separating.Labels.dir = d && Separating.Labels.grid_code gl = i)
+          Separating.Labels.all_grid_labels
+    | None -> false
+  in
+  List.length
+    (List.filter
+       (fun v ->
+         let ins = Greengraph.Graph.in_edges g v in
+         List.exists (is_dir Separating.Labels.N) ins
+         && List.exists (is_dir Separating.Labels.W) ins)
+       (Greengraph.Graph.vertices g))
+
+let table_grids () =
+  section "E2/E3 (Figs 2-4): gridding colliding αβ-paths with T□";
+  Format.printf "%6s %6s %12s %8s %8s %8s@." "t" "t'" "1-2 pattern" "edges"
+    "stages" "tiles";
+  List.iter
+    (fun (t, t') ->
+      let pattern, stats, g = Separating.Theorem14.collision_outcome ~t ~t' () in
+      Format.printf "%6d %6d %12b %8d %8d %8d@." t t' pattern
+        (Greengraph.Graph.size g) stats.Greengraph.Rule.stages (tile_corners g))
+    [ (1, 1); (1, 2); (2, 2); (2, 3); (3, 3); (2, 4); (3, 5); (4, 4) ];
+  Format.printf "(single-path grids M_t, Fig 4:)@.";
+  List.iter
+    (fun t ->
+      let pattern, _, g = Separating.Theorem14.single_path_outcome ~t () in
+      Format.printf "%6d %6s %12b %8d@." t "-" pattern (Greengraph.Graph.size g))
+    [ 1; 2; 3 ]
+
+(* --- E4/E5: rainworms and the TM compiler ------------------------------- *)
+
+let table_worms () =
+  section "E4/E5 (Lemma 21): machines, creeping, compilation";
+  Format.printf "%16s %10s %10s %10s %12s@." "machine" "TM halts" "worm"
+    "cycles" "max config";
+  let row name oracle tm_halts =
+    let t = Rainworm.Sim.creep ~max_steps:60_000 oracle in
+    Format.printf "%16s %10s %10s %10d %12d@." name tm_halts
+      (if Rainworm.Sim.halted t then "halts" else "creeps")
+      t.Rainworm.Sim.cycles t.Rainworm.Sim.max_length
+  in
+  row "creeper" (Rainworm.Machine.oracle Rainworm.Zoo.eternal_creeper) "-";
+  row "stillborn" (Rainworm.Machine.oracle Rainworm.Zoo.stillborn) "-";
+  List.iter
+    (fun tm ->
+      row tm.Rainworm.Turing.name
+        (Rainworm.Tm_compiler.oracle tm)
+        (if Rainworm.Turing.halts ~max_steps:5_000 tm then "yes" else "no"))
+    [
+      Rainworm.Zoo.tm_halt_now; Rainworm.Zoo.tm_write_k 3;
+      Rainworm.Zoo.tm_right_forever; Rainworm.Zoo.tm_zigzag;
+      Rainworm.Zoo.tm_bouncer 2;
+    ]
+
+(* --- E6/E7: Lemmas 25 and 24 --------------------------------------------- *)
+
+let table_lemma24_25 () =
+  section "E6 (Lemma 25) and E7 (Lemma 24 ⇐ / Lemma 26)";
+  let wr = Reduction.Worm_rules.of_machine Rainworm.Zoo.eternal_creeper in
+  let g, a, b, _ = Reduction.Worm_rules.chase ~stages:30 wr in
+  let configs =
+    Rainworm.Sim.reachable_configs ~max_steps:28
+      (Rainworm.Machine.oracle Rainworm.Zoo.eternal_creeper)
+  in
+  let ok =
+    List.for_all
+      (fun c ->
+        Greengraph.Pg.in_words g ~a ~b (Reduction.Worm_rules.configuration_word wr c))
+      configs
+  in
+  Format.printf "Lemma 25: %d configurations ⊆ words(chase(T_M, D_I)): %b@."
+    (List.length configs) ok;
+  let pattern, _, _ = Reduction.Worm_rules.fold_and_grid ~stages:60 wr ~fold:(0, 2) in
+  Format.printf "Lemma 24 ⇒: folded slime trail grids a 1-2 pattern: %b@." pattern;
+  Format.printf "%16s %8s %12s %10s %14s@." "halting machine" "edges"
+    "1-2 pattern" "⊨ T_M" "⊨ T_M ∪ T□";
+  List.iter
+    (fun (name, machine) ->
+      let wr, m, _ = Reduction.Finite_model.of_halting_machine machine in
+      let gr = m.Reduction.Finite_model.graph in
+      Format.printf "%16s %8d %12b %10b %14b@." name (Greengraph.Graph.size gr)
+        (Greengraph.Graph.has_12_pattern gr)
+        (Greengraph.Rule.models wr.Reduction.Worm_rules.rules gr)
+        (Greengraph.Rule.models (Reduction.Worm_rules.with_grid wr) gr))
+    [
+      ("stillborn", Rainworm.Zoo.stillborn);
+      ("halt-now", Rainworm.Tm_compiler.materialize Rainworm.Zoo.tm_halt_now);
+      ( "write-2",
+        Rainworm.Tm_compiler.materialize ~max_steps:100_000
+          (Rainworm.Zoo.tm_write_k 2) );
+    ]
+
+(* --- E8: the abstraction ladder -------------------------------------------- *)
+
+let table_compile_blowup () =
+  section "E8 (Defs 8-9): compilation blowup L₂ → L₁ → CQs";
+  Format.printf "%20s %8s %8s %6s %10s %10s@." "rule set" "L2" "L1" "s" "CQs"
+    "atoms/CQ";
+  List.iter
+    (fun (name, rules) ->
+      let p = Greengraph.Precompile.to_level0 rules in
+      let atoms =
+        match p.Greengraph.Precompile.queries with
+        | (_, q) :: _ -> List.length (Cq.Query.body q)
+        | [] -> 0
+      in
+      Format.printf "%20s %8d %8d %6d %10d %10d@." name (List.length rules)
+        (List.length p.Greengraph.Precompile.swarm_rules)
+        (Spider.Ctx.s p.Greengraph.Precompile.ctx)
+        (List.length p.Greengraph.Precompile.queries)
+        atoms)
+    [
+      ("T∞", Separating.Tinf.rules);
+      ("T□", Separating.Tbox.rules);
+      ("T∞ ∪ T□", Separating.Tbox.t_full);
+      ( "T_M□ (creeper)",
+        Reduction.Worm_rules.with_grid
+          (Reduction.Worm_rules.of_machine Rainworm.Zoo.eternal_creeper) );
+    ]
+
+(* --- E10: determinacy ------------------------------------------------------- *)
+
+let path_query k =
+  let edge = Relational.Symbol.make "E" 2 in
+  let e x y =
+    Relational.Atom.app2 edge (Relational.Term.var x) (Relational.Term.var y)
+  in
+  let name i = if i = 0 then "x" else if i = k then "y" else Printf.sprintf "m%d" i in
+  Cq.Query.make ~free:[ "x"; "y" ] (List.init k (fun i -> e (name i) (name (i + 1))))
+
+let table_determinacy () =
+  section "E10 (Section IV): determinacy via the universal chase";
+  Format.printf "%34s %22s@." "instance" "verdict";
+  List.iter
+    (fun (name, views, q0) ->
+      let inst = Determinacy.Instance.make ~views ~q0 in
+      Format.printf "%34s %22s@." name
+        (match unrestricted_determinacy ~max_stages:24 inst with
+        | Determinacy.Solver.Determined _ -> "determined"
+        | Determinacy.Solver.Not_determined _ -> "not determined"
+        | Determinacy.Solver.Unknown _ -> "unknown"))
+    [
+      ("{E} -> P2", [ ("e", path_query 1) ], path_query 2);
+      ("{P2} -> E", [ ("p2", path_query 2) ], path_query 1);
+      ("{P2,P3} -> P5", [ ("p2", path_query 2); ("p3", path_query 3) ], path_query 5);
+      ("{P2,P3} -> E", [ ("p2", path_query 2); ("p3", path_query 3) ], path_query 1);
+      ("{P3} -> P2", [ ("p3", path_query 3) ], path_query 2);
+    ]
+
+(* --- E11: Theorem 2 ---------------------------------------------------------- *)
+
+let table_theorem2 () =
+  section "E11 (Thm 2): Q0 separates D_y/D_n; views are EF-indistinguishable";
+  let t = Ef.Theorem2.q_infinity () in
+  Format.printf "%4s %8s %10s %10s %22s@." "i" "copies" "Q0(D_y)" "Q0(D_n)"
+    "views split at round";
+  List.iter
+    (fun (i, copies) ->
+      let r = Ef.Theorem2.report ~max_rounds:2 t ~i ~copies in
+      Format.printf "%4d %8d %10b %10b %22s@." i copies r.Ef.Theorem2.q0_on_dy
+        r.Ef.Theorem2.q0_on_dn
+        (match r.Ef.Theorem2.view_distinguishing_rounds with
+        | None -> "> 2"
+        | Some l -> string_of_int l))
+    [ (1, 1); (2, 1); (2, 2); (3, 2) ]
+
+(* --- E12: §IX.A one-atom view difference -------------------------------------- *)
+
+let table_attempt1 () =
+  section "E12 (§IX.A): Grace's and Ruby's views differ by one atom";
+  let t = Ef.Theorem2.q_infinity () in
+  Format.printf "%8s %14s@." "chase_i" "view |Δ|";
+  List.iter
+    (fun i ->
+      let _, _, diff = Ef.Theorem2.attempt1 t i in
+      Format.printf "%8d %14d@." i diff)
+    [ 1; 2; 3; 4; 5; 6 ]
+
+(* --- E13: ablations ------------------------------------------------------------ *)
+
+let table_ablations () =
+  section "E13: design ablations (lazy vs oblivious chase, hom ordering)";
+  (* lazy vs semi-oblivious on T_Q of the composition instance *)
+  let deps = Tgd.Dep.t_q [ ("p2", path_query 2); ("p3", path_query 3) ] in
+  let seed () = fst (Tgd.Greenred.green_canonical (path_query 5)) in
+  let d1 = seed () in
+  let s1 = Tgd.Chase.run ~max_stages:6 deps d1 in
+  let d2 = seed () in
+  let s2 = Tgd.Chase.run_oblivious ~max_stages:6 deps d2 in
+  Format.printf "lazy chase:      %d firings, %d facts (fixpoint %b)@."
+    s1.Tgd.Chase.applications
+    (Relational.Structure.size d1)
+    s1.Tgd.Chase.fixpoint;
+  Format.printf "oblivious chase: %d firings, %d facts (fixpoint %b)@."
+    s2.Tgd.Chase.applications
+    (Relational.Structure.size d2)
+    s2.Tgd.Chase.fixpoint
+
+(* --- bechamel timing benches -------------------------------------------------- *)
+
+open Bechamel
+open Toolkit
+
+let benches =
+  [
+    Test.make ~name:"E1 fig1: chase(T∞) 12 stages"
+      (Staged.stage (fun () -> Separating.Tinf.chase ~stages:12));
+    Test.make ~name:"E2 fig2: collide t=2,t'=3"
+      (Staged.stage (fun () ->
+           Separating.Theorem14.collision_outcome ~t:2 ~t':3 ()));
+    Test.make ~name:"E3 fig4: single path t=2"
+      (Staged.stage (fun () -> Separating.Theorem14.single_path_outcome ~t:2 ()));
+    Test.make ~name:"E4 creep: 2000 steps"
+      (Staged.stage (fun () ->
+           Rainworm.Sim.creep ~max_steps:2000
+             (Rainworm.Machine.oracle Rainworm.Zoo.eternal_creeper)));
+    Test.make ~name:"E5a TM direct: zigzag 2000 steps"
+      (Staged.stage (fun () ->
+           let rec go n c =
+             if n = 0 then c
+             else
+               match Rainworm.Turing.step Rainworm.Zoo.tm_zigzag c with
+               | Ok c' -> go (n - 1) c'
+               | Error _ -> c
+           in
+           go 2000 (Rainworm.Turing.initial_config Rainworm.Zoo.tm_zigzag)));
+    Test.make ~name:"E5b TM via rainworm: zigzag 2000 steps"
+      (Staged.stage (fun () ->
+           Rainworm.Sim.creep ~max_steps:2000
+             (Rainworm.Tm_compiler.oracle Rainworm.Zoo.tm_zigzag)));
+    Test.make ~name:"E6 lemma25: chase T_M 20 stages"
+      (Staged.stage
+         (let wr = Reduction.Worm_rules.of_machine Rainworm.Zoo.eternal_creeper in
+          fun () -> Reduction.Worm_rules.chase ~stages:20 wr));
+    Test.make ~name:"E7 finite model: stillborn"
+      (Staged.stage (fun () ->
+           Reduction.Finite_model.of_halting_machine Rainworm.Zoo.stillborn));
+    Test.make ~name:"E8 compile: to_level0(T∞)"
+      (Staged.stage (fun () ->
+           Greengraph.Precompile.to_level0 Separating.Tinf.rules));
+    Test.make ~name:"E9 spider ♣: one TGD firing (s=4)"
+      (Staged.stage
+         (let ctx = Spider.Ctx.create 4 in
+          let b =
+            Spider.Query.amp (Spider.Query.f ~upper:1 ()) (Spider.Query.f ())
+          in
+          let deps = Spider.Query.binary_to_tgds ctx b in
+          fun () ->
+            let st = Relational.Structure.create () in
+            let a1 = Relational.Structure.fresh st in
+            let a2 = Relational.Structure.fresh st in
+            let sh = Relational.Structure.fresh st in
+            ignore
+              (Spider.Real.realize ctx st ~tail:a1 ~antenna:sh
+                 (Spider.Ideal.green ~upper:1 ()));
+            ignore
+              (Spider.Real.realize ctx st ~tail:a2 ~antenna:sh
+                 Spider.Ideal.full_green);
+            Tgd.Chase.run ~max_stages:1 deps st));
+    Test.make ~name:"E10 determinacy: {P2,P3} -> P5"
+      (Staged.stage
+         (let inst =
+            Determinacy.Instance.make
+              ~views:[ ("p2", path_query 2); ("p3", path_query 3) ]
+              ~q0:(path_query 5)
+          in
+          fun () -> unrestricted_determinacy ~max_stages:24 inst));
+    Test.make ~name:"E11 theorem2: report i=1"
+      (Staged.stage
+         (let t = Ef.Theorem2.q_infinity () in
+          fun () -> Ef.Theorem2.report ~max_rounds:1 t ~i:1 ~copies:1));
+    Test.make ~name:"E13a lazy chase: P2,P3 on A[P5], 4 stages"
+      (Staged.stage
+         (let deps = Tgd.Dep.t_q [ ("p2", path_query 2); ("p3", path_query 3) ] in
+          fun () ->
+            let d = fst (Tgd.Greenred.green_canonical (path_query 5)) in
+            Tgd.Chase.run ~max_stages:4 deps d));
+    Test.make ~name:"E13b oblivious chase: same, 4 stages"
+      (Staged.stage
+         (let deps = Tgd.Dep.t_q [ ("p2", path_query 2); ("p3", path_query 3) ] in
+          fun () ->
+            let d = fst (Tgd.Greenred.green_canonical (path_query 5)) in
+            Tgd.Chase.run_oblivious ~max_stages:4 deps d));
+    (let long_path n =
+       let s = Relational.Structure.create () in
+       let vs = Array.init (n + 1) (fun _ -> Relational.Structure.fresh s) in
+       for i = 0 to n - 1 do
+         Relational.Structure.add2 s (Relational.Symbol.make "E" 2) vs.(i) vs.(i + 1)
+       done;
+       s
+     in
+     let target = long_path 40 in
+     (* a deliberately scrambled 7-atom path body: the ordering heuristic
+        reconnects it, the unordered run explores the cross product *)
+     let scrambled =
+       let q = path_query 7 in
+       let atoms = Array.of_list (Cq.Query.body q) in
+       let order = [ 0; 4; 2; 6; 1; 5; 3 ] in
+       List.map (fun i -> atoms.(i)) order
+     in
+     Test.make ~name:"E13c hom search: scrambled P7, greedy ordering"
+       (Staged.stage (fun () -> Relational.Hom.count target scrambled)));
+    (let long_path n =
+       let s = Relational.Structure.create () in
+       let vs = Array.init (n + 1) (fun _ -> Relational.Structure.fresh s) in
+       for i = 0 to n - 1 do
+         Relational.Structure.add2 s (Relational.Symbol.make "E" 2) vs.(i) vs.(i + 1)
+       done;
+       s
+     in
+     let target = long_path 40 in
+     let scrambled =
+       let q = path_query 7 in
+       let atoms = Array.of_list (Cq.Query.body q) in
+       let order = [ 0; 4; 2; 6; 1; 5; 3 ] in
+       List.map (fun i -> atoms.(i)) order
+     in
+     Test.make ~name:"E13d hom search: scrambled P7, no ordering"
+       (Staged.stage (fun () -> Relational.Hom.count ~ordered:false target scrambled)));
+  ]
+
+let run_benches () =
+  section "timing (bechamel, monotonic clock; one test per experiment)";
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) ~kde:None ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg
+      Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"redspider" benches)
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name o acc ->
+        let ns =
+          match Analyze.OLS.estimates o with Some (e :: _) -> e | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Format.printf "%-45s %15s@." "experiment" "time/run";
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Format.printf "%-45s %15s@." name pretty)
+    rows
+
+let () =
+  let fast = Array.length Sys.argv > 1 && Sys.argv.(1) = "fast" in
+  Format.printf "Red Spider Meets a Rainworm — experiment harness@.";
+  table_fig1 ();
+  table_grids ();
+  table_worms ();
+  table_lemma24_25 ();
+  table_compile_blowup ();
+  table_determinacy ();
+  table_theorem2 ();
+  table_attempt1 ();
+  table_ablations ();
+  if not fast then run_benches ();
+  Format.printf "@.done.@."

@@ -1,0 +1,240 @@
+(* redspider — command-line driver for the reproduction.
+
+     redspider tinf --stages 12         chase T∞ and print the words
+     redspider collide -t 3 -u 5        grid two colliding αβ-paths
+     redspider worm NAME --steps 200    creep a zoo machine
+     redspider reduce NAME              build the Theorem 5 instance
+     redspider finite-model NAME        Section VIII.E countermodel
+     redspider theorem2 -i 2            the FO non-rewritability report *)
+
+open Core
+open Cmdliner
+
+let zoo_machines =
+  [
+    ("creeper", `M Rainworm.Zoo.eternal_creeper);
+    ("stillborn", `M Rainworm.Zoo.stillborn);
+    ("halt-now", `Tm Rainworm.Zoo.tm_halt_now);
+    ("write-3", `Tm (Rainworm.Zoo.tm_write_k 3));
+    ("right-forever", `Tm Rainworm.Zoo.tm_right_forever);
+    ("zigzag", `Tm Rainworm.Zoo.tm_zigzag);
+    ("bouncer-2", `Tm (Rainworm.Zoo.tm_bouncer 2));
+  ]
+
+let machine_conv =
+  let parse s =
+    match List.assoc_opt s zoo_machines with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown machine %s (try: %s)" s
+               (String.concat ", " (List.map fst zoo_machines))))
+  in
+  let print ppf _ = Format.fprintf ppf "<machine>" in
+  Arg.conv (parse, print)
+
+let materialize = function
+  | `M m -> m
+  | `Tm tm -> Rainworm.Tm_compiler.materialize ~max_steps:200_000 tm
+
+let oracle = function
+  | `M m -> Rainworm.Machine.oracle m
+  | `Tm tm -> Rainworm.Tm_compiler.oracle tm
+
+(* --- tinf -------------------------------------------------------------- *)
+
+let tinf stages =
+  let g, a, b, stats = Separating.Tinf.chase ~stages in
+  Format.printf "chase(T∞, D_I): %d stages, %d edges, %d vertices@."
+    stats.Greengraph.Rule.stages (Greengraph.Graph.size g)
+    (Greengraph.Graph.order g);
+  List.iter
+    (fun w -> Format.printf "  %a@." Greengraph.Pg.pp_word w)
+    (List.sort compare (Greengraph.Pg.words_upto g ~a ~b ~max_len:(stages / 2)));
+  Format.printf "1-2 pattern: %b@." (Greengraph.Graph.has_12_pattern g)
+
+let tinf_cmd =
+  let stages =
+    Arg.(value & opt int 12 & info [ "stages" ] ~doc:"Chase stage budget.")
+  in
+  Cmd.v (Cmd.info "tinf" ~doc:"Chase T∞ from D_I and print its words (Figure 1).")
+    Term.(const tinf $ stages)
+
+(* --- collide ----------------------------------------------------------- *)
+
+let collide t u =
+  let pattern, stats, g = Separating.Theorem14.collision_outcome ~t ~t':u () in
+  Format.printf
+    "αβ-paths of lengths %d and %d sharing both endpoints, gridded by T□:@." t u;
+  Format.printf "  1-2 pattern: %b (stages %d, edges %d, fixpoint %b)@." pattern
+    stats.Greengraph.Rule.stages (Greengraph.Graph.size g)
+    stats.Greengraph.Rule.fixpoint
+
+let collide_cmd =
+  let t = Arg.(value & opt int 3 & info [ "t" ] ~doc:"First path length.") in
+  let u = Arg.(value & opt int 5 & info [ "u" ] ~doc:"Second path length.") in
+  Cmd.v
+    (Cmd.info "collide"
+       ~doc:"Grid two colliding αβ-paths with T□ (Figures 2–4).")
+    Term.(const collide $ t $ u)
+
+(* --- worm -------------------------------------------------------------- *)
+
+let worm m steps =
+  let o = oracle m in
+  let trace = Rainworm.Sim.creep ~max_steps:steps ~keep_history:true o in
+  List.iteri
+    (fun i c -> if i <= 20 then Format.printf "%4d: %a@." i Rainworm.Sym.pp_word c)
+    trace.Rainworm.Sim.history;
+  Format.printf "status after %d steps: %s, %d cycles, max length %d@."
+    trace.Rainworm.Sim.steps
+    (if Rainworm.Sim.halted trace then "halted" else "creeping")
+    trace.Rainworm.Sim.cycles trace.Rainworm.Sim.max_length
+
+let worm_cmd =
+  let m = Arg.(required & pos 0 (some machine_conv) None & info [] ~docv:"MACHINE") in
+  let steps =
+    Arg.(value & opt int 200 & info [ "steps" ] ~doc:"Rewriting step budget.")
+  in
+  Cmd.v (Cmd.info "worm" ~doc:"Creep a rainworm machine from the zoo.")
+    Term.(const worm $ m $ steps)
+
+(* --- reduce ------------------------------------------------------------ *)
+
+let reduce m =
+  let machine = materialize m in
+  let _inst, p = reduce_machine machine in
+  Format.printf "Theorem 5 instance for %s:@." (Rainworm.Machine.name machine);
+  Format.printf "  %a@." Reduction.Pipeline.pp_shape (Reduction.Pipeline.shape p);
+  Format.printf
+    "  Q finitely determines Q0 = ∃*dalt(I) iff the rainworm creeps forever.@."
+
+let reduce_cmd =
+  let m = Arg.(required & pos 0 (some machine_conv) None & info [] ~docv:"MACHINE") in
+  Cmd.v
+    (Cmd.info "reduce" ~doc:"Build the CQfDP instance of Theorem 5 for a machine.")
+    Term.(const reduce $ m)
+
+(* --- finite-model ------------------------------------------------------ *)
+
+let finite_model m =
+  let machine = materialize m in
+  let wr, fm, stats = Reduction.Finite_model.of_halting_machine machine in
+  let g = fm.Reduction.Finite_model.graph in
+  Format.printf "Section VIII.E model for halting machine %s:@."
+    (Rainworm.Machine.name machine);
+  Format.printf "  %d edges, %d vertices; grid chase fixpoint: %b@."
+    (Greengraph.Graph.size g) (Greengraph.Graph.order g)
+    stats.Greengraph.Rule.fixpoint;
+  Format.printf "  1-2 pattern: %b;  ⊨ T_M: %b;  ⊨ T_M ∪ T□: %b@."
+    (Greengraph.Graph.has_12_pattern g)
+    (Greengraph.Rule.models wr.Reduction.Worm_rules.rules g)
+    (Greengraph.Rule.models (Reduction.Worm_rules.with_grid wr) g)
+
+let finite_model_cmd =
+  let m = Arg.(required & pos 0 (some machine_conv) None & info [] ~docv:"MACHINE") in
+  Cmd.v
+    (Cmd.info "finite-model"
+       ~doc:"Build and check the finite countermodel for a halting machine.")
+    Term.(const finite_model $ m)
+
+(* --- theorem2 ----------------------------------------------------------- *)
+
+let theorem2 i copies rounds =
+  let t = Ef.Theorem2.q_infinity () in
+  let r = Ef.Theorem2.report ~max_rounds:rounds t ~i ~copies in
+  Format.printf "Theorem 2 report (i = %d, copies = %d):@." i copies;
+  Format.printf "  Q0(D_y) = %b, Q0(D_n) = %b@." r.Ef.Theorem2.q0_on_dy
+    r.Ef.Theorem2.q0_on_dn;
+  Format.printf "  views distinguishable within %d EF rounds: %s@." rounds
+    (match r.Ef.Theorem2.view_distinguishing_rounds with
+    | None -> "no"
+    | Some l -> Printf.sprintf "yes, at %d" l)
+
+let theorem2_cmd =
+  let i = Arg.(value & opt int 2 & info [ "i" ] ~doc:"Chase depth.") in
+  let copies = Arg.(value & opt int 1 & info [ "copies" ] ~doc:"Late-fragment copies.") in
+  let rounds = Arg.(value & opt int 2 & info [ "rounds" ] ~doc:"EF round budget.") in
+  Cmd.v
+    (Cmd.info "theorem2" ~doc:"FO non-rewritability report (Section IX).")
+    Term.(const theorem2 $ i $ copies $ rounds)
+
+(* --- analyze ------------------------------------------------------------- *)
+
+let analyze m =
+  let machine = materialize m in
+  Format.printf "machine %s: %d instructions, c_M = %d@."
+    (Rainworm.Machine.name machine)
+    (Rainworm.Machine.size machine)
+    (Rainworm.Analysis.c_m machine);
+  match Rainworm.Analysis.halting_analysis machine with
+  | None -> Format.printf "does not halt within the budget: eternal creeper@."
+  | Some (u_m, k_m, closure) ->
+      Format.printf "halts after k_M = %d steps@." k_m;
+      Format.printf "final configuration u_M: %a@." Rainworm.Sym.pp_word u_m;
+      Format.printf "|{w : w ⤳* u_M}| = %d (finite, Lemma 23)@."
+        (List.length closure)
+
+let analyze_cmd =
+  let m = Arg.(required & pos 0 (some machine_conv) None & info [] ~docv:"MACHINE") in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Backward analysis of a machine (Lemmas 22-23).")
+    Term.(const analyze $ m)
+
+(* --- determinacy --------------------------------------------------------- *)
+
+let parse_named s =
+  match Cq.Parse.named_query s with
+  | Ok nq -> nq
+  | Error m ->
+      Format.eprintf "parse error: %s@." m;
+      exit 2
+
+let determinacy view_specs q0_spec stages =
+  let views = List.map parse_named view_specs in
+  let _, q0 = parse_named q0_spec in
+  let inst = Determinacy.Instance.make ~views ~q0 in
+  Format.printf "%a@." Determinacy.Instance.pp inst;
+  Format.printf "unrestricted: %a@."
+    Determinacy.Solver.pp_verdict
+    (Determinacy.Solver.unrestricted ~max_stages:stages inst);
+  Format.printf "finite:       %a@."
+    Determinacy.Solver.pp_verdict
+    (Determinacy.Solver.finite inst);
+  match Determinacy.Rewriting.conjunctive ~views q0 with
+  | Determinacy.Rewriting.Rewriting plan ->
+      Format.printf "rewriting:    %a@." Cq.Query.pp plan
+  | Determinacy.Rewriting.No_conjunctive_rewriting ->
+      Format.printf "rewriting:    no conjunctive rewriting@."
+
+let determinacy_cmd =
+  let views =
+    Arg.(
+      non_empty & opt_all string []
+      & info [ "view"; "v" ] ~docv:"RULE"
+          ~doc:"A view, e.g. 'p2(x,y) :- E(x,m), E(m,y)'. Repeatable.")
+  in
+  let q0 =
+    Arg.(
+      required & opt (some string) None
+      & info [ "q0"; "q" ] ~docv:"RULE" ~doc:"The query to determine.")
+  in
+  let stages =
+    Arg.(value & opt int 32 & info [ "stages" ] ~doc:"Chase stage budget.")
+  in
+  Cmd.v
+    (Cmd.info "determinacy"
+       ~doc:"Decide (boundedly) whether views determine a query.")
+    Term.(const determinacy $ views $ q0 $ stages)
+
+let () =
+  let doc = "Red Spider Meets a Rainworm — PODS 2016, executable" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "redspider" ~doc)
+          [
+            tinf_cmd; collide_cmd; worm_cmd; reduce_cmd; finite_model_cmd;
+            theorem2_cmd; determinacy_cmd; analyze_cmd;
+          ]))

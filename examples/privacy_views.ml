@@ -1,0 +1,64 @@
+(* Privacy through non-determinacy (Section I's motivation): "we would
+   like to release some views of the database, but in a way that does not
+   allow certain query to be computed".
+
+   A hospital holds a binary relation Visited(patient, clinic) plus unary
+   relations.  It wants to publish useful aggregate-ish views while
+   keeping the query "which patient visited which specialist clinic"
+   uncomputable from them.
+
+     dune exec examples/privacy_views.exe *)
+
+open Core
+open Relational
+
+let visited = Symbol.make "Visited" 2
+let sensitive = Symbol.make "Specialist" 1
+let v = Term.var
+
+let q_visits =
+  (* the secret: pairs (p, c) with c a specialist clinic *)
+  Cq.Query.make ~free:[ "p"; "c" ]
+    [ Atom.app2 visited (v "p") (v "c"); Atom.make sensitive [ v "c" ] ]
+
+(* candidate view sets *)
+let view_patients =
+  (* who visited anything: ∃c Visited(p,c) *)
+  Cq.Query.make ~free:[ "p" ] [ Atom.app2 visited (v "p") (v "c") ]
+
+let view_clinics =
+  (* which specialist clinics received any visit *)
+  Cq.Query.make ~free:[ "c" ]
+    [ Atom.app2 visited (v "p") (v "c"); Atom.make sensitive [ v "c" ] ]
+
+let view_full = Cq.Query.make ~free:[ "p"; "c" ] [ Atom.app2 visited (v "p") (v "c") ]
+let view_specialist = Cq.Query.make ~free:[ "c" ] [ Atom.make sensitive [ v "c" ] ]
+
+let audit name views =
+  let inst = Determinacy.Instance.make ~views ~q0:q_visits in
+  let verdict = unrestricted_determinacy ~max_stages:24 inst in
+  let leak =
+    match verdict with
+    | Determinacy.Solver.Determined _ -> "LEAKS — the secret is computable from the views"
+    | Determinacy.Solver.Not_determined _ -> "safe — views do not determine the secret"
+    | Determinacy.Solver.Unknown why -> "inconclusive (" ^ why ^ ")"
+  in
+  Format.printf "  %-28s %s@." name leak;
+  (* when not determined, exhibit the witnessing pair of databases *)
+  match Determinacy.Solver.finite ~max_elems:2 inst with
+  | Determinacy.Solver.Not_determined d ->
+      Format.printf "      finite witness (two-colored, %a):@." Structure.pp_stats d;
+      Format.printf "      @[<v>%a@]@." Structure.pp d
+  | _ -> ()
+
+let () =
+  Format.printf "Privacy auditing via (non-)determinacy@.@.";
+  Format.printf "secret query: %a@.@." Cq.Query.pp q_visits;
+  audit "projections only" [ ("patients", view_patients); ("clinics", view_clinics) ];
+  audit "full visit log" [ ("log", view_full) ];
+  audit "log + specialist list"
+    [ ("log", view_full); ("spec", view_specialist) ];
+  Format.printf
+    "@.Theorem 1 says this audit cannot be automated in general: CQ finite@.\
+     determinacy is undecidable — which is why the checks above are bounded@.\
+     semi-decisions with certificates.@."

@@ -1,0 +1,55 @@
+(* Quickstart: define conjunctive-query views, ask whether they determine
+   another query, and inspect the chase certificate (Section IV).
+
+     dune exec examples/quickstart.exe *)
+
+open Core
+open Relational
+
+let edge = Symbol.make "E" 2
+let v = Term.var
+let e x y = Atom.app2 edge (v x) (v y)
+
+(* The k-step path query P_k(x, y). *)
+let path k =
+  let name i = if i = 0 then "x" else if i = k then "y" else Printf.sprintf "m%d" i in
+  Cq.Query.make ~free:[ "x"; "y" ] (List.init k (fun i -> e (name i) (name (i + 1))))
+
+let describe inst =
+  Format.printf "@[<v>--- instance ---@,%a@]@." Determinacy.Instance.pp inst;
+  let verdict = unrestricted_determinacy ~max_stages:32 inst in
+  Format.printf "unrestricted: %a@." Determinacy.Solver.pp_verdict verdict;
+  let fin = finite_determinacy inst in
+  Format.printf "finite:       %a@.@." Determinacy.Solver.pp_verdict fin
+
+let () =
+  Format.printf "Red Spider Meets a Rainworm — quickstart@.@.";
+
+  (* 1. Composition: the views P2 and P3 determine P5. *)
+  describe
+    (Determinacy.Instance.make
+       ~views:[ ("p2", path 2); ("p3", path 3) ]
+       ~q0:(path 5));
+
+  (* 2. Information loss: P2 alone does not determine the edge relation;
+     the finite solver exhibits a concrete 2-element counterexample. *)
+  describe
+    (Determinacy.Instance.make ~views:[ ("p2", path 2) ] ~q0:(path 1));
+
+  (* 3. Evaluating queries directly: a database and its views. *)
+  let db = Structure.create () in
+  let vs = Array.init 5 (fun i -> Structure.fresh ~name:(Printf.sprintf "v%d" i) db) in
+  Array.iteri (fun i _ -> if i < 4 then Structure.add2 db edge vs.(i) vs.(i + 1)) vs;
+  Format.printf "database: %a@." Structure.pp_stats db;
+  List.iter
+    (fun (name, q) ->
+      Format.printf "  %s has %d answers@." name (Cq.Eval.count_answers q db))
+    [ ("p1", path 1); ("p2", path 2); ("p3", path 3) ];
+
+  (* 4. Query analysis: containment and cores. *)
+  let redundant =
+    Cq.Query.make ~free:[ "x" ] [ e "x" "y"; e "x" "z"; e "y" "w" ]
+  in
+  let core = Cq.Containment.core redundant in
+  Format.printf "@.core of %a@.  is    %a@." Cq.Query.pp redundant Cq.Query.pp core;
+  Format.printf "equivalent: %b@." (Cq.Containment.equivalent redundant core)

@@ -1,0 +1,76 @@
+(* Rainworm machines (Section VIII): creeping, the TM compiler behind
+   Lemma 21, and the reduction ∆ → T_M → (Q, Q0) behind Theorem 5.
+
+     dune exec examples/rainworm_demo.exe *)
+
+open Core
+
+let show_creep name machine steps =
+  Format.printf "--- %s ---@." name;
+  let o = Rainworm.Machine.oracle machine in
+  let configs = Rainworm.Sim.reachable_configs ~max_steps:steps o in
+  List.iteri
+    (fun i c -> if i <= 12 then Format.printf "  %2d: %a@." i Rainworm.Sym.pp_word c)
+    configs;
+  let t = Rainworm.Sim.creep ~max_steps:10_000 o in
+  Format.printf "  after %d steps: %s, %d full cycles, longest configuration %d@.@."
+    t.Rainworm.Sim.steps
+    (if Rainworm.Sim.halted t then "HALTED" else "still creeping")
+    t.Rainworm.Sim.cycles t.Rainworm.Sim.max_length
+
+let () =
+  Format.printf "Rainworm machines and the Theorem 5 reduction@.@.";
+
+  (* 1. the minimal eternal creeper *)
+  show_creep "eternal creeper (12 instructions)" Rainworm.Zoo.eternal_creeper 40;
+
+  (* 2. a Turing machine compiled to a rainworm (Lemma 21) *)
+  let tm = Rainworm.Zoo.tm_write_k 3 in
+  Format.printf "--- TM '%s' compiled to a rainworm ---@." tm.Rainworm.Turing.name;
+  let direct_steps, _ = Rainworm.Turing.run tm in
+  let worm = Rainworm.Sim.creep ~max_steps:200_000 (Rainworm.Tm_compiler.oracle tm) in
+  Format.printf "  TM halts after %d steps; the worm halts after %d cycles: %b@."
+    direct_steps worm.Rainworm.Sim.cycles (Rainworm.Sim.halted worm);
+  let tm2 = Rainworm.Zoo.tm_right_forever in
+  let worm2 = Rainworm.Sim.creep ~max_steps:20_000 (Rainworm.Tm_compiler.oracle tm2) in
+  Format.printf "  TM '%s' diverges; the worm is still creeping after %d cycles: %b@.@."
+    tm2.Rainworm.Turing.name worm2.Rainworm.Sim.cycles
+    (not (Rainworm.Sim.halted worm2));
+
+  (* 3. ∆ → T_M: configurations are chase words (Lemma 25) *)
+  let wr = Reduction.Worm_rules.of_machine Rainworm.Zoo.eternal_creeper in
+  Format.printf "--- ∆ → T_M (%d green-graph rules) ---@."
+    (List.length wr.Reduction.Worm_rules.rules);
+  let g, a, b, _ = Reduction.Worm_rules.chase ~stages:25 wr in
+  let configs =
+    Rainworm.Sim.reachable_configs ~max_steps:20
+      (Rainworm.Machine.oracle Rainworm.Zoo.eternal_creeper)
+  in
+  let all_words =
+    List.for_all
+      (fun c ->
+        Greengraph.Pg.in_words g ~a ~b (Reduction.Worm_rules.configuration_word wr c))
+      configs
+  in
+  Format.printf "  all %d reachable configurations are words of chase(T_M, D_I): %b (Lemma 25)@.@."
+    (List.length configs) all_words;
+
+  (* 4. the two Lemma 24 directions *)
+  Format.printf "--- Lemma 24 ---@.";
+  let pattern, _, _ = Reduction.Worm_rules.fold_and_grid ~stages:60 wr ~fold:(0, 2) in
+  Format.printf
+    "  creeping forever: folding the slime trail grids a 1-2 pattern: %b  (⇒)@." pattern;
+  let wr2, m, _ = Reduction.Finite_model.of_halting_machine Rainworm.Zoo.stillborn in
+  Format.printf
+    "  halting: Section VIII.E builds a finite model (%d edges), 1-2-pattern-free: %b, ⊨ T_M ∪ T□: %b  (⇐)@."
+    (Greengraph.Graph.size m.Reduction.Finite_model.graph)
+    (not (Greengraph.Graph.has_12_pattern m.Reduction.Finite_model.graph))
+    (Greengraph.Rule.models (Reduction.Worm_rules.with_grid wr2)
+       m.Reduction.Finite_model.graph);
+
+  (* 5. the full CQfDP instance of Theorem 5 *)
+  let _inst, p = reduce_machine Rainworm.Zoo.eternal_creeper in
+  Format.printf "@.--- Theorem 5 instance for the eternal creeper ---@.";
+  Format.printf "  %a@." Reduction.Pipeline.pp_shape (Reduction.Pipeline.shape p);
+  Format.printf
+    "  Q finitely determines Q0 = ∃*dalt(I)  ⟺  the rainworm creeps forever.@."

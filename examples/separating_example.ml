@@ -1,0 +1,55 @@
+(* The separating example of Section VII (Theorem 14): a set of CQs that
+   FINITELY determines a query without determining it in the unrestricted
+   sense — the first such example known.
+
+     dune exec examples/separating_example.exe *)
+
+open Core
+
+let () =
+  Format.printf "Theorem 14: T = T∞ ∪ T□ separates finite from unrestricted determinacy@.@.";
+
+  (* T∞: three rules whose chase from D_I is the infinite quasi-path of
+     Figure 1. *)
+  Format.printf "T∞ rules:@.";
+  List.iter (Format.printf "  %a@." Greengraph.Rule.pp) Separating.Tinf.rules;
+  let g, a, b, stats = Separating.Tinf.chase ~stages:12 in
+  Format.printf "chase(T∞, D_I) after %d stages: %d edges, %d vertices@."
+    stats.Greengraph.Rule.stages (Greengraph.Graph.size g)
+    (Greengraph.Graph.order g);
+  Format.printf "words seen through Parity Glasses (Definition 16):@.";
+  List.iter
+    (fun w -> Format.printf "  %a@." Greengraph.Pg.pp_word w)
+    (List.sort compare (Greengraph.Pg.words_upto g ~a ~b ~max_len:6));
+
+  (* T□: 41 rules that grid two colliding αβ-paths (Figures 2–3). *)
+  Format.printf "@.T□ has %d rules (1 trigger + 4 southern + 4 eastern + 32 interior)@."
+    Separating.Tbox.size;
+
+  (* the unrestricted side: the chase of T∞ ∪ T□ stays clean *)
+  let clean, g_t = Separating.Theorem14.chase_prefix_clean ~stages:7 in
+  Format.printf
+    "chase(T, D_I) prefix (%d edges): 1-2 pattern present: %b  — T does NOT lead to the red spider@."
+    (Greengraph.Graph.size g_t) (not clean);
+
+  (* the finite side: folding the infinite path forces the pattern *)
+  Format.printf "@.finite models fold the path (pigeonhole); gridding the fold:@.";
+  List.iter
+    (fun (t, t') ->
+      let pattern, stats, g = Separating.Theorem14.collision_outcome ~t ~t' () in
+      Format.printf
+        "  αβ-paths of lengths %d and %d sharing endpoints: 1-2 pattern %b (%d stages, %d edges)@."
+        t t' pattern stats.Greengraph.Rule.stages (Greengraph.Graph.size g))
+    [ (2, 2); (2, 3); (3, 5) ];
+  Format.printf
+    "  (equal lengths stay clean — Figure 4's square grids are harmless)@.";
+
+  (* the compiled instance *)
+  let p = Greengraph.Precompile.to_level0 Separating.Tbox.t_full in
+  Format.printf
+    "@.compiled to Level 0: %d CQs over the spider signature (s = %d), %d green-red TGDs@."
+    (List.length p.Greengraph.Precompile.queries)
+    (Spider.Ctx.s p.Greengraph.Precompile.ctx)
+    (List.length p.Greengraph.Precompile.tgds);
+  Format.printf
+    "⇒ Q = Compile(Precompile(T)) finitely determines ∃*dalt(I) but does not determine it.@."

@@ -1,0 +1,89 @@
+(* Containment, equivalence and cores of conjunctive queries.
+
+   By the Chandra–Merlin homomorphism theorem (cited in the paper via
+   [JK82]/[CR97]), Q1 ⊆ Q2 iff there is a homomorphism from A[Q2] to A[Q1]
+   fixing the free variables pointwise.  The core machinery is used by the
+   test suite to keep handcrafted queries minimal and by the determinacy
+   examples. *)
+
+open Relational
+
+(* Freeze [q]'s canonical structure; free variables are frozen by a fixed
+   initial binding rather than constants, keeping the signature intact. *)
+let contained_in q1 q2 =
+  if Query.arity q1 <> Query.arity q2 then false
+  else
+    let canon1, elem1 = Query.canonical q1 in
+    let init =
+      List.fold_left2
+        (fun acc x2 x1 ->
+          match elem1 x1 with
+          | Some e -> Term.Var_map.add x2 e acc
+          | None -> acc)
+        Term.Var_map.empty (Query.free q2) (Query.free q1)
+    in
+    Hom.exists ~init canon1 (Query.body q2)
+
+let equivalent q1 q2 = contained_in q1 q2 && contained_in q2 q1
+
+(* An endomorphism of A[Q] fixing the free variables whose image misses at
+   least one element witnesses that Q is not a core.  [fold_step] finds one
+   and returns the folded (smaller, equivalent) query. *)
+let fold_step q =
+  let canon, elem = Query.canonical q in
+  let init =
+    List.fold_left
+      (fun acc x ->
+        match elem x with Some e -> Term.Var_map.add x e acc | None -> acc)
+      Term.Var_map.empty (Query.free q)
+  in
+  let n_elems = Structure.card canon in
+  let result = ref None in
+  (try
+     Hom.iter_all ~init canon (Query.body q) (fun binding ->
+         let image =
+           Term.Var_map.fold
+             (fun _ e acc -> if List.mem e acc then acc else e :: acc)
+             binding []
+         in
+         let n_csts =
+           List.length (Structure.constants canon)
+         in
+         if List.length image + n_csts < n_elems then begin
+           result := Some binding;
+           raise Exit
+         end)
+   with Exit -> ());
+  match !result with
+  | None -> None
+  | Some binding ->
+      (* Rewrite the body through the endomorphism: replace each variable by
+         a representative variable of its image element. *)
+      let repr = Hashtbl.create 16 in
+      Term.Var_map.iter
+        (fun x e -> if not (Hashtbl.mem repr e) then Hashtbl.replace repr e x)
+        binding;
+      (* Free variables take priority as representatives. *)
+      List.iter
+        (fun x ->
+          match Term.Var_map.find_opt x binding with
+          | Some e -> Hashtbl.replace repr e x
+          | None -> ())
+        (Query.free q);
+      let rename x =
+        match Term.Var_map.find_opt x binding with
+        | Some e -> (
+            match Hashtbl.find_opt repr e with Some y -> y | None -> x)
+        | None -> x
+      in
+      let body =
+        List.sort_uniq Atom.compare
+          (List.map (Atom.rename rename) (Query.body q))
+      in
+      Some (Query.make ~free:(Query.free q) body)
+
+(* The core of a query: iterate folding until a fixpoint.  The result is
+   equivalent to [q] and minimal. *)
+let rec core q = match fold_step q with None -> q | Some q' -> core q'
+
+let is_core q = Option.is_none (fold_step q)

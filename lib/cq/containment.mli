@@ -1,0 +1,19 @@
+(** Containment, equivalence and cores of conjunctive queries, via the
+    Chandra–Merlin homomorphism theorem. *)
+
+(** [contained_in q1 q2] is [q1 ⊆ q2]: every answer of [q1] is an answer
+    of [q2], over all databases.  Decided by a homomorphism from A[q2] to
+    A[q1] fixing the free variables pointwise (positionally). *)
+val contained_in : Query.t -> Query.t -> bool
+
+val equivalent : Query.t -> Query.t -> bool
+
+(** One folding step: an endomorphism of A[q] fixing the free variables
+    with a smaller image, if any, applied to [q]. *)
+val fold_step : Query.t -> Query.t option
+
+(** The core: fold until minimal.  The result is equivalent to the
+    input. *)
+val core : Query.t -> Query.t
+
+val is_core : Query.t -> bool

@@ -1,0 +1,73 @@
+(* Conjunctive-query evaluation: the view Q(D) = { ā : D ⊨ Q(ā) }
+   (Section II.A, "the most fundamental definition of this paper"). *)
+
+open Relational
+
+module Tuple = struct
+  type t = int array
+
+  let compare (a : t) (b : t) = Stdlib.compare a b
+
+  let pp ?(elem = Fmt.int) () ppf t =
+    Fmt.pf ppf "(%a)" (Fmt.array ~sep:Fmt.comma elem) t
+end
+
+module Tuple_set = Set.Make (Tuple)
+
+let project free binding =
+  Array.of_list
+    (List.map
+       (fun x ->
+         match Relational.Term.Var_map.find_opt x binding with
+         | Some e -> e
+         | None -> invalid_arg "Eval.project: unbound free variable")
+       free)
+
+(* All answers of [q] over [d].  Free variables that do not occur in any
+   atom cannot arise ([Query.make] rejects them). *)
+let answers ?init q d =
+  let acc = ref Tuple_set.empty in
+  Hom.iter_all ?init d (Query.body q) (fun binding ->
+      acc := Tuple_set.add (project (Query.free q) binding) !acc);
+  !acc
+
+(* D ⊨ Q(ā) for a specific tuple. *)
+let holds_at q d tuple =
+  let free = Query.free q in
+  if List.length free <> Array.length tuple then
+    invalid_arg "Eval.holds_at: arity mismatch";
+  let init =
+    List.fold_left2
+      (fun acc x e -> Term.Var_map.add x e acc)
+      Term.Var_map.empty free (Array.to_list tuple)
+  in
+  Hom.exists ~init d (Query.body q)
+
+(* D ⊨ Q with all free variables implicitly existentially quantified. *)
+let holds q d = Hom.exists d (Query.body q)
+
+let count_answers q d = Tuple_set.cardinal (answers q d)
+
+(* The view instance Q(D) for a named set of queries: a structure over the
+   view signature, with one k-ary relation per k-ary query (Section I.B).
+   The view structure shares its domain naming with [d] so that view
+   structures of different databases are comparable. *)
+let view_structure named_queries d =
+  (* Elements of the view keep the identities they have in [d], so the
+     views of a single two-colored instance (CQfDP.2) line up directly;
+     constants of [d] stay constants of the view. *)
+  let v = Structure.like d in
+  List.iter
+    (fun (name, q) ->
+      let sym = Symbol.make name (Query.arity q) in
+      Tuple_set.iter
+        (fun tuple -> ignore (Structure.add_fact v (Fact.make sym tuple)))
+        (answers q d))
+    named_queries;
+  v
+
+(* Q(D1) = Q(D2) for every Q in the list — the condition of CQfDP. *)
+let same_views named_queries d1 d2 =
+  List.for_all
+    (fun (_, q) -> Tuple_set.equal (answers q d1) (answers q d2))
+    named_queries

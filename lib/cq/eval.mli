@@ -1,0 +1,37 @@
+(** Conjunctive-query evaluation: the view [Q(D) = { ā : D ⊨ Q(ā) }]
+    (Section II.A). *)
+
+open Relational
+
+module Tuple : sig
+  type t = int array
+
+  val compare : t -> t -> int
+  val pp : ?elem:(Format.formatter -> int -> unit) -> unit -> Format.formatter -> t -> unit
+end
+
+module Tuple_set : Set.S with type elt = Tuple.t
+
+(** All answers of [q] over [d], optionally under an initial binding. *)
+val answers : ?init:Hom.binding -> Query.t -> Structure.t -> Tuple_set.t
+
+(** [holds_at q d ā] is [D ⊨ Q(ā)].
+    @raise Invalid_argument on arity mismatch. *)
+val holds_at : Query.t -> Structure.t -> int array -> bool
+
+(** [holds q d] is [D ⊨ Q] with all free variables implicitly
+    existentially quantified. *)
+val holds : Query.t -> Structure.t -> bool
+
+val count_answers : Query.t -> Structure.t -> int
+
+(** The view instance Q(D) for a named set of queries, as one structure
+    over the view signature — one k-ary relation per k-ary query
+    (Section I.B).  Elements keep their identities from [d]; constants
+    stay constants. *)
+val view_structure : (string * Query.t) list -> Structure.t -> Structure.t
+
+(** [same_views qs d1 d2]: do all views agree?  Meaningful when [d1] and
+    [d2] share their element identities (the single two-colored instance
+    of CQfDP.2). *)
+val same_views : (string * Query.t) list -> Structure.t -> Structure.t -> bool

@@ -1,0 +1,123 @@
+(* Conjunctive queries (Section II.A).
+
+   A CQ is a conjunction of atoms with a designated tuple of free
+   variables; the remaining variables are existentially quantified.  The
+   paper works with the canonical structure A[Ψ] of the quantifier-free
+   part throughout; [canonical] realizes it. *)
+
+open Relational
+
+type t = { free : string list; body : Atom.t list }
+
+let make ~free body =
+  let vs = Atom.vars_of_list body in
+  List.iter
+    (fun x ->
+      if not (Term.Var_set.mem x vs) then
+        invalid_arg (Printf.sprintf "Query.make: free variable %s not in body" x))
+    free;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun x ->
+      if Hashtbl.mem seen x then
+        invalid_arg (Printf.sprintf "Query.make: duplicate free variable %s" x);
+      Hashtbl.replace seen x ())
+    free;
+  { free; body }
+
+let boolean body = { free = []; body }
+
+let free t = t.free
+let body t = t.body
+let arity t = List.length t.free
+
+let vars t = Atom.vars_of_list t.body
+
+let existential_vars t =
+  List.fold_left (fun acc x -> Term.Var_set.remove x acc) (vars t) t.free
+
+let constants t =
+  List.concat_map Atom.constants t.body |> List.sort_uniq String.compare
+
+(* Close a query: quantify all free variables existentially, giving the
+   boolean query ∃* Q (notation D ⊨ Q of Section II.A). *)
+let close t = { t with free = [] }
+
+let paint c t = { t with body = List.map (Atom.paint c) t.body }
+let dalt t = { t with body = List.map Atom.dalt t.body }
+
+let rename_vars f t =
+  { free = List.map f t.free; body = List.map (Atom.rename f) t.body }
+
+(* The canonical structure A[Ψ] (Section II.A): one element per variable
+   (constants become the structure's constants).  Returns the structure and
+   the variable-to-element map. *)
+let canonical t =
+  let s = Structure.create () in
+  let table = Hashtbl.create 16 in
+  let elem_of_var x =
+    match Hashtbl.find_opt table x with
+    | Some e -> e
+    | None ->
+        let e = Structure.fresh ~name:x s in
+        Hashtbl.replace table x e;
+        e
+  in
+  let elem_of_term = function
+    | Term.Var x -> elem_of_var x
+    | Term.Cst c -> Structure.constant s c
+  in
+  List.iter
+    (fun a ->
+      let args = Array.of_list (List.map elem_of_term (Atom.args a)) in
+      ignore (Structure.add_fact s (Fact.make (Atom.sym a) args)))
+    t.body;
+  (* make sure free variables exist even if the body has no atoms *)
+  List.iter (fun x -> ignore (elem_of_var x)) t.free;
+  (s, fun x -> Hashtbl.find_opt table x)
+
+(* The converse direction used by the paper ("for a finite structure D and
+   V ⊆ Dom(D) there is a unique CQ with D = A[Q] and free variables V"):
+   read a structure back as a query, freeing the given elements. *)
+let of_structure ?(free = []) s =
+  let term_of e =
+    match Structure.constant_name s e with
+    | Some c -> Term.Cst c
+    | None -> Term.Var (Structure.name s e)
+  in
+  let body =
+    Structure.fold_facts s
+      (fun f acc -> Atom.make (Fact.sym f) (List.map term_of (Fact.elements f)) :: acc)
+      []
+  in
+  let free =
+    List.map
+      (fun e ->
+        match Structure.constant_name s e with
+        | Some _ -> invalid_arg "Query.of_structure: constant cannot be free"
+        | None -> Structure.name s e)
+      free
+  in
+  make ~free body
+
+let compare a b =
+  let c = List.compare String.compare a.free b.free in
+  if c <> 0 then c
+  else
+    List.compare Atom.compare
+      (List.sort Atom.compare a.body)
+      (List.sort Atom.compare b.body)
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  let ex = Term.Var_set.elements (existential_vars t) in
+  Fmt.pf ppf "@[<h>(%a) <- %a%a@]"
+    (Fmt.list ~sep:Fmt.comma Fmt.string)
+    t.free
+    (fun ppf -> function
+      | [] -> Fmt.nop ppf ()
+      | ex -> Fmt.pf ppf "∃%a. " (Fmt.list ~sep:Fmt.comma Fmt.string) ex)
+    ex
+    (Fmt.list ~sep:(Fmt.any " ∧ ") Atom.pp)
+    t.body

@@ -1,0 +1,21 @@
+(* An instance of the Conjunctive Query (finite) Determinacy Problem
+   (Section I): a set Q of named view queries and a query Q0. *)
+
+type t = {
+  views : (string * Cq.Query.t) list;
+  q0 : Cq.Query.t;
+}
+
+let make ~views ~q0 =
+  if views = [] then invalid_arg "Instance.make: empty view set";
+  { views; q0 }
+
+let views t = t.views
+let q0 t = t.q0
+
+let tgds t = Tgd.Dep.t_q t.views
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>views:@,%a@,Q0: %a@]"
+    (Fmt.list ~sep:Fmt.cut (fun ppf (n, q) -> Fmt.pf ppf "  %s: %a" n Cq.Query.pp q))
+    t.views Cq.Query.pp t.q0

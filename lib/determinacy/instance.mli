@@ -1,0 +1,15 @@
+(** An instance of the Conjunctive Query (finite) Determinacy Problem
+    (Section I): named view queries Q and a query Q0. *)
+
+type t
+
+(** @raise Invalid_argument on an empty view set. *)
+val make : views:(string * Cq.Query.t) list -> q0:Cq.Query.t -> t
+
+val views : t -> (string * Cq.Query.t) list
+val q0 : t -> Cq.Query.t
+
+(** T_Q of the instance's views (Definition 3). *)
+val tgds : t -> Tgd.Dep.t list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,110 @@
+(* Determinacy solvers.
+
+   Unrestricted determinacy is r.e.: Q determines Q0 iff red(Q0) is true
+   in the single universal structure chase(T_Q, green(Q0)) (Section IV).
+   Finite determinacy is co-r.e.: non-determinacy is certified by one
+   finite two-colored structure D with D ⊨ T_Q whose green Q0-answers
+   are not all red Q0-answers (CQfDP.3).  Since the problem is
+   undecidable (Theorem 1), both procedures are necessarily bounded
+   semi-decisions. *)
+
+open Relational
+
+type verdict =
+  | Determined of Tgd.Chase.stats      (* certificate: chase proof *)
+  | Not_determined of Structure.t      (* certificate: counterexample *)
+  | Unknown of string
+
+let pp_verdict ppf = function
+  | Determined s -> Fmt.pf ppf "determined (%a)" Tgd.Chase.pp_stats s
+  | Not_determined d ->
+      Fmt.pf ppf "not determined (counterexample: %a)" Structure.pp_stats d
+  | Unknown why -> Fmt.pf ppf "unknown (%s)" why
+
+(* --- unrestricted case (Section IV, via the universal chase) ---------- *)
+
+let unrestricted ?(max_stages = 64) (inst : Instance.t) =
+  match
+    Tgd.Greenred.unrestricted_determinacy ~max_stages (Instance.views inst)
+      (Instance.q0 inst)
+  with
+  | `Determined (stats, _) -> Determined stats
+  | `Not_determined (_, d) -> Not_determined d
+  | `Unknown _ -> Unknown "chase budget exhausted"
+
+(* --- finite case ------------------------------------------------------ *)
+
+(* Certify a purported finite counterexample: D ⊨ T_Q and some green
+   Q0-answer is not a red Q0-answer. *)
+let certify_counterexample (inst : Instance.t) d =
+  Tgd.Greenred.is_finite_counterexample (Instance.views inst) (Instance.q0 inst) d
+
+(* Exhaustive search for a finite counterexample over tiny domains: every
+   two-colored structure with at most [max_elems] elements over the
+   signature of the instance.  Feasible only for small signatures (the
+   slot count is capped); the counterexamples of the classic non-determined
+   instances (e.g. P2 vs E) live at 2 elements. *)
+let signature_symbols (inst : Instance.t) =
+  let syms_of q =
+    List.map (fun a -> Symbol.dalt (Atom.sym a)) (Cq.Query.body q)
+  in
+  List.concat_map (fun (_, q) -> syms_of q) (Instance.views inst)
+  @ syms_of (Instance.q0 inst)
+  |> List.sort_uniq Symbol.compare
+
+let rec tuples n k =
+  if k = 0 then [ [] ]
+  else
+    List.concat_map
+      (fun rest -> List.init n (fun e -> e :: rest))
+      (tuples n (k - 1))
+
+let exhaustive ?(max_slots = 20) (inst : Instance.t) ~max_elems =
+  let syms = signature_symbols inst in
+  let rec try_n n =
+    if n > max_elems then None
+    else
+      let slots =
+        List.concat_map
+          (fun sym ->
+            List.concat_map
+              (fun color ->
+                List.map
+                  (fun args ->
+                    Fact.make (Symbol.paint color sym) (Array.of_list args))
+                  (tuples n (Symbol.arity sym)))
+              [ Symbol.Green; Symbol.Red ])
+          syms
+      in
+      let k = List.length slots in
+      if k > max_slots then None
+      else
+        let slots = Array.of_list slots in
+        let total = 1 lsl k in
+        let rec scan mask =
+          if mask >= total then try_n (n + 1)
+          else begin
+            let d = Structure.create () in
+            for e = 0 to n - 1 do
+              Structure.reserve d e
+            done;
+            for i = 0 to k - 1 do
+              if mask land (1 lsl i) <> 0 then ignore (Structure.add_fact d slots.(i))
+            done;
+            if certify_counterexample inst d then Some d else scan (mask + 1)
+          end
+        in
+        scan 1
+  in
+  try_n 1
+
+(* Bounded search for a finite counterexample. *)
+let finite ?(max_stages = 8) ?(max_elems = 2) (inst : Instance.t) =
+  (* A positive unrestricted verdict settles the finite case too:
+     unrestricted determinacy implies finite determinacy. *)
+  match unrestricted ~max_stages inst with
+  | Determined s -> Determined s
+  | Unknown _ | Not_determined _ -> (
+      match exhaustive inst ~max_elems with
+      | Some d -> Not_determined d
+      | None -> Unknown "no counterexample found within budget")

@@ -1,0 +1,86 @@
+(* Ehrenfeucht–Fraïssé games on finite relational structures (Section IX).
+
+   Duplicator wins the l-round game on (A, B) iff A and B agree on all
+   first-order sentences of quantifier rank l.  The solver is the direct
+   recursive definition: at each round Spoiler picks an element on either
+   side, Duplicator answers on the other; the chosen pairs (plus the
+   constants, which are implicitly pebbled) must remain a partial
+   isomorphism.  Exponential, as it must be — use on small structures. *)
+
+open Relational
+
+(* The pebbled pairs, including the implicit constant pebbles. *)
+let with_constants a b pairs =
+  List.fold_left
+    (fun acc c ->
+      match Structure.constant_opt a c, Structure.constant_opt b c with
+      | Some x, Some y -> (x, y) :: acc
+      | _ -> acc)
+    pairs (Structure.constants a)
+
+(* Is the pairing a partial isomorphism?  Functionality + injectivity +
+   preservation of all atoms whose arguments are fully pebbled, in both
+   directions. *)
+let partial_iso a b pairs =
+  let pairs = with_constants a b pairs in
+  let functional ps =
+    let tbl = Hashtbl.create 8 in
+    List.for_all
+      (fun (x, y) ->
+        match Hashtbl.find_opt tbl x with
+        | Some y' -> y = y'
+        | None ->
+            Hashtbl.replace tbl x y;
+            true)
+      ps
+  in
+  let flip ps = List.map (fun (x, y) -> (y, x)) ps in
+  let preserved src dst ps =
+    Structure.fold_facts src
+      (fun f ok ->
+        ok
+        &&
+        let args = Fact.elements f in
+        if List.for_all (fun e -> List.mem_assoc e ps) args then
+          let mapped = List.map (fun e -> List.assoc e ps) args in
+          Structure.mem dst (Fact.make (Fact.sym f) (Array.of_list mapped))
+        else true)
+      true
+  in
+  functional pairs && functional (flip pairs)
+  && preserved a b pairs
+  && preserved b a (flip pairs)
+
+(* Duplicator wins the l-round game from position [pairs]. *)
+let rec duplicator_wins ?(pairs = []) ~rounds a b =
+  if not (partial_iso a b pairs) then false
+  else if rounds = 0 then true
+  else
+    let elems_a = Structure.elems a and elems_b = Structure.elems b in
+    let answer_on side =
+      (* Spoiler plays x on [side]; Duplicator must answer on the other *)
+      let spoiler_elems, dup_elems, mk =
+        match side with
+        | `A -> (elems_a, elems_b, fun x y -> (x, y))
+        | `B -> (elems_b, elems_a, fun x y -> (y, x))
+      in
+      List.for_all
+        (fun x ->
+          List.exists
+            (fun y ->
+              duplicator_wins ~pairs:(mk x y :: pairs) ~rounds:(rounds - 1) a b)
+            dup_elems)
+        spoiler_elems
+    in
+    answer_on `A && answer_on `B
+
+let equivalent ~rounds a b = duplicator_wins ~rounds a b
+
+(* The least l ≤ max_rounds at which Spoiler wins, if any. *)
+let distinguishing_rounds ~max_rounds a b =
+  let rec go l =
+    if l > max_rounds then None
+    else if not (equivalent ~rounds:l a b) then Some l
+    else go (l + 1)
+  in
+  go 0

@@ -1,0 +1,19 @@
+(** Ehrenfeucht–Fraïssé games on finite structures (Section IX):
+    Duplicator wins the l-round game on (A, B) iff A and B agree on every
+    FO sentence of quantifier rank l.  Constants are implicitly pebbled.
+    The solver is the direct recursive definition — exponential, for small
+    structures. *)
+
+open Relational
+
+(** Is the pairing (plus constants) a partial isomorphism? *)
+val partial_iso : Structure.t -> Structure.t -> (int * int) list -> bool
+
+(** Does Duplicator win the [rounds]-round game from the position? *)
+val duplicator_wins : ?pairs:(int * int) list -> rounds:int -> Structure.t -> Structure.t -> bool
+
+(** ≡_l equivalence. *)
+val equivalent : rounds:int -> Structure.t -> Structure.t -> bool
+
+(** The least l ≤ max_rounds at which Spoiler wins, if any. *)
+val distinguishing_rounds : max_rounds:int -> Structure.t -> Structure.t -> int option

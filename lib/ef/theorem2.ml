@@ -1,0 +1,134 @@
+(* The structures of Theorem 2 (Section IX): Q∞ = Compile(Precompile(T∞))
+   and the FO-indistinguishable pair D_y / D_n.
+
+   Grace watches dalt(chase_i(T_Q∞, I) ↾ G), Ruby watches the daltonised
+   red fragment; D_y and D_n pad these with i copies of the "late"
+   fragments chase^L_{2i} of both colors (Section IX.B).  D_y contains a
+   copy of dalt(I) (the seed spider is wholly green); D_n does not —
+   every red spider of the chase has at least one inherited green calf,
+   which the ↾R restriction removes.
+
+   The paper's abstraction: answering the views of Q∞, the two girls see
+   collections of long path-like shadows differing only at far-apart
+   ends, so no fixed-quantifier-rank sentence over the views separates
+   them once i is large.  [views] computes the view structures and
+   [Game.equivalent] plays the game on them. *)
+
+open Relational
+
+type t = {
+  ctx : Spider.Ctx.t;
+  queries : (string * Cq.Query.t) list;
+  tgds : Tgd.Dep.t list;
+  q0 : Cq.Query.t; (* ∃* dalt(I) *)
+}
+
+(* Q∞ with the paper's query names (Section IX.A): Precompile numbers
+   T∞'s three rules 2, 3, 4, giving lower indices (5,6), (7,8), (9,10). *)
+let q_infinity () =
+  let p = Greengraph.Precompile.to_level0 Separating.Tinf.rules in
+  let names =
+    [ "base1"; "base2"; "base3"; "IA"; "IB"; "IIA"; "IIB"; "IIIA"; "IIIB" ]
+  in
+  let queries =
+    List.map2
+      (fun name (_, q) -> (name, q))
+      names p.Greengraph.Precompile.queries
+  in
+  {
+    ctx = p.Greengraph.Precompile.ctx;
+    queries;
+    tgds = p.Greengraph.Precompile.tgds;
+    q0 =
+      Cq.Query.close
+        (Spider.Query.to_cq p.Greengraph.Precompile.ctx (Spider.Query.f ()));
+  }
+
+(* The seed: a full green spider whose tail and antenna are the constants
+   a and b (Section IX treats a, b as constants belonging to all copies). *)
+let seed t =
+  let st = Structure.create () in
+  let a = Structure.constant st "a" and b = Structure.constant st "b" in
+  ignore (Spider.Real.realize t.ctx st ~tail:a ~antenna:b Spider.Ideal.full_green);
+  st
+
+(* chase_i(T_Q∞, I). *)
+let chase_i t i =
+  let st = seed t in
+  let _ = Tgd.Chase.run ~max_stages:i t.tgds st in
+  st
+
+(* The late fragment chase^L_{2i}: atoms added at stages i+1 .. 2i,
+   together with the elements involved (constants survive). *)
+let late_fragment t i =
+  let st = chase_i t (2 * i) in
+  Structure.filter
+    (fun f ->
+      match Structure.fact_stage st f with
+      | Some stage -> stage > i
+      | None -> false)
+    st
+
+(* One girl's fragment: restrict to a color, then daltonise. *)
+let shadow color st = Structure.dalt (Structure.restrict_color color st)
+
+(* The H_7 / H_9 shadows Ruby needs at (a, b) (Section IX.B, last
+   paragraph): the red fragments of real spiders H_7 and H_9 anchored at
+   the constants. *)
+let ruby_patch t =
+  let st = Structure.create () in
+  let a = Structure.constant st "a" and b = Structure.constant st "b" in
+  ignore (Spider.Real.realize t.ctx st ~tail:a ~antenna:b (Spider.Ideal.red ~lower:7 ()));
+  ignore (Spider.Real.realize t.ctx st ~tail:a ~antenna:b (Spider.Ideal.red ~lower:9 ()));
+  shadow Symbol.Red st
+
+(* D_y and D_n (Section IX.B): [i] controls the chase depth, [copies] the
+   number of late-fragment copies (the paper takes copies = i). *)
+let d_pair t ~i ~copies =
+  let main = chase_i t i in
+  let late = late_fragment t i in
+  let late_g = shadow Symbol.Green late and late_r = shadow Symbol.Red late in
+  let pad = List.concat_map (fun g -> List.init copies (fun _ -> g)) [ late_g; late_r ] in
+  let d_y, _ = Structure.disjoint_union (shadow Symbol.Green main :: pad) in
+  let d_n, _ =
+    Structure.disjoint_union ((shadow Symbol.Red main :: ruby_patch t :: pad))
+  in
+  (d_y, d_n)
+
+(* The views Q∞(D) as one relational structure (Section I.B). *)
+let views t d = Cq.Eval.view_structure t.queries d
+
+(* Section IX.A, "Attempt 1": what Grace and Ruby see on the two color
+   fragments of one chase prefix.  The paper observes the two view
+   structures "will always differ by just one atom" — the last firing's
+   unbalanced production.  [attempt1] returns both views and the size of
+   their symmetric difference, letting tests and benches track it. *)
+let attempt1 t i =
+  let st = chase_i t i in
+  let v_g = views t (shadow Symbol.Green st) in
+  let v_n = views t (shadow Symbol.Red st) in
+  let diff a b =
+    Structure.fold_facts a
+      (fun f acc -> if Structure.mem b f then acc else f :: acc)
+      []
+  in
+  let only_g = diff v_g v_n and only_r = diff v_n v_g in
+  (v_g, v_n, List.length only_g + List.length only_r)
+
+(* The headline data of Theorem 2 at chase depth [i]: Q0 separates D_y
+   from D_n, while the l-round EF game on the views does not, for l up to
+   the reported bound. *)
+type report = {
+  q0_on_dy : bool;
+  q0_on_dn : bool;
+  view_distinguishing_rounds : int option;
+}
+
+let report ?(max_rounds = 2) t ~i ~copies =
+  let d_y, d_n = d_pair t ~i ~copies in
+  let v_y = views t d_y and v_n = views t d_n in
+  {
+    q0_on_dy = Cq.Eval.holds t.q0 d_y;
+    q0_on_dn = Cq.Eval.holds t.q0 d_n;
+    view_distinguishing_rounds = Game.distinguishing_rounds ~max_rounds v_y v_n;
+  }

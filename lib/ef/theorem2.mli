@@ -1,0 +1,48 @@
+(** The structures of Theorem 2 (Section IX): Q∞ = Compile(Precompile(T∞))
+    and the pair D_y / D_n — Q0 = ∃*dalt(I) separates them, their Q∞-views
+    do not (at any fixed FO quantifier rank, once the scale is large). *)
+
+open Relational
+
+type t = {
+  ctx : Spider.Ctx.t;
+  queries : (string * Cq.Query.t) list;  (** Q∞, named as in §IX.A *)
+  tgds : Tgd.Dep.t list;
+  q0 : Cq.Query.t;                        (** ∃* dalt(I) *)
+}
+
+val q_infinity : unit -> t
+
+(** The seed: a full green spider between the constants a and b. *)
+val seed : t -> Structure.t
+
+(** chase_i(T_Q∞, I). *)
+val chase_i : t -> int -> Structure.t
+
+(** The late fragment chase^L_{2i}: atoms added at stages i+1..2i. *)
+val late_fragment : t -> int -> Structure.t
+
+(** Restrict to a color, then daltonise — what one girl sees. *)
+val shadow : Symbol.color -> Structure.t -> Structure.t
+
+(** The H_7/H_9 shadows Ruby needs at (a,b) (§IX.B, last paragraph). *)
+val ruby_patch : t -> Structure.t
+
+(** D_y and D_n at chase depth [i] with [copies] late-fragment copies. *)
+val d_pair : t -> i:int -> copies:int -> Structure.t * Structure.t
+
+(** The views Q∞(D) as one structure (Section I.B). *)
+val views : t -> Structure.t -> Structure.t
+
+(** Section IX.A's "Attempt 1": the views of the green and red fragments
+    of one chase prefix, plus the size of their symmetric difference (the
+    paper: "differ by just one atom"). *)
+val attempt1 : t -> int -> Structure.t * Structure.t * int
+
+type report = {
+  q0_on_dy : bool;
+  q0_on_dn : bool;
+  view_distinguishing_rounds : int option;
+}
+
+val report : ?max_rounds:int -> t -> i:int -> copies:int -> report

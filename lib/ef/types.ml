@@ -1,0 +1,80 @@
+(* Rank-l types: an independent decision procedure for ≡_l.
+
+   The rank-l type of a tuple ā in A is its atomic type together with the
+   set of rank-(l-1) types of its one-point extensions; A ≡_l B iff the
+   empty tuples have equal rank-l types — equivalently, iff A and B
+   realize the same set of rank-(l-1) 1-tuple types, recursively.  This is
+   the classic Hintikka/Fraïssé characterization and serves as a
+   cross-check of the game solver in Game. *)
+
+open Relational
+
+(* The atomic type of a pebble sequence: equalities among pebbles and
+   constants, plus all facts over pebbled elements, with elements replaced
+   by pebble indices.  Constants are implicitly pebbled first (in sorted
+   name order) so that they must correspond. *)
+let atomic_type st pebbles =
+  let consts =
+    List.sort compare (Structure.constants st)
+    |> List.filter_map (Structure.constant_opt st)
+  in
+  let pebbles = consts @ pebbles in
+  let index_of e =
+    let rec go i = function
+      | [] -> None
+      | x :: rest -> if x = e then Some i else go (i + 1) rest
+    in
+    go 0 pebbles
+  in
+  let equalities =
+    List.concat_map
+      (fun (i, x) ->
+        List.filter_map
+          (fun (j, y) -> if i < j && x = y then Some (i, j) else None)
+          (List.mapi (fun j y -> (j, y)) pebbles))
+      (List.mapi (fun i x -> (i, x)) pebbles)
+  in
+  let facts =
+    Structure.fold_facts st
+      (fun f acc ->
+        match
+          List.fold_right
+            (fun e acc ->
+              match acc, index_of e with
+              | Some rest, Some i -> Some (i :: rest)
+              | _ -> None)
+            (Fact.elements f) (Some [])
+        with
+        | Some idxs -> (Fmt.str "%a" Symbol.pp (Fact.sym f), idxs) :: acc
+        | None -> acc)
+      []
+    |> List.sort compare
+  in
+  (List.sort compare equalities, facts)
+
+(* The rank-l type, as a canonical (comparable) tree. *)
+type t =
+  | T of ((int * int) list * (string * int list) list) * t list
+
+let rec rank_type st ~rank pebbles =
+  let atomic = atomic_type st pebbles in
+  if rank = 0 then T (atomic, [])
+  else
+    let extensions =
+      List.map (fun e -> rank_type st ~rank:(rank - 1) (pebbles @ [ e ]))
+        (List.sort compare (Structure.elems st))
+      |> List.sort_uniq compare
+    in
+    T (atomic, extensions)
+
+(* A ≡_l B via type equality of the empty tuple. *)
+let equivalent ~rank a b =
+  rank_type a ~rank [] = rank_type b ~rank []
+
+let distinguishing_rank ~max_rank a b =
+  let rec go l =
+    if l > max_rank then None
+    else if not (equivalent ~rank:l a b) then Some l
+    else go (l + 1)
+  in
+  go 0

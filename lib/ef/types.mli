@@ -1,0 +1,22 @@
+(** Rank-l (Hintikka) types: an independent decision procedure for ≡_l,
+    cross-checking the game solver of {!Game}.  A ≡_l B iff the empty
+    tuples have equal rank-l types. *)
+
+open Relational
+
+(** The atomic type of a pebble sequence (constants implicitly pebbled):
+    pebble equalities and all fully-pebbled facts, by pebble index. *)
+val atomic_type :
+  Structure.t -> int list -> (int * int) list * (string * int list) list
+
+(** Canonical rank-l types: atomic type plus the set of types of the
+    one-point extensions. *)
+type t = T of ((int * int) list * (string * int list) list) * t list
+
+(** The canonical rank-l type of a pebble sequence. *)
+val rank_type : Structure.t -> rank:int -> int list -> t
+
+(** ≡_l via type equality. *)
+val equivalent : rank:int -> Structure.t -> Structure.t -> bool
+
+val distinguishing_rank : max_rank:int -> Structure.t -> Structure.t -> int option

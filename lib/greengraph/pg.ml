@@ -1,0 +1,80 @@
+(* Parity Glasses and the word language of a green graph
+   (Definitions 15 and 16).
+
+   PG(M) removes the ∅-labelled edges and reverses the edges with odd
+   labels; words(M) collects the words of paths(PG(M), a, a) and
+   paths(PG(M), a, b), where a word belongs to paths(·, s, t) iff the
+   graph, read as an NFA with initial state s and accepting state t,
+   accepts it but accepts none of its nonempty proper prefixes. *)
+
+type arrow = { lab : int; src : int; dst : int }
+
+(* The PG view: reversal of odd edges, ∅ edges dropped. *)
+let arrows g =
+  List.filter_map
+    (fun (e : Graph.edge) ->
+      match e.Graph.label with
+      | None -> None
+      | Some i ->
+          if i mod 2 = 1 then Some { lab = i; src = e.Graph.dst; dst = e.Graph.src }
+          else Some { lab = i; src = e.Graph.src; dst = e.Graph.dst })
+    (Graph.edges g)
+
+(* NFA subset step over the PG view. *)
+let step_states arrows states lab =
+  List.filter_map
+    (fun ar -> if ar.lab = lab && List.mem ar.src states then Some ar.dst else None)
+    arrows
+  |> List.sort_uniq compare
+
+(* Does [word] belong to paths(PG(g), s, t)? *)
+let in_paths g ~s ~t word =
+  let ars = arrows g in
+  let rec go states = function
+    | [] -> states = [] |> not && List.mem t states
+    | lab :: rest ->
+        (* a nonempty proper prefix must not be accepted *)
+        let states' = step_states ars states lab in
+        if states' = [] then false
+        else if rest <> [] && List.mem t states' then false
+        else go states' rest
+  in
+  match word with [] -> false | _ -> go [ s ] word
+
+(* Membership in words(g) (Definition 16) for a graph containing D_I. *)
+let in_words g ~a ~b word = in_paths g ~s:a ~t:a word || in_paths g ~s:a ~t:b word
+
+(* Bounded enumeration of words(g): depth-first over concrete PG paths
+   from [a], filtered through [in_words] for the prefix condition. *)
+let words_upto g ~a ~b ~max_len =
+  let ars = arrows g in
+  let out = Hashtbl.create 64 in
+  let rec dfs v word len =
+    if len > 0 && (v = a || v = b) then begin
+      let w = List.rev word in
+      if (not (Hashtbl.mem out w)) && in_words g ~a ~b w then
+        Hashtbl.replace out w ()
+    end;
+    if len < max_len then
+      List.iter
+        (fun ar -> if ar.src = v then dfs ar.dst (ar.lab :: word) (len + 1))
+        ars
+  in
+  dfs a [] 0;
+  Hashtbl.fold (fun w () acc -> w :: acc) out []
+
+(* αβ-paths (Section VII): words of the form α(β1β0)^k, given the integer
+   codes of α, β0 and β1. *)
+let is_alpha_beta_word ~alpha ~beta0 ~beta1 word =
+  match word with
+  | a :: rest when a = alpha ->
+      let rec go expect_beta1 = function
+        | [] -> true
+        | x :: rest ->
+            x = (if expect_beta1 then beta1 else beta0)
+            && go (not expect_beta1) rest
+      in
+      go true rest
+  | _ -> false
+
+let pp_word ppf w = Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any ".") Fmt.int) w

@@ -1,0 +1,27 @@
+(** Parity Glasses and the word language of a green graph
+    (Definitions 15–16): PG(M) drops ∅-edges and reverses odd-labelled
+    ones; [words(M)] collects the words of paths(PG(M), a, a) ∪
+    paths(PG(M), a, b), where a word counts only if no nonempty proper
+    prefix already reaches the target. *)
+
+type arrow = { lab : int; src : int; dst : int }
+
+(** The PG view of the graph's edges. *)
+val arrows : Graph.t -> arrow list
+
+(** NFA subset step over the PG view. *)
+val step_states : arrow list -> int list -> int -> int list
+
+(** [in_paths g ~s ~t w]: w ∈ paths(PG(g), s, t)? *)
+val in_paths : Graph.t -> s:int -> t:int -> int list -> bool
+
+(** Membership in words(g) (Definition 16). *)
+val in_words : Graph.t -> a:int -> b:int -> int list -> bool
+
+(** Bounded enumeration of words(g). *)
+val words_upto : Graph.t -> a:int -> b:int -> max_len:int -> int list list
+
+(** Words of the shape α(β1β0)^k, given the label codes. *)
+val is_alpha_beta_word : alpha:int -> beta0:int -> beta1:int -> int list -> bool
+
+val pp_word : Format.formatter -> int list -> unit

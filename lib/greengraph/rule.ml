@@ -1,0 +1,140 @@
+(* Green-graph rewriting rules — the set L₂ of Section VI.
+
+   I1 &·· I2 ] I3 &·· I4 is the equivalence
+     ∀x,x' [∃y H(I1,x,y) ∧ H(I2,x',y)] ⇔ [∃y H(I3,x,y) ∧ H(I4,x',y)]
+   and I1 /·· I2 ] I3 /·· I4 the same with shared sources.  The paper
+   requires I1 ≠ I3 and I2 ≠ I4 and that labels 3, 4 never occur. *)
+
+type conn = Amp | Slash
+
+type t = {
+  conn : conn;
+  l1 : Label.t;
+  l2 : Label.t;  (* left-hand side pair *)
+  r1 : Label.t;
+  r2 : Label.t;  (* right-hand side pair *)
+  name : string;
+}
+
+let make ?(name = "") ?(check = true) conn (l1, l2) (r1, r2) =
+  if check then begin
+    List.iter Label.check_user [ l1; l2; r1; r2 ];
+    if Label.equal l1 r1 || Label.equal l2 r2 then
+      invalid_arg "Greengraph.Rule.make: requires I1 ≠ I3 and I2 ≠ I4"
+  end;
+  { conn; l1; l2; r1; r2; name }
+
+let amp ?name (l1, l2) (r1, r2) = make ?name Amp (l1, l2) (r1, r2)
+let slash ?name (l1, l2) (r1, r2) = make ?name Slash (l1, l2) (r1, r2)
+
+let pp ppf t =
+  let c = match t.conn with Amp -> "&··" | Slash -> "/··" in
+  Fmt.pf ppf "%s%a %s %a ] %a %s %a"
+    (if t.name = "" then "" else t.name ^ ": ")
+    Label.pp t.l1 c Label.pp t.l2 Label.pp t.r1 c Label.pp t.r2
+
+(* --- semantics -------------------------------------------------------- *)
+
+let shared_of conn (e : Graph.edge) =
+  match conn with Amp -> e.Graph.dst | Slash -> e.Graph.src
+
+let free_of conn (e : Graph.edge) =
+  match conn with Amp -> e.Graph.src | Slash -> e.Graph.dst
+
+(* The edges with a given free endpoint (the shared-endpoint candidates
+   follow from the connector). *)
+let edges_at_free g conn x =
+  match conn with Amp -> Graph.out_edges g x | Slash -> Graph.in_edges g x
+
+let edges_at_shared g conn y =
+  match conn with Amp -> Graph.in_edges g y | Slash -> Graph.out_edges g y
+
+(* A pair (x, x') matching labels (a, b) under [conn]: the two edges share
+   their joint endpoint. *)
+let pair_present g conn (a, b) (x, x') =
+  List.exists
+    (fun (e1 : Graph.edge) ->
+      Label.equal e1.Graph.label a
+      && List.exists
+           (fun (e2 : Graph.edge) ->
+             Label.equal e2.Graph.label b && free_of conn e2 = x')
+           (edges_at_shared g conn (shared_of conn e1)))
+    (edges_at_free g conn x)
+
+(* Active triggers of one direction: lhs pair present at (x,x'), rhs pair
+   absent.  Each rule is an equivalence, so [triggers] covers both
+   directions. *)
+let directed_triggers g conn (a, b) (c, d) =
+  let hits = ref [] in
+  List.iter
+    (fun (e1 : Graph.edge) ->
+      List.iter
+        (fun (e2 : Graph.edge) ->
+          if Label.equal e2.Graph.label b then begin
+            let x = free_of conn e1 and x' = free_of conn e2 in
+            if not (pair_present g conn (c, d) (x, x')) then
+              hits := ((c, x), (d, x')) :: !hits
+          end)
+        (edges_at_shared g conn (shared_of conn e1)))
+    (Graph.with_label g a);
+  List.rev !hits
+
+let triggers rule g =
+  directed_triggers g rule.conn (rule.l1, rule.l2) (rule.r1, rule.r2)
+  @ directed_triggers g rule.conn (rule.r1, rule.r2) (rule.l1, rule.l2)
+
+let fire rule g ((c, x), (d, x')) =
+  let v = Graph.fresh g in
+  match rule.conn with
+  | Amp ->
+      ignore (Graph.add_edge g c x v);
+      ignore (Graph.add_edge g d x' v)
+  | Slash ->
+      ignore (Graph.add_edge g c v x);
+      ignore (Graph.add_edge g d v x')
+
+let models rules g = List.for_all (fun r -> triggers r g = []) rules
+
+let find_violation rules g =
+  List.find_map
+    (fun r -> match triggers r g with [] -> None | t :: _ -> Some (r, t))
+    rules
+
+type stats = { stages : int; applications : int; fixpoint : bool }
+
+let chase ?(max_stages = max_int) ?(stop = fun _ -> false) rules g =
+  let applications = ref 0 in
+  let rec go i =
+    if i > max_stages then
+      { stages = i - 1; applications = !applications; fixpoint = false }
+    else begin
+      (* collect all triggers against the stage-start graph, then fire
+         those still active (mirroring the chase of Section II.C) *)
+      let collected =
+        List.concat_map (fun rule -> List.map (fun t -> (rule, t)) (triggers rule g)) rules
+      in
+      let fired = ref 0 in
+      List.iter
+        (fun (rule, ((c, x), (d, x'))) ->
+          if not (pair_present g rule.conn (c, d) (x, x')) then begin
+            fire rule g ((c, x), (d, x'));
+            incr fired
+          end)
+        collected;
+      applications := !applications + !fired;
+      if !fired = 0 then
+        { stages = i; applications = !applications; fixpoint = true }
+      else if stop g then
+        { stages = i; applications = !applications; fixpoint = false }
+      else go (i + 1)
+    end
+  in
+  go 1
+
+(* Definition 11 for L₂, bounded: chase D_I and watch for a 1-2 pattern. *)
+let leads_to_red_spider ?(max_stages = 16) rules =
+  let g, _, _ = Graph.d_i () in
+  let stats = chase ~max_stages ~stop:Graph.has_12_pattern rules g in
+  if Graph.has_12_pattern g then `Leads (stats, g)
+  else if stats.fixpoint then `Does_not_lead (stats, g)
+  else `Unknown (stats, g)

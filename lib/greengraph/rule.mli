@@ -1,0 +1,64 @@
+(** Green-graph rewriting rules — the set L₂ of Section VI — and their
+    chase.  [I1 &·· I2 ] I3 &·· I4] is the equivalence
+    [∀x,x' (∃y H(I1,x,y) ∧ H(I2,x',y)) ⇔ (∃y H(I3,x,y) ∧ H(I4,x',y))];
+    [/··] shares sources instead. *)
+
+type conn = Amp | Slash
+
+type t = {
+  conn : conn;
+  l1 : Label.t;
+  l2 : Label.t;
+  r1 : Label.t;
+  r2 : Label.t;
+  name : string;
+}
+
+(** @raise Invalid_argument on reserved labels or I1 = I3 / I2 = I4
+    (unless [check:false]). *)
+val make : ?name:string -> ?check:bool -> conn -> Label.t * Label.t -> Label.t * Label.t -> t
+
+val amp : ?name:string -> Label.t * Label.t -> Label.t * Label.t -> t
+val slash : ?name:string -> Label.t * Label.t -> Label.t * Label.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Semantics} *)
+
+val shared_of : conn -> Graph.edge -> int
+val free_of : conn -> Graph.edge -> int
+
+(** Is a pair of edges with the given labels anchored at (x, x')
+    present? *)
+val pair_present : Graph.t -> conn -> Label.t * Label.t -> int * int -> bool
+
+(** Active triggers of one direction: lhs pair present, rhs pair absent. *)
+val directed_triggers :
+  Graph.t ->
+  conn ->
+  Label.t * Label.t ->
+  Label.t * Label.t ->
+  ((Label.t * int) * (Label.t * int)) list
+
+(** Both directions of the equivalence. *)
+val triggers : t -> Graph.t -> ((Label.t * int) * (Label.t * int)) list
+
+val fire : t -> Graph.t -> (Label.t * int) * (Label.t * int) -> unit
+
+val models : t list -> Graph.t -> bool
+
+val find_violation :
+  t list -> Graph.t -> (t * ((Label.t * int) * (Label.t * int))) option
+
+type stats = { stages : int; applications : int; fixpoint : bool }
+
+val chase : ?max_stages:int -> ?stop:(Graph.t -> bool) -> t list -> Graph.t -> stats
+
+(** Definition 11 for L₂, bounded: chase D_I and watch for the 1-2
+    pattern. *)
+val leads_to_red_spider :
+  ?max_stages:int ->
+  t list ->
+  [ `Leads of stats * Graph.t
+  | `Does_not_lead of stats * Graph.t
+  | `Unknown of stats * Graph.t ]

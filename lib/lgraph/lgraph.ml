@@ -1,0 +1,165 @@
+(* Edge-labelled directed multigraphs with edge deduplication and endpoint
+   indices.  Swarms (edges labelled by ideal spiders) and green graphs
+   (edges labelled by S̄) are both instances. *)
+
+module type LABEL = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (Label : LABEL) = struct
+  type edge = { label : Label.t; src : int; dst : int }
+
+  let edge_compare (a : edge) (b : edge) =
+    let c = Label.compare a.label b.label in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.src b.src in
+      if c <> 0 then c else Int.compare a.dst b.dst
+
+  module Edge_set = Set.Make (struct
+    type t = edge
+    let compare = edge_compare
+  end)
+
+  module Label_key = struct
+    type t = Label.t
+    let equal a b = Label.compare a b = 0
+    let hash = Hashtbl.hash
+  end
+
+  module Label_tbl = Hashtbl.Make (Label_key)
+
+  type t = {
+    mutable next : int;
+    mutable edges : Edge_set.t;
+    by_src : (int, edge list ref) Hashtbl.t;
+    by_dst : (int, edge list ref) Hashtbl.t;
+    by_label : edge list ref Label_tbl.t;
+    names : (int, string) Hashtbl.t;
+    mutable vertices : (int, unit) Hashtbl.t;
+  }
+
+  let create () =
+    {
+      next = 0;
+      edges = Edge_set.empty;
+      by_src = Hashtbl.create 64;
+      by_dst = Hashtbl.create 64;
+      by_label = Label_tbl.create 32;
+      names = Hashtbl.create 16;
+      vertices = Hashtbl.create 64;
+    }
+
+  let register t v =
+    if not (Hashtbl.mem t.vertices v) then Hashtbl.replace t.vertices v ();
+    if v >= t.next then t.next <- v + 1
+
+  let fresh ?name t =
+    let v = t.next in
+    t.next <- v + 1;
+    Hashtbl.replace t.vertices v ();
+    (match name with Some n -> Hashtbl.replace t.names v n | None -> ());
+    v
+
+  let name t v =
+    match Hashtbl.find_opt t.names v with
+    | Some n -> n
+    | None -> string_of_int v
+
+  let set_name t v n = Hashtbl.replace t.names v n
+
+  let mem_edge t e = Edge_set.mem e t.edges
+
+  let add_edge t label src dst =
+    let e = { label; src; dst } in
+    if Edge_set.mem e t.edges then false
+    else begin
+      t.edges <- Edge_set.add e t.edges;
+      register t src;
+      register t dst;
+      let push tbl k =
+        let r =
+          match Hashtbl.find_opt tbl k with
+          | Some r -> r
+          | None ->
+              let r = ref [] in
+              Hashtbl.replace tbl k r;
+              r
+        in
+        r := e :: !r
+      in
+      push t.by_src src;
+      push t.by_dst dst;
+      let r =
+        match Label_tbl.find_opt t.by_label label with
+        | Some r -> r
+        | None ->
+            let r = ref [] in
+            Label_tbl.replace t.by_label label r;
+            r
+      in
+      r := e :: !r;
+      true
+    end
+
+  let edges t = Edge_set.elements t.edges
+  let size t = Edge_set.cardinal t.edges
+  let order t = Hashtbl.length t.vertices
+  let vertices t = Hashtbl.fold (fun v () acc -> v :: acc) t.vertices []
+
+  let out_edges t v =
+    match Hashtbl.find_opt t.by_src v with Some r -> !r | None -> []
+
+  let in_edges t v =
+    match Hashtbl.find_opt t.by_dst v with Some r -> !r | None -> []
+
+  let exists_edge t p = Edge_set.exists p t.edges
+  let find_edges t p = List.filter p (edges t)
+
+  let with_label t label =
+    match Label_tbl.find_opt t.by_label label with Some r -> !r | None -> []
+
+  let iter_edges t f = Edge_set.iter f t.edges
+
+  let copy t =
+    let u = create () in
+    u.next <- t.next;
+    Hashtbl.iter (fun v () -> Hashtbl.replace u.vertices v ()) t.vertices;
+    Hashtbl.iter (fun v n -> Hashtbl.replace u.names v n) t.names;
+    iter_edges t (fun e -> ignore (add_edge u e.label e.src e.dst));
+    u
+
+  let equal a b = Edge_set.equal a.edges b.edges
+
+  (* Quotient: rename every vertex through [f], merging those that share
+     an image (used to fold chase prefixes into finite-model candidates). *)
+  let map_vertices f t =
+    let u = create () in
+    Hashtbl.iter (fun v () -> register u (f v)) t.vertices;
+    Hashtbl.iter
+      (fun v n -> if f v = v then Hashtbl.replace u.names v n)
+      t.names;
+    iter_edges t (fun e -> ignore (add_edge u e.label (f e.src) (f e.dst)));
+    u
+
+  let pp ppf t =
+    let pp_edge ppf e =
+      Fmt.pf ppf "%a(%s→%s)" Label.pp e.label (name t e.src) (name t e.dst)
+    in
+    Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_edge) (edges t)
+
+  (* Graphviz export, for inspecting chases and grids visually.
+     [edge_color] may map a label to a DOT color name. *)
+  let pp_dot ?(edge_color = fun _ -> "black") ppf t =
+    Fmt.pf ppf "digraph g {@.";
+    List.iter
+      (fun v -> Fmt.pf ppf "  n%d [label=\"%s\"];@." v (name t v))
+      (List.sort compare (vertices t));
+    iter_edges t (fun e ->
+        Fmt.pf ppf "  n%d -> n%d [label=\"%a\", color=%s];@." e.src e.dst
+          Label.pp e.label (edge_color e.label));
+    Fmt.pf ppf "}@."
+end

@@ -1,0 +1,76 @@
+(* Backward analysis of rainworm machines (Lemmas 22 and 23).
+
+   Lemma 22: (2) at most one forward step from any word with one state
+   symbol; (3) at most c_M backward steps into it.  Lemma 23: when the
+   machine terminates in u_M after k_M steps, the set {w : w ⤳* u_M} is
+   finite and equals {w : w ⤳*! αη11} — "to reach any vertex of a tree
+   from a leaf, it is enough to go up to the root and then down". *)
+
+(* All predecessors of [w] under the machine's instructions: occurrences
+   of a rule's rhs in [w], replaced by its lhs. *)
+let predecessors machine (w : Config.t) =
+  let rec strip_prefix p rest =
+    match p, rest with
+    | [], rest -> Some rest
+    | x :: p', y :: rest' -> if Sym.equal x y then strip_prefix p' rest' else None
+    | _ :: _, [] -> None
+  in
+  let preds = ref [] in
+  List.iter
+    (fun instr ->
+      let lhs = Instruction.lhs instr and rhs = Instruction.rhs instr in
+      let rec at before rest =
+        (match strip_prefix rhs rest with
+        | Some tail ->
+            let p = List.rev_append before (lhs @ tail) in
+            if not (List.mem p !preds) then preds := p :: !preds
+        | None -> ());
+        match rest with [] -> () | x :: rest' -> at (x :: before) rest'
+      in
+      at [] w)
+    (Machine.rules machine);
+  List.rev !preds
+
+(* The constant c_M of Lemma 22(3): an upper bound on the number of
+   predecessors of any word — one per (rule, occurrence), and since the
+   rhs contains the state symbol, at most one occurrence per rule. *)
+let c_m machine = Machine.size machine
+
+(* Backward closure from a configuration, bounded: the set
+   {w : w ⤳^{≤depth} u}. *)
+let backward_closure ?(max_size = 100_000) ~depth machine u =
+  let seen = Hashtbl.create 256 in
+  Hashtbl.replace seen u ();
+  let frontier = ref [ u ] in
+  (try
+     for _ = 1 to depth do
+       let next = ref [] in
+       List.iter
+         (fun w ->
+           List.iter
+             (fun p ->
+               if not (Hashtbl.mem seen p) then begin
+                 Hashtbl.replace seen p ();
+                 if Hashtbl.length seen > max_size then raise Exit;
+                 next := p :: !next
+               end)
+             (predecessors machine w))
+         !frontier;
+       frontier := !next;
+       if !next = [] then raise Exit
+     done
+   with Exit -> ());
+  Hashtbl.fold (fun w () acc -> w :: acc) seen []
+
+(* For a halting machine: (final configuration, steps, the full set
+   {w : w ⤳* u_M}).  The closure is finite (Lemma 23(4)); [None] if the
+   machine does not halt within the budget. *)
+let halting_analysis ?(max_steps = 50_000) machine =
+  let trace = Sim.creep_machine ~max_steps machine in
+  match trace.Sim.outcome with
+  | Sim.Running _ -> None
+  | Sim.Halted u_m ->
+      let closure =
+        backward_closure ~depth:(trace.Sim.steps + 1) machine u_m
+      in
+      Some (u_m, trace.Sim.steps, closure)

@@ -1,0 +1,16 @@
+(** Backward analysis of rainworm machines (Lemmas 22 and 23): bounded
+    predecessor fan-in and the finite backward closure of a halting
+    machine's final configuration. *)
+
+(** All one-step predecessors: rhs occurrences replaced by the lhs. *)
+val predecessors : Machine.t -> Config.t -> Config.t list
+
+(** Lemma 22(3)'s constant c_M: an upper bound on predecessor fan-in. *)
+val c_m : Machine.t -> int
+
+(** The set {w : w ⤳^{≤depth} u}, capped at [max_size] words. *)
+val backward_closure : ?max_size:int -> depth:int -> Machine.t -> Config.t -> Config.t list
+
+(** For a halting machine: (u_M, k_M, {w : w ⤳* u_M}); [None] if it does
+    not halt within the budget. *)
+val halting_analysis : ?max_steps:int -> Machine.t -> (Config.t * int * Config.t list) option

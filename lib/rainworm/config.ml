@@ -1,0 +1,84 @@
+(* Rainworm configurations (Definition 19): words from (A + Q)* subject to
+   the four structural conditions.  The initial configuration is α·η11. *)
+
+type t = Sym.t list
+
+let initial : t = [ Sym.Alpha; Sym.Eta11 ]
+
+let pp = Sym.pp_word
+
+(* Condition 1: w ∈ A+ Q A* — exactly one state symbol, after at least one
+   letter. *)
+let cond1 (w : t) =
+  match w with
+  | [] -> false
+  | first :: _ ->
+      Sym.is_letter first
+      && (let states = List.filter Sym.is_state w in
+          List.length states = 1)
+
+(* Condition 2: the last symbol is one of η11, η0, η1, ω0. *)
+let cond2 (w : t) =
+  match List.rev w with
+  | last :: _ -> (
+      match last with
+      | Sym.Eta11 | Sym.Eta0 | Sym.Eta1 | Sym.Omega0 -> true
+      | _ -> false)
+  | [] -> false
+
+(* Condition 3: odd and even symbols alternate. *)
+let cond3 (w : t) =
+  match w with
+  | [] -> true
+  | x :: rest ->
+      fst
+        (List.fold_left
+           (fun (ok, prev) s -> (ok && Sym.is_even s <> Sym.is_even prev, s))
+           (true, x) rest)
+
+(* Condition 4: w = w1 · w2 with w1 ∈ α(β1β0)* or α(β1β0)*β1 (the slime
+   trail), w2 beginning with γ0, γ1 or a Qγ state (the rainworm), and no
+   α/β in w2.  We also accept the degenerate initial tail η11 (the paper's
+   initial configuration α·η11 precedes the first γ). *)
+let split_slime (w : t) =
+  match w with
+  | Sym.Alpha :: rest ->
+      (* consume the maximal α(β1β0)*(β1?) prefix *)
+      let rec go acc rest =
+        match rest with
+        | Sym.Beta1 :: Sym.Beta0 :: rest' ->
+            go (Sym.Beta0 :: Sym.Beta1 :: acc) rest'
+        | Sym.Beta1 :: rest' -> (List.rev (Sym.Beta1 :: acc), rest')
+        | _ -> (List.rev acc, rest)
+      in
+      let s, worm = go [ Sym.Alpha ] rest in
+      Some (s, worm)
+  | _ -> None
+
+let cond4 (w : t) =
+  match split_slime w with
+  | None -> false
+  | Some (_, worm) -> (
+      let no_alpha_beta =
+        List.for_all
+          (function Sym.Alpha | Sym.Beta0 | Sym.Beta1 -> false | _ -> true)
+          worm
+      in
+      no_alpha_beta
+      &&
+      match worm with
+      | (Sym.Gamma0 | Sym.Gamma1 | Sym.Qg0 _ | Sym.Qg1 _) :: _ -> true
+      | [ Sym.Eta11 ] | [ Sym.Eta0 ] | [ Sym.Eta1 ] -> true (* pre-first-γ *)
+      | _ -> false)
+
+let is_valid w = cond1 w && cond2 w && cond3 w && cond4 w
+
+(* The slime trail (w1) and the rainworm proper (w2) of Definition 19(4). *)
+let slime w = match split_slime w with Some (s, _) -> s | None -> []
+let worm w = match split_slime w with Some (_, r) -> r | None -> w
+
+let length = List.length
+
+(* The slime trail as an αβ-word — what Section VIII's reduction matches
+   against αβ-paths in the green graph. *)
+let slime_word w = slime w

@@ -1,0 +1,35 @@
+(** Rainworm configurations (Definition 19): words over A + Q subject to
+    four structural conditions.  Lemma 20: every word reachable from the
+    initial configuration α·η11 satisfies them. *)
+
+type t = Sym.t list
+
+(** α·η11 *)
+val initial : t
+
+val pp : Format.formatter -> t -> unit
+
+(** Condition 1: w ∈ A⁺ Q A* (one state symbol, after at least one
+    letter). *)
+val cond1 : t -> bool
+
+(** Condition 2: the last symbol is η11, η0, η1 or ω0. *)
+val cond2 : t -> bool
+
+(** Condition 3: even and odd symbols alternate. *)
+val cond3 : t -> bool
+
+(** Condition 4: w = slime · worm with slime ∈ α(β1β0)*(β1?) and the worm
+    starting with a γ marker (degenerate pre-first-γ tails allowed). *)
+val cond4 : t -> bool
+
+val is_valid : t -> bool
+
+(** The slime trail w1 of Definition 19(4) — an αβ-word. *)
+val slime : t -> Sym.t list
+
+(** The rainworm proper w2. *)
+val worm : t -> Sym.t list
+
+val length : t -> int
+val slime_word : t -> Sym.t list

@@ -1,0 +1,101 @@
+(* Rainworm machine instructions: the forms ♦1–♦8 of Section VIII.A,
+   with their side conditions enforced by [classify]. *)
+
+type form =
+  | F1   (* η11 → γ1 η0 *)
+  | F2   (* η0 → b η1,               b ∈ A0 *)
+  | F3   (* η1 → q ω0,               q ∈ Q̄1 *)
+  | F4   (* b' q → q' b,             q ∈ Q̄0, q' ∈ Q̄1, b ∈ A0, b' ∈ A1 *)
+  | F4'  (* b q' → q b',             q ∈ Q̄0, q' ∈ Q̄1, b ∈ A0, b' ∈ A1 *)
+  | F5   (* γ1 q → β1 q',            q ∈ Q̄0, q' ∈ Qγ0 *)
+  | F5'  (* γ0 q → β0 q',            q ∈ Q̄1, q' ∈ Qγ1 *)
+  | F6   (* q b → γ1 q',             q ∈ Qγ1, q' ∈ Q0, b ∈ A0 *)
+  | F6'  (* q b → γ0 q',             q ∈ Qγ0, q' ∈ Q1, b ∈ A1 *)
+  | F7   (* q' b → b' q,             q ∈ Q0, q' ∈ Q1, b ∈ A0, b' ∈ A1 *)
+  | F7'  (* q b' → b q',             q ∈ Q0, q' ∈ Q1, b ∈ A0, b' ∈ A1 *)
+  | F8   (* q ω0 → b η0,             q ∈ Q1, b ∈ A1 *)
+
+let pp_form ppf f =
+  Fmt.string ppf
+    (match f with
+    | F1 -> "♦1" | F2 -> "♦2" | F3 -> "♦3" | F4 -> "♦4" | F4' -> "♦4'"
+    | F5 -> "♦5" | F5' -> "♦5'" | F6 -> "♦6" | F6' -> "♦6'" | F7 -> "♦7"
+    | F7' -> "♦7'" | F8 -> "♦8")
+
+type t = { lhs : Sym.t list; rhs : Sym.t list }
+
+let lhs t = t.lhs
+let rhs t = t.rhs
+
+(* Identify the ♦-form of an lhs → rhs pair, or [None] if it fits none. *)
+let classify t =
+  match t.lhs, t.rhs with
+  | [ Sym.Eta11 ], [ Sym.Gamma1; Sym.Eta0 ] -> Some F1
+  | [ Sym.Eta0 ], [ Sym.A0 _; Sym.Eta1 ] -> Some F2
+  | [ Sym.Eta1 ], [ Sym.Q1bar _; Sym.Omega0 ] -> Some F3
+  | [ Sym.A1 _; Sym.Q0bar _ ], [ Sym.Q1bar _; Sym.A0 _ ] -> Some F4
+  | [ Sym.A0 _; Sym.Q1bar _ ], [ Sym.Q0bar _; Sym.A1 _ ] -> Some F4'
+  | [ Sym.Gamma1; Sym.Q0bar _ ], [ Sym.Beta1; Sym.Qg0 _ ] -> Some F5
+  | [ Sym.Gamma0; Sym.Q1bar _ ], [ Sym.Beta0; Sym.Qg1 _ ] -> Some F5'
+  | [ Sym.Qg1 _; Sym.A0 _ ], [ Sym.Gamma1; Sym.Q0 _ ] -> Some F6
+  | [ Sym.Qg0 _; Sym.A1 _ ], [ Sym.Gamma0; Sym.Q1 _ ] -> Some F6'
+  | [ Sym.Q1 _; Sym.A0 _ ], [ Sym.A1 _; Sym.Q0 _ ] -> Some F7
+  | [ Sym.Q0 _; Sym.A1 _ ], [ Sym.A0 _; Sym.Q1 _ ] -> Some F7'
+  | [ Sym.Q1 _; Sym.Omega0 ], [ Sym.A1 _; Sym.Eta0 ] -> Some F8
+  | _ -> None
+
+let make lhs rhs =
+  let t = { lhs; rhs } in
+  match classify t with
+  | Some _ -> t
+  | None ->
+      invalid_arg
+        (Fmt.str "Instruction.make: %a → %a fits no ♦-form" Sym.pp_word lhs
+           Sym.pp_word rhs)
+
+(* Smart constructors, one per form. *)
+let d1 () = make [ Sym.Eta11 ] [ Sym.Gamma1; Sym.Eta0 ]
+let d2 ~b = make [ Sym.Eta0 ] [ Sym.A0 b; Sym.Eta1 ]
+let d3 ~q = make [ Sym.Eta1 ] [ Sym.Q1bar q; Sym.Omega0 ]
+let d4 ~b' ~q ~q' ~b = make [ Sym.A1 b'; Sym.Q0bar q ] [ Sym.Q1bar q'; Sym.A0 b ]
+let d4' ~b ~q' ~q ~b' = make [ Sym.A0 b; Sym.Q1bar q' ] [ Sym.Q0bar q; Sym.A1 b' ]
+let d5 ~q ~q' = make [ Sym.Gamma1; Sym.Q0bar q ] [ Sym.Beta1; Sym.Qg0 q' ]
+let d5' ~q ~q' = make [ Sym.Gamma0; Sym.Q1bar q ] [ Sym.Beta0; Sym.Qg1 q' ]
+let d6 ~q ~b ~q' = make [ Sym.Qg1 q; Sym.A0 b ] [ Sym.Gamma1; Sym.Q0 q' ]
+let d6' ~q ~b ~q' = make [ Sym.Qg0 q; Sym.A1 b ] [ Sym.Gamma0; Sym.Q1 q' ]
+let d7 ~q' ~b ~b' ~q = make [ Sym.Q1 q'; Sym.A0 b ] [ Sym.A1 b'; Sym.Q0 q ]
+let d7' ~q ~b' ~b ~q' = make [ Sym.Q0 q; Sym.A1 b' ] [ Sym.A0 b; Sym.Q1 q' ]
+let d8 ~q ~b = make [ Sym.Q1 q; Sym.Omega0 ] [ Sym.A1 b; Sym.Eta0 ]
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>%a: %a → %a@]"
+    (Fmt.option pp_form ~none:(Fmt.any "?"))
+    (classify t) Sym.pp_word t.lhs Sym.pp_word t.rhs
+
+(* Every instruction preserves the even/odd alternation requirement: both
+   sides read as parity-alternating words starting with the same parity.
+   This is a structural fact we expose for tests. *)
+let parity_sound t =
+  let alternates = function
+    | [] -> true
+    | x :: rest ->
+        fst
+          (List.fold_left
+             (fun (ok, prev) s -> (ok && Sym.is_even s <> Sym.is_even prev, s))
+             (true, x) rest)
+  in
+  let starts_same =
+    match t.lhs, t.rhs with
+    | x :: _, y :: _ -> Sym.is_even x = Sym.is_even y
+    | _ -> false
+  in
+  let len_grows = List.length t.rhs >= List.length t.lhs in
+  let ends_same =
+    (* 2 → 2 rewrites must also agree on the final parity *)
+    match List.rev t.lhs, List.rev t.rhs with
+    | x :: _, y :: _ ->
+        List.length t.lhs <> List.length t.rhs
+        || Sym.is_even x = Sym.is_even y
+    | _ -> false
+  in
+  alternates t.lhs && alternates t.rhs && starts_same && len_grows && ends_same

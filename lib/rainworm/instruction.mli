@@ -1,0 +1,51 @@
+(** Rainworm machine instructions: the forms ♦1–♦8 of Section VIII.A,
+    with side conditions enforced. *)
+
+(** The twelve instruction shapes. *)
+type form =
+  | F1   (** η11 → γ1 η0 *)
+  | F2   (** η0 → b η1, b ∈ A0 *)
+  | F3   (** η1 → q ω0, q ∈ Q̄1 *)
+  | F4   (** b' q → q' b (left sweep over A1) *)
+  | F4'  (** b q' → q b' (left sweep over A0) *)
+  | F5   (** γ1 q → β1 q' (rear marker, odd) *)
+  | F5'  (** γ0 q → β0 q' (rear marker, even) *)
+  | F6   (** q b → γ1 q' (eat the rear cell, write γ1) *)
+  | F6'  (** q b → γ0 q' *)
+  | F7   (** q' b → b' q (right sweep over A0) *)
+  | F7'  (** q b' → b q' (right sweep over A1) *)
+  | F8   (** q ω0 → b η0 (write the new front cell) *)
+
+val pp_form : Format.formatter -> form -> unit
+
+type t
+
+val lhs : t -> Sym.t list
+val rhs : t -> Sym.t list
+
+(** The ♦-form of the rewrite pair, if it fits one. *)
+val classify : t -> form option
+
+(** @raise Invalid_argument if the pair fits no ♦-form. *)
+val make : Sym.t list -> Sym.t list -> t
+
+(** {1 Smart constructors, one per form} *)
+
+val d1 : unit -> t
+val d2 : b:string -> t
+val d3 : q:string -> t
+val d4 : b':string -> q:string -> q':string -> b:string -> t
+val d4' : b:string -> q':string -> q:string -> b':string -> t
+val d5 : q:string -> q':string -> t
+val d5' : q:string -> q':string -> t
+val d6 : q:string -> b:string -> q':string -> t
+val d6' : q:string -> b:string -> q':string -> t
+val d7 : q':string -> b:string -> b':string -> q:string -> t
+val d7' : q:string -> b':string -> b:string -> q':string -> t
+val d8 : q:string -> b:string -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** Structural parity soundness of the rewrite (used by tests): both sides
+    alternate and agree at the boundaries. *)
+val parity_sound : t -> bool

@@ -1,0 +1,100 @@
+(* A rainworm machine: a finite set ∆ of instructions that is a partial
+   function (two different instructions have different left-hand sides,
+   footnote 16 — this is what makes the machine deterministic).
+
+   Large machines produced by the TM compiler are represented *lazily* by
+   an oracle — a function from left-hand sides to right-hand sides — from
+   which an explicit instruction list can be materialized by collecting the
+   rules a bounded run actually uses. *)
+
+type oracle = {
+  expand : Sym.t -> (Sym.t * Sym.t) option;
+  (* 1-symbol lhs: the ♦1/♦2/♦3 family and nothing else *)
+  swap : Sym.t -> Sym.t -> (Sym.t * Sym.t) option;
+  (* 2-symbol lhs: ♦4–♦8 *)
+}
+
+type t = { name : string; rules : Instruction.t list }
+
+let make ~name rules =
+  List.iter
+    (fun r ->
+      match Instruction.classify r with
+      | Some _ -> ()
+      | None ->
+          invalid_arg (Fmt.str "Machine.make: invalid instruction %a" Instruction.pp r))
+    rules;
+  let lhss = List.map Instruction.lhs rules in
+  let rec distinct = function
+    | [] -> true
+    | l :: rest -> (not (List.mem l rest)) && distinct rest
+  in
+  if not (distinct lhss) then
+    invalid_arg "Machine.make: ∆ is not a partial function (duplicate lhs)";
+  { name; rules }
+
+let name t = t.name
+let rules t = t.rules
+let size t = List.length t.rules
+
+(* Lookup-table oracle for an explicit machine. *)
+let oracle t =
+  let singles = Hashtbl.create 8 and pairs = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      match Instruction.lhs r, Instruction.rhs r with
+      | [ a ], [ x; y ] -> Hashtbl.replace singles a (x, y)
+      | [ a; b ], [ x; y ] -> Hashtbl.replace pairs (a, b) (x, y)
+      | _ -> assert false)
+    t.rules;
+  {
+    expand = (fun a -> Hashtbl.find_opt singles a);
+    swap = (fun a b -> Hashtbl.find_opt pairs (a, b));
+  }
+
+(* Record every oracle answer, so that the finite sub-machine a run
+   exercises can be materialized afterwards. *)
+let recording_oracle o =
+  let seen = Hashtbl.create 64 in
+  let collected = ref [] in
+  let remember lhs rhs =
+    if not (Hashtbl.mem seen lhs) then begin
+      Hashtbl.replace seen lhs ();
+      collected := Instruction.make lhs rhs :: !collected
+    end
+  in
+  let o' =
+    {
+      expand =
+        (fun a ->
+          match o.expand a with
+          | Some (x, y) as r ->
+              remember [ a ] [ x; y ];
+              r
+          | None -> None);
+      swap =
+        (fun a b ->
+          match o.swap a b with
+          | Some (x, y) as r ->
+              remember [ a; b ] [ x; y ];
+              r
+          | None -> None);
+    }
+  in
+  (o', fun () -> List.rev !collected)
+
+(* View as a generic semi-Thue system (Section VIII.A formulates ∆ in the
+   language of Thue semisystem rules). *)
+let to_thue t =
+  Thue.System.make ~equal:Sym.equal
+    (List.map
+       (fun r ->
+         Thue.System.rule
+           ~tag:(Fmt.str "%a" (Fmt.option Instruction.pp_form) (Instruction.classify r))
+           (Instruction.lhs r) (Instruction.rhs r))
+       t.rules)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>machine %s (%d instructions):@,%a@]" t.name (size t)
+    (Fmt.list ~sep:Fmt.cut Instruction.pp)
+    t.rules

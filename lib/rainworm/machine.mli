@@ -1,0 +1,34 @@
+(** A rainworm machine: a finite instruction set ∆ that is a partial
+    function on left-hand sides (footnote 16 — determinism).
+
+    Large machines produced by the TM compiler are represented lazily by
+    an {!oracle}; {!recording_oracle} materializes the finite sub-machine
+    that a run exercises. *)
+
+(** Left-hand-side dispatch: [expand] answers the 1-symbol rules (♦1–♦3),
+    [swap] the 2-symbol rules (♦4–♦8). *)
+type oracle = {
+  expand : Sym.t -> (Sym.t * Sym.t) option;
+  swap : Sym.t -> Sym.t -> (Sym.t * Sym.t) option;
+}
+
+type t
+
+(** @raise Invalid_argument on an invalid instruction or duplicate lhs. *)
+val make : name:string -> Instruction.t list -> t
+
+val name : t -> string
+val rules : t -> Instruction.t list
+val size : t -> int
+
+(** Lookup-table oracle for an explicit machine. *)
+val oracle : t -> oracle
+
+(** Wrap an oracle so every answered rule is recorded; the thunk returns
+    the rules seen so far, in first-use order. *)
+val recording_oracle : oracle -> oracle * (unit -> Instruction.t list)
+
+(** The machine as a generic semi-Thue system (Section VIII.A). *)
+val to_thue : t -> Sym.t Thue.System.t
+
+val pp : Format.formatter -> t -> unit

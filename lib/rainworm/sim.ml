@@ -1,0 +1,110 @@
+(* Creeping: the operational semantics of rainworm machines.
+
+   A single computation step is a single semi-Thue rewriting.  On valid
+   configurations at most one rewrite applies (Lemma 22(2), a consequence
+   of ∆ being a partial function and the configuration having exactly one
+   state symbol); [step] exploits this by locating the state symbol and
+   trying the adjacent redexes only. *)
+
+type outcome =
+  | Halted of Config.t       (* no rule applicable: the worm stops *)
+  | Running of Config.t      (* budget exhausted, still creeping *)
+
+type trace = {
+  steps : int;                   (* rewriting steps performed *)
+  cycles : int;                  (* full creep cycles (♦8 firings) *)
+  outcome : outcome;
+  max_length : int;              (* longest configuration seen *)
+  history : Config.t list;       (* chronological, possibly truncated *)
+}
+
+let final_config t = match t.outcome with Halted c | Running c -> c
+let halted t = match t.outcome with Halted _ -> true | Running _ -> false
+
+(* One rewriting step via the oracle.  The redex always involves the state
+   symbol: single-lhs rules (♦1–♦3) rewrite the state itself, double-lhs
+   rules (♦4–♦8) rewrite the state together with its left or right
+   neighbour. *)
+let step (o : Machine.oracle) (w : Config.t) : Config.t option =
+  let rec go before rest =
+    match rest with
+    | [] -> None
+    | s :: after when Sym.is_state s -> (
+        (* try: expand s | swap (prev, s) | swap (s, next) *)
+        match o.Machine.expand s with
+        | Some (x, y) -> Some (List.rev_append before (x :: y :: after))
+        | None -> (
+            let left =
+              match before with
+              | p :: before' -> (
+                  match o.Machine.swap p s with
+                  | Some (x, y) ->
+                      Some (List.rev_append before' (x :: y :: after))
+                  | None -> None)
+              | [] -> None
+            in
+            match left with
+            | Some _ as r -> r
+            | None -> (
+                match after with
+                | n :: after' -> (
+                    match o.Machine.swap s n with
+                    | Some (x, y) ->
+                        Some (List.rev_append before (x :: y :: after'))
+                    | None -> None)
+                | [] -> None)))
+    | s :: after -> go (s :: before) after
+  in
+  go [] w
+
+(* Creep for at most [max_steps] rewritings (or [max_cycles] full cycles),
+   starting from [from] (default: the initial configuration α·η11).
+   [validate] re-checks Definition 19 at every step (Lemma 20). *)
+let creep ?(from = Config.initial) ?(max_steps = 10_000) ?max_cycles
+    ?(validate = false) ?(keep_history = false) (o : Machine.oracle) =
+  let cycle_budget = Option.value max_cycles ~default:max_int in
+  let rec go n cycles maxlen w history =
+    let history = if keep_history then w :: history else history in
+    if validate && not (Config.is_valid w) then
+      failwith
+        (Fmt.str "Sim.creep: invalid configuration reached: %a" Config.pp w);
+    if n >= max_steps || cycles >= cycle_budget then
+      {
+        steps = n;
+        cycles;
+        outcome = Running w;
+        max_length = maxlen;
+        history = List.rev history;
+      }
+    else
+      match step o w with
+      | None ->
+          {
+            steps = n;
+            cycles;
+            outcome = Halted w;
+            max_length = maxlen;
+            history = List.rev history;
+          }
+      | Some w' ->
+          (* a cycle completes when ♦8 fires: ω0 turns back into η0 *)
+          let completed =
+            match List.rev w, List.rev w' with
+            | Sym.Omega0 :: _, Sym.Eta0 :: _ -> true
+            | _ -> false
+          in
+          go (n + 1)
+            (if completed then cycles + 1 else cycles)
+            (max maxlen (List.length w'))
+            w' history
+  in
+  go 0 0 (List.length from) from []
+
+let creep_machine ?from ?max_steps ?max_cycles ?validate ?keep_history m =
+  creep ?from ?max_steps ?max_cycles ?validate ?keep_history (Machine.oracle m)
+
+(* All configurations w with αη11 ⤳* w within a step budget: the slime
+   words among them feed Lemma 25's check. *)
+let reachable_configs ?(max_steps = 1000) o =
+  let t = creep ~max_steps ~keep_history:true o in
+  t.history

@@ -1,0 +1,48 @@
+(** Creeping: the operational semantics of rainworm machines.
+
+    On valid configurations at most one rewrite applies (Lemma 22(2));
+    {!step} exploits this by trying only the redexes adjacent to the
+    unique state symbol. *)
+
+type outcome =
+  | Halted of Config.t   (** no rule applicable: the worm stops *)
+  | Running of Config.t  (** budget exhausted, still creeping *)
+
+type trace = {
+  steps : int;            (** rewriting steps performed *)
+  cycles : int;           (** completed creep cycles (♦8 firings) *)
+  outcome : outcome;
+  max_length : int;       (** longest configuration seen *)
+  history : Config.t list;(** chronological; kept only on request *)
+}
+
+val final_config : trace -> Config.t
+val halted : trace -> bool
+
+(** One rewriting step, or [None] when the machine halts. *)
+val step : Machine.oracle -> Config.t -> Config.t option
+
+(** Creep from [from] (default α·η11) for at most [max_steps] rewritings
+    or [max_cycles] cycles.  [validate] re-checks Definition 19 at every
+    step (Lemma 20) and fails loudly on violation.  [keep_history] records
+    every configuration. *)
+val creep :
+  ?from:Config.t ->
+  ?max_steps:int ->
+  ?max_cycles:int ->
+  ?validate:bool ->
+  ?keep_history:bool ->
+  Machine.oracle ->
+  trace
+
+val creep_machine :
+  ?from:Config.t ->
+  ?max_steps:int ->
+  ?max_cycles:int ->
+  ?validate:bool ->
+  ?keep_history:bool ->
+  Machine.t ->
+  trace
+
+(** All configurations reachable within the budget, in order. *)
+val reachable_configs : ?max_steps:int -> Machine.oracle -> Config.t list

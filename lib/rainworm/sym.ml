@@ -1,0 +1,73 @@
+(* Symbols of a rainworm machine (Section VIII.A).
+
+   The tape alphabet A is the disjoint union of A0, A1 and the special
+   letters {α, β0, β1, γ0, γ1, ω0}; the state set Q is the disjoint union
+   of Q0, Q̄0, Q1, Q̄1, Qγ0, Qγ1 and {η11, η0, η1}.  Members of the open
+   classes are identified by strings. *)
+
+type t =
+  (* special letters *)
+  | Alpha
+  | Beta0
+  | Beta1
+  | Gamma0
+  | Gamma1
+  | Omega0
+  (* tape letters *)
+  | A0 of string
+  | A1 of string
+  (* special states *)
+  | Eta11
+  | Eta0
+  | Eta1
+  (* right-sweep states *)
+  | Q0 of string
+  | Q1 of string
+  (* left-sweep states *)
+  | Q0bar of string
+  | Q1bar of string
+  (* rear-marker states *)
+  | Qg0 of string
+  | Qg1 of string
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let is_state = function
+  | Eta11 | Eta0 | Eta1 | Q0 _ | Q1 _ | Q0bar _ | Q1bar _ | Qg0 _ | Qg1 _ ->
+      true
+  | Alpha | Beta0 | Beta1 | Gamma0 | Gamma1 | Omega0 | A0 _ | A1 _ -> false
+
+let is_letter s = not (is_state s)
+
+(* Parity (Definition 19): even and odd symbols must alternate in a
+   configuration.  ω0 patterns as even (it replaces η0-like positions). *)
+let is_even = function
+  | Alpha | Beta0 | Gamma0 | Eta0 | Omega0 | A0 _ | Q0 _ | Q0bar _ | Qg0 _ ->
+      true
+  | Beta1 | Gamma1 | Eta1 | Eta11 | A1 _ | Q1 _ | Q1bar _ | Qg1 _ -> false
+
+let is_odd s = not (is_even s)
+
+let pp ppf = function
+  | Alpha -> Fmt.string ppf "α"
+  | Beta0 -> Fmt.string ppf "β0"
+  | Beta1 -> Fmt.string ppf "β1"
+  | Gamma0 -> Fmt.string ppf "γ0"
+  | Gamma1 -> Fmt.string ppf "γ1"
+  | Omega0 -> Fmt.string ppf "ω0"
+  | A0 b -> Fmt.pf ppf "%s₀" b
+  | A1 b -> Fmt.pf ppf "%s₁" b
+  | Eta11 -> Fmt.string ppf "η11"
+  | Eta0 -> Fmt.string ppf "η0"
+  | Eta1 -> Fmt.string ppf "η1"
+  | Q0 q -> Fmt.pf ppf "[%s]₀" q
+  | Q1 q -> Fmt.pf ppf "[%s]₁" q
+  | Q0bar q -> Fmt.pf ppf "[%s]̄₀" q
+  | Q1bar q -> Fmt.pf ppf "[%s]̄₁" q
+  | Qg0 q -> Fmt.pf ppf "[%s]γ₀" q
+  | Qg1 q -> Fmt.pf ppf "[%s]γ₁" q
+
+let to_string s = Fmt.str "%a" pp s
+
+let pp_word ppf w = Fmt.pf ppf "@[<h>%a@]" (Fmt.list ~sep:Fmt.sp pp) w

@@ -1,0 +1,40 @@
+(** Symbols of a rainworm machine (Section VIII.A).
+
+    The tape alphabet A = A0 ⊎ A1 ⊎ {α, β0, β1, γ0, γ1, ω0}; the state set
+    Q = Q0 ⊎ Q̄0 ⊎ Q1 ⊎ Q̄1 ⊎ Qγ0 ⊎ Qγ1 ⊎ {η11, η0, η1}.  Members of the
+    open classes carry a string identifier. *)
+
+type t =
+  | Alpha
+  | Beta0
+  | Beta1
+  | Gamma0
+  | Gamma1
+  | Omega0
+  | A0 of string      (** even tape letters *)
+  | A1 of string      (** odd tape letters *)
+  | Eta11
+  | Eta0
+  | Eta1
+  | Q0 of string      (** even right-sweep states *)
+  | Q1 of string      (** odd right-sweep states *)
+  | Q0bar of string   (** even left-sweep states (Q̄0) *)
+  | Q1bar of string   (** odd left-sweep states (Q̄1) *)
+  | Qg0 of string     (** even rear-marker states (Qγ0) *)
+  | Qg1 of string     (** odd rear-marker states (Qγ1) *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val is_state : t -> bool
+val is_letter : t -> bool
+
+(** Parity (Definition 19): even and odd symbols alternate in every
+    configuration. *)
+val is_even : t -> bool
+
+val is_odd : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val pp_word : Format.formatter -> t list -> unit

@@ -1,0 +1,240 @@
+(* Turing machine → rainworm machine (the construction behind Lemma 21).
+
+   Each creep cycle of a rainworm appends one fresh cell at the front
+   (♦2/♦8), consumes one cell at the rear (♦6), and sweeps the head twice
+   across the worm (♦4 leftwards, ♦7 rightwards), rewriting every cell.
+   We exploit the sweeps to simulate one TM step per cycle:
+
+   * every worm cell carries a [content]: a simulated tape symbol plus an
+     optional head mark; the freshly appended cell carries [Seed], which
+     the sweeps convert into a blank tape cell — the simulated tape grows
+     one blank per cycle;
+   * the rear cell consumed by ♦6 is the simulated tape's cell 0; its
+     content re-enters the computation as the initial carry of the right
+     sweep, which writes each cell's carry into the next cell — a shift
+     that exactly compensates the rear consumption, so cell 0 is never
+     lost;
+   * the TM transition fires when the right sweep reads the marked cell:
+     a right move drops the mark on the next cell read; a left move stages
+     a [Pend_left] token that the *next* left sweep (which scans
+     right-to-left and hence meets the left neighbour afterwards) resolves;
+     a right move off the last cell is staged as [Pend_right] and resolved
+     by the next right sweep;
+   * the mark is injected at the unique cycle in which the worm consumes a
+     swept seed (the first cycle, when the worm is one cell long);
+   * when δ is undefined at the marked cell, no rainworm instruction
+     applies and the worm stops creeping.
+
+   Hence: the TM halts iff the compiled rainworm machine halts, and the
+   worm's creeping (slime trail growth) is eternal iff the TM diverges. *)
+
+type mark =
+  | No_mark
+  | Mark of string          (* the TM head, in the given state *)
+  | Pend_left of string     (* head moved left; resolved by the left sweep *)
+  | Pend_right of string    (* head moved right off this cell; resolved by
+                               the right sweep *)
+
+type content =
+  | Seed          (* appended by ♦2, not yet swept *)
+  | Seed_swept    (* seed after the left sweep; becomes a blank tape cell *)
+  | Cell of string * mark
+
+(* --- encodings into the flat strings of [Sym] ------------------------- *)
+
+let enc_mark = function
+  | No_mark -> "c"
+  | Mark q -> "m|" ^ q
+  | Pend_left q -> "pl|" ^ q
+  | Pend_right q -> "pr|" ^ q
+
+let enc_content = function
+  | Seed -> "seed"
+  | Seed_swept -> "seed1"
+  | Cell (a, m) -> enc_mark m ^ "|" ^ a
+
+let dec_content s =
+  match s with
+  | "seed" -> Some Seed
+  | "seed1" -> Some Seed_swept
+  | _ -> (
+      match String.split_on_char '|' s with
+      | [ "c"; a ] -> Some (Cell (a, No_mark))
+      | [ "m"; q; a ] -> Some (Cell (a, Mark q))
+      | [ "pl"; q; a ] -> Some (Cell (a, Pend_left q))
+      | [ "pr"; q; a ] -> Some (Cell (a, Pend_right q))
+      | _ -> None)
+
+(* Left-sweep states carry a pending mark drop; right-sweep states carry
+   the shift carry plus a pending drop.  State payloads use ';' as the
+   outer separator so content encodings nest safely. *)
+let enc_lstate drop = match drop with None -> "L" | Some q -> "L;" ^ q
+
+let dec_lstate s =
+  match String.split_on_char ';' s with
+  | [ "L" ] -> Some None
+  | [ "L"; q ] -> Some (Some q)
+  | _ -> None
+
+let enc_rstate carry drop =
+  "R;" ^ enc_content carry ^ (match drop with None -> "" | Some q -> ";" ^ q)
+
+let dec_rstate s =
+  match String.split_on_char ';' s with
+  | [ "R"; c ] -> Option.map (fun c -> (c, None)) (dec_content c)
+  | [ "R"; c; q ] -> Option.map (fun c -> (c, Some q)) (dec_content c)
+  | _ -> None
+
+(* --- sweep semantics -------------------------------------------------- *)
+
+(* Attach a pending drop to a plain cell; a drop can never coexist with
+   another mark (the TM has a single head). *)
+let with_drop content drop =
+  match content, drop with
+  | c, None -> Some (c, None)
+  | Cell (a, No_mark), Some q -> Some (Cell (a, Mark q), None)
+  | _, Some _ -> None
+
+(* Left sweep: content-preserving, except that seeds mature and pending
+   left-moves are resolved one cell later (i.e. one cell further left). *)
+let lprocess content drop =
+  match content with
+  | Seed -> if drop = None then Some (Seed_swept, None) else None
+  | Seed_swept -> None (* a swept seed never survives to another left sweep *)
+  | Cell (a, Pend_left q) ->
+      if drop = None then Some (Cell (a, No_mark), Some q) else None
+  | Cell (_, No_mark) -> with_drop content drop
+  | Cell (_, (Mark _ | Pend_right _)) ->
+      if drop = None then Some (content, None) else None
+
+(* Right sweep: seeds become blanks, pending right-moves resolve into a
+   drop, and the TM transition fires at the marked cell. *)
+let rprocess tm content drop =
+  match content with
+  | Seed -> None (* unreachable: ♦2's seed is swept before the right sweep *)
+  | Seed_swept -> with_drop (Cell (tm.Turing.blank, No_mark)) drop
+  | Cell (_, No_mark) -> with_drop content drop
+  | Cell (a, Pend_right q) ->
+      if drop = None then Some (Cell (a, No_mark), Some q) else None
+  | Cell (_, Pend_left _) -> None (* resolved by the left sweep, never read *)
+  | Cell (a, Mark q) -> (
+      if drop <> None then None
+      else
+        match Turing.delta tm q a with
+        | None -> None (* the TM halts: the worm stops creeping *)
+        | Some (q', a', Turing.Right) -> Some (Cell (a', No_mark), Some q')
+        | Some (q', a', Turing.Left) -> Some (Cell (a', Pend_left q'), None))
+
+(* Consuming the rear cell (♦6): its processed content becomes the initial
+   carry of the right sweep.  Eating a swept seed happens exactly once —
+   on the first cycle — and injects the TM head in its start state. *)
+let eat tm content =
+  match content with
+  | Seed_swept -> Some (Cell (tm.Turing.blank, Mark tm.Turing.start), None)
+  | _ -> rprocess tm content None
+
+(* The final ♦8 write: the last carry becomes the new front cell; a still
+   pending drop is staged as [Pend_right]. *)
+let finish carry drop =
+  match carry, drop with
+  | c, None -> Some c
+  | Cell (a, No_mark), Some q -> Some (Cell (a, Pend_right q))
+  | _, Some _ -> None
+
+(* --- the compiled machine, as an oracle ------------------------------- *)
+
+let oracle (tm : Turing.t) : Machine.oracle =
+  let expand = function
+    | Sym.Eta11 -> Some (Sym.Gamma1, Sym.Eta0)
+    | Sym.Eta0 -> Some (Sym.A0 (enc_content Seed), Sym.Eta1)
+    | Sym.Eta1 -> Some (Sym.Q1bar (enc_lstate None), Sym.Omega0)
+    | _ -> None
+  in
+  let lstep c s =
+    match dec_content c, dec_lstate s with
+    | Some content, Some drop ->
+        Option.map
+          (fun (c', drop') -> (enc_content c', enc_lstate drop'))
+          (lprocess content drop)
+    | _ -> None
+  in
+  let rstep s c =
+    match dec_rstate s, dec_content c with
+    | Some (carry, drop), Some content ->
+        Option.map
+          (fun (c', drop') -> (enc_content carry, enc_rstate c' drop'))
+          (rprocess tm content drop)
+    | _ -> None
+  in
+  let swap a b =
+    match a, b with
+    (* ♦4 / ♦4': the left sweep *)
+    | Sym.A1 c, Sym.Q0bar s ->
+        Option.map (fun (c', s') -> (Sym.Q1bar s', Sym.A0 c')) (lstep c s)
+    | Sym.A0 c, Sym.Q1bar s ->
+        Option.map (fun (c', s') -> (Sym.Q0bar s', Sym.A1 c')) (lstep c s)
+    (* ♦5 / ♦5': rear marker consumed; a pending drop here means the TM fell
+       off the left end — no rule, the worm halts *)
+    | Sym.Gamma1, Sym.Q0bar s when dec_lstate s = Some None ->
+        Some (Sym.Beta1, Sym.Qg0 "G")
+    | Sym.Gamma0, Sym.Q1bar s when dec_lstate s = Some None ->
+        Some (Sym.Beta0, Sym.Qg1 "G")
+    (* ♦6 / ♦6': eat the rear cell, start the right sweep *)
+    | Sym.Qg1 _, Sym.A0 c ->
+        Option.bind (dec_content c) (fun content ->
+            Option.map
+              (fun (carry, drop) -> (Sym.Gamma1, Sym.Q0 (enc_rstate carry drop)))
+              (eat tm content))
+    | Sym.Qg0 _, Sym.A1 c ->
+        Option.bind (dec_content c) (fun content ->
+            Option.map
+              (fun (carry, drop) -> (Sym.Gamma0, Sym.Q1 (enc_rstate carry drop)))
+              (eat tm content))
+    (* ♦7 / ♦7': the right sweep *)
+    | Sym.Q1 s, Sym.A0 c ->
+        Option.map (fun (c', s') -> (Sym.A1 c', Sym.Q0 s')) (rstep s c)
+    | Sym.Q0 s, Sym.A1 c ->
+        Option.map (fun (c', s') -> (Sym.A0 c', Sym.Q1 s')) (rstep s c)
+    (* ♦8: write the carry as the new front cell *)
+    | Sym.Q1 s, Sym.Omega0 ->
+        Option.bind (dec_rstate s) (fun (carry, drop) ->
+            Option.map
+              (fun content -> (Sym.A1 (enc_content content), Sym.Eta0))
+              (finish carry drop))
+    | _ -> None
+  in
+  { Machine.expand; swap }
+
+(* Materialize the instructions a bounded run actually uses, as an
+   explicit (finite, valid) machine. *)
+let materialize ?(max_steps = 10_000) tm =
+  let o, collected = Machine.recording_oracle (oracle tm) in
+  let _trace = Sim.creep ~max_steps o in
+  Machine.make ~name:("rw:" ^ tm.Turing.name) (collected ())
+
+(* --- decoding a configuration back into a TM tape --------------------- *)
+
+(* Reconstruct the simulated tape from a rainworm configuration: the worm's
+   cell letters in order, with the carry inserted at the head position when
+   the worm is mid-right-sweep.  Seeds are dropped (they are tape cells not
+   yet born).  Returns the cell contents, left to right. *)
+let decode_tape (w : Config.t) =
+  let worm = Config.worm w in
+  let contents =
+    List.concat_map
+      (fun s ->
+        match s with
+        | Sym.A0 c | Sym.A1 c -> (
+            match dec_content c with Some ct -> [ ct ] | None -> [])
+        | Sym.Q0 s | Sym.Q1 s -> (
+            match dec_rstate s with
+            | Some (carry, _) -> [ carry ]
+            | None -> [])
+        | _ -> [])
+      worm
+  in
+  List.filter_map
+    (function
+      | Cell (a, m) -> Some (a, m)
+      | Seed | Seed_swept -> None)
+    contents

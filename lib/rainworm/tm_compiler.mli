@@ -1,0 +1,37 @@
+(** Turing machine → rainworm machine: the construction behind Lemma 21.
+
+    One TM step is simulated per creep cycle: worm cells carry tape
+    symbols with optional head marks; the right sweep shifts the simulated
+    tape one cell rightwards (compensating the rear consumption) and fires
+    the TM transition at the marked cell; left moves and boundary right
+    moves are staged as pending tokens resolved by the next sweep.  The
+    worm halts iff the TM halts (verified lock-step by the test suite,
+    including final-tape agreement). *)
+
+(** The head annotation of a simulated tape cell. *)
+type mark =
+  | No_mark
+  | Mark of string         (** the TM head, in the given state *)
+  | Pend_left of string    (** staged left move *)
+  | Pend_right of string   (** staged boundary right move *)
+
+(** Simulated cell contents. *)
+type content =
+  | Seed        (** appended by ♦2, not yet swept *)
+  | Seed_swept  (** seed after the left sweep; becomes a blank cell *)
+  | Cell of string * mark
+
+val enc_content : content -> string
+val dec_content : string -> content option
+
+(** The compiled machine, as a lazily-evaluated rule oracle. *)
+val oracle : Turing.t -> Machine.oracle
+
+(** Materialize the instructions a bounded run actually uses as an
+    explicit, valid rainworm machine. *)
+val materialize : ?max_steps:int -> Turing.t -> Machine.t
+
+(** Reconstruct the simulated tape from a configuration: cell contents
+    left to right, marks included (the carry is inserted at the head
+    position mid-sweep). *)
+val decode_tape : Config.t -> (string * mark) list

@@ -1,0 +1,113 @@
+(* A zoo of rainworm machines and Turing machines used by tests, examples
+   and benchmarks. *)
+
+(* The minimal eternal creeper, handcrafted: a single tape letter, one
+   state per sweep role.  Twelve instructions, one per ♦-form.  This is
+   the worm analogue of the paper's "η0 and η1 calling each other in an
+   infinite loop" (Section VIII intro). *)
+let eternal_creeper =
+  Machine.make ~name:"eternal-creeper"
+    [
+      Instruction.d1 ();
+      Instruction.d2 ~b:"b";
+      Instruction.d3 ~q:"e";
+      Instruction.d4 ~b':"b" ~q:"e" ~q':"e" ~b:"b";
+      Instruction.d4' ~b:"b" ~q':"e" ~q:"e" ~b':"b";
+      Instruction.d5 ~q:"e" ~q':"g";
+      Instruction.d5' ~q:"e" ~q':"g";
+      Instruction.d6 ~q:"g" ~b:"b" ~q':"r";
+      Instruction.d6' ~q:"g" ~b:"b" ~q':"r";
+      Instruction.d7 ~q':"r" ~b:"b" ~b':"b" ~q:"r";
+      Instruction.d7' ~q:"r" ~b':"b" ~b:"b" ~q':"r";
+      Instruction.d8 ~q:"r" ~b:"b";
+    ]
+
+(* A handcrafted worm that halts: like the eternal creeper, but the right
+   sweep has no ♦8 rule — the very first cycle never completes. *)
+let stillborn =
+  Machine.make ~name:"stillborn"
+    [
+      Instruction.d1 ();
+      Instruction.d2 ~b:"b";
+      Instruction.d3 ~q:"e";
+      Instruction.d4' ~b:"b" ~q':"e" ~q:"e" ~b':"b";
+      Instruction.d5 ~q:"e" ~q':"g";
+      Instruction.d6' ~q:"g" ~b:"b" ~q':"r";
+    ]
+
+(* A worm that creeps for a while and halts: driven by a halting TM below. *)
+
+(* --- Turing machines -------------------------------------------------- *)
+
+(* Halts immediately: no transitions at all. *)
+let tm_halt_now = Turing.make ~name:"halt-now" ~blank:"_" ~start:"q0" []
+
+(* Writes k marks moving right, then halts.  [k] small. *)
+let tm_write_k k =
+  let transitions =
+    List.init k (fun i ->
+        ((Printf.sprintf "q%d" i, "_"),
+         (Printf.sprintf "q%d" (i + 1), "x", Turing.Right)))
+  in
+  Turing.make ~name:(Printf.sprintf "write-%d" k) ~blank:"_" ~start:"q0"
+    transitions
+
+(* Moves right forever over blanks: diverges. *)
+let tm_right_forever =
+  Turing.make ~name:"right-forever" ~blank:"_" ~start:"q0"
+    [ (("q0", "_"), ("q0", "x", Turing.Right)) ]
+
+(* Zigzag: repeatedly writes two cells rightwards then steps back left —
+   exercises the Pend_left machinery.  Diverges. *)
+let tm_zigzag =
+  Turing.make ~name:"zigzag" ~blank:"_" ~start:"r1"
+    [
+      (("r1", "_"), ("r2", "a", Turing.Right));
+      (("r1", "a"), ("r2", "a", Turing.Right));
+      (("r1", "b"), ("r2", "b", Turing.Right));
+      (("r2", "_"), ("l", "b", Turing.Right));
+      (("r2", "a"), ("l", "a", Turing.Right));
+      (("r2", "b"), ("l", "b", Turing.Right));
+      (("l", "_"), ("r1", "_", Turing.Left));
+      (("l", "a"), ("r1", "a", Turing.Left));
+      (("l", "b"), ("r1", "b", Turing.Left));
+    ]
+
+(* A binary counter incrementing forever: writes a wall at cell 0, then
+   repeatedly increments the little-endian binary number to its right
+   (flip 1→0 moving right while carrying, write the final 1, return to
+   the wall).  Diverges with heavy tape rewriting — the stress machine
+   for the compiler. *)
+let tm_binary_counter =
+  Turing.make ~name:"binary-counter" ~blank:"_" ~start:"q0"
+    [
+      (("q0", "_"), ("inc", "w", Turing.Right));
+      (("inc", "1"), ("inc", "0", Turing.Right));
+      (("inc", "0"), ("ret", "1", Turing.Left));
+      (("inc", "_"), ("ret", "1", Turing.Left));
+      (("ret", "0"), ("ret", "0", Turing.Left));
+      (("ret", "1"), ("ret", "1", Turing.Left));
+      (("ret", "w"), ("inc", "w", Turing.Right));
+    ]
+
+(* A unary counter that bounces between a left wall it builds and the
+   right frontier; halts after it has counted to [k] by marking cells.
+   Exercises both sweep directions and halting after substantial work. *)
+let tm_bouncer k =
+  (* write "w" then bounce: go right to first blank, mark it, come back to
+     "w", repeat k times (counting in states), halt. *)
+  let t = ref [] in
+  let add lhs rhs = t := (lhs, rhs) :: !t in
+  add ("q0", "_") ("go1", "w", Turing.Right);
+  for i = 1 to k do
+    let go = Printf.sprintf "go%d" i and back = Printf.sprintf "back%d" i in
+    add (go, "x") (go, "x", Turing.Right);
+    (if i = k then add (go, "_") ("done", "x", Turing.Right)
+     else add (go, "_") (back, "x", Turing.Left));
+    if i < k then begin
+      add (back, "x") (back, "x", Turing.Left);
+      add (back, "w") (Printf.sprintf "go%d" (i + 1), "w", Turing.Right)
+    end
+  done;
+  Turing.make ~name:(Printf.sprintf "bouncer-%d" k) ~blank:"_" ~start:"q0"
+    (List.rev !t)

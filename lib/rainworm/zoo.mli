@@ -1,0 +1,28 @@
+(** A zoo of rainworm machines and Turing machines used by tests,
+    examples and benchmarks. *)
+
+(** The minimal eternal creeper: one tape letter, one state per sweep
+    role, twelve instructions — creeps forever. *)
+val eternal_creeper : Machine.t
+
+(** A worm with no ♦8 rule: halts before completing its first cycle. *)
+val stillborn : Machine.t
+
+(** TM with no transitions: halts immediately. *)
+val tm_halt_now : Turing.t
+
+(** Writes k marks moving right, then halts. *)
+val tm_write_k : int -> Turing.t
+
+(** Moves right forever: diverges. *)
+val tm_right_forever : Turing.t
+
+(** Two right, one left, forever: exercises the staged left moves. *)
+val tm_zigzag : Turing.t
+
+(** Increments a little-endian binary counter forever: diverges with
+    heavy tape rewriting. *)
+val tm_binary_counter : Turing.t
+
+(** Bounces between a wall and the frontier k times, then halts. *)
+val tm_bouncer : int -> Turing.t

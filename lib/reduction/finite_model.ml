@@ -1,0 +1,162 @@
+(* The finite-model construction of Section VIII.E (the "⇐" direction of
+   Lemma 24): given a rainworm machine ∆ whose computation terminates
+   after k_M steps in final configuration u_M, build a finite green graph
+   M̄ that contains D_I, satisfies T_M (and, after gridding, T_M ∪ T□) and
+   has no 1-2 pattern — certifying that T_M□ does not finitely lead to
+   the red spider.
+
+   M0 is D_I plus u_M drawn as a Parity-Glasses path from a to b; the
+   procedure then runs k_M + 1 snapshot stages, each applying only the
+   right-to-left direction of every rule of T_M, and reusing the constant
+   edge H∅(a,b) instead of creating fresh ∅-edges (clause (ii)). *)
+
+type t = {
+  graph : Greengraph.Graph.t;
+  a : int;
+  b : int;
+  stages_run : int;
+}
+
+(* Draw a word as a Parity-Glasses path from [va] to [vb]: even symbols
+   become forward edges, odd symbols reversed ones. *)
+let draw_word g ~va ~vb word =
+  let n = List.length word in
+  let vertex i =
+    if i = 0 then va
+    else if i = n then vb
+    else Greengraph.Graph.fresh ~name:(Printf.sprintf "u%d" i) g
+  in
+  let rec go i v = function
+    | [] -> ()
+    | code :: rest ->
+        let v' = vertex (i + 1) in
+        if code mod 2 = 0 then ignore (Greengraph.Graph.add_edge g (Some code) v v')
+        else ignore (Greengraph.Graph.add_edge g (Some code) v' v);
+        go (i + 1) v' rest
+  in
+  go 0 (vertex 0) word
+
+(* One snapshot stage of the procedure: for every rule and every
+   right-match in [snapshot] lacking a left-match, add the left pair to
+   [g] (clause (i)), or reuse the constants when the missing partner is
+   the ∅-edge (clause (ii)). *)
+let stage ~a ~b rules snapshot g =
+  let added = ref 0 in
+  List.iter
+    (fun (r : Greengraph.Rule.t) ->
+      let conn = r.Greengraph.Rule.conn in
+      let lc = r.Greengraph.Rule.l1 and ld = r.Greengraph.Rule.l2 in
+      let rc = r.Greengraph.Rule.r1 and rd = r.Greengraph.Rule.r2 in
+      (* right-matches in the snapshot: rhs pair at free ends (c, c') *)
+      List.iter
+        (fun (e1 : Greengraph.Graph.edge) ->
+          if Greengraph.Label.equal e1.Greengraph.Graph.label rc then
+            List.iter
+              (fun (e2 : Greengraph.Graph.edge) ->
+                if
+                  Greengraph.Label.equal e2.Greengraph.Graph.label rd
+                  && Greengraph.Rule.shared_of conn e2
+                     = Greengraph.Rule.shared_of conn e1
+                then begin
+                  let c = Greengraph.Rule.free_of conn e1 in
+                  let c' = Greengraph.Rule.free_of conn e2 in
+                  (* ♥: no left-match in the snapshot *)
+                  if not (Greengraph.Rule.pair_present snapshot conn (lc, ld) (c, c'))
+                     && not (Greengraph.Rule.pair_present g conn (lc, ld) (c, c'))
+                  then begin
+                    incr added;
+                    match ld, conn with
+                    | None, Greengraph.Rule.Amp ->
+                        (* (ii): reuse H∅(a,b): the partner is at c' = a *)
+                        ignore (Greengraph.Graph.add_edge g lc c b)
+                    | None, Greengraph.Rule.Slash ->
+                        ignore (Greengraph.Graph.add_edge g lc a c)
+                    | Some _, Greengraph.Rule.Amp ->
+                        let d = Greengraph.Graph.fresh g in
+                        ignore (Greengraph.Graph.add_edge g lc c d);
+                        ignore (Greengraph.Graph.add_edge g ld c' d)
+                    | Some _, Greengraph.Rule.Slash ->
+                        let d = Greengraph.Graph.fresh g in
+                        ignore (Greengraph.Graph.add_edge g lc d c);
+                        ignore (Greengraph.Graph.add_edge g ld d c')
+                  end
+                end)
+              (Greengraph.Graph.edges snapshot))
+        (Greengraph.Graph.edges snapshot))
+    rules;
+  !added
+
+(* Build M = M_{k_M + 1}. *)
+let build (wr : Worm_rules.t) ~final_config ~k_m =
+  let g, a, b = Greengraph.Graph.d_i () in
+  draw_word g ~va:a ~vb:b (Worm_rules.configuration_word wr final_config);
+  let stages_run = ref 0 in
+  (try
+     for _m = 0 to k_m do
+       let snapshot = Greengraph.Graph.copy g in
+       let added = stage ~a ~b wr.Worm_rules.rules snapshot g in
+       incr stages_run;
+       if added = 0 then raise Exit
+     done
+   with Exit -> ());
+  { graph = g; a; b; stages_run = !stages_run }
+
+(* The Appendix C loop invariant Lemma 40(1), made executable on the
+   built model: every word of M (Definition 16, bounded enumeration) that
+   does not loop back through the constant [a] mid-word decodes to a
+   machine word creeping forward to exactly u_M.  (Strictly by
+   Definition 15, words(M) also contains concatenations of an a-loop with
+   another word; their segments are covered separately, so we skip the
+   composites.)  Returns the number of words checked; raises on a
+   violation. *)
+let check_lemma40 ?(max_len = 12) (wr : Worm_rules.t) (m : t) ~final_config =
+  let words = Greengraph.Pg.words_upto m.graph ~a:m.a ~b:m.b ~max_len in
+  let arrows = Greengraph.Pg.arrows m.graph in
+  let revisits_a w =
+    (* does some proper nonempty prefix of w reach back to a? *)
+    let rec go states = function
+      | [] | [ _ ] -> false
+      | lab :: rest ->
+          let states' = Greengraph.Pg.step_states arrows states lab in
+          List.mem m.a states' || go states' rest
+    in
+    go [ m.a ] w
+  in
+  let oracle = Rainworm.Machine.oracle wr.Worm_rules.machine in
+  let checked = ref 0 in
+  List.iter
+    (fun w ->
+      if not (revisits_a w) then begin
+        incr checked;
+        match Labeling.decode_word wr.Worm_rules.labeling w with
+        | None ->
+            failwith
+              (Fmt.str "Lemma 40: word %a has an unknown code"
+                 Greengraph.Pg.pp_word w)
+        | Some config ->
+            let trace = Rainworm.Sim.creep ~from:config ~max_steps:10_000 oracle in
+            let final = Rainworm.Sim.final_config trace in
+            if not (Rainworm.Sim.halted trace && final = final_config) then
+              failwith
+                (Fmt.str "Lemma 40: word %a does not creep to u_M"
+                   Greengraph.Pg.pp_word w)
+      end)
+    words;
+  !checked
+
+(* Run the machine to termination and build M̄ = M ∪ grids: the complete
+   finite countermodel, checked by the Lemma 26 / Lemma 24 tests. *)
+let of_halting_machine ?(max_steps = 100_000) machine =
+  let trace = Rainworm.Sim.creep_machine ~max_steps machine in
+  match trace.Rainworm.Sim.outcome with
+  | Rainworm.Sim.Running _ ->
+      invalid_arg "Finite_model.of_halting_machine: machine did not halt"
+  | Rainworm.Sim.Halted final ->
+      let wr = Worm_rules.of_machine machine in
+      let m = build wr ~final_config:final ~k_m:trace.Rainworm.Sim.steps in
+      (* M̄: complete the grids demanded by T□ *)
+      let stats =
+        Greengraph.Rule.chase ~max_stages:10_000
+          ~stop:Greengraph.Graph.has_12_pattern Separating.Tbox.rules m.graph
+      in
+      (wr, m, stats)

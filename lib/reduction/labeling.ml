@@ -1,0 +1,83 @@
+(* Integer codes for rainworm machine symbols, compatible with the label
+   scheme of Section VII (Separating.Labels): the special symbols share
+   the fixed codes 6–14; tape letters and sweep states are allocated
+   fresh codes from 48 upwards (above the grid range), preserving parity (even symbols get even
+   codes — Parity Glasses depend on it). *)
+
+type t = {
+  table : (Rainworm.Sym.t, int) Hashtbl.t;
+  mutable next_even : int;
+  mutable next_odd : int;
+}
+
+let create () = { table = Hashtbl.create 64; next_even = 48; next_odd = 49 }
+
+let code t (s : Rainworm.Sym.t) =
+  match s with
+  | Rainworm.Sym.Alpha -> Separating.Labels.alpha
+  | Rainworm.Sym.Beta0 -> Separating.Labels.beta0
+  | Rainworm.Sym.Beta1 -> Separating.Labels.beta1
+  | Rainworm.Sym.Eta0 -> Separating.Labels.eta0
+  | Rainworm.Sym.Eta1 -> Separating.Labels.eta1
+  | Rainworm.Sym.Eta11 -> Separating.Labels.eta11
+  | Rainworm.Sym.Gamma0 -> Separating.Labels.gamma0
+  | Rainworm.Sym.Gamma1 -> Separating.Labels.gamma1
+  | Rainworm.Sym.Omega0 -> Separating.Labels.omega0
+  | _ -> (
+      match Hashtbl.find_opt t.table s with
+      | Some c -> c
+      | None ->
+          let c =
+            if Rainworm.Sym.is_even s then begin
+              let c = t.next_even in
+              t.next_even <- t.next_even + 2;
+              c
+            end
+            else begin
+              let c = t.next_odd in
+              t.next_odd <- t.next_odd + 2;
+              c
+            end
+          in
+          Hashtbl.replace t.table s c;
+          c)
+
+let label t s : Greengraph.Label.t = Some (code t s)
+
+(* A configuration as a word of codes. *)
+let word t (w : Rainworm.Config.t) = List.map (code t) w
+
+(* Reverse lookup: the symbol a code denotes, among the specials and the
+   symbols this labeling has allocated so far. *)
+let sym_of_code t c =
+  let specials =
+    [
+      (Separating.Labels.alpha, Rainworm.Sym.Alpha);
+      (Separating.Labels.beta0, Rainworm.Sym.Beta0);
+      (Separating.Labels.beta1, Rainworm.Sym.Beta1);
+      (Separating.Labels.eta0, Rainworm.Sym.Eta0);
+      (Separating.Labels.eta1, Rainworm.Sym.Eta1);
+      (Separating.Labels.eta11, Rainworm.Sym.Eta11);
+      (Separating.Labels.gamma0, Rainworm.Sym.Gamma0);
+      (Separating.Labels.gamma1, Rainworm.Sym.Gamma1);
+      (Separating.Labels.omega0, Rainworm.Sym.Omega0);
+    ]
+  in
+  match List.assoc_opt c specials with
+  | Some s -> Some s
+  | None ->
+      Hashtbl.fold
+        (fun s c' acc -> if c = c' then Some s else acc)
+        t.table None
+
+(* Decode a word of codes back into machine symbols, when every code is
+   known. *)
+let decode_word t codes =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | c :: rest -> (
+        match sym_of_code t c with
+        | Some s -> go (s :: acc) rest
+        | None -> None)
+  in
+  go [] codes

@@ -1,0 +1,65 @@
+(* The end-to-end reduction of Theorem 5: from a rainworm machine ∆ to an
+   instance (Q, Q0) of the Conjunctive Query Finite Determinacy Problem.
+
+     ∆  →  T_M□ = T_M ∪ T□  (green-graph rules, Section VIII)
+        →  Precompile(T_M□)  (swarm rules, Definition 9)
+        →  Q = Compile(Precompile(T_M□))  (CQs over Σ, Definition 8)
+        →  Q0 = ∃* dalt(I)  (Observation 13)
+
+   ∆ creeps forever  ⟺  T_M□ finitely leads to the red spider
+                     ⟺  Q finitely determines Q0.
+
+   The instance is fully materialized (queries, TGDs, the boolean query
+   Q0); its Level-0 structures are large — one spider query has 2 + 4s
+   atoms with s = required_s — so the tests exercise the instance's
+   *shape* and run the semantics at Levels 1 and 2, while small instances
+   are chased at Level 0 end to end. *)
+
+type t = {
+  worm : Worm_rules.t;
+  green_rules : Greengraph.Rule.t list;  (* T_M□ *)
+  level0 : Greengraph.Precompile.level0;
+  q0 : Cq.Query.t;                        (* ∃* dalt(I) *)
+}
+
+let of_machine ?labeling machine =
+  let worm = Worm_rules.of_machine ?labeling machine in
+  let green_rules = Worm_rules.with_grid worm in
+  let level0 = Greengraph.Precompile.to_level0 green_rules in
+  let q0 =
+    Cq.Query.close
+      (Spider.Query.to_cq level0.Greengraph.Precompile.ctx (Spider.Query.f ()))
+  in
+  { worm; green_rules; level0; q0 }
+
+type shape = {
+  machine_instructions : int;
+  green_rule_count : int;
+  swarm_rule_count : int;
+  query_count : int;
+  tgd_count : int;
+  s : int;
+  atoms_per_query : int;
+}
+
+let shape t =
+  let s = Spider.Ctx.s t.level0.Greengraph.Precompile.ctx in
+  {
+    machine_instructions = Rainworm.Machine.size t.worm.Worm_rules.machine;
+    green_rule_count = List.length t.green_rules;
+    swarm_rule_count = List.length t.level0.Greengraph.Precompile.swarm_rules;
+    query_count = List.length t.level0.Greengraph.Precompile.queries;
+    tgd_count = List.length t.level0.Greengraph.Precompile.tgds;
+    s;
+    atoms_per_query =
+      (match t.level0.Greengraph.Precompile.queries with
+      | (_, q) :: _ -> List.length (Cq.Query.body q)
+      | [] -> 0);
+  }
+
+let pp_shape ppf sh =
+  Fmt.pf ppf
+    "instructions=%d green-rules=%d swarm-rules=%d CQs=%d TGDs=%d s=%d \
+     atoms/CQ=%d"
+    sh.machine_instructions sh.green_rule_count sh.swarm_rule_count
+    sh.query_count sh.tgd_count sh.s sh.atoms_per_query

@@ -1,0 +1,26 @@
+(** The end-to-end reduction of Theorem 5: ∆ → T_M□ → Precompile →
+    Q = Compile(Precompile(T_M□)) and Q0 = ∃* dalt(I), such that Q
+    finitely determines Q0 iff the rainworm creeps forever. *)
+
+type t = {
+  worm : Worm_rules.t;
+  green_rules : Greengraph.Rule.t list;  (** T_M□ *)
+  level0 : Greengraph.Precompile.level0;
+  q0 : Cq.Query.t;                        (** ∃* dalt(I) *)
+}
+
+val of_machine : ?labeling:Labeling.t -> Rainworm.Machine.t -> t
+
+(** Size summary of an instance. *)
+type shape = {
+  machine_instructions : int;
+  green_rule_count : int;
+  swarm_rule_count : int;
+  query_count : int;
+  tgd_count : int;
+  s : int;
+  atoms_per_query : int;
+}
+
+val shape : t -> shape
+val pp_shape : Format.formatter -> shape -> unit

@@ -1,0 +1,69 @@
+(* Atomic formulas: a predicate symbol applied to terms.
+
+   Atoms appear in conjunctive-query bodies and on both sides of TGDs.
+   Ground atoms over structure elements are [Fact.t]. *)
+
+type t = { sym : Symbol.t; args : Term.t list }
+
+let make sym args =
+  if List.length args <> Symbol.arity sym then
+    invalid_arg
+      (Fmt.str "Atom.make: %a applied to %d arguments" Symbol.pp sym
+         (List.length args));
+  { sym; args }
+
+(* Convenience constructor for binary atoms, which dominate this paper's
+   constructions (spider legs, swarm edges, green-graph edges). *)
+let app2 sym a b = make sym [ a; b ]
+
+let sym t = t.sym
+let args t = t.args
+
+let compare a b =
+  let c = Symbol.compare a.sym b.sym in
+  if c <> 0 then c else List.compare Term.compare a.args b.args
+
+let equal a b = compare a b = 0
+
+let vars t =
+  List.fold_left
+    (fun acc arg ->
+      match arg with Term.Var x -> Term.Var_set.add x acc | Term.Cst _ -> acc)
+    Term.Var_set.empty t.args
+
+let vars_of_list atoms =
+  List.fold_left (fun acc a -> Term.Var_set.union acc (vars a)) Term.Var_set.empty atoms
+
+let constants t =
+  List.filter_map (function Term.Cst c -> Some c | Term.Var _ -> None) t.args
+
+(* Apply a renaming/substitution on variables; constants are untouched. *)
+let substitute subst t =
+  let apply = function
+    | Term.Var x as v -> (
+        match Term.Var_map.find_opt x subst with Some u -> u | None -> v)
+    | Term.Cst _ as c -> c
+  in
+  { t with args = List.map apply t.args }
+
+let rename f t =
+  let apply = function
+    | Term.Var x -> Term.Var (f x)
+    | Term.Cst _ as c -> c
+  in
+  { t with args = List.map apply t.args }
+
+let paint c t = { t with sym = Symbol.paint c t.sym }
+let dalt t = { t with sym = Symbol.dalt t.sym }
+
+let pp ppf t =
+  Fmt.pf ppf "%a(%a)" Symbol.pp_short t.sym
+    (Fmt.list ~sep:Fmt.comma Term.pp)
+    t.args
+
+module Ord = struct
+  type nonrec t = t
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)

@@ -1,0 +1,52 @@
+(** Atomic formulas: a predicate symbol applied to terms.
+
+    Atoms form conjunctive-query bodies and both sides of TGDs; their
+    ground counterparts over structure elements are {!Fact.t}. *)
+
+type t
+
+(** [make sym args] applies [sym] to [args].
+    @raise Invalid_argument on arity mismatch. *)
+val make : Symbol.t -> Term.t list -> t
+
+(** [app2 sym a b] is the binary atom [sym(a, b)] — the dominant shape in
+    this paper (spider legs, swarm edges, green-graph edges). *)
+val app2 : Symbol.t -> Term.t -> Term.t -> t
+
+val sym : t -> Symbol.t
+val args : t -> Term.t list
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** The set of variable names occurring in the atom. *)
+val vars : t -> Term.Var_set.t
+
+(** The variables of a conjunction. *)
+val vars_of_list : t list -> Term.Var_set.t
+
+(** The constant names occurring in the atom. *)
+val constants : t -> string list
+
+(** [substitute subst a] replaces variables by terms; constants are
+    untouched, unmapped variables stay. *)
+val substitute : Term.t Term.Var_map.t -> t -> t
+
+(** [rename f a] renames every variable through [f]. *)
+val rename : (string -> string) -> t -> t
+
+(** Paint the predicate symbol (Section IV.A). *)
+val paint : Symbol.color -> t -> t
+
+(** Erase the predicate symbol's color. *)
+val dalt : t -> t
+
+val pp : Format.formatter -> t -> unit
+
+module Ord : sig
+  type nonrec t = t
+
+  val compare : t -> t -> int
+end
+
+module Set : Set.S with type elt = t

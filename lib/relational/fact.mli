@@ -1,0 +1,47 @@
+(** Ground atoms of a finite structure: a predicate symbol applied to
+    structure elements (integers). *)
+
+type t
+
+(** [make sym args] is the fact [sym(args)].
+    @raise Invalid_argument on arity mismatch. *)
+val make : Symbol.t -> int array -> t
+
+(** Binary convenience constructor. *)
+val app2 : Symbol.t -> int -> int -> t
+
+val sym : t -> Symbol.t
+val args : t -> int array
+
+(** [arg f i] is the [i]-th argument (0-based). *)
+val arg : t -> int -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** The elements occurring in the fact, in argument order (duplicates
+    kept). *)
+val elements : t -> int list
+
+(** [map_elements f t] renames every element through [f]. *)
+val map_elements : (int -> int) -> t -> t
+
+(** Paint / unpaint the predicate symbol (Section IV.A). *)
+val paint : Symbol.color -> t -> t
+
+val dalt : t -> t
+
+(** The color of the fact's symbol, if any. *)
+val color : t -> Symbol.color option
+
+val pp : ?elem:(Format.formatter -> int -> unit) -> unit -> Format.formatter -> t -> unit
+
+module Ord : sig
+  type nonrec t = t
+
+  val compare : t -> t -> int
+end
+
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,199 @@
+(* Homomorphism search (Section II.A).
+
+   The engine matches a conjunction of atoms (the pattern) against a
+   structure, extending an optional initial binding.  This single engine
+   powers conjunctive-query evaluation, TGD trigger detection, containment
+   tests and core computation.
+
+   The search is plain backtracking over a connectivity-greedy atom order;
+   candidate facts for an atom with at least one bound argument are drawn
+   from the structure's per-element index, otherwise from the per-symbol
+   index. *)
+
+type binding = int Term.Var_map.t
+
+exception Found of binding
+
+(* Order atoms so that each atom (after the first) shares a variable with an
+   earlier one when possible; ties broken towards atoms with constants,
+   which are the most selective. *)
+let order_atoms atoms =
+  match atoms with
+  | [] -> []
+  | _ ->
+      let score bound a =
+        let vs = Atom.vars a in
+        let shared = Term.Var_set.cardinal (Term.Var_set.inter vs bound) in
+        let csts = List.length (Atom.constants a) in
+        (shared * 4) + csts
+      in
+      let rec go bound remaining acc =
+        match remaining with
+        | [] -> List.rev acc
+        | _ ->
+            let best =
+              List.fold_left
+                (fun best a ->
+                  match best with
+                  | None -> Some (a, score bound a)
+                  | Some (_, s) ->
+                      let s' = score bound a in
+                      if s' > s then Some (a, s') else best)
+                None remaining
+            in
+            let a, _ = Option.get best in
+            let remaining = List.filter (fun b -> not (b == a)) remaining in
+            go (Term.Var_set.union bound (Atom.vars a)) remaining (a :: acc)
+      in
+      go Term.Var_set.empty atoms []
+
+(* Try to extend [binding] so that [atom] maps onto [fact]. *)
+let unify atom fact binding =
+  let args = Array.of_list (Atom.args atom) in
+  let fargs = Fact.args fact in
+  let n = Array.length args in
+  if n <> Array.length fargs then None
+  else
+    let rec go i binding =
+      if i >= n then Some binding
+      else
+        match args.(i) with
+        | Term.Cst _ ->
+            (* constants were resolved before candidate enumeration *)
+            go (i + 1) binding
+        | Term.Var x -> (
+            match Term.Var_map.find_opt x binding with
+            | Some e -> if e = fargs.(i) then go (i + 1) binding else None
+            | None -> go (i + 1) (Term.Var_map.add x fargs.(i) binding))
+    in
+    go 0 binding
+
+(* Resolve the constant arguments of [atom] against [target]; [None] if the
+   target lacks one of the constants. *)
+let resolved_constants target atom =
+  let rec go i acc = function
+    | [] -> Some (List.rev acc)
+    | Term.Cst c :: rest -> (
+        match Structure.constant_opt target c with
+        | None -> None
+        | Some e -> go (i + 1) ((i, e) :: acc) rest)
+    | Term.Var _ :: rest -> go (i + 1) acc rest
+  in
+  go 0 [] (Atom.args atom)
+
+let candidates target atom binding =
+  match resolved_constants target atom with
+  | None -> []
+  | Some pinned ->
+      (* Pick one pinned position — a constant or a bound variable — and use
+         the element index; fall back to the symbol index. *)
+      let bound_positions =
+        List.mapi
+          (fun i t ->
+            match t with
+            | Term.Var x -> (
+                match Term.Var_map.find_opt x binding with
+                | Some e -> Some (i, e)
+                | None -> None)
+            | Term.Cst _ -> None)
+          (Atom.args atom)
+        |> List.filter_map Fun.id
+      in
+      let pins = pinned @ bound_positions in
+      let sym = Atom.sym atom in
+      let pool =
+        match pins with
+        | (_, e) :: _ ->
+            List.filter (fun f -> Symbol.equal (Fact.sym f) sym)
+              (Structure.facts_with_elem target e)
+        | [] -> Structure.facts_with_sym target sym
+      in
+      (* Filter by all pins to cut the unify work. *)
+      List.filter
+        (fun f -> List.for_all (fun (i, e) -> Fact.arg f i = e) pins)
+        pool
+
+(* Enumerate every homomorphism from [atoms] into [target] extending
+   [init]; [f] is called on each complete binding.  Raise [Exit] from [f]
+   to stop the enumeration.  [ordered:false] disables the
+   connectivity-greedy atom ordering (exposed for the ablation bench). *)
+let iter_all ?(ordered = true) ?(init = Term.Var_map.empty) target atoms f =
+  let ordered = if ordered then order_atoms atoms else atoms in
+  let rec go atoms binding =
+    match atoms with
+    | [] -> f binding
+    | atom :: rest ->
+        let cands = candidates target atom binding in
+        List.iter
+          (fun fact ->
+            match unify atom fact binding with
+            | Some binding' -> go rest binding'
+            | None -> ())
+          cands
+  in
+  go ordered init
+
+let find ?ordered ?(init = Term.Var_map.empty) target atoms =
+  match iter_all ?ordered ~init target atoms (fun b -> raise (Found b)) with
+  | () -> None
+  | exception Found b -> Some b
+
+let exists ?ordered ?init target atoms =
+  Option.is_some (find ?ordered ?init target atoms)
+
+(* Count homomorphisms (used by tests and benches; beware of blowup). *)
+let count ?ordered ?init target atoms =
+  let n = ref 0 in
+  iter_all ?ordered ?init target atoms (fun _ -> incr n);
+  !n
+
+(* --- Structure-to-structure homomorphisms --------------------------- *)
+
+(* View a structure as a conjunction of atoms: element [e] becomes variable
+   ["e<e>"] unless it interprets a constant, in which case it stays that
+   constant (homomorphisms fix constants, Section II.A). *)
+let var_of_elem e = Printf.sprintf "h%d" e
+
+let atoms_of_structure src =
+  let term_of e =
+    match Structure.constant_name src e with
+    | Some c -> Term.Cst c
+    | None -> Term.Var (var_of_elem e)
+  in
+  Structure.fold_facts src
+    (fun f acc ->
+      Atom.make (Fact.sym f) (List.map term_of (Fact.elements f)) :: acc)
+    []
+
+(* Find a homomorphism [src -> target]; the result maps each element of
+   [src] to an element of [target].  Isolated (fact-less) non-constant
+   elements of [src] are sent to an arbitrary element of [target] when one
+   exists. *)
+let between ?(init = []) src target =
+  let init_binding =
+    List.fold_left
+      (fun acc (e, e') -> Term.Var_map.add (var_of_elem e) e' acc)
+      Term.Var_map.empty init
+  in
+  match find ~init:init_binding target (atoms_of_structure src) with
+  | None -> None
+  | Some binding ->
+      let default =
+        match Structure.elems target with e :: _ -> Some e | [] -> None
+      in
+      let table = Hashtbl.create 64 in
+      Structure.iter_elems src (fun e ->
+          let image =
+            match Structure.constant_name src e with
+            | Some c -> Structure.constant_opt target c
+            | None -> (
+                match Term.Var_map.find_opt (var_of_elem e) binding with
+                | Some e' -> Some e'
+                | None -> default)
+          in
+          match image with
+          | Some e' -> Hashtbl.replace table e e'
+          | None -> ());
+      Some (fun e -> Hashtbl.find_opt table e)
+
+let exists_between ?init src target = Option.is_some (between ?init src target)

@@ -1,0 +1,47 @@
+(** Homomorphism search (Section II.A).
+
+    One backtracking engine matches a conjunction of atoms against a
+    structure; it powers CQ evaluation, TGD trigger detection, containment
+    tests and core computation.  Atoms are visited in a
+    connectivity-greedy order and candidate facts are drawn from the
+    structure's element index whenever an argument is already bound. *)
+
+(** A variable binding: query variables to structure elements. *)
+type binding = int Term.Var_map.t
+
+exception Found of binding
+
+(** The connectivity-greedy atom ordering (exposed for tests/benches). *)
+val order_atoms : Atom.t list -> Atom.t list
+
+(** [iter_all ?ordered ?init target atoms f] calls [f] on every
+    homomorphism from [atoms] into [target] extending [init].  Raise
+    [Exit] from [f] to stop early.  [ordered:false] disables the atom
+    ordering (ablation). *)
+val iter_all :
+  ?ordered:bool ->
+  ?init:binding ->
+  Structure.t ->
+  Atom.t list ->
+  (binding -> unit) ->
+  unit
+
+(** First homomorphism found, if any. *)
+val find : ?ordered:bool -> ?init:binding -> Structure.t -> Atom.t list -> binding option
+
+val exists : ?ordered:bool -> ?init:binding -> Structure.t -> Atom.t list -> bool
+
+(** Number of homomorphisms (beware of blowup). *)
+val count : ?ordered:bool -> ?init:binding -> Structure.t -> Atom.t list -> int
+
+(** {1 Structure-to-structure homomorphisms}
+
+    A structure is read as a conjunction of atoms — elements become
+    variables, constants stay constants (and must map to their namesakes). *)
+
+(** [between ?init src target] finds a homomorphism [src → target]
+    extending the initial element pairs; the result maps each element of
+    [src] to its image. *)
+val between : ?init:(int * int) list -> Structure.t -> Structure.t -> (int -> int option) option
+
+val exists_between : ?init:(int * int) list -> Structure.t -> Structure.t -> bool

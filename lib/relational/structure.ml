@@ -1,0 +1,276 @@
+(* Finite relational structures (Section II.A).
+
+   Elements are integers allocated by the structure.  Constants of the
+   signature are interpreted as dedicated elements, shared by name: a
+   homomorphism must send the interpretation of [c] in one structure to the
+   interpretation of [c] in the other.
+
+   The structure is mutable — the chase (Section II.C) extends a structure
+   in place — and carries provenance: each fact and element remembers the
+   chase stage at which it appeared, which Section IX's "late fragments"
+   [chase^L] need. *)
+
+type t = {
+  mutable next : int;                        (* next fresh element id *)
+  consts : (string, int) Hashtbl.t;          (* constant name -> element *)
+  const_of : (int, string) Hashtbl.t;        (* element -> constant name *)
+  names : (int, string) Hashtbl.t;           (* optional debug labels *)
+  facts : int Fact.Tbl.t;                    (* fact -> stage added *)
+  by_sym : Fact.t list ref Symbol.Tbl.t;
+  by_elem : (int, Fact.t list ref) Hashtbl.t;
+  dom : (int, int) Hashtbl.t;                (* element -> birth stage *)
+  mutable stage : int;                       (* current provenance stage *)
+  mutable nfacts : int;
+}
+
+let create () =
+  {
+    next = 0;
+    consts = Hashtbl.create 16;
+    const_of = Hashtbl.create 16;
+    names = Hashtbl.create 64;
+    facts = Fact.Tbl.create 256;
+    by_sym = Symbol.Tbl.create 32;
+    by_elem = Hashtbl.create 256;
+    dom = Hashtbl.create 256;
+    stage = 0;
+    nfacts = 0;
+  }
+
+let set_stage t s = t.stage <- s
+let stage t = t.stage
+
+let register_elem t e =
+  if not (Hashtbl.mem t.dom e) then Hashtbl.replace t.dom e t.stage
+
+(* Import an externally-allocated element id, keeping [fresh] clear of it. *)
+let reserve t e =
+  register_elem t e;
+  if e >= t.next then t.next <- e + 1
+
+let fresh ?name t =
+  let e = t.next in
+  t.next <- t.next + 1;
+  register_elem t e;
+  (match name with Some n -> Hashtbl.replace t.names e n | None -> ());
+  e
+
+let constant t c =
+  match Hashtbl.find_opt t.consts c with
+  | Some e -> e
+  | None ->
+      let e = fresh ~name:c t in
+      Hashtbl.replace t.consts c e;
+      Hashtbl.replace t.const_of e c;
+      e
+
+let constant_opt t c = Hashtbl.find_opt t.consts c
+let constant_name t e = Hashtbl.find_opt t.const_of e
+let is_constant t e = Hashtbl.mem t.const_of e
+
+let name t e =
+  match Hashtbl.find_opt t.names e with
+  | Some n -> n
+  | None -> Printf.sprintf "e%d" e
+
+let set_name t e n = Hashtbl.replace t.names e n
+
+let mem t f = Fact.Tbl.mem t.facts f
+
+let add_fact t f =
+  if Fact.Tbl.mem t.facts f then false
+  else begin
+    Fact.Tbl.replace t.facts f t.stage;
+    t.nfacts <- t.nfacts + 1;
+    let bucket =
+      match Symbol.Tbl.find_opt t.by_sym (Fact.sym f) with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Symbol.Tbl.replace t.by_sym (Fact.sym f) r;
+          r
+    in
+    bucket := f :: !bucket;
+    let seen = Hashtbl.create 4 in
+    Array.iter
+      (fun e ->
+        register_elem t e;
+        if not (Hashtbl.mem seen e) then begin
+          Hashtbl.replace seen e ();
+          let r =
+            match Hashtbl.find_opt t.by_elem e with
+            | Some r -> r
+            | None ->
+                let r = ref [] in
+                Hashtbl.replace t.by_elem e r;
+                r
+          in
+          r := f :: !r
+        end)
+      (Fact.args f);
+    true
+  end
+
+let add t sym args = ignore (add_fact t (Fact.make sym args))
+let add2 t sym a b = ignore (add_fact t (Fact.app2 sym a b))
+
+let fact_stage t f = Fact.Tbl.find_opt t.facts f
+let elem_stage t e = Hashtbl.find_opt t.dom e
+
+let card t = Hashtbl.length t.dom
+let size t = t.nfacts
+
+let iter_facts t f = Fact.Tbl.iter (fun fact _ -> f fact) t.facts
+let fold_facts t f acc = Fact.Tbl.fold (fun fact _ acc -> f fact acc) t.facts acc
+let facts t = fold_facts t (fun f acc -> f :: acc) []
+
+let iter_elems t f = Hashtbl.iter (fun e _ -> f e) t.dom
+let elems t = Hashtbl.fold (fun e _ acc -> e :: acc) t.dom []
+
+let facts_with_sym t sym =
+  match Symbol.Tbl.find_opt t.by_sym sym with Some r -> !r | None -> []
+
+let facts_with_elem t e =
+  match Hashtbl.find_opt t.by_elem e with Some r -> !r | None -> []
+
+let symbols t =
+  Symbol.Tbl.fold (fun s r acc -> if !r = [] then acc else s :: acc) t.by_sym []
+
+let constants t = Hashtbl.fold (fun c _ acc -> c :: acc) t.consts []
+
+(* Deep copy: the copy allocates elements with the same identifiers and
+   shares nothing mutable with the original. *)
+let copy t =
+  let u = create () in
+  u.next <- t.next;
+  Hashtbl.iter (fun c e -> Hashtbl.replace u.consts c e) t.consts;
+  Hashtbl.iter (fun e c -> Hashtbl.replace u.const_of e c) t.const_of;
+  Hashtbl.iter (fun e n -> Hashtbl.replace u.names e n) t.names;
+  Hashtbl.iter (fun e s -> Hashtbl.replace u.dom e s) t.dom;
+  u.stage <- t.stage;
+  Fact.Tbl.iter
+    (fun f s ->
+      let saved = u.stage in
+      u.stage <- s;
+      ignore (add_fact u f);
+      u.stage <- saved)
+    t.facts;
+  u.stage <- t.stage;
+  u
+
+(* [like t] is an empty structure sharing [t]'s constants (same element
+   ids) and element allocator position, so facts built from [t]'s elements
+   can be added to it directly. *)
+let like t =
+  let u = create () in
+  u.next <- t.next;
+  Hashtbl.iter
+    (fun c e ->
+      Hashtbl.replace u.consts c e;
+      Hashtbl.replace u.const_of e c;
+      Hashtbl.replace u.dom e 0)
+    t.consts;
+  u
+
+(* [filter keep t] is the substructure of [t] containing the facts
+   satisfying [keep].  Constants survive; elements only appearing in
+   dropped facts are dropped (unless constants). *)
+let filter keep t =
+  let u = create () in
+  u.next <- t.next;
+  Hashtbl.iter
+    (fun c e ->
+      Hashtbl.replace u.consts c e;
+      Hashtbl.replace u.const_of e c;
+      Hashtbl.replace u.dom e 0)
+    t.consts;
+  Hashtbl.iter (fun e n -> Hashtbl.replace u.names e n) t.names;
+  Fact.Tbl.iter
+    (fun f s ->
+      if keep f then begin
+        let saved = u.stage in
+        u.stage <- s;
+        ignore (add_fact u f);
+        u.stage <- saved
+      end)
+    t.facts;
+  u
+
+(* Color restriction D|G / D|R and daltonisation (Section IV.A). *)
+let restrict_color c t = filter (fun f -> Fact.color f = Some c) t
+
+let map_facts f t =
+  let u = create () in
+  u.next <- t.next;
+  Hashtbl.iter
+    (fun cst e ->
+      Hashtbl.replace u.consts cst e;
+      Hashtbl.replace u.const_of e cst;
+      Hashtbl.replace u.dom e 0)
+    t.consts;
+  Hashtbl.iter (fun e n -> Hashtbl.replace u.names e n) t.names;
+  Fact.Tbl.iter
+    (fun fact s ->
+      let saved = u.stage in
+      u.stage <- s;
+      ignore (add_fact u (f fact));
+      u.stage <- saved)
+    t.facts;
+  u
+
+let dalt t = map_facts Fact.dalt t
+let paint c t = map_facts (Fact.paint c) t
+
+(* [quotient f t] renames every element [e] to [f e], merging elements that
+   share an image.  Constants must be fixed points of [f]. *)
+let quotient f t =
+  let u = create () in
+  u.next <- t.next;
+  Hashtbl.iter
+    (fun cst e ->
+      if f e <> e then invalid_arg "Structure.quotient: constant not fixed";
+      Hashtbl.replace u.consts cst e;
+      Hashtbl.replace u.const_of e cst;
+      Hashtbl.replace u.dom e 0)
+    t.consts;
+  Fact.Tbl.iter (fun fact _ -> ignore (add_fact u (Fact.map_elements f fact))) t.facts;
+  u
+
+(* [union_into ~into src] adds every fact of [src] to [into], identifying
+   constants by name and renaming the remaining elements of [src] to fresh
+   elements of [into].  Returns the renaming used. *)
+let union_into ~into src =
+  let map = Hashtbl.create 64 in
+  let rename e =
+    match Hashtbl.find_opt map e with
+    | Some e' -> e'
+    | None ->
+        let e' =
+          match constant_name src e with
+          | Some c -> constant into c
+          | None -> fresh ?name:(Hashtbl.find_opt src.names e) into
+        in
+        Hashtbl.replace map e e';
+        e'
+  in
+  iter_elems src (fun e -> ignore (rename e));
+  iter_facts src (fun f -> ignore (add_fact into (Fact.map_elements rename f)));
+  fun e -> Hashtbl.find_opt map e
+
+(* Disjoint union of a list of structures; constants are shared by name,
+   as required for Section IX's D_y / D_n constructions. *)
+let disjoint_union parts =
+  let u = create () in
+  let maps = List.map (fun p -> union_into ~into:u p) parts in
+  (u, maps)
+
+let equal_sets a b =
+  size a = size b && fold_facts a (fun f ok -> ok && mem b f) true
+
+let pp ppf t =
+  let facts = List.sort Fact.compare (facts t) in
+  let elem ppf e = Fmt.string ppf (name t e) in
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut (Fact.pp ~elem ())) facts
+
+let pp_stats ppf t =
+  Fmt.pf ppf "%d elements, %d facts" (card t) (size t)

@@ -1,0 +1,133 @@
+(** Finite relational structures (Section II.A).
+
+    Elements are integers allocated by the structure; constants of the
+    signature are interpreted as dedicated elements shared by name.  The
+    structure is mutable — the chase extends it in place — and carries
+    provenance: every fact and element remembers the chase stage at which
+    it appeared (Section IX's late fragments [chase^L] are carved out of
+    this provenance). *)
+
+type t
+
+(** A fresh empty structure. *)
+val create : unit -> t
+
+(** {1 Provenance stages} *)
+
+(** Set the current stage; facts and elements added afterwards are stamped
+    with it.  The chase sets stage [i] while computing [chase_i]. *)
+val set_stage : t -> int -> unit
+
+val stage : t -> int
+
+(** The stage at which a fact was added, if present. *)
+val fact_stage : t -> Fact.t -> int option
+
+(** The stage at which an element was created, if present. *)
+val elem_stage : t -> int -> int option
+
+(** {1 Elements and constants} *)
+
+(** Allocate a fresh element, with an optional debug name. *)
+val fresh : ?name:string -> t -> int
+
+(** Import an externally-allocated element id, keeping [fresh] clear of
+    it (used when mirroring graph vertices into structures). *)
+val reserve : t -> int -> unit
+
+(** The interpretation of constant [c], allocated on first use. *)
+val constant : t -> string -> int
+
+val constant_opt : t -> string -> int option
+
+(** The constant interpreted by this element, if any. *)
+val constant_name : t -> int -> string option
+
+val is_constant : t -> int -> bool
+
+(** A printable name for the element ([e<id>] by default). *)
+val name : t -> int -> string
+
+val set_name : t -> int -> string -> unit
+
+(** All constant names of the structure. *)
+val constants : t -> string list
+
+(** {1 Facts} *)
+
+val mem : t -> Fact.t -> bool
+
+(** [add_fact t f] adds [f]; returns [false] if it was already present. *)
+val add_fact : t -> Fact.t -> bool
+
+(** [add t sym args] adds [sym(args)], ignoring duplication. *)
+val add : t -> Symbol.t -> int array -> unit
+
+(** Binary convenience. *)
+val add2 : t -> Symbol.t -> int -> int -> unit
+
+(** Number of elements. *)
+val card : t -> int
+
+(** Number of facts. *)
+val size : t -> int
+
+val iter_facts : t -> (Fact.t -> unit) -> unit
+val fold_facts : t -> (Fact.t -> 'a -> 'a) -> 'a -> 'a
+val facts : t -> Fact.t list
+val iter_elems : t -> (int -> unit) -> unit
+val elems : t -> int list
+
+(** All facts with the given (exact, color included) symbol. *)
+val facts_with_sym : t -> Symbol.t -> Fact.t list
+
+(** All facts mentioning the element. *)
+val facts_with_elem : t -> int -> Fact.t list
+
+(** The symbols with at least one fact. *)
+val symbols : t -> Symbol.t list
+
+(** {1 Whole-structure operations} *)
+
+(** Deep copy sharing nothing mutable. *)
+val copy : t -> t
+
+(** [like t] is an empty structure sharing [t]'s constants (same element
+    ids) and allocator position. *)
+val like : t -> t
+
+(** [filter keep t] is the substructure of facts satisfying [keep];
+    constants survive, provenance is preserved. *)
+val filter : (Fact.t -> bool) -> t -> t
+
+(** [restrict_color c t] is D↾G or D↾R (Section IV.A). *)
+val restrict_color : Symbol.color -> t -> t
+
+(** [map_facts f t] rebuilds the structure with each fact transformed. *)
+val map_facts : (Fact.t -> Fact.t) -> t -> t
+
+(** Daltonisation: erase all colors (Section IV.A). *)
+val dalt : t -> t
+
+(** Paint every fact. *)
+val paint : Symbol.color -> t -> t
+
+(** [quotient f t] renames every element through [f], merging elements
+    that share an image.
+    @raise Invalid_argument if a constant is not a fixed point of [f]. *)
+val quotient : (int -> int) -> t -> t
+
+(** [union_into ~into src] adds a renamed-apart copy of [src] to [into],
+    identifying constants by name; returns the renaming. *)
+val union_into : into:t -> t -> int -> int option
+
+(** Disjoint union of structures; constants are shared by name (the
+    Section IX constructions rely on this).  Also returns the per-part
+    renamings. *)
+val disjoint_union : t list -> t * (int -> int option) list
+
+(** Equality as fact sets (same element identities). *)
+val equal_sets : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+(* αβ-paths and the collapse scenario of Figure 2.
+
+   An αβ-path of k β-pairs mirrors the shape of chase(T∞, D_I): concrete
+   edges  α(start→b1), β1(a1→b1), β0(a1→b2), β1(a2→b2), β0(a2→b3) … — in
+   Parity Glasses this reads as the word α(β1β0)^k from [start] to the
+   final b-vertex. *)
+
+type t = {
+  start : int;
+  b_vertices : int list; (* b1 … b_k+? in path order *)
+  a_vertices : int list; (* a1 … *)
+  stop : int;            (* the last b vertex *)
+}
+
+(* Build an αβ-path with [k] β1β0-pairs into [g], starting at [start].
+   [stop] optionally forces the final vertex (used to make two paths
+   collide as in Figure 2). *)
+let build g ~start ?stop k =
+  if k < 1 then invalid_arg "Paths.build: need k ≥ 1";
+  let fresh name = Greengraph.Graph.fresh ~name g in
+  let add lab src dst = ignore (Greengraph.Graph.add_edge g (Some lab) src dst) in
+  let b1 = fresh "b1" in
+  add Labels.alpha start b1;
+  let rec go i prev_b bs als =
+    (* add β1(a_i → prev_b) and β0(a_i → next_b) *)
+    let a = fresh (Printf.sprintf "a%d" i) in
+    add Labels.beta1 a prev_b;
+    let next_b =
+      if i = k then match stop with Some v -> v | None -> fresh (Printf.sprintf "b%d" (i + 1))
+      else fresh (Printf.sprintf "b%d" (i + 1))
+    in
+    add Labels.beta0 a next_b;
+    if i = k then
+      {
+        start;
+        b_vertices = List.rev (next_b :: bs);
+        a_vertices = List.rev (a :: als);
+        stop = next_b;
+      }
+    else go (i + 1) next_b (next_b :: bs) (a :: als)
+  in
+  go 1 b1 [ b1 ] []
+
+(* Figure 2: two αβ-paths of lengths t and t' sharing both their start
+   and their final vertex — the inevitable situation in a finite model of
+   T∞ (h(b_t) = h(b_t')). *)
+let collision ~t ~t' =
+  let g = Greengraph.Graph.create () in
+  let start = Greengraph.Graph.fresh ~name:"h(a)" g in
+  let p1 = build g ~start t in
+  let p2 = build g ~start ~stop:p1.stop t' in
+  (g, p1, p2)
+
+(* The single-path scenario of Figure 4 / Section VII Step 3: one αβ-path
+   (the grid triggering rule self-pairs on its β0 edges). *)
+let single ~t =
+  let g = Greengraph.Graph.create () in
+  let start = Greengraph.Graph.fresh ~name:"h(a)" g in
+  let p = build g ~start t in
+  (g, p)

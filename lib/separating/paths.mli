@@ -1,0 +1,19 @@
+(** αβ-paths and the collision scenario of Figure 2. *)
+
+type t = {
+  start : int;
+  b_vertices : int list;  (** b1, b2, … in path order *)
+  a_vertices : int list;  (** a1, a2, … *)
+  stop : int;             (** the final b vertex *)
+}
+
+(** Build an αβ-path with [k] β1β0-pairs from [start]; [stop] forces the
+    final vertex (collisions).
+    @raise Invalid_argument when k < 1. *)
+val build : Greengraph.Graph.t -> start:int -> ?stop:int -> int -> t
+
+(** Figure 2: two αβ-paths of lengths t and t' sharing start and end. *)
+val collision : t:int -> t':int -> Greengraph.Graph.t * t * t
+
+(** A single αβ-path (the Figure 4 scenario). *)
+val single : t:int -> Greengraph.Graph.t * t

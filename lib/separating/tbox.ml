@@ -1,0 +1,89 @@
+(* T□ (Section VII, Step 2): the 41 green-graph rewriting rules that
+   detect two αβ-paths of different lengths sharing both endpoints, by
+   building the grid of Figures 2–3 and producing a 1-2 pattern exactly
+   when the grid's north-western corner misses the diagonal.
+
+   One deviation from the printed rules: the last rule of the eastern
+   strip appears in the paper as
+       α &·· ⟨w,β,d̄,b⟩ ] ⟨w,β,d̄,b⟩ &·· ⟨n,α,d̄,b̄⟩
+   whose left component repeats on the right; every other eastern-strip
+   rule is the n↔w / s↔e mirror of its southern counterpart, so we take
+   the mirrored form
+       α &·· ⟨e,β,d̄,b⟩ ] ⟨w,β,d̄,b⟩ &·· ⟨n,α,d̄,b̄⟩
+   (the southern counterpart being α&··⟨s,β,d̄,b⟩ ] ⟨n,β,d̄,b⟩&··⟨w,α,d̄,b̄⟩).
+   The behavioral tests of Lemmas 17/18 confirm this reading. *)
+
+open Labels
+
+let lab gl = grid gl
+let sp i = label i
+
+(* The grid triggering rule: builds the south-eastern corner tile. *)
+let triggering =
+  Greengraph.Rule.amp ~name:"trigger" (sp beta0, sp beta0)
+    (lab (g ~diag:true ~border:true N Tb), lab (g ~diag:true ~border:true W Tb))
+
+(* The strip of tiles adjacent to the southern border. *)
+let southern =
+  [
+    Greengraph.Rule.slash ~name:"s1"
+      (sp beta1, lab (g ~diag:true ~border:true N Tb))
+      (lab (g ~border:true S Tb), lab (g ~diag:true E Tb));
+    Greengraph.Rule.amp ~name:"s2"
+      (sp beta0, lab (g ~border:true S Tb))
+      (lab (g ~border:true N Tb), lab (g W Tb));
+    Greengraph.Rule.slash ~name:"s3"
+      (sp beta1, lab (g ~border:true N Tb))
+      (lab (g ~border:true S Tb), lab (g E Tb));
+    Greengraph.Rule.amp ~name:"s4"
+      (sp alpha, lab (g ~border:true S Tb))
+      (lab (g ~border:true N Tb), lab (g W Ta));
+  ]
+
+(* The strip adjacent to the eastern border (the n↔w, s↔e mirror). *)
+let eastern =
+  [
+    Greengraph.Rule.slash ~name:"e1"
+      (sp beta1, lab (g ~diag:true ~border:true W Tb))
+      (lab (g ~border:true E Tb), lab (g ~diag:true S Tb));
+    Greengraph.Rule.amp ~name:"e2"
+      (sp beta0, lab (g ~border:true E Tb))
+      (lab (g ~border:true W Tb), lab (g N Tb));
+    Greengraph.Rule.slash ~name:"e3"
+      (sp beta1, lab (g ~border:true W Tb))
+      (lab (g ~border:true E Tb), lab (g S Tb));
+    Greengraph.Rule.amp ~name:"e4"
+      (sp alpha, lab (g ~border:true E Tb))
+      (lab (g ~border:true W Tb), lab (g N Ta));
+  ]
+
+(* The 32 interior rules: two schemes over X,Y ∈ {d,d̄}, Θ,Ω ∈ {α,β}. *)
+let interior =
+  List.concat_map
+    (fun x ->
+      List.concat_map
+        (fun y ->
+          List.concat_map
+            (fun th ->
+              List.map
+                (fun om ->
+                  [
+                    Greengraph.Rule.amp ~name:"iA"
+                      (lab (g ~diag:x E th), lab (g ~diag:y S om))
+                      (lab (g ~diag:x N om), lab (g ~diag:y W th));
+                    Greengraph.Rule.slash ~name:"iB"
+                      (lab (g ~diag:x W th), lab (g ~diag:y N om))
+                      (lab (g ~diag:x S om), lab (g ~diag:y E th));
+                  ])
+                [ Ta; Tb ])
+            [ Ta; Tb ])
+        [ true; false ])
+    [ true; false ]
+  |> List.concat
+
+let rules = (triggering :: southern) @ eastern @ interior
+
+let size = List.length rules
+
+(* T = T∞ ∪ T□ — the separating example of Theorem 14. *)
+let t_full = Tinf.rules @ rules

@@ -1,0 +1,18 @@
+(** T□ (Section VII, Step 2): the 41 rules that grid two colliding
+    αβ-paths (Figures 2–3) and produce a 1-2 pattern exactly when the
+    grid's north-western corner misses the diagonal.  See the file header
+    for the one documented deviation from the printed eastern-strip
+    rules. *)
+
+val triggering : Greengraph.Rule.t
+val southern : Greengraph.Rule.t list
+val eastern : Greengraph.Rule.t list
+val interior : Greengraph.Rule.t list
+
+(** All 41 rules. *)
+val rules : Greengraph.Rule.t list
+
+val size : int
+
+(** T = T∞ ∪ T□, the separating example of Theorem 14. *)
+val t_full : Greengraph.Rule.t list

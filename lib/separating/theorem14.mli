@@ -1,0 +1,21 @@
+(** Theorem 14, made executable: T = T∞ ∪ T□ does not lead to the red
+    spider but finitely leads to it. *)
+
+(** Bounded evidence for the unrestricted side: chase T from D_I and
+    report (no-pattern?, graph). *)
+val chase_prefix_clean : stages:int -> bool * Greengraph.Graph.t
+
+(** The finite-side mechanism (Lemma 17): grid a fold of two αβ-paths. *)
+val collision_outcome :
+  ?max_stages:int ->
+  t:int ->
+  t':int ->
+  unit ->
+  bool * Greengraph.Rule.stats * Greengraph.Graph.t
+
+(** Lemma 18's intuition: a single path grids into M_t harmlessly. *)
+val single_path_outcome :
+  ?max_stages:int ->
+  t:int ->
+  unit ->
+  bool * Greengraph.Rule.stats * Greengraph.Graph.t

@@ -1,0 +1,41 @@
+(* The Rule of Spider Algebra ♣ (Section V.B):
+
+       f^I_J (H^{I'}_{J'}) = I^{I\I'}_{J\J'}      when I' ⊆ I and J' ⊆ J
+
+   (and the same with colors reversed).  At the ideal level the indices
+   are singletons-or-empty, so the subset and difference operations
+   degenerate into the little option calculus below.  [Real] + the
+   green-red TGDs realize the same rule at Level 0; the test suite checks
+   they agree. *)
+
+let subset i' i = match i', i with None, _ -> true | Some _, _ -> i' = i
+
+let diff i i' =
+  match i' with
+  | None -> i
+  | Some _ -> if i = i' then None else invalid_arg "Algebra.diff: not a subset"
+
+(* Does the TGD direction matter?  (f^I_J)^{G→R} applies to green spiders
+   and produces red ones, and vice versa; [apply] takes the argument's
+   base color as found. *)
+let apply (q : Query.f) (s : Ideal.t) : Ideal.t option =
+  if subset (Ideal.upper s) (Query.upper q) && subset (Ideal.lower s) (Query.lower q)
+  then
+    Some
+      (Ideal.make
+         ?upper:(diff (Query.upper q) (Ideal.upper s))
+         ?lower:(diff (Query.lower q) (Ideal.lower s))
+         (Relational.Symbol.opposite (Ideal.base s)))
+  else None
+
+let applies q s = Option.is_some (apply q s)
+
+(* A binary query applies to a pair of same-colored spiders when both
+   components apply (Section V.B's description of how (f & f')^{G→R} acts
+   on a structure). *)
+let apply_binary (b : Query.binary) (s1 : Ideal.t) (s2 : Ideal.t) =
+  if Ideal.base s1 <> Ideal.base s2 then None
+  else
+    match apply b.Query.left s1, apply b.Query.right s2 with
+    | Some r1, Some r2 -> Some (r1, r2)
+    | _ -> None

@@ -1,0 +1,20 @@
+(** The Rule of Spider Algebra ♣ (Section V.B):
+    [f^I_J (H^{I'}_{J'}) = I^{I\I'}_{J\J'}] when I′ ⊆ I and J′ ⊆ J (and
+    dually on green arguments).  The test suite verifies that the
+    green-red TGDs implement exactly this at Level 0. *)
+
+(** Subset test on singleton-or-empty index sets. *)
+val subset : int option -> int option -> bool
+
+(** Difference I∖I′ of singleton-or-empty sets.
+    @raise Invalid_argument when I′ ⊄ I. *)
+val diff : int option -> int option -> int option
+
+(** [apply f s] is ♣, with the result base color opposite to [s]'s. *)
+val apply : Query.f -> Ideal.t -> Ideal.t option
+
+val applies : Query.f -> Ideal.t -> bool
+
+(** Both components on a same-colored pair of spiders — how a binary query
+    acts (Section V.B). *)
+val apply_binary : Query.binary -> Ideal.t -> Ideal.t -> (Ideal.t * Ideal.t) option

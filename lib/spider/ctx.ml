@@ -1,0 +1,59 @@
+(* The spider signature Σ, parameterized by s (the paper's "s-pider",
+   footnote 5): each spider has s upper and s lower legs.
+
+   Our concrete anatomy (documented in DESIGN.md — the PODS paper inherits
+   it from [GM15] and only constrains it through the properties it uses):
+
+     head h ──ant──→ antenna n          (one antenna atom)
+     head h ──tl───→ tail t             (one tail atom)
+     head h ──U_j──→ upper knee ──V_j──→ end     (j = 1..s)
+     head h ──L_j──→ lower knee ──W_j──→ end     (j = 1..s)
+
+   [end] is a constant of Σ shared by all calves.  In the colored spider
+   X^I_J every atom carries the base color of X except the calves of the
+   legs listed in I (upper) and J (lower), which carry the opposite color.
+   The calf color is what the Rule of Spider Algebra ♣ manipulates. *)
+
+type t = {
+  s : int;
+  ant : Relational.Symbol.t;
+  tail : Relational.Symbol.t;
+  upper_thigh : Relational.Symbol.t array; (* U_1 .. U_s at indices 0..s-1 *)
+  upper_calf : Relational.Symbol.t array;  (* V_j *)
+  lower_thigh : Relational.Symbol.t array; (* L_j *)
+  lower_calf : Relational.Symbol.t array;  (* W_j *)
+}
+
+let leg_end = "end"
+
+let create s =
+  if s < 1 then invalid_arg "Ctx.create: s must be positive";
+  let mk prefix j = Relational.Symbol.make (Printf.sprintf "%s%d" prefix (j + 1)) 2 in
+  {
+    s;
+    ant = Relational.Symbol.make "ant" 2;
+    tail = Relational.Symbol.make "tl" 2;
+    upper_thigh = Array.init s (mk "U");
+    upper_calf = Array.init s (mk "V");
+    lower_thigh = Array.init s (mk "L");
+    lower_calf = Array.init s (mk "W");
+  }
+
+let s t = t.s
+let ant t = t.ant
+let tail t = t.tail
+
+(* j ranges over 1..s in the paper; arrays are 0-based. *)
+let upper_thigh t j = t.upper_thigh.(j - 1)
+let upper_calf t j = t.upper_calf.(j - 1)
+let lower_thigh t j = t.lower_thigh.(j - 1)
+let lower_calf t j = t.lower_calf.(j - 1)
+
+let indices t = List.init t.s (fun i -> i + 1)
+
+(* All symbols of Σ (uncolored). *)
+let symbols t =
+  (t.ant :: t.tail :: Array.to_list t.upper_thigh)
+  @ Array.to_list t.upper_calf
+  @ Array.to_list t.lower_thigh
+  @ Array.to_list t.lower_calf

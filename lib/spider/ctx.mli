@@ -1,0 +1,32 @@
+(** The spider signature Σ, parameterized by s (footnote 5: "s-pider").
+
+    Anatomy (documented in DESIGN.md): head with an antenna atom, a tail
+    atom, and s upper + s lower legs, each a thigh to a knee followed by a
+    calf from the knee to the shared constant [leg_end].  The calf colors
+    carry the I/J indices of a colored spider. *)
+
+type t
+
+(** The shared calf-end constant of Σ. *)
+val leg_end : string
+
+(** @raise Invalid_argument unless [s ≥ 1]. *)
+val create : int -> t
+
+val s : t -> int
+
+(** Leg indices run 1..s. *)
+val upper_thigh : t -> int -> Relational.Symbol.t
+
+val upper_calf : t -> int -> Relational.Symbol.t
+val lower_thigh : t -> int -> Relational.Symbol.t
+val lower_calf : t -> int -> Relational.Symbol.t
+
+val ant : t -> Relational.Symbol.t
+val tail : t -> Relational.Symbol.t
+
+(** [1; ...; s] *)
+val indices : t -> int list
+
+(** All symbols of Σ (uncolored). *)
+val symbols : t -> Relational.Symbol.t list

@@ -1,0 +1,126 @@
+(* Real spiders: homomorphic copies of ideal spiders living inside a
+   structure over Σ̄ (footnote 7).  [realize] builds one; [Detect] finds
+   them. *)
+
+open Relational
+
+type t = {
+  ideal : Ideal.t;
+  head : int;
+  tail : int;
+  antenna : int;
+  upper_knees : int array; (* knee of upper leg j at index j-1 *)
+  lower_knees : int array;
+}
+
+let pp ppf r =
+  Fmt.pf ppf "%a@@%d(tail=%d,ant=%d)" Ideal.pp r.ideal r.head r.tail r.antenna
+
+(* Add a real copy of [ideal] to [st], with the given tail and antenna
+   elements.  [knee] optionally supplies knee elements (used by compile's
+   ∼-quotient, Definition 29); by default knees are fresh. *)
+let realize ctx st ?knee ~tail ~antenna ideal =
+  let base = Ideal.base ideal in
+  let head = Structure.fresh st in
+  Structure.add2 st (Symbol.paint base ((Ctx.ant ctx))) head antenna;
+  Structure.add2 st (Symbol.paint base (Ctx.tail ctx)) head tail;
+  let the_end = Structure.constant st Ctx.leg_end in
+  let knee_of side j =
+    match knee with
+    | Some f -> f side j (Ideal.leg_color ideal side j)
+    | None -> Structure.fresh st
+  in
+  let leg side j =
+    let thigh, calf =
+      match side with
+      | `Upper -> (Ctx.upper_thigh ctx j, Ctx.upper_calf ctx j)
+      | `Lower -> (Ctx.lower_thigh ctx j, Ctx.lower_calf ctx j)
+    in
+    let k = knee_of side j in
+    Structure.add2 st (Symbol.paint base thigh) head k;
+    Structure.add2 st (Symbol.paint (Ideal.leg_color ideal side j) calf) k the_end;
+    k
+  in
+  let upper_knees = Array.of_list (List.map (leg `Upper) (Ctx.indices ctx)) in
+  let lower_knees = Array.of_list (List.map (leg `Lower) (Ctx.indices ctx)) in
+  { ideal; head; tail; antenna; upper_knees; lower_knees }
+
+(* --- detection -------------------------------------------------------- *)
+
+(* The unique colored binary fact with symbol [dalt_sym] and first argument
+   [h]; [None] if absent or ambiguous in color. *)
+let colored_out st dalt_sym h =
+  let hits =
+    List.filter
+      (fun f ->
+        Symbol.equal (Symbol.dalt (Fact.sym f)) dalt_sym && Fact.arg f 0 = h)
+      (Structure.facts_with_elem st h)
+  in
+  match hits with [ f ] -> Some f | _ -> None
+
+(* Reconstruct the real spider whose head is [h], if any.  Heads created
+   by realize/chase carry exactly one antenna atom whose color is the base
+   color; each leg must be complete (thigh + calf) with thigh in base
+   color.  The calf colors determine I and J. *)
+let at_head ctx st h =
+  let ( let* ) = Option.bind in
+  let* ant_fact = colored_out st (Ctx.ant ctx) h in
+  let* base = Fact.color ant_fact in
+  let antenna = Fact.arg ant_fact 1 in
+  let* tail_fact = colored_out st (Ctx.tail ctx) h in
+  let* () = if Fact.color tail_fact = Some base then Some () else None in
+  let tail = Fact.arg tail_fact 1 in
+  let the_end = Structure.constant_opt st Ctx.leg_end in
+  let* the_end = the_end in
+  (* walk one leg: returns the knee and whether the calf is flipped *)
+  let leg side j =
+    let thigh, calf =
+      match side with
+      | `Upper -> (Ctx.upper_thigh ctx j, Ctx.upper_calf ctx j)
+      | `Lower -> (Ctx.lower_thigh ctx j, Ctx.lower_calf ctx j)
+    in
+    let* thigh_fact =
+      List.find_opt
+        (fun f ->
+          Symbol.equal (Fact.sym f) (Symbol.paint base thigh)
+          && Fact.arg f 0 = h)
+        (Structure.facts_with_elem st h)
+    in
+    let knee = Fact.arg thigh_fact 1 in
+    let* calf_fact =
+      List.find_opt
+        (fun f ->
+          Symbol.equal (Symbol.dalt (Fact.sym f)) calf
+          && Fact.arg f 0 = knee && Fact.arg f 1 = the_end)
+        (Structure.facts_with_elem st knee)
+    in
+    let* calf_color = Fact.color calf_fact in
+    Some (knee, calf_color <> base)
+  in
+  let rec legs side j flipped knees =
+    if j > Ctx.s ctx then
+      let* flipped =
+        match flipped with [] -> Some None | [ j ] -> Some (Some j) | _ -> None
+      in
+      Some (flipped, Array.of_list (List.rev knees))
+    else
+      let* knee, flip = leg side j in
+      legs side (j + 1) (if flip then j :: flipped else flipped) (knee :: knees)
+  in
+  let* upper, upper_knees = legs `Upper 1 [] [] in
+  let* lower, lower_knees = legs `Lower 1 [] [] in
+  let ideal = Ideal.make ?upper ?lower base in
+  Some { ideal; head = h; tail; antenna; upper_knees; lower_knees }
+
+(* All real spiders of the structure: candidate heads are the sources of
+   antenna atoms. *)
+let find_all ctx st =
+  let heads =
+    List.concat_map
+      (fun c ->
+        List.map (fun f -> Fact.arg f 0)
+          (Structure.facts_with_sym st (Symbol.paint c (Ctx.ant ctx))))
+      [ Symbol.Green; Symbol.Red ]
+    |> List.sort_uniq compare
+  in
+  List.filter_map (at_head ctx st) heads

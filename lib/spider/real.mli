@@ -1,0 +1,33 @@
+(** Real spiders: homomorphic copies of ideal spiders inside a structure
+    over Σ̄ (footnote 7). *)
+
+type t = {
+  ideal : Ideal.t;
+  head : int;
+  tail : int;
+  antenna : int;
+  upper_knees : int array;  (** knee of upper leg j at index j-1 *)
+  lower_knees : int array;
+}
+
+val pp : Format.formatter -> t -> unit
+
+(** Add a real copy of the ideal spider with the given tail and antenna.
+    [knee] optionally supplies knee elements per (side, index, calf color)
+    — compile's ∼-quotient (Definition 29) passes the class
+    representatives; by default knees are fresh. *)
+val realize :
+  Ctx.t ->
+  Relational.Structure.t ->
+  ?knee:([ `Upper | `Lower ] -> int -> Relational.Symbol.color -> int) ->
+  tail:int ->
+  antenna:int ->
+  Ideal.t ->
+  t
+
+(** Reconstruct the real spider headed at the element, if any. *)
+val at_head : Ctx.t -> Relational.Structure.t -> int -> t option
+
+(** All real spiders of a structure (candidate heads are the sources of
+    antenna atoms). *)
+val find_all : Ctx.t -> Relational.Structure.t -> t list

@@ -1,0 +1,94 @@
+(* Swarms as relational structures.
+
+   A swarm is a structure over the Level-1 signature: one binary relation
+   H_S per ideal spider S (Section VI).  The bridge lets the generic TGD
+   machinery (chase, model check, homomorphisms) run on swarms, and the
+   test suite uses it to cross-validate the dedicated swarm engine against
+   the generic one. *)
+
+open Relational
+
+(* The relation symbol of an ideal spider. *)
+let symbol_of ideal = Symbol.make ("H_" ^ Spider.Ideal.code ideal) 2
+
+(* Decode a Level-1 symbol back into its spider, if it is one. *)
+let ideal_of_symbol ~s sym =
+  let name = Symbol.name sym in
+  if String.length name < 3 || String.sub name 0 2 <> "H_" then None
+  else
+    let code = String.sub name 2 (String.length name - 2) in
+    List.find_opt
+      (fun ideal -> String.equal (Spider.Ideal.code ideal) code)
+      (Spider.Ideal.all ~s)
+
+let to_structure g =
+  let st = Structure.create () in
+  List.iter
+    (fun v ->
+      Structure.reserve st v;
+      Structure.set_name st v (Graph.name g v))
+    (List.sort compare (Graph.vertices g));
+  Graph.iter_edges g (fun e ->
+      Structure.add2 st (symbol_of e.Graph.label) e.Graph.src e.Graph.dst);
+  st
+
+let of_structure ~s st =
+  let g = Graph.create () in
+  List.iter
+    (fun v ->
+      Graph.register g v;
+      Graph.set_name g v (Structure.name st v))
+    (Structure.elems st);
+  Structure.iter_facts st (fun f ->
+      match ideal_of_symbol ~s (Fact.sym f) with
+      | Some ideal -> ignore (Graph.add_edge g ideal (Fact.arg f 0) (Fact.arg f 1))
+      | None -> ());
+  g
+
+(* A swarm rule as a pair of generic TGDs over the Level-1 signature:
+   Definition 7's big conjunction, one TGD per subset choice and color.
+   The subsets of singleton-or-empty indices are the index itself and ∅. *)
+let tgds_of_rule (rule : Rule.t) =
+  let subsets = function None -> [ None ] | Some i -> [ None; Some i ] in
+  let b = Rule.binary rule in
+  let q1 = b.Spider.Query.left and q2 = b.Spider.Query.right in
+  let conn = b.Spider.Query.conn in
+  let colors = [ Symbol.Green; Symbol.Red ] in
+  List.concat_map
+    (fun base ->
+      List.concat_map
+        (fun u1 ->
+          List.concat_map
+            (fun l1 ->
+              List.concat_map
+                (fun u2 ->
+                  List.filter_map
+                    (fun l2 ->
+                      let s1 = Spider.Ideal.make ?upper:u1 ?lower:l1 base in
+                      let s2 = Spider.Ideal.make ?upper:u2 ?lower:l2 base in
+                      match Spider.Algebra.apply_binary b s1 s2 with
+                      | None -> None
+                      | Some (p1, p2) ->
+                          let v = Term.var in
+                          let edge sym x y = Atom.app2 (symbol_of sym) (v x) (v y) in
+                          let body, head =
+                            match conn with
+                            | Spider.Query.Amp ->
+                                ( [ edge s1 "x" "y"; edge s2 "x'" "y" ],
+                                  [ edge p1 "x" "y'"; edge p2 "x'" "y'" ] )
+                            | Spider.Query.Slash ->
+                                ( [ edge s1 "x" "y"; edge s2 "x" "y'" ],
+                                  [ edge p1 "x'" "y"; edge p2 "x'" "y'" ] )
+                          in
+                          Some
+                            (Tgd.Dep.make
+                               ~name:(Fmt.str "%a[%a,%a]" Rule.pp rule
+                                        Spider.Ideal.pp s1 Spider.Ideal.pp s2)
+                               ~body ~head ()))
+                    (subsets (Spider.Query.lower q2)))
+                (subsets (Spider.Query.upper q2)))
+            (subsets (Spider.Query.lower q1)))
+        (subsets (Spider.Query.upper q1)))
+    colors
+
+let tgds_of_rules rules = List.concat_map tgds_of_rule rules

@@ -1,0 +1,50 @@
+(* compile / decompile between swarms and Σ̄-structures
+   (Definitions 28 and 29, Lemmas 27 and 30).
+
+   decompile reads each real spider of a structure as a swarm edge
+   H(S, tail, antenna).  compile realizes each swarm edge as a real
+   spider and then quotients knees by ∼: two knees are identified iff
+   their calves have the same predicate symbol (side and index) and the
+   same color — implemented directly by allocating one global knee per
+   ∼-class (4s of them). *)
+
+open Relational
+
+(* Definition 28. *)
+let decompile ctx st =
+  let g = Graph.create () in
+  List.iter
+    (fun (r : Spider.Real.t) ->
+      Graph.register g r.Spider.Real.tail;
+      Graph.register g r.Spider.Real.antenna;
+      ignore
+        (Graph.add_edge g r.Spider.Real.ideal r.Spider.Real.tail
+           r.Spider.Real.antenna))
+    (Spider.Real.find_all ctx st);
+  g
+
+(* Definition 29.  Swarm vertices keep their identities as structure
+   elements; heads are fresh; knees are the 4s ∼-class representatives. *)
+let compile ctx g =
+  let st = Structure.create () in
+  (* mirror the swarm's vertices (tails and antennas) *)
+  List.iter
+    (fun v ->
+      Structure.reserve st v;
+      Structure.set_name st v (Graph.name g v))
+    (List.sort compare (Graph.vertices g));
+  let knee_classes = Hashtbl.create 32 in
+  let knee side j color =
+    let key = ((match side with `Upper -> 0 | `Lower -> 1), j, color) in
+    match Hashtbl.find_opt knee_classes key with
+    | Some k -> k
+    | None ->
+        let k = Structure.fresh st in
+        Hashtbl.replace knee_classes key k;
+        k
+  in
+  Graph.iter_edges g (fun e ->
+      ignore
+        (Spider.Real.realize ctx st ~knee ~tail:e.Graph.src
+           ~antenna:e.Graph.dst e.Graph.label));
+  st

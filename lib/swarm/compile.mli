@@ -1,0 +1,12 @@
+(** compile / decompile between swarms and Σ̄-structures
+    (Definitions 28–29, Lemmas 27 and 30). *)
+
+(** Definition 28: the swarm of all H(S, tail, antenna) for real spiders
+    of the structure. *)
+val decompile : Spider.Ctx.t -> Relational.Structure.t -> Graph.t
+
+(** Definition 29: realize each edge as a real spider, quotienting knees
+    by ∼ (same calf symbol and color) — implemented by allocating one
+    global knee per class.  Swarm vertices keep their identities as
+    structure elements. *)
+val compile : Spider.Ctx.t -> Graph.t -> Relational.Structure.t

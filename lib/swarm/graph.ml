@@ -1,0 +1,26 @@
+(* Swarms: structures over the Abstraction Level 1 signature — one binary
+   relation H(S,·,·) per ideal spider S ∈ A (Section VI).  An edge
+   H(S, x, y) reads "a real spider isomorphic to S with tail x and
+   antenna y". *)
+
+include Lgraph.Make (struct
+  type t = Spider.Ideal.t
+
+  let compare = Spider.Ideal.compare
+  let pp = Spider.Ideal.pp
+end)
+
+(* Does the swarm contain a green (resp. red) full spider edge — the
+   conditions of Definition 11 for T ⊆ L1. *)
+let has_full_green t =
+  exists_edge t (fun e -> Spider.Ideal.equal e.label Spider.Ideal.full_green)
+
+let has_full_red t =
+  exists_edge t (fun e -> Spider.Ideal.equal e.label Spider.Ideal.full_red)
+
+(* The seed swarm: one full green spider edge between two fresh vertices. *)
+let seed () =
+  let t = create () in
+  let a = fresh ~name:"a" t and b = fresh ~name:"b" t in
+  ignore (add_edge t Spider.Ideal.full_green a b);
+  (t, a, b)

@@ -1,0 +1,98 @@
+(* Minimal models (Definition 31) and the lower-rule invariant (Lemma 34).
+
+   In a model M of T ⊆ L₁ containing the seed edge H(I,a,b), an edge is
+   *important* if it is the seed or belongs to a witness pair demanded by
+   a rule applied to two important edges.  The substructure of important
+   edges is again a model — a minimal one — and minimality restores the
+   stage-by-stage inductive structure that arbitrary finite models lack. *)
+
+(* The witness pairs of a rule for a given pair of lhs edges present in g:
+   all pairs (e1', e2') in g matching the rule's ♣-image and anchoring. *)
+let witness_pairs rule g (e1 : Graph.edge) (e2 : Graph.edge) =
+  let conn = rule.Rule.conn in
+  if Rule.shared_of conn e1 <> Rule.shared_of conn e2 then []
+  else
+    match
+      Spider.Algebra.apply_binary (Rule.binary rule) e1.Graph.label e2.Graph.label
+    with
+    | None -> []
+    | Some (p1, p2) ->
+        let f1 = Rule.free_of conn e1 and f2 = Rule.free_of conn e2 in
+        List.concat_map
+          (fun (w1 : Graph.edge) ->
+            if Spider.Ideal.equal w1.Graph.label p1 && Rule.free_of conn w1 = f1
+            then
+              List.filter_map
+                (fun (w2 : Graph.edge) ->
+                  if
+                    Spider.Ideal.equal w2.Graph.label p2
+                    && Rule.free_of conn w2 = f2
+                    && Rule.shared_of conn w2 = Rule.shared_of conn w1
+                  then Some (w1, w2)
+                  else None)
+                (Graph.edges g)
+            else [])
+          (Graph.edges g)
+
+(* The set of important edges of a model [g] of [rules] with seed edges
+   [seeds] (typically the H(I,a,b) edges).  Least fixpoint: saturate the
+   witness relation from the seeds. *)
+let important_edges rules g ~seeds =
+  let module ES = Set.Make (struct
+    type t = Graph.edge
+    let compare (a : Graph.edge) (b : Graph.edge) = compare a b
+  end) in
+  let important = ref (ES.of_list seeds) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let current = ES.elements !important in
+    List.iter
+      (fun rule ->
+        List.iter
+          (fun e1 ->
+            List.iter
+              (fun e2 ->
+                List.iter
+                  (fun ((w1 : Graph.edge), (w2 : Graph.edge)) ->
+                    (* mark the first witness pair; any one pair suffices to
+                       justify the demand (Definition 31 fixes "the"
+                       postulated pair — we take all, a superset) *)
+                    if not (ES.mem w1 !important) then begin
+                      important := ES.add w1 !important;
+                      changed := true
+                    end;
+                    if not (ES.mem w2 !important) then begin
+                      important := ES.add w2 !important;
+                      changed := true
+                    end)
+                  (witness_pairs rule g e1 e2))
+              current)
+          current)
+      rules
+  done;
+  ES.elements !important
+
+(* Extract a minimal model: restrict to the important edges. *)
+let minimal_model rules g =
+  let seeds =
+    List.filter
+      (fun (e : Graph.edge) ->
+        Spider.Ideal.equal e.Graph.label Spider.Ideal.full_green)
+      (Graph.edges g)
+  in
+  if seeds = [] then invalid_arg "Minimal.minimal_model: no H(I,_,_) seed";
+  let keep = important_edges rules g ~seeds in
+  let m = Graph.create () in
+  List.iter
+    (fun (e : Graph.edge) -> ignore (Graph.add_edge m e.Graph.label e.Graph.src e.Graph.dst))
+    keep;
+  m
+
+(* Lemma 34's invariant, as a checkable predicate: in a minimal model of a
+   set of *lower* rules, an edge label is red iff it is lower. *)
+let lemma34_holds m =
+  List.for_all
+    (fun (e : Graph.edge) ->
+      Spider.Ideal.is_red e.Graph.label = Spider.Ideal.is_lower e.Graph.label)
+    (Graph.edges m)

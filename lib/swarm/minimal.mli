@@ -1,0 +1,19 @@
+(** Minimal models (Definition 31) and the lower-rule invariant
+    (Lemma 34). *)
+
+(** The witness pairs a rule demands for two lhs edges, as present in the
+    swarm. *)
+val witness_pairs :
+  Rule.t -> Graph.t -> Graph.edge -> Graph.edge -> (Graph.edge * Graph.edge) list
+
+(** The least set of important edges: seeds plus witnesses of rules
+    applied to important edges, saturated. *)
+val important_edges : Rule.t list -> Graph.t -> seeds:Graph.edge list -> Graph.edge list
+
+(** Restrict a model to its important edges, seeding from the full green
+    spider edges.
+    @raise Invalid_argument if the swarm has no H(I,_,_) edge. *)
+val minimal_model : Rule.t list -> Graph.t -> Graph.t
+
+(** Lemma 34's invariant: every edge label is red iff it is lower. *)
+val lemma34_holds : Graph.t -> bool

@@ -1,0 +1,149 @@
+(* The chase (Section II.C).
+
+   The paper's chase is "lazy": a pair (T, b̄) fires only when the body
+   matches at b̄ (condition ¬) and no head witness exists yet (condition ­),
+   both checked against the *current* structure.  [chase_stage] performs one
+   pass of the stage procedure of Section II.C: it enumerates the pairs
+   (T, b̄) over the stage-start structure, then applies the surviving
+   triggers in order, re-checking ­ as the structure grows. *)
+
+open Relational
+
+type stats = {
+  stages : int;        (* stages executed *)
+  applications : int;  (* TGD firings *)
+  fixpoint : bool;     (* no trigger was active at the last stage *)
+}
+
+let pp_stats ppf s =
+  Fmt.pf ppf "stages=%d applications=%d fixpoint=%b" s.stages s.applications
+    s.fixpoint
+
+(* Restrict a body binding to the frontier of the TGD: the b̄ of the paper. *)
+let frontier_binding dep binding =
+  let fr = Dep.frontier dep in
+  Term.Var_map.filter (fun x _ -> Term.Var_set.mem x fr) binding
+
+(* Condition ­: D ⊨ ∃z̄ Ψ(z̄, b̄). *)
+let head_satisfied d dep fb = Hom.exists ~init:fb d (Dep.head dep)
+
+(* Fire (T, b̄): create a fresh copy of A[Ψ] identified with D along b̄. *)
+let apply d dep fb =
+  let fresh_names = Hashtbl.create 8 in
+  let elem_of = function
+    | Term.Cst c -> Structure.constant d c
+    | Term.Var x -> (
+        match Term.Var_map.find_opt x fb with
+        | Some e -> e
+        | None -> (
+            match Hashtbl.find_opt fresh_names x with
+            | Some e -> e
+            | None ->
+                let e = Structure.fresh d in
+                Hashtbl.replace fresh_names x e;
+                e))
+  in
+  List.iter
+    (fun atom ->
+      let args = Array.of_list (List.map elem_of (Atom.args atom)) in
+      ignore (Structure.add_fact d (Fact.make (Atom.sym atom) args)))
+    (Dep.head dep)
+
+module Binding_key = struct
+  (* Canonical key for a frontier binding, to deduplicate triggers. *)
+  let of_binding fb =
+    Term.Var_map.fold (fun x e acc -> (x, e) :: acc) fb []
+    |> List.sort compare
+end
+
+(* Collect the active pairs (T, b̄) of the current structure. *)
+let active_triggers deps d =
+  let out = ref [] in
+  List.iter
+    (fun dep ->
+      let seen = Hashtbl.create 64 in
+      Hom.iter_all d (Dep.body dep) (fun binding ->
+          let fb = frontier_binding dep binding in
+          let key = Binding_key.of_binding fb in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key ();
+            if not (head_satisfied d dep fb) then out := (dep, fb) :: !out
+          end))
+    deps;
+  List.rev !out
+
+(* One stage of the chase procedure; returns the number of firings. *)
+let chase_stage deps d =
+  let triggers = active_triggers deps d in
+  let fired = ref 0 in
+  List.iter
+    (fun (dep, fb) ->
+      (* condition ­ is re-checked against the evolving structure *)
+      if not (head_satisfied d dep fb) then begin
+        apply d dep fb;
+        incr fired
+      end)
+    triggers;
+  !fired
+
+(* Run the chase in place for at most [max_stages] stages, or until the
+   fixpoint, or until [stop] holds (checked after every stage).  Stage
+   numbers stamp provenance into the structure: facts added at stage i
+   belong to chase_i. *)
+let run ?(max_stages = max_int) ?(stop = fun _ -> false) deps d =
+  let applications = ref 0 in
+  let rec go i =
+    if i > max_stages then { stages = i - 1; applications = !applications; fixpoint = false }
+    else begin
+      Structure.set_stage d i;
+      let fired = chase_stage deps d in
+      applications := !applications + fired;
+      if fired = 0 then { stages = i; applications = !applications; fixpoint = true }
+      else if stop d then
+        { stages = i; applications = !applications; fixpoint = false }
+      else go (i + 1)
+    end
+  in
+  go 1
+
+(* The semi-oblivious (skolem) chase: every pair (T, b̄) fires exactly
+   once, whether or not the head is already satisfied.  It diverges more
+   often than the paper's lazy chase — condition ­ is exactly what keeps
+   chase(T_Q, ·) tame — and exists here as the ablation baseline. *)
+let run_oblivious ?(max_stages = max_int) ?(stop = fun _ -> false) deps d =
+  let fired = Hashtbl.create 256 in
+  let applications = ref 0 in
+  let rec go i =
+    if i > max_stages then
+      { stages = i - 1; applications = !applications; fixpoint = false }
+    else begin
+      Structure.set_stage d i;
+      let triggers = ref [] in
+      List.iter
+        (fun dep ->
+          Hom.iter_all d (Dep.body dep) (fun binding ->
+              let fb = frontier_binding dep binding in
+              let key = (Dep.name dep, Binding_key.of_binding fb) in
+              if not (Hashtbl.mem fired key) then begin
+                Hashtbl.replace fired key ();
+                triggers := (dep, fb) :: !triggers
+              end))
+        deps;
+      let n = List.length !triggers in
+      List.iter (fun (dep, fb) -> apply d dep fb) (List.rev !triggers);
+      applications := !applications + n;
+      if n = 0 then { stages = i; applications = !applications; fixpoint = true }
+      else if stop d then
+        { stages = i; applications = !applications; fixpoint = false }
+      else go (i + 1)
+    end
+  in
+  go 1
+
+(* Does D satisfy all the dependencies (no active trigger)? *)
+let models deps d = active_triggers deps d = []
+
+(* The first violated dependency with a witness binding, for error
+   reporting in tests. *)
+let find_violation deps d =
+  match active_triggers deps d with [] -> None | (dep, fb) :: _ -> Some (dep, fb)

@@ -1,0 +1,50 @@
+(** The chase (Section II.C).
+
+    The paper's chase is "lazy": a pair (T, b̄) fires only when the body
+    matches at the frontier tuple b̄ (condition ¬) and no head witness
+    exists yet (condition ­).  A stage enumerates the pairs over the
+    stage-start structure and applies the survivors, re-checking ­ as the
+    structure grows; [chase_i] is the structure after stage [i]. *)
+
+open Relational
+
+type stats = {
+  stages : int;        (** stages executed *)
+  applications : int;  (** TGD firings *)
+  fixpoint : bool;     (** no trigger was active at the last stage *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** Restrict a body binding to the frontier: the b̄ of the paper. *)
+val frontier_binding : Dep.t -> Hom.binding -> Hom.binding
+
+(** Condition ­: [D ⊨ ∃z̄ Ψ(z̄, b̄)]. *)
+val head_satisfied : Structure.t -> Dep.t -> Hom.binding -> bool
+
+(** Fire (T, b̄): add a fresh copy of A[Ψ] glued along b̄. *)
+val apply : Structure.t -> Dep.t -> Hom.binding -> unit
+
+(** The active pairs (T, b̄) of the current structure, deduplicated by
+    frontier tuple. *)
+val active_triggers : Dep.t list -> Structure.t -> (Dep.t * Hom.binding) list
+
+(** One stage; returns the number of firings. *)
+val chase_stage : Dep.t list -> Structure.t -> int
+
+(** Run the chase in place for at most [max_stages] stages, until the
+    fixpoint, or until [stop] holds (checked after each stage).  Stage
+    numbers stamp provenance into the structure. *)
+val run : ?max_stages:int -> ?stop:(Structure.t -> bool) -> Dep.t list -> Structure.t -> stats
+
+(** The semi-oblivious (skolem) chase: each pair (T, b̄) fires exactly
+    once, regardless of condition ­.  Diverges more often than the lazy
+    chase; kept as the ablation baseline. *)
+val run_oblivious :
+  ?max_stages:int -> ?stop:(Structure.t -> bool) -> Dep.t list -> Structure.t -> stats
+
+(** Does the structure satisfy all dependencies (no active trigger)? *)
+val models : Dep.t list -> Structure.t -> bool
+
+(** The first violated dependency with a witness binding, for reporting. *)
+val find_violation : Dep.t list -> Structure.t -> (Dep.t * Hom.binding) option

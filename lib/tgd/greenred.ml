@@ -1,0 +1,64 @@
+(* The green-red machinery of Section IV.
+
+   CQfDP is restated (CQfDP.2 / CQfDP.3) over one two-colored structure:
+   Q determines Q0 iff every (finite) D with D ⊨ T_Q and D ⊨ G(Q0)(ā)
+   also has D ⊨ R(Q0)(ā). *)
+
+open Relational
+
+(* Lemma 4, left-to-right as a decision on a concrete finite D:
+   condition ¶ — (G(Q))(D) = (R(Q))(D) for each Q ∈ Q. *)
+let condition_views_agree named_queries d =
+  List.for_all
+    (fun (_, q) ->
+      let g = Cq.Query.paint Symbol.Green q and r = Cq.Query.paint Symbol.Red q in
+      Cq.Eval.Tuple_set.equal (Cq.Eval.answers g d) (Cq.Eval.answers r d))
+    named_queries
+
+(* Lemma 4, right-hand side: D ⊨ T_Q. *)
+let condition_tq named_queries d = Chase.models (Dep.t_q named_queries) d
+
+(* Condition · of CQfDP.3 on a concrete finite structure: for every ā with
+   D ⊨ G(Q0)(ā), also D ⊨ R(Q0)(ā). *)
+let transfers q0 d =
+  let g = Cq.Query.paint Symbol.Green q0 and r = Cq.Query.paint Symbol.Red q0 in
+  Cq.Eval.Tuple_set.subset (Cq.Eval.answers g d) (Cq.Eval.answers r d)
+
+(* A finite counterexample to "Q finitely determines Q0": D ⊨ T_Q but the
+   green answer set of Q0 is not included in the red one. *)
+let is_finite_counterexample named_queries q0 d =
+  condition_tq named_queries d && not (transfers q0 d)
+
+(* green(Q0): the canonical structure of Q0 painted green, with the free
+   variables frozen (kept as named, trackable elements).  Returns the
+   structure and the frozen tuple. *)
+let green_canonical q0 =
+  let canon, elem = Cq.Query.canonical (Cq.Query.paint Symbol.Green q0) in
+  let tuple =
+    Array.of_list
+      (List.map (fun x -> Option.get (elem x)) (Cq.Query.free q0))
+  in
+  (canon, tuple)
+
+(* Observation 6: for D over Σ_G, dalt(chase(T_Q, D)) maps homomorphically
+   into dalt(D).  [observation6_check] verifies it on a chased structure. *)
+let observation6_check ~original ~chased =
+  Hom.exists_between (Structure.dalt chased) (Structure.dalt original)
+
+(* Semi-decision of *unrestricted* determinacy (Section I.A / IV): Q
+   determines Q0 iff chase(T_Q, green(Q0)) ⊨ red(Q0) at the frozen tuple.
+   The chase may diverge; [max_stages] bounds the attempt.
+
+   Returns [`Determined stats] when the red query appears (a positive
+   certificate), [`Not_determined stats] when the chase reached its
+   fixpoint without it (a negative certificate), and [`Unknown stats] when
+   the stage budget ran out. *)
+let unrestricted_determinacy ?(max_stages = 64) named_queries q0 =
+  let d, tuple = green_canonical q0 in
+  let deps = Dep.t_q named_queries in
+  let red_q0 = Cq.Query.paint Symbol.Red q0 in
+  let found d = Cq.Eval.holds_at red_q0 d tuple in
+  let stats = Chase.run ~max_stages ~stop:found deps d in
+  if found d then `Determined (stats, d)
+  else if stats.Chase.fixpoint then `Not_determined (stats, d)
+  else `Unknown (stats, d)

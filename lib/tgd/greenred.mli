@@ -1,0 +1,38 @@
+(** The green-red machinery of Section IV: CQfDP restated over one
+    two-colored structure. *)
+
+open Relational
+
+(** Condition ¶ of CQfDP.2: [(G(Q))(D) = (R(Q))(D)] for each view Q. *)
+val condition_views_agree : (string * Cq.Query.t) list -> Structure.t -> bool
+
+(** The equivalent condition of Lemma 4: [D ⊨ T_Q]. *)
+val condition_tq : (string * Cq.Query.t) list -> Structure.t -> bool
+
+(** Condition · of CQfDP.3: every green Q0-answer is a red Q0-answer. *)
+val transfers : Cq.Query.t -> Structure.t -> bool
+
+(** A certified finite counterexample to "Q finitely determines Q0":
+    [D ⊨ T_Q] and some green Q0-answer is not red. *)
+val is_finite_counterexample :
+  (string * Cq.Query.t) list -> Cq.Query.t -> Structure.t -> bool
+
+(** green(Q0): the canonical structure of Q0 painted green, with the
+    frozen free tuple. *)
+val green_canonical : Cq.Query.t -> Structure.t * int array
+
+(** Observation 6: [dalt(chase(T_Q, D))] maps homomorphically into
+    [dalt(D)]; verified on a chased structure. *)
+val observation6_check : original:Structure.t -> chased:Structure.t -> bool
+
+(** Semi-decision of unrestricted determinacy via the universal chase
+    (Section IV): Q determines Q0 iff [chase(T_Q, green(Q0)) ⊨ red(Q0)]
+    at the frozen tuple.  Bounded by [max_stages]; the returned structure
+    is the chased instance (a counterexample when [`Not_determined]). *)
+val unrestricted_determinacy :
+  ?max_stages:int ->
+  (string * Cq.Query.t) list ->
+  Cq.Query.t ->
+  [ `Determined of Chase.stats * Structure.t
+  | `Not_determined of Chase.stats * Structure.t
+  | `Unknown of Chase.stats * Structure.t ]

@@ -1,0 +1,90 @@
+(* Semi-Thue systems (string rewriting), the formalism underlying rainworm
+   machines (Section VIII.A): "∆ is formulated in the language of Thue
+   semisystem rules", w ⤳ v meaning w = w1·s·w2, v = w1·t·w2 for a rule
+   s → t.
+
+   The module is polymorphic in the symbol type; the rainworm layer
+   instantiates it with its own structured symbols. *)
+
+type 'a rule = { lhs : 'a list; rhs : 'a list; tag : string }
+
+let rule ?(tag = "") lhs rhs =
+  if lhs = [] then invalid_arg "Thue.rule: empty left-hand side";
+  { lhs; rhs; tag }
+
+type 'a t = { rules : 'a rule list; equal : 'a -> 'a -> bool }
+
+let make ?(equal = ( = )) rules = { rules; equal }
+
+let rules t = t.rules
+
+(* Does [prefix] start [word]?  Returns the rest on success. *)
+let rec strip_prefix equal prefix word =
+  match prefix, word with
+  | [], rest -> Some rest
+  | _ :: _, [] -> None
+  | p :: ps, w :: ws -> if equal p w then strip_prefix equal ps ws else None
+
+(* All one-step rewrites of [word]: (position, rule, result). *)
+let rewrites t word =
+  let rec at pos before word acc =
+    let acc =
+      List.fold_left
+        (fun acc r ->
+          match strip_prefix t.equal r.lhs word with
+          | Some rest ->
+              (pos, r, List.rev_append before (r.rhs @ rest)) :: acc
+          | None -> acc)
+        acc t.rules
+    in
+    match word with
+    | [] -> List.rev acc
+    | w :: ws -> at (pos + 1) (w :: before) ws acc
+  in
+  at 0 [] word []
+
+(* The unique one-step successor, when the system is locally deterministic
+   at [word] (rainworm machines are: Lemma 22(2)). *)
+let step t word =
+  match rewrites t word with
+  | [] -> None
+  | [ (_, r, w) ] -> Some (r, w)
+  | (_, r, w) :: _ :: _ -> Some (r, w) (* caller may check determinism *)
+
+let deterministic_at t word = List.length (rewrites t word) <= 1
+
+(* [run ~max_steps t word] iterates [step]; returns the trace (including
+   the initial word) and whether the system stopped by itself. *)
+let run ~max_steps t word =
+  let rec go n word acc =
+    if n >= max_steps then (List.rev (word :: acc), false)
+    else
+      match step t word with
+      | None -> (List.rev (word :: acc), true)
+      | Some (_, w) -> go (n + 1) w (word :: acc)
+  in
+  go 0 word []
+
+(* Distinct left-hand sides: the paper requires ∆ to be a partial function
+   (footnote 16). *)
+let partial_function ?(equal = ( = )) rules =
+  let rec distinct = function
+    | [] -> true
+    | r :: rest ->
+        (not (List.exists (fun r' -> List.length r.lhs = List.length r'.lhs
+                                     && List.for_all2 equal r.lhs r'.lhs) rest))
+        && distinct rest
+  in
+  distinct rules
+
+(* k-step reachability: w ⤳^≤k v (used in tests on tiny systems). *)
+let reachable ~max_steps t ~from ~target =
+  let equal_word a b =
+    List.length a = List.length b && List.for_all2 t.equal a b
+  in
+  let rec go n word =
+    if equal_word word target then true
+    else if n >= max_steps then false
+    else match step t word with None -> false | Some (_, w) -> go (n + 1) w
+  in
+  go 0 from

@@ -1,0 +1,33 @@
+(** Semi-Thue systems (string rewriting), the formalism underlying
+    rainworm machines (Section VIII.A): [w ⤳ v] iff [w = w1·s·w2] and
+    [v = w1·t·w2] for a rule [s → t].  Polymorphic in the symbol type. *)
+
+type 'a rule = { lhs : 'a list; rhs : 'a list; tag : string }
+
+(** @raise Invalid_argument on an empty left-hand side. *)
+val rule : ?tag:string -> 'a list -> 'a list -> 'a rule
+
+type 'a t
+
+val make : ?equal:('a -> 'a -> bool) -> 'a rule list -> 'a t
+val rules : 'a t -> 'a rule list
+
+(** All one-step rewrites of a word: (position, rule, result). *)
+val rewrites : 'a t -> 'a list -> (int * 'a rule * 'a list) list
+
+(** One successor (the first, if several apply). *)
+val step : 'a t -> 'a list -> ('a rule * 'a list) option
+
+(** At most one rewrite applies at this word (Lemma 22(2) situation). *)
+val deterministic_at : 'a t -> 'a list -> bool
+
+(** Iterate [step]; returns the trace (initial word included) and whether
+    the system stopped by itself within the budget. *)
+val run : max_steps:int -> 'a t -> 'a list -> 'a list list * bool
+
+(** Distinct left-hand sides — the partial-function requirement on ∆
+    (footnote 16). *)
+val partial_function : ?equal:('a -> 'a -> bool) -> 'a rule list -> bool
+
+(** Deterministic bounded reachability [from ⤳^{≤max_steps} target]. *)
+val reachable : max_steps:int -> 'a t -> from:'a list -> target:'a list -> bool

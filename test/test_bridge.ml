@@ -1,0 +1,146 @@
+(* Cross-validation: the dedicated swarm and green-graph engines agree
+   with the generic TGD machinery run over the bridge encodings. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let f = Spider.Query.f
+
+(* --- roundtrips ---------------------------------------------------------- *)
+
+let test_swarm_roundtrip () =
+  let g = Swarm.Graph.create () in
+  let x = Swarm.Graph.fresh g and y = Swarm.Graph.fresh g in
+  ignore (Swarm.Graph.add_edge g (Spider.Ideal.green ~upper:1 ()) x y);
+  ignore (Swarm.Graph.add_edge g (Spider.Ideal.red ~lower:2 ()) y x);
+  let g' = Swarm.Bridge.of_structure ~s:3 (Swarm.Bridge.to_structure g) in
+  check "swarm roundtrip" true (Swarm.Graph.equal g g')
+
+let test_greengraph_roundtrip () =
+  let g, _, _ = Greengraph.Graph.d_i () in
+  ignore (Greengraph.Graph.add_edge g (Some 7) 0 1);
+  let g' = Greengraph.Bridge.of_structure (Greengraph.Bridge.to_structure g) in
+  check "green graph roundtrip" true (Greengraph.Graph.equal g g')
+
+let test_roundtrip_property =
+  QCheck.Test.make ~name:"green-graph bridge roundtrip (random)" ~count:40
+    QCheck.(list_of_size (Gen.int_range 1 10)
+      (triple (int_bound 5) (int_bound 5) (option (int_range 5 20))))
+    (fun edges ->
+      let g = Greengraph.Graph.create () in
+      List.iter (fun (x, y, lab) -> ignore (Greengraph.Graph.add_edge g lab x y)) edges;
+      Greengraph.Graph.equal g
+        (Greengraph.Bridge.of_structure (Greengraph.Bridge.to_structure g)))
+
+(* --- green graphs: dedicated vs generic chase ------------------------------ *)
+
+let generic_collision_outcome ~t ~t' =
+  let g, _, _ = Separating.Paths.collision ~t ~t' in
+  let st = Greengraph.Bridge.to_structure g in
+  let deps = Greengraph.Bridge.tgds_of_rules Separating.Tbox.rules in
+  let has_pattern st =
+    Greengraph.Graph.has_12_pattern (Greengraph.Bridge.of_structure st)
+  in
+  let stats = Tgd.Chase.run ~max_stages:40 ~stop:has_pattern deps st in
+  (has_pattern st, stats)
+
+let test_generic_chase_agrees_unequal () =
+  let pattern, _ = generic_collision_outcome ~t:2 ~t':3 in
+  check "generic chase finds the pattern" true pattern
+
+let test_generic_chase_agrees_equal () =
+  let pattern, stats = generic_collision_outcome ~t:2 ~t':2 in
+  check "generic chase stays clean" false pattern;
+  check "generic chase converges" true stats.Tgd.Chase.fixpoint
+
+let test_models_agree () =
+  (* a finished equal-collision grid is a model for both engines *)
+  let _, _, g = Separating.Theorem14.collision_outcome ~t:2 ~t':2 () in
+  check "dedicated models" true (Greengraph.Rule.models Separating.Tbox.rules g);
+  check "generic models" true
+    (Tgd.Chase.models
+       (Greengraph.Bridge.tgds_of_rules Separating.Tbox.rules)
+       (Greengraph.Bridge.to_structure g))
+
+let test_violations_agree () =
+  (* an unfinished structure violates both ways *)
+  let g, _, _ = Separating.Paths.collision ~t:1 ~t':2 in
+  check "dedicated violation" false (Greengraph.Rule.models Separating.Tbox.rules g);
+  check "generic violation" false
+    (Tgd.Chase.models
+       (Greengraph.Bridge.tgds_of_rules Separating.Tbox.rules)
+       (Greengraph.Bridge.to_structure g))
+
+(* --- swarms: dedicated vs generic ------------------------------------------ *)
+
+let test_swarm_bootstrap_generic () =
+  (* footnote 10 through the generic chase over the bridge *)
+  let g = Swarm.Graph.create () in
+  let x = Swarm.Graph.fresh g and x' = Swarm.Graph.fresh g in
+  let y = Swarm.Graph.fresh g in
+  ignore (Swarm.Graph.add_edge g (Spider.Ideal.green ~upper:1 ()) x y);
+  ignore (Swarm.Graph.add_edge g (Spider.Ideal.green ~upper:2 ()) x' y);
+  let st = Swarm.Bridge.to_structure g in
+  let deps = Swarm.Bridge.tgds_of_rules Greengraph.Precompile.base_rules in
+  let has_red st =
+    Swarm.Graph.has_full_red (Swarm.Bridge.of_structure ~s:4 st)
+  in
+  let _ = Tgd.Chase.run ~max_stages:5 ~stop:has_red deps st in
+  check "full red spider via generic chase" true (has_red st)
+
+let test_swarm_models_agree () =
+  let rule = Swarm.Rule.amp (f ~upper:1 ~lower:1 ()) (f ~upper:2 ~lower:2 ()) in
+  let g = Swarm.Graph.create () in
+  let x = Swarm.Graph.fresh g and x' = Swarm.Graph.fresh g in
+  let y = Swarm.Graph.fresh g and y' = Swarm.Graph.fresh g in
+  ignore (Swarm.Graph.add_edge g (Spider.Ideal.green ~upper:1 ()) x y);
+  ignore (Swarm.Graph.add_edge g (Spider.Ideal.green ~upper:2 ()) x' y);
+  ignore (Swarm.Graph.add_edge g (Spider.Ideal.red ~lower:1 ()) x y');
+  ignore (Swarm.Graph.add_edge g (Spider.Ideal.red ~lower:2 ()) x' y');
+  let deps = Swarm.Bridge.tgds_of_rule rule in
+  check "dedicated: model" true (Swarm.Rule.models [ rule ] g);
+  check "generic: model" true (Tgd.Chase.models deps (Swarm.Bridge.to_structure g));
+  (* drop a witness: both engines see the violation *)
+  let g2 = Swarm.Graph.create () in
+  ignore (Swarm.Graph.add_edge g2 (Spider.Ideal.green ~upper:1 ()) x y);
+  ignore (Swarm.Graph.add_edge g2 (Spider.Ideal.green ~upper:2 ()) x' y);
+  check "dedicated: violation" false (Swarm.Rule.models [ rule ] g2);
+  check "generic: violation" false
+    (Tgd.Chase.models deps (Swarm.Bridge.to_structure g2))
+
+let test_tgds_per_rule_count () =
+  (* Definition 7's conjunction ranges over subset choices and colors:
+     f^{1}_{1} &· f^{2}_{2} has 2⁴ subset choices × 2 colors, kept only
+     when ♣ applies — which it always does for subsets *)
+  let rule = Swarm.Rule.amp (f ~upper:1 ~lower:1 ()) (f ~upper:2 ~lower:2 ()) in
+  check_int "32 TGDs" 32 (List.length (Swarm.Bridge.tgds_of_rule rule));
+  let rule2 = Swarm.Rule.amp (f ()) (f ()) in
+  check_int "2 TGDs for the full query" 2 (List.length (Swarm.Bridge.tgds_of_rule rule2))
+
+let () =
+  Alcotest.run "bridge"
+    [
+      ( "roundtrips",
+        [
+          Alcotest.test_case "swarm" `Quick test_swarm_roundtrip;
+          Alcotest.test_case "green graph" `Quick test_greengraph_roundtrip;
+        ] );
+      ( "greengraph",
+        [
+          Alcotest.test_case "generic chase: unequal collision" `Quick
+            test_generic_chase_agrees_unequal;
+          Alcotest.test_case "generic chase: equal collision" `Quick
+            test_generic_chase_agrees_equal;
+          Alcotest.test_case "model checks agree" `Quick test_models_agree;
+          Alcotest.test_case "violations agree" `Quick test_violations_agree;
+        ] );
+      ( "swarm",
+        [
+          Alcotest.test_case "footnote 10 via generic chase" `Quick
+            test_swarm_bootstrap_generic;
+          Alcotest.test_case "model checks agree" `Quick test_swarm_models_agree;
+          Alcotest.test_case "TGD counts" `Quick test_tgds_per_rule_count;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ test_roundtrip_property ] );
+    ]

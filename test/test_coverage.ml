@@ -1,0 +1,228 @@
+(* Depth coverage: n-ary relations through the whole CQ/TGD stack,
+   chase provenance and late fragments (§IX's chase^L), converging
+   green-graph rule sets, violation reporting, and simulator edges. *)
+
+open Relational
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- ternary relations through the stack ----------------------------------- *)
+
+let r3 = Symbol.make "R" 3
+let v = Term.var
+
+let test_ternary_hom () =
+  let s = Structure.create () in
+  let a = Structure.fresh s and b = Structure.fresh s and c = Structure.fresh s in
+  Structure.add s r3 [| a; b; c |];
+  Structure.add s r3 [| b; c; a |];
+  Structure.add s r3 [| c; a; b |];
+  (* rotating pattern: one match per starting fact *)
+  let q = [ Atom.make r3 [ v "x"; v "y"; v "z" ]; Atom.make r3 [ v "y"; v "z"; v "x" ] ] in
+  check_int "three rotations" 3 (Hom.count s q);
+  (* diagonal pattern: no match *)
+  let diag = [ Atom.make r3 [ v "x"; v "x"; v "x" ] ] in
+  check "no diagonal" false (Hom.exists s diag)
+
+let test_ternary_cq_eval () =
+  let s = Structure.create () in
+  let a = Structure.fresh s and b = Structure.fresh s and c = Structure.fresh s in
+  Structure.add s r3 [| a; b; c |];
+  Structure.add s r3 [| a; c; b |];
+  let q = Cq.Query.make ~free:[ "x" ] [ Atom.make r3 [ v "x"; v "y"; v "z" ] ] in
+  check_int "one projection" 1 (Cq.Eval.count_answers q s);
+  let q2 =
+    Cq.Query.make ~free:[ "y"; "z" ] [ Atom.make r3 [ v "x"; v "y"; v "z" ] ]
+  in
+  check_int "two tails" 2 (Cq.Eval.count_answers q2 s)
+
+let test_ternary_tgd_chase () =
+  (* R(x,y,z) ⇒ ∃w R(y,z,w): rotating growth *)
+  let dep =
+    Tgd.Dep.make
+      ~body:[ Atom.make r3 [ v "x"; v "y"; v "z" ] ]
+      ~head:[ Atom.make r3 [ v "y"; v "z"; v "w" ] ]
+      ()
+  in
+  let s = Structure.create () in
+  let a = Structure.fresh s and b = Structure.fresh s and c = Structure.fresh s in
+  Structure.add s r3 [| a; b; c |];
+  let stats = Tgd.Chase.run ~max_stages:3 [ dep ] s in
+  check_int "three firings" 3 stats.Tgd.Chase.applications;
+  check_int "four facts" 4 (Structure.size s)
+
+let test_ternary_containment () =
+  let q1 = Cq.Query.boolean [ Atom.make r3 [ v "x"; v "y"; v "z" ] ] in
+  let q2 = Cq.Query.boolean [ Atom.make r3 [ v "x"; v "x"; v "z" ] ] in
+  check "specific ⊆ general" true (Cq.Containment.contained_in q2 q1);
+  check "general ⊄ specific" false (Cq.Containment.contained_in q1 q2)
+
+(* --- chase provenance and late fragments (§IX's chase^L) -------------------- *)
+
+let edge = Symbol.make "E" 2
+let e x y = Atom.app2 edge (v x) (v y)
+
+let test_late_fragment_partition () =
+  let dep = Tgd.Dep.make ~body:[ e "x" "y" ] ~head:[ e "y" "z" ] () in
+  let s = Structure.create () in
+  let a = Structure.fresh s and b = Structure.fresh s in
+  Structure.add2 s edge a b;
+  let _ = Tgd.Chase.run ~max_stages:6 [ dep ] s in
+  let late =
+    Structure.filter
+      (fun f ->
+        match Structure.fact_stage s f with Some st -> st > 3 | None -> false)
+      s
+  in
+  let early =
+    Structure.filter
+      (fun f ->
+        match Structure.fact_stage s f with Some st -> st <= 3 | None -> true)
+      s
+  in
+  check_int "partition" (Structure.size s) (Structure.size late + Structure.size early);
+  check_int "late = stages 4..6" 3 (Structure.size late);
+  (* every late fact mentions an element born at stage ≥ 3 *)
+  Structure.iter_facts late (fun f ->
+      check "late facts touch late elements" true
+        (List.exists
+           (fun el ->
+             match Structure.elem_stage s el with
+             | Some st -> st >= 3
+             | None -> false)
+           (Fact.elements f)))
+
+let test_elem_stage () =
+  let dep = Tgd.Dep.make ~body:[ e "x" "y" ] ~head:[ e "y" "z" ] () in
+  let s = Structure.create () in
+  let a = Structure.fresh s and b = Structure.fresh s in
+  Structure.add2 s edge a b;
+  let _ = Tgd.Chase.run ~max_stages:2 [ dep ] s in
+  check "original elements at stage 0" true
+    (Structure.elem_stage s a = Some 0 && Structure.elem_stage s b = Some 0);
+  let late_elems =
+    List.filter (fun el -> Structure.elem_stage s el = Some 2) (Structure.elems s)
+  in
+  check_int "one element born at stage 2" 1 (List.length late_elems)
+
+(* --- green graphs: convergence and violation reporting ----------------------- *)
+
+let test_converging_rules_do_not_lead () =
+  let rules = [ Greengraph.Rule.amp (None, None) (Some 5, Some 6) ] in
+  match Greengraph.Rule.leads_to_red_spider ~max_stages:10 rules with
+  | `Does_not_lead (stats, g) ->
+      check "fixpoint" true stats.Greengraph.Rule.fixpoint;
+      check "no pattern" false (Greengraph.Graph.has_12_pattern g)
+  | `Leads _ -> Alcotest.fail "must not lead"
+  | `Unknown _ -> Alcotest.fail "should converge"
+
+let test_find_violation () =
+  let r = Greengraph.Rule.amp ~name:"r" (None, None) (Some 5, Some 6) in
+  let g, _, _ = Greengraph.Graph.d_i () in
+  (match Greengraph.Rule.find_violation [ r ] g with
+  | Some (rv, _) -> Alcotest.(check string) "violating rule" "r" rv.Greengraph.Rule.name
+  | None -> Alcotest.fail "D_I alone violates the rule");
+  let _ = Greengraph.Rule.chase ~max_stages:5 [ r ] g in
+  check "no violation after chase" true
+    (Option.is_none (Greengraph.Rule.find_violation [ r ] g))
+
+let test_swarm_leads_does_not_lead () =
+  (* a lower-rule-only system converges without a red full spider *)
+  let rules =
+    [ Swarm.Rule.amp (Spider.Query.f ~lower:5 ()) (Spider.Query.f ~lower:6 ()) ]
+  in
+  match Swarm.Rule.leads_to_red_spider ~max_stages:10 rules with
+  | `Does_not_lead _ -> ()
+  | `Leads _ -> Alcotest.fail "lower rules cannot produce the full red spider"
+  | `Unknown _ -> Alcotest.fail "should converge"
+
+(* --- simulator edges ---------------------------------------------------------- *)
+
+let test_creep_max_cycles () =
+  let t =
+    Rainworm.Sim.creep_machine ~max_cycles:5 ~max_steps:100_000
+      Rainworm.Zoo.eternal_creeper
+  in
+  check_int "stopped at 5 cycles" 5 t.Rainworm.Sim.cycles;
+  check "still running" false (Rainworm.Sim.halted t)
+
+let test_creep_from_custom_config () =
+  (* resume creeping from a mid-run configuration *)
+  let o = Rainworm.Machine.oracle Rainworm.Zoo.eternal_creeper in
+  let t1 = Rainworm.Sim.creep ~max_steps:20 o in
+  let t2 =
+    Rainworm.Sim.creep ~from:(Rainworm.Sim.final_config t1) ~max_steps:20 o
+  in
+  let t_full = Rainworm.Sim.creep ~max_steps:40 o in
+  check "resumption = straight run" true
+    (Rainworm.Sim.final_config t2 = Rainworm.Sim.final_config t_full)
+
+let test_turing_fell_off_left () =
+  let tm =
+    Rainworm.Turing.make ~name:"leftcrash" ~blank:"_" ~start:"q0"
+      [ (("q0", "_"), ("q0", "x", Rainworm.Turing.Left)) ]
+  in
+  match Rainworm.Turing.run ~max_steps:10 tm with
+  | _, Rainworm.Turing.Halted (Rainworm.Turing.Fell_off_left, _) -> ()
+  | _ -> Alcotest.fail "expected a left crash"
+
+(* --- structure odds and ends --------------------------------------------------- *)
+
+let test_structure_like_and_reserve () =
+  let s = Structure.create () in
+  let c = Structure.constant s "k" in
+  let x = Structure.fresh s in
+  Structure.add2 s edge c x;
+  let l = Structure.like s in
+  check_int "constants shared" c (Structure.constant l "k");
+  check_int "no facts" 0 (Structure.size l);
+  let y = Structure.fresh l in
+  check "fresh avoids reserved ids" true (y > x)
+
+let test_quotient_rejects_constant_merge () =
+  let s = Structure.create () in
+  let c = Structure.constant s "k" in
+  let x = Structure.fresh s in
+  Structure.add2 s edge c x;
+  Alcotest.check_raises "constant not fixed"
+    (Invalid_argument "Structure.quotient: constant not fixed") (fun () ->
+      ignore (Structure.quotient (fun e -> if e = c then x else e) s))
+
+let () =
+  Alcotest.run "coverage"
+    [
+      ( "ternary",
+        [
+          Alcotest.test_case "hom search" `Quick test_ternary_hom;
+          Alcotest.test_case "evaluation" `Quick test_ternary_cq_eval;
+          Alcotest.test_case "chase" `Quick test_ternary_tgd_chase;
+          Alcotest.test_case "containment" `Quick test_ternary_containment;
+        ] );
+      ( "provenance",
+        [
+          Alcotest.test_case "late fragment partition" `Quick
+            test_late_fragment_partition;
+          Alcotest.test_case "element stages" `Quick test_elem_stage;
+        ] );
+      ( "graphs",
+        [
+          Alcotest.test_case "converging rules do not lead" `Quick
+            test_converging_rules_do_not_lead;
+          Alcotest.test_case "violation reporting" `Quick test_find_violation;
+          Alcotest.test_case "lower rules at Level 1" `Quick
+            test_swarm_leads_does_not_lead;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "max_cycles" `Quick test_creep_max_cycles;
+          Alcotest.test_case "resume from config" `Quick test_creep_from_custom_config;
+          Alcotest.test_case "left crash" `Quick test_turing_fell_off_left;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "like and reserve" `Quick test_structure_like_and_reserve;
+          Alcotest.test_case "quotient guards constants" `Quick
+            test_quotient_rejects_constant_merge;
+        ] );
+    ]

@@ -1,0 +1,276 @@
+(* Tests for conjunctive queries: canonical structures, evaluation,
+   containment, cores and view instances. *)
+
+open Relational
+
+let edge = Symbol.make "E" 2
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let v = Term.var
+let e x y = Atom.app2 edge (v x) (v y)
+
+(* path query: x -E-> m1 -E-> ... -E-> y with k edges, free x y *)
+let path_query k =
+  let name i = if i = 0 then "x" else if i = k then "y" else Printf.sprintf "m%d" i in
+  let body = List.init k (fun i -> e (name i) (name (i + 1))) in
+  Cq.Query.make ~free:[ "x"; "y" ] body
+
+let path_structure n =
+  let s = Structure.create () in
+  let vs = Array.init (n + 1) (fun _ -> Structure.fresh s) in
+  for i = 0 to n - 1 do
+    Structure.add2 s edge vs.(i) vs.(i + 1)
+  done;
+  (s, vs)
+
+let cycle_structure n =
+  let s = Structure.create () in
+  let vs = Array.init n (fun _ -> Structure.fresh s) in
+  for i = 0 to n - 1 do
+    Structure.add2 s edge vs.(i) vs.((i + 1) mod n)
+  done;
+  (s, vs)
+
+let test_canonical () =
+  let q = path_query 2 in
+  let canon, elem = Cq.Query.canonical q in
+  check_int "3 elements" 3 (Structure.card canon);
+  check_int "2 facts" 2 (Structure.size canon);
+  check "free var mapped" true (Option.is_some (elem "x"))
+
+let test_canonical_constants () =
+  let q =
+    Cq.Query.make ~free:[ "x" ]
+      [ Atom.app2 edge (v "x") (Term.cst "a") ]
+  in
+  let canon, _ = Cq.Query.canonical q in
+  check_int "constant element" 2 (Structure.card canon);
+  check "has constant" true (Option.is_some (Structure.constant_opt canon "a"))
+
+let test_of_structure_roundtrip () =
+  let s, vs = path_structure 2 in
+  let q = Cq.Query.of_structure ~free:[ vs.(0) ] s in
+  check_int "arity 1" 1 (Cq.Query.arity q);
+  (* the query should hold on its own canonical structure *)
+  let canon, _ = Cq.Query.canonical q in
+  check "self-satisfiable" true (Cq.Eval.holds q canon)
+
+let test_answers_path () =
+  let s, _ = path_structure 4 in
+  (* pairs at distance 2 on a 5-vertex path: (0,2) (1,3) (2,4) *)
+  let answers = Cq.Eval.answers (path_query 2) s in
+  check_int "3 answers" 3 (Cq.Eval.Tuple_set.cardinal answers)
+
+let test_answers_cycle () =
+  let s, _ = cycle_structure 3 in
+  (* on a 3-cycle, every vertex reaches exactly one vertex in 2 steps *)
+  let answers = Cq.Eval.answers (path_query 2) s in
+  check_int "3 answers" 3 (Cq.Eval.Tuple_set.cardinal answers)
+
+let test_holds_at () =
+  let s, vs = path_structure 3 in
+  let q = path_query 3 in
+  check "endpoints" true (Cq.Eval.holds_at q s [| vs.(0); vs.(3) |]);
+  check "wrong pair" false (Cq.Eval.holds_at q s [| vs.(0); vs.(2) |])
+
+let test_boolean_queries () =
+  let s, _ = cycle_structure 3 in
+  let q3 = Cq.Query.close (path_query 3) in
+  let q_loop =
+    Cq.Query.boolean [ e "x" "x" ]
+  in
+  check "3-path exists in C3" true (Cq.Eval.holds q3 s);
+  check "no self-loop in C3" false (Cq.Eval.holds q_loop s)
+
+let test_containment_paths () =
+  (* longer path query is contained in shorter?  No: containment is by hom
+     from the containee's canonical structure.  For boolean path queries
+     over one edge relation: P_{k} ⊆ P_{j} iff a hom from A[P_j] to A[P_k]
+     exists fixing frees; with free endpoints, neither contains the other
+     for k ≠ j; closed versions: longer ⊆ shorter. *)
+  let p2 = Cq.Query.close (path_query 2) in
+  let p4 = Cq.Query.close (path_query 4) in
+  check "P4 ⊆ P2 (boolean)" true (Cq.Containment.contained_in p4 p2);
+  check "P2 ⊄ P4 (boolean)" false (Cq.Containment.contained_in p2 p4)
+
+let test_containment_free_vars () =
+  let p2 = path_query 2 in
+  let p4 = path_query 4 in
+  check "free endpoints: P4 ⊄ P2" false (Cq.Containment.contained_in p4 p2);
+  check "free endpoints: P2 ⊄ P4" false (Cq.Containment.contained_in p2 p4);
+  check "reflexive" true (Cq.Containment.contained_in p2 p2)
+
+let test_equivalent_renaming () =
+  let q1 = path_query 2 in
+  let q2 = Cq.Query.rename_vars (fun s -> s ^ "_r") q1 in
+  let q2 = Cq.Query.make ~free:(List.map (fun s -> s ^ "_r") [ "x"; "y" ]) (Cq.Query.body q2) in
+  check "renaming preserves equivalence" true (Cq.Containment.equivalent q1 q2)
+
+let test_core_folds_redundancy () =
+  (* E(x,y) ∧ E(x,y') with y,y' existential: folds to E(x,y) *)
+  let q =
+    Cq.Query.make ~free:[ "x" ] [ e "x" "y"; e "x" "y2" ]
+  in
+  let c = Cq.Containment.core q in
+  check_int "core has one atom" 1 (List.length (Cq.Query.body c));
+  check "core equivalent" true (Cq.Containment.equivalent q c)
+
+let test_core_keeps_cycle () =
+  (* a triangle (boolean) is a core *)
+  let q =
+    Cq.Query.boolean [ e "a" "b"; e "b" "c"; e "c" "a" ]
+  in
+  check "triangle is core" true (Cq.Containment.is_core q);
+  (* triangle + pendant edge folds the pendant away *)
+  let q' =
+    Cq.Query.boolean [ e "a" "b"; e "b" "c"; e "c" "a"; e "a" "d" ]
+  in
+  let c = Cq.Containment.core q' in
+  check_int "pendant folded" 3 (List.length (Cq.Query.body c))
+
+let test_view_structure () =
+  let s, _ = path_structure 3 in
+  let queries = [ ("p1", path_query 1); ("p2", path_query 2) ] in
+  let view = Cq.Eval.view_structure queries s in
+  let p1 = Symbol.make "p1" 2 and p2 = Symbol.make "p2" 2 in
+  check_int "p1 tuples" 3 (List.length (Structure.facts_with_sym view p1));
+  check_int "p2 tuples" 2 (List.length (Structure.facts_with_sym view p2))
+
+let test_same_views () =
+  let s1, _ = cycle_structure 3 in
+  let s2, _ = cycle_structure 3 in
+  (* same views only makes sense on a shared domain; use the same structure *)
+  let queries = [ ("p2", path_query 2) ] in
+  check "identical structure" true (Cq.Eval.same_views queries s1 s1);
+  ignore s2
+
+let test_answers_monotone_property =
+  QCheck.Test.make ~name:"CQ answers are monotone under fact addition" ~count:40
+    QCheck.(pair (int_bound 5) (list_of_size Gen.(int_bound 12) (pair (int_bound 5) (int_bound 5))))
+    (fun (n, edges) ->
+      let s = Structure.create () in
+      let vs = Array.init (n + 1) (fun _ -> Structure.fresh s) in
+      List.iter (fun (i, j) -> Structure.add2 s edge vs.(i mod (n+1)) vs.(j mod (n+1))) edges;
+      let q = path_query 2 in
+      let before = Cq.Eval.answers q s in
+      Structure.add2 s edge vs.(0) vs.(n);
+      let after = Cq.Eval.answers q s in
+      Cq.Eval.Tuple_set.subset before after)
+
+let test_core_equivalent_property =
+  QCheck.Test.make ~name:"core is equivalent to the original query" ~count:30
+    QCheck.(list_of_size Gen.(1 -- 6) (pair (int_bound 4) (int_bound 4)))
+    (fun edges ->
+      let atoms =
+        List.map (fun (i, j) -> e (Printf.sprintf "v%d" i) (Printf.sprintf "v%d" j)) edges
+      in
+      let q = Cq.Query.boolean atoms in
+      let c = Cq.Containment.core q in
+      Cq.Containment.equivalent q c)
+
+(* --- parser ------------------------------------------------------------ *)
+
+let test_parse_basic () =
+  match Cq.Parse.named_query "p2(x, y) :- E(x, m), E(m, y)" with
+  | Ok (name, q) ->
+      Alcotest.(check string) "name" "p2" name;
+      check_int "arity" 2 (Cq.Query.arity q);
+      check "equivalent to path 2" true (Cq.Containment.equivalent q (path_query 2))
+  | Error m -> Alcotest.failf "parse error: %s" m
+
+let test_parse_boolean () =
+  match Cq.Parse.query ":- E(x, x)" with
+  | Ok q ->
+      check_int "boolean" 0 (Cq.Query.arity q);
+      let s, vs = cycle_structure 1 in
+      ignore vs;
+      check "self-loop found" true (Cq.Eval.holds q s)
+  | Error m -> Alcotest.failf "parse error: %s" m
+
+let test_parse_constants () =
+  match Cq.Parse.query "q(x) :- Visited(x, 'paris')" with
+  | Ok q ->
+      check "has constant" true (List.mem "paris" (Cq.Query.constants q))
+  | Error m -> Alcotest.failf "parse error: %s" m
+
+let test_parse_program () =
+  let src = {|
+% two path views
+p2(x,y) :- E(x,m), E(m,y)
+p3(x,y) :- E(x,m), E(m,n), E(n,y)
+|} in
+  match Cq.Parse.program src with
+  | Ok views ->
+      check_int "two views" 2 (List.length views);
+      Alcotest.(check string) "first name" "p2" (fst (List.hd views))
+  | Error m -> Alcotest.failf "parse error: %s" m
+
+let test_parse_errors () =
+  let bad s =
+    match Cq.Parse.query s with Ok _ -> false | Error _ -> true
+  in
+  check "unbound head var" true (bad "q(z) :- E(x, y)");
+  check "head constant" true (bad "q('a') :- E(x, y)");
+  check "unterminated quote" true (bad "q(x) :- E(x, 'bad)");
+  check "garbage" true (bad "q(x) :- E(x y)");
+  check "missing turnstile" true (bad "q(x) E(x, y)");
+  check "roundtrip ok" false (bad "q(x,y) :- E(x,y)")
+
+let test_parse_pp_roundtrip_property =
+  (* parse (pp-free rendering) of simple generated path queries *)
+  QCheck.Test.make ~name:"parse of generated path rules" ~count:30
+    QCheck.(int_range 1 6)
+    (fun k ->
+      let body =
+        String.concat ", "
+          (List.init k (fun i ->
+               Printf.sprintf "E(v%d, v%d)" i (i + 1)))
+      in
+      let s = Printf.sprintf "q(v0, v%d) :- %s" k body in
+      match Cq.Parse.query s with
+      | Ok q -> Cq.Containment.equivalent q (path_query k)
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "cq"
+    [
+      ( "canonical",
+        [
+          Alcotest.test_case "canonical structure" `Quick test_canonical;
+          Alcotest.test_case "constants" `Quick test_canonical_constants;
+          Alcotest.test_case "of_structure roundtrip" `Quick test_of_structure_roundtrip;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "answers on path" `Quick test_answers_path;
+          Alcotest.test_case "answers on cycle" `Quick test_answers_cycle;
+          Alcotest.test_case "holds_at" `Quick test_holds_at;
+          Alcotest.test_case "boolean queries" `Quick test_boolean_queries;
+          Alcotest.test_case "view structure" `Quick test_view_structure;
+          Alcotest.test_case "same views" `Quick test_same_views;
+        ] );
+      ( "containment",
+        [
+          Alcotest.test_case "boolean paths" `Quick test_containment_paths;
+          Alcotest.test_case "free endpoints" `Quick test_containment_free_vars;
+          Alcotest.test_case "renaming equivalence" `Quick test_equivalent_renaming;
+          Alcotest.test_case "core folds redundancy" `Quick test_core_folds_redundancy;
+          Alcotest.test_case "core keeps cycle" `Quick test_core_keeps_cycle;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "basic rule" `Quick test_parse_basic;
+          Alcotest.test_case "boolean rule" `Quick test_parse_boolean;
+          Alcotest.test_case "constants" `Quick test_parse_constants;
+          Alcotest.test_case "program" `Quick test_parse_program;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            test_answers_monotone_property; test_core_equivalent_property;
+            test_parse_pp_roundtrip_property;
+          ] );
+    ]

@@ -1,0 +1,282 @@
+(* Tests for the determinacy solvers and the known (un)decidable cases
+   cited in Section I: path-query instances of [A11]/[P11] and classic
+   non-determined pairs. *)
+
+open Relational
+
+let check = Alcotest.(check bool)
+
+let edge = Symbol.make "E" 2
+let v = Term.var
+let e x y = Atom.app2 edge (v x) (v y)
+
+let path_query k =
+  let name i = if i = 0 then "x" else if i = k then "y" else Printf.sprintf "m%d" i in
+  Cq.Query.make ~free:[ "x"; "y" ] (List.init k (fun i -> e (name i) (name (i + 1))))
+
+let det inst = Determinacy.Solver.unrestricted ~max_stages:24 inst
+
+let is_determined = function Determinacy.Solver.Determined _ -> true | _ -> false
+let is_not_determined = function
+  | Determinacy.Solver.Not_determined _ -> true
+  | _ -> false
+
+(* --- unrestricted semi-decision ---------------------------------------- *)
+
+let test_identity () =
+  let inst = Determinacy.Instance.make ~views:[ ("e", path_query 1) ] ~q0:(path_query 1) in
+  check "E determines E" true (is_determined (det inst))
+
+let test_composition () =
+  (* P2 and P3 determine P5 = P2 ∘ P3 *)
+  let inst =
+    Determinacy.Instance.make
+      ~views:[ ("p2", path_query 2); ("p3", path_query 3) ]
+      ~q0:(path_query 5)
+  in
+  check "P2,P3 determine P5" true (is_determined (det inst))
+
+let test_p2_does_not_determine_edge () =
+  let inst = Determinacy.Instance.make ~views:[ ("p2", path_query 2) ] ~q0:(path_query 1) in
+  check "P2 does not determine E" true (is_not_determined (det inst))
+
+let test_p2_p3_do_not_determine_edge () =
+  (* P2 and P3 do NOT determine E: a single-edge database and the empty
+     database have identical (empty) views but different E.  The chase
+     reaches its fixpoint without producing the red edge. *)
+  let inst =
+    Determinacy.Instance.make
+      ~views:[ ("p2", path_query 2); ("p3", path_query 3) ]
+      ~q0:(path_query 1)
+  in
+  check "P2,P3 do not determine E" true (is_not_determined (det inst))
+
+let test_p3_alone_does_not_determine_p2 () =
+  let inst = Determinacy.Instance.make ~views:[ ("p3", path_query 3) ] ~q0:(path_query 2) in
+  check "P3 does not determine P2" true (is_not_determined (det inst))
+
+let test_projection_not_determined () =
+  (* the view ∃y E(x,y) (one free variable) does not determine E *)
+  let proj = Cq.Query.make ~free:[ "x" ] [ e "x" "y" ] in
+  let inst = Determinacy.Instance.make ~views:[ ("dom", proj) ] ~q0:(path_query 1) in
+  check "projection loses E" true (is_not_determined (det inst))
+
+let test_two_projections_vs_product () =
+  (* R(x), S(y) as views; Q0(x,y) = R(x) ∧ S(y) is determined *)
+  let r = Symbol.make "R" 1 and s = Symbol.make "S" 1 in
+  let qr = Cq.Query.make ~free:[ "x" ] [ Atom.make r [ v "x" ] ] in
+  let qs = Cq.Query.make ~free:[ "y" ] [ Atom.make s [ v "y" ] ] in
+  let q0 =
+    Cq.Query.make ~free:[ "x"; "y" ] [ Atom.make r [ v "x" ]; Atom.make s [ v "y" ] ]
+  in
+  let inst = Determinacy.Instance.make ~views:[ ("r", qr); ("s", qs) ] ~q0 in
+  check "product determined" true (is_determined (det inst))
+
+(* --- finite case --------------------------------------------------------- *)
+
+let test_finite_follows_unrestricted () =
+  (* unrestricted determinacy implies finite determinacy: the composition
+     instance is settled by the chase certificate *)
+  let inst =
+    Determinacy.Instance.make
+      ~views:[ ("p2", path_query 2); ("p3", path_query 3) ]
+      ~q0:(path_query 5)
+  in
+  check "finite: determined" true
+    (is_determined (Determinacy.Solver.finite inst))
+
+let test_finite_counterexample_found () =
+  let inst = Determinacy.Instance.make ~views:[ ("p2", path_query 2) ] ~q0:(path_query 1) in
+  match Determinacy.Solver.finite ~max_stages:4 inst with
+  | Determinacy.Solver.Not_determined d ->
+      check "certified" true (Determinacy.Solver.certify_counterexample inst d)
+  | Determinacy.Solver.Determined _ -> Alcotest.fail "should not be determined"
+  | Determinacy.Solver.Unknown why -> Alcotest.failf "no counterexample: %s" why
+
+let test_certify_rejects_bogus () =
+  let inst = Determinacy.Instance.make ~views:[ ("e", path_query 1) ] ~q0:(path_query 1) in
+  let d = Structure.create () in
+  let a = Structure.fresh d and b = Structure.fresh d in
+  Structure.add2 d (Symbol.green edge) a b;
+  (* green edge without red: violates T_Q, so not a counterexample *)
+  check "bogus rejected" false (Determinacy.Solver.certify_counterexample inst d)
+
+(* --- EF games ------------------------------------------------------------ *)
+
+let linear_order n =
+  let s = Structure.create () in
+  let lt = Symbol.make "<" 2 in
+  let vs = Array.init n (fun _ -> Structure.fresh s) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Structure.add2 s lt vs.(i) vs.(j)
+    done
+  done;
+  s
+
+let test_ef_equal_structures () =
+  let a = linear_order 3 in
+  check "L3 ≡ L3 (3 rounds)" true (Ef.Game.equivalent ~rounds:3 a (Structure.copy a))
+
+let test_ef_linear_orders () =
+  (* L_m ≡_k L_n iff m = n or m,n ≥ 2^k - 1: classic *)
+  check "L1 vs L2 differ at 2 rounds" true
+    (not (Ef.Game.equivalent ~rounds:2 (linear_order 1) (linear_order 2)));
+  check "L1 vs L2 agree at 1 round" true
+    (Ef.Game.equivalent ~rounds:1 (linear_order 1) (linear_order 2));
+  check "L3 vs L4 agree at 2 rounds" true
+    (Ef.Game.equivalent ~rounds:2 (linear_order 3) (linear_order 4));
+  check "L3 vs L4 differ at 3 rounds" true
+    (not (Ef.Game.equivalent ~rounds:3 (linear_order 3) (linear_order 4)))
+
+let test_ef_cardinality () =
+  (* pure sets: indistinguishable up to min cardinality rounds *)
+  let set n =
+    let s = Structure.create () in
+    let p = Symbol.make "P" 1 in
+    for _ = 1 to n do
+      Structure.add s p [| Structure.fresh s |]
+    done;
+    s
+  in
+  check "3 vs 5 agree at 3" true (Ef.Game.equivalent ~rounds:3 (set 3) (set 5));
+  check "3 vs 5 differ at 4" true (not (Ef.Game.equivalent ~rounds:4 (set 3) (set 5)))
+
+let test_ef_constants_matter () =
+  (* same shape, different constant placement: distinguishable without
+     any rounds *)
+  let mk at_start =
+    let s = Structure.create () in
+    let c = Structure.constant s "c" in
+    let x = Structure.fresh s in
+    if at_start then Structure.add2 s edge c x else Structure.add2 s edge x c;
+    s
+  in
+  check "constants pebbled implicitly" true
+    (not (Ef.Game.equivalent ~rounds:1 (mk true) (mk false)))
+
+let test_distinguishing_rounds () =
+  Alcotest.(check (option int))
+    "L3 vs L4" (Some 3)
+    (Ef.Game.distinguishing_rounds ~max_rounds:4 (linear_order 3) (linear_order 4));
+  Alcotest.(check (option int))
+    "L3 vs L3" None
+    (Ef.Game.distinguishing_rounds ~max_rounds:3 (linear_order 3) (linear_order 3))
+
+(* --- Theorem 2 ------------------------------------------------------------ *)
+
+let test_theorem2_shape () =
+  let t = Ef.Theorem2.q_infinity () in
+  Alcotest.(check int) "9 queries" 9 (List.length t.Ef.Theorem2.queries);
+  Alcotest.(check int) "s = 10" 10 (Spider.Ctx.s t.Ef.Theorem2.ctx)
+
+let test_theorem2_q0_separates () =
+  let t = Ef.Theorem2.q_infinity () in
+  let d_y, d_n = Ef.Theorem2.d_pair t ~i:2 ~copies:1 in
+  check "D_y ⊨ Q0" true (Cq.Eval.holds t.Ef.Theorem2.q0 d_y);
+  check "D_n ⊭ Q0" false (Cq.Eval.holds t.Ef.Theorem2.q0 d_n)
+
+let test_theorem2_views_indistinguishable () =
+  let t = Ef.Theorem2.q_infinity () in
+  let r = Ef.Theorem2.report ~max_rounds:1 t ~i:2 ~copies:1 in
+  check "Q0 separates" true
+    (r.Ef.Theorem2.q0_on_dy && not r.Ef.Theorem2.q0_on_dn);
+  check "views 1-round indistinguishable" true
+    (r.Ef.Theorem2.view_distinguishing_rounds = None)
+
+let test_theorem2_views_2rounds () =
+  let t = Ef.Theorem2.q_infinity () in
+  let r = Ef.Theorem2.report ~max_rounds:2 t ~i:2 ~copies:1 in
+  check "views 2-round indistinguishable" true
+    (r.Ef.Theorem2.view_distinguishing_rounds = None)
+
+(* --- cross-validation: game solver vs rank-l types -------------------------- *)
+
+let test_types_agree_on_orders () =
+  List.iter
+    (fun (m, n, l) ->
+      let a = linear_order m and b = linear_order n in
+      Alcotest.(check bool)
+        (Printf.sprintf "L%d vs L%d at rank %d" m n l)
+        (Ef.Game.equivalent ~rounds:l a b)
+        (Ef.Types.equivalent ~rank:l a b))
+    [ (1, 2, 1); (1, 2, 2); (3, 4, 2); (3, 4, 3); (2, 2, 3); (4, 5, 2) ]
+
+let test_types_agree_random_property =
+  QCheck.Test.make ~name:"rank-l types ⟺ EF game (random digraphs)" ~count:25
+    QCheck.(
+      triple (int_range 1 2)
+        (list_of_size (Gen.int_range 0 5) (pair (int_bound 3) (int_bound 3)))
+        (list_of_size (Gen.int_range 0 5) (pair (int_bound 3) (int_bound 3))))
+    (fun (l, ea, eb) ->
+      let build edges =
+        let s = Structure.create () in
+        let vs = Array.init 4 (fun _ -> Structure.fresh s) in
+        List.iter (fun (i, j) -> Structure.add2 s edge vs.(i) vs.(j)) edges;
+        s
+      in
+      let a = build ea and b = build eb in
+      Ef.Game.equivalent ~rounds:l a b = Ef.Types.equivalent ~rank:l a b)
+
+let test_ef_symmetry_property =
+  QCheck.Test.make ~name:"EF equivalence is symmetric" ~count:20
+    QCheck.(pair (int_range 1 4) (int_range 1 4))
+    (fun (m, n) ->
+      let a = linear_order m and b = linear_order n in
+      Ef.Game.equivalent ~rounds:2 a b = Ef.Game.equivalent ~rounds:2 b a)
+
+let test_ef_monotone_property =
+  QCheck.Test.make ~name:"EF equivalence is antitone in rounds" ~count:20
+    QCheck.(pair (int_range 1 5) (int_range 1 5))
+    (fun (m, n) ->
+      let a = linear_order m and b = linear_order n in
+      (* if equivalent at l, then equivalent at l-1 *)
+      (not (Ef.Game.equivalent ~rounds:2 a b)) || Ef.Game.equivalent ~rounds:1 a b)
+
+let () =
+  Alcotest.run "determinacy-ef"
+    [
+      ( "unrestricted",
+        [
+          Alcotest.test_case "identity" `Quick test_identity;
+          Alcotest.test_case "composition" `Quick test_composition;
+          Alcotest.test_case "P2 loses E" `Quick test_p2_does_not_determine_edge;
+          Alcotest.test_case "P2,P3 do not determine E" `Quick
+            test_p2_p3_do_not_determine_edge;
+          Alcotest.test_case "P3 loses P2" `Quick test_p3_alone_does_not_determine_p2;
+          Alcotest.test_case "projection loses E" `Quick test_projection_not_determined;
+          Alcotest.test_case "product determined" `Quick test_two_projections_vs_product;
+        ] );
+      ( "finite",
+        [
+          Alcotest.test_case "follows unrestricted" `Quick test_finite_follows_unrestricted;
+          Alcotest.test_case "counterexample search" `Quick test_finite_counterexample_found;
+          Alcotest.test_case "certification" `Quick test_certify_rejects_bogus;
+        ] );
+      ( "ef-game",
+        [
+          Alcotest.test_case "reflexive" `Quick test_ef_equal_structures;
+          Alcotest.test_case "linear orders" `Quick test_ef_linear_orders;
+          Alcotest.test_case "cardinality" `Quick test_ef_cardinality;
+          Alcotest.test_case "constants" `Quick test_ef_constants_matter;
+          Alcotest.test_case "distinguishing rounds" `Quick test_distinguishing_rounds;
+        ] );
+      ( "theorem2",
+        [
+          Alcotest.test_case "Q∞ shape" `Quick test_theorem2_shape;
+          Alcotest.test_case "Q0 separates D_y/D_n" `Quick test_theorem2_q0_separates;
+          Alcotest.test_case "views 1-round indistinguishable" `Quick
+            test_theorem2_views_indistinguishable;
+          Alcotest.test_case "views 2-round indistinguishable" `Slow
+            test_theorem2_views_2rounds;
+        ] );
+      ( "rank-types",
+        [ Alcotest.test_case "agree with the game on orders" `Quick
+            test_types_agree_on_orders ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            test_ef_symmetry_property; test_ef_monotone_property;
+            test_types_agree_random_property;
+          ] );
+    ]

@@ -1,0 +1,124 @@
+(* End-to-end integration across the abstraction ladder (Lemma 12):
+
+   the Level-0 chase of T_Q, Q = Compile(Precompile(T∞)), starting from a
+   real full green spider, decompiles stage by stage to exactly the swarm
+   the dedicated Level-1 chase of Precompile(T∞) builds — and that swarm's
+   green-graph part matches the Level-2 chase of T∞. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let swarm_labels g =
+  List.map
+    (fun (e : Swarm.Graph.edge) -> Spider.Ideal.code e.Swarm.Graph.label)
+    (Swarm.Graph.edges g)
+  |> List.sort compare
+
+let green_labels g =
+  List.filter_map
+    (fun (e : Greengraph.Graph.edge) -> e.Greengraph.Graph.label)
+    (Greengraph.Graph.edges g)
+  |> List.sort compare
+
+let level0_swarm stages =
+  let p = Greengraph.Precompile.to_level0 Separating.Tinf.rules in
+  let ctx = p.Greengraph.Precompile.ctx in
+  let st = Relational.Structure.create () in
+  let a = Relational.Structure.fresh ~name:"a" st in
+  let b = Relational.Structure.fresh ~name:"b" st in
+  ignore (Spider.Real.realize ctx st ~tail:a ~antenna:b Spider.Ideal.full_green);
+  let _ = Tgd.Chase.run ~max_stages:stages p.Greengraph.Precompile.tgds st in
+  (Swarm.Compile.decompile ctx st, p)
+
+let level1_swarm stages =
+  let p = Greengraph.Precompile.to_level0 Separating.Tinf.rules in
+  let sw, _, _ = Swarm.Graph.seed () in
+  let _ =
+    Swarm.Rule.chase ~max_stages:stages p.Greengraph.Precompile.swarm_rules sw
+  in
+  sw
+
+let test_level0_equals_level1 () =
+  List.iter
+    (fun stages ->
+      let sw0, _ = level0_swarm stages in
+      let sw1 = level1_swarm stages in
+      check
+        (Printf.sprintf "stage %d: same swarm labels" stages)
+        true
+        (swarm_labels sw0 = swarm_labels sw1);
+      check_int
+        (Printf.sprintf "stage %d: same vertex count" stages)
+        (Swarm.Graph.order sw1) (Swarm.Graph.order sw0))
+    [ 1; 2; 4; 6; 8 ]
+
+let test_level1_green_part_matches_level2 () =
+  (* the green upper-only edges of the Level-1 chase are exactly the
+     Level-2 chase of T∞ — modulo the red by-products of Remark 10 *)
+  let stages = 8 in
+  let sw1 = level1_swarm stages in
+  let gg_from_swarm = Greengraph.Graph.of_swarm sw1 in
+  let gg2, _, _ = Greengraph.Graph.d_i () in
+  let _ = Greengraph.Rule.chase ~max_stages:stages Separating.Tinf.rules gg2 in
+  (* every Level-2 label multiset is contained in the swarm's green part:
+     the swarm needs two stages per green-graph stage (Remark 10), so
+     compare against a deeper swarm *)
+  let sw_deep = level1_swarm (2 * stages) in
+  let deep_green = green_labels (Greengraph.Graph.of_swarm sw_deep) in
+  let l2 = green_labels gg2 in
+  let rec multiset_sub small big =
+    match small, big with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys ->
+        if x = y then multiset_sub xs ys
+        else if y < x then multiset_sub small ys
+        else false
+  in
+  check "Level-2 labels ⊆ deep Level-1 green part" true
+    (multiset_sub l2 deep_green);
+  ignore gg_from_swarm
+
+let test_level0_spider_census () =
+  (* the spiders of chase_8 are exactly those of Section IX's analysis:
+     green I, Iα, Iη0, Iη1, Iβ0, Iβ1 and red H with lower 5..10 families *)
+  let sw0, _ = level0_swarm 8 in
+  let labels = swarm_labels sw0 in
+  let greens = List.filter (fun c -> c.[0] = 'G') labels in
+  let reds = List.filter (fun c -> c.[0] = 'R') labels in
+  check "green seed present" true (List.mem "Go_o" greens);
+  check "green α-edge present" true (List.mem "G6_o" greens);
+  check "some red edges" true (List.length reds > 10);
+  (* the full red spider never appears: T∞ does not lead to it *)
+  check "no full red spider" false (List.mem "Ro_o" reds)
+
+let test_decompile_stable_under_more_stages () =
+  (* decompilation is deterministic and monotone in stages *)
+  let sw4, _ = level0_swarm 4 in
+  let sw6, _ = level0_swarm 6 in
+  let rec multiset_sub small big =
+    match small, big with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys ->
+        if x = y then multiset_sub xs ys
+        else if y < x then multiset_sub small ys
+        else false
+  in
+  check "monotone growth" true (multiset_sub (swarm_labels sw4) (swarm_labels sw6))
+
+let () =
+  Alcotest.run "endtoend"
+    [
+      ( "lemma12",
+        [
+          Alcotest.test_case "Level 0 chase = Level 1 chase (decompiled)" `Quick
+            test_level0_equals_level1;
+          Alcotest.test_case "Level 1 green part ⊇ Level 2 chase" `Quick
+            test_level1_green_part_matches_level2;
+          Alcotest.test_case "spider census of chase_8" `Quick
+            test_level0_spider_census;
+          Alcotest.test_case "decompile monotone" `Quick
+            test_decompile_stable_under_more_stages;
+        ] );
+    ]

@@ -1,0 +1,330 @@
+(* Tests for rainworm machines (Section VIII.A–B): instruction forms,
+   configuration validity (Definition 19, Lemma 20), creeping semantics,
+   and the TM → rainworm compiler (Lemma 21). *)
+
+open Rainworm
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- instructions ----------------------------------------------------- *)
+
+let test_forms () =
+  let open Instruction in
+  let forms =
+    [
+      (d1 (), F1);
+      (d2 ~b:"b", F2);
+      (d3 ~q:"q", F3);
+      (d4 ~b':"b" ~q:"p" ~q':"r" ~b:"c", F4);
+      (d4' ~b:"b" ~q':"p" ~q:"r" ~b':"c", F4');
+      (d5 ~q:"p" ~q':"r", F5);
+      (d5' ~q:"p" ~q':"r", F5');
+      (d6 ~q:"p" ~b:"b" ~q':"r", F6);
+      (d6' ~q:"p" ~b:"b" ~q':"r", F6');
+      (d7 ~q':"p" ~b:"b" ~b':"c" ~q:"r", F7);
+      (d7' ~q:"p" ~b':"b" ~b:"c" ~q':"r", F7');
+      (d8 ~q:"p" ~b:"b", F8);
+    ]
+  in
+  List.iter
+    (fun (i, f) ->
+      check "classified" true (classify i = Some f);
+      check "parity-sound" true (parity_sound i))
+    forms
+
+let test_bad_instruction () =
+  (* γ0 q → β1 q' mixes parities: no ♦-form *)
+  Alcotest.check_raises "invalid form rejected"
+    (Invalid_argument
+       "Instruction.make: γ0 [p]̄₀ → β1 [r]γ₀ fits no ♦-form")
+    (fun () ->
+      ignore (Instruction.make [ Sym.Gamma0; Sym.Q0bar "p" ] [ Sym.Beta1; Sym.Qg0 "r" ]))
+
+let test_machine_partial_function () =
+  Alcotest.check_raises "duplicate lhs rejected"
+    (Invalid_argument "Machine.make: ∆ is not a partial function (duplicate lhs)")
+    (fun () ->
+      ignore
+        (Machine.make ~name:"dup"
+           [ Instruction.d2 ~b:"b"; Instruction.d2 ~b:"c" ]))
+
+(* --- configurations --------------------------------------------------- *)
+
+let test_initial_config_valid () =
+  check "initial valid" true (Config.is_valid Config.initial)
+
+let test_config_conditions () =
+  (* after ♦1: α γ1 η0 *)
+  let w = [ Sym.Alpha; Sym.Gamma1; Sym.Eta0 ] in
+  check "post-♦1 valid" true (Config.is_valid w);
+  (* two states: invalid *)
+  check "two states invalid" false
+    (Config.is_valid [ Sym.Alpha; Sym.Eta1; Sym.A0 "b"; Sym.Eta0 ]);
+  (* parity violation: α then β0 (both even) *)
+  check "parity violation" false
+    (Config.is_valid [ Sym.Alpha; Sym.Beta0; Sym.Gamma1; Sym.Eta0 ]);
+  (* β in the worm region: invalid *)
+  check "beta after gamma invalid" false
+    (Config.is_valid [ Sym.Alpha; Sym.Gamma1; Sym.Beta0; Sym.Gamma1; Sym.Eta0 ])
+
+let test_slime_split () =
+  let w =
+    [ Sym.Alpha; Sym.Beta1; Sym.Beta0; Sym.Gamma1; Sym.A0 "b"; Sym.Eta1 ]
+  in
+  check_int "slime length" 3 (List.length (Config.slime w));
+  check_int "worm length" 3 (List.length (Config.worm w))
+
+(* --- creeping: the eternal creeper ------------------------------------ *)
+
+let test_eternal_creeper_runs () =
+  let t = Sim.creep_machine ~max_steps:2000 ~validate:true Zoo.eternal_creeper in
+  check "still creeping" false (Sim.halted t);
+  check "made cycles" true (t.Sim.cycles > 5)
+
+let test_eternal_creeper_growth () =
+  (* the rainworm grows one symbol per cycle and the slime grows one
+     symbol per cycle (Section VIII.A narrative) *)
+  let t10 = Sim.creep_machine ~max_cycles:10 ~max_steps:100000 Zoo.eternal_creeper in
+  let t20 = Sim.creep_machine ~max_cycles:20 ~max_steps:100000 Zoo.eternal_creeper in
+  let slime_len t = List.length (Config.slime (Sim.final_config t)) in
+  check_int "slime grows 1 per cycle" 10 (slime_len t20 - slime_len t10)
+
+let test_creeper_configs_valid () =
+  (* Lemma 20: every reachable word is an RM configuration *)
+  let o = Machine.oracle Zoo.eternal_creeper in
+  let configs = Sim.reachable_configs ~max_steps:500 o in
+  check "some configs" true (List.length configs > 100);
+  List.iter (fun w -> check "valid (Lemma 20)" true (Config.is_valid w)) configs
+
+let test_determinism () =
+  (* Lemma 22(2): at most one v with w ⤳ v — check via the Thue view *)
+  let thue = Machine.to_thue Zoo.eternal_creeper in
+  let o = Machine.oracle Zoo.eternal_creeper in
+  let configs = Sim.reachable_configs ~max_steps:300 o in
+  List.iter
+    (fun w -> check "deterministic" true (Thue.System.deterministic_at thue w))
+    configs
+
+let test_thue_agrees_with_sim () =
+  (* the dedicated stepper and the generic Thue rewriting agree *)
+  let thue = Machine.to_thue Zoo.eternal_creeper in
+  let o = Machine.oracle Zoo.eternal_creeper in
+  let rec go n w =
+    if n = 0 then ()
+    else
+      match Sim.step o w, Thue.System.step thue w with
+      | Some w1, Some (_, w2) ->
+          check "same step" true (w1 = w2);
+          go (n - 1) w1
+      | None, None -> ()
+      | _ -> Alcotest.fail "stepper and Thue disagree on applicability"
+  in
+  go 200 Config.initial
+
+let test_stillborn_halts () =
+  let t = Sim.creep_machine ~max_steps:100 Zoo.stillborn in
+  check "halted" true (Sim.halted t);
+  check_int "no full cycle" 0 t.Sim.cycles
+
+(* --- Turing machines -------------------------------------------------- *)
+
+let test_tm_direct () =
+  let steps, outcome = Turing.run Zoo.tm_halt_now in
+  check_int "halt-now: 0 steps" 0 steps;
+  (match outcome with
+  | Turing.Halted (Turing.No_transition, _) -> ()
+  | _ -> Alcotest.fail "expected halt");
+  let steps, _ = Turing.run (Zoo.tm_write_k 5) in
+  check_int "write-5: 5 steps" 5 steps;
+  check "right-forever diverges" false (Turing.halts ~max_steps:500 Zoo.tm_right_forever)
+
+let test_tm_bouncer () =
+  let k = 4 in
+  let steps, outcome = Turing.run (Zoo.tm_bouncer k) in
+  (match outcome with
+  | Turing.Halted (Turing.No_transition, c) ->
+      check "bounced enough" true (steps > 3 * k);
+      (* tape: w then k+? x's *)
+      let tape = Turing.tape_list (Zoo.tm_bouncer k) c in
+      check "wall written" true (List.hd tape = "w")
+  | _ -> Alcotest.fail "bouncer should halt")
+
+(* --- TM → rainworm compilation (Lemma 21) ----------------------------- *)
+
+let compiled_halts ?(max_steps = 200_000) tm =
+  let t = Sim.creep ~max_steps ~validate:true (Tm_compiler.oracle tm) in
+  (Sim.halted t, t)
+
+let test_compiled_halt_now () =
+  let halted, t = compiled_halts Zoo.tm_halt_now in
+  check "worm halts" true halted;
+  check "few cycles" true (t.Sim.cycles <= 4)
+
+let test_compiled_write_k () =
+  let halted, t = compiled_halts (Zoo.tm_write_k 6) in
+  check "worm halts" true halted;
+  check "enough cycles to simulate 6 steps" true (t.Sim.cycles >= 6)
+
+let test_compiled_diverges () =
+  let tm = Zoo.tm_right_forever in
+  let t = Sim.creep ~max_steps:20_000 ~validate:true (Tm_compiler.oracle tm) in
+  check "worm still creeping" false (Sim.halted t);
+  check "many cycles" true (t.Sim.cycles > 20)
+
+let test_compiled_zigzag_diverges () =
+  let t = Sim.creep ~max_steps:20_000 ~validate:true (Tm_compiler.oracle Zoo.tm_zigzag) in
+  check "zigzag worm creeps" false (Sim.halted t)
+
+let test_compiled_bouncer_halts () =
+  let halted, _ = compiled_halts ~max_steps:1_000_000 (Zoo.tm_bouncer 3) in
+  check "bouncer worm halts" true halted
+
+(* Lock-step tape equivalence: at halt, the simulated tape in the worm
+   matches the direct TM's final tape. *)
+let test_tape_equivalence () =
+  List.iter
+    (fun (tm, max_steps) ->
+      let _, outcome = Turing.run tm in
+      match outcome with
+      | Turing.Running _ -> Alcotest.fail "test TM must halt"
+      | Turing.Halted (_, tm_final) ->
+          let direct = Turing.tape_list tm tm_final in
+          let t = Sim.creep ~max_steps (Tm_compiler.oracle tm) in
+          check "worm halted too" true (Sim.halted t);
+          let worm_tape = Tm_compiler.decode_tape (Sim.final_config t) in
+          let worm_syms = List.map fst worm_tape in
+          (* the worm tape may have extra trailing blanks *)
+          let rec prefix a b =
+            match a, b with
+            | [], _ -> true
+            | x :: a', y :: b' -> x = y && prefix a' b'
+            | _ :: _, [] -> false
+          in
+          let blank_tail l n = List.filteri (fun i _ -> i >= n) l
+                               |> List.for_all (fun x -> x = tm.Turing.blank) in
+          check
+            (Printf.sprintf "tape match (%s)" tm.Turing.name)
+            true
+            (prefix direct worm_syms && blank_tail worm_syms (List.length direct)))
+    [ (Zoo.tm_write_k 4, 100_000); (Zoo.tm_bouncer 2, 400_000) ]
+
+let test_materialize () =
+  let m = Tm_compiler.materialize ~max_steps:5_000 Zoo.tm_right_forever in
+  check "materialized machine nonempty" true (Machine.size m > 5);
+  (* the materialized machine behaves like the oracle on the same budget *)
+  let t1 = Sim.creep ~max_steps:5_000 (Tm_compiler.oracle Zoo.tm_right_forever) in
+  let t2 = Sim.creep_machine ~max_steps:5_000 m in
+  check "same final config" true (Sim.final_config t1 = Sim.final_config t2)
+
+(* Property: random 2-state/2-symbol TMs transfer their halting behavior
+   through the compiler.  TMs whose verdict is not definite within the
+   small direct budget are skipped; halting TMs must yield halting worms
+   within a generous cycle budget, diverging ones creeping worms. *)
+let gen_random_tm =
+  QCheck.Gen.(
+    let dir = map (fun b -> if b then Turing.Left else Turing.Right) bool in
+    let sym = oneofl [ "_"; "x" ] in
+    let state = oneofl [ "q0"; "q1" ] in
+    (* each (state, symbol) pair independently gets a transition or not *)
+    let entry q a =
+      opt (map2 (fun (q', a') d -> ((q, a), (q', a', d))) (pair state sym) dir)
+    in
+    let* t1 = entry "q0" "_" in
+    let* t2 = entry "q0" "x" in
+    let* t3 = entry "q1" "_" in
+    let* t4 = entry "q1" "x" in
+    let transitions = List.filter_map Fun.id [ t1; t2; t3; t4 ] in
+    return (Turing.make ~name:"rand" ~blank:"_" ~start:"q0" transitions))
+
+let test_random_tm_halting_transfers =
+  QCheck.Test.make ~name:"random TMs: halting transfers through compilation"
+    ~count:60
+    (QCheck.make gen_random_tm)
+    (fun tm ->
+      match Turing.run ~max_steps:60 tm with
+      | _, Turing.Running _ -> QCheck.assume_fail ()
+      | _, Turing.Halted (Turing.Fell_off_left, _) ->
+          (* left crashes also stop the worm (missing ♦5 rule) *)
+          let t = Sim.creep ~max_steps:200_000 (Tm_compiler.oracle tm) in
+          Sim.halted t
+      | _, Turing.Halted (Turing.No_transition, _) ->
+          let t = Sim.creep ~max_steps:200_000 (Tm_compiler.oracle tm) in
+          Sim.halted t)
+
+let test_random_tm_divergence_transfers =
+  QCheck.Test.make ~name:"random TMs: divergence transfers through compilation"
+    ~count:30
+    (QCheck.make gen_random_tm)
+    (fun tm ->
+      (* a TM still running after many direct steps is (for this tiny
+         state space) diverging; its worm must still be creeping *)
+      match Turing.run ~max_steps:5_000 tm with
+      | _, Turing.Running _ ->
+          let t = Sim.creep ~max_steps:100_000 (Tm_compiler.oracle tm) in
+          (not (Sim.halted t)) && t.Sim.cycles > 10
+      | _ -> QCheck.assume_fail ())
+
+(* Property: for random small step budgets, configurations reached by the
+   compiled zigzag worm are always valid (Lemma 20 under compilation). *)
+let test_compiled_validity_property =
+  QCheck.Test.make ~name:"compiled worm configurations valid (Lemma 20)" ~count:20
+    QCheck.(int_range 10 2000)
+    (fun budget ->
+      let t = Sim.creep ~max_steps:budget (Tm_compiler.oracle Zoo.tm_zigzag) in
+      Config.is_valid (Sim.final_config t))
+
+let () =
+  Alcotest.run "rainworm"
+    [
+      ( "instructions",
+        [
+          Alcotest.test_case "all ♦-forms" `Quick test_forms;
+          Alcotest.test_case "invalid form rejected" `Quick test_bad_instruction;
+          Alcotest.test_case "partial function enforced" `Quick
+            test_machine_partial_function;
+        ] );
+      ( "configurations",
+        [
+          Alcotest.test_case "initial valid" `Quick test_initial_config_valid;
+          Alcotest.test_case "Definition 19 conditions" `Quick test_config_conditions;
+          Alcotest.test_case "slime/worm split" `Quick test_slime_split;
+        ] );
+      ( "creeping",
+        [
+          Alcotest.test_case "eternal creeper creeps" `Quick test_eternal_creeper_runs;
+          Alcotest.test_case "growth is linear" `Quick test_eternal_creeper_growth;
+          Alcotest.test_case "Lemma 20 on reachable configs" `Quick
+            test_creeper_configs_valid;
+          Alcotest.test_case "Lemma 22(2): determinism" `Quick test_determinism;
+          Alcotest.test_case "Thue view agrees" `Quick test_thue_agrees_with_sim;
+          Alcotest.test_case "stillborn halts" `Quick test_stillborn_halts;
+        ] );
+      ( "turing",
+        [
+          Alcotest.test_case "direct interpreter" `Quick test_tm_direct;
+          Alcotest.test_case "bouncer" `Quick test_tm_bouncer;
+        ] );
+      ( "compiler",
+        [
+          Alcotest.test_case "halt-now compiles to halting worm" `Quick
+            test_compiled_halt_now;
+          Alcotest.test_case "write-k compiles to halting worm" `Quick
+            test_compiled_write_k;
+          Alcotest.test_case "right-forever compiles to eternal worm" `Quick
+            test_compiled_diverges;
+          Alcotest.test_case "zigzag compiles to eternal worm" `Quick
+            test_compiled_zigzag_diverges;
+          Alcotest.test_case "bouncer compiles to halting worm" `Quick
+            test_compiled_bouncer_halts;
+          Alcotest.test_case "tape equivalence at halt" `Quick test_tape_equivalence;
+          Alcotest.test_case "materialize" `Quick test_materialize;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            test_compiled_validity_property;
+            test_random_tm_halting_transfers;
+            test_random_tm_divergence_transfers;
+          ] );
+    ]

@@ -1,0 +1,260 @@
+(* Tests for the undecidability reduction (Section VIII): ∆ → T_M
+   (Lemma 25), the fold-and-grid mechanism (Lemma 24 "⇒"), the finite
+   model construction of Section VIII.E (Lemmas 24 "⇐" and 26), and the
+   end-to-end pipeline of Theorem 5. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let creeper = Rainworm.Zoo.eternal_creeper
+
+(* --- T_M construction --------------------------------------------------- *)
+
+let test_rule_counts () =
+  let wr = Reduction.Worm_rules.of_machine creeper in
+  (* 2 base rules + one per instruction except ♦1 *)
+  check_int "rules" (2 + Rainworm.Machine.size creeper - 1)
+    (List.length wr.Reduction.Worm_rules.rules)
+
+let test_connector_assignment () =
+  (* ♦-forms with odd first lhs symbol become /· rules, even become &· *)
+  let wr = Reduction.Worm_rules.of_machine creeper in
+  let amp_count =
+    List.length
+      (List.filter
+         (fun (r : Greengraph.Rule.t) -> r.Greengraph.Rule.conn = Greengraph.Rule.Amp)
+         wr.Reduction.Worm_rules.rules)
+  in
+  (* creeper: base init1(&), init2(/); ♦2(&), ♦3(/), ♦4(/), ♦4'(&), ♦5(/),
+     ♦5'(&), ♦6(/), ♦6'(&), ♦7(/), ♦7'(&), ♦8(/): 6 amp, 7 slash *)
+  check_int "amp rules" 6 amp_count;
+  check_int "slash rules" 7
+    (List.length wr.Reduction.Worm_rules.rules - amp_count)
+
+let test_labeling_parity () =
+  let lb = Reduction.Labeling.create () in
+  List.iter
+    (fun s ->
+      check
+        (Fmt.str "parity of %a" Rainworm.Sym.pp s)
+        (Rainworm.Sym.is_even s)
+        (Reduction.Labeling.code lb s mod 2 = 0))
+    [
+      Rainworm.Sym.Alpha; Rainworm.Sym.Beta0; Rainworm.Sym.Beta1;
+      Rainworm.Sym.Eta0; Rainworm.Sym.Eta1; Rainworm.Sym.Eta11;
+      Rainworm.Sym.Gamma0; Rainworm.Sym.Gamma1; Rainworm.Sym.Omega0;
+      Rainworm.Sym.A0 "x"; Rainworm.Sym.A1 "x"; Rainworm.Sym.Q0 "q";
+      Rainworm.Sym.Q1 "q"; Rainworm.Sym.Q0bar "q"; Rainworm.Sym.Q1bar "q";
+      Rainworm.Sym.Qg0 "q"; Rainworm.Sym.Qg1 "q";
+    ]
+
+let test_labeling_stable () =
+  let lb = Reduction.Labeling.create () in
+  let c1 = Reduction.Labeling.code lb (Rainworm.Sym.A0 "x") in
+  let _ = Reduction.Labeling.code lb (Rainworm.Sym.A0 "y") in
+  check_int "stable codes" c1 (Reduction.Labeling.code lb (Rainworm.Sym.A0 "x"))
+
+(* --- Lemma 25 ------------------------------------------------------------ *)
+
+let test_lemma25 () =
+  (* every reachable configuration of the creeper is a word of
+     chase(T_M, D_I) *)
+  let wr = Reduction.Worm_rules.of_machine creeper in
+  let g, a, b, _ = Reduction.Worm_rules.chase ~stages:30 wr in
+  let configs =
+    Rainworm.Sim.reachable_configs ~max_steps:28 (Rainworm.Machine.oracle creeper)
+  in
+  check "enough configs" true (List.length configs > 20);
+  List.iteri
+    (fun i c ->
+      let w = Reduction.Worm_rules.configuration_word wr c in
+      if not (Greengraph.Pg.in_words g ~a ~b w) then
+        Alcotest.failf "config %d not in words (Lemma 25)" i)
+    configs
+
+let test_lemma25_negative () =
+  (* a word that is no reachable configuration is not in words of a short
+     chase: e.g. α γ1 γ1 ... (invalid parity) or a config of a different
+     machine *)
+  let wr = Reduction.Worm_rules.of_machine creeper in
+  let g, a, b, _ = Reduction.Worm_rules.chase ~stages:20 wr in
+  let bogus =
+    [ Separating.Labels.alpha; Separating.Labels.gamma1; Separating.Labels.gamma1 ]
+  in
+  check "bogus not a word" false (Greengraph.Pg.in_words g ~a ~b bogus)
+
+let test_chase_spine_grows () =
+  (* the creeping worm leaves an ever-longer αβ slime trail in the chase *)
+  let wr = Reduction.Worm_rules.of_machine creeper in
+  let g1, a1, _, _ = Reduction.Worm_rules.chase ~stages:30 wr in
+  let g2, a2, _, _ = Reduction.Worm_rules.chase ~stages:60 wr in
+  let s1 = List.length (Reduction.Worm_rules.alpha_beta_spine g1 ~a:a1) in
+  let s2 = List.length (Reduction.Worm_rules.alpha_beta_spine g2 ~a:a2) in
+  check "spine grows" true (s2 > s1)
+
+(* --- Lemma 24 "⇒": fold and grid ----------------------------------------- *)
+
+let test_fold_gives_pattern () =
+  let wr = Reduction.Worm_rules.of_machine creeper in
+  let pattern, _, _ = Reduction.Worm_rules.fold_and_grid ~stages:60 wr ~fold:(0, 2) in
+  check "1-2 pattern after folding" true pattern
+
+(* --- Lemma 24 "⇐" / Lemma 26: the finite model ---------------------------- *)
+
+let finite_model_checks name machine =
+  let wr, m, gstats = Reduction.Finite_model.of_halting_machine machine in
+  let g = m.Reduction.Finite_model.graph in
+  check (name ^ ": no 1-2 pattern") false (Greengraph.Graph.has_12_pattern g);
+  check (name ^ ": grid chase converged") true gstats.Greengraph.Rule.fixpoint;
+  check (name ^ ": M̄ ⊨ T_M (Lemma 26)") true
+    (Greengraph.Rule.models wr.Reduction.Worm_rules.rules g);
+  check (name ^ ": M̄ ⊨ T_M ∪ T□ (Lemma 24 ⇐)") true
+    (Greengraph.Rule.models (Reduction.Worm_rules.with_grid wr) g);
+  (* Lemma 26, second claim: every β-edge comes from the initial path *)
+  let beta_edges =
+    List.filter
+      (fun (e : Greengraph.Graph.edge) ->
+        e.Greengraph.Graph.label = Some Separating.Labels.beta0
+        || e.Greengraph.Graph.label = Some Separating.Labels.beta1)
+      (Greengraph.Graph.edges g)
+  in
+  check (name ^ ": β-edges bounded by |u_M|") true (List.length beta_edges < 64)
+
+let test_finite_model_stillborn () = finite_model_checks "stillborn" Rainworm.Zoo.stillborn
+
+let test_finite_model_halt_now () =
+  let m = Rainworm.Tm_compiler.materialize ~max_steps:10_000 Rainworm.Zoo.tm_halt_now in
+  finite_model_checks "halt-now" m
+
+let test_finite_model_write_k () =
+  let m = Rainworm.Tm_compiler.materialize ~max_steps:100_000 (Rainworm.Zoo.tm_write_k 2) in
+  finite_model_checks "write-2" m
+
+let test_lemma40_words_creep_to_um () =
+  (* Appendix C, Lemma 40(1): every word of the pre-grid model M creeps
+     forward to exactly u_M *)
+  List.iter
+    (fun (name, machine) ->
+      let trace = Rainworm.Sim.creep_machine ~max_steps:100_000 machine in
+      match trace.Rainworm.Sim.outcome with
+      | Rainworm.Sim.Running _ -> Alcotest.fail "machine must halt"
+      | Rainworm.Sim.Halted final ->
+          let wr = Reduction.Worm_rules.of_machine machine in
+          let m =
+            Reduction.Finite_model.build wr ~final_config:final
+              ~k_m:trace.Rainworm.Sim.steps
+          in
+          let n =
+            Reduction.Finite_model.check_lemma40 ~max_len:14 wr m
+              ~final_config:final
+          in
+          check (name ^ ": some words checked") true (n >= 1))
+    [
+      ("stillborn", Rainworm.Zoo.stillborn);
+      ("halt-now", Rainworm.Tm_compiler.materialize Rainworm.Zoo.tm_halt_now);
+    ]
+
+let test_finite_model_contains_di () =
+  let _, m, _ = Reduction.Finite_model.of_halting_machine Rainworm.Zoo.stillborn in
+  check "contains H∅(a,b)" true
+    (List.exists
+       (fun (e : Greengraph.Graph.edge) ->
+         e.Greengraph.Graph.label = None
+         && e.Greengraph.Graph.src = m.Reduction.Finite_model.a
+         && e.Greengraph.Graph.dst = m.Reduction.Finite_model.b)
+       (Greengraph.Graph.edges m.Reduction.Finite_model.graph))
+
+(* --- Theorem 5 end-to-end -------------------------------------------------- *)
+
+let test_pipeline_shape () =
+  let p = Reduction.Pipeline.of_machine creeper in
+  let sh = Reduction.Pipeline.shape p in
+  check_int "green rules = T_M + T□" (13 + 41) sh.Reduction.Pipeline.green_rule_count;
+  check_int "swarm rules = 3 + 2 per green rule" (3 + (2 * 54))
+    sh.Reduction.Pipeline.swarm_rule_count;
+  check_int "one CQ per swarm rule" sh.Reduction.Pipeline.swarm_rule_count
+    sh.Reduction.Pipeline.query_count;
+  check_int "two TGDs per CQ" (2 * sh.Reduction.Pipeline.query_count)
+    sh.Reduction.Pipeline.tgd_count;
+  (* s = 2(k+1)+2 for k swarm-rule-generating green rules *)
+  check_int "s" ((2 * (54 + 1)) + 2) sh.Reduction.Pipeline.s;
+  check "Q0 is boolean" true (Cq.Query.arity p.Reduction.Pipeline.q0 = 0)
+
+let test_pipeline_queries_wellformed () =
+  let p = Reduction.Pipeline.of_machine Rainworm.Zoo.stillborn in
+  List.iter
+    (fun (_, q) ->
+      (* every compiled CQ has at least tail+antenna free variables and a
+         nonempty body over the spider signature *)
+      check "free vars" true (Cq.Query.arity q >= 2);
+      check "body nonempty" true (Cq.Query.body q <> []))
+    p.Reduction.Pipeline.level0.Greengraph.Precompile.queries
+
+(* --- halting ⟺ not finitely-leads, at Level 2 ------------------------------ *)
+
+let test_lemma24_both_directions () =
+  (* creeping forever: folding any two spine vertices grids a pattern —
+     and the plain chase stays clean (unrestricted side) *)
+  let wr = Reduction.Worm_rules.of_machine creeper in
+  let g, _, _, _ = Reduction.Worm_rules.chase ~with_tbox:true ~stages:12 wr in
+  check "chase prefix clean (does not lead, unrestricted)" false
+    (Greengraph.Graph.has_12_pattern g);
+  (* halting: the finite model certifies "does not finitely lead" *)
+  let wr2, m2, _ = Reduction.Finite_model.of_halting_machine Rainworm.Zoo.stillborn in
+  check "finite countermodel exists for halting worm" true
+    (Greengraph.Rule.models (Reduction.Worm_rules.with_grid wr2)
+       m2.Reduction.Finite_model.graph
+    && not (Greengraph.Graph.has_12_pattern m2.Reduction.Finite_model.graph))
+
+let test_fold_property =
+  QCheck.Test.make ~name:"folding distinct spine vertices yields the pattern"
+    ~count:6
+    QCheck.(pair (int_bound 1) (int_range 2 3))
+    (fun (i, j) ->
+      QCheck.assume (i < j);
+      let wr = Reduction.Worm_rules.of_machine creeper in
+      let pattern, _, _ =
+        Reduction.Worm_rules.fold_and_grid ~stages:90 wr ~fold:(i, j)
+      in
+      pattern)
+
+let () =
+  Alcotest.run "reduction"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "rule counts" `Quick test_rule_counts;
+          Alcotest.test_case "connector assignment" `Quick test_connector_assignment;
+          Alcotest.test_case "labeling parity" `Quick test_labeling_parity;
+          Alcotest.test_case "labeling stable" `Quick test_labeling_stable;
+        ] );
+      ( "lemma25",
+        [
+          Alcotest.test_case "configurations are chase words" `Quick test_lemma25;
+          Alcotest.test_case "bogus words rejected" `Quick test_lemma25_negative;
+          Alcotest.test_case "spine grows with creeping" `Quick test_chase_spine_grows;
+        ] );
+      ( "lemma24",
+        [
+          Alcotest.test_case "fold gives pattern (⇒)" `Quick test_fold_gives_pattern;
+          Alcotest.test_case "finite model: stillborn (⇐)" `Quick
+            test_finite_model_stillborn;
+          Alcotest.test_case "finite model: halt-now TM (⇐)" `Quick
+            test_finite_model_halt_now;
+          Alcotest.test_case "finite model: write-2 TM (⇐)" `Slow
+            test_finite_model_write_k;
+          Alcotest.test_case "Lemma 40: words creep to u_M" `Quick
+            test_lemma40_words_creep_to_um;
+          Alcotest.test_case "finite model contains D_I" `Quick
+            test_finite_model_contains_di;
+          Alcotest.test_case "both directions" `Quick test_lemma24_both_directions;
+        ] );
+      ( "theorem5",
+        [
+          Alcotest.test_case "pipeline shape" `Quick test_pipeline_shape;
+          Alcotest.test_case "queries well-formed" `Quick
+            test_pipeline_queries_wellformed;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ test_fold_property ] );
+    ]

@@ -1,0 +1,257 @@
+(* Tests for the separating example (Section VII, Theorem 14): T∞'s
+   infinite path (Figure 1), T□'s grids (Figures 2–4), and the
+   leads-to-red-spider semantics across abstraction levels. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- T∞ / Figure 1 ----------------------------------------------------- *)
+
+let test_tinf_first_steps () =
+  (* the hand trace of Step 1: b1 with Hα(a,b1), Hη1(a,b1); then a1 with
+     Hη0(a1,b), Hβ1(a1,b1); then b2 with Hη1(a,b2), Hβ0(a1,b2) *)
+  let g, a, b = Greengraph.Graph.d_i () in
+  let stats = Greengraph.Rule.chase ~max_stages:1 Separating.Tinf.rules g in
+  check_int "stage 1 edges" 3 (Greengraph.Graph.size g);
+  let alpha_edges = Greengraph.Graph.with_label g (Some Separating.Labels.alpha) in
+  (match alpha_edges with
+  | [ e ] ->
+      check "α from a" true (e.Greengraph.Graph.src = a);
+      check "α not to b" true (e.Greengraph.Graph.dst <> b)
+  | _ -> Alcotest.fail "expected one α edge");
+  ignore stats;
+  let _ = Greengraph.Rule.chase ~max_stages:2 Separating.Tinf.rules g in
+  check "η0 into b appears" true
+    (List.exists
+       (fun (e : Greengraph.Graph.edge) ->
+         e.Greengraph.Graph.label = Some Separating.Labels.eta0
+         && e.Greengraph.Graph.dst = b)
+       (Greengraph.Graph.edges g))
+
+let test_tinf_no_12_pattern () =
+  let g, _, _, _ = Separating.Tinf.chase ~stages:15 in
+  check "no 1-2 pattern (Step 1)" false (Greengraph.Graph.has_12_pattern g)
+
+let test_tinf_words () =
+  (* words(chase(T∞,D_I)) = {α(β1β0)^k η1} ∪ {α(β1β0)^k β1 η0} *)
+  let g, a, b, _ = Separating.Tinf.chase ~stages:14 in
+  for k = 0 to 3 do
+    check
+      (Printf.sprintf "α(β1β0)^%dη1 ∈ words" k)
+      true
+      (Greengraph.Pg.in_words g ~a ~b (Separating.Tinf.word_family_1 k));
+    check
+      (Printf.sprintf "α(β1β0)^%dβ1η0 ∈ words" k)
+      true
+      (Greengraph.Pg.in_words g ~a ~b (Separating.Tinf.word_family_2 k))
+  done;
+  (* non-members *)
+  check "αβ0... ∉ words" false
+    (Greengraph.Pg.in_words g ~a ~b
+       [ Separating.Labels.alpha; Separating.Labels.beta0 ]);
+  check "bare α ∉ words" false
+    (Greengraph.Pg.in_words g ~a ~b [ Separating.Labels.alpha ])
+
+let test_tinf_words_exactly () =
+  (* Bounded completeness.  Strictly by Definition 15, a word may loop
+     back through [a] before finishing (e.g. αη1·αβ1η0), so the language
+     is (F1)*·(F1 ∪ F2) with F1 = α(β1β0)^kη1 and F2 = α(β1β0)^kβ1η0; the
+     paper's Example lists the loop-free members. *)
+  let rec strip_prefix p w =
+    match p, w with
+    | [], rest -> Some rest
+    | x :: p', y :: w' -> if x = y then strip_prefix p' w' else None
+    | _ :: _, [] -> None
+  in
+  let ks = [ 0; 1; 2; 3 ] in
+  let rec in_language w =
+    List.exists
+      (fun k ->
+        w = Separating.Tinf.word_family_1 k || w = Separating.Tinf.word_family_2 k)
+      ks
+    || List.exists
+         (fun k ->
+           match strip_prefix (Separating.Tinf.word_family_1 k) w with
+           | Some ([] as _rest) -> false (* already covered above *)
+           | Some rest -> in_language rest
+           | None -> false)
+         ks
+  in
+  let g, a, b, _ = Separating.Tinf.chase ~stages:14 in
+  let words = Greengraph.Pg.words_upto g ~a ~b ~max_len:8 in
+  check "some words found" true (List.length words >= 4);
+  List.iter
+    (fun w ->
+      if not (in_language w) then
+        Alcotest.failf "unexpected word %a" Greengraph.Pg.pp_word w)
+    words
+
+let test_tinf_growth_linear () =
+  (* the chase grows a bounded number of edges per stage — the structure
+     is an infinite quasi-path, not a tree *)
+  let _, _, _, stats10 = Separating.Tinf.chase ~stages:10 in
+  let _, _, _, stats20 = Separating.Tinf.chase ~stages:20 in
+  let g10, _, _, _ = Separating.Tinf.chase ~stages:10 in
+  let g20, _, _, _ = Separating.Tinf.chase ~stages:20 in
+  ignore stats10;
+  ignore stats20;
+  let d1 = Greengraph.Graph.size g20 - Greengraph.Graph.size g10 in
+  check "linear growth" true (d1 <= 10 * 6)
+
+(* --- T□ / Figures 2–4 --------------------------------------------------- *)
+
+let test_tbox_has_41_rules () = check_int "41 rules" 41 Separating.Tbox.size
+
+let test_collision_unequal_gives_pattern () =
+  List.iter
+    (fun (t, t') ->
+      let pattern, _, _ = Separating.Theorem14.collision_outcome ~t ~t' () in
+      check (Printf.sprintf "t=%d t'=%d → 1-2 pattern" t t') true pattern)
+    [ (1, 2); (2, 3); (3, 5); (2, 6) ]
+
+let test_collision_equal_no_pattern () =
+  List.iter
+    (fun t ->
+      let pattern, stats, g = Separating.Theorem14.collision_outcome ~t ~t':t () in
+      check (Printf.sprintf "t=t'=%d → no pattern" t) false pattern;
+      check "chase converged" true stats.Greengraph.Rule.fixpoint;
+      (* the final structure is a model of T□ (grid complete) *)
+      check "models T□" true (Greengraph.Rule.models Separating.Tbox.rules g))
+    [ 1; 2; 4 ]
+
+let test_single_path_no_pattern () =
+  (* Figure 4: the grids M_t are harmless *)
+  List.iter
+    (fun t ->
+      let pattern, stats, g = Separating.Theorem14.single_path_outcome ~t () in
+      check (Printf.sprintf "M_%d has no pattern" t) false pattern;
+      check "converged" true stats.Greengraph.Rule.fixpoint;
+      check "models T□ (Lemma 18(2) fragment)" true
+        (Greengraph.Rule.models Separating.Tbox.rules g))
+    [ 1; 2; 3 ]
+
+let test_chase_t_prefix_clean () =
+  (* Theorem 14, "does not lead" side: bounded prefix of chase(T, D_I) *)
+  let clean, _ = Separating.Theorem14.chase_prefix_clean ~stages:7 in
+  check "no 1-2 pattern in chase prefix" true clean
+
+let test_grid_corner_labels () =
+  (* in the unequal case the pattern labels are exactly 1 = ⟨n,α,d̄,b̄⟩ and
+     2 = ⟨w,α,d̄,b̄⟩ *)
+  let _, _, g = Separating.Theorem14.collision_outcome ~t:2 ~t':3 () in
+  match Greengraph.Graph.find_12_pattern g with
+  | None -> Alcotest.fail "expected pattern"
+  | Some (e1, e2) ->
+      check "labels" true
+        (e1.Greengraph.Graph.label = Some 1 && e2.Greengraph.Graph.label = Some 2)
+
+(* --- cross-level agreement (Lemma 12 behaviorally) ---------------------- *)
+
+(* a tiny rule set that leads to the red spider in one step *)
+let leads_rules = [ Greengraph.Rule.amp (None, None) (Some 1, Some 2) ]
+
+let test_leads_level2 () =
+  match Greengraph.Rule.leads_to_red_spider ~max_stages:4 leads_rules with
+  | `Leads _ -> ()
+  | `Does_not_lead _ | `Unknown _ -> Alcotest.fail "expected Leads"
+
+let test_leads_level1 () =
+  (* Precompile(leads_rules) leads to the full red spider at Level 1 *)
+  let swarm_rules = Greengraph.Precompile.precompile leads_rules in
+  match Swarm.Rule.leads_to_red_spider ~max_stages:8 swarm_rules with
+  | `Leads _ -> ()
+  | `Does_not_lead _ | `Unknown _ -> Alcotest.fail "expected Leads at Level 1"
+
+let test_leads_level0 () =
+  (* Compile(Precompile(leads_rules)): the TGD chase from a full green
+     spider produces a full red spider at Level 0 *)
+  let p = Greengraph.Precompile.to_level0 leads_rules in
+  let ctx = p.Greengraph.Precompile.ctx in
+  let st = Relational.Structure.create () in
+  let a = Relational.Structure.fresh ~name:"a" st in
+  let b = Relational.Structure.fresh ~name:"b" st in
+  ignore (Spider.Real.realize ctx st ~tail:a ~antenna:b Spider.Ideal.full_green);
+  let has_full_red st =
+    List.exists
+      (fun (r : Spider.Real.t) ->
+        Spider.Ideal.equal r.Spider.Real.ideal Spider.Ideal.full_red)
+      (Spider.Real.find_all ctx st)
+  in
+  let _ =
+    Tgd.Chase.run ~max_stages:8 ~stop:has_full_red p.Greengraph.Precompile.tgds st
+  in
+  check "full red spider at Level 0" true (has_full_red st)
+
+let test_does_not_lead_all_levels () =
+  (* T∞ does not lead within the budget at Levels 2 and 1 *)
+  (match Greengraph.Rule.leads_to_red_spider ~max_stages:6 Separating.Tinf.rules with
+  | `Leads _ -> Alcotest.fail "T∞ must not lead"
+  | `Does_not_lead _ | `Unknown _ -> ());
+  let swarm_rules = Greengraph.Precompile.precompile Separating.Tinf.rules in
+  match Swarm.Rule.leads_to_red_spider ~max_stages:3 swarm_rules with
+  | `Leads _ -> Alcotest.fail "Precompile(T∞) must not lead"
+  | `Does_not_lead _ | `Unknown _ -> ()
+
+let test_lemma18_on_chase_prefix () =
+  (* Step 3's model M, bounded: freeze a chase(T∞, D_I) prefix (with its η
+     and ∅ edges), then grid it with T□ alone to the fixpoint.  The result
+     contains the grids M_t of Figure 4 hanging off the real chase — and
+     per Lemma 18 it has no 1-2 pattern and models T□. *)
+  let g, _, _, _ = Separating.Tinf.chase ~stages:9 in
+  let stats =
+    Greengraph.Rule.chase ~max_stages:200 ~stop:Greengraph.Graph.has_12_pattern
+      Separating.Tbox.rules g
+  in
+  check "grid chase converged" true stats.Greengraph.Rule.fixpoint;
+  check "no 1-2 pattern (Lemma 18(1))" false (Greengraph.Graph.has_12_pattern g);
+  check "models T□ (Lemma 18(2))" true
+    (Greengraph.Rule.models Separating.Tbox.rules g)
+
+(* --- properties --------------------------------------------------------- *)
+
+let test_collision_property =
+  QCheck.Test.make ~name:"1-2 pattern iff colliding paths have unequal lengths"
+    ~count:12
+    QCheck.(pair (int_range 1 4) (int_range 1 4))
+    (fun (t, t') ->
+      let pattern, _, _ =
+        Separating.Theorem14.collision_outcome ~max_stages:40 ~t ~t' ()
+      in
+      pattern = (t <> t'))
+
+let () =
+  Alcotest.run "separating"
+    [
+      ( "tinf",
+        [
+          Alcotest.test_case "first chase steps (Fig 1)" `Quick test_tinf_first_steps;
+          Alcotest.test_case "no 1-2 pattern" `Quick test_tinf_no_12_pattern;
+          Alcotest.test_case "word families" `Quick test_tinf_words;
+          Alcotest.test_case "words complete (bounded)" `Quick test_tinf_words_exactly;
+          Alcotest.test_case "linear growth" `Quick test_tinf_growth_linear;
+        ] );
+      ( "tbox",
+        [
+          Alcotest.test_case "41 rules" `Quick test_tbox_has_41_rules;
+          Alcotest.test_case "unequal collision → pattern (Fig 3)" `Quick
+            test_collision_unequal_gives_pattern;
+          Alcotest.test_case "equal collision → clean" `Quick
+            test_collision_equal_no_pattern;
+          Alcotest.test_case "single path → clean (Fig 4)" `Quick
+            test_single_path_no_pattern;
+          Alcotest.test_case "chase(T,D_I) prefix clean" `Quick
+            test_chase_t_prefix_clean;
+          Alcotest.test_case "corner labels are 1,2" `Quick test_grid_corner_labels;
+          Alcotest.test_case "Lemma 18 on the chase prefix" `Quick
+            test_lemma18_on_chase_prefix;
+        ] );
+      ( "levels",
+        [
+          Alcotest.test_case "leads at Level 2" `Quick test_leads_level2;
+          Alcotest.test_case "leads at Level 1" `Quick test_leads_level1;
+          Alcotest.test_case "leads at Level 0" `Quick test_leads_level0;
+          Alcotest.test_case "T∞ does not lead" `Quick test_does_not_lead_all_levels;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ test_collision_property ] );
+    ]

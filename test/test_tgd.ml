@@ -1,0 +1,227 @@
+(* Tests for TGDs, the chase and the green-red machinery of Section IV. *)
+
+open Relational
+
+let edge = Symbol.make "E" 2
+let red_edge = Symbol.red edge
+let green_edge = Symbol.green edge
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let v = Term.var
+let e x y = Atom.app2 edge (v x) (v y)
+
+let test_frontier () =
+  let dep =
+    Tgd.Dep.make ~body:[ e "x" "y" ] ~head:[ e "y" "z" ] ()
+  in
+  check "frontier is y" true
+    (Term.Var_set.equal (Tgd.Dep.frontier dep) (Term.Var_set.singleton "y"));
+  check "existential is z" true
+    (Term.Var_set.equal (Tgd.Dep.existentials dep) (Term.Var_set.singleton "z"))
+
+(* E(x,y) ⇒ ∃z E(y,z): chase of a single edge diverges (infinite path);
+   bounded chase grows by one edge per stage. *)
+let test_chase_growth () =
+  let dep = Tgd.Dep.make ~body:[ e "x" "y" ] ~head:[ e "y" "z" ] () in
+  let s = Structure.create () in
+  let a = Structure.fresh s and b = Structure.fresh s in
+  Structure.add2 s edge a b;
+  let stats = Tgd.Chase.run ~max_stages:5 [ dep ] s in
+  check "not fixpoint" false stats.Tgd.Chase.fixpoint;
+  check_int "6 edges after 5 stages" 6 (Structure.size s)
+
+let test_chase_lazy () =
+  (* on a cycle the head is always already satisfied: chase does nothing *)
+  let dep = Tgd.Dep.make ~body:[ e "x" "y" ] ~head:[ e "y" "z" ] () in
+  let s = Structure.create () in
+  let a = Structure.fresh s and b = Structure.fresh s in
+  Structure.add2 s edge a b;
+  Structure.add2 s edge b a;
+  let stats = Tgd.Chase.run [ dep ] s in
+  check "fixpoint at once" true stats.Tgd.Chase.fixpoint;
+  check_int "no facts added" 2 (Structure.size s);
+  check "models" true (Tgd.Chase.models [ dep ] s)
+
+let test_chase_provenance () =
+  let dep = Tgd.Dep.make ~body:[ e "x" "y" ] ~head:[ e "y" "z" ] () in
+  let s = Structure.create () in
+  let a = Structure.fresh s and b = Structure.fresh s in
+  Structure.add2 s edge a b;
+  ignore (Tgd.Chase.run ~max_stages:3 [ dep ] s);
+  let stages =
+    Structure.fold_facts s (fun f acc -> Option.get (Structure.fact_stage s f) :: acc) []
+    |> List.sort_uniq compare
+  in
+  check "stages 0..3 present" true (stages = [ 0; 1; 2; 3 ])
+
+let test_chase_stop () =
+  let dep = Tgd.Dep.make ~body:[ e "x" "y" ] ~head:[ e "y" "z" ] () in
+  let s = Structure.create () in
+  let a = Structure.fresh s and b = Structure.fresh s in
+  Structure.add2 s edge a b;
+  let stats =
+    Tgd.Chase.run ~max_stages:100 ~stop:(fun d -> Structure.size d >= 4) [ dep ] s
+  in
+  check "stopped early" true (stats.Tgd.Chase.stages <= 4)
+
+let test_chase_two_heads () =
+  (* E(x,y) ⇒ ∃z E(y,z) ∧ E(z,y): creates two facts per firing *)
+  let dep =
+    Tgd.Dep.make ~body:[ e "x" "y" ] ~head:[ e "y" "z"; e "z" "y" ] ()
+  in
+  let s = Structure.create () in
+  let a = Structure.fresh s and b = Structure.fresh s in
+  Structure.add2 s edge a b;
+  let stats = Tgd.Chase.run ~max_stages:1 [ dep ] s in
+  check_int "one firing" 1 stats.Tgd.Chase.applications;
+  check_int "3 facts" 3 (Structure.size s);
+  (* now the fixpoint is reached: the back-and-forth pair satisfies both
+     trigger positions *)
+  let stats2 = Tgd.Chase.run ~max_stages:10 [ dep ] s in
+  check "fixpoint" true stats2.Tgd.Chase.fixpoint
+
+let test_trigger_dedup () =
+  (* two body matches with the same frontier must fire once *)
+  let dep =
+    Tgd.Dep.make ~body:[ e "x" "y"; e "x" "y2" ] ~head:[ e "y" "w" ] ()
+  in
+  let s = Structure.create () in
+  let a = Structure.fresh s and b = Structure.fresh s and c = Structure.fresh s in
+  Structure.add2 s edge a b;
+  Structure.add2 s edge a c;
+  let stats = Tgd.Chase.run ~max_stages:1 [ dep ] s in
+  (* frontier = {y}; matches give y=b and y=c: two firings, not four *)
+  check_int "two firings" 2 stats.Tgd.Chase.applications
+
+(* --- Green-red TGDs (Definition 3) ---------------------------------- *)
+
+let q_edge = Cq.Query.make ~free:[ "x"; "y" ] [ e "x" "y" ]
+
+let test_greenred_tgd_shape () =
+  let dep = Tgd.Dep.of_query `G_to_R q_edge in
+  check "body green" true
+    (List.for_all (fun a -> Symbol.is_green (Atom.sym a)) (Tgd.Dep.body dep));
+  check "head red" true
+    (List.for_all (fun a -> Symbol.is_red (Atom.sym a)) (Tgd.Dep.head dep));
+  (* free variables of the query are the frontier *)
+  check "frontier = free vars" true
+    (Term.Var_set.equal (Tgd.Dep.frontier dep)
+       (Term.Var_set.of_list [ "x"; "y" ]))
+
+let test_greenred_existential_renaming () =
+  let q = Cq.Query.make ~free:[ "x" ] [ e "x" "y" ] in
+  let dep = Tgd.Dep.of_query `G_to_R q in
+  (* y is existential in the head, renamed apart: frontier is just x *)
+  check "frontier = {x}" true
+    (Term.Var_set.equal (Tgd.Dep.frontier dep) (Term.Var_set.singleton "x"))
+
+let test_lemma4 () =
+  (* Lemma 4: D ⊨ T_Q iff (G(Q))(D) = (R(Q))(D) for each Q ∈ Q.
+     Build D where views agree, and one where they don't. *)
+  let queries = [ ("e", q_edge) ] in
+  let s = Structure.create () in
+  let a = Structure.fresh s and b = Structure.fresh s in
+  Structure.add2 s green_edge a b;
+  Structure.add2 s red_edge a b;
+  check "views agree -> models T_Q" true (Tgd.Greenred.condition_tq queries s);
+  check "views agree (direct)" true (Tgd.Greenred.condition_views_agree queries s);
+  let s2 = Structure.create () in
+  let a2 = Structure.fresh s2 and b2 = Structure.fresh s2 in
+  Structure.add2 s2 green_edge a2 b2;
+  check "missing red -> violates" false (Tgd.Greenred.condition_tq queries s2);
+  check "views disagree (direct)" false (Tgd.Greenred.condition_views_agree queries s2)
+
+let test_lemma4_equivalence_property =
+  (* On random two-colored graphs the two sides of Lemma 4 coincide.
+     NB the query has free variables x y: views record tuples. *)
+  QCheck.Test.make ~name:"Lemma 4: T_Q ⟺ views agree" ~count:60
+    QCheck.(pair (int_bound 3) (list_of_size Gen.(int_bound 8)
+      (triple bool (int_bound 3) (int_bound 3))))
+    (fun (n, edges) ->
+      let queries = [ ("e", q_edge) ] in
+      let s = Structure.create () in
+      let vs = Array.init (n + 1) (fun _ -> Structure.fresh s) in
+      List.iter
+        (fun (g, i, j) ->
+          let sym = if g then green_edge else red_edge in
+          Structure.add2 s sym vs.(i mod (n+1)) vs.(j mod (n+1)))
+        edges;
+      Tgd.Greenred.condition_tq queries s
+      = Tgd.Greenred.condition_views_agree queries s)
+
+let test_observation6 () =
+  (* chase with T_Q from a green structure: daltonisation maps back *)
+  let q2 =
+    Cq.Query.make ~free:[ "x" ] [ e "x" "y"; e "y" "z" ]
+  in
+  let queries = [ ("p2", q2) ] in
+  let s = Structure.create () in
+  let a = Structure.fresh s and b = Structure.fresh s and c = Structure.fresh s in
+  Structure.add2 s green_edge a b;
+  Structure.add2 s green_edge b c;
+  let original = Structure.copy s in
+  ignore (Tgd.Chase.run ~max_stages:4 (Tgd.Dep.t_q queries) s);
+  check "chase grew" true (Structure.size s > Structure.size original);
+  check "Observation 6" true
+    (Tgd.Greenred.observation6_check ~original ~chased:s)
+
+let test_unrestricted_determinacy_positive () =
+  (* Q = {edge}, Q0 = edge: trivially determined. *)
+  let queries = [ ("e", q_edge) ] in
+  match Tgd.Greenred.unrestricted_determinacy queries q_edge with
+  | `Determined _ -> ()
+  | `Not_determined _ | `Unknown _ -> Alcotest.fail "expected Determined"
+
+let test_unrestricted_determinacy_negative () =
+  (* Q = {path2}, Q0 = edge: the 2-path view does not determine the edge
+     relation. *)
+  let p2 = Cq.Query.make ~free:[ "x"; "y" ] [ e "x" "m"; e "m" "y" ] in
+  let queries = [ ("p2", p2) ] in
+  match Tgd.Greenred.unrestricted_determinacy ~max_stages:20 queries q_edge with
+  | `Not_determined _ -> ()
+  | `Determined _ -> Alcotest.fail "expected Not_determined"
+  | `Unknown _ -> Alcotest.fail "chase did not converge"
+
+let test_unrestricted_determinacy_composed () =
+  (* Q = {edge}, Q0 = path2: determined (compose the view with itself). *)
+  let p2 = Cq.Query.make ~free:[ "x"; "y" ] [ e "x" "m"; e "m" "y" ] in
+  let queries = [ ("e", q_edge) ] in
+  match Tgd.Greenred.unrestricted_determinacy queries p2 with
+  | `Determined _ -> ()
+  | `Not_determined _ | `Unknown _ -> Alcotest.fail "expected Determined"
+
+let () =
+  Alcotest.run "tgd"
+    [
+      ( "dep",
+        [
+          Alcotest.test_case "frontier and existentials" `Quick test_frontier;
+          Alcotest.test_case "green-red shape" `Quick test_greenred_tgd_shape;
+          Alcotest.test_case "existential renaming" `Quick
+            test_greenred_existential_renaming;
+        ] );
+      ( "chase",
+        [
+          Alcotest.test_case "growth" `Quick test_chase_growth;
+          Alcotest.test_case "lazy" `Quick test_chase_lazy;
+          Alcotest.test_case "provenance" `Quick test_chase_provenance;
+          Alcotest.test_case "stop condition" `Quick test_chase_stop;
+          Alcotest.test_case "two-atom head" `Quick test_chase_two_heads;
+          Alcotest.test_case "trigger dedup" `Quick test_trigger_dedup;
+        ] );
+      ( "greenred",
+        [
+          Alcotest.test_case "Lemma 4 (hand instances)" `Quick test_lemma4;
+          Alcotest.test_case "Observation 6" `Quick test_observation6;
+          Alcotest.test_case "determinacy: identity" `Quick
+            test_unrestricted_determinacy_positive;
+          Alcotest.test_case "determinacy: p2 view loses edge" `Quick
+            test_unrestricted_determinacy_negative;
+          Alcotest.test_case "determinacy: composition" `Quick
+            test_unrestricted_determinacy_composed;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ test_lemma4_equivalence_property ] );
+    ]
