@@ -20,7 +20,7 @@ let table_fig1 () =
     "words≤8" "1-2 pattern";
   List.iter
     (fun stages ->
-      let g, a, b, _ = Separating.Tinf.chase ~stages in
+      let g, a, b, _ = Separating.Tinf.chase ~stages () in
       let words = Greengraph.Pg.words_upto g ~a ~b ~max_len:8 in
       Format.printf "%8d %8d %10d %8d %12b@." stages (Greengraph.Graph.size g)
         (Greengraph.Graph.order g) (List.length words)
@@ -217,22 +217,38 @@ let table_attempt1 () =
 (* --- E13: ablations ------------------------------------------------------------ *)
 
 let table_ablations () =
-  section "E13: design ablations (lazy vs oblivious chase, hom ordering)";
+  section "E13: design ablations (chase engines, hom ordering)";
   (* lazy vs semi-oblivious on T_Q of the composition instance *)
   let deps = Tgd.Dep.t_q [ ("p2", path_query 2); ("p3", path_query 3) ] in
   let seed () = fst (Tgd.Greenred.green_canonical (path_query 5)) in
   let d1 = seed () in
-  let s1 = Tgd.Chase.run ~max_stages:6 deps d1 in
+  let s1 = Tgd.Chase.run_stage ~max_stages:6 deps d1 in
+  let d1' = seed () in
+  let s1' = Tgd.Chase.run_seminaive ~max_stages:6 deps d1' in
   let d2 = seed () in
   let s2 = Tgd.Chase.run_oblivious ~max_stages:6 deps d2 in
-  Format.printf "lazy chase:      %d firings, %d facts (fixpoint %b)@."
+  Format.printf "lazy stage chase:     %d firings, %d facts, %d triggers considered@."
     s1.Tgd.Chase.applications
     (Relational.Structure.size d1)
-    s1.Tgd.Chase.fixpoint;
-  Format.printf "oblivious chase: %d firings, %d facts (fixpoint %b)@."
+    s1.Tgd.Chase.triggers_considered;
+  Format.printf "lazy seminaive chase: %d firings, %d facts, %d triggers considered (equal: %b)@."
+    s1'.Tgd.Chase.applications
+    (Relational.Structure.size d1')
+    s1'.Tgd.Chase.triggers_considered
+    (Relational.Structure.equal_sets d1 d1');
+  Format.printf "oblivious chase:      %d firings, %d facts (fixpoint %b)@."
     s2.Tgd.Chase.applications
     (Relational.Structure.size d2)
-    s2.Tgd.Chase.fixpoint
+    s2.Tgd.Chase.fixpoint;
+  (* stage vs semi-naive on the graph-rule chase of E1 *)
+  let _, _, _, st1 = Separating.Tinf.chase ~engine:`Stage ~stages:16 () in
+  let _, _, _, st2 = Separating.Tinf.chase ~engine:`Seminaive ~stages:16 () in
+  Format.printf
+    "T∞ 16 stages, stage engine:     %d triggers considered, %d firings@."
+    st1.Greengraph.Rule.triggers_considered st1.Greengraph.Rule.applications;
+  Format.printf
+    "T∞ 16 stages, seminaive engine: %d triggers considered, %d firings@."
+    st2.Greengraph.Rule.triggers_considered st2.Greengraph.Rule.applications
 
 (* --- bechamel timing benches -------------------------------------------------- *)
 
@@ -242,7 +258,7 @@ open Toolkit
 let benches =
   [
     Test.make ~name:"E1 fig1: chase(T∞) 12 stages"
-      (Staged.stage (fun () -> Separating.Tinf.chase ~stages:12));
+      (Staged.stage (fun () -> Separating.Tinf.chase ~stages:12 ()));
     Test.make ~name:"E2 fig2: collide t=2,t'=3"
       (Staged.stage (fun () ->
            Separating.Theorem14.collision_outcome ~t:2 ~t':3 ()));
@@ -355,6 +371,17 @@ let benches =
      in
      Test.make ~name:"E13d hom search: scrambled P7, no ordering"
        (Staged.stage (fun () -> Relational.Hom.count ~ordered:false target scrambled)));
+    Test.make ~name:"E13e chase(T∞) 16 stages: stage engine"
+      (Staged.stage (fun () -> Separating.Tinf.chase ~engine:`Stage ~stages:16 ()));
+    Test.make ~name:"E13f chase(T∞) 16 stages: seminaive engine"
+      (Staged.stage (fun () ->
+           Separating.Tinf.chase ~engine:`Seminaive ~stages:16 ()));
+    Test.make ~name:"E13g grid (3,3): stage engine"
+      (Staged.stage (fun () ->
+           Separating.Theorem14.collision_outcome ~engine:`Stage ~t:3 ~t':3 ()));
+    Test.make ~name:"E13h grid (3,3): seminaive engine"
+      (Staged.stage (fun () ->
+           Separating.Theorem14.collision_outcome ~engine:`Seminaive ~t:3 ~t':3 ()));
   ]
 
 let run_benches () =
@@ -394,17 +421,158 @@ let run_benches () =
       Format.printf "%-45s %15s@." name pretty)
     rows
 
+(* --- machine-readable chase benchmark (BENCH_chase.json) ----------------- *)
+
+(* One row per (experiment, engine): wall-clock of a single run plus the
+   engine's own counters, so the stage-vs-seminaive ablation is a diff of
+   two adjacent rows. *)
+type chase_row = {
+  experiment : string;
+  engine_name : string;
+  wall_s : float;
+  b_stages : int;
+  b_applications : int;
+  b_considered : int;
+}
+
+(* Mean wall-clock per run: one warm-up, then repeat until ~80ms of
+   samples accumulate (the small chases take microseconds — a single shot
+   is all noise). *)
+let wall_clock f =
+  let r = f () in
+  let rec loop n elapsed =
+    if n >= 200 || elapsed >= 0.08 then elapsed /. float_of_int n
+    else
+      let t0 = Unix.gettimeofday () in
+      let _ = f () in
+      loop (n + 1) (elapsed +. (Unix.gettimeofday () -. t0))
+  in
+  (loop 0 0., r)
+
+let graph_engine_name = function `Stage -> "stage" | `Seminaive -> "seminaive"
+
+let chase_rows ~tinf_stages ~grid:(t, t') ~tgd_stages =
+  let graph_row experiment engine run =
+    let wall_s, (s : Greengraph.Rule.stats) = wall_clock run in
+    {
+      experiment;
+      engine_name = graph_engine_name engine;
+      wall_s;
+      b_stages = s.Greengraph.Rule.stages;
+      b_applications = s.Greengraph.Rule.applications;
+      b_considered = s.Greengraph.Rule.triggers_considered;
+    }
+  in
+  let tgd_row experiment engine run =
+    let wall_s, (s : Tgd.Chase.stats) = wall_clock run in
+    {
+      experiment;
+      engine_name = graph_engine_name engine;
+      wall_s;
+      b_stages = s.Tgd.Chase.stages;
+      b_applications = s.Tgd.Chase.applications;
+      b_considered = s.Tgd.Chase.triggers_considered;
+    }
+  in
+  List.concat_map
+    (fun (engine : Greengraph.Rule.engine) ->
+      [
+        graph_row
+          (Printf.sprintf "E1 tinf stages=%d" tinf_stages)
+          engine
+          (fun () ->
+            let _, _, _, s = Separating.Tinf.chase ~engine ~stages:tinf_stages () in
+            s);
+        graph_row
+          (Printf.sprintf "E2 grid (%d,%d)" t t')
+          engine
+          (fun () ->
+            let _, s, _ =
+              Separating.Theorem14.collision_outcome ~engine ~t ~t' ()
+            in
+            s);
+        tgd_row
+          (Printf.sprintf "E10 tgd {P2,P3}->P5 stages=%d" tgd_stages)
+          engine
+          (fun () ->
+            let deps =
+              Tgd.Dep.t_q [ ("p2", path_query 2); ("p3", path_query 3) ]
+            in
+            let d = fst (Tgd.Greenred.green_canonical (path_query 5)) in
+            Tgd.Chase.run
+              ~engine:(engine :> Tgd.Chase.engine)
+              ~max_stages:tgd_stages deps d);
+      ])
+    [ `Stage; `Seminaive ]
+
+let render_chase_json rows =
+  let entry r =
+    Printf.sprintf
+      "  {\"experiment\": %S, \"engine\": %S, \"wall_s\": %.6f, \"stages\": \
+       %d, \"applications\": %d, \"triggers_considered\": %d}"
+      r.experiment r.engine_name r.wall_s r.b_stages r.b_applications
+      r.b_considered
+  in
+  "[\n" ^ String.concat ",\n" (List.map entry rows) ^ "\n]\n"
+
+let print_speedups rows =
+  let by_experiment =
+    List.sort_uniq compare (List.map (fun r -> r.experiment) rows)
+  in
+  List.iter
+    (fun e ->
+      let find en =
+        List.find_opt (fun r -> r.experiment = e && r.engine_name = en) rows
+      in
+      match (find "stage", find "seminaive") with
+      | Some st, Some sn when sn.wall_s > 0. ->
+          Format.printf "  %-32s stage %.4fs  seminaive %.4fs  speedup %.1fx@."
+            e st.wall_s sn.wall_s (st.wall_s /. sn.wall_s)
+      | _ -> ())
+    by_experiment
+
+let emit_chase_json () =
+  let rows = chase_rows ~tinf_stages:20 ~grid:(4, 4) ~tgd_stages:6 in
+  let oc = open_out "BENCH_chase.json" in
+  output_string oc (render_chase_json rows);
+  close_out oc;
+  Format.printf "wrote BENCH_chase.json (%d rows)@." (List.length rows);
+  print_speedups rows
+
+(* Quick equivalence + JSON sanity pass, wired into `dune runtest` (prints
+   to stdout only, so the test stays hermetic). *)
+let smoke () =
+  let g1, _, _, s1 = Separating.Tinf.chase ~engine:`Stage ~stages:8 () in
+  let g2, _, _, s2 = Separating.Tinf.chase ~engine:`Seminaive ~stages:8 () in
+  assert (Greengraph.Graph.equal g1 g2);
+  assert (s1.Greengraph.Rule.applications = s2.Greengraph.Rule.applications);
+  let deps = Tgd.Dep.t_q [ ("p2", path_query 2); ("p3", path_query 3) ] in
+  let d1 = fst (Tgd.Greenred.green_canonical (path_query 5)) in
+  let d2 = fst (Tgd.Greenred.green_canonical (path_query 5)) in
+  let t1 = Tgd.Chase.run_stage ~max_stages:4 deps d1 in
+  let t2 = Tgd.Chase.run_seminaive ~max_stages:4 deps d2 in
+  assert (Relational.Structure.equal_sets d1 d2);
+  assert (t1.Tgd.Chase.applications = t2.Tgd.Chase.applications);
+  let rows = chase_rows ~tinf_stages:10 ~grid:(2, 2) ~tgd_stages:3 in
+  print_string (render_chase_json rows);
+  Format.printf "bench smoke: engines agree on all workloads@."
+
 let () =
-  let fast = Array.length Sys.argv > 1 && Sys.argv.(1) = "fast" in
-  Format.printf "Red Spider Meets a Rainworm — experiment harness@.";
-  table_fig1 ();
-  table_grids ();
-  table_worms ();
-  table_lemma24_25 ();
-  table_compile_blowup ();
-  table_determinacy ();
-  table_theorem2 ();
-  table_attempt1 ();
-  table_ablations ();
-  if not fast then run_benches ();
-  Format.printf "@.done.@."
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "" in
+  match mode with
+  | "json" -> emit_chase_json ()
+  | "smoke" -> smoke ()
+  | _ ->
+      let fast = mode = "fast" in
+      Format.printf "Red Spider Meets a Rainworm — experiment harness@.";
+      table_fig1 ();
+      table_grids ();
+      table_worms ();
+      table_lemma24_25 ();
+      table_compile_blowup ();
+      table_determinacy ();
+      table_theorem2 ();
+      table_attempt1 ();
+      table_ablations ();
+      if not fast then run_benches ();
+      Format.printf "@.done.@."

@@ -38,17 +38,42 @@ let materialize = function
   | `M m -> m
   | `Tm tm -> Rainworm.Tm_compiler.materialize ~max_steps:200_000 tm
 
+(* --- chase engine selection -------------------------------------------- *)
+
+let engine_arg =
+  let e =
+    Arg.enum
+      [ ("stage", `Stage); ("seminaive", `Seminaive); ("oblivious", `Oblivious) ]
+  in
+  Arg.(
+    value
+    & opt e `Seminaive
+    & info [ "engine" ]
+        ~doc:
+          "Chase engine: $(b,stage) (full rescan per stage), \
+           $(b,seminaive) (delta-restricted, the default) or \
+           $(b,oblivious) (TGD chase only)." )
+
+(* The graph-rule chase has no oblivious variant. *)
+let graph_engine = function
+  | `Oblivious ->
+      Format.eprintf "error: --engine oblivious applies only to the TGD chase@.";
+      exit 2
+  | (`Stage | `Seminaive) as e -> e
+
 let oracle = function
   | `M m -> Rainworm.Machine.oracle m
   | `Tm tm -> Rainworm.Tm_compiler.oracle tm
 
 (* --- tinf -------------------------------------------------------------- *)
 
-let tinf stages =
-  let g, a, b, stats = Separating.Tinf.chase ~stages in
-  Format.printf "chase(T∞, D_I): %d stages, %d edges, %d vertices@."
-    stats.Greengraph.Rule.stages (Greengraph.Graph.size g)
-    (Greengraph.Graph.order g);
+let tinf stages engine =
+  let engine = graph_engine engine in
+  let g, a, b, stats = Separating.Tinf.chase ~engine ~stages () in
+  Format.printf "chase(T∞, D_I): %d edges, %d vertices (%a)@."
+    (Greengraph.Graph.size g)
+    (Greengraph.Graph.order g)
+    Greengraph.Rule.pp_stats stats;
   List.iter
     (fun w -> Format.printf "  %a@." Greengraph.Pg.pp_word w)
     (List.sort compare (Greengraph.Pg.words_upto g ~a ~b ~max_len:(stages / 2)));
@@ -59,17 +84,19 @@ let tinf_cmd =
     Arg.(value & opt int 12 & info [ "stages" ] ~doc:"Chase stage budget.")
   in
   Cmd.v (Cmd.info "tinf" ~doc:"Chase T∞ from D_I and print its words (Figure 1).")
-    Term.(const tinf $ stages)
+    Term.(const tinf $ stages $ engine_arg)
 
 (* --- collide ----------------------------------------------------------- *)
 
-let collide t u =
-  let pattern, stats, g = Separating.Theorem14.collision_outcome ~t ~t':u () in
+let collide t u engine =
+  let engine = graph_engine engine in
+  let pattern, stats, g =
+    Separating.Theorem14.collision_outcome ~engine ~t ~t':u ()
+  in
   Format.printf
     "αβ-paths of lengths %d and %d sharing both endpoints, gridded by T□:@." t u;
-  Format.printf "  1-2 pattern: %b (stages %d, edges %d, fixpoint %b)@." pattern
-    stats.Greengraph.Rule.stages (Greengraph.Graph.size g)
-    stats.Greengraph.Rule.fixpoint
+  Format.printf "  1-2 pattern: %b (%d edges; %a)@." pattern
+    (Greengraph.Graph.size g) Greengraph.Rule.pp_stats stats
 
 let collide_cmd =
   let t = Arg.(value & opt int 3 & info [ "t" ] ~doc:"First path length.") in
@@ -77,7 +104,7 @@ let collide_cmd =
   Cmd.v
     (Cmd.info "collide"
        ~doc:"Grid two colliding αβ-paths with T□ (Figures 2–4).")
-    Term.(const collide $ t $ u)
+    Term.(const collide $ t $ u $ engine_arg)
 
 (* --- worm -------------------------------------------------------------- *)
 
@@ -192,17 +219,18 @@ let parse_named s =
       Format.eprintf "parse error: %s@." m;
       exit 2
 
-let determinacy view_specs q0_spec stages =
+let determinacy view_specs q0_spec stages engine =
   let views = List.map parse_named view_specs in
   let _, q0 = parse_named q0_spec in
   let inst = Determinacy.Instance.make ~views ~q0 in
   Format.printf "%a@." Determinacy.Instance.pp inst;
+  Format.printf "engine:       %a@." Tgd.Chase.pp_engine engine;
   Format.printf "unrestricted: %a@."
     Determinacy.Solver.pp_verdict
-    (Determinacy.Solver.unrestricted ~max_stages:stages inst);
+    (Determinacy.Solver.unrestricted ~engine ~max_stages:stages inst);
   Format.printf "finite:       %a@."
     Determinacy.Solver.pp_verdict
-    (Determinacy.Solver.finite inst);
+    (Determinacy.Solver.finite ~engine inst);
   match Determinacy.Rewriting.conjunctive ~views q0 with
   | Determinacy.Rewriting.Rewriting plan ->
       Format.printf "rewriting:    %a@." Cq.Query.pp plan
@@ -227,7 +255,7 @@ let determinacy_cmd =
   Cmd.v
     (Cmd.info "determinacy"
        ~doc:"Decide (boundedly) whether views determine a query.")
-    Term.(const determinacy $ views $ q0 $ stages)
+    Term.(const determinacy $ views $ q0 $ stages $ engine_arg)
 
 let () =
   let doc = "Red Spider Meets a Rainworm — PODS 2016, executable" in

@@ -33,7 +33,7 @@ let () =
   Format.printf "writing the paper's figures to %s/@." dir;
 
   (* Figure 1: the T∞ chase *)
-  let g1, _, _, _ = Separating.Tinf.chase ~stages:10 in
+  let g1, _, _, _ = Separating.Tinf.chase ~stages:10 () in
   write_dot (Filename.concat dir "fig1.dot") g1;
 
   (* Figure 3: unequal collision — find the red 1-2 pattern in the output *)

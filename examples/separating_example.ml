@@ -13,7 +13,7 @@ let () =
      Figure 1. *)
   Format.printf "T∞ rules:@.";
   List.iter (Format.printf "  %a@." Greengraph.Rule.pp) Separating.Tinf.rules;
-  let g, a, b, stats = Separating.Tinf.chase ~stages:12 in
+  let g, a, b, stats = Separating.Tinf.chase ~stages:12 () in
   Format.printf "chase(T∞, D_I) after %d stages: %d edges, %d vertices@."
     stats.Greengraph.Rule.stages (Greengraph.Graph.size g)
     (Greengraph.Graph.order g);
@@ -27,7 +27,7 @@ let () =
     Separating.Tbox.size;
 
   (* the unrestricted side: the chase of T∞ ∪ T□ stays clean *)
-  let clean, g_t = Separating.Theorem14.chase_prefix_clean ~stages:7 in
+  let clean, g_t = Separating.Theorem14.chase_prefix_clean ~stages:7 () in
   Format.printf
     "chase(T, D_I) prefix (%d edges): 1-2 pattern present: %b  — T does NOT lead to the red spider@."
     (Greengraph.Graph.size g_t) (not clean);

@@ -13,7 +13,7 @@ type verdict =
 val pp_verdict : Format.formatter -> verdict -> unit
 
 (** [chase(T_Q, green(Q0)) ⊨ red(Q0)]? *)
-val unrestricted : ?max_stages:int -> Instance.t -> verdict
+val unrestricted : ?engine:Tgd.Chase.engine -> ?max_stages:int -> Instance.t -> verdict
 
 (** Certify a purported finite counterexample: D ⊨ T_Q and some green
     Q0-answer is not red. *)
@@ -28,4 +28,5 @@ val exhaustive : ?max_slots:int -> Instance.t -> max_elems:int -> Structure.t op
 
 (** Chase first (unrestricted determinacy implies finite), then search for
     a small certified counterexample. *)
-val finite : ?max_stages:int -> ?max_elems:int -> Instance.t -> verdict
+val finite :
+  ?engine:Tgd.Chase.engine -> ?max_stages:int -> ?max_elems:int -> Instance.t -> verdict

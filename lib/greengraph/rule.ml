@@ -41,25 +41,34 @@ let shared_of conn (e : Graph.edge) =
 let free_of conn (e : Graph.edge) =
   match conn with Amp -> e.Graph.src | Slash -> e.Graph.dst
 
-(* The edges with a given free endpoint (the shared-endpoint candidates
-   follow from the connector). *)
-let edges_at_free g conn x =
-  match conn with Amp -> Graph.out_edges g x | Slash -> Graph.in_edges g x
+(* The edges with a given free endpoint and label (the shared-endpoint
+   candidates follow from the connector), read off the (vertex, label)
+   index. *)
+let edges_at_free_with g conn x lab =
+  match conn with
+  | Amp -> Graph.out_edges_with g x lab
+  | Slash -> Graph.in_edges_with g x lab
 
-let edges_at_shared g conn y =
-  match conn with Amp -> Graph.in_edges g y | Slash -> Graph.out_edges g y
+let edges_at_shared_with g conn y lab =
+  match conn with
+  | Amp -> Graph.in_edges_with g y lab
+  | Slash -> Graph.out_edges_with g y lab
 
 (* A pair (x, x') matching labels (a, b) under [conn]: the two edges share
-   their joint endpoint. *)
+   their joint endpoint.  The partner edge is fully determined by e1's
+   shared endpoint, so one set-membership test replaces a scan of every
+   edge at that (possibly high-degree) vertex. *)
 let pair_present g conn (a, b) (x, x') =
   List.exists
     (fun (e1 : Graph.edge) ->
-      Label.equal e1.Graph.label a
-      && List.exists
-           (fun (e2 : Graph.edge) ->
-             Label.equal e2.Graph.label b && free_of conn e2 = x')
-           (edges_at_shared g conn (shared_of conn e1)))
-    (edges_at_free g conn x)
+      let y = shared_of conn e1 in
+      let e2 : Graph.edge =
+        match conn with
+        | Amp -> { label = b; src = x'; dst = y }
+        | Slash -> { label = b; src = y; dst = x' }
+      in
+      Graph.mem_edge g e2)
+    (edges_at_free_with g conn x a)
 
 (* Active triggers of one direction: lhs pair present at (x,x'), rhs pair
    absent.  Each rule is an equivalence, so [triggers] covers both
@@ -70,12 +79,10 @@ let directed_triggers g conn (a, b) (c, d) =
     (fun (e1 : Graph.edge) ->
       List.iter
         (fun (e2 : Graph.edge) ->
-          if Label.equal e2.Graph.label b then begin
-            let x = free_of conn e1 and x' = free_of conn e2 in
-            if not (pair_present g conn (c, d) (x, x')) then
-              hits := ((c, x), (d, x')) :: !hits
-          end)
-        (edges_at_shared g conn (shared_of conn e1)))
+          let x = free_of conn e1 and x' = free_of conn e2 in
+          if not (pair_present g conn (c, d) (x, x')) then
+            hits := ((c, x), (d, x')) :: !hits)
+        (edges_at_shared_with g conn (shared_of conn e1) b))
     (Graph.with_label g a);
   List.rev !hits
 
@@ -100,19 +107,126 @@ let find_violation rules g =
     (fun r -> match triggers r g with [] -> None | t :: _ -> Some (r, t))
     rules
 
-type stats = { stages : int; applications : int; fixpoint : bool }
+type stats = {
+  stages : int;
+  applications : int;
+  triggers_considered : int;
+  fixpoint : bool;
+}
 
-let chase ?(max_stages = max_int) ?(stop = fun _ -> false) rules g =
-  let applications = ref 0 in
-  let rec go i =
-    if i > max_stages then
-      { stages = i - 1; applications = !applications; fixpoint = false }
-    else begin
-      (* collect all triggers against the stage-start graph, then fire
-         those still active (mirroring the chase of Section II.C) *)
-      let collected =
-        List.concat_map (fun rule -> List.map (fun t -> (rule, t)) (triggers rule g)) rules
+let pp_stats ppf s =
+  Fmt.pf ppf "stages=%d applications=%d triggers_considered=%d fixpoint=%b"
+    s.stages s.applications s.triggers_considered s.fixpoint
+
+(* Trigger-discovery engines, mirroring [Tgd.Chase]: [`Stage] rescans
+   every label bucket each stage; [`Seminaive] (default) only examines
+   lhs pairs using at least one edge added since the previous stage.
+   Both conditions of a trigger are monotone (lhs pairs and rhs pairs are
+   never removed), so a pair wholly inside old edges was examined at an
+   earlier stage and either fired (its rhs pair now exists) or was
+   dropped because the rhs pair existed — inactive forever either way. *)
+type engine = [ `Stage | `Seminaive ]
+
+(* A stage's delta, indexed by label once, so the per-rule loops below
+   look their candidate edges up instead of rescanning the whole delta
+   for each of the 2·|rules| directions. *)
+let index_delta delta_edges =
+  let tbl = Graph.Label_tbl.create 16 in
+  List.iter
+    (fun (e : Graph.edge) ->
+      let r =
+        match Graph.Label_tbl.find_opt tbl e.Graph.label with
+        | Some r -> r
+        | None ->
+            let r = ref [] in
+            Graph.Label_tbl.replace tbl e.Graph.label r;
+            r
       in
+      r := e :: !r)
+    delta_edges;
+  tbl
+
+let delta_with tbl lab =
+  match Graph.Label_tbl.find_opt tbl lab with Some r -> !r | None -> []
+
+(* Collect one stage's triggers: for each rule and direction, the
+   deduplicated (x, x') pairs with an lhs pair present (through at least
+   one delta edge in semi-naive mode) and the rhs pair absent, sorted into
+   the canonical firing order (rule, direction, x, x') shared by both
+   engines so their fresh vertices coincide. *)
+let collect_stage ?delta ~considered rules g =
+  let out = ref [] in
+  List.iteri
+    (fun ri rule ->
+      List.iteri
+        (fun dir ((a, b), (c, d)) ->
+          let seen = Hashtbl.create 32 in
+          let consider x x' =
+            if not (Hashtbl.mem seen (x, x')) then begin
+              Hashtbl.replace seen (x, x') ();
+              incr considered;
+              if not (pair_present g rule.conn (c, d) (x, x')) then
+                out := (ri, dir, x, x', rule, (c, d)) :: !out
+            end
+          in
+          let join_from (e1 : Graph.edge) =
+            List.iter
+              (fun (e2 : Graph.edge) ->
+                consider (free_of rule.conn e1) (free_of rule.conn e2))
+              (edges_at_shared_with g rule.conn (shared_of rule.conn e1) b)
+          in
+          match delta with
+          | None -> List.iter join_from (Graph.with_label g a)
+          | Some dix ->
+              (* lhs pairs with the first edge in the delta … *)
+              List.iter join_from (delta_with dix a);
+              (* … and with the second edge in the delta *)
+              List.iter
+                (fun (e2 : Graph.edge) ->
+                  List.iter
+                    (fun (e1 : Graph.edge) ->
+                      consider (free_of rule.conn e1) (free_of rule.conn e2))
+                    (edges_at_shared_with g rule.conn (shared_of rule.conn e2)
+                       a))
+                (delta_with dix b))
+        [
+          ((rule.l1, rule.l2), (rule.r1, rule.r2));
+          ((rule.r1, rule.r2), (rule.l1, rule.l2));
+        ])
+    rules;
+  List.sort
+    (fun (r1, d1, x1, y1, _, _) (r2, d2, x2, y2, _, _) ->
+      compare (r1, d1, x1, y1) (r2, d2, x2, y2))
+    !out
+  |> List.map (fun (_, _, x, x', rule, (c, d)) -> (rule, ((c, x), (d, x'))))
+
+let chase ?(engine = `Seminaive) ?(max_stages = max_int)
+    ?(stop = fun _ -> false) rules g =
+  let applications = ref 0 in
+  let considered = ref 0 in
+  let wm = ref 0 in
+  let finish i fixpoint =
+    {
+      stages = i;
+      applications = !applications;
+      triggers_considered = !considered;
+      fixpoint;
+    }
+  in
+  let rec go i =
+    if i > max_stages then finish (i - 1) false
+    else begin
+      (* collect the triggers against the stage-start graph, then fire
+         those still active (mirroring the chase of Section II.C) *)
+      let delta =
+        match engine with
+        | `Stage -> None
+        | `Seminaive ->
+            let d = Graph.delta_since g !wm in
+            wm := Graph.watermark g;
+            Some (index_delta d)
+      in
+      let collected = collect_stage ?delta ~considered rules g in
       let fired = ref 0 in
       List.iter
         (fun (rule, ((c, x), (d, x'))) ->
@@ -122,10 +236,8 @@ let chase ?(max_stages = max_int) ?(stop = fun _ -> false) rules g =
           end)
         collected;
       applications := !applications + !fired;
-      if !fired = 0 then
-        { stages = i; applications = !applications; fixpoint = true }
-      else if stop g then
-        { stages = i; applications = !applications; fixpoint = false }
+      if !fired = 0 then finish i true
+      else if stop g then finish i false
       else go (i + 1)
     end
   in

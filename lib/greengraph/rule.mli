@@ -50,9 +50,31 @@ val models : t list -> Graph.t -> bool
 val find_violation :
   t list -> Graph.t -> (t * ((Label.t * int) * (Label.t * int))) option
 
-type stats = { stages : int; applications : int; fixpoint : bool }
+type stats = {
+  stages : int;
+  applications : int;
+  triggers_considered : int;
+  fixpoint : bool;
+}
 
-val chase : ?max_stages:int -> ?stop:(Graph.t -> bool) -> t list -> Graph.t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+(** Trigger-discovery engines, mirroring {!Tgd.Chase.engine}: [`Stage]
+    rescans the whole graph each stage; [`Seminaive] (the default) only
+    examines lhs pairs using at least one edge added since the previous
+    stage — equivalent (both trigger conditions are monotone) and
+    asymptotically cheaper.  Both engines fire a stage's triggers in the
+    same canonical order, so they build identical graphs, fresh vertex
+    ids included. *)
+type engine = [ `Stage | `Seminaive ]
+
+val chase :
+  ?engine:engine ->
+  ?max_stages:int ->
+  ?stop:(Graph.t -> bool) ->
+  t list ->
+  Graph.t ->
+  stats
 
 (** Definition 11 for L₂, bounded: chase D_I and watch for the 1-2
     pattern. *)

@@ -32,14 +32,29 @@ module Make (Label : LABEL) = struct
 
   module Label_tbl = Hashtbl.Make (Label_key)
 
+  (* (vertex, label) adjacency buckets — the graph analog of the
+     relational (symbol, position, element) pin index: joins that fix one
+     endpoint and a label read their candidates off directly instead of
+     filtering every edge at a possibly high-degree vertex. *)
+  module Vlab_tbl = Hashtbl.Make (struct
+    type t = int * Label.t
+
+    let equal (v1, l1) (v2, l2) = v1 = v2 && Label.compare l1 l2 = 0
+    let hash (v, l) = Hashtbl.hash (v, Hashtbl.hash l)
+  end)
+
   type t = {
     mutable next : int;
     mutable edges : Edge_set.t;
     by_src : (int, edge list ref) Hashtbl.t;
     by_dst : (int, edge list ref) Hashtbl.t;
     by_label : edge list ref Label_tbl.t;
+    by_src_lab : edge list ref Vlab_tbl.t;
+    by_dst_lab : edge list ref Vlab_tbl.t;
     names : (int, string) Hashtbl.t;
     mutable vertices : (int, unit) Hashtbl.t;
+    mutable journal_rev : edge list;  (* delta journal, newest first *)
+    mutable journal_len : int;
   }
 
   let create () =
@@ -49,8 +64,12 @@ module Make (Label : LABEL) = struct
       by_src = Hashtbl.create 64;
       by_dst = Hashtbl.create 64;
       by_label = Label_tbl.create 32;
+      by_src_lab = Vlab_tbl.create 64;
+      by_dst_lab = Vlab_tbl.create 64;
       names = Hashtbl.create 16;
       vertices = Hashtbl.create 64;
+      journal_rev = [];
+      journal_len = 0;
     }
 
   let register t v =
@@ -102,8 +121,35 @@ module Make (Label : LABEL) = struct
             r
       in
       r := e :: !r;
+      let push_vlab tbl k =
+        let r =
+          match Vlab_tbl.find_opt tbl k with
+          | Some r -> r
+          | None ->
+              let r = ref [] in
+              Vlab_tbl.replace tbl k r;
+              r
+        in
+        r := e :: !r
+      in
+      push_vlab t.by_src_lab (src, label);
+      push_vlab t.by_dst_lab (dst, label);
+      t.journal_rev <- e :: t.journal_rev;
+      t.journal_len <- t.journal_len + 1;
       true
     end
+
+  (* Delta journal: every added edge in insertion order; a watermark marks
+     a position so semi-naive rule engines can match against only the
+     edges added since the previous stage. *)
+  let watermark t = t.journal_len
+
+  let delta_since t wm =
+    let rec take acc k l =
+      if k <= 0 then acc
+      else match l with [] -> acc | e :: rest -> take (e :: acc) (k - 1) rest
+    in
+    take [] (t.journal_len - wm) t.journal_rev
 
   let edges t = Edge_set.elements t.edges
   let size t = Edge_set.cardinal t.edges
@@ -115,6 +161,16 @@ module Make (Label : LABEL) = struct
 
   let in_edges t v =
     match Hashtbl.find_opt t.by_dst v with Some r -> !r | None -> []
+
+  let out_edges_with t v lab =
+    match Vlab_tbl.find_opt t.by_src_lab (v, lab) with
+    | Some r -> !r
+    | None -> []
+
+  let in_edges_with t v lab =
+    match Vlab_tbl.find_opt t.by_dst_lab (v, lab) with
+    | Some r -> !r
+    | None -> []
 
   let exists_edge t p = Edge_set.exists p t.edges
   let find_edges t p = List.filter p (edges t)

@@ -16,8 +16,9 @@ exception Found of binding
 
 (* Order atoms so that each atom (after the first) shares a variable with an
    earlier one when possible; ties broken towards atoms with constants,
-   which are the most selective. *)
-let order_atoms atoms =
+   which are the most selective.  [bound] seeds the variables considered
+   already bound (the delta pivot's variables in semi-naive mode). *)
+let order_atoms ?(bound = Term.Var_set.empty) atoms =
   match atoms with
   | [] -> []
   | _ ->
@@ -45,7 +46,7 @@ let order_atoms atoms =
             let remaining = List.filter (fun b -> not (b == a)) remaining in
             go (Term.Var_set.union bound (Atom.vars a)) remaining (a :: acc)
       in
-      go Term.Var_set.empty atoms []
+      go bound atoms []
 
 (* Try to extend [binding] so that [atom] maps onto [fact]. *)
 let unify atom fact binding =
@@ -101,37 +102,98 @@ let candidates target atom binding =
       in
       let pins = pinned @ bound_positions in
       let sym = Atom.sym atom in
-      let pool =
-        match pins with
-        | (_, e) :: _ ->
-            List.filter (fun f -> Symbol.equal (Fact.sym f) sym)
-              (Structure.facts_with_elem target e)
-        | [] -> Structure.facts_with_sym target sym
-      in
-      (* Filter by all pins to cut the unify work. *)
-      List.filter
-        (fun f -> List.for_all (fun (i, e) -> Fact.arg f i = e) pins)
-        pool
+      match pins with
+      | [] -> Structure.facts_with_sym target sym
+      | first :: rest ->
+          (* Use the most selective pin — the smallest (sym, pos, elem)
+             bucket — then filter by the remaining pins. *)
+          let count (i, e) = Structure.pin_count target sym i e in
+          let best, best_n =
+            List.fold_left
+              (fun (bp, bn) p ->
+                let n = count p in
+                if n < bn then (p, n) else (bp, bn))
+              (first, count first) rest
+          in
+          if best_n = 0 then []
+          else
+            let bi, be = best in
+            let pool = Structure.facts_with_pin target sym bi be in
+            List.filter
+              (fun f -> List.for_all (fun (i, e) -> Fact.arg f i = e) pins)
+              pool
 
 (* Enumerate every homomorphism from [atoms] into [target] extending
    [init]; [f] is called on each complete binding.  Raise [Exit] from [f]
    to stop the enumeration.  [ordered:false] disables the
-   connectivity-greedy atom ordering (exposed for the ablation bench). *)
-let iter_all ?(ordered = true) ?(init = Term.Var_map.empty) target atoms f =
-  let ordered = if ordered then order_atoms atoms else atoms in
-  let rec go atoms binding =
+   connectivity-greedy atom ordering (exposed for the ablation bench).
+
+   [~delta] switches to the semi-naive mode: only the homomorphisms whose
+   image uses at least one fact of [delta] are produced (each exactly
+   once).  For each atom in turn, that atom is pinned to a delta fact and
+   the remaining atoms are matched against the full structure — the
+   standard delta-rule decomposition of semi-naive Datalog evaluation. *)
+let iter_all ?(ordered = true) ?(init = Term.Var_map.empty) ?delta target atoms
+    f =
+  let rec go sink atoms binding =
     match atoms with
-    | [] -> f binding
+    | [] -> sink binding
     | atom :: rest ->
         let cands = candidates target atom binding in
         List.iter
           (fun fact ->
             match unify atom fact binding with
-            | Some binding' -> go rest binding'
+            | Some binding' -> go sink rest binding'
             | None -> ())
           cands
   in
-  go ordered init
+  match delta with
+  | None -> go f (if ordered then order_atoms atoms else atoms) init
+  | Some delta_facts ->
+      (* Index the delta by symbol once. *)
+      let by_sym = Symbol.Tbl.create 16 in
+      List.iter
+        (fun fact ->
+          let s = Fact.sym fact in
+          match Symbol.Tbl.find_opt by_sym s with
+          | Some r -> r := fact :: !r
+          | None -> Symbol.Tbl.replace by_sym s (ref [ fact ]))
+        delta_facts;
+      (* The same homomorphism can be reached through several pivots;
+         deduplicate on the full binding. *)
+      let seen = Hashtbl.create 64 in
+      let emit binding =
+        let key = Term.Var_map.bindings binding in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          f binding
+        end
+      in
+      List.iteri
+        (fun j pivot ->
+          match Symbol.Tbl.find_opt by_sym (Atom.sym pivot) with
+          | None -> ()
+          | Some dfacts -> (
+              match resolved_constants target pivot with
+              | None -> ()
+              | Some pinned ->
+                  let rest = List.filteri (fun k _ -> k <> j) atoms in
+                  let rest =
+                    if ordered then order_atoms ~bound:(Atom.vars pivot) rest
+                    else rest
+                  in
+                  List.iter
+                    (fun fact ->
+                      if
+                        List.for_all
+                          (fun (i, e) -> Fact.arg fact i = e)
+                          pinned
+                      then
+                        match unify pivot fact init with
+                        | Some binding -> go emit rest binding
+                        | None -> ())
+                    (List.rev !dfacts)))
+        atoms
 
 let find ?ordered ?(init = Term.Var_map.empty) target atoms =
   match iter_all ?ordered ~init target atoms (fun b -> raise (Found b)) with

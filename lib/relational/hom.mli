@@ -11,16 +11,24 @@ type binding = int Term.Var_map.t
 
 exception Found of binding
 
-(** The connectivity-greedy atom ordering (exposed for tests/benches). *)
-val order_atoms : Atom.t list -> Atom.t list
+(** The connectivity-greedy atom ordering (exposed for tests/benches).
+    [bound] seeds the already-bound variables (the semi-naive pivot's). *)
+val order_atoms : ?bound:Term.Var_set.t -> Atom.t list -> Atom.t list
 
 (** [iter_all ?ordered ?init target atoms f] calls [f] on every
     homomorphism from [atoms] into [target] extending [init].  Raise
     [Exit] from [f] to stop early.  [ordered:false] disables the atom
-    ordering (ablation). *)
+    ordering (ablation).
+
+    [~delta] restricts the enumeration to homomorphisms whose image uses
+    at least one fact of [delta] (each produced exactly once): for each
+    atom in turn, that atom is pinned to a delta fact and the rest is
+    matched against the full structure — semi-naive evaluation's delta
+    rules.  With [~delta] and an empty atom list, nothing is produced. *)
 val iter_all :
   ?ordered:bool ->
   ?init:binding ->
+  ?delta:Fact.t list ->
   Structure.t ->
   Atom.t list ->
   (binding -> unit) ->

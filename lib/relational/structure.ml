@@ -10,6 +10,20 @@
    chase stage at which it appeared, which Section IX's "late fragments"
    [chase^L] need. *)
 
+(* The (symbol, argument position, element) fact index: the unit of
+   selectivity for the homomorphism engine.  Buckets carry their length so
+   the most selective pin can be chosen in O(#pins). *)
+module Pin_tbl = Hashtbl.Make (struct
+  type t = Symbol.t * int * int
+
+  let equal (s1, p1, e1) (s2, p2, e2) =
+    p1 = p2 && e1 = e2 && Symbol.equal s1 s2
+
+  let hash (s, p, e) = Hashtbl.hash (Symbol.hash s, p, e)
+end)
+
+type bucket = { mutable n : int; mutable bfacts : Fact.t list }
+
 type t = {
   mutable next : int;                        (* next fresh element id *)
   consts : (string, int) Hashtbl.t;          (* constant name -> element *)
@@ -18,6 +32,8 @@ type t = {
   facts : int Fact.Tbl.t;                    (* fact -> stage added *)
   by_sym : Fact.t list ref Symbol.Tbl.t;
   by_elem : (int, Fact.t list ref) Hashtbl.t;
+  by_pin : bucket Pin_tbl.t;                 (* (sym, pos, elem) -> facts *)
+  mutable journal_rev : Fact.t list;         (* delta journal, newest first *)
   dom : (int, int) Hashtbl.t;                (* element -> birth stage *)
   mutable stage : int;                       (* current provenance stage *)
   mutable nfacts : int;
@@ -32,6 +48,8 @@ let create () =
     facts = Fact.Tbl.create 256;
     by_sym = Symbol.Tbl.create 32;
     by_elem = Hashtbl.create 256;
+    by_pin = Pin_tbl.create 256;
+    journal_rev = [];
     dom = Hashtbl.create 256;
     stage = 0;
     nfacts = 0;
@@ -82,6 +100,7 @@ let add_fact t f =
   else begin
     Fact.Tbl.replace t.facts f t.stage;
     t.nfacts <- t.nfacts + 1;
+    t.journal_rev <- f :: t.journal_rev;
     let bucket =
       match Symbol.Tbl.find_opt t.by_sym (Fact.sym f) with
       | Some r -> r
@@ -91,10 +110,22 @@ let add_fact t f =
           r
     in
     bucket := f :: !bucket;
+    let sym = Fact.sym f in
     let seen = Hashtbl.create 4 in
-    Array.iter
-      (fun e ->
+    Array.iteri
+      (fun i e ->
         register_elem t e;
+        let key = (sym, i, e) in
+        let b =
+          match Pin_tbl.find_opt t.by_pin key with
+          | Some b -> b
+          | None ->
+              let b = { n = 0; bfacts = [] } in
+              Pin_tbl.replace t.by_pin key b;
+              b
+        in
+        b.n <- b.n + 1;
+        b.bfacts <- f :: b.bfacts;
         if not (Hashtbl.mem seen e) then begin
           Hashtbl.replace seen e ();
           let r =
@@ -132,6 +163,26 @@ let facts_with_sym t sym =
 
 let facts_with_elem t e =
   match Hashtbl.find_opt t.by_elem e with Some r -> !r | None -> []
+
+let facts_with_pin t sym pos e =
+  match Pin_tbl.find_opt t.by_pin (sym, pos, e) with
+  | Some b -> b.bfacts
+  | None -> []
+
+let pin_count t sym pos e =
+  match Pin_tbl.find_opt t.by_pin (sym, pos, e) with Some b -> b.n | None -> 0
+
+(* The delta journal: every successful [add_fact] is recorded in order, and
+   [nfacts] doubles as the journal length, so a watermark is just the fact
+   count at some past moment. *)
+let watermark t = t.nfacts
+
+let delta_since t wm =
+  let rec take acc k l =
+    if k <= 0 then acc
+    else match l with [] -> acc | f :: rest -> take (f :: acc) (k - 1) rest
+  in
+  take [] (t.nfacts - wm) t.journal_rev
 
 let symbols t =
   Symbol.Tbl.fold (fun s r acc -> if !r = [] then acc else s :: acc) t.by_sym []

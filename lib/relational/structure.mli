@@ -84,6 +84,26 @@ val facts_with_sym : t -> Symbol.t -> Fact.t list
 (** All facts mentioning the element. *)
 val facts_with_elem : t -> int -> Fact.t list
 
+(** [facts_with_pin t sym pos e] — the facts [sym(…)] whose argument at
+    [pos] is [e]: the unit of selectivity for the homomorphism engine. *)
+val facts_with_pin : t -> Symbol.t -> int -> int -> Fact.t list
+
+(** Bucket size of [facts_with_pin], in O(1). *)
+val pin_count : t -> Symbol.t -> int -> int -> int
+
+(** {1 Delta journal}
+
+    Every added fact is journalled in insertion order; a watermark marks a
+    point in that journal.  The semi-naive chase matches each stage's TGD
+    bodies only against the facts added since the previous stage. *)
+
+(** The current journal position (equals {!size}). *)
+val watermark : t -> int
+
+(** [delta_since t wm] — the facts added since [watermark t] returned
+    [wm], oldest first. *)
+val delta_since : t -> int -> Fact.t list
+
 (** The symbols with at least one fact. *)
 val symbols : t -> Symbol.t list
 

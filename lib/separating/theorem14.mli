@@ -3,10 +3,15 @@
 
 (** Bounded evidence for the unrestricted side: chase T from D_I and
     report (no-pattern?, graph). *)
-val chase_prefix_clean : stages:int -> bool * Greengraph.Graph.t
+val chase_prefix_clean :
+  ?engine:Greengraph.Rule.engine ->
+  stages:int ->
+  unit ->
+  bool * Greengraph.Graph.t
 
 (** The finite-side mechanism (Lemma 17): grid a fold of two αβ-paths. *)
 val collision_outcome :
+  ?engine:Greengraph.Rule.engine ->
   ?max_stages:int ->
   t:int ->
   t':int ->
@@ -15,6 +20,7 @@ val collision_outcome :
 
 (** Lemma 18's intuition: a single path grids into M_t harmlessly. *)
 val single_path_outcome :
+  ?engine:Greengraph.Rule.engine ->
   ?max_stages:int ->
   t:int ->
   unit ->

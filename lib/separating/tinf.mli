@@ -5,8 +5,13 @@
 (** (I) ∅&··∅ ] α&··η1, (II) ∅/··η1 ] η0/··β1, (III) ∅&··η0 ] η1&··β0. *)
 val rules : Greengraph.Rule.t list
 
-(** Bounded chase(T∞, D_I); returns graph, a, b and stats. *)
-val chase : stages:int -> Greengraph.Graph.t * int * int * Greengraph.Rule.stats
+(** Bounded chase(T∞, D_I); returns graph, a, b and stats.  [engine]
+    selects the rule-chase engine (default semi-naive). *)
+val chase :
+  ?engine:Greengraph.Rule.engine ->
+  stages:int ->
+  unit ->
+  Greengraph.Graph.t * int * int * Greengraph.Rule.stats
 
 (** α(β1β0)^k η1 *)
 val word_family_1 : int -> int list

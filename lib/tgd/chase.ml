@@ -5,19 +5,38 @@
    both checked against the *current* structure.  [chase_stage] performs one
    pass of the stage procedure of Section II.C: it enumerates the pairs
    (T, b̄) over the stage-start structure, then applies the surviving
-   triggers in order, re-checking ­ as the structure grows. *)
+   triggers in order, re-checking ­ as the structure grows.
+
+   Two trigger-discovery engines implement that stage semantics:
+
+     [`Stage]     re-enumerates every body homomorphism of every TGD
+                  against the whole structure at every stage;
+     [`Seminaive] (default) matches each body only against homomorphisms
+                  using at least one fact added since the previous stage
+                  (the delta), exactly like semi-naive Datalog evaluation.
+
+   Delta-restriction is sound for the lazy chase because both conditions
+   are monotone in the structure: a body match wholly inside old facts was
+   already discovered at an earlier stage, where it either fired (so its
+   head witness now exists) or was withheld because condition ­ held (and
+   head witnesses never disappear).  Either way it is inactive forever,
+   so only delta-touching matches can yield new triggers.  Within a stage
+   both engines apply the surviving triggers in the same canonical order
+   (TGD index, then frontier tuple), so they build identical structures,
+   fresh element ids included. *)
 
 open Relational
 
 type stats = {
-  stages : int;        (* stages executed *)
-  applications : int;  (* TGD firings *)
-  fixpoint : bool;     (* no trigger was active at the last stage *)
+  stages : int;              (* stages executed *)
+  applications : int;        (* TGD firings *)
+  triggers_considered : int; (* deduplicated body matches examined *)
+  fixpoint : bool;           (* no trigger was active at the last stage *)
 }
 
 let pp_stats ppf s =
-  Fmt.pf ppf "stages=%d applications=%d fixpoint=%b" s.stages s.applications
-    s.fixpoint
+  Fmt.pf ppf "stages=%d applications=%d triggers_considered=%d fixpoint=%b"
+    s.stages s.applications s.triggers_considered s.fixpoint
 
 (* Restrict a body binding to the frontier of the TGD: the b̄ of the paper. *)
 let frontier_binding dep binding =
@@ -50,35 +69,58 @@ let apply d dep fb =
     (Dep.head dep)
 
 module Binding_key = struct
-  (* Canonical key for a frontier binding, to deduplicate triggers. *)
-  let of_binding fb =
-    Term.Var_map.fold (fun x e acc -> (x, e) :: acc) fb []
-    |> List.sort compare
+  (* Canonical key for a frontier binding, to deduplicate triggers:
+     [Var_map.bindings] already yields the pairs in ascending variable
+     order, so no extra sort is needed. *)
+  let of_binding fb = Term.Var_map.bindings fb
 end
 
-(* Collect the active pairs (T, b̄) of the current structure. *)
-let active_triggers deps d =
+(* Sort a stage's surviving triggers into the canonical firing order
+   (TGD index, then frontier key), shared by both engines so their fresh
+   elements coincide. *)
+let sort_triggers triggers =
+  List.sort
+    (fun (i1, _, k1) (i2, _, k2) ->
+      let c = Int.compare i1 i2 in
+      if c <> 0 then c else compare k1 k2)
+    triggers
+
+(* Collect the stage's triggers: deduplicate body matches per TGD by
+   frontier key, drop those whose head is already witnessed (condition ­),
+   and sort canonically.  [delta] restricts discovery to matches using a
+   new fact; [seen_of] supplies the per-TGD dedup table (persistent across
+   stages for the semi-naive engine). *)
+let collect_triggers ?delta ~seen_of ~considered deps d =
   let out = ref [] in
-  List.iter
-    (fun dep ->
-      let seen = Hashtbl.create 64 in
-      Hom.iter_all d (Dep.body dep) (fun binding ->
+  List.iteri
+    (fun di dep ->
+      let seen = seen_of di dep in
+      Hom.iter_all ?delta d (Dep.body dep) (fun binding ->
           let fb = frontier_binding dep binding in
           let key = Binding_key.of_binding fb in
           if not (Hashtbl.mem seen key) then begin
             Hashtbl.replace seen key ();
-            if not (head_satisfied d dep fb) then out := (dep, fb) :: !out
+            incr considered;
+            if not (head_satisfied d dep fb) then out := (di, dep, key) :: !out
           end))
     deps;
-  List.rev !out
+  List.map
+    (fun (_, dep, key) ->
+      (dep, List.fold_left (fun m (x, e) -> Term.Var_map.add x e m)
+              Term.Var_map.empty key))
+    (sort_triggers !out)
 
-(* One stage of the chase procedure; returns the number of firings. *)
-let chase_stage deps d =
-  let triggers = active_triggers deps d in
+(* Collect the active pairs (T, b̄) of the current structure. *)
+let active_triggers deps d =
+  let considered = ref 0 in
+  collect_triggers ~seen_of:(fun _ _ -> Hashtbl.create 64) ~considered deps d
+
+(* Apply the surviving triggers in order, re-checking condition ­ against
+   the evolving structure; returns the number of firings. *)
+let apply_triggers triggers d =
   let fired = ref 0 in
   List.iter
     (fun (dep, fb) ->
-      (* condition ­ is re-checked against the evolving structure *)
       if not (head_satisfied d dep fb) then begin
         apply d dep fb;
         incr fired
@@ -86,25 +128,69 @@ let chase_stage deps d =
     triggers;
   !fired
 
+(* One stage of the chase procedure; returns the number of firings. *)
+let chase_stage deps d = apply_triggers (active_triggers deps d) d
+
 (* Run the chase in place for at most [max_stages] stages, or until the
    fixpoint, or until [stop] holds (checked after every stage).  Stage
    numbers stamp provenance into the structure: facts added at stage i
-   belong to chase_i. *)
-let run ?(max_stages = max_int) ?(stop = fun _ -> false) deps d =
+   belong to chase_i.
+
+   [~seen_of] and [~delta_of] abstract the two engines: the stage engine
+   uses fresh dedup tables and no delta each stage; the semi-naive engine
+   keeps one dedup table per TGD for the whole run and restricts matching
+   to the facts added since the previous stage. *)
+let run_engine ~max_stages ~stop ~seen_of ~delta_of deps d =
   let applications = ref 0 in
+  let considered = ref 0 in
+  let finish i fixpoint =
+    {
+      stages = i;
+      applications = !applications;
+      triggers_considered = !considered;
+      fixpoint;
+    }
+  in
   let rec go i =
-    if i > max_stages then { stages = i - 1; applications = !applications; fixpoint = false }
+    if i > max_stages then finish (i - 1) false
     else begin
       Structure.set_stage d i;
-      let fired = chase_stage deps d in
+      let delta = delta_of () in
+      let triggers = collect_triggers ?delta ~seen_of ~considered deps d in
+      let fired = apply_triggers triggers d in
       applications := !applications + fired;
-      if fired = 0 then { stages = i; applications = !applications; fixpoint = true }
-      else if stop d then
-        { stages = i; applications = !applications; fixpoint = false }
+      if fired = 0 then finish i true
+      else if stop d then finish i false
       else go (i + 1)
     end
   in
   go 1
+
+let run_stage ?(max_stages = max_int) ?(stop = fun _ -> false) deps d =
+  run_engine ~max_stages ~stop
+    ~seen_of:(fun _ _ -> Hashtbl.create 64)
+    ~delta_of:(fun () -> None)
+    deps d
+
+let run_seminaive ?(max_stages = max_int) ?(stop = fun _ -> false) deps d =
+  let tables = Hashtbl.create 8 in
+  let seen_of di _ =
+    match Hashtbl.find_opt tables di with
+    | Some t -> t
+    | None ->
+        let t = Hashtbl.create 64 in
+        Hashtbl.replace tables di t;
+        t
+  in
+  (* Watermark of the previous stage's start; the first delta is the whole
+     initial structure. *)
+  let wm = ref 0 in
+  let delta_of () =
+    let delta = Structure.delta_since d !wm in
+    wm := Structure.watermark d;
+    Some delta
+  in
+  run_engine ~max_stages ~stop ~seen_of ~delta_of deps d
 
 (* The semi-oblivious (skolem) chase: every pair (T, b̄) fires exactly
    once, whether or not the head is already satisfied.  It diverges more
@@ -113,9 +199,17 @@ let run ?(max_stages = max_int) ?(stop = fun _ -> false) deps d =
 let run_oblivious ?(max_stages = max_int) ?(stop = fun _ -> false) deps d =
   let fired = Hashtbl.create 256 in
   let applications = ref 0 in
+  let considered = ref 0 in
+  let finish i fixpoint =
+    {
+      stages = i;
+      applications = !applications;
+      triggers_considered = !considered;
+      fixpoint;
+    }
+  in
   let rec go i =
-    if i > max_stages then
-      { stages = i - 1; applications = !applications; fixpoint = false }
+    if i > max_stages then finish (i - 1) false
     else begin
       Structure.set_stage d i;
       let triggers = ref [] in
@@ -124,6 +218,7 @@ let run_oblivious ?(max_stages = max_int) ?(stop = fun _ -> false) deps d =
           Hom.iter_all d (Dep.body dep) (fun binding ->
               let fb = frontier_binding dep binding in
               let key = (Dep.name dep, Binding_key.of_binding fb) in
+              incr considered;
               if not (Hashtbl.mem fired key) then begin
                 Hashtbl.replace fired key ();
                 triggers := (dep, fb) :: !triggers
@@ -132,13 +227,31 @@ let run_oblivious ?(max_stages = max_int) ?(stop = fun _ -> false) deps d =
       let n = List.length !triggers in
       List.iter (fun (dep, fb) -> apply d dep fb) (List.rev !triggers);
       applications := !applications + n;
-      if n = 0 then { stages = i; applications = !applications; fixpoint = true }
-      else if stop d then
-        { stages = i; applications = !applications; fixpoint = false }
+      if n = 0 then finish i true
+      else if stop d then finish i false
       else go (i + 1)
     end
   in
   go 1
+
+type engine = [ `Stage | `Seminaive | `Oblivious ]
+
+let pp_engine ppf e =
+  Fmt.string ppf
+    (match e with
+    | `Stage -> "stage"
+    | `Seminaive -> "seminaive"
+    | `Oblivious -> "oblivious")
+
+(* The engine front door.  Semi-naive is the default: it implements the
+   same lazy stage semantics as [`Stage] (equal structures, equal firing
+   sequence) with per-stage work proportional to the delta rather than to
+   the whole structure. *)
+let run ?(engine = `Seminaive) ?max_stages ?stop deps d =
+  match engine with
+  | `Stage -> run_stage ?max_stages ?stop deps d
+  | `Seminaive -> run_seminaive ?max_stages ?stop deps d
+  | `Oblivious -> run_oblivious ?max_stages ?stop deps d
 
 (* Does D satisfy all the dependencies (no active trigger)? *)
 let models deps d = active_triggers deps d = []

@@ -9,12 +9,24 @@
 open Relational
 
 type stats = {
-  stages : int;        (** stages executed *)
-  applications : int;  (** TGD firings *)
-  fixpoint : bool;     (** no trigger was active at the last stage *)
+  stages : int;              (** stages executed *)
+  applications : int;        (** TGD firings *)
+  triggers_considered : int; (** deduplicated body matches examined *)
+  fixpoint : bool;           (** no trigger was active at the last stage *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** Trigger-discovery engines.  [`Stage] re-enumerates every body
+    homomorphism against the whole structure at every stage; [`Seminaive]
+    (the default) only matches bodies against homomorphisms that use at
+    least one fact added since the previous stage, which is equivalent —
+    conditions ¬ and ­ are monotone, so stale matches are inactive forever
+    — and asymptotically cheaper; [`Oblivious] is the skolem chase
+    baseline ({!run_oblivious}). *)
+type engine = [ `Stage | `Seminaive | `Oblivious ]
+
+val pp_engine : Format.formatter -> engine -> unit
 
 (** Restrict a body binding to the frontier: the b̄ of the paper. *)
 val frontier_binding : Dep.t -> Hom.binding -> Hom.binding
@@ -26,7 +38,8 @@ val head_satisfied : Structure.t -> Dep.t -> Hom.binding -> bool
 val apply : Structure.t -> Dep.t -> Hom.binding -> unit
 
 (** The active pairs (T, b̄) of the current structure, deduplicated by
-    frontier tuple. *)
+    frontier tuple and sorted in the canonical firing order (TGD index,
+    then frontier tuple). *)
 val active_triggers : Dep.t list -> Structure.t -> (Dep.t * Hom.binding) list
 
 (** One stage; returns the number of firings. *)
@@ -34,8 +47,26 @@ val chase_stage : Dep.t list -> Structure.t -> int
 
 (** Run the chase in place for at most [max_stages] stages, until the
     fixpoint, or until [stop] holds (checked after each stage).  Stage
-    numbers stamp provenance into the structure. *)
-val run : ?max_stages:int -> ?stop:(Structure.t -> bool) -> Dep.t list -> Structure.t -> stats
+    numbers stamp provenance into the structure.  [engine] selects the
+    trigger-discovery engine (default [`Seminaive]); all engines share the
+    canonical per-stage firing order, so [`Stage] and [`Seminaive] build
+    identical structures, fresh element ids included. *)
+val run :
+  ?engine:engine ->
+  ?max_stages:int ->
+  ?stop:(Structure.t -> bool) ->
+  Dep.t list ->
+  Structure.t ->
+  stats
+
+(** The stage engine: full re-enumeration each stage ([run ~engine:`Stage]). *)
+val run_stage :
+  ?max_stages:int -> ?stop:(Structure.t -> bool) -> Dep.t list -> Structure.t -> stats
+
+(** The semi-naive engine: delta-restricted trigger discovery
+    ([run ~engine:`Seminaive], the default). *)
+val run_seminaive :
+  ?max_stages:int -> ?stop:(Structure.t -> bool) -> Dep.t list -> Structure.t -> stats
 
 (** The semi-oblivious (skolem) chase: each pair (T, b̄) fires exactly
     once, regardless of condition ­.  Diverges more often than the lazy

@@ -30,6 +30,7 @@ val observation6_check : original:Structure.t -> chased:Structure.t -> bool
     at the frozen tuple.  Bounded by [max_stages]; the returned structure
     is the chased instance (a counterexample when [`Not_determined]). *)
 val unrestricted_determinacy :
+  ?engine:Chase.engine ->
   ?max_stages:int ->
   (string * Cq.Query.t) list ->
   Cq.Query.t ->

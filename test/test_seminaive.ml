@@ -1,0 +1,277 @@
+(* Engine equivalence: the semi-naive chase must be observably identical
+   to the stage chase — equal structures (fresh ids included) and equal
+   application counts — on fixtures and random instances, together with
+   the delta machinery it rests on (fact journals, pin index, hom delta
+   enumeration). *)
+
+open Relational
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let edge = Symbol.make "E" 2
+let v = Term.var
+let e x y = Atom.app2 edge (v x) (v y)
+
+let path_query k =
+  let name i =
+    if i = 0 then "x" else if i = k then "y" else Printf.sprintf "m%d" i
+  in
+  Cq.Query.make ~free:[ "x"; "y" ]
+    (List.init k (fun i -> e (name i) (name (i + 1))))
+
+(* --- the delta journal -------------------------------------------------- *)
+
+let test_delta_journal () =
+  let s = Structure.create () in
+  let a = Structure.fresh s and b = Structure.fresh s in
+  Structure.add2 s edge a b;
+  let wm = Structure.watermark s in
+  Structure.add2 s edge b a;
+  Structure.add2 s edge a a;
+  (* duplicate: not journalled *)
+  Structure.add2 s edge b a;
+  let delta = Structure.delta_since s wm in
+  check_int "two new facts" 2 (List.length delta);
+  check "delta in insertion order" true
+    (delta
+    = [ Fact.make edge [| b; a |]; Fact.make edge [| a; a |] ]);
+  check "full journal from zero" true
+    (List.length (Structure.delta_since s 0) = Structure.size s)
+
+let test_graph_delta_journal () =
+  let module G = Greengraph.Graph in
+  let g, _, _ = G.d_i () in
+  let wm = G.watermark g in
+  let x = G.fresh g and y = G.fresh g in
+  ignore (G.add_edge g (Greengraph.Label.l 1) x y);
+  ignore (G.add_edge g (Greengraph.Label.l 1) x y);
+  (* duplicate *)
+  check_int "one new edge" 1 (List.length (G.delta_since g wm));
+  check_int "journal covers everything" (G.size g)
+    (List.length (G.delta_since g 0))
+
+(* --- the (symbol, position, element) pin index --------------------------- *)
+
+let pin_index_property =
+  QCheck.Test.make ~name:"pin index agrees with a naive filter" ~count:100
+    QCheck.(list_of_size Gen.(int_bound 12) (pair (int_bound 4) (int_bound 4)))
+    (fun edges ->
+      let s = Structure.create () in
+      let vs = Array.init 5 (fun _ -> Structure.fresh s) in
+      List.iter (fun (i, j) -> Structure.add2 s edge vs.(i) vs.(j)) edges;
+      let naive pos el =
+        List.filter
+          (fun f -> Fact.sym f = edge && (Fact.args f).(pos) = el)
+          (Structure.facts s)
+      in
+      List.for_all
+        (fun pos ->
+          Array.for_all
+            (fun el ->
+              let indexed = Structure.facts_with_pin s edge pos el in
+              Structure.pin_count s edge pos el = List.length (naive pos el)
+              && List.sort compare indexed = List.sort compare (naive pos el))
+            vs)
+        [ 0; 1 ])
+
+(* --- delta-restricted hom enumeration ------------------------------------ *)
+
+(* homs(old ∪ delta) = homs(old) ⊎ delta-homs: the delta mode produces
+   exactly the homomorphisms whose image touches a new fact, each once. *)
+let hom_delta_property =
+  QCheck.Test.make ~name:"iter_all ~delta splits homs(old ∪ new)" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_bound 8) (pair (int_bound 3) (int_bound 3)))
+        (list_of_size Gen.(int_bound 5) (pair (int_bound 3) (int_bound 3))))
+    (fun (old_edges, new_edges) ->
+      let atoms = [ e "x" "y"; e "y" "z" ] in
+      let make_s edges =
+        let s = Structure.create () in
+        let vs = Array.init 4 (fun _ -> Structure.fresh s) in
+        List.iter (fun (i, j) -> Structure.add2 s edge vs.(i) vs.(j)) edges;
+        (s, vs)
+      in
+      let old_s, _ = make_s old_edges in
+      let full_s, vs = make_s old_edges in
+      let delta =
+        List.filter_map
+          (fun (i, j) ->
+            let f = Fact.make edge [| vs.(i); vs.(j) |] in
+            if Structure.add_fact full_s f then Some f else None)
+          new_edges
+      in
+      let collect ?delta s =
+        let out = ref [] in
+        Hom.iter_all ?delta s atoms (fun b ->
+            out := Term.Var_map.bindings b :: !out);
+        List.sort_uniq compare !out
+      in
+      let homs_old = collect old_s in
+      let homs_delta = collect ~delta full_s in
+      let homs_full = collect full_s in
+      (* disjoint… *)
+      List.for_all (fun b -> not (List.mem b homs_old)) homs_delta
+      (* …and jointly exhaustive *)
+      && List.sort_uniq compare (homs_old @ homs_delta) = homs_full)
+
+(* --- TGD chase: stage ≡ seminaive ---------------------------------------- *)
+
+let tq_fixture () =
+  let deps = Tgd.Dep.t_q [ ("p2", path_query 2); ("p3", path_query 3) ] in
+  let seed () = fst (Tgd.Greenred.green_canonical (path_query 5)) in
+  (deps, seed)
+
+let test_tgd_engines_fixture () =
+  let deps, seed = tq_fixture () in
+  let d1 = seed () and d2 = seed () in
+  let s1 = Tgd.Chase.run_stage ~max_stages:5 deps d1 in
+  let s2 = Tgd.Chase.run_seminaive ~max_stages:5 deps d2 in
+  check "equal structures" true (Structure.equal_sets d1 d2);
+  check_int "equal applications" s1.Tgd.Chase.applications
+    s2.Tgd.Chase.applications;
+  check_int "equal stages" s1.Tgd.Chase.stages s2.Tgd.Chase.stages;
+  check "seminaive considers fewer triggers" true
+    (s2.Tgd.Chase.triggers_considered <= s1.Tgd.Chase.triggers_considered)
+
+(* Random TGD sets over one binary symbol, random seed structures, short
+   stage budgets: the two engines must build the very same structure. *)
+let dep_templates =
+  [
+    Tgd.Dep.make ~body:[ e "x" "y" ] ~head:[ e "y" "z" ] ();
+    Tgd.Dep.make ~body:[ e "x" "y" ] ~head:[ e "y" "x" ] ();
+    Tgd.Dep.make ~body:[ e "x" "y"; e "y" "z" ] ~head:[ e "x" "z" ] ();
+    Tgd.Dep.make ~body:[ e "x" "y" ] ~head:[ e "y" "z"; e "z" "y" ] ();
+    Tgd.Dep.make ~body:[ e "x" "y"; e "x" "z" ] ~head:[ e "y" "w" ] ();
+    Tgd.Dep.make ~body:[ e "x" "x" ] ~head:[ e "x" "z"; e "z" "z" ] ();
+  ]
+
+let tgd_engines_random_property =
+  QCheck.Test.make ~name:"random TGDs: stage ≡ seminaive" ~count:40
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 4) (int_bound 5))
+        (list_of_size Gen.(int_bound 8) (pair (int_bound 3) (int_bound 3))))
+    (fun (dep_picks, edges) ->
+      let deps =
+        List.map (fun i -> List.nth dep_templates (i mod 6)) dep_picks
+      in
+      let seed () =
+        let s = Structure.create () in
+        let vs = Array.init 4 (fun _ -> Structure.fresh s) in
+        List.iter (fun (i, j) -> Structure.add2 s edge vs.(i) vs.(j)) edges;
+        s
+      in
+      let d1 = seed () and d2 = seed () in
+      let s1 = Tgd.Chase.run_stage ~max_stages:3 deps d1 in
+      let s2 = Tgd.Chase.run_seminaive ~max_stages:3 deps d2 in
+      Structure.equal_sets d1 d2
+      && s1.Tgd.Chase.applications = s2.Tgd.Chase.applications
+      && s1.Tgd.Chase.stages = s2.Tgd.Chase.stages
+      && s1.Tgd.Chase.fixpoint = s2.Tgd.Chase.fixpoint)
+
+(* After a semi-naive run reaches its fixpoint, the global trigger scan
+   must agree: no active triggers, [models] true, [find_violation] none.
+   On a budget-cut run all three must agree with each other either way. *)
+let models_agree_property =
+  QCheck.Test.make ~name:"models/find_violation vs incremental triggers"
+    ~count:40
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 3) (int_bound 5))
+        (list_of_size Gen.(int_bound 6) (pair (int_bound 2) (int_bound 2))))
+    (fun (dep_picks, edges) ->
+      let deps =
+        List.map (fun i -> List.nth dep_templates (i mod 6)) dep_picks
+      in
+      let d = Structure.create () in
+      let vs = Array.init 3 (fun _ -> Structure.fresh d) in
+      List.iter (fun (i, j) -> Structure.add2 d edge vs.(i) vs.(j)) edges;
+      let stats = Tgd.Chase.run_seminaive ~max_stages:3 deps d in
+      let active = Tgd.Chase.active_triggers deps d in
+      let m = Tgd.Chase.models deps d in
+      let viol = Tgd.Chase.find_violation deps d in
+      m = (active = [])
+      && m = (viol = None)
+      && (not stats.Tgd.Chase.fixpoint || m))
+
+let test_models_after_fixpoint () =
+  (* symmetric closure terminates; the incremental run must end in a model *)
+  let deps = [ Tgd.Dep.make ~body:[ e "x" "y" ] ~head:[ e "y" "x" ] () ] in
+  let d = Structure.create () in
+  let a = Structure.fresh d and b = Structure.fresh d and c = Structure.fresh d in
+  Structure.add2 d edge a b;
+  Structure.add2 d edge b c;
+  let stats = Tgd.Chase.run_seminaive deps d in
+  check "fixpoint" true stats.Tgd.Chase.fixpoint;
+  check "models" true (Tgd.Chase.models deps d);
+  check "no violation" true (Tgd.Chase.find_violation deps d = None);
+  check "no active triggers" true (Tgd.Chase.active_triggers deps d = [])
+
+(* --- graph-rule chase: stage ≡ seminaive --------------------------------- *)
+
+let test_graph_engines_tinf () =
+  List.iter
+    (fun stages ->
+      let g1, _, _, s1 = Separating.Tinf.chase ~engine:`Stage ~stages () in
+      let g2, _, _, s2 = Separating.Tinf.chase ~engine:`Seminaive ~stages () in
+      check "equal graphs" true (Greengraph.Graph.equal g1 g2);
+      check_int "equal applications" s1.Greengraph.Rule.applications
+        s2.Greengraph.Rule.applications)
+    [ 6; 10; 14 ]
+
+let test_graph_engines_collision () =
+  let p1, s1, g1 =
+    Separating.Theorem14.collision_outcome ~engine:`Stage ~t:3 ~t':4 ()
+  in
+  let p2, s2, g2 =
+    Separating.Theorem14.collision_outcome ~engine:`Seminaive ~t:3 ~t':4 ()
+  in
+  check "same 1-2 verdict" true (p1 = p2);
+  check "equal graphs" true (Greengraph.Graph.equal g1 g2);
+  check_int "equal applications" s1.Greengraph.Rule.applications
+    s2.Greengraph.Rule.applications;
+  check "seminaive considers fewer" true
+    (s2.Greengraph.Rule.triggers_considered
+    <= s1.Greengraph.Rule.triggers_considered)
+
+let test_graph_engines_worm () =
+  let wr = Reduction.Worm_rules.of_machine Rainworm.Zoo.eternal_creeper in
+  let g1, _, _, s1 = Reduction.Worm_rules.chase ~engine:`Stage ~stages:15 wr in
+  let g2, _, _, s2 =
+    Reduction.Worm_rules.chase ~engine:`Seminaive ~stages:15 wr
+  in
+  check "equal graphs" true (Greengraph.Graph.equal g1 g2);
+  check_int "equal applications" s1.Greengraph.Rule.applications
+    s2.Greengraph.Rule.applications
+
+let () =
+  Alcotest.run "seminaive"
+    [
+      ( "delta",
+        [
+          Alcotest.test_case "structure journal" `Quick test_delta_journal;
+          Alcotest.test_case "graph journal" `Quick test_graph_delta_journal;
+        ] );
+      ( "tgd",
+        [
+          Alcotest.test_case "T_Q fixture" `Quick test_tgd_engines_fixture;
+          Alcotest.test_case "models after fixpoint" `Quick
+            test_models_after_fixpoint;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "T∞" `Quick test_graph_engines_tinf;
+          Alcotest.test_case "collision grid" `Quick test_graph_engines_collision;
+          Alcotest.test_case "worm rules" `Quick test_graph_engines_worm;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            pin_index_property;
+            hom_delta_property;
+            tgd_engines_random_property;
+            models_agree_property;
+          ] );
+    ]

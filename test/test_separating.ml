@@ -29,12 +29,12 @@ let test_tinf_first_steps () =
        (Greengraph.Graph.edges g))
 
 let test_tinf_no_12_pattern () =
-  let g, _, _, _ = Separating.Tinf.chase ~stages:15 in
+  let g, _, _, _ = Separating.Tinf.chase ~stages:15 () in
   check "no 1-2 pattern (Step 1)" false (Greengraph.Graph.has_12_pattern g)
 
 let test_tinf_words () =
   (* words(chase(T∞,D_I)) = {α(β1β0)^k η1} ∪ {α(β1β0)^k β1 η0} *)
-  let g, a, b, _ = Separating.Tinf.chase ~stages:14 in
+  let g, a, b, _ = Separating.Tinf.chase ~stages:14 () in
   for k = 0 to 3 do
     check
       (Printf.sprintf "α(β1β0)^%dη1 ∈ words" k)
@@ -77,7 +77,7 @@ let test_tinf_words_exactly () =
            | None -> false)
          ks
   in
-  let g, a, b, _ = Separating.Tinf.chase ~stages:14 in
+  let g, a, b, _ = Separating.Tinf.chase ~stages:14 () in
   let words = Greengraph.Pg.words_upto g ~a ~b ~max_len:8 in
   check "some words found" true (List.length words >= 4);
   List.iter
@@ -89,10 +89,10 @@ let test_tinf_words_exactly () =
 let test_tinf_growth_linear () =
   (* the chase grows a bounded number of edges per stage — the structure
      is an infinite quasi-path, not a tree *)
-  let _, _, _, stats10 = Separating.Tinf.chase ~stages:10 in
-  let _, _, _, stats20 = Separating.Tinf.chase ~stages:20 in
-  let g10, _, _, _ = Separating.Tinf.chase ~stages:10 in
-  let g20, _, _, _ = Separating.Tinf.chase ~stages:20 in
+  let _, _, _, stats10 = Separating.Tinf.chase ~stages:10 () in
+  let _, _, _, stats20 = Separating.Tinf.chase ~stages:20 () in
+  let g10, _, _, _ = Separating.Tinf.chase ~stages:10 () in
+  let g20, _, _, _ = Separating.Tinf.chase ~stages:20 () in
   ignore stats10;
   ignore stats20;
   let d1 = Greengraph.Graph.size g20 - Greengraph.Graph.size g10 in
@@ -132,7 +132,7 @@ let test_single_path_no_pattern () =
 
 let test_chase_t_prefix_clean () =
   (* Theorem 14, "does not lead" side: bounded prefix of chase(T, D_I) *)
-  let clean, _ = Separating.Theorem14.chase_prefix_clean ~stages:7 in
+  let clean, _ = Separating.Theorem14.chase_prefix_clean ~stages:7 () in
   check "no 1-2 pattern in chase prefix" true clean
 
 let test_grid_corner_labels () =
@@ -197,7 +197,7 @@ let test_lemma18_on_chase_prefix () =
      and ∅ edges), then grid it with T□ alone to the fixpoint.  The result
      contains the grids M_t of Figure 4 hanging off the real chase — and
      per Lemma 18 it has no 1-2 pattern and models T□. *)
-  let g, _, _, _ = Separating.Tinf.chase ~stages:9 in
+  let g, _, _, _ = Separating.Tinf.chase ~stages:9 () in
   let stats =
     Greengraph.Rule.chase ~max_stages:200 ~stop:Greengraph.Graph.has_12_pattern
       Separating.Tbox.rules g
