@@ -531,6 +531,41 @@ let print_speedups rows =
       | _ -> ())
     by_experiment
 
+(* Differential-audit throughput: wall-clock the fixed-seed oracle run the
+   CLI exposes as `redspider audit` and report cases/sec plus the
+   budget-exceeded rate across its engine runs. *)
+let emit_audit_json () =
+  let seed = 42 and cases = 200 in
+  let wall_s, report =
+    wall_clock (fun () -> Oracle.Diff.run_cases ~seed ~cases ())
+  in
+  let rate =
+    if report.Oracle.Diff.engine_runs = 0 then 0.
+    else
+      float_of_int report.Oracle.Diff.budget_exceeded
+      /. float_of_int report.Oracle.Diff.engine_runs
+  in
+  let oc = open_out "BENCH_audit.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"seed\": %d,\n\
+    \  \"cases\": %d,\n\
+    \  \"wall_s\": %.6f,\n\
+    \  \"cases_per_s\": %.1f,\n\
+    \  \"engine_runs\": %d,\n\
+    \  \"budget_exceeded\": %d,\n\
+    \  \"budget_exceeded_rate\": %.4f,\n\
+    \  \"violations\": %d\n\
+     }\n"
+    seed cases wall_s
+    (float_of_int cases /. wall_s)
+    report.Oracle.Diff.engine_runs report.Oracle.Diff.budget_exceeded rate
+    (List.length report.Oracle.Diff.violations);
+  close_out oc;
+  Format.printf "wrote BENCH_audit.json (%.0f cases/s, %.1f%% budget-exceeded)@."
+    (float_of_int cases /. wall_s)
+    (100. *. rate)
+
 let emit_chase_json () =
   let rows = chase_rows ~tinf_stages:20 ~grid:(4, 4) ~tgd_stages:6 in
   let oc = open_out "BENCH_chase.json" in
@@ -560,7 +595,9 @@ let smoke () =
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "" in
   match mode with
-  | "json" -> emit_chase_json ()
+  | "json" ->
+      emit_chase_json ();
+      emit_audit_json ()
   | "smoke" -> smoke ()
   | _ ->
       let fast = mode = "fast" in

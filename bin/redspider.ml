@@ -210,6 +210,50 @@ let analyze_cmd =
        ~doc:"Backward analysis of a machine (Lemmas 22-23).")
     Term.(const analyze $ m)
 
+(* --- audit --------------------------------------------------------------- *)
+
+let audit seed cases max_stages max_elems max_facts =
+  let budget =
+    { Oracle.Diff.max_stages; max_elems; max_facts }
+  in
+  let report = Oracle.Diff.run_cases ~budget ~seed ~cases () in
+  Format.printf "%a@." Oracle.Diff.pp_report report;
+  if report.Oracle.Diff.violations <> [] then exit 1
+
+let audit_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.")
+  in
+  let cases =
+    Arg.(value & opt int 200 & info [ "cases" ] ~doc:"Number of generated cases.")
+  in
+  let max_stages =
+    Arg.(
+      value
+      & opt int Oracle.Diff.default_budget.Oracle.Diff.max_stages
+      & info [ "max-stages" ] ~doc:"Chase fuel per run.")
+  in
+  let max_elems =
+    Arg.(
+      value
+      & opt int Oracle.Diff.default_budget.Oracle.Diff.max_elems
+      & info [ "max-elems" ] ~doc:"Element budget per run.")
+  in
+  let max_facts =
+    Arg.(
+      value
+      & opt int Oracle.Diff.default_budget.Oracle.Diff.max_facts
+      & info [ "max-facts" ] ~doc:"Fact (edge) budget per run.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Differential audit: generate random instances, chase them under \
+          every engine, diff the results bit-for-bit and audit all \
+          incremental indices against ground-truth recomputation. Exits \
+          nonzero on any violation.")
+    Term.(const audit $ seed $ cases $ max_stages $ max_elems $ max_facts)
+
 (* --- determinacy --------------------------------------------------------- *)
 
 let parse_named s =
@@ -264,5 +308,5 @@ let () =
        (Cmd.group (Cmd.info "redspider" ~doc)
           [
             tinf_cmd; collide_cmd; worm_cmd; reduce_cmd; finite_model_cmd;
-            theorem2_cmd; determinacy_cmd; analyze_cmd;
+            theorem2_cmd; determinacy_cmd; analyze_cmd; audit_cmd;
           ]))

@@ -18,7 +18,8 @@
      Separating   Section VII: T∞, T□, grids, Theorem 14
      Reduction    Section VIII: ∆ → T_M, finite models, Theorem 5
      Determinacy  CQDP/CQfDP instances and solvers
-     Ef           Ehrenfeucht–Fraïssé games and Theorem 2 *)
+     Ef           Ehrenfeucht–Fraïssé games and Theorem 2
+     Oracle       differential-testing and invariant-audit harness *)
 
 module Relational = Relational
 module Cq = Cq
@@ -33,6 +34,7 @@ module Separating = Separating
 module Reduction = Reduction
 module Determinacy = Determinacy
 module Ef = Ef
+module Oracle = Oracle
 
 (* --- the paper's headline statements, as runnable functions ----------- *)
 

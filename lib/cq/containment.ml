@@ -38,18 +38,23 @@ let fold_step q =
       Term.Var_map.empty (Query.free q)
   in
   let n_elems = Structure.card canon in
+  (* Elements the endomorphism cannot drop: the constants' interpretations
+     are fixed points, so the image of A[Q] is image(binding) ∪ constants —
+     as a *set*, since a variable may map onto a constant's element.
+     Counting [|image| + |constants|] instead would double-count exactly
+     those folds and miss them. *)
+  let const_elems =
+    List.filter_map (Structure.constant_opt canon) (Structure.constants canon)
+  in
   let result = ref None in
   (try
      Hom.iter_all ~init canon (Query.body q) (fun binding ->
          let image =
            Term.Var_map.fold
              (fun _ e acc -> if List.mem e acc then acc else e :: acc)
-             binding []
+             binding const_elems
          in
-         let n_csts =
-           List.length (Structure.constants canon)
-         in
-         if List.length image + n_csts < n_elems then begin
+         if List.length image < n_elems then begin
            result := Some binding;
            raise Exit
          end)
@@ -58,7 +63,9 @@ let fold_step q =
   | None -> None
   | Some binding ->
       (* Rewrite the body through the endomorphism: replace each variable by
-         a representative variable of its image element. *)
+         a representative of its image element — the constant itself when
+         the image element interprets a constant, a representative variable
+         otherwise. *)
       let repr = Hashtbl.create 16 in
       Term.Var_map.iter
         (fun x e -> if not (Hashtbl.mem repr e) then Hashtbl.replace repr e x)
@@ -70,15 +77,20 @@ let fold_step q =
           | Some e -> Hashtbl.replace repr e x
           | None -> ())
         (Query.free q);
-      let rename x =
-        match Term.Var_map.find_opt x binding with
-        | Some e -> (
-            match Hashtbl.find_opt repr e with Some y -> y | None -> x)
-        | None -> x
+      let subst =
+        Term.Var_map.mapi
+          (fun x e ->
+            match Structure.constant_name canon e with
+            | Some c -> Term.Cst c
+            | None -> (
+                match Hashtbl.find_opt repr e with
+                | Some y -> Term.Var y
+                | None -> Term.Var x))
+          binding
       in
       let body =
         List.sort_uniq Atom.compare
-          (List.map (Atom.rename rename) (Query.body q))
+          (List.map (Atom.substitute subst) (Query.body q))
       in
       Some (Query.make ~free:(Query.free q) body)
 

@@ -1,0 +1,261 @@
+(* Ground-truth recomputation audits (see audit.mli).
+
+   Style note: every check here is written against the *slow, obvious*
+   definition — list filters over [Structure.facts] / [Graph.edges] —
+   and never against the indices it is auditing.  Redundancy is the
+   point. *)
+
+open Relational
+
+let fail violations fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt
+
+(* --- structures --------------------------------------------------------- *)
+
+module Key = struct
+  type t = Symbol.t * int * int
+
+  let compare (s1, p1, e1) (s2, p2, e2) =
+    let c = Symbol.compare s1 s2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare p1 p2 in
+      if c <> 0 then c else Int.compare e1 e2
+end
+
+module Key_map = Map.Make (Key)
+module Int_set = Set.Make (Int)
+
+let sorted_facts fs = List.sort Fact.compare fs
+
+let structure ?(provenance = false) d =
+  let violations = ref [] in
+  let facts = Structure.facts d in
+  let n = List.length facts in
+  (* size / card coherence *)
+  if Structure.size d <> n then
+    fail violations "size=%d but %d facts enumerate" (Structure.size d) n;
+  let elems = Int_set.of_list (Structure.elems d) in
+  if Structure.card d <> Int_set.cardinal elems then
+    fail violations "card=%d but %d elements enumerate" (Structure.card d)
+      (Int_set.cardinal elems);
+  List.iter
+    (fun f ->
+      List.iter
+        (fun e ->
+          if not (Int_set.mem e elems) then
+            fail violations "fact %a uses unregistered element %d" (Fact.pp ()) f e)
+        (Fact.elements f))
+    facts;
+  (* constants resolve to registered elements and back *)
+  List.iter
+    (fun c ->
+      match Structure.constant_opt d c with
+      | None -> fail violations "constant %s lost its element" c
+      | Some e ->
+          if not (Int_set.mem e elems) then
+            fail violations "constant %s -> unregistered element %d" c e;
+          if Structure.constant_name d e <> Some c then
+            fail violations "constant %s -> %d does not resolve back" c e)
+    (Structure.constants d);
+  (* ground-truth pin table: (sym, pos, elem) -> facts *)
+  let truth =
+    List.fold_left
+      (fun acc f ->
+        let sym = Fact.sym f in
+        snd
+          (Array.fold_left
+             (fun (i, acc) e ->
+               let key = (sym, i, e) in
+               let prev = Option.value ~default:[] (Key_map.find_opt key acc) in
+               (i + 1, Key_map.add key (f :: prev) acc))
+             (0, acc) (Fact.args f)))
+      Key_map.empty facts
+  in
+  Key_map.iter
+    (fun (sym, pos, e) expected ->
+      let got = Structure.facts_with_pin d sym pos e in
+      if sorted_facts got <> sorted_facts expected then
+        fail violations "pin bucket (%a,%d,%d): %d facts indexed, %d expected"
+          Symbol.pp sym pos e (List.length got) (List.length expected);
+      let cnt = Structure.pin_count d sym pos e in
+      if cnt <> List.length expected then
+        fail violations "pin count (%a,%d,%d)=%d, expected %d" Symbol.pp sym pos
+          e cnt (List.length expected))
+    truth;
+  (* per-symbol buckets *)
+  List.iter
+    (fun sym ->
+      let expected = List.filter (fun f -> Symbol.equal (Fact.sym f) sym) facts in
+      let got = Structure.facts_with_sym d sym in
+      if sorted_facts got <> sorted_facts expected then
+        fail violations "symbol bucket %a: %d facts indexed, %d expected"
+          Symbol.pp sym (List.length got) (List.length expected))
+    (Structure.symbols d);
+  (* symbols list covers exactly the symbols with facts *)
+  let sym_truth =
+    List.sort_uniq Symbol.compare (List.map Fact.sym facts)
+  in
+  if List.sort Symbol.compare (Structure.symbols d) <> sym_truth then
+    fail violations "symbols: %d listed, %d with facts"
+      (List.length (Structure.symbols d))
+      (List.length sym_truth);
+  (* per-element buckets *)
+  Int_set.iter
+    (fun e ->
+      let expected =
+        List.filter (fun f -> List.mem e (Fact.elements f)) facts
+      in
+      let got = Structure.facts_with_elem d e in
+      if sorted_facts got <> sorted_facts expected then
+        fail violations "element bucket %d: %d facts indexed, %d expected" e
+          (List.length got) (List.length expected))
+    elems;
+  (* journal and watermark *)
+  if Structure.watermark d <> n then
+    fail violations "watermark=%d but size=%d" (Structure.watermark d) n;
+  let journal = Structure.delta_since d 0 in
+  if List.length journal <> n then
+    fail violations "journal has %d entries for %d facts" (List.length journal) n;
+  if sorted_facts journal <> sorted_facts facts then
+    fail violations "journal is not a permutation of the fact set";
+  let seen = Fact.Tbl.create 64 in
+  List.iter
+    (fun f ->
+      if Fact.Tbl.mem seen f then
+        fail violations "journal repeats fact %a" (Fact.pp ()) f
+      else Fact.Tbl.replace seen f ())
+    journal;
+  (* provenance (chase outputs only): every fact and element is stamped,
+     journal stages never decrease, and a fact is never older than the
+     elements it mentions *)
+  if provenance then begin
+    let last = ref min_int in
+    List.iter
+      (fun f ->
+        match Structure.fact_stage d f with
+        | None -> fail violations "fact %a has no stage" (Fact.pp ()) f
+        | Some s ->
+            if s < !last then
+              fail violations
+                "journal stage drops from %d to %d at %a (provenance not \
+                 monotone)"
+                !last s (Fact.pp ()) f;
+            last := max !last s;
+            List.iter
+              (fun e ->
+                match Structure.elem_stage d e with
+                | None -> fail violations "element %d has no birth stage" e
+                | Some b ->
+                    if b > s then
+                      fail violations
+                        "fact %a at stage %d mentions element %d born later \
+                         (stage %d)"
+                        (Fact.pp ()) f s e b)
+              (Fact.elements f))
+      journal
+  end;
+  List.rev !violations
+
+(* --- green graphs -------------------------------------------------------- *)
+
+let graph g =
+  let module G = Greengraph.Graph in
+  let violations = ref [] in
+  let edges = G.edges g in
+  let n = List.length edges in
+  if G.size g <> n then
+    fail violations "graph size=%d but %d edges enumerate" (G.size g) n;
+  let vertices = Int_set.of_list (G.vertices g) in
+  if G.order g <> Int_set.cardinal vertices then
+    fail violations "graph order=%d but %d vertices enumerate" (G.order g)
+      (Int_set.cardinal vertices);
+  let sorted es = List.sort compare es in
+  let check_bucket what expected got =
+    if sorted got <> sorted expected then
+      fail violations "%s: %d edges indexed, %d expected" what (List.length got)
+        (List.length expected)
+  in
+  Int_set.iter
+    (fun v ->
+      check_bucket
+        (Printf.sprintf "out-bucket of %d" v)
+        (List.filter (fun (e : G.edge) -> e.G.src = v) edges)
+        (G.out_edges g v);
+      check_bucket
+        (Printf.sprintf "in-bucket of %d" v)
+        (List.filter (fun (e : G.edge) -> e.G.dst = v) edges)
+        (G.in_edges g v))
+    vertices;
+  List.iter
+    (fun (e : G.edge) ->
+      if not (Int_set.mem e.G.src vertices && Int_set.mem e.G.dst vertices) then
+        fail violations "edge endpoints (%d, %d) not registered" e.G.src e.G.dst)
+    edges;
+  (* label buckets and the (vertex, label) pin buckets, over the labels
+     that actually occur *)
+  let labels =
+    List.sort_uniq Greengraph.Label.compare
+      (List.map (fun (e : G.edge) -> e.G.label) edges)
+  in
+  List.iter
+    (fun lab ->
+      check_bucket
+        (Format.asprintf "label bucket %a" Greengraph.Label.pp lab)
+        (List.filter (fun (e : G.edge) -> Greengraph.Label.equal e.G.label lab) edges)
+        (G.with_label g lab);
+      Int_set.iter
+        (fun v ->
+          check_bucket
+            (Format.asprintf "(%d, %a) out-pin" v Greengraph.Label.pp lab)
+            (List.filter
+               (fun (e : G.edge) ->
+                 e.G.src = v && Greengraph.Label.equal e.G.label lab)
+               edges)
+            (G.out_edges_with g v lab);
+          check_bucket
+            (Format.asprintf "(%d, %a) in-pin" v Greengraph.Label.pp lab)
+            (List.filter
+               (fun (e : G.edge) ->
+                 e.G.dst = v && Greengraph.Label.equal e.G.label lab)
+               edges)
+            (G.in_edges_with g v lab))
+        vertices)
+    labels;
+  (* journal and watermark *)
+  if G.watermark g <> n then
+    fail violations "graph watermark=%d but size=%d" (G.watermark g) n;
+  let journal = G.delta_since g 0 in
+  if List.length journal <> n then
+    fail violations "edge journal has %d entries for %d edges"
+      (List.length journal) n;
+  if sorted journal <> sorted edges then
+    fail violations "edge journal is not a permutation of the edge set";
+  List.rev !violations
+
+(* --- independent core-minimality witness ---------------------------------- *)
+
+let fold_witness q =
+  let canon, elem = Cq.Query.canonical q in
+  let init =
+    List.fold_left
+      (fun acc x ->
+        match elem x with Some e -> Term.Var_map.add x e acc | None -> acc)
+      Term.Var_map.empty (Cq.Query.free q)
+  in
+  let n = Structure.card canon in
+  let fixed =
+    Int_set.of_list
+      (List.filter_map (Structure.constant_opt canon) (Structure.constants canon))
+  in
+  let witness = ref None in
+  (try
+     Hom.iter_all ~init canon (Cq.Query.body q) (fun binding ->
+         let image =
+           Term.Var_map.fold (fun _ e acc -> Int_set.add e acc) binding fixed
+         in
+         if Int_set.cardinal image < n then begin
+           witness := Some binding;
+           raise Exit
+         end)
+   with Exit -> ());
+  !witness

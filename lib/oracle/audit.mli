@@ -1,0 +1,35 @@
+(** Invariant audits: cross-check a structure's (or green graph's)
+    incremental indices — pin buckets, symbol/element buckets, delta
+    journal, watermark — against ground-truth recomputation from the
+    plain fact (edge) set, plus provenance-stage monotonicity for
+    chase-produced structures.
+
+    Every check returns human-readable violation descriptions; an empty
+    list means the audit passed.  The audits deliberately recompute
+    everything naively — they are the ground truth the fast indices are
+    measured against, in the same spirit as the paper's hand proofs
+    being re-checked mechanically on bounded instances. *)
+
+open Relational
+
+(** Audit a structure's indices: facts/size coherence, the
+    (symbol, position, element) pin index and its O(1) counts, the
+    per-symbol and per-element buckets, the delta journal ([delta_since 0]
+    must replay the fact set in insertion order without duplicates) and
+    the watermark.  With [~provenance:true] (for chase outputs; default
+    false) additionally require journal stages to be non-decreasing and
+    every fact's stage to be at least the birth stage of each of its
+    elements. *)
+val structure : ?provenance:bool -> Structure.t -> string list
+
+(** Audit a green graph's indices: edge/vertex coherence, the out/in
+    adjacency buckets, the label buckets, the (vertex, label) pin
+    buckets, the edge journal and the watermark. *)
+val graph : Greengraph.Graph.t -> string list
+
+(** An independent minimality witness: a proper endomorphism of A[q]
+    fixing the free variables pointwise, whose image (together with the
+    constants' elements, counted as a set) misses at least one element —
+    ground truth for [Containment.core]/[is_core].  [None] means [q] is
+    a core. *)
+val fold_witness : Cq.Query.t -> Relational.Hom.binding option

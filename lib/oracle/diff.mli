@@ -1,0 +1,97 @@
+(** The differential runner: chase the same generated instance under
+    [`Stage], [`Seminaive] and [`Oblivious] with fuel and element budgets,
+    then diff structures, firing sequences and stats; cross-check CQ
+    containment and cores against independent semantics; and audit every
+    produced structure/graph with {!Audit}.
+
+    A run that exhausts its budget ends in the graceful
+    {!outcome.Budget_exceeded} instead of diverging — the oblivious
+    baseline diverges often (condition ­ is exactly what keeps the lazy
+    chase tame), so budget exhaustion is an expected outcome, reported in
+    the {!report} rate, not a failure. *)
+
+open Relational
+
+(** {1 Budgets} *)
+
+type budget = {
+  max_stages : int;  (** chase fuel: stages before cutting a run *)
+  max_elems : int;   (** element budget, checked after every stage *)
+  max_facts : int;   (** fact budget (edge budget for graph cases) *)
+}
+
+val default_budget : budget
+
+(** {1 Single-engine runs} *)
+
+type outcome = Fixpoint | Budget_exceeded
+
+(** One firing of the chase, as recorded through [Chase.run ~on_fire]. *)
+type firing = { at_stage : int; dep : string; frontier : (string * int) list }
+
+type engine_run = {
+  engine : Tgd.Chase.engine;
+  outcome : outcome;
+  stats : Tgd.Chase.stats;
+  result : Structure.t;
+  firings : firing list;
+}
+
+(** Chase a fresh realization of the instance under one engine, within
+    the budget. *)
+val run_tgd : budget -> Tgd.Chase.engine -> Gen.instance -> engine_run
+
+(** Diff the instance across all three engines: [`Stage] and [`Seminaive]
+    must agree bit-for-bit (equal fact sets with equal element ids, equal
+    journals in insertion order, equal firing sequences, equal
+    applications/stages/fixpoint, delta-restriction never considering
+    more), every result must pass the structure audit, and a run that
+    reached its fixpoint must model the dependencies.  Returns the
+    violations and the three runs. *)
+val diff_tgd : budget -> Gen.instance -> string list * engine_run list
+
+(** Same for a green-graph case under [`Stage] vs [`Seminaive]. *)
+val diff_graph :
+  budget -> Gen.graph_case -> string list * (Greengraph.Rule.stats * outcome) list
+
+(** {1 CQ cross-checks} *)
+
+(** Check containment/core primitives over the signature against
+    independent semantics: [contained_in q1 q2] must equal evaluating
+    [q2] on the canonical database of [q1] (Chandra–Merlin), claimed
+    containments must be monotone on a random instance, and [fold]'s
+    iterated core must be equivalent to the input and minimal by
+    {!Audit.fold_witness}.  [fold] defaults to
+    [Cq.Containment.fold_step]; tests re-inject buggy legacy
+    implementations through it to prove the harness catches them. *)
+val cq_checks :
+  ?fold:(Cq.Query.t -> Cq.Query.t option) ->
+  Gen.rng ->
+  Symbol.t list ->
+  Structure.t ->
+  string list
+
+(** {1 The audit harness} *)
+
+type report = {
+  seed : int;
+  cases : int;
+  engine_runs : int;          (** chase runs executed across all cases *)
+  budget_exceeded : int;      (** runs cut by fuel or element budgets *)
+  violations : (int * string list) list;
+      (** failing cases: (case index, shrunk violation descriptions) *)
+}
+
+(** Run [cases] generated cases from [seed]: per case, a seed-structure
+    audit, the three-engine TGD differential (shrunk on failure), the CQ
+    cross-checks and a green-graph differential.  Deterministic: case [i]
+    depends only on [(seed, i)]. *)
+val run_cases :
+  ?budget:budget ->
+  ?fold:(Cq.Query.t -> Cq.Query.t option) ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,224 @@
+(* Deterministic seeded generation for the oracle (see gen.mli).
+
+   Everything generated here is pure data first (instance / graph_case
+   recipes) and realized into mutable structures by [build] — that is
+   what makes shrinking possible: a failing case is rebuilt from a
+   smaller recipe and re-run, instead of mutating a structure that the
+   chase has already grown. *)
+
+open Relational
+
+(* --- splitmix64 -------------------------------------------------------- *)
+
+type rng = { mutable state : int64 }
+
+let rng seed = { state = Int64.of_int seed }
+
+let next r =
+  r.state <- Int64.add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let case_rng ~seed ~case =
+  let r = rng seed in
+  let mixed = Int64.add (next r) (Int64.mul (Int64.of_int (case + 1)) 0xBF58476D1CE4E5B9L) in
+  let r' = { state = mixed } in
+  ignore (next r');
+  r'
+
+let int r n =
+  if n <= 0 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next r) 1) (Int64.of_int n))
+
+let range r lo hi = lo + int r (hi - lo + 1)
+let bool r = int r 2 = 0
+
+let pick r = function
+  | [] -> invalid_arg "Oracle.Gen.pick: empty list"
+  | l -> List.nth l (int r (List.length l))
+
+(* --- signatures and instances ------------------------------------------ *)
+
+type instance = {
+  signature : Symbol.t list;
+  n_elems : int;
+  consts : string list;
+  facts : Fact.t list;
+  deps : Tgd.Dep.t list;
+}
+
+let signature r =
+  let n = range r 1 3 in
+  List.init n (fun i -> Symbol.make (Printf.sprintf "R%d" i) (range r 1 3))
+
+(* Element pool of a recipe: plain elements 0..n-1, then the constants'
+   elements in list order (matching [build]'s allocation order). *)
+let pool n_elems consts =
+  List.init (n_elems + List.length consts) (fun i -> i)
+
+let random_fact r sg po =
+  let sym = pick r sg in
+  Fact.make sym (Array.init (Symbol.arity sym) (fun _ -> pick r po))
+
+(* TGDs: bodies over {x, y, z}, heads over the body's variables plus the
+   existential pool {u, v} — at least one frontier variable whenever the
+   body has any, so the dependency is a genuine glueing rule rather than
+   a disconnected head factory. *)
+let random_dep r sg i =
+  let body_vars = [ "x"; "y"; "z" ] in
+  let atom pool_vars =
+    let sym = pick r sg in
+    Atom.make sym
+      (List.init (Symbol.arity sym) (fun _ -> Term.var (pick r pool_vars)))
+  in
+  let body = List.init (range r 1 2) (fun _ -> atom body_vars) in
+  let bvs = Term.Var_set.elements (Atom.vars_of_list body) in
+  let head_pool = bvs @ [ "u"; "v" ] in
+  let head = List.init (range r 1 2) (fun _ -> atom head_pool) in
+  Tgd.Dep.make ~name:(Printf.sprintf "d%d" i) ~body ~head ()
+
+let instance r =
+  let sg = signature r in
+  let n_elems = range r 1 4 in
+  let consts = if int r 3 = 0 then [ "c" ] else [] in
+  let po = pool n_elems consts in
+  let n_facts = range r 1 6 in
+  let facts =
+    (* dedup, preserving first-occurrence order, so journal-vs-facts
+       audits see the exact insertion sequence *)
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun f ->
+        if Hashtbl.mem seen f then false
+        else begin
+          Hashtbl.replace seen f ();
+          true
+        end)
+      (List.init n_facts (fun _ -> random_fact r sg po))
+  in
+  let deps = List.init (range r 1 3) (fun i -> random_dep r sg i) in
+  { signature = sg; n_elems; consts; facts; deps }
+
+let build inst =
+  let d = Structure.create () in
+  for _ = 1 to inst.n_elems do
+    ignore (Structure.fresh d)
+  done;
+  List.iter (fun c -> ignore (Structure.constant d c)) inst.consts;
+  List.iter (fun f -> ignore (Structure.add_fact d f)) inst.facts;
+  d
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let shrink_instance inst =
+  let fewer_deps =
+    if List.length inst.deps <= 1 then []
+    else List.mapi (fun i _ -> { inst with deps = drop_nth inst.deps i }) inst.deps
+  in
+  let fewer_facts =
+    List.mapi (fun i _ -> { inst with facts = drop_nth inst.facts i }) inst.facts
+  in
+  fewer_deps @ fewer_facts
+
+(* --- conjunctive queries ------------------------------------------------ *)
+
+let query ?arity r sg =
+  let vars = [ "x"; "y"; "z"; "w" ] in
+  let term () = if int r 6 = 0 then Term.cst "c" else Term.var (pick r vars) in
+  let body =
+    List.init (range r 1 4) (fun _ ->
+        let sym = pick r sg in
+        Atom.make sym (List.init (Symbol.arity sym) (fun _ -> term ())))
+  in
+  let used = Term.Var_set.elements (Atom.vars_of_list body) in
+  let want = match arity with Some a -> a | None -> range r 0 2 in
+  let rec take k = function
+    | x :: rest when k > 0 -> x :: take (k - 1) rest
+    | _ -> []
+  in
+  Cq.Query.make ~free:(take (min want (List.length used)) used) body
+
+let shrink_query q =
+  let free = Cq.Query.free q in
+  let body = Cq.Query.body q in
+  if List.length body <= 1 then []
+  else
+    List.filter_map Fun.id
+      (List.mapi
+         (fun i _ ->
+           let body' = drop_nth body i in
+           let used = Atom.vars_of_list body' in
+           if List.for_all (fun x -> Term.Var_set.mem x used) free then
+             Some (Cq.Query.make ~free body')
+           else None)
+         body)
+
+(* --- green-graph rule sets ---------------------------------------------- *)
+
+type graph_case = {
+  rules : Greengraph.Rule.t list;
+  n_vertices : int;
+  edges : (Greengraph.Label.t * int * int) list;
+}
+
+let labels = [ Greengraph.Label.empty; Greengraph.Label.l 0; Greengraph.Label.l 1;
+               Greengraph.Label.l 2; Greengraph.Label.l 5 ]
+
+let random_label r = pick r labels
+
+let distinct_label r a =
+  let rec go () =
+    let b = random_label r in
+    if Greengraph.Label.equal a b then go () else b
+  in
+  go ()
+
+let random_rule r i =
+  let conn = if bool r then Greengraph.Rule.Amp else Greengraph.Rule.Slash in
+  let l1 = random_label r in
+  let l2 = random_label r in
+  Greengraph.Rule.make ~name:(Printf.sprintf "g%d" i) conn (l1, l2)
+    (distinct_label r l1, distinct_label r l2)
+
+let graph_case r =
+  let rules = List.init (range r 1 3) (fun i -> random_rule r i) in
+  let n_vertices = range r 2 5 in
+  let n_edges = range r 0 4 in
+  let edges =
+    List.init n_edges (fun _ ->
+        (random_label r, int r n_vertices, int r n_vertices))
+  in
+  { rules; n_vertices; edges }
+
+let build_graph gc =
+  let module G = Greengraph.Graph in
+  let g, _a, _b = G.d_i () in
+  (* d_i allocates vertices 0 (a) and 1 (b); extend to n_vertices *)
+  for _ = 2 to gc.n_vertices - 1 do
+    ignore (G.fresh g)
+  done;
+  List.iter (fun (lab, s, t) -> ignore (G.add_edge g lab s t)) gc.edges;
+  g
+
+let shrink_graph_case gc =
+  let fewer_rules =
+    if List.length gc.rules <= 1 then []
+    else List.mapi (fun i _ -> { gc with rules = drop_nth gc.rules i }) gc.rules
+  in
+  let fewer_edges =
+    List.mapi (fun i _ -> { gc with edges = drop_nth gc.edges i }) gc.edges
+  in
+  fewer_rules @ fewer_edges
+
+(* --- greedy shrinking ---------------------------------------------------- *)
+
+let rec shrink candidates fails x =
+  match List.find_opt fails (candidates x) with
+  | Some x' -> shrink candidates fails x'
+  | None -> x

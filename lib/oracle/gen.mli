@@ -1,0 +1,98 @@
+(** Deterministic seeded generation of random signatures, finite
+    structures, conjunctive queries, TGD sets and green-graph rule sets
+    for the differential-testing oracle, with greedy shrinking of failing
+    cases.
+
+    The PRNG is a self-contained splitmix64: case [i] of seed [s] is the
+    same sequence on every run, OCaml version and platform, so a failing
+    case is fully named by [(seed, i)] and can be replayed with
+    [redspider audit]. *)
+
+open Relational
+
+(** {1 PRNG} *)
+
+type rng
+
+(** A fresh generator from an integer seed. *)
+val rng : int -> rng
+
+(** The generator for case [case] of run seed [seed] — independent of how
+    much randomness other cases consumed. *)
+val case_rng : seed:int -> case:int -> rng
+
+(** Uniform in [\[0, n)]; [0] if [n <= 0]. *)
+val int : rng -> int -> int
+
+(** Uniform in [\[lo, hi\]] (inclusive). *)
+val range : rng -> int -> int -> int
+
+val bool : rng -> bool
+
+(** Uniform pick.  @raise Invalid_argument on an empty list. *)
+val pick : rng -> 'a list -> 'a
+
+(** {1 Relational instances} *)
+
+(** A generated chase instance as pure data, so shrinking can rebuild a
+    smaller copy: element ids [0 .. n_elems-1] are plain elements,
+    followed by one element per constant name, in order. *)
+type instance = {
+  signature : Symbol.t list;
+  n_elems : int;
+  consts : string list;
+  facts : Fact.t list;
+  deps : Tgd.Dep.t list;
+}
+
+(** A random signature: 1–3 symbols of arity 1–3. *)
+val signature : rng -> Symbol.t list
+
+(** A random instance over a random signature: a small seed structure and
+    1–3 single-head-or-double-head TGDs with existential variables. *)
+val instance : rng -> instance
+
+(** Realize the instance as a fresh structure (deterministic element
+    allocation: plain elements first, then constants). *)
+val build : instance -> Structure.t
+
+(** All one-step shrink candidates: drop one dependency, drop one seed
+    fact (dependencies and facts are never both touched in one step). *)
+val shrink_instance : instance -> instance list
+
+(** {1 Conjunctive queries} *)
+
+(** A random CQ over the signature with 1–4 atoms, occasional constants,
+    and a free-variable prefix of the requested arity (clamped to the
+    variables actually used; [?arity] random when omitted). *)
+val query : ?arity:int -> rng -> Symbol.t list -> Cq.Query.t
+
+(** One-step shrink candidates of a query: drop one body atom, keeping
+    the query well-formed (free variables must survive). *)
+val shrink_query : Cq.Query.t -> Cq.Query.t list
+
+(** {1 Green-graph rule sets} *)
+
+(** A graph case as pure data: edges over vertices [0 .. n_vertices-1];
+    vertex 0 is [a], vertex 1 is [b] of D_I, and the D_I edge
+    [H∅(a, b)] is always present. *)
+type graph_case = {
+  rules : Greengraph.Rule.t list;
+  n_vertices : int;
+  edges : (Greengraph.Label.t * int * int) list;
+}
+
+val graph_case : rng -> graph_case
+
+(** Realize the case as a fresh green graph. *)
+val build_graph : graph_case -> Greengraph.Graph.t
+
+(** Drop one rule or one seed edge (never the D_I edge). *)
+val shrink_graph_case : graph_case -> graph_case list
+
+(** {1 Shrinking} *)
+
+(** [shrink candidates fails x] greedily descends to a locally minimal
+    failing value: while some one-step candidate of the current value
+    still satisfies [fails], move to it. *)
+val shrink : ('a -> 'a list) -> ('a -> bool) -> 'a -> 'a

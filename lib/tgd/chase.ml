@@ -30,13 +30,16 @@ open Relational
 type stats = {
   stages : int;              (* stages executed *)
   applications : int;        (* TGD firings *)
-  triggers_considered : int; (* deduplicated body matches examined *)
+  triggers_considered : int; (* distinct (TGD, frontier) pairs examined *)
+  body_matches : int;        (* raw body matches, before frontier dedup *)
   fixpoint : bool;           (* no trigger was active at the last stage *)
 }
 
 let pp_stats ppf s =
-  Fmt.pf ppf "stages=%d applications=%d triggers_considered=%d fixpoint=%b"
-    s.stages s.applications s.triggers_considered s.fixpoint
+  Fmt.pf ppf
+    "stages=%d applications=%d triggers_considered=%d body_matches=%d \
+     fixpoint=%b"
+    s.stages s.applications s.triggers_considered s.body_matches s.fixpoint
 
 (* Restrict a body binding to the frontier of the TGD: the b̄ of the paper. *)
 let frontier_binding dep binding =
@@ -89,13 +92,17 @@ let sort_triggers triggers =
    frontier key, drop those whose head is already witnessed (condition ­),
    and sort canonically.  [delta] restricts discovery to matches using a
    new fact; [seen_of] supplies the per-TGD dedup table (persistent across
-   stages for the semi-naive engine). *)
-let collect_triggers ?delta ~seen_of ~considered deps d =
+   stages for the semi-naive engine).  [considered] counts first-time
+   frontier keys; [matches] counts every body match before dedup — the
+   paper enumerates pairs (T, b̄), so two matches differing only in their
+   existential witnesses are one consideration but two matches. *)
+let collect_triggers ?delta ~seen_of ~considered ~matches deps d =
   let out = ref [] in
   List.iteri
     (fun di dep ->
       let seen = seen_of di dep in
       Hom.iter_all ?delta d (Dep.body dep) (fun binding ->
+          incr matches;
           let fb = frontier_binding dep binding in
           let key = Binding_key.of_binding fb in
           if not (Hashtbl.mem seen key) then begin
@@ -112,16 +119,44 @@ let collect_triggers ?delta ~seen_of ~considered deps d =
 
 (* Collect the active pairs (T, b̄) of the current structure. *)
 let active_triggers deps d =
-  let considered = ref 0 in
-  collect_triggers ~seen_of:(fun _ _ -> Hashtbl.create 64) ~considered deps d
+  let considered = ref 0 and matches = ref 0 in
+  collect_triggers
+    ~seen_of:(fun _ _ -> Hashtbl.create 64)
+    ~considered ~matches deps d
+
+(* The active pairs of one dependency, without materialising the other
+   dependencies' triggers. *)
+let active_triggers_of dep d =
+  active_triggers [ dep ] d |> List.map snd
+
+(* Does [dep] have at least one active trigger?  Short-circuits on the
+   first one instead of materialising the trigger list. *)
+let has_active_trigger dep d =
+  let seen = Hashtbl.create 64 in
+  let found = ref false in
+  (try
+     Hom.iter_all d (Dep.body dep) (fun binding ->
+         let fb = frontier_binding dep binding in
+         let key = Binding_key.of_binding fb in
+         if not (Hashtbl.mem seen key) then begin
+           Hashtbl.replace seen key ();
+           if not (head_satisfied d dep fb) then begin
+             found := true;
+             raise Exit
+           end
+         end)
+   with Exit -> ());
+  !found
 
 (* Apply the surviving triggers in order, re-checking condition ­ against
-   the evolving structure; returns the number of firings. *)
-let apply_triggers triggers d =
+   the evolving structure; returns the number of firings.  [on_fire] sees
+   each firing as it happens, in order. *)
+let apply_triggers ?(on_fire = fun _ _ -> ()) triggers d =
   let fired = ref 0 in
   List.iter
     (fun (dep, fb) ->
       if not (head_satisfied d dep fb) then begin
+        on_fire dep fb;
         apply d dep fb;
         incr fired
       end)
@@ -140,14 +175,16 @@ let chase_stage deps d = apply_triggers (active_triggers deps d) d
    uses fresh dedup tables and no delta each stage; the semi-naive engine
    keeps one dedup table per TGD for the whole run and restricts matching
    to the facts added since the previous stage. *)
-let run_engine ~max_stages ~stop ~seen_of ~delta_of deps d =
+let run_engine ~max_stages ~stop ~on_fire ~seen_of ~delta_of deps d =
   let applications = ref 0 in
   let considered = ref 0 in
+  let matches = ref 0 in
   let finish i fixpoint =
     {
       stages = i;
       applications = !applications;
       triggers_considered = !considered;
+      body_matches = !matches;
       fixpoint;
     }
   in
@@ -156,8 +193,10 @@ let run_engine ~max_stages ~stop ~seen_of ~delta_of deps d =
     else begin
       Structure.set_stage d i;
       let delta = delta_of () in
-      let triggers = collect_triggers ?delta ~seen_of ~considered deps d in
-      let fired = apply_triggers triggers d in
+      let triggers =
+        collect_triggers ?delta ~seen_of ~considered ~matches deps d
+      in
+      let fired = apply_triggers ~on_fire:(on_fire ~stage:i) triggers d in
       applications := !applications + fired;
       if fired = 0 then finish i true
       else if stop d then finish i false
@@ -166,13 +205,17 @@ let run_engine ~max_stages ~stop ~seen_of ~delta_of deps d =
   in
   go 1
 
-let run_stage ?(max_stages = max_int) ?(stop = fun _ -> false) deps d =
-  run_engine ~max_stages ~stop
+let no_fire ~stage:_ _ _ = ()
+
+let run_stage ?(max_stages = max_int) ?(stop = fun _ -> false)
+    ?(on_fire = no_fire) deps d =
+  run_engine ~max_stages ~stop ~on_fire
     ~seen_of:(fun _ _ -> Hashtbl.create 64)
     ~delta_of:(fun () -> None)
     deps d
 
-let run_seminaive ?(max_stages = max_int) ?(stop = fun _ -> false) deps d =
+let run_seminaive ?(max_stages = max_int) ?(stop = fun _ -> false)
+    ?(on_fire = no_fire) deps d =
   let tables = Hashtbl.create 8 in
   let seen_of di _ =
     match Hashtbl.find_opt tables di with
@@ -190,21 +233,24 @@ let run_seminaive ?(max_stages = max_int) ?(stop = fun _ -> false) deps d =
     wm := Structure.watermark d;
     Some delta
   in
-  run_engine ~max_stages ~stop ~seen_of ~delta_of deps d
+  run_engine ~max_stages ~stop ~on_fire ~seen_of ~delta_of deps d
 
 (* The semi-oblivious (skolem) chase: every pair (T, b̄) fires exactly
    once, whether or not the head is already satisfied.  It diverges more
    often than the paper's lazy chase — condition ­ is exactly what keeps
    chase(T_Q, ·) tame — and exists here as the ablation baseline. *)
-let run_oblivious ?(max_stages = max_int) ?(stop = fun _ -> false) deps d =
+let run_oblivious ?(max_stages = max_int) ?(stop = fun _ -> false)
+    ?(on_fire = no_fire) deps d =
   let fired = Hashtbl.create 256 in
   let applications = ref 0 in
   let considered = ref 0 in
+  let matches = ref 0 in
   let finish i fixpoint =
     {
       stages = i;
       applications = !applications;
       triggers_considered = !considered;
+      body_matches = !matches;
       fixpoint;
     }
   in
@@ -216,16 +262,21 @@ let run_oblivious ?(max_stages = max_int) ?(stop = fun _ -> false) deps d =
       List.iter
         (fun dep ->
           Hom.iter_all d (Dep.body dep) (fun binding ->
+              incr matches;
               let fb = frontier_binding dep binding in
               let key = (Dep.name dep, Binding_key.of_binding fb) in
-              incr considered;
               if not (Hashtbl.mem fired key) then begin
                 Hashtbl.replace fired key ();
+                incr considered;
                 triggers := (dep, fb) :: !triggers
               end))
         deps;
       let n = List.length !triggers in
-      List.iter (fun (dep, fb) -> apply d dep fb) (List.rev !triggers);
+      List.iter
+        (fun (dep, fb) ->
+          on_fire ~stage:i dep fb;
+          apply d dep fb)
+        (List.rev !triggers);
       applications := !applications + n;
       if n = 0 then finish i true
       else if stop d then finish i false
@@ -247,16 +298,27 @@ let pp_engine ppf e =
    same lazy stage semantics as [`Stage] (equal structures, equal firing
    sequence) with per-stage work proportional to the delta rather than to
    the whole structure. *)
-let run ?(engine = `Seminaive) ?max_stages ?stop deps d =
+let run ?(engine = `Seminaive) ?max_stages ?stop ?on_fire deps d =
   match engine with
-  | `Stage -> run_stage ?max_stages ?stop deps d
-  | `Seminaive -> run_seminaive ?max_stages ?stop deps d
-  | `Oblivious -> run_oblivious ?max_stages ?stop deps d
+  | `Stage -> run_stage ?max_stages ?stop ?on_fire deps d
+  | `Seminaive -> run_seminaive ?max_stages ?stop ?on_fire deps d
+  | `Oblivious -> run_oblivious ?max_stages ?stop ?on_fire deps d
 
-(* Does D satisfy all the dependencies (no active trigger)? *)
-let models deps d = active_triggers deps d = []
+(* Does D satisfy all the dependencies?  Short-circuits on the first
+   active trigger instead of materialising every dependency's trigger
+   list. *)
+let models deps d = not (List.exists (fun dep -> has_active_trigger dep d) deps)
 
-(* The first violated dependency with a witness binding, for error
-   reporting in tests. *)
+(* The first violated dependency in the order of [deps], with its least
+   active frontier binding — deterministic, and cheap on satisfied
+   prefixes because each dependency is first probed with the
+   short-circuiting check. *)
 let find_violation deps d =
-  match active_triggers deps d with [] -> None | (dep, fb) :: _ -> Some (dep, fb)
+  List.find_map
+    (fun dep ->
+      if not (has_active_trigger dep d) then None
+      else
+        match active_triggers_of dep d with
+        | fb :: _ -> Some (dep, fb)
+        | [] -> None)
+    deps

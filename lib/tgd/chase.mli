@@ -11,7 +11,18 @@ open Relational
 type stats = {
   stages : int;              (** stages executed *)
   applications : int;        (** TGD firings *)
-  triggers_considered : int; (** deduplicated body matches examined *)
+  triggers_considered : int;
+      (** distinct (TGD, frontier tuple) pairs examined.  Body matches are
+          deduplicated by frontier key before they count: two matches that
+          differ only in their existential witnesses are the same pair
+          (T, b̄) of the paper and count once.  For the lazy engines the
+          dedup table is per-stage ([`Stage]) or per-run ([`Seminaive],
+          whose persistent tables make the counts comparable across
+          engines); for [`Oblivious] it is per-run.  The paper's raw pair
+          enumeration — every body homomorphism — is [body_matches]. *)
+  body_matches : int;
+      (** raw body matches enumerated, before frontier deduplication —
+          the cost driver of trigger discovery. *)
   fixpoint : bool;           (** no trigger was active at the last stage *)
 }
 
@@ -42,6 +53,10 @@ val apply : Structure.t -> Dep.t -> Hom.binding -> unit
     then frontier tuple). *)
 val active_triggers : Dep.t list -> Structure.t -> (Dep.t * Hom.binding) list
 
+(** [has_active_trigger dep d]: does [dep] have an active trigger?
+    Short-circuits on the first one. *)
+val has_active_trigger : Dep.t -> Structure.t -> bool
+
 (** One stage; returns the number of firings. *)
 val chase_stage : Dep.t list -> Structure.t -> int
 
@@ -50,32 +65,57 @@ val chase_stage : Dep.t list -> Structure.t -> int
     numbers stamp provenance into the structure.  [engine] selects the
     trigger-discovery engine (default [`Seminaive]); all engines share the
     canonical per-stage firing order, so [`Stage] and [`Seminaive] build
-    identical structures, fresh element ids included. *)
+    identical structures, fresh element ids included.  [on_fire] observes
+    every firing in order — (stage, TGD, frontier binding) — before its
+    head atoms are added; the oracle's differential runner records the
+    firing sequence through it. *)
 val run :
   ?engine:engine ->
   ?max_stages:int ->
   ?stop:(Structure.t -> bool) ->
+  ?on_fire:(stage:int -> Dep.t -> Hom.binding -> unit) ->
   Dep.t list ->
   Structure.t ->
   stats
 
 (** The stage engine: full re-enumeration each stage ([run ~engine:`Stage]). *)
 val run_stage :
-  ?max_stages:int -> ?stop:(Structure.t -> bool) -> Dep.t list -> Structure.t -> stats
+  ?max_stages:int ->
+  ?stop:(Structure.t -> bool) ->
+  ?on_fire:(stage:int -> Dep.t -> Hom.binding -> unit) ->
+  Dep.t list ->
+  Structure.t ->
+  stats
 
 (** The semi-naive engine: delta-restricted trigger discovery
     ([run ~engine:`Seminaive], the default). *)
 val run_seminaive :
-  ?max_stages:int -> ?stop:(Structure.t -> bool) -> Dep.t list -> Structure.t -> stats
+  ?max_stages:int ->
+  ?stop:(Structure.t -> bool) ->
+  ?on_fire:(stage:int -> Dep.t -> Hom.binding -> unit) ->
+  Dep.t list ->
+  Structure.t ->
+  stats
 
 (** The semi-oblivious (skolem) chase: each pair (T, b̄) fires exactly
     once, regardless of condition ­.  Diverges more often than the lazy
     chase; kept as the ablation baseline. *)
 val run_oblivious :
-  ?max_stages:int -> ?stop:(Structure.t -> bool) -> Dep.t list -> Structure.t -> stats
+  ?max_stages:int ->
+  ?stop:(Structure.t -> bool) ->
+  ?on_fire:(stage:int -> Dep.t -> Hom.binding -> unit) ->
+  Dep.t list ->
+  Structure.t ->
+  stats
 
-(** Does the structure satisfy all dependencies (no active trigger)? *)
+(** Does the structure satisfy all dependencies?  Probes each dependency
+    with {!has_active_trigger}, so it stops at the first active trigger
+    instead of materialising full trigger lists. *)
 val models : Dep.t list -> Structure.t -> bool
 
-(** The first violated dependency with a witness binding, for reporting. *)
+(** The first violated dependency, deterministically: the dependencies
+    are probed in list order, and the witness reported for the first
+    violated one is its *least* active frontier binding in the canonical
+    trigger order (ascending variable name, then element).  Satisfied
+    prefixes cost one short-circuited probe each. *)
 val find_violation : Dep.t list -> Structure.t -> (Dep.t * Hom.binding) option

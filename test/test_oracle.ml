@@ -1,0 +1,282 @@
+(* The oracle itself, and the bugs it exists to catch.
+
+   Besides exercising the generator/auditor/differential-runner stack on
+   clean code, the decisive test here re-introduces the pre-fix
+   [Containment.fold_step] (the |image| + |constants| double-count) through
+   the harness's [?fold] hook and checks that the audit run flags it — the
+   harness must be able to catch the very regression this PR fixes. *)
+
+open Relational
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let edge = Symbol.make "E" 2
+let v = Term.var
+let c = Term.cst
+let e x y = Atom.app2 edge x y
+
+(* --- the generator ------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let draw () =
+    let r = Oracle.Gen.case_rng ~seed:42 ~case:7 in
+    List.init 16 (fun _ -> Oracle.Gen.int r 1000)
+  in
+  check "same (seed, case) gives the same stream" true (draw () = draw ());
+  let other = Oracle.Gen.case_rng ~seed:42 ~case:8 in
+  check "different case gives a different stream" true
+    (draw () <> List.init 16 (fun _ -> Oracle.Gen.int other 1000))
+
+let test_build_deterministic () =
+  let r1 = Oracle.Gen.case_rng ~seed:3 ~case:0 in
+  let r2 = Oracle.Gen.case_rng ~seed:3 ~case:0 in
+  let i1 = Oracle.Gen.instance r1 and i2 = Oracle.Gen.instance r2 in
+  check "same recipe" true (i1.Oracle.Gen.facts = i2.Oracle.Gen.facts);
+  check "same realization" true
+    (Structure.equal_sets (Oracle.Gen.build i1) (Oracle.Gen.build i2))
+
+(* --- the auditor: it passes on honest structures, fails on corrupted
+   recomputation inputs --------------------------------------------------- *)
+
+let test_audit_clean_structure () =
+  for case = 0 to 24 do
+    let r = Oracle.Gen.case_rng ~seed:11 ~case in
+    let d = Oracle.Gen.build (Oracle.Gen.instance r) in
+    check_int
+      (Printf.sprintf "no violations on generated structure %d" case)
+      0
+      (List.length (Oracle.Audit.structure d))
+  done
+
+let test_audit_clean_graph () =
+  for case = 0 to 24 do
+    let r = Oracle.Gen.case_rng ~seed:12 ~case in
+    let g = Oracle.Gen.build_graph (Oracle.Gen.graph_case r) in
+    check_int
+      (Printf.sprintf "no violations on generated graph %d" case)
+      0
+      (List.length (Oracle.Audit.graph g))
+  done
+
+(* --- satellite fix: folding a variable onto a constant ------------------- *)
+
+(* q() :- E(x,c), E(c,c) folds by x ↦ c; before the fix the fold was
+   invisible because |image| + |constants| counted c's element twice. *)
+let folding_query () =
+  Cq.Query.make ~free:[] [ e (v "x") (c "c"); e (c "c") (c "c") ]
+
+let test_fold_onto_constant () =
+  let q = folding_query () in
+  let core = Cq.Containment.core q in
+  check_int "core folds down to the single constant loop" 1
+    (List.length (Cq.Query.body core));
+  check "core is equivalent to the input" true (Cq.Containment.equivalent q core);
+  check "independent witness agrees the core is minimal" true
+    (Option.is_none (Oracle.Audit.fold_witness core));
+  check "and that the input was not" true
+    (Option.is_some (Oracle.Audit.fold_witness q))
+
+(* The pre-fix [fold_step], kept verbatim as the regression specimen:
+   the image is counted as |image of variables| + |constants| (double
+   counting any variable mapped onto a constant's element), and the
+   rewrite knows only variable representatives. *)
+let legacy_fold_step q =
+  let canon, elem = Cq.Query.canonical q in
+  let init =
+    List.fold_left
+      (fun acc x ->
+        match elem x with Some e -> Term.Var_map.add x e acc | None -> acc)
+      Term.Var_map.empty (Cq.Query.free q)
+  in
+  let n_elems = Structure.card canon in
+  let n_csts = List.length (Structure.constants canon) in
+  let result = ref None in
+  (try
+     Hom.iter_all ~init canon (Cq.Query.body q) (fun binding ->
+         let image =
+           Term.Var_map.fold
+             (fun _ e acc -> if List.mem e acc then acc else e :: acc)
+             binding []
+         in
+         if List.length image + n_csts < n_elems then begin
+           result := Some binding;
+           raise Exit
+         end)
+   with Exit -> ());
+  match !result with
+  | None -> None
+  | Some binding ->
+      let repr = Hashtbl.create 16 in
+      Term.Var_map.iter
+        (fun x e -> if not (Hashtbl.mem repr e) then Hashtbl.replace repr e x)
+        binding;
+      List.iter
+        (fun x ->
+          match Term.Var_map.find_opt x binding with
+          | Some e -> Hashtbl.replace repr e x
+          | None -> ())
+        (Cq.Query.free q);
+      let subst =
+        Term.Var_map.mapi
+          (fun x e ->
+            match Hashtbl.find_opt repr e with
+            | Some y -> Term.Var y
+            | None -> Term.Var x)
+          binding
+      in
+      let body =
+        List.sort_uniq Atom.compare
+          (List.map (Atom.substitute subst) (Cq.Query.body q))
+      in
+      Some (Cq.Query.make ~free:(Cq.Query.free q) body)
+
+let test_legacy_fold_misses () =
+  check "the legacy fold misses the var-onto-constant fold" true
+    (Option.is_none (legacy_fold_step (folding_query ())));
+  check "the fixed fold finds it" true
+    (Option.is_some (Cq.Containment.fold_step (folding_query ())))
+
+(* --- containment vs direct evaluation ------------------------------------ *)
+
+let test_containment_fixtures () =
+  let q_loop = Cq.Query.make ~free:[] [ e (v "x") (v "y"); e (v "y") (v "x") ] in
+  let q_edge = Cq.Query.make ~free:[] [ e (v "x") (v "y") ] in
+  check "2-loop ⊆ edge" true (Cq.Containment.contained_in q_loop q_edge);
+  check "edge ⊄ 2-loop" false (Cq.Containment.contained_in q_edge q_loop)
+
+let test_cq_checks_clean () =
+  for case = 0 to 49 do
+    let r = Oracle.Gen.case_rng ~seed:5 ~case in
+    let inst = Oracle.Gen.instance r in
+    let d = Oracle.Gen.build inst in
+    match Oracle.Diff.cq_checks r inst.Oracle.Gen.signature d with
+    | [] -> ()
+    | vs -> Alcotest.failf "case %d: %s" case (String.concat "; " vs)
+  done
+
+(* --- the differential runner --------------------------------------------- *)
+
+let test_engines_bit_identical () =
+  for case = 0 to 39 do
+    let r = Oracle.Gen.case_rng ~seed:9 ~case in
+    let inst = Oracle.Gen.instance r in
+    match Oracle.Diff.diff_tgd Oracle.Diff.default_budget inst with
+    | [], runs ->
+        let st = List.nth runs 0 and sn = List.nth runs 1 in
+        check
+          (Printf.sprintf "case %d: equal structures, fresh ids included" case)
+          true
+          (Structure.delta_since st.Oracle.Diff.result 0
+          = Structure.delta_since sn.Oracle.Diff.result 0)
+    | vs, _ -> Alcotest.failf "case %d: %s" case (String.concat "; " vs)
+  done
+
+let test_find_violation_deterministic () =
+  let d = Structure.create () in
+  let a = Structure.fresh d and b = Structure.fresh d in
+  Structure.add2 d edge a b;
+  let sat =
+    Tgd.Dep.make ~name:"sat" ~body:[ e (v "x") (v "y") ]
+      ~head:[ e (v "x") (v "y") ] ()
+  in
+  let viol1 =
+    Tgd.Dep.make ~name:"viol1" ~body:[ e (v "x") (v "y") ]
+      ~head:[ e (v "y") (v "y") ] ()
+  in
+  let viol2 =
+    Tgd.Dep.make ~name:"viol2" ~body:[ e (v "x") (v "y") ]
+      ~head:[ e (v "y") (v "x") ] ()
+  in
+  let deps = [ sat; viol1; viol2 ] in
+  check "not a model" false (Tgd.Chase.models deps d);
+  (match Tgd.Chase.find_violation deps d with
+  | Some (dep, fb) ->
+      check "first violated dependency in list order" true
+        (Tgd.Dep.name dep = "viol1");
+      (* viol1's frontier is {y} — the only variable shared by body and
+         head — so the witness binds just y *)
+      ignore a;
+      check "witness is the least active frontier binding" true
+        (Term.Var_map.bindings fb = [ ("y", b) ])
+  | None -> Alcotest.fail "no violation found");
+  (* same answer when asked again: the probe has no hidden state *)
+  (match Tgd.Chase.find_violation deps d with
+  | Some (dep, _) -> check "deterministic" true (Tgd.Dep.name dep = "viol1")
+  | None -> Alcotest.fail "no violation on the second probe");
+  let stats = Tgd.Chase.run ~max_stages:8 deps d in
+  check "fixpoint reached" true stats.Tgd.Chase.fixpoint;
+  check "fixpoint is a model" true (Tgd.Chase.models deps d);
+  check "no violation at the fixpoint" true
+    (Option.is_none (Tgd.Chase.find_violation deps d))
+
+let test_body_matches_dominate_considered () =
+  for case = 0 to 19 do
+    let r = Oracle.Gen.case_rng ~seed:21 ~case in
+    let inst = Oracle.Gen.instance r in
+    let run =
+      Oracle.Diff.run_tgd Oracle.Diff.default_budget `Stage inst
+    in
+    check
+      (Printf.sprintf "case %d: matches ≥ considered ≥ applications" case)
+      true
+      (run.Oracle.Diff.stats.Tgd.Chase.body_matches
+       >= run.Oracle.Diff.stats.Tgd.Chase.triggers_considered
+      && run.Oracle.Diff.stats.Tgd.Chase.triggers_considered
+         >= run.Oracle.Diff.stats.Tgd.Chase.applications)
+  done
+
+(* --- the harness end to end ----------------------------------------------- *)
+
+let test_harness_clean () =
+  let report = Oracle.Diff.run_cases ~seed:42 ~cases:60 () in
+  check_int "no violations on clean code" 0
+    (List.length report.Oracle.Diff.violations);
+  check_int "five engine runs per case" (5 * 60)
+    report.Oracle.Diff.engine_runs
+
+let test_harness_catches_legacy_fold () =
+  let report =
+    Oracle.Diff.run_cases ~fold:legacy_fold_step ~seed:42 ~cases:200 ()
+  in
+  check "re-introducing the fold_step bug is caught" true
+    (report.Oracle.Diff.violations <> [])
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "prng determinism" `Quick test_prng_deterministic;
+          Alcotest.test_case "build determinism" `Quick test_build_deterministic;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "structures" `Quick test_audit_clean_structure;
+          Alcotest.test_case "graphs" `Quick test_audit_clean_graph;
+        ] );
+      ( "cores",
+        [
+          Alcotest.test_case "fold onto constant" `Quick test_fold_onto_constant;
+          Alcotest.test_case "legacy fold misses it" `Quick
+            test_legacy_fold_misses;
+          Alcotest.test_case "containment fixtures" `Quick
+            test_containment_fixtures;
+          Alcotest.test_case "random cq cross-checks" `Quick test_cq_checks_clean;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "engines bit-identical" `Quick
+            test_engines_bit_identical;
+          Alcotest.test_case "find_violation deterministic" `Quick
+            test_find_violation_deterministic;
+          Alcotest.test_case "stat dominance" `Quick
+            test_body_matches_dominate_considered;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "clean run" `Quick test_harness_clean;
+          Alcotest.test_case "catches the fold_step regression" `Quick
+            test_harness_catches_legacy_fold;
+        ] );
+    ]
