@@ -425,7 +425,8 @@ let run_benches () =
 
 (* One row per (experiment, engine): wall-clock of a single run plus the
    engine's own counters, so the stage-vs-seminaive ablation is a diff of
-   two adjacent rows. *)
+   two adjacent rows.  [counters] is the obs-metrics delta of one run —
+   the per-phase counter snapshot of the workload. *)
 type chase_row = {
   experiment : string;
   engine_name : string;
@@ -433,27 +434,42 @@ type chase_row = {
   b_stages : int;
   b_applications : int;
   b_considered : int;
+  counters : (string * int) list;
 }
 
 (* Mean wall-clock per run: one warm-up, then repeat until ~80ms of
    samples accumulate (the small chases take microseconds — a single shot
-   is all noise). *)
+   is all noise).  Timing goes through the monotonized obs clock;
+   [Unix.gettimeofday] can step backwards (NTP) and a negative sample
+   would corrupt the mean, so any residual negative delta is discarded. *)
 let wall_clock f =
   let r = f () in
   let rec loop n elapsed =
     if n >= 200 || elapsed >= 0.08 then elapsed /. float_of_int n
     else
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.now_s () in
       let _ = f () in
-      loop (n + 1) (elapsed +. (Unix.gettimeofday () -. t0))
+      let dt = Obs.Clock.now_s () -. t0 in
+      if dt < 0. then loop n elapsed else loop (n + 1) (elapsed +. dt)
   in
   (loop 0 0., r)
+
+(* Obs-counter delta of a single run of [f], metrics switched on only for
+   its duration (so the timed loops above stay uninstrumented). *)
+let counted f =
+  Obs.set_metrics true;
+  let before = Obs.Metrics.snapshot () in
+  let r = f () in
+  let delta = Obs.Metrics.diff before (Obs.Metrics.snapshot ()) in
+  Obs.set_metrics false;
+  (delta, r)
 
 let graph_engine_name = function `Stage -> "stage" | `Seminaive -> "seminaive"
 
 let chase_rows ~tinf_stages ~grid:(t, t') ~tgd_stages =
   let graph_row experiment engine run =
-    let wall_s, (s : Greengraph.Rule.stats) = wall_clock run in
+    let wall_s, (_ : Greengraph.Rule.stats) = wall_clock run in
+    let counters, (s : Greengraph.Rule.stats) = counted run in
     {
       experiment;
       engine_name = graph_engine_name engine;
@@ -461,10 +477,12 @@ let chase_rows ~tinf_stages ~grid:(t, t') ~tgd_stages =
       b_stages = s.Greengraph.Rule.stages;
       b_applications = s.Greengraph.Rule.applications;
       b_considered = s.Greengraph.Rule.triggers_considered;
+      counters;
     }
   in
   let tgd_row experiment engine run =
-    let wall_s, (s : Tgd.Chase.stats) = wall_clock run in
+    let wall_s, (_ : Tgd.Chase.stats) = wall_clock run in
+    let counters, (s : Tgd.Chase.stats) = counted run in
     {
       experiment;
       engine_name = graph_engine_name engine;
@@ -472,6 +490,7 @@ let chase_rows ~tinf_stages ~grid:(t, t') ~tgd_stages =
       b_stages = s.Tgd.Chase.stages;
       b_applications = s.Tgd.Chase.applications;
       b_considered = s.Tgd.Chase.triggers_considered;
+      counters;
     }
   in
   List.concat_map
@@ -505,13 +524,20 @@ let chase_rows ~tinf_stages ~grid:(t, t') ~tgd_stages =
       ])
     [ `Stage; `Seminaive ]
 
+let counters_json cs =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "%S: %d" k v) cs)
+  ^ "}"
+
 let render_chase_json rows =
   let entry r =
     Printf.sprintf
       "  {\"experiment\": %S, \"engine\": %S, \"wall_s\": %.6f, \"stages\": \
-       %d, \"applications\": %d, \"triggers_considered\": %d}"
+       %d, \"applications\": %d, \"triggers_considered\": %d, \"counters\": \
+       %s}"
       r.experiment r.engine_name r.wall_s r.b_stages r.b_applications
-      r.b_considered
+      r.b_considered (counters_json r.counters)
   in
   "[\n" ^ String.concat ",\n" (List.map entry rows) ^ "\n]\n"
 
@@ -536,8 +562,9 @@ let print_speedups rows =
    budget-exceeded rate across its engine runs. *)
 let emit_audit_json () =
   let seed = 42 and cases = 200 in
-  let wall_s, report =
-    wall_clock (fun () -> Oracle.Diff.run_cases ~seed ~cases ())
+  let wall_s, _ = wall_clock (fun () -> Oracle.Diff.run_cases ~seed ~cases ()) in
+  let counters, report =
+    counted (fun () -> Oracle.Diff.run_cases ~seed ~cases ())
   in
   let rate =
     if report.Oracle.Diff.engine_runs = 0 then 0.
@@ -555,12 +582,14 @@ let emit_audit_json () =
     \  \"engine_runs\": %d,\n\
     \  \"budget_exceeded\": %d,\n\
     \  \"budget_exceeded_rate\": %.4f,\n\
-    \  \"violations\": %d\n\
+    \  \"violations\": %d,\n\
+    \  \"counters\": %s\n\
      }\n"
     seed cases wall_s
     (float_of_int cases /. wall_s)
     report.Oracle.Diff.engine_runs report.Oracle.Diff.budget_exceeded rate
-    (List.length report.Oracle.Diff.violations);
+    (List.length report.Oracle.Diff.violations)
+    (counters_json counters);
   close_out oc;
   Format.printf "wrote BENCH_audit.json (%.0f cases/s, %.1f%% budget-exceeded)@."
     (float_of_int cases /. wall_s)
@@ -573,6 +602,53 @@ let emit_chase_json () =
   close_out oc;
   Format.printf "wrote BENCH_chase.json (%d rows)@." (List.length rows);
   print_speedups rows
+
+(* Instrumentation-overhead measurement (EXPERIMENTS.md E16): the E1 and
+   grid(4,4) workloads timed with the obs switches off, with metrics on,
+   and with metrics+tracing on — all in one process, so the comparison
+   isolates the hooks from build/layout noise.  Best-of-[reps] per cell. *)
+let emit_overhead () =
+  let workloads =
+    [
+      ("E1 tinf stages=20", fun () -> ignore (Separating.Tinf.chase ~stages:20 ()));
+      ( "E2 grid (4,4)",
+        fun () -> ignore (Separating.Theorem14.collision_outcome ~t:4 ~t':4 ()) );
+    ]
+  in
+  let best f =
+    let reps = 7 in
+    let rec go k best =
+      if k = 0 then best
+      else
+        let w, () = wall_clock f in
+        go (k - 1) (Float.min best w)
+    in
+    go reps infinity
+  in
+  let modes =
+    [
+      ("off", false, false); ("metrics", true, false); ("metrics+trace", true, true);
+    ]
+  in
+  Format.printf "%-22s %14s %14s %10s@." "workload" "mode" "time/run" "vs off";
+  List.iter
+    (fun (name, run) ->
+      let base = ref nan in
+      List.iter
+        (fun (mode, m, t) ->
+          Obs.set_metrics m;
+          Obs.set_tracing t;
+          (* clear the span buffer between runs: a real traced run exports
+             once, it does not retain thousands of iterations of events *)
+          let run = if t then fun () -> run (); Obs.Trace.clear () else run in
+          let w = best run in
+          Obs.disable_all ();
+          Obs.Trace.clear ();
+          if Float.is_nan !base then base := w;
+          Format.printf "%-22s %14s %12.4fms %+9.2f%%@." name mode (w *. 1e3)
+            (100. *. ((w /. !base) -. 1.)))
+        modes)
+    workloads
 
 (* Quick equivalence + JSON sanity pass, wired into `dune runtest` (prints
    to stdout only, so the test stays hermetic). *)
@@ -598,6 +674,7 @@ let () =
   | "json" ->
       emit_chase_json ();
       emit_audit_json ()
+  | "overhead" -> emit_overhead ()
   | "smoke" -> smoke ()
   | _ ->
       let fast = mode = "fast" in

@@ -38,6 +38,48 @@ let materialize = function
   | `M m -> m
   | `Tm tm -> Rainworm.Tm_compiler.materialize ~max_steps:200_000 tm
 
+(* --- observability ------------------------------------------------------ *)
+
+(* Every subcommand accepts --trace FILE and --metrics.  The term's value
+   is (); evaluating it flips the obs switches before the command body
+   runs and registers an at_exit hook that exports the trace and prints
+   the metrics summary — so instrumentation also covers commands that
+   call [exit] themselves (e.g. audit on violation). *)
+let obs_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record hierarchical spans of the chase/hom/worm hot paths and \
+             write them to $(docv) as Chrome trace-event JSON \
+             (chrome://tracing, ui.perfetto.dev).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Count hot-path events (triggers, firings, unify attempts, …) \
+             and print the counter/histogram summary on exit.")
+  in
+  let setup trace metrics =
+    if metrics then Obs.set_metrics true;
+    (match trace with Some _ -> Obs.set_tracing true | None -> ());
+    if metrics || trace <> None then
+      at_exit (fun () ->
+          (match trace with
+          | Some file ->
+              Obs.Trace.export file;
+              Format.printf "wrote %s (%d trace events)@." file
+                (Obs.Trace.events ())
+          | None -> ());
+          if metrics then
+            Format.printf "@.== metrics ==@.%a@." Obs.Metrics.pp_summary ())
+  in
+  Term.(const setup $ trace $ metrics)
+
 (* --- chase engine selection -------------------------------------------- *)
 
 let engine_arg =
@@ -67,7 +109,7 @@ let oracle = function
 
 (* --- tinf -------------------------------------------------------------- *)
 
-let tinf stages engine =
+let tinf () stages engine =
   let engine = graph_engine engine in
   let g, a, b, stats = Separating.Tinf.chase ~engine ~stages () in
   Format.printf "chase(T∞, D_I): %d edges, %d vertices (%a)@."
@@ -84,11 +126,11 @@ let tinf_cmd =
     Arg.(value & opt int 12 & info [ "stages" ] ~doc:"Chase stage budget.")
   in
   Cmd.v (Cmd.info "tinf" ~doc:"Chase T∞ from D_I and print its words (Figure 1).")
-    Term.(const tinf $ stages $ engine_arg)
+    Term.(const tinf $ obs_term $ stages $ engine_arg)
 
 (* --- collide ----------------------------------------------------------- *)
 
-let collide t u engine =
+let collide () t u engine =
   let engine = graph_engine engine in
   let pattern, stats, g =
     Separating.Theorem14.collision_outcome ~engine ~t ~t':u ()
@@ -104,11 +146,11 @@ let collide_cmd =
   Cmd.v
     (Cmd.info "collide"
        ~doc:"Grid two colliding αβ-paths with T□ (Figures 2–4).")
-    Term.(const collide $ t $ u $ engine_arg)
+    Term.(const collide $ obs_term $ t $ u $ engine_arg)
 
 (* --- worm -------------------------------------------------------------- *)
 
-let worm m steps =
+let worm () m steps =
   let o = oracle m in
   let trace = Rainworm.Sim.creep ~max_steps:steps ~keep_history:true o in
   List.iteri
@@ -125,11 +167,11 @@ let worm_cmd =
     Arg.(value & opt int 200 & info [ "steps" ] ~doc:"Rewriting step budget.")
   in
   Cmd.v (Cmd.info "worm" ~doc:"Creep a rainworm machine from the zoo.")
-    Term.(const worm $ m $ steps)
+    Term.(const worm $ obs_term $ m $ steps)
 
 (* --- reduce ------------------------------------------------------------ *)
 
-let reduce m =
+let reduce () m =
   let machine = materialize m in
   let _inst, p = reduce_machine machine in
   Format.printf "Theorem 5 instance for %s:@." (Rainworm.Machine.name machine);
@@ -141,11 +183,11 @@ let reduce_cmd =
   let m = Arg.(required & pos 0 (some machine_conv) None & info [] ~docv:"MACHINE") in
   Cmd.v
     (Cmd.info "reduce" ~doc:"Build the CQfDP instance of Theorem 5 for a machine.")
-    Term.(const reduce $ m)
+    Term.(const reduce $ obs_term $ m)
 
 (* --- finite-model ------------------------------------------------------ *)
 
-let finite_model m =
+let finite_model () m =
   let machine = materialize m in
   let wr, fm, stats = Reduction.Finite_model.of_halting_machine machine in
   let g = fm.Reduction.Finite_model.graph in
@@ -164,11 +206,11 @@ let finite_model_cmd =
   Cmd.v
     (Cmd.info "finite-model"
        ~doc:"Build and check the finite countermodel for a halting machine.")
-    Term.(const finite_model $ m)
+    Term.(const finite_model $ obs_term $ m)
 
 (* --- theorem2 ----------------------------------------------------------- *)
 
-let theorem2 i copies rounds =
+let theorem2 () i copies rounds =
   let t = Ef.Theorem2.q_infinity () in
   let r = Ef.Theorem2.report ~max_rounds:rounds t ~i ~copies in
   Format.printf "Theorem 2 report (i = %d, copies = %d):@." i copies;
@@ -185,11 +227,11 @@ let theorem2_cmd =
   let rounds = Arg.(value & opt int 2 & info [ "rounds" ] ~doc:"EF round budget.") in
   Cmd.v
     (Cmd.info "theorem2" ~doc:"FO non-rewritability report (Section IX).")
-    Term.(const theorem2 $ i $ copies $ rounds)
+    Term.(const theorem2 $ obs_term $ i $ copies $ rounds)
 
 (* --- analyze ------------------------------------------------------------- *)
 
-let analyze m =
+let analyze () m =
   let machine = materialize m in
   Format.printf "machine %s: %d instructions, c_M = %d@."
     (Rainworm.Machine.name machine)
@@ -208,11 +250,11 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Backward analysis of a machine (Lemmas 22-23).")
-    Term.(const analyze $ m)
+    Term.(const analyze $ obs_term $ m)
 
 (* --- audit --------------------------------------------------------------- *)
 
-let audit seed cases max_stages max_elems max_facts =
+let audit () seed cases max_stages max_elems max_facts =
   let budget =
     { Oracle.Diff.max_stages; max_elems; max_facts }
   in
@@ -252,7 +294,7 @@ let audit_cmd =
           every engine, diff the results bit-for-bit and audit all \
           incremental indices against ground-truth recomputation. Exits \
           nonzero on any violation.")
-    Term.(const audit $ seed $ cases $ max_stages $ max_elems $ max_facts)
+    Term.(const audit $ obs_term $ seed $ cases $ max_stages $ max_elems $ max_facts)
 
 (* --- determinacy --------------------------------------------------------- *)
 
@@ -263,7 +305,7 @@ let parse_named s =
       Format.eprintf "parse error: %s@." m;
       exit 2
 
-let determinacy view_specs q0_spec stages engine =
+let determinacy () view_specs q0_spec stages engine =
   let views = List.map parse_named view_specs in
   let _, q0 = parse_named q0_spec in
   let inst = Determinacy.Instance.make ~views ~q0 in
@@ -299,7 +341,7 @@ let determinacy_cmd =
   Cmd.v
     (Cmd.info "determinacy"
        ~doc:"Decide (boundedly) whether views determine a query.")
-    Term.(const determinacy $ views $ q0 $ stages $ engine_arg)
+    Term.(const determinacy $ obs_term $ views $ q0 $ stages $ engine_arg)
 
 let () =
   let doc = "Red Spider Meets a Rainworm — PODS 2016, executable" in

@@ -19,8 +19,10 @@
      Reduction    Section VIII: ∆ → T_M, finite models, Theorem 5
      Determinacy  CQDP/CQfDP instances and solvers
      Ef           Ehrenfeucht–Fraïssé games and Theorem 2
-     Oracle       differential-testing and invariant-audit harness *)
+     Oracle       differential-testing and invariant-audit harness
+     Obs          monotonic clock, metrics registry, span tracing *)
 
+module Obs = Obs
 module Relational = Relational
 module Cq = Cq
 module Tgd = Tgd

@@ -54,11 +54,17 @@ let edges_at_shared_with g conn y lab =
   | Amp -> Graph.in_edges_with g y lab
   | Slash -> Graph.out_edges_with g y lab
 
+let c_considered = Obs.Metrics.counter "graph.triggers_considered"
+let c_firings = Obs.Metrics.counter "graph.firings"
+let c_pair_checks = Obs.Metrics.counter "graph.pair_checks"
+let h_delta = Obs.Metrics.histogram "graph.delta_size"
+
 (* A pair (x, x') matching labels (a, b) under [conn]: the two edges share
    their joint endpoint.  The partner edge is fully determined by e1's
    shared endpoint, so one set-membership test replaces a scan of every
    edge at that (possibly high-degree) vertex. *)
 let pair_present g conn (a, b) (x, x') =
+  if !Obs.metrics_on then Obs.Metrics.incr c_pair_checks;
   List.exists
     (fun (e1 : Graph.edge) ->
       let y = shared_of conn e1 in
@@ -165,6 +171,7 @@ let collect_stage ?delta ~considered rules g =
             if not (Hashtbl.mem seen (x, x')) then begin
               Hashtbl.replace seen (x, x') ();
               incr considered;
+              if !Obs.metrics_on then Obs.Metrics.incr c_considered;
               if not (pair_present g rule.conn (c, d) (x, x')) then
                 out := (ri, dir, x, x', rule, (c, d)) :: !out
             end
@@ -220,28 +227,43 @@ let chase ?(engine = `Seminaive) ?(max_stages = max_int)
          those still active (mirroring the chase of Section II.C) *)
       let delta =
         match engine with
-        | `Stage -> None
+        | `Stage ->
+            if !Obs.metrics_on then
+              Obs.Metrics.observe h_delta (Graph.size g);
+            None
         | `Seminaive ->
             let d = Graph.delta_since g !wm in
             wm := Graph.watermark g;
+            if !Obs.metrics_on then
+              Obs.Metrics.observe h_delta (List.length d);
             Some (index_delta d)
       in
-      let collected = collect_stage ?delta ~considered rules g in
-      let fired = ref 0 in
-      List.iter
-        (fun (rule, ((c, x), (d, x'))) ->
-          if not (pair_present g rule.conn (c, d) (x, x')) then begin
-            fire rule g ((c, x), (d, x'));
-            incr fired
-          end)
-        collected;
+      let n_triggers = ref 0 and fired = ref 0 in
+      Obs.Trace.with_span "graph.stage"
+        ~args:(fun () ->
+          [ ("stage", i); ("triggers", !n_triggers); ("fired", !fired) ])
+        (fun () ->
+          let collected = collect_stage ?delta ~considered rules g in
+          n_triggers := List.length collected;
+          List.iter
+            (fun (rule, ((c, x), (d, x'))) ->
+              if not (pair_present g rule.conn (c, d) (x, x')) then begin
+                fire rule g ((c, x), (d, x'));
+                if !Obs.metrics_on then Obs.Metrics.incr c_firings;
+                incr fired
+              end)
+            collected);
       applications := !applications + !fired;
       if !fired = 0 then finish i true
       else if stop g then finish i false
       else go (i + 1)
     end
   in
-  go 1
+  Obs.Trace.with_span
+    (match engine with
+    | `Stage -> "graph.chase(stage)"
+    | `Seminaive -> "graph.chase(seminaive)")
+    (fun () -> go 1)
 
 (* Definition 11 for L₂, bounded: chase D_I and watch for a 1-2 pattern. *)
 let leads_to_red_spider ?(max_stages = 16) rules =

@@ -6,6 +6,10 @@
    state symbol); [step] exploits this by locating the state symbol and
    trying the adjacent redexes only. *)
 
+let c_steps = Obs.Metrics.counter "worm.steps"
+let c_cycles = Obs.Metrics.counter "worm.cycles"
+let h_config_len = Obs.Metrics.histogram "worm.config_len"
+
 type outcome =
   | Halted of Config.t       (* no rule applicable: the worm stops *)
   | Running of Config.t      (* budget exhausted, still creeping *)
@@ -93,12 +97,28 @@ let creep ?(from = Config.initial) ?(max_steps = 10_000) ?max_cycles
             | Sym.Omega0 :: _, Sym.Eta0 :: _ -> true
             | _ -> false
           in
+          let len' = List.length w' in
+          if !Obs.metrics_on then begin
+            Obs.Metrics.incr c_steps;
+            if completed then Obs.Metrics.incr c_cycles;
+            Obs.Metrics.observe h_config_len len'
+          end;
           go (n + 1)
             (if completed then cycles + 1 else cycles)
-            (max maxlen (List.length w'))
+            (max maxlen len')
             w' history
   in
-  go 0 0 (List.length from) from []
+  let out_steps = ref 0 and out_cycles = ref 0 and out_maxlen = ref 0 in
+  Obs.Trace.with_span "worm.creep"
+    ~args:(fun () ->
+      [ ("steps", !out_steps); ("cycles", !out_cycles);
+        ("max_length", !out_maxlen) ])
+    (fun () ->
+      let t = go 0 0 (List.length from) from [] in
+      out_steps := t.steps;
+      out_cycles := t.cycles;
+      out_maxlen := t.max_length;
+      t)
 
 let creep_machine ?from ?max_steps ?max_cycles ?validate ?keep_history m =
   creep ?from ?max_steps ?max_cycles ?validate ?keep_history (Machine.oracle m)

@@ -12,12 +12,18 @@
 
 type binding = int Term.Var_map.t
 
-exception Found of binding
+let c_candidates = Obs.Metrics.counter "hom.candidates_scanned"
+let c_unify = Obs.Metrics.counter "hom.unify_attempts"
+let c_backtracks = Obs.Metrics.counter "hom.backtracks"
 
 (* Order atoms so that each atom (after the first) shares a variable with an
    earlier one when possible; ties broken towards atoms with constants,
    which are the most selective.  [bound] seeds the variables considered
-   already bound (the delta pivot's variables in semi-naive mode). *)
+   already bound (the delta pivot's variables in semi-naive mode).
+
+   The selected atom is removed *positionally*: a CQ body may repeat an
+   atom (possibly the same physical value), and each occurrence must keep
+   its slot in the match order. *)
 let order_atoms ?(bound = Term.Var_set.empty) atoms =
   match atoms with
   | [] -> []
@@ -28,22 +34,31 @@ let order_atoms ?(bound = Term.Var_set.empty) atoms =
         let csts = List.length (Atom.constants a) in
         (shared * 4) + csts
       in
+      (* index of the first best-scoring atom, mirroring the fold's
+         strict-improvement tie-break *)
+      let best_index bound = function
+        | [] -> invalid_arg "Hom.order_atoms: empty"
+        | a :: rest ->
+            let rec go i best_i best_s = function
+              | [] -> best_i
+              | a :: rest ->
+                  let s = score bound a in
+                  if s > best_s then go (i + 1) i s rest
+                  else go (i + 1) best_i best_s rest
+            in
+            go 1 0 (score bound a) rest
+      in
+      let rec remove_nth i = function
+        | [] -> []
+        | x :: rest -> if i = 0 then rest else x :: remove_nth (i - 1) rest
+      in
       let rec go bound remaining acc =
         match remaining with
         | [] -> List.rev acc
         | _ ->
-            let best =
-              List.fold_left
-                (fun best a ->
-                  match best with
-                  | None -> Some (a, score bound a)
-                  | Some (_, s) ->
-                      let s' = score bound a in
-                      if s' > s then Some (a, s') else best)
-                None remaining
-            in
-            let a, _ = Option.get best in
-            let remaining = List.filter (fun b -> not (b == a)) remaining in
+            let i = best_index bound remaining in
+            let a = List.nth remaining i in
+            let remaining = remove_nth i remaining in
             go (Term.Var_set.union bound (Atom.vars a)) remaining (a :: acc)
       in
       go bound atoms []
@@ -103,7 +118,11 @@ let candidates target atom binding =
       let pins = pinned @ bound_positions in
       let sym = Atom.sym atom in
       match pins with
-      | [] -> Structure.facts_with_sym target sym
+      | [] ->
+          let pool = Structure.facts_with_sym target sym in
+          if !Obs.metrics_on then
+            Obs.Metrics.add c_candidates (List.length pool);
+          pool
       | first :: rest ->
           (* Use the most selective pin — the smallest (sym, pos, elem)
              bucket — then filter by the remaining pins. *)
@@ -119,6 +138,7 @@ let candidates target atom binding =
           else
             let bi, be = best in
             let pool = Structure.facts_with_pin target sym bi be in
+            if !Obs.metrics_on then Obs.Metrics.add c_candidates best_n;
             List.filter
               (fun f -> List.for_all (fun (i, e) -> Fact.arg f i = e) pins)
               pool
@@ -143,8 +163,14 @@ let iter_all ?(ordered = true) ?(init = Term.Var_map.empty) ?delta target atoms
         List.iter
           (fun fact ->
             match unify atom fact binding with
-            | Some binding' -> go sink rest binding'
-            | None -> ())
+            | Some binding' ->
+                if !Obs.metrics_on then Obs.Metrics.incr c_unify;
+                go sink rest binding'
+            | None ->
+                if !Obs.metrics_on then begin
+                  Obs.Metrics.incr c_unify;
+                  Obs.Metrics.incr c_backtracks
+                end)
           cands
   in
   match delta with
@@ -190,15 +216,29 @@ let iter_all ?(ordered = true) ?(init = Term.Var_map.empty) ?delta target atoms
                           pinned
                       then
                         match unify pivot fact init with
-                        | Some binding -> go emit rest binding
-                        | None -> ())
+                        | Some binding ->
+                            if !Obs.metrics_on then Obs.Metrics.incr c_unify;
+                            go emit rest binding
+                        | None ->
+                            if !Obs.metrics_on then begin
+                              Obs.Metrics.incr c_unify;
+                              Obs.Metrics.incr c_backtracks
+                            end)
                     (List.rev !dfacts)))
         atoms
 
+(* Early exit via a [ref] and a locally-caught [Exit]: the exception never
+   crosses the module boundary, so a caller callback's own exceptions
+   (including [Exit], per the [iter_all] contract) can't be misread as a
+   match. *)
 let find ?ordered ?(init = Term.Var_map.empty) target atoms =
-  match iter_all ?ordered ~init target atoms (fun b -> raise (Found b)) with
-  | () -> None
-  | exception Found b -> Some b
+  let result = ref None in
+  (try
+     iter_all ?ordered ~init target atoms (fun b ->
+         result := Some b;
+         raise Exit)
+   with Exit -> ());
+  !result
 
 let exists ?ordered ?init target atoms =
   Option.is_some (find ?ordered ?init target atoms)

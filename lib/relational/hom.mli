@@ -9,10 +9,10 @@
 (** A variable binding: query variables to structure elements. *)
 type binding = int Term.Var_map.t
 
-exception Found of binding
-
 (** The connectivity-greedy atom ordering (exposed for tests/benches).
-    [bound] seeds the already-bound variables (the semi-naive pivot's). *)
+    [bound] seeds the already-bound variables (the semi-naive pivot's).
+    The result is a permutation of the input: repeated atoms — even
+    physically equal ones — each keep their occurrence. *)
 val order_atoms : ?bound:Term.Var_set.t -> Atom.t list -> Atom.t list
 
 (** [iter_all ?ordered ?init target atoms f] calls [f] on every
@@ -34,7 +34,9 @@ val iter_all :
   (binding -> unit) ->
   unit
 
-(** First homomorphism found, if any. *)
+(** First homomorphism found, if any.  The early exit is internal (a
+    [ref] plus a locally-caught [Exit]); no exception escapes this
+    module. *)
 val find : ?ordered:bool -> ?init:binding -> Structure.t -> Atom.t list -> binding option
 
 val exists : ?ordered:bool -> ?init:binding -> Structure.t -> Atom.t list -> bool

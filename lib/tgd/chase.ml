@@ -27,6 +27,12 @@
 
 open Relational
 
+let c_matches = Obs.Metrics.counter "tgd.body_matches"
+let c_considered = Obs.Metrics.counter "tgd.triggers_considered"
+let c_firings = Obs.Metrics.counter "tgd.firings"
+let c_head_checks = Obs.Metrics.counter "tgd.head_checks"
+let h_delta = Obs.Metrics.histogram "tgd.delta_size"
+
 type stats = {
   stages : int;              (* stages executed *)
   applications : int;        (* TGD firings *)
@@ -47,7 +53,9 @@ let frontier_binding dep binding =
   Term.Var_map.filter (fun x _ -> Term.Var_set.mem x fr) binding
 
 (* Condition ­: D ⊨ ∃z̄ Ψ(z̄, b̄). *)
-let head_satisfied d dep fb = Hom.exists ~init:fb d (Dep.head dep)
+let head_satisfied d dep fb =
+  if !Obs.metrics_on then Obs.Metrics.incr c_head_checks;
+  Hom.exists ~init:fb d (Dep.head dep)
 
 (* Fire (T, b̄): create a fresh copy of A[Ψ] identified with D along b̄. *)
 let apply d dep fb =
@@ -103,11 +111,13 @@ let collect_triggers ?delta ~seen_of ~considered ~matches deps d =
       let seen = seen_of di dep in
       Hom.iter_all ?delta d (Dep.body dep) (fun binding ->
           incr matches;
+          if !Obs.metrics_on then Obs.Metrics.incr c_matches;
           let fb = frontier_binding dep binding in
           let key = Binding_key.of_binding fb in
           if not (Hashtbl.mem seen key) then begin
             Hashtbl.replace seen key ();
             incr considered;
+            if !Obs.metrics_on then Obs.Metrics.incr c_considered;
             if not (head_satisfied d dep fb) then out := (di, dep, key) :: !out
           end))
     deps;
@@ -158,6 +168,7 @@ let apply_triggers ?(on_fire = fun _ _ -> ()) triggers d =
       if not (head_satisfied d dep fb) then begin
         on_fire dep fb;
         apply d dep fb;
+        if !Obs.metrics_on then Obs.Metrics.incr c_firings;
         incr fired
       end)
     triggers;
@@ -175,7 +186,7 @@ let chase_stage deps d = apply_triggers (active_triggers deps d) d
    uses fresh dedup tables and no delta each stage; the semi-naive engine
    keeps one dedup table per TGD for the whole run and restricts matching
    to the facts added since the previous stage. *)
-let run_engine ~max_stages ~stop ~on_fire ~seen_of ~delta_of deps d =
+let run_engine ~span ~max_stages ~stop ~on_fire ~seen_of ~delta_of deps d =
   let applications = ref 0 in
   let considered = ref 0 in
   let matches = ref 0 in
@@ -193,23 +204,32 @@ let run_engine ~max_stages ~stop ~on_fire ~seen_of ~delta_of deps d =
     else begin
       Structure.set_stage d i;
       let delta = delta_of () in
-      let triggers =
-        collect_triggers ?delta ~seen_of ~considered ~matches deps d
-      in
-      let fired = apply_triggers ~on_fire:(on_fire ~stage:i) triggers d in
-      applications := !applications + fired;
-      if fired = 0 then finish i true
+      if !Obs.metrics_on then
+        Obs.Metrics.observe h_delta
+          (match delta with Some l -> List.length l | None -> Structure.size d);
+      let n_triggers = ref 0 and n_fired = ref 0 in
+      Obs.Trace.with_span "tgd.stage"
+        ~args:(fun () ->
+          [ ("stage", i); ("triggers", !n_triggers); ("fired", !n_fired) ])
+        (fun () ->
+          let triggers =
+            collect_triggers ?delta ~seen_of ~considered ~matches deps d
+          in
+          n_triggers := List.length triggers;
+          n_fired := apply_triggers ~on_fire:(on_fire ~stage:i) triggers d);
+      applications := !applications + !n_fired;
+      if !n_fired = 0 then finish i true
       else if stop d then finish i false
       else go (i + 1)
     end
   in
-  go 1
+  Obs.Trace.with_span span (fun () -> go 1)
 
 let no_fire ~stage:_ _ _ = ()
 
 let run_stage ?(max_stages = max_int) ?(stop = fun _ -> false)
     ?(on_fire = no_fire) deps d =
-  run_engine ~max_stages ~stop ~on_fire
+  run_engine ~span:"tgd.chase(stage)" ~max_stages ~stop ~on_fire
     ~seen_of:(fun _ _ -> Hashtbl.create 64)
     ~delta_of:(fun () -> None)
     deps d
@@ -233,7 +253,8 @@ let run_seminaive ?(max_stages = max_int) ?(stop = fun _ -> false)
     wm := Structure.watermark d;
     Some delta
   in
-  run_engine ~max_stages ~stop ~on_fire ~seen_of ~delta_of deps d
+  run_engine ~span:"tgd.chase(seminaive)" ~max_stages ~stop ~on_fire ~seen_of
+    ~delta_of deps d
 
 (* The semi-oblivious (skolem) chase: every pair (T, b̄) fires exactly
    once, whether or not the head is already satisfied.  It diverges more
@@ -258,32 +279,39 @@ let run_oblivious ?(max_stages = max_int) ?(stop = fun _ -> false)
     if i > max_stages then finish (i - 1) false
     else begin
       Structure.set_stage d i;
-      let triggers = ref [] in
-      List.iter
-        (fun dep ->
-          Hom.iter_all d (Dep.body dep) (fun binding ->
-              incr matches;
-              let fb = frontier_binding dep binding in
-              let key = (Dep.name dep, Binding_key.of_binding fb) in
-              if not (Hashtbl.mem fired key) then begin
-                Hashtbl.replace fired key ();
-                incr considered;
-                triggers := (dep, fb) :: !triggers
-              end))
-        deps;
-      let n = List.length !triggers in
-      List.iter
-        (fun (dep, fb) ->
-          on_fire ~stage:i dep fb;
-          apply d dep fb)
-        (List.rev !triggers);
-      applications := !applications + n;
-      if n = 0 then finish i true
+      let n = ref 0 in
+      Obs.Trace.with_span "tgd.stage"
+        ~args:(fun () -> [ ("stage", i); ("fired", !n) ])
+        (fun () ->
+          let triggers = ref [] in
+          List.iter
+            (fun dep ->
+              Hom.iter_all d (Dep.body dep) (fun binding ->
+                  incr matches;
+                  if !Obs.metrics_on then Obs.Metrics.incr c_matches;
+                  let fb = frontier_binding dep binding in
+                  let key = (Dep.name dep, Binding_key.of_binding fb) in
+                  if not (Hashtbl.mem fired key) then begin
+                    Hashtbl.replace fired key ();
+                    incr considered;
+                    if !Obs.metrics_on then Obs.Metrics.incr c_considered;
+                    triggers := (dep, fb) :: !triggers
+                  end))
+            deps;
+          n := List.length !triggers;
+          List.iter
+            (fun (dep, fb) ->
+              on_fire ~stage:i dep fb;
+              apply d dep fb;
+              if !Obs.metrics_on then Obs.Metrics.incr c_firings)
+            (List.rev !triggers));
+      applications := !applications + !n;
+      if !n = 0 then finish i true
       else if stop d then finish i false
       else go (i + 1)
     end
   in
-  go 1
+  Obs.Trace.with_span "tgd.chase(oblivious)" (fun () -> go 1)
 
 type engine = [ `Stage | `Seminaive | `Oblivious ]
 
