@@ -166,6 +166,22 @@ let path_query k =
   let name i = if i = 0 then "x" else if i = k then "y" else Printf.sprintf "m%d" i in
   Cq.Query.make ~free:[ "x"; "y" ] (List.init k (fun i -> e (name i) (name (i + 1))))
 
+(* shared hom-search workload: a directed path and a deliberately
+   scrambled 7-atom path body — the ordering heuristic reconnects it, an
+   unordered run explores the cross product *)
+let long_path n =
+  let s = Relational.Structure.create () in
+  let vs = Array.init (n + 1) (fun _ -> Relational.Structure.fresh s) in
+  for i = 0 to n - 1 do
+    Relational.Structure.add2 s (Relational.Symbol.make "E" 2) vs.(i) vs.(i + 1)
+  done;
+  s
+
+let scrambled_p7 =
+  let q = path_query 7 in
+  let atoms = Array.of_list (Cq.Query.body q) in
+  List.map (fun i -> atoms.(i)) [ 0; 4; 2; 6; 1; 5; 3 ]
+
 let table_determinacy () =
   section "E10 (Section IV): determinacy via the universal chase";
   Format.printf "%34s %22s@." "instance" "verdict";
@@ -335,42 +351,13 @@ let benches =
           fun () ->
             let d = fst (Tgd.Greenred.green_canonical (path_query 5)) in
             Tgd.Chase.run_oblivious ~max_stages:4 deps d));
-    (let long_path n =
-       let s = Relational.Structure.create () in
-       let vs = Array.init (n + 1) (fun _ -> Relational.Structure.fresh s) in
-       for i = 0 to n - 1 do
-         Relational.Structure.add2 s (Relational.Symbol.make "E" 2) vs.(i) vs.(i + 1)
-       done;
-       s
-     in
-     let target = long_path 40 in
-     (* a deliberately scrambled 7-atom path body: the ordering heuristic
-        reconnects it, the unordered run explores the cross product *)
-     let scrambled =
-       let q = path_query 7 in
-       let atoms = Array.of_list (Cq.Query.body q) in
-       let order = [ 0; 4; 2; 6; 1; 5; 3 ] in
-       List.map (fun i -> atoms.(i)) order
-     in
+    (let target = long_path 40 in
      Test.make ~name:"E13c hom search: scrambled P7, greedy ordering"
-       (Staged.stage (fun () -> Relational.Hom.count target scrambled)));
-    (let long_path n =
-       let s = Relational.Structure.create () in
-       let vs = Array.init (n + 1) (fun _ -> Relational.Structure.fresh s) in
-       for i = 0 to n - 1 do
-         Relational.Structure.add2 s (Relational.Symbol.make "E" 2) vs.(i) vs.(i + 1)
-       done;
-       s
-     in
-     let target = long_path 40 in
-     let scrambled =
-       let q = path_query 7 in
-       let atoms = Array.of_list (Cq.Query.body q) in
-       let order = [ 0; 4; 2; 6; 1; 5; 3 ] in
-       List.map (fun i -> atoms.(i)) order
-     in
+       (Staged.stage (fun () -> Relational.Hom.count target scrambled_p7)));
+    (let target = long_path 40 in
      Test.make ~name:"E13d hom search: scrambled P7, no ordering"
-       (Staged.stage (fun () -> Relational.Hom.count ~ordered:false target scrambled)));
+       (Staged.stage (fun () ->
+            Relational.Hom.count ~ordered:false target scrambled_p7)));
     Test.make ~name:"E13e chase(T∞) 16 stages: stage engine"
       (Staged.stage (fun () -> Separating.Tinf.chase ~engine:`Stage ~stages:16 ()));
     Test.make ~name:"E13f chase(T∞) 16 stages: seminaive engine"
@@ -437,15 +424,16 @@ type chase_row = {
   counters : (string * int) list;
 }
 
-(* Mean wall-clock per run: one warm-up, then repeat until ~80ms of
+(* Mean wall-clock per run: one warm-up, then repeat until ~250ms of
    samples accumulate (the small chases take microseconds — a single shot
-   is all noise).  Timing goes through the monotonized obs clock;
+   is all noise, and the ~10ms ones need dozens of reps for the mean to
+   settle).  Timing goes through the monotonized obs clock;
    [Unix.gettimeofday] can step backwards (NTP) and a negative sample
    would corrupt the mean, so any residual negative delta is discarded. *)
 let wall_clock f =
   let r = f () in
   let rec loop n elapsed =
-    if n >= 200 || elapsed >= 0.08 then elapsed /. float_of_int n
+    if n >= 400 || elapsed >= 0.25 then elapsed /. float_of_int n
     else
       let t0 = Obs.Clock.now_s () in
       let _ = f () in
@@ -464,7 +452,10 @@ let counted f =
   Obs.set_metrics false;
   (delta, r)
 
-let graph_engine_name = function `Stage -> "stage" | `Seminaive -> "seminaive"
+let graph_engine_name = function
+  | `Stage -> "stage"
+  | `Seminaive -> "seminaive"
+  | `Par -> "par"
 
 let chase_rows ~tinf_stages ~grid:(t, t') ~tgd_stages =
   let graph_row experiment engine run =
@@ -522,7 +513,7 @@ let chase_rows ~tinf_stages ~grid:(t, t') ~tgd_stages =
               ~engine:(engine :> Tgd.Chase.engine)
               ~max_stages:tgd_stages deps d);
       ])
-    [ `Stage; `Seminaive ]
+    [ `Stage; `Seminaive; `Par ]
 
 let counters_json cs =
   "{"
@@ -552,8 +543,16 @@ let print_speedups rows =
       in
       match (find "stage", find "seminaive") with
       | Some st, Some sn when sn.wall_s > 0. ->
-          Format.printf "  %-32s stage %.4fs  seminaive %.4fs  speedup %.1fx@."
-            e st.wall_s sn.wall_s (st.wall_s /. sn.wall_s)
+          let par =
+            match find "par" with
+            | Some p -> Printf.sprintf "  par %.4fs" p.wall_s
+            | None -> ""
+          in
+          Format.printf
+            "  %-32s stage %.4fs  seminaive %.4fs  speedup %.1fx%s@." e
+            st.wall_s sn.wall_s
+            (st.wall_s /. sn.wall_s)
+            par
       | _ -> ())
     by_experiment
 
@@ -602,6 +601,124 @@ let emit_chase_json () =
   close_out oc;
   Format.printf "wrote BENCH_chase.json (%d rows)@." (List.length rows);
   print_speedups rows
+
+(* Hom-engine effort benchmark (BENCH_hom.json): the E10 chase under all
+   four TGD engines, plus the scrambled-P7 search under the compiled and
+   the interpreted evaluator — wall-clock and the homomorphism-effort
+   counters of one run (candidates scanned, unify attempts, backtracks,
+   plan compilations) per row. *)
+let hom_rows () =
+  let row workload run =
+    let wall_s, _ = wall_clock run in
+    let delta, _ = counted run in
+    let get k = Option.value ~default:0 (List.assoc_opt k delta) in
+    Printf.sprintf
+      "  {\"workload\": %S, \"wall_s\": %.6f, \"candidates_scanned\": %d, \
+       \"unify_attempts\": %d, \"backtracks\": %d, \"plan_compilations\": %d}"
+      workload wall_s
+      (get "hom.candidates_scanned")
+      (get "hom.unify_attempts")
+      (get "hom.backtracks")
+      (get "plan.compilations")
+  in
+  let e10 engine () =
+    let deps = Tgd.Dep.t_q [ ("p2", path_query 2); ("p3", path_query 3) ] in
+    let d = fst (Tgd.Greenred.green_canonical (path_query 5)) in
+    ignore (Tgd.Chase.run ~engine ~max_stages:6 deps d)
+  in
+  let target = long_path 40 in
+  [
+    row "E10 chase engine=stage" (e10 `Stage);
+    row "E10 chase engine=seminaive" (e10 `Seminaive);
+    row "E10 chase engine=oblivious" (e10 `Oblivious);
+    row "E10 chase engine=par" (e10 `Par);
+    row "P7 hom count: compiled" (fun () ->
+        ignore (Relational.Hom.count target scrambled_p7));
+    row "P7 hom count: interpreted" (fun () ->
+        ignore (Relational.Hom.count ~compiled:false target scrambled_p7));
+  ]
+
+let emit_hom_json () =
+  let rows = hom_rows () in
+  let oc = open_out "BENCH_hom.json" in
+  output_string oc ("[\n" ^ String.concat ",\n" rows ^ "\n]\n");
+  close_out oc;
+  Format.printf "wrote BENCH_hom.json (%d rows)@." (List.length rows)
+
+(* --- wall-clock regression gate (dune build @bench-smoke) ----------------- *)
+
+(* Hand-rolled scanner for the JSON this harness renders (one row per
+   line, string keys, no escapes in values) — no JSON dependency. *)
+let scan_field line key =
+  let pat = Printf.sprintf "\"%s\": " key in
+  let n = String.length line and m = String.length pat in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub line i m = pat then Some (i + m)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      if start < n && line.[start] = '"' then
+        String.index_from_opt line (start + 1) '"'
+        |> Option.map (fun stop ->
+               String.sub line (start + 1) (stop - start - 1))
+      else
+        let stop = ref start in
+        while
+          !stop < n && (match line.[!stop] with ',' | '}' -> false | _ -> true)
+        do
+          incr stop
+        done;
+        Some (String.trim (String.sub line start (!stop - start)))
+
+let scan_baseline path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match
+         ( scan_field line "experiment",
+           scan_field line "engine",
+           scan_field line "wall_s" )
+       with
+       | Some e, Some en, Some w ->
+           rows := ((e, en), float_of_string w) :: !rows
+       | _ -> ()
+     done
+   with End_of_file -> close_in ic);
+  List.rev !rows
+
+(* Re-run the BENCH_chase.json workloads and fail (exit 1) if any row
+   got more than [threshold]x slower than the checked-in baseline.  Rows
+   without a baseline (new engines) are reported but not gated. *)
+let regress baseline_path =
+  let threshold = 2.0 in
+  let baseline = scan_baseline baseline_path in
+  let rows = chase_rows ~tinf_stages:20 ~grid:(4, 4) ~tgd_stages:6 in
+  let failures = ref 0 in
+  Format.printf "%-34s %-10s %12s %12s %8s@." "experiment" "engine" "baseline"
+    "current" "ratio";
+  List.iter
+    (fun r ->
+      match List.assoc_opt (r.experiment, r.engine_name) baseline with
+      | None ->
+          Format.printf "%-34s %-10s %12s %10.4fs %8s@." r.experiment
+            r.engine_name "-" r.wall_s "new"
+      | Some base ->
+          let ratio = if base > 0. then r.wall_s /. base else 0. in
+          let verdict = if ratio > threshold then (incr failures; "FAIL") else "ok" in
+          Format.printf "%-34s %-10s %10.4fs %10.4fs %7.2fx %s@." r.experiment
+            r.engine_name base r.wall_s ratio verdict)
+    rows;
+  if !failures > 0 then begin
+    Format.printf "bench-smoke: %d row(s) regressed beyond %.1fx@." !failures
+      threshold;
+    exit 1
+  end
+  else Format.printf "bench-smoke: no wall-clock regression beyond %.1fx@." threshold
 
 (* Instrumentation-overhead measurement (EXPERIMENTS.md E16): the E1 and
    grid(4,4) workloads timed with the obs switches off, with metrics on,
@@ -673,7 +790,11 @@ let () =
   match mode with
   | "json" ->
       emit_chase_json ();
+      emit_hom_json ();
       emit_audit_json ()
+  | "regress" ->
+      regress
+        (if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_chase.json")
   | "overhead" -> emit_overhead ()
   | "smoke" -> smoke ()
   | _ ->

@@ -85,7 +85,10 @@ let obs_term =
 let engine_arg =
   let e =
     Arg.enum
-      [ ("stage", `Stage); ("seminaive", `Seminaive); ("oblivious", `Oblivious) ]
+      [
+        ("stage", `Stage); ("seminaive", `Seminaive);
+        ("oblivious", `Oblivious); ("par", `Par);
+      ]
   in
   Arg.(
     value
@@ -93,15 +96,25 @@ let engine_arg =
     & info [ "engine" ]
         ~doc:
           "Chase engine: $(b,stage) (full rescan per stage), \
-           $(b,seminaive) (delta-restricted, the default) or \
+           $(b,seminaive) (delta-restricted, the default), $(b,par) \
+           (semi-naive with parallel trigger discovery) or \
            $(b,oblivious) (TGD chase only)." )
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "Worker domains for $(b,--engine par) (default: the runtime's \
+           recommended domain count).")
 
 (* The graph-rule chase has no oblivious variant. *)
 let graph_engine = function
   | `Oblivious ->
       Format.eprintf "error: --engine oblivious applies only to the TGD chase@.";
       exit 2
-  | (`Stage | `Seminaive) as e -> e
+  | (`Stage | `Seminaive | `Par) as e -> e
 
 let oracle = function
   | `M m -> Rainworm.Machine.oracle m
@@ -109,9 +122,9 @@ let oracle = function
 
 (* --- tinf -------------------------------------------------------------- *)
 
-let tinf () stages engine =
+let tinf () stages engine jobs =
   let engine = graph_engine engine in
-  let g, a, b, stats = Separating.Tinf.chase ~engine ~stages () in
+  let g, a, b, stats = Separating.Tinf.chase ~engine ?jobs ~stages () in
   Format.printf "chase(T∞, D_I): %d edges, %d vertices (%a)@."
     (Greengraph.Graph.size g)
     (Greengraph.Graph.order g)
@@ -126,14 +139,14 @@ let tinf_cmd =
     Arg.(value & opt int 12 & info [ "stages" ] ~doc:"Chase stage budget.")
   in
   Cmd.v (Cmd.info "tinf" ~doc:"Chase T∞ from D_I and print its words (Figure 1).")
-    Term.(const tinf $ obs_term $ stages $ engine_arg)
+    Term.(const tinf $ obs_term $ stages $ engine_arg $ jobs_arg)
 
 (* --- collide ----------------------------------------------------------- *)
 
-let collide () t u engine =
+let collide () t u engine jobs =
   let engine = graph_engine engine in
   let pattern, stats, g =
-    Separating.Theorem14.collision_outcome ~engine ~t ~t':u ()
+    Separating.Theorem14.collision_outcome ~engine ?jobs ~t ~t':u ()
   in
   Format.printf
     "αβ-paths of lengths %d and %d sharing both endpoints, gridded by T□:@." t u;
@@ -146,7 +159,7 @@ let collide_cmd =
   Cmd.v
     (Cmd.info "collide"
        ~doc:"Grid two colliding αβ-paths with T□ (Figures 2–4).")
-    Term.(const collide $ obs_term $ t $ u $ engine_arg)
+    Term.(const collide $ obs_term $ t $ u $ engine_arg $ jobs_arg)
 
 (* --- worm -------------------------------------------------------------- *)
 
@@ -305,7 +318,7 @@ let parse_named s =
       Format.eprintf "parse error: %s@." m;
       exit 2
 
-let determinacy () view_specs q0_spec stages engine =
+let determinacy () view_specs q0_spec stages engine jobs =
   let views = List.map parse_named view_specs in
   let _, q0 = parse_named q0_spec in
   let inst = Determinacy.Instance.make ~views ~q0 in
@@ -313,10 +326,10 @@ let determinacy () view_specs q0_spec stages engine =
   Format.printf "engine:       %a@." Tgd.Chase.pp_engine engine;
   Format.printf "unrestricted: %a@."
     Determinacy.Solver.pp_verdict
-    (Determinacy.Solver.unrestricted ~engine ~max_stages:stages inst);
+    (Determinacy.Solver.unrestricted ~engine ?jobs ~max_stages:stages inst);
   Format.printf "finite:       %a@."
     Determinacy.Solver.pp_verdict
-    (Determinacy.Solver.finite ~engine inst);
+    (Determinacy.Solver.finite ~engine ?jobs inst);
   match Determinacy.Rewriting.conjunctive ~views q0 with
   | Determinacy.Rewriting.Rewriting plan ->
       Format.printf "rewriting:    %a@." Cq.Query.pp plan
@@ -341,7 +354,7 @@ let determinacy_cmd =
   Cmd.v
     (Cmd.info "determinacy"
        ~doc:"Decide (boundedly) whether views determine a query.")
-    Term.(const determinacy $ obs_term $ views $ q0 $ stages $ engine_arg)
+    Term.(const determinacy $ obs_term $ views $ q0 $ stages $ engine_arg $ jobs_arg)
 
 let () =
   let doc = "Red Spider Meets a Rainworm — PODS 2016, executable" in

@@ -13,7 +13,8 @@ type verdict =
 val pp_verdict : Format.formatter -> verdict -> unit
 
 (** [chase(T_Q, green(Q0)) ⊨ red(Q0)]? *)
-val unrestricted : ?engine:Tgd.Chase.engine -> ?max_stages:int -> Instance.t -> verdict
+val unrestricted :
+  ?engine:Tgd.Chase.engine -> ?jobs:int -> ?max_stages:int -> Instance.t -> verdict
 
 (** Certify a purported finite counterexample: D ⊨ T_Q and some green
     Q0-answer is not red. *)
@@ -29,4 +30,9 @@ val exhaustive : ?max_slots:int -> Instance.t -> max_elems:int -> Structure.t op
 (** Chase first (unrestricted determinacy implies finite), then search for
     a small certified counterexample. *)
 val finite :
-  ?engine:Tgd.Chase.engine -> ?max_stages:int -> ?max_elems:int -> Instance.t -> verdict
+  ?engine:Tgd.Chase.engine ->
+  ?jobs:int ->
+  ?max_stages:int ->
+  ?max_elems:int ->
+  Instance.t ->
+  verdict

@@ -126,12 +126,14 @@ let pp_stats ppf s =
 
 (* Trigger-discovery engines, mirroring [Tgd.Chase]: [`Stage] rescans
    every label bucket each stage; [`Seminaive] (default) only examines
-   lhs pairs using at least one edge added since the previous stage.
+   lhs pairs using at least one edge added since the previous stage;
+   [`Par] is semi-naive with the delta sharded over a domain pool and a
+   canonical sorted merge, still bit-identical.
    Both conditions of a trigger are monotone (lhs pairs and rhs pairs are
    never removed), so a pair wholly inside old edges was examined at an
    earlier stage and either fired (its rhs pair now exists) or was
    dropped because the rhs pair existed — inactive forever either way. *)
-type engine = [ `Stage | `Seminaive ]
+type engine = [ `Stage | `Seminaive | `Par ]
 
 (* A stage's delta, indexed by label once, so the per-rule loops below
    look their candidate edges up instead of rescanning the whole delta
@@ -207,8 +209,93 @@ let collect_stage ?delta ~considered rules g =
     !out
   |> List.map (fun (_, _, x, x', rule, (c, d)) -> (rule, ((c, x), (d, x'))))
 
-let chase ?(engine = `Seminaive) ?(max_stages = max_int)
+(* The parallel collector: the delta is sharded round-robin over a
+   domain pool; workers enumerate raw lhs-pair candidates (x, x') from
+   their shard without deduplication or rhs checks (reading the graph
+   only), and the merge sorts the candidates into the canonical
+   (rule, direction, x, x') order, deduplicates, counts and rhs-checks
+   sequentially.  The deduplicated candidate set equals the sequential
+   semi-naive one, so stats, surviving triggers and the firing order are
+   bit-identical to [`Seminaive]. *)
+let c_merge_ms = Obs.Metrics.counter "par.merge_ms"
+
+let collect_stage_par ~jobs ~considered rules g delta_edges =
+  let delta = Array.of_list delta_edges in
+  let nd = Array.length delta in
+  let m = max 1 (min jobs (max nd 1)) in
+  let shards =
+    Array.init m (fun w ->
+        let acc = ref [] in
+        for i = nd - 1 downto 0 do
+          if i mod m = w then acc := delta.(i) :: !acc
+        done;
+        !acc)
+  in
+  let dirs =
+    List.concat
+      (List.mapi
+         (fun ri rule ->
+           [
+             (ri, 0, rule, (rule.l1, rule.l2), (rule.r1, rule.r2));
+             (ri, 1, rule, (rule.r1, rule.r2), (rule.l1, rule.l2));
+           ])
+         rules)
+  in
+  let dira = Array.of_list dirs in
+  let raw =
+    Relational.Pool.run ~jobs:m m (fun w ->
+        let acc = ref [] in
+        List.iter
+          (fun (ri, dir, rule, (a, b), _) ->
+            let consider e1 e2 =
+              acc :=
+                (ri, dir, free_of rule.conn e1, free_of rule.conn e2) :: !acc
+            in
+            List.iter
+              (fun (e1 : Graph.edge) ->
+                (* lhs pairs with the first edge in the delta shard … *)
+                if Label.equal e1.Graph.label a then
+                  List.iter
+                    (fun e2 -> consider e1 e2)
+                    (edges_at_shared_with g rule.conn (shared_of rule.conn e1)
+                       b);
+                (* … and with the second edge in the delta shard *)
+                if Label.equal e1.Graph.label b then
+                  List.iter
+                    (fun e0 -> consider e0 e1)
+                    (edges_at_shared_with g rule.conn (shared_of rule.conn e1)
+                       a))
+              shards.(w))
+          dirs;
+        List.rev !acc)
+  in
+  let t0 = Obs.Clock.now_s () in
+  let all = List.sort compare (List.concat (Array.to_list raw)) in
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  List.iter
+    (fun ((ri, dir, x, x') as key) ->
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        incr considered;
+        if !Obs.metrics_on then Obs.Metrics.incr c_considered;
+        let _, _, rule, _, (c, d) = dira.((ri * 2) + dir) in
+        if not (pair_present g rule.conn (c, d) (x, x')) then
+          out := (rule, ((c, x), (d, x'))) :: !out
+      end)
+    all;
+  if !Obs.metrics_on then
+    Obs.Metrics.add c_merge_ms
+      (int_of_float ((Obs.Clock.now_s () -. t0) *. 1000.));
+  List.rev !out
+
+let chase ?(engine = `Seminaive) ?jobs ?(max_stages = max_int)
     ?(stop = fun _ -> false) rules g =
+  let jobs =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> Relational.Pool.default_jobs ()
+  in
   let applications = ref 0 in
   let considered = ref 0 in
   let wm = ref 0 in
@@ -225,25 +312,30 @@ let chase ?(engine = `Seminaive) ?(max_stages = max_int)
     else begin
       (* collect the triggers against the stage-start graph, then fire
          those still active (mirroring the chase of Section II.C) *)
-      let delta =
-        match engine with
-        | `Stage ->
-            if !Obs.metrics_on then
-              Obs.Metrics.observe h_delta (Graph.size g);
-            None
-        | `Seminaive ->
-            let d = Graph.delta_since g !wm in
-            wm := Graph.watermark g;
-            if !Obs.metrics_on then
-              Obs.Metrics.observe h_delta (List.length d);
-            Some (index_delta d)
-      in
       let n_triggers = ref 0 and fired = ref 0 in
       Obs.Trace.with_span "graph.stage"
         ~args:(fun () ->
           [ ("stage", i); ("triggers", !n_triggers); ("fired", !fired) ])
         (fun () ->
-          let collected = collect_stage ?delta ~considered rules g in
+          let collected =
+            match engine with
+            | `Stage ->
+                if !Obs.metrics_on then
+                  Obs.Metrics.observe h_delta (Graph.size g);
+                collect_stage ~considered rules g
+            | `Seminaive ->
+                let d = Graph.delta_since g !wm in
+                wm := Graph.watermark g;
+                if !Obs.metrics_on then
+                  Obs.Metrics.observe h_delta (List.length d);
+                collect_stage ~delta:(index_delta d) ~considered rules g
+            | `Par ->
+                let d = Graph.delta_since g !wm in
+                wm := Graph.watermark g;
+                if !Obs.metrics_on then
+                  Obs.Metrics.observe h_delta (List.length d);
+                collect_stage_par ~jobs ~considered rules g d
+          in
           n_triggers := List.length collected;
           List.iter
             (fun (rule, ((c, x), (d, x'))) ->
@@ -262,7 +354,8 @@ let chase ?(engine = `Seminaive) ?(max_stages = max_int)
   Obs.Trace.with_span
     (match engine with
     | `Stage -> "graph.chase(stage)"
-    | `Seminaive -> "graph.chase(seminaive)")
+    | `Seminaive -> "graph.chase(seminaive)"
+    | `Par -> "graph.chase(par)")
     (fun () -> go 1)
 
 (* Definition 11 for L₂, bounded: chase D_I and watch for a 1-2 pattern. *)

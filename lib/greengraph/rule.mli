@@ -63,13 +63,17 @@ val pp_stats : Format.formatter -> stats -> unit
     rescans the whole graph each stage; [`Seminaive] (the default) only
     examines lhs pairs using at least one edge added since the previous
     stage — equivalent (both trigger conditions are monotone) and
-    asymptotically cheaper.  Both engines fire a stage's triggers in the
-    same canonical order, so they build identical graphs, fresh vertex
-    ids included. *)
-type engine = [ `Stage | `Seminaive ]
+    asymptotically cheaper; [`Par] shards the delta over a domain pool
+    and merges candidates in canonical sort order.  All engines fire a
+    stage's triggers in the same canonical order, so they build identical
+    graphs, fresh vertex ids included. *)
+type engine = [ `Stage | `Seminaive | `Par ]
 
+(** [jobs] bounds the [`Par] engine's worker count (default
+    [Relational.Pool.default_jobs ()]; ignored by other engines). *)
 val chase :
   ?engine:engine ->
+  ?jobs:int ->
   ?max_stages:int ->
   ?stop:(Graph.t -> bool) ->
   t list ->

@@ -110,9 +110,70 @@ let structure ?(provenance = false) d =
         fail violations "element bucket %d: %d facts indexed, %d expected" e
           (List.length got) (List.length expected))
     elems;
+  (* the dense-id arena view agrees with the boxed facts *)
+  if Structure.nfacts d <> n then
+    fail violations "nfacts=%d but %d facts enumerate" (Structure.nfacts d) n;
+  for id = 0 to Structure.nfacts d - 1 do
+    let f = Structure.id_fact d id in
+    let sym = Fact.sym f in
+    let sid = Structure.sym_id d sym in
+    if sid < 0 then
+      fail violations "fact %d's symbol %a is not interned" id Symbol.pp sym
+    else if Structure.id_sym d id <> sid then
+      fail violations "id_sym %d=%d but sym_id %a=%d" id
+        (Structure.id_sym d id) Symbol.pp sym sid;
+    Array.iteri
+      (fun pos e ->
+        if Structure.id_arg d id pos <> e then
+          fail violations "arena arg (%d,%d)=%d but fact %a has %d" id pos
+            (Structure.id_arg d id pos) (Fact.pp ()) f e)
+      (Fact.args f)
+  done;
+  (* dense-id buckets are the id images of the boxed buckets *)
+  let ids_of fs =
+    List.sort Int.compare
+      (List.concat_map
+         (fun f ->
+           List.filteri
+             (fun id _ -> Fact.equal (Structure.id_fact d id) f)
+             (List.init (Structure.nfacts d) Fun.id))
+         fs)
+  in
+  List.iter
+    (fun sym ->
+      let sid = Structure.sym_id d sym in
+      let got =
+        List.sort Int.compare (Intvec.to_list (Structure.ids_with_sym d sid))
+      in
+      if got <> ids_of (Structure.facts_with_sym d sym) then
+        fail violations "ids_with_sym %a disagrees with facts_with_sym"
+          Symbol.pp sym)
+    (Structure.symbols d);
+  Key_map.iter
+    (fun (sym, pos, e) expected ->
+      let sid = Structure.sym_id d sym in
+      let got =
+        List.sort Int.compare
+          (Intvec.to_list (Structure.ids_with_pin d sid pos e))
+      in
+      if got <> ids_of expected then
+        fail violations "ids_with_pin (%a,%d,%d) disagrees with ground truth"
+          Symbol.pp sym pos e;
+      if Structure.pin_count_id d sid pos e <> List.length expected then
+        fail violations "pin_count_id (%a,%d,%d)=%d, expected %d" Symbol.pp sym
+          pos e
+          (Structure.pin_count_id d sid pos e)
+          (List.length expected))
+    truth;
   (* journal and watermark *)
   if Structure.watermark d <> n then
     fail violations "watermark=%d but size=%d" (Structure.watermark d) n;
+  let lo, hi = Structure.delta_ids d (Structure.watermark d) in
+  if lo <> hi then
+    fail violations "delta_ids at the watermark is nonempty: [%d, %d)" lo hi;
+  (let lo, hi = Structure.delta_ids d 0 in
+   if lo <> 0 || hi <> n then
+     fail violations "delta_ids 0 = [%d, %d), expected [0, %d)" lo hi n);
   let journal = Structure.delta_since d 0 in
   if List.length journal <> n then
     fail violations "journal has %d entries for %d facts" (List.length journal) n;

@@ -14,12 +14,15 @@ open Relational
 
 (** Audit a structure's indices: facts/size coherence, the
     (symbol, position, element) pin index and its O(1) counts, the
-    per-symbol and per-element buckets, the delta journal ([delta_since 0]
-    must replay the fact set in insertion order without duplicates) and
-    the watermark.  With [~provenance:true] (for chase outputs; default
-    false) additionally require journal stages to be non-decreasing and
-    every fact's stage to be at least the birth stage of each of its
-    elements. *)
+    per-symbol and per-element buckets, the dense-id arena view
+    ([id_fact]/[id_sym]/[id_arg] must mirror the boxed facts, the
+    [ids_with_sym]/[ids_with_pin] vectors must be the id images of the
+    boxed buckets, and [delta_ids] must span exactly the journal tail),
+    the delta journal ([delta_since 0] must replay the fact set in
+    insertion order without duplicates) and the watermark.  With
+    [~provenance:true] (for chase outputs; default false) additionally
+    require journal stages to be non-decreasing and every fact's stage to
+    be at least the birth stage of each of its elements. *)
 val structure : ?provenance:bool -> Structure.t -> string list
 
 (** Audit a green graph's indices: edge/vertex coherence, the out/in

@@ -55,7 +55,7 @@ let run_tgd budget engine inst =
     firings = List.rev !firings;
   }
 
-(* --- the three-engine diff ------------------------------------------------ *)
+(* --- the four-engine diff ------------------------------------------------- *)
 
 let pp_firing ppf f =
   Fmt.pf ppf "stage %d: %s(%a)" f.at_stage f.dep
@@ -75,6 +75,7 @@ let diff_tgd budget inst =
   let st = run_tgd budget `Stage inst in
   let sn = run_tgd budget `Seminaive inst in
   let ob = run_tgd budget `Oblivious inst in
+  let pr = run_tgd budget `Par inst in
   (* bit-identity of the lazy engines *)
   if not (Structure.equal_sets st.result sn.result) then
     fail violations "stage/seminaive structures differ: %d vs %d facts"
@@ -108,6 +109,38 @@ let diff_tgd budget inst =
   if s2.Tgd.Chase.body_matches > s1.Tgd.Chase.body_matches then
     fail violations "seminaive enumerated more body matches than stage (%d > %d)"
       s2.Tgd.Chase.body_matches s1.Tgd.Chase.body_matches;
+  (* the parallel engine is sharded semi-naive: bit-identical structures
+     and firings, and — the merge restoring the sequential dedup — equal
+     match/consideration counts *)
+  if not (Structure.equal_sets st.result pr.result) then
+    fail violations "stage/par structures differ: %d vs %d facts"
+      (Structure.size st.result) (Structure.size pr.result);
+  (match first_mismatch j1 (Structure.delta_since pr.result 0) with
+  | Some (i, f) ->
+      fail violations "stage/par journals diverge at entry %d (%a)" i
+        (Fact.pp ()) f
+  | None -> ());
+  (match first_mismatch st.firings pr.firings with
+  | Some (i, f) ->
+      fail violations "stage/par firing sequences diverge at firing %d (%a)" i
+        pp_firing f
+  | None -> ());
+  let sp = pr.stats in
+  if sp.Tgd.Chase.applications <> s2.Tgd.Chase.applications then
+    fail violations "applications differ: seminaive %d, par %d"
+      s2.Tgd.Chase.applications sp.Tgd.Chase.applications;
+  if sp.Tgd.Chase.stages <> s2.Tgd.Chase.stages then
+    fail violations "stages differ: seminaive %d, par %d" s2.Tgd.Chase.stages
+      sp.Tgd.Chase.stages;
+  if sp.Tgd.Chase.fixpoint <> s2.Tgd.Chase.fixpoint then
+    fail violations "fixpoint verdicts differ: seminaive %b, par %b"
+      s2.Tgd.Chase.fixpoint sp.Tgd.Chase.fixpoint;
+  if sp.Tgd.Chase.triggers_considered <> s2.Tgd.Chase.triggers_considered then
+    fail violations "par considered %d triggers, seminaive %d"
+      sp.Tgd.Chase.triggers_considered s2.Tgd.Chase.triggers_considered;
+  if sp.Tgd.Chase.body_matches <> s2.Tgd.Chase.body_matches then
+    fail violations "par enumerated %d body matches, seminaive %d"
+      sp.Tgd.Chase.body_matches s2.Tgd.Chase.body_matches;
   (* Per-run invariants.  A budget-exceeded run can overshoot the fact
      budget within its final stage (stop is checked between stages), so
      the quadratic audits and the full trigger rescans are only run on
@@ -143,8 +176,8 @@ let diff_tgd budget inst =
             | None -> "None"
             | Some (dep, _) -> Tgd.Dep.name dep)
       end)
-    [ st; sn; ob ];
-  (List.rev !violations, [ st; sn; ob ])
+    [ st; sn; ob; pr ];
+  (List.rev !violations, [ st; sn; ob; pr ])
 
 (* --- green-graph diff ----------------------------------------------------- *)
 
@@ -166,6 +199,7 @@ let diff_graph budget gc =
   let violations = ref [] in
   let g1, s1, o1 = run_graph budget `Stage gc in
   let g2, s2, o2 = run_graph budget `Seminaive gc in
+  let g3, s3, o3 = run_graph budget `Par gc in
   if not (G.equal g1 g2) then
     fail violations "stage/seminaive graphs differ: %d vs %d edges" (G.size g1)
       (G.size g2);
@@ -189,6 +223,23 @@ let diff_graph budget gc =
     fail violations "graph seminaive considered more pairs than stage (%d > %d)"
       s2.Greengraph.Rule.triggers_considered
       s1.Greengraph.Rule.triggers_considered;
+  if not (G.equal g2 g3) then
+    fail violations "seminaive/par graphs differ: %d vs %d edges" (G.size g2)
+      (G.size g3);
+  (match first_mismatch (G.delta_since g2 0) (G.delta_since g3 0) with
+  | Some (i, (e : G.edge)) ->
+      fail violations
+        "seminaive/par edge journals diverge at entry %d (%a %d->%d)" i
+        Greengraph.Label.pp e.G.label e.G.src e.G.dst
+  | None -> ());
+  if s3.Greengraph.Rule.applications <> s2.Greengraph.Rule.applications
+     || s3.Greengraph.Rule.stages <> s2.Greengraph.Rule.stages
+     || s3.Greengraph.Rule.fixpoint <> s2.Greengraph.Rule.fixpoint
+     || s3.Greengraph.Rule.triggers_considered
+        <> s2.Greengraph.Rule.triggers_considered
+  then
+    fail violations "graph par stats differ from seminaive: %a vs %a"
+      Greengraph.Rule.pp_stats s3 Greengraph.Rule.pp_stats s2;
   List.iter
     (fun (g, which) ->
       (* same overshoot guard as diff_tgd: the label × vertex bucket audit
@@ -198,11 +249,11 @@ let diff_graph budget gc =
         List.iter
           (fun v -> fail violations "[%s graph output] %s" which v)
           (Audit.graph g))
-    [ (g1, "stage"); (g2, "seminaive") ];
+    [ (g1, "stage"); (g2, "seminaive"); (g3, "par") ];
   (* a graph fixpoint is a model of the rules *)
   if s1.Greengraph.Rule.fixpoint && not (Greengraph.Rule.models gc.Gen.rules g1)
   then fail violations "graph fixpoint is not a model of its rules";
-  (List.rev !violations, [ (s1, o1); (s2, o2) ])
+  (List.rev !violations, [ (s1, o1); (s2, o2); (s3, o3) ])
 
 (* --- CQ cross-checks ------------------------------------------------------ *)
 
@@ -304,7 +355,7 @@ let run_cases ?(budget = default_budget) ?fold ~seed ~cases () =
     List.iter
       (fun v -> fail violations "[seed structure] %s" v)
       (Audit.structure ~provenance:true (Gen.build inst));
-    (* 2. three-engine differential, shrunk on failure *)
+    (* 2. four-engine differential, shrunk on failure *)
     let dv, runs = diff_tgd budget inst in
     engine_runs := !engine_runs + List.length runs;
     List.iter

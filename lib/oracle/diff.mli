@@ -1,6 +1,6 @@
 (** The differential runner: chase the same generated instance under
-    [`Stage], [`Seminaive] and [`Oblivious] with fuel and element budgets,
-    then diff structures, firing sequences and stats; cross-check CQ
+    [`Stage], [`Seminaive], [`Oblivious] and [`Par] with fuel and element
+    budgets, then diff structures, firing sequences and stats; cross-check CQ
     containment and cores against independent semantics; and audit every
     produced structure/graph with {!Audit}.
 
@@ -41,16 +41,18 @@ type engine_run = {
     the budget. *)
 val run_tgd : budget -> Tgd.Chase.engine -> Gen.instance -> engine_run
 
-(** Diff the instance across all three engines: [`Stage] and [`Seminaive]
-    must agree bit-for-bit (equal fact sets with equal element ids, equal
-    journals in insertion order, equal firing sequences, equal
-    applications/stages/fixpoint, delta-restriction never considering
-    more), every result must pass the structure audit, and a run that
-    reached its fixpoint must model the dependencies.  Returns the
-    violations and the three runs. *)
+(** Diff the instance across all four engines: [`Stage], [`Seminaive]
+    and [`Par] must agree bit-for-bit (equal fact sets with equal element
+    ids, equal journals in insertion order, equal firing sequences, equal
+    applications/stages/fixpoint; delta-restriction never considering
+    more than stage, and the sharded merge considering exactly what
+    semi-naive does), every result must pass the structure audit, and a
+    run that reached its fixpoint must model the dependencies.  Returns
+    the violations and the four runs. *)
 val diff_tgd : budget -> Gen.instance -> string list * engine_run list
 
-(** Same for a green-graph case under [`Stage] vs [`Seminaive]. *)
+(** Same for a green-graph case under [`Stage] vs [`Seminaive] vs
+    [`Par]. *)
 val diff_graph :
   budget -> Gen.graph_case -> string list * (Greengraph.Rule.stats * outcome) list
 
@@ -83,7 +85,7 @@ type report = {
 }
 
 (** Run [cases] generated cases from [seed]: per case, a seed-structure
-    audit, the three-engine TGD differential (shrunk on failure), the CQ
+    audit, the four-engine TGD differential (shrunk on failure), the CQ
     cross-checks and a green-graph differential.  Deterministic: case [i]
     depends only on [(seed, i)]. *)
 val run_cases :

@@ -8,7 +8,16 @@
    The search is plain backtracking over a connectivity-greedy atom order;
    candidate facts for an atom with at least one bound argument are drawn
    from the structure's per-element index, otherwise from the per-symbol
-   index. *)
+   index.
+
+   Two evaluators share that strategy.  The interpreted one below works on
+   boxed [Fact.t] lists and persistent [Var_map] bindings and re-derives
+   the atom order on every call; [Plan] compiles a body once into an
+   array-of-slots program over the structure's dense-id arena and is the
+   default ([iter_all ~compiled:true]).  Both enumerate the exact same
+   bindings in the exact same order and tick the same counters — the
+   interpreted path is the executable specification the property tests
+   hold [Plan] against. *)
 
 type binding = int Term.Var_map.t
 
@@ -100,7 +109,7 @@ let resolved_constants target atom =
 let candidates target atom binding =
   match resolved_constants target atom with
   | None -> []
-  | Some pinned ->
+  | Some pinned -> (
       (* Pick one pinned position — a constant or a bound variable — and use
          the element index; fall back to the symbol index. *)
       let bound_positions =
@@ -117,16 +126,26 @@ let candidates target atom binding =
       in
       let pins = pinned @ bound_positions in
       let sym = Atom.sym atom in
+      let count (i, e) = Structure.pin_count target sym i e in
       match pins with
-      | [] ->
-          let pool = Structure.facts_with_sym target sym in
-          if !Obs.metrics_on then
-            Obs.Metrics.add c_candidates (List.length pool);
-          pool
+      | [] -> (
+          match Structure.facts_with_sym target sym with
+          | [] -> []
+          | pool ->
+              if !Obs.metrics_on then
+                Obs.Metrics.add c_candidates (List.length pool);
+              pool)
+      | [ (i, e) ] ->
+          (* A single pin needs no residual filter: its bucket is exact. *)
+          let n = count (i, e) in
+          if n = 0 then []
+          else begin
+            if !Obs.metrics_on then Obs.Metrics.add c_candidates n;
+            Structure.facts_with_pin target sym i e
+          end
       | first :: rest ->
           (* Use the most selective pin — the smallest (sym, pos, elem)
              bucket — then filter by the remaining pins. *)
-          let count (i, e) = Structure.pin_count target sym i e in
           let best, best_n =
             List.fold_left
               (fun (bp, bn) p ->
@@ -141,20 +160,11 @@ let candidates target atom binding =
             if !Obs.metrics_on then Obs.Metrics.add c_candidates best_n;
             List.filter
               (fun f -> List.for_all (fun (i, e) -> Fact.arg f i = e) pins)
-              pool
+              pool)
 
-(* Enumerate every homomorphism from [atoms] into [target] extending
-   [init]; [f] is called on each complete binding.  Raise [Exit] from [f]
-   to stop the enumeration.  [ordered:false] disables the
-   connectivity-greedy atom ordering (exposed for the ablation bench).
-
-   [~delta] switches to the semi-naive mode: only the homomorphisms whose
-   image uses at least one fact of [delta] are produced (each exactly
-   once).  For each atom in turn, that atom is pinned to a delta fact and
-   the remaining atoms are matched against the full structure — the
-   standard delta-rule decomposition of semi-naive Datalog evaluation. *)
-let iter_all ?(ordered = true) ?(init = Term.Var_map.empty) ?delta target atoms
-    f =
+(* The interpreted evaluator: the executable specification.  [Plan] below
+   must stay bit-identical to this, bindings, order and counters included. *)
+let iter_all_interp ~ordered ~init ?delta target atoms f =
   let rec go sink atoms binding =
     match atoms with
     | [] -> sink binding
@@ -227,26 +237,436 @@ let iter_all ?(ordered = true) ?(init = Term.Var_map.empty) ?delta target atoms
                     (List.rev !dfacts)))
         atoms
 
+(* --- Compiled join plans -------------------------------------------- *)
+
+module Plan = struct
+  let c_compilations = Obs.Metrics.counter "plan.compilations"
+
+  (* A slot table: variable names interned to dense slots.  One table can
+     be shared by the plans of a delta family, so a full match is the same
+     [int array] no matter which pivot produced it — that array is the
+     semi-naive deduplication key and the parallel-merge sort key. *)
+  type vars = {
+    tbl : (string, int) Hashtbl.t;
+    mutable names : string array;
+    mutable n : int;
+  }
+
+  let vars_create () =
+    { tbl = Hashtbl.create 16; names = Array.make 8 ""; n = 0 }
+
+  let slot_of vars x =
+    match Hashtbl.find_opt vars.tbl x with
+    | Some i -> i
+    | None ->
+        let i = vars.n in
+        if i >= Array.length vars.names then begin
+          let a = Array.make (2 * Array.length vars.names) "" in
+          Array.blit vars.names 0 a 0 vars.n;
+          vars.names <- a
+        end;
+        vars.names.(i) <- x;
+        Hashtbl.replace vars.tbl x i;
+        vars.n <- i + 1;
+        i
+
+  (* One compiled atom: per position, either a variable slot or a constant
+     name (resolved to an element once per evaluation). *)
+  type patom = {
+    psym : Symbol.t;
+    arity : int;
+    slot_of_pos : int array; (* position -> slot, or -1 at constants *)
+    cst_of_pos : string array; (* position -> constant name, "" at vars *)
+  }
+
+  type t = { vars : vars; atoms : patom array (* evaluation order *) }
+
+  type family = { fvars : vars; pivots : (patom * t) array }
+
+  let compile_atom vars atom =
+    let args = Array.of_list (Atom.args atom) in
+    let n = Array.length args in
+    let slots = Array.make n (-1) in
+    let csts = Array.make n "" in
+    Array.iteri
+      (fun i t ->
+        match t with
+        | Term.Var x -> slots.(i) <- slot_of vars x
+        | Term.Cst c -> csts.(i) <- c)
+      args;
+    { psym = Atom.sym atom; arity = n; slot_of_pos = slots; cst_of_pos = csts }
+
+  let compile_with vars ?(ordered = true) ?(bound = Term.Var_set.empty) atoms =
+    let atoms = if ordered then order_atoms ~bound atoms else atoms in
+    if !Obs.metrics_on then Obs.Metrics.incr c_compilations;
+    { vars; atoms = Array.of_list (List.map (compile_atom vars) atoms) }
+
+  let compile ?ordered ?bound atoms =
+    compile_with (vars_create ()) ?ordered ?bound atoms
+
+  (* One compiled plan per pivot position, all sharing one slot table.
+     Each rest-plan is ordered with the pivot's variables seeded as bound,
+     exactly as the interpreted delta decomposition does. *)
+  let compile_family ?(ordered = true) atoms =
+    let vars = vars_create () in
+    let pivots =
+      List.mapi
+        (fun j pivot ->
+          let p = compile_atom vars pivot in
+          let rest = List.filteri (fun k _ -> k <> j) atoms in
+          let rest =
+            if ordered then order_atoms ~bound:(Atom.vars pivot) rest else rest
+          in
+          (p, compile_with vars ~ordered:false rest))
+        atoms
+    in
+    { fvars = vars; pivots = Array.of_list pivots }
+
+  let nslots plan = plan.vars.n
+  let slot plan x = Hashtbl.find_opt plan.vars.tbl x
+  let var_name plan s = plan.vars.names.(s)
+  let family_nslots fam = fam.fvars.n
+  let family_slot fam x = Hashtbl.find_opt fam.fvars.tbl x
+
+  (* Per-atom evaluation scratch, preallocated once per entry point: the
+     chosen pins and the slots bound by the current candidate (for
+     backtracking, since slots are mutated in place). *)
+  type frame = {
+    pin_pos : int array;
+    pin_elem : int array;
+    pin_pool : Intvec.t array;
+    undo : int array;
+  }
+
+  (* The core evaluator.  [slots] is the shared mutable binding array
+     (slot -> element, -1 unbound); the frames of a family evaluation must
+     not alias, so every entry point builds its own.
+
+     Counter and enumeration-order parity with the interpreted path:
+     pools are scanned newest-first (the cons order of the former list
+     buckets); [c_candidates] ticks per bucket entry before the residual
+     pin filter, [c_unify] once per candidate surviving it, and
+     [c_backtracks] when the bind/check pass fails. *)
+  let eval plan target slots emit =
+    let n = Array.length plan.atoms in
+    (* Resolve symbols and constants against [target] once. *)
+    let sids = Array.make n (-1) in
+    let cst_elems = Array.make n [||] in
+    let dead = Array.make n false in
+    for i = 0 to n - 1 do
+      let pa = plan.atoms.(i) in
+      sids.(i) <- Structure.sym_id target pa.psym;
+      let ce = Array.make pa.arity (-1) in
+      Array.iteri
+        (fun p c ->
+          if c <> "" then
+            match Structure.constant_opt target c with
+            | Some e -> ce.(p) <- e
+            | None -> dead.(i) <- true)
+        pa.cst_of_pos;
+      cst_elems.(i) <- ce
+    done;
+    let no_pool = Intvec.create () in
+    let frames =
+      Array.init n (fun i ->
+          let a = plan.atoms.(i).arity in
+          {
+            pin_pos = Array.make a 0;
+            pin_elem = Array.make a 0;
+            pin_pool = Array.make a no_pool;
+            undo = Array.make a 0;
+          })
+    in
+    let rec go i =
+      if i >= n then emit slots
+      else if dead.(i) then () (* an unresolved constant: no candidates *)
+      else begin
+        let pa = plan.atoms.(i) in
+        let fr = frames.(i) in
+        let ce = cst_elems.(i) in
+        (* Collect the pins — constants first, then bound variables, each
+           in position order: the interpreted [pinned @ bound_positions]. *)
+        let np = ref 0 in
+        for p = 0 to pa.arity - 1 do
+          if ce.(p) >= 0 then begin
+            fr.pin_pos.(!np) <- p;
+            fr.pin_elem.(!np) <- ce.(p);
+            incr np
+          end
+        done;
+        for p = 0 to pa.arity - 1 do
+          let s = pa.slot_of_pos.(p) in
+          if s >= 0 && slots.(s) >= 0 then begin
+            fr.pin_pos.(!np) <- p;
+            fr.pin_elem.(!np) <- slots.(s);
+            incr np
+          end
+        done;
+        let n_pins = !np in
+        let sid = sids.(i) in
+        (* [skip] is the pin already enforced by the bucket choice. *)
+        let try_candidate skip id =
+          let ok = ref true in
+          let p = ref 0 in
+          while !ok && !p < n_pins do
+            if
+              !p <> skip
+              && Structure.id_arg target id fr.pin_pos.(!p) <> fr.pin_elem.(!p)
+            then ok := false;
+            incr p
+          done;
+          if !ok then begin
+            if !Obs.metrics_on then Obs.Metrics.incr c_unify;
+            let nb = ref 0 in
+            let fail = ref false in
+            let q = ref 0 in
+            while (not !fail) && !q < pa.arity do
+              let s = pa.slot_of_pos.(!q) in
+              if s >= 0 then begin
+                let fa = Structure.id_arg target id !q in
+                let v = slots.(s) in
+                if v < 0 then begin
+                  slots.(s) <- fa;
+                  fr.undo.(!nb) <- s;
+                  incr nb
+                end
+                else if v <> fa then fail := true
+              end;
+              incr q
+            done;
+            if !fail then begin
+              if !Obs.metrics_on then Obs.Metrics.incr c_backtracks
+            end
+            else go (i + 1);
+            for b = 0 to !nb - 1 do
+              slots.(fr.undo.(b)) <- -1
+            done
+          end
+        in
+        if n_pins = 0 then begin
+          if sid >= 0 then begin
+            let pool = Structure.ids_with_sym target sid in
+            let len = Intvec.length pool in
+            if len > 0 then begin
+              if !Obs.metrics_on then Obs.Metrics.add c_candidates len;
+              for k = len - 1 downto 0 do
+                try_candidate (-1) (Intvec.unsafe_get pool k)
+              done
+            end
+          end
+        end
+        else begin
+          (* First strict minimum over the pins, like the interpreted
+             fold.  Fetching the pools (their length is O(1)) instead of
+             asking for counts saves the second hash lookup on the
+             winner — half the pin-table traffic at the common single-pin
+             joins. *)
+          let best = ref 0 in
+          let best_n = ref max_int in
+          for p = 0 to n_pins - 1 do
+            let pool =
+              Structure.ids_with_pin target sid fr.pin_pos.(p) fr.pin_elem.(p)
+            in
+            fr.pin_pool.(p) <- pool;
+            let c = Intvec.length pool in
+            if c < !best_n then begin
+              best := p;
+              best_n := c
+            end
+          done;
+          if !best_n > 0 then begin
+            let pool = fr.pin_pool.(!best) in
+            if !Obs.metrics_on then Obs.Metrics.add c_candidates !best_n;
+            for k = !best_n - 1 downto 0 do
+              try_candidate !best (Intvec.unsafe_get pool k)
+            done
+          end
+        end
+      end
+    in
+    go 0
+
+  let seed_slots nslots init =
+    let slots = Array.make (max nslots 1) (-1) in
+    List.iter (fun (s, e) -> slots.(s) <- e) init;
+    slots
+
+  let iter_slots ?(init = []) plan target emit =
+    eval plan target (seed_slots (nslots plan) init) emit
+
+  let binding_of vars ~init slots =
+    let b = ref init in
+    for s = 0 to vars.n - 1 do
+      let v = slots.(s) in
+      if v >= 0 then b := Term.Var_map.add vars.names.(s) v !b
+    done;
+    !b
+
+  let binding_of_slots ?(init = Term.Var_map.empty) plan slots =
+    binding_of plan.vars ~init slots
+
+  let family_binding_of_slots ?(init = Term.Var_map.empty) fam slots =
+    binding_of fam.fvars ~init slots
+
+  let init_slots_of_binding tbl init =
+    Term.Var_map.fold
+      (fun x e acc ->
+        match Hashtbl.find_opt tbl x with
+        | Some s -> (s, e) :: acc
+        | None -> acc)
+      init []
+
+  let iter ?(init = Term.Var_map.empty) plan target f =
+    let seed = init_slots_of_binding plan.vars.tbl init in
+    iter_slots ~init:seed plan target (fun slots ->
+        f (binding_of plan.vars ~init slots))
+
+  (* Early exit via a locally-caught [Exit], as in [find] below. *)
+  let find_slots ?init plan target =
+    let result = ref None in
+    (try
+       iter_slots ?init plan target (fun slots ->
+           result := Some (Array.copy slots);
+           raise Exit)
+     with Exit -> ());
+    !result
+
+  let exists_slots ?init plan target =
+    Option.is_some (find_slots ?init plan target)
+
+  let exists ?(init = Term.Var_map.empty) plan target =
+    exists_slots ~init:(init_slots_of_binding plan.vars.tbl init) plan target
+
+  (* Semi-naive family evaluation: for each pivot in turn, match it
+     against the delta facts of its symbol (in delta order), then run the
+     pivot's rest-plan over the full structure.  With [dedup] (default) a
+     full match is emitted once, keyed on a copy of the slot array. *)
+  let iter_family ?(init = []) ?(dedup = true) fam target delta_facts emit =
+    let slots = seed_slots (family_nslots fam) init in
+    let by_sym = Symbol.Tbl.create 16 in
+    List.iter
+      (fun fact ->
+        let s = Fact.sym fact in
+        match Symbol.Tbl.find_opt by_sym s with
+        | Some r -> r := fact :: !r
+        | None -> Symbol.Tbl.replace by_sym s (ref [ fact ]))
+      delta_facts;
+    let seen = Hashtbl.create (if dedup then 64 else 1) in
+    let emit' slots =
+      if not dedup then emit slots
+      else begin
+        let key = Array.copy slots in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          emit slots
+        end
+      end
+    in
+    Array.iter
+      (fun (pivot, rest_plan) ->
+        match Symbol.Tbl.find_opt by_sym pivot.psym with
+        | None -> ()
+        | Some dfacts ->
+            let ce = Array.make pivot.arity (-1) in
+            let dead = ref false in
+            Array.iteri
+              (fun p c ->
+                if c <> "" then
+                  match Structure.constant_opt target c with
+                  | Some e -> ce.(p) <- e
+                  | None -> dead := true)
+              pivot.cst_of_pos;
+            if not !dead then begin
+              let undo = Array.make pivot.arity 0 in
+              List.iter
+                (fun fact ->
+                  let fargs = Fact.args fact in
+                  (* constant filter, unmetered like the interpreted
+                     pivot's [pinned] check *)
+                  let ok = ref true in
+                  for p = 0 to pivot.arity - 1 do
+                    if ce.(p) >= 0 && fargs.(p) <> ce.(p) then ok := false
+                  done;
+                  if !ok then begin
+                    if !Obs.metrics_on then Obs.Metrics.incr c_unify;
+                    let nb = ref 0 in
+                    let fail = ref false in
+                    let q = ref 0 in
+                    while (not !fail) && !q < pivot.arity do
+                      let s = pivot.slot_of_pos.(!q) in
+                      if s >= 0 then begin
+                        let fa = fargs.(!q) in
+                        let v = slots.(s) in
+                        if v < 0 then begin
+                          slots.(s) <- fa;
+                          undo.(!nb) <- s;
+                          incr nb
+                        end
+                        else if v <> fa then fail := true
+                      end;
+                      incr q
+                    done;
+                    if !fail then begin
+                      if !Obs.metrics_on then Obs.Metrics.incr c_backtracks
+                    end
+                    else eval rest_plan target slots emit';
+                    for b = 0 to !nb - 1 do
+                      slots.(undo.(b)) <- -1
+                    done
+                  end)
+                (List.rev !dfacts)
+            end)
+      fam.pivots
+
+  let iter_family_bindings ?(init = Term.Var_map.empty) fam target delta_facts
+      f =
+    let seed = init_slots_of_binding fam.fvars.tbl init in
+    iter_family ~init:seed fam target delta_facts (fun slots ->
+        f (binding_of fam.fvars ~init slots))
+end
+
+(* Enumerate every homomorphism from [atoms] into [target] extending
+   [init]; [f] is called on each complete binding.  Raise [Exit] from [f]
+   to stop the enumeration.  [ordered:false] disables the
+   connectivity-greedy atom ordering (exposed for the ablation bench);
+   [compiled:false] selects the interpreted reference evaluator.
+
+   [~delta] switches to the semi-naive mode: only the homomorphisms whose
+   image uses at least one fact of [delta] are produced (each exactly
+   once).  For each atom in turn, that atom is pinned to a delta fact and
+   the remaining atoms are matched against the full structure — the
+   standard delta-rule decomposition of semi-naive Datalog evaluation. *)
+let iter_all ?(compiled = true) ?(ordered = true) ?(init = Term.Var_map.empty)
+    ?delta target atoms f =
+  if not compiled then iter_all_interp ~ordered ~init ?delta target atoms f
+  else
+    match delta with
+    | None -> Plan.iter ~init (Plan.compile ~ordered atoms) target f
+    | Some delta_facts ->
+        Plan.iter_family_bindings ~init
+          (Plan.compile_family ~ordered atoms)
+          target delta_facts f
+
 (* Early exit via a [ref] and a locally-caught [Exit]: the exception never
    crosses the module boundary, so a caller callback's own exceptions
    (including [Exit], per the [iter_all] contract) can't be misread as a
    match. *)
-let find ?ordered ?(init = Term.Var_map.empty) target atoms =
+let find ?compiled ?ordered ?(init = Term.Var_map.empty) target atoms =
   let result = ref None in
   (try
-     iter_all ?ordered ~init target atoms (fun b ->
+     iter_all ?compiled ?ordered ~init target atoms (fun b ->
          result := Some b;
          raise Exit)
    with Exit -> ());
   !result
 
-let exists ?ordered ?init target atoms =
-  Option.is_some (find ?ordered ?init target atoms)
+let exists ?compiled ?ordered ?init target atoms =
+  Option.is_some (find ?compiled ?ordered ?init target atoms)
 
 (* Count homomorphisms (used by tests and benches; beware of blowup). *)
-let count ?ordered ?init target atoms =
+let count ?compiled ?ordered ?init target atoms =
   let n = ref 0 in
-  iter_all ?ordered ?init target atoms (fun _ -> incr n);
+  iter_all ?compiled ?ordered ?init target atoms (fun _ -> incr n);
   !n
 
 (* --- Structure-to-structure homomorphisms --------------------------- *)

@@ -4,7 +4,13 @@
     structure; it powers CQ evaluation, TGD trigger detection, containment
     tests and core computation.  Atoms are visited in a
     connectivity-greedy order and candidate facts are drawn from the
-    structure's element index whenever an argument is already bound. *)
+    structure's element index whenever an argument is already bound.
+
+    Two evaluators share that strategy: the interpreted reference
+    ([compiled:false]) over boxed facts and persistent bindings, and the
+    default compiled one ({!Plan}) — an array-of-slots program over the
+    structure's dense-id arena, fixed once per body.  They enumerate the
+    same bindings in the same order and tick the same counters. *)
 
 (** A variable binding: query variables to structure elements. *)
 type binding = int Term.Var_map.t
@@ -15,10 +21,12 @@ type binding = int Term.Var_map.t
     physically equal ones — each keep their occurrence. *)
 val order_atoms : ?bound:Term.Var_set.t -> Atom.t list -> Atom.t list
 
-(** [iter_all ?ordered ?init target atoms f] calls [f] on every
+(** [iter_all ?compiled ?ordered ?init target atoms f] calls [f] on every
     homomorphism from [atoms] into [target] extending [init].  Raise
     [Exit] from [f] to stop early.  [ordered:false] disables the atom
-    ordering (ablation).
+    ordering (ablation); [compiled:false] selects the interpreted
+    reference evaluator (they are bit-identical — the property suite in
+    [test_plan.ml] holds the compiled path to the interpreted one).
 
     [~delta] restricts the enumeration to homomorphisms whose image uses
     at least one fact of [delta] (each produced exactly once): for each
@@ -26,6 +34,7 @@ val order_atoms : ?bound:Term.Var_set.t -> Atom.t list -> Atom.t list
     matched against the full structure — semi-naive evaluation's delta
     rules.  With [~delta] and an empty atom list, nothing is produced. *)
 val iter_all :
+  ?compiled:bool ->
   ?ordered:bool ->
   ?init:binding ->
   ?delta:Fact.t list ->
@@ -37,12 +46,110 @@ val iter_all :
 (** First homomorphism found, if any.  The early exit is internal (a
     [ref] plus a locally-caught [Exit]); no exception escapes this
     module. *)
-val find : ?ordered:bool -> ?init:binding -> Structure.t -> Atom.t list -> binding option
+val find :
+  ?compiled:bool ->
+  ?ordered:bool ->
+  ?init:binding ->
+  Structure.t ->
+  Atom.t list ->
+  binding option
 
-val exists : ?ordered:bool -> ?init:binding -> Structure.t -> Atom.t list -> bool
+val exists :
+  ?compiled:bool ->
+  ?ordered:bool ->
+  ?init:binding ->
+  Structure.t ->
+  Atom.t list ->
+  bool
 
 (** Number of homomorphisms (beware of blowup). *)
-val count : ?ordered:bool -> ?init:binding -> Structure.t -> Atom.t list -> int
+val count :
+  ?compiled:bool ->
+  ?ordered:bool ->
+  ?init:binding ->
+  Structure.t ->
+  Atom.t list ->
+  int
+
+(** {1 Compiled join plans}
+
+    A plan fixes a body's atom order and binding-slot layout once; the
+    evaluator is then a backtracking scan over the structure's dense fact
+    ids and [Intvec] pin buckets, with a mutable [int array] of slots in
+    place of persistent maps.  The chase compiles each TGD body once per
+    run and re-evaluates the plan every stage. *)
+module Plan : sig
+  type t
+
+  (** A family of per-pivot delta plans sharing one slot table, so a full
+      match is the same slot array whichever pivot produced it — the
+      dedup key of semi-naive evaluation and the sort key of the parallel
+      merge. *)
+  type family
+
+  (** [compile ?ordered ?bound atoms] fixes the evaluation order (with
+      [bound] seeding {!order_atoms}) and interns the body's variables to
+      dense slots. *)
+  val compile : ?ordered:bool -> ?bound:Term.Var_set.t -> Atom.t list -> t
+
+  (** One rest-plan per pivot occurrence, mirroring the interpreted delta
+      decomposition. *)
+  val compile_family : ?ordered:bool -> Atom.t list -> family
+
+  (** Number of variable slots; emitted arrays have this length. *)
+  val nslots : t -> int
+
+  (** The slot of a variable name, if the body mentions it. *)
+  val slot : t -> string -> int option
+
+  val var_name : t -> int -> string
+  val family_nslots : family -> int
+  val family_slot : family -> string -> int option
+
+  (** [iter_slots ?init plan target emit] — the raw evaluator.  [init]
+      seeds slots (pairs [(slot, element)]).  [emit] receives the live
+      slot array: copy it before storing.  Raise [Exit] to stop early. *)
+  val iter_slots :
+    ?init:(int * int) list -> t -> Structure.t -> (int array -> unit) -> unit
+
+  (** As {!iter_slots} but over name bindings, extending [init] exactly
+      as the interpreted [iter_all] does (unmentioned variables pass
+      through). *)
+  val iter : ?init:binding -> t -> Structure.t -> (binding -> unit) -> unit
+
+  (** First match as a fresh slot-array copy, if any. *)
+  val find_slots :
+    ?init:(int * int) list -> t -> Structure.t -> int array option
+
+  val exists_slots : ?init:(int * int) list -> t -> Structure.t -> bool
+
+  (** [exists ?init plan target] — is there a match extending [init]?
+      The precompiled counterpart of {!Hom.exists} (condition ­ of the
+      chase runs through this). *)
+  val exists : ?init:binding -> t -> Structure.t -> bool
+
+  (** [iter_family ?init ?dedup fam target delta emit] — semi-naive
+      evaluation: each pivot against its delta facts (in delta order),
+      the rest-plan against the full structure.  [dedup] (default [true])
+      emits each full match once; pass [false] when a later merge
+      deduplicates (the parallel shards). *)
+  val iter_family :
+    ?init:(int * int) list ->
+    ?dedup:bool ->
+    family ->
+    Structure.t ->
+    Fact.t list ->
+    (int array -> unit) ->
+    unit
+
+  val iter_family_bindings :
+    ?init:binding -> family -> Structure.t -> Fact.t list -> (binding -> unit) -> unit
+
+  (** Rebuild a name binding from an emitted slot array. *)
+  val binding_of_slots : ?init:binding -> t -> int array -> binding
+
+  val family_binding_of_slots : ?init:binding -> family -> int array -> binding
+end
 
 (** {1 Structure-to-structure homomorphisms}
 

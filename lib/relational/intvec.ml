@@ -1,0 +1,72 @@
+(* Growable vectors of unboxed ints: the backbone of the fact arena and
+   of every index bucket on the homomorphism hot path.
+
+   A bucket used to be a [Fact.t list ref] — one boxed cons cell and one
+   pointer chase per entry.  An [Intvec.t] stores the same information as
+   a contiguous [int array] slice: appends are amortized O(1), scans are
+   cache-linear, and the length is a field read.
+
+   Entries are appended in insertion order, so a bucket of fact ids is
+   automatically sorted ascending — the property the parallel merge and
+   the delta journal rely on. *)
+
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 4) () =
+  { data = Array.make (max capacity 1) 0; len = 0 }
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Intvec.get";
+  Array.unsafe_get t.data i
+
+(* Unchecked read for the join inner loop; caller guarantees [i < len]. *)
+let unsafe_get t i = Array.unsafe_get t.data i
+
+let ensure t n =
+  if n > Array.length t.data then begin
+    let cap = ref (Array.length t.data) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let data = Array.make !cap 0 in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let push t x =
+  ensure t (t.len + 1);
+  Array.unsafe_set t.data t.len x;
+  t.len <- t.len + 1
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.data i)
+  done
+
+(* Newest-first iteration: the order the list-based buckets used to
+   present (they consed), preserved so enumeration orders — and therefore
+   [Hom.find] results — are bit-identical across the representation
+   change. *)
+let iter_rev f t =
+  for i = t.len - 1 downto 0 do
+    f (Array.unsafe_get t.data i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc (Array.unsafe_get t.data i)
+  done;
+  !acc
+
+let to_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (get t i :: acc) in
+  go (t.len - 1) []
+
+(* Oldest entry first becomes head-last: the newest-first list shape of
+   the former cons-built buckets. *)
+let to_list_rev t =
+  let rec go i acc = if i >= t.len then acc else go (i + 1) (get t i :: acc) in
+  go 0 []

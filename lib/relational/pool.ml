@@ -1,0 +1,50 @@
+(* A minimal fork-join pool over OCaml 5 domains, for parallel trigger
+   discovery.  [run ~jobs n f] evaluates [f 0 … f (n-1)] — possibly
+   concurrently — and returns the results in index order, so callers see
+   a deterministic shape regardless of scheduling.
+
+   Tasks are distributed round-robin: worker [w] runs the indices
+   congruent to [w] modulo the worker count.  Workers must not mutate
+   shared state; the chase engines only read the structure during
+   discovery and merge results sequentially afterwards.
+
+   With [jobs <= 1] (or a single task) everything runs inline on the
+   calling domain — no spawn, no synchronization — which is also the
+   shape this code takes on single-core containers. *)
+
+let c_shards = Obs.Metrics.counter "par.shards"
+
+(* The runtime's estimate of useful parallelism (includes the caller). *)
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let run ~jobs n f =
+  if n <= 0 then [||]
+  else
+    let jobs = max 1 (min jobs n) in
+    if !Obs.metrics_on then Obs.Metrics.add c_shards jobs;
+    if jobs = 1 then Array.init n f
+    else begin
+      let results = Array.make n None in
+      let worker w () =
+        let i = ref w in
+        while !i < n do
+          results.(!i) <- Some (f !i);
+          i := !i + jobs
+        done
+      in
+      (* The caller is worker 0; [jobs - 1] helper domains take the rest.
+         Every domain is joined before any exception is re-raised, so no
+         domain outlives the call. *)
+      let doms =
+        Array.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1)))
+      in
+      let err = ref None in
+      (try worker 0 () with e -> err := Some e);
+      Array.iter
+        (fun d ->
+          try Domain.join d
+          with e -> if Option.is_none !err then err := Some e)
+        doms;
+      (match !err with Some e -> raise e | None -> ());
+      Array.map (function Some r -> r | None -> assert false) results
+    end

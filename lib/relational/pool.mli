@@ -1,0 +1,18 @@
+(** A minimal fork-join pool over OCaml 5 domains.
+
+    Used by the parallel trigger-discovery mode: workers enumerate body
+    matches over disjoint delta shards (read-only on the structure), and
+    the caller merges their results sequentially.  Results always come
+    back in index order, so the observable shape is independent of
+    scheduling. *)
+
+(** [Domain.recommended_domain_count], at least 1. *)
+val default_jobs : unit -> int
+
+(** [run ~jobs n f] evaluates [f 0 … f (n-1)] on up to [jobs] domains
+    (inline when [jobs <= 1] or [n <= 1]) and returns the results in
+    index order.  [f] must not mutate state shared with other tasks.
+    Ticks the [par.shards] counter with the worker count used.  If any
+    task raises, every domain is joined first and one of the exceptions
+    is re-raised. *)
+val run : jobs:int -> int -> (int -> 'a) -> 'a array

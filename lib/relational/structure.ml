@@ -10,19 +10,33 @@
    chase stage at which it appeared, which Section IX's "late fragments"
    [chase^L] need. *)
 
-(* The (symbol, argument position, element) fact index: the unit of
-   selectivity for the homomorphism engine.  Buckets carry their length so
-   the most selective pin can be chosen in O(#pins). *)
+(* The (symbol id, argument position, element) fact index: the unit of
+   selectivity for the homomorphism engine.  Buckets are [Intvec.t]s of
+   dense fact ids in insertion order, so their length is a field read and
+   scans are cache-linear.
+
+   The hash is a proper avalanche mix of the three coordinates.  The old
+   table hashed [Hashtbl.hash (Symbol.hash s, p, e)] — generic hashing of
+   a tuple of already-hashed small ints, which folds the three values
+   through a byte-serializing hash that loses most of their entropy and
+   collides badly once pins number in the tens of thousands.  Here the
+   coordinates are combined with distinct odd multipliers and finished
+   with an xmx avalanche, so nearby (sym, pos, elem) triples spread over
+   the whole table. *)
 module Pin_tbl = Hashtbl.Make (struct
-  type t = Symbol.t * int * int
+  type t = int * int * int
 
-  let equal (s1, p1, e1) (s2, p2, e2) =
-    p1 = p2 && e1 = e2 && Symbol.equal s1 s2
+  let equal ((s1, p1, e1) : t) (s2, p2, e2) = s1 = s2 && p1 = p2 && e1 = e2
 
-  let hash (s, p, e) = Hashtbl.hash (Symbol.hash s, p, e)
+  (* xxhash-style 32-bit primes and an xmx finalizer; OCaml native ints
+     wrap silently, which is exactly what a mixer wants. *)
+  let hash ((s, p, e) : t) =
+    let h = (s * 0x9E3779B1) lxor (p * 0x85EBCA77) lxor (e * 0xC2B2AE3D) in
+    let h = (h lxor (h lsr 33)) * 0x2545F4914F6CDD1D in
+    h lxor (h lsr 29)
 end)
 
-type bucket = { mutable n : int; mutable bfacts : Fact.t list }
+let empty_ids = Intvec.create ~capacity:1 ()
 
 type t = {
   mutable next : int;                        (* next fresh element id *)
@@ -30,10 +44,10 @@ type t = {
   const_of : (int, string) Hashtbl.t;        (* element -> constant name *)
   names : (int, string) Hashtbl.t;           (* optional debug labels *)
   facts : int Fact.Tbl.t;                    (* fact -> stage added *)
-  by_sym : Fact.t list ref Symbol.Tbl.t;
+  arena : Fact_arena.t;                      (* interned flat fact store *)
+  mutable by_sym : Intvec.t array;           (* sym id -> fact ids *)
   by_elem : (int, Fact.t list ref) Hashtbl.t;
-  by_pin : bucket Pin_tbl.t;                 (* (sym, pos, elem) -> facts *)
-  mutable journal_rev : Fact.t list;         (* delta journal, newest first *)
+  by_pin : Intvec.t Pin_tbl.t;               (* (sym id, pos, elem) -> ids *)
   dom : (int, int) Hashtbl.t;                (* element -> birth stage *)
   mutable stage : int;                       (* current provenance stage *)
   mutable nfacts : int;
@@ -46,10 +60,10 @@ let create () =
     const_of = Hashtbl.create 16;
     names = Hashtbl.create 64;
     facts = Fact.Tbl.create 256;
-    by_sym = Symbol.Tbl.create 32;
+    arena = Fact_arena.create ();
+    by_sym = Array.make 8 empty_ids;
     by_elem = Hashtbl.create 256;
     by_pin = Pin_tbl.create 256;
-    journal_rev = [];
     dom = Hashtbl.create 256;
     stage = 0;
     nfacts = 0;
@@ -100,32 +114,37 @@ let add_fact t f =
   else begin
     Fact.Tbl.replace t.facts f t.stage;
     t.nfacts <- t.nfacts + 1;
-    t.journal_rev <- f :: t.journal_rev;
-    let bucket =
-      match Symbol.Tbl.find_opt t.by_sym (Fact.sym f) with
-      | Some r -> r
-      | None ->
-          let r = ref [] in
-          Symbol.Tbl.replace t.by_sym (Fact.sym f) r;
-          r
+    (* the arena assigns the dense id; its id order IS the journal *)
+    let id = Fact_arena.append t.arena f in
+    let sid = Fact_arena.sym t.arena id in
+    if sid >= Array.length t.by_sym then begin
+      let a = Array.make (2 * max (sid + 1) (Array.length t.by_sym)) empty_ids in
+      Array.blit t.by_sym 0 a 0 (Array.length t.by_sym);
+      t.by_sym <- a
+    end;
+    let svec =
+      if t.by_sym.(sid) == empty_ids then begin
+        let v = Intvec.create () in
+        t.by_sym.(sid) <- v;
+        v
+      end
+      else t.by_sym.(sid)
     in
-    bucket := f :: !bucket;
-    let sym = Fact.sym f in
+    Intvec.push svec id;
     let seen = Hashtbl.create 4 in
     Array.iteri
       (fun i e ->
         register_elem t e;
-        let key = (sym, i, e) in
+        let key = (sid, i, e) in
         let b =
           match Pin_tbl.find_opt t.by_pin key with
           | Some b -> b
           | None ->
-              let b = { n = 0; bfacts = [] } in
+              let b = Intvec.create () in
               Pin_tbl.replace t.by_pin key b;
               b
         in
-        b.n <- b.n + 1;
-        b.bfacts <- f :: b.bfacts;
+        Intvec.push b id;
         if not (Hashtbl.mem seen e) then begin
           Hashtbl.replace seen e ();
           let r =
@@ -158,34 +177,73 @@ let facts t = fold_facts t (fun f acc -> f :: acc) []
 let iter_elems t f = Hashtbl.iter (fun e _ -> f e) t.dom
 let elems t = Hashtbl.fold (fun e _ acc -> e :: acc) t.dom []
 
-let facts_with_sym t sym =
-  match Symbol.Tbl.find_opt t.by_sym sym with Some r -> !r | None -> []
+(* {2 The dense-id hot-path view}
+
+   The homomorphism evaluator works on fact ids, interned symbol ids and
+   the flat argument arena — never on boxed [Fact.t]s.  Buckets are
+   returned as shared [Intvec.t]s; callers must not mutate them. *)
+
+let nfacts t = t.nfacts
+
+(* The interned id of [sym], or [-1] when the structure has no fact with
+   it (an un-interned symbol has an empty pool by construction). *)
+let sym_id t sym = Fact_arena.find_sym t.arena sym
+
+let id_fact t id = Fact_arena.fact t.arena id
+let id_sym t id = Fact_arena.sym t.arena id
+let id_arg t id pos = Fact_arena.arg t.arena id pos
+
+let ids_with_sym t sid =
+  if sid < 0 || sid >= Array.length t.by_sym then empty_ids else t.by_sym.(sid)
+
+let ids_with_pin t sid pos e =
+  match Pin_tbl.find_opt t.by_pin (sid, pos, e) with
+  | Some b -> b
+  | None -> empty_ids
+
+let pin_count_id t sid pos e = Intvec.length (ids_with_pin t sid pos e)
+
+(* {2 The boxed list view, derived from the id view} *)
+
+(* Newest-first, the order the cons-built buckets used to present. *)
+let facts_of_ids t ids =
+  Intvec.fold_left (fun acc id -> id_fact t id :: acc) [] ids
+
+let facts_with_sym t sym = facts_of_ids t (ids_with_sym t (sym_id t sym))
 
 let facts_with_elem t e =
   match Hashtbl.find_opt t.by_elem e with Some r -> !r | None -> []
 
 let facts_with_pin t sym pos e =
-  match Pin_tbl.find_opt t.by_pin (sym, pos, e) with
-  | Some b -> b.bfacts
-  | None -> []
+  let sid = sym_id t sym in
+  if sid < 0 then [] else facts_of_ids t (ids_with_pin t sid pos e)
 
 let pin_count t sym pos e =
-  match Pin_tbl.find_opt t.by_pin (sym, pos, e) with Some b -> b.n | None -> 0
+  let sid = sym_id t sym in
+  if sid < 0 then 0 else pin_count_id t sid pos e
 
-(* The delta journal: every successful [add_fact] is recorded in order, and
-   [nfacts] doubles as the journal length, so a watermark is just the fact
-   count at some past moment. *)
+(* The delta journal: the arena's id order is insertion order and
+   [nfacts] doubles as the journal length, so a watermark is just the
+   fact count at some past moment and a delta is an id interval. *)
 let watermark t = t.nfacts
 
 let delta_since t wm =
-  let rec take acc k l =
-    if k <= 0 then acc
-    else match l with [] -> acc | f :: rest -> take (f :: acc) (k - 1) rest
+  let rec go id acc =
+    if id < wm then acc else go (id - 1) (id_fact t id :: acc)
   in
-  take [] (t.nfacts - wm) t.journal_rev
+  go (t.nfacts - 1) []
+
+(* Delta as an id interval [wm, nfacts): what the sharded parallel scan
+   partitions. *)
+let delta_ids t wm = (wm, t.nfacts)
 
 let symbols t =
-  Symbol.Tbl.fold (fun s r acc -> if !r = [] then acc else s :: acc) t.by_sym []
+  let acc = ref [] in
+  for sid = Fact_arena.n_syms t.arena - 1 downto 0 do
+    if Intvec.length (ids_with_sym t sid) > 0 then
+      acc := Fact_arena.sym_obj t.arena sid :: !acc
+  done;
+  !acc
 
 let constants t = Hashtbl.fold (fun c _ acc -> c :: acc) t.consts []
 

@@ -91,6 +91,44 @@ val facts_with_pin : t -> Symbol.t -> int -> int -> Fact.t list
 (** Bucket size of [facts_with_pin], in O(1). *)
 val pin_count : t -> Symbol.t -> int -> int -> int
 
+(** {1 The dense-id hot path}
+
+    Facts carry dense ids (their insertion index) and symbols are
+    interned to dense ids per structure; arguments live in a flat int
+    arena.  The compiled join plans of {!Hom.Plan} work exclusively on
+    this view.  Returned buckets are the live index vectors — treat them
+    as read-only. *)
+
+(** Number of facts; the id space is [0 .. nfacts - 1]. *)
+val nfacts : t -> int
+
+(** The interned id of [sym], or [-1] if no fact uses it. *)
+val sym_id : t -> Symbol.t -> int
+
+(** The boxed fact with dense id [id]. *)
+val id_fact : t -> int -> Fact.t
+
+(** The interned symbol id of fact [id]. *)
+val id_sym : t -> int -> int
+
+(** [id_arg t id pos] — argument [pos] of fact [id], off the flat arena. *)
+val id_arg : t -> int -> int -> int
+
+(** All fact ids with interned symbol [sid], insertion order ([-1] and
+    unknown ids give the shared empty vector). *)
+val ids_with_sym : t -> int -> Intvec.t
+
+(** [ids_with_pin t sid pos e] — fact ids of the [(sid, pos, e)] pin
+    bucket, insertion order. *)
+val ids_with_pin : t -> int -> int -> int -> Intvec.t
+
+(** Bucket size of [ids_with_pin], in O(1). *)
+val pin_count_id : t -> int -> int -> int -> int
+
+(** [delta_ids t wm] — the delta since watermark [wm] as the id interval
+    [\[wm, nfacts)], ready for sharding. *)
+val delta_ids : t -> int -> int * int
+
 (** {1 Delta journal}
 
     Every added fact is journalled in insertion order; a watermark marks a

@@ -5,6 +5,7 @@
     report (no-pattern?, graph). *)
 val chase_prefix_clean :
   ?engine:Greengraph.Rule.engine ->
+  ?jobs:int ->
   stages:int ->
   unit ->
   bool * Greengraph.Graph.t
@@ -12,6 +13,7 @@ val chase_prefix_clean :
 (** The finite-side mechanism (Lemma 17): grid a fold of two αβ-paths. *)
 val collision_outcome :
   ?engine:Greengraph.Rule.engine ->
+  ?jobs:int ->
   ?max_stages:int ->
   t:int ->
   t':int ->
@@ -21,6 +23,7 @@ val collision_outcome :
 (** Lemma 18's intuition: a single path grids into M_t harmlessly. *)
 val single_path_outcome :
   ?engine:Greengraph.Rule.engine ->
+  ?jobs:int ->
   ?max_stages:int ->
   t:int ->
   unit ->

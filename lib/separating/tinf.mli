@@ -9,6 +9,7 @@ val rules : Greengraph.Rule.t list
     selects the rule-chase engine (default semi-naive). *)
 val chase :
   ?engine:Greengraph.Rule.engine ->
+  ?jobs:int ->
   stages:int ->
   unit ->
   Greengraph.Graph.t * int * int * Greengraph.Rule.stats

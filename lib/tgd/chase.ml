@@ -7,13 +7,17 @@
    (T, b̄) over the stage-start structure, then applies the surviving
    triggers in order, re-checking ­ as the structure grows.
 
-   Two trigger-discovery engines implement that stage semantics:
+   Three trigger-discovery engines implement that stage semantics:
 
      [`Stage]     re-enumerates every body homomorphism of every TGD
                   against the whole structure at every stage;
      [`Seminaive] (default) matches each body only against homomorphisms
                   using at least one fact added since the previous stage
-                  (the delta), exactly like semi-naive Datalog evaluation.
+                  (the delta), exactly like semi-naive Datalog evaluation;
+     [`Par]       semi-naive discovery fanned out over a domain pool:
+                  workers enumerate body matches over disjoint delta
+                  shards, the matches are merged in canonical sort order,
+                  and firing stays sequential.
 
    Delta-restriction is sound for the lazy chase because both conditions
    are monotone in the structure: a body match wholly inside old facts was
@@ -21,9 +25,13 @@
    head witness now exists) or was withheld because condition ­ held (and
    head witnesses never disappear).  Either way it is inactive forever,
    so only delta-touching matches can yield new triggers.  Within a stage
-   both engines apply the surviving triggers in the same canonical order
+   every engine applies the surviving triggers in the same canonical order
    (TGD index, then frontier tuple), so they build identical structures,
-   fresh element ids included. *)
+   fresh element ids included.
+
+   Each dependency's body, delta family and head are compiled once per
+   run into {!Hom.Plan}s; every stage re-evaluates the plans instead of
+   re-deriving atom orders and pin choices. *)
 
 open Relational
 
@@ -31,6 +39,7 @@ let c_matches = Obs.Metrics.counter "tgd.body_matches"
 let c_considered = Obs.Metrics.counter "tgd.triggers_considered"
 let c_firings = Obs.Metrics.counter "tgd.firings"
 let c_head_checks = Obs.Metrics.counter "tgd.head_checks"
+let c_merge_ms = Obs.Metrics.counter "par.merge_ms"
 let h_delta = Obs.Metrics.histogram "tgd.delta_size"
 
 type stats = {
@@ -56,6 +65,92 @@ let frontier_binding dep binding =
 let head_satisfied d dep fb =
   if !Obs.metrics_on then Obs.Metrics.incr c_head_checks;
   Hom.exists ~init:fb d (Dep.head dep)
+
+(* Frontier access precomputed at the slot level: the frontier variables
+   in ascending name order (the canonical key order — [Var_set.elements]
+   and [Var_map.bindings] agree on it), their slots in the relevant body
+   layout, and their slots in the head plan.  The per-match hot path then
+   projects an int-array frontier key straight off the evaluator's slot
+   array and never touches a [Var_map]; name bindings are rebuilt only
+   for triggers that actually fire. *)
+type frontier_info = {
+  fr_names : string array;
+  fr_slots : int array;  (* body-plan or family layout *)
+  fr_head : int array;   (* head-plan slots; -1 if the head omits the var *)
+}
+
+let frontier_info dep ~slot_of head_plan =
+  let fr_names = Array.of_list (Term.Var_set.elements (Dep.frontier dep)) in
+  let fr_slots =
+    Array.map
+      (fun x ->
+        match slot_of x with
+        | Some s -> s
+        | None -> invalid_arg "frontier variable missing from body plan")
+      fr_names
+  in
+  let fr_head =
+    Array.map
+      (fun x -> Option.value ~default:(-1) (Hom.Plan.slot head_plan x))
+      fr_names
+  in
+  { fr_names; fr_slots; fr_head }
+
+(* A dependency with its compiled plans.  All are lazy so each engine
+   only pays for the plans it evaluates (the stage engine never compiles
+   the delta family, the delta engines never compile the full body
+   plan).  [fr_stage]/[fr_delta] carry the frontier slot projections for
+   the two body layouts. *)
+type cdep = {
+  dep : Dep.t;
+  body_plan : Hom.Plan.t Lazy.t;
+  body_family : Hom.Plan.family Lazy.t;
+  head_plan : Hom.Plan.t Lazy.t;
+  fr_stage : frontier_info Lazy.t;
+  fr_delta : frontier_info Lazy.t;
+}
+
+let compile_dep dep =
+  let body_plan = lazy (Hom.Plan.compile (Dep.body dep)) in
+  let body_family = lazy (Hom.Plan.compile_family (Dep.body dep)) in
+  let head_plan = lazy (Hom.Plan.compile (Dep.head dep)) in
+  {
+    dep;
+    body_plan;
+    body_family;
+    head_plan;
+    fr_stage =
+      lazy
+        (frontier_info dep
+           ~slot_of:(Hom.Plan.slot (Lazy.force body_plan))
+           (Lazy.force head_plan));
+    fr_delta =
+      lazy
+        (frontier_info dep
+           ~slot_of:(Hom.Plan.family_slot (Lazy.force body_family))
+           (Lazy.force head_plan));
+  }
+
+(* The frontier key of a body match: the frontier elements in canonical
+   (ascending variable name) order.  Same-dependency keys compare exactly
+   like the former sorted [(var, elem)] association lists, so the
+   canonical firing order is unchanged. *)
+let key_of fi slots = Array.map (fun s -> Array.unsafe_get slots s) fi.fr_slots
+
+let binding_of_key fi key =
+  let m = ref Term.Var_map.empty in
+  Array.iteri (fun i x -> m := Term.Var_map.add x key.(i) !m) fi.fr_names;
+  !m
+
+(* Condition ­ straight from a frontier key: the head plan is seeded by
+   slot, skipping the binding round-trip. *)
+let head_witnessed d cd fi key =
+  if !Obs.metrics_on then Obs.Metrics.incr c_head_checks;
+  let init = ref [] in
+  Array.iteri
+    (fun i s -> if s >= 0 then init := (s, key.(i)) :: !init)
+    fi.fr_head;
+  Hom.Plan.exists_slots ~init:!init (Lazy.force cd.head_plan) d
 
 (* Fire (T, b̄): create a fresh copy of A[Ψ] identified with D along b̄. *)
 let apply d dep fb =
@@ -87,57 +182,129 @@ module Binding_key = struct
 end
 
 (* Sort a stage's surviving triggers into the canonical firing order
-   (TGD index, then frontier key), shared by both engines so their fresh
-   elements coincide. *)
+   (TGD index, then frontier key), shared by all engines so their fresh
+   elements coincide.  Keys of one dependency are equal-length int
+   arrays, compared element-wise by the polymorphic compare — the same
+   order the sorted association lists used to induce. *)
 let sort_triggers triggers =
   List.sort
-    (fun (i1, _, k1) (i2, _, k2) ->
+    (fun (i1, _, _, k1) (i2, _, _, k2) ->
       let c = Int.compare i1 i2 in
       if c <> 0 then c else compare k1 k2)
     triggers
+
+let triggers_of out =
+  List.map (fun (_, cd, fi, key) -> (cd, fi, key)) (sort_triggers out)
+
+(* Examine one deduplicated body match: first-time frontier keys count as
+   considerations; those with no head witness survive as triggers. *)
+let consider_match ~seen ~considered d di cd fi key out =
+  if not (Hashtbl.mem seen key) then begin
+    Hashtbl.replace seen key ();
+    incr considered;
+    if !Obs.metrics_on then Obs.Metrics.incr c_considered;
+    if not (head_witnessed d cd fi key) then out := (di, cd, fi, key) :: !out
+  end
 
 (* Collect the stage's triggers: deduplicate body matches per TGD by
    frontier key, drop those whose head is already witnessed (condition ­),
    and sort canonically.  [delta] restricts discovery to matches using a
    new fact; [seen_of] supplies the per-TGD dedup table (persistent across
-   stages for the semi-naive engine).  [considered] counts first-time
+   stages for the semi-naive engines).  [considered] counts first-time
    frontier keys; [matches] counts every body match before dedup — the
    paper enumerates pairs (T, b̄), so two matches differing only in their
    existential witnesses are one consideration but two matches. *)
-let collect_triggers ?delta ~seen_of ~considered ~matches deps d =
+let collect_triggers ?delta ~seen_of ~considered ~matches cdeps d =
   let out = ref [] in
   List.iteri
-    (fun di dep ->
-      let seen = seen_of di dep in
-      Hom.iter_all ?delta d (Dep.body dep) (fun binding ->
-          incr matches;
-          if !Obs.metrics_on then Obs.Metrics.incr c_matches;
-          let fb = frontier_binding dep binding in
-          let key = Binding_key.of_binding fb in
-          if not (Hashtbl.mem seen key) then begin
-            Hashtbl.replace seen key ();
-            incr considered;
-            if !Obs.metrics_on then Obs.Metrics.incr c_considered;
-            if not (head_satisfied d dep fb) then out := (di, dep, key) :: !out
-          end))
-    deps;
-  List.map
-    (fun (_, dep, key) ->
-      (dep, List.fold_left (fun m (x, e) -> Term.Var_map.add x e m)
-              Term.Var_map.empty key))
-    (sort_triggers !out)
+    (fun di cd ->
+      let seen = seen_of di cd in
+      let emit fi slots =
+        incr matches;
+        if !Obs.metrics_on then Obs.Metrics.incr c_matches;
+        consider_match ~seen ~considered d di cd fi (key_of fi slots) out
+      in
+      match delta with
+      | None ->
+          let fi = Lazy.force cd.fr_stage in
+          Hom.Plan.iter_slots (Lazy.force cd.body_plan) d (emit fi)
+      | Some delta_facts ->
+          let fi = Lazy.force cd.fr_delta in
+          Hom.Plan.iter_family
+            (Lazy.force cd.body_family)
+            d delta_facts (emit fi))
+    cdeps;
+  triggers_of !out
+
+(* The parallel collector: semi-naive discovery over disjoint delta
+   shards.  Workers only read the structure and emit raw (undeduplicated)
+   full matches as slot arrays; the merge sorts them canonically — the
+   family's shared slot layout makes the arrays comparable — then
+   deduplicates, counts and head-checks sequentially.  The global
+   deduplicated match set equals the sequential semi-naive one (a match
+   reachable through pivots in different shards is emitted by several
+   workers and merged back to one), so stats, surviving triggers and —
+   after the canonical trigger sort — the firing sequence are all
+   bit-identical to [`Seminaive].  Hom-level effort counters tick inside
+   the workers and are approximate when [jobs > 1]. *)
+let collect_triggers_par ~jobs ~seen_of ~considered ~matches cdeps d
+    delta_facts =
+  let delta = Array.of_list delta_facts in
+  let nd = Array.length delta in
+  let m = max 1 (min jobs (max nd 1)) in
+  (* Round-robin shards, each keeping the delta's relative order. *)
+  let shards =
+    Array.init m (fun w ->
+        let acc = ref [] in
+        for i = nd - 1 downto 0 do
+          if i mod m = w then acc := delta.(i) :: !acc
+        done;
+        !acc)
+  in
+  let out = ref [] in
+  List.iteri
+    (fun di cd ->
+      let fam = Lazy.force cd.body_family in
+      let fi = Lazy.force cd.fr_delta in
+      let raw =
+        Pool.run ~jobs:m m (fun w ->
+            let acc = ref [] in
+            Hom.Plan.iter_family fam d shards.(w) (fun slots ->
+                acc := Array.copy slots :: !acc);
+            List.rev !acc)
+      in
+      let t0 = Obs.Clock.now_s () in
+      let all = List.sort compare (List.concat (Array.to_list raw)) in
+      let seen_full = Hashtbl.create 64 in
+      let seen = seen_of di cd in
+      List.iter
+        (fun slots ->
+          if not (Hashtbl.mem seen_full slots) then begin
+            Hashtbl.replace seen_full slots ();
+            incr matches;
+            if !Obs.metrics_on then Obs.Metrics.incr c_matches;
+            consider_match ~seen ~considered d di cd fi (key_of fi slots) out
+          end)
+        all;
+      if !Obs.metrics_on then
+        Obs.Metrics.add c_merge_ms
+          (int_of_float ((Obs.Clock.now_s () -. t0) *. 1000.)))
+    cdeps;
+  triggers_of !out
 
 (* Collect the active pairs (T, b̄) of the current structure. *)
 let active_triggers deps d =
   let considered = ref 0 and matches = ref 0 in
   collect_triggers
     ~seen_of:(fun _ _ -> Hashtbl.create 64)
-    ~considered ~matches deps d
+    ~considered ~matches
+    (List.map compile_dep deps)
+    d
+  |> List.map (fun (cd, fi, key) -> (cd.dep, binding_of_key fi key))
 
 (* The active pairs of one dependency, without materialising the other
    dependencies' triggers. *)
-let active_triggers_of dep d =
-  active_triggers [ dep ] d |> List.map snd
+let active_triggers_of dep d = active_triggers [ dep ] d |> List.map snd
 
 (* Does [dep] have at least one active trigger?  Short-circuits on the
    first one instead of materialising the trigger list. *)
@@ -164,10 +331,11 @@ let has_active_trigger dep d =
 let apply_triggers ?(on_fire = fun _ _ -> ()) triggers d =
   let fired = ref 0 in
   List.iter
-    (fun (dep, fb) ->
-      if not (head_satisfied d dep fb) then begin
-        on_fire dep fb;
-        apply d dep fb;
+    (fun (cd, fi, key) ->
+      if not (head_witnessed d cd fi key) then begin
+        let fb = binding_of_key fi key in
+        on_fire cd.dep fb;
+        apply d cd.dep fb;
         if !Obs.metrics_on then Obs.Metrics.incr c_firings;
         incr fired
       end)
@@ -175,21 +343,28 @@ let apply_triggers ?(on_fire = fun _ _ -> ()) triggers d =
   !fired
 
 (* One stage of the chase procedure; returns the number of firings. *)
-let chase_stage deps d = apply_triggers (active_triggers deps d) d
+let chase_stage deps d =
+  let considered = ref 0 and matches = ref 0 in
+  let triggers =
+    collect_triggers
+      ~seen_of:(fun _ _ -> Hashtbl.create 64)
+      ~considered ~matches
+      (List.map compile_dep deps)
+      d
+  in
+  apply_triggers triggers d
 
 (* Run the chase in place for at most [max_stages] stages, or until the
    fixpoint, or until [stop] holds (checked after every stage).  Stage
    numbers stamp provenance into the structure: facts added at stage i
    belong to chase_i.
 
-   [~seen_of] and [~delta_of] abstract the two engines: the stage engine
-   uses fresh dedup tables and no delta each stage; the semi-naive engine
-   keeps one dedup table per TGD for the whole run and restricts matching
-   to the facts added since the previous stage. *)
-let run_engine ~span ~max_stages ~stop ~on_fire ~seen_of ~delta_of deps d =
+   [collect] abstracts the engines' trigger discovery; it is called once
+   per stage, after the stage stamp, and shares the [considered]/[matches]
+   refs with the final stats. *)
+let run_engine ~span ~max_stages ~stop ~on_fire ~considered ~matches ~collect d
+    =
   let applications = ref 0 in
-  let considered = ref 0 in
-  let matches = ref 0 in
   let finish i fixpoint =
     {
       stages = i;
@@ -203,18 +378,12 @@ let run_engine ~span ~max_stages ~stop ~on_fire ~seen_of ~delta_of deps d =
     if i > max_stages then finish (i - 1) false
     else begin
       Structure.set_stage d i;
-      let delta = delta_of () in
-      if !Obs.metrics_on then
-        Obs.Metrics.observe h_delta
-          (match delta with Some l -> List.length l | None -> Structure.size d);
       let n_triggers = ref 0 and n_fired = ref 0 in
       Obs.Trace.with_span "tgd.stage"
         ~args:(fun () ->
           [ ("stage", i); ("triggers", !n_triggers); ("fired", !n_fired) ])
         (fun () ->
-          let triggers =
-            collect_triggers ?delta ~seen_of ~considered ~matches deps d
-          in
+          let triggers = collect () in
           n_triggers := List.length triggers;
           n_fired := apply_triggers ~on_fire:(on_fire ~stage:i) triggers d);
       applications := !applications + !n_fired;
@@ -229,32 +398,60 @@ let no_fire ~stage:_ _ _ = ()
 
 let run_stage ?(max_stages = max_int) ?(stop = fun _ -> false)
     ?(on_fire = no_fire) deps d =
-  run_engine ~span:"tgd.chase(stage)" ~max_stages ~stop ~on_fire
-    ~seen_of:(fun _ _ -> Hashtbl.create 64)
-    ~delta_of:(fun () -> None)
-    deps d
+  let cdeps = List.map compile_dep deps in
+  let considered = ref 0 and matches = ref 0 in
+  let collect () =
+    if !Obs.metrics_on then Obs.Metrics.observe h_delta (Structure.size d);
+    collect_triggers
+      ~seen_of:(fun _ _ -> Hashtbl.create 64)
+      ~considered ~matches cdeps d
+  in
+  run_engine ~span:"tgd.chase(stage)" ~max_stages ~stop ~on_fire ~considered
+    ~matches ~collect d
 
-let run_seminaive ?(max_stages = max_int) ?(stop = fun _ -> false)
-    ?(on_fire = no_fire) deps d =
+(* The per-run persistent dedup tables of the semi-naive engines. *)
+let persistent_seen () =
   let tables = Hashtbl.create 8 in
-  let seen_of di _ =
+  fun di _ ->
     match Hashtbl.find_opt tables di with
     | Some t -> t
     | None ->
         let t = Hashtbl.create 64 in
         Hashtbl.replace tables di t;
         t
-  in
+
+let run_seminaive ?(max_stages = max_int) ?(stop = fun _ -> false)
+    ?(on_fire = no_fire) deps d =
+  let cdeps = List.map compile_dep deps in
+  let seen_of = persistent_seen () in
+  let considered = ref 0 and matches = ref 0 in
   (* Watermark of the previous stage's start; the first delta is the whole
      initial structure. *)
   let wm = ref 0 in
-  let delta_of () =
+  let collect () =
     let delta = Structure.delta_since d !wm in
     wm := Structure.watermark d;
-    Some delta
+    if !Obs.metrics_on then Obs.Metrics.observe h_delta (List.length delta);
+    collect_triggers ~delta ~seen_of ~considered ~matches cdeps d
   in
-  run_engine ~span:"tgd.chase(seminaive)" ~max_stages ~stop ~on_fire ~seen_of
-    ~delta_of deps d
+  run_engine ~span:"tgd.chase(seminaive)" ~max_stages ~stop ~on_fire
+    ~considered ~matches ~collect d
+
+let run_par ?jobs ?(max_stages = max_int) ?(stop = fun _ -> false)
+    ?(on_fire = no_fire) deps d =
+  let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+  let cdeps = List.map compile_dep deps in
+  let seen_of = persistent_seen () in
+  let considered = ref 0 and matches = ref 0 in
+  let wm = ref 0 in
+  let collect () =
+    let delta = Structure.delta_since d !wm in
+    wm := Structure.watermark d;
+    if !Obs.metrics_on then Obs.Metrics.observe h_delta (List.length delta);
+    collect_triggers_par ~jobs ~seen_of ~considered ~matches cdeps d delta
+  in
+  run_engine ~span:"tgd.chase(par)" ~max_stages ~stop ~on_fire ~considered
+    ~matches ~collect d
 
 (* The semi-oblivious (skolem) chase: every pair (T, b̄) fires exactly
    once, whether or not the head is already satisfied.  It diverges more
@@ -275,6 +472,7 @@ let run_oblivious ?(max_stages = max_int) ?(stop = fun _ -> false)
       fixpoint;
     }
   in
+  let cdeps = List.map compile_dep deps in
   let rec go i =
     if i > max_stages then finish (i - 1) false
     else begin
@@ -285,19 +483,20 @@ let run_oblivious ?(max_stages = max_int) ?(stop = fun _ -> false)
         (fun () ->
           let triggers = ref [] in
           List.iter
-            (fun dep ->
-              Hom.iter_all d (Dep.body dep) (fun binding ->
+            (fun cd ->
+              let fi = Lazy.force cd.fr_stage in
+              Hom.Plan.iter_slots (Lazy.force cd.body_plan) d (fun slots ->
                   incr matches;
                   if !Obs.metrics_on then Obs.Metrics.incr c_matches;
-                  let fb = frontier_binding dep binding in
-                  let key = (Dep.name dep, Binding_key.of_binding fb) in
-                  if not (Hashtbl.mem fired key) then begin
-                    Hashtbl.replace fired key ();
+                  let key = key_of fi slots in
+                  let dkey = (Dep.name cd.dep, key) in
+                  if not (Hashtbl.mem fired dkey) then begin
+                    Hashtbl.replace fired dkey ();
                     incr considered;
                     if !Obs.metrics_on then Obs.Metrics.incr c_considered;
-                    triggers := (dep, fb) :: !triggers
+                    triggers := (cd.dep, binding_of_key fi key) :: !triggers
                   end))
-            deps;
+            cdeps;
           n := List.length !triggers;
           List.iter
             (fun (dep, fb) ->
@@ -313,24 +512,27 @@ let run_oblivious ?(max_stages = max_int) ?(stop = fun _ -> false)
   in
   Obs.Trace.with_span "tgd.chase(oblivious)" (fun () -> go 1)
 
-type engine = [ `Stage | `Seminaive | `Oblivious ]
+type engine = [ `Stage | `Seminaive | `Oblivious | `Par ]
 
 let pp_engine ppf e =
   Fmt.string ppf
     (match e with
     | `Stage -> "stage"
     | `Seminaive -> "seminaive"
-    | `Oblivious -> "oblivious")
+    | `Oblivious -> "oblivious"
+    | `Par -> "par")
 
 (* The engine front door.  Semi-naive is the default: it implements the
    same lazy stage semantics as [`Stage] (equal structures, equal firing
    sequence) with per-stage work proportional to the delta rather than to
-   the whole structure. *)
-let run ?(engine = `Seminaive) ?max_stages ?stop ?on_fire deps d =
+   the whole structure.  [`Par] is semi-naive with sharded discovery;
+   [jobs] bounds its worker count (ignored by the other engines). *)
+let run ?(engine = `Seminaive) ?jobs ?max_stages ?stop ?on_fire deps d =
   match engine with
   | `Stage -> run_stage ?max_stages ?stop ?on_fire deps d
   | `Seminaive -> run_seminaive ?max_stages ?stop ?on_fire deps d
   | `Oblivious -> run_oblivious ?max_stages ?stop ?on_fire deps d
+  | `Par -> run_par ?jobs ?max_stages ?stop ?on_fire deps d
 
 (* Does D satisfy all the dependencies?  Short-circuits on the first
    active trigger instead of materialising every dependency's trigger

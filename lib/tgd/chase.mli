@@ -33,9 +33,11 @@ val pp_stats : Format.formatter -> stats -> unit
     (the default) only matches bodies against homomorphisms that use at
     least one fact added since the previous stage, which is equivalent —
     conditions ¬ and ­ are monotone, so stale matches are inactive forever
-    — and asymptotically cheaper; [`Oblivious] is the skolem chase
-    baseline ({!run_oblivious}). *)
-type engine = [ `Stage | `Seminaive | `Oblivious ]
+    — and asymptotically cheaper; [`Par] is semi-naive with discovery
+    fanned out over a domain pool (disjoint delta shards, canonical
+    sorted merge, sequential firing — still bit-identical); [`Oblivious]
+    is the skolem chase baseline ({!run_oblivious}). *)
+type engine = [ `Stage | `Seminaive | `Oblivious | `Par ]
 
 val pp_engine : Format.formatter -> engine -> unit
 
@@ -68,9 +70,11 @@ val chase_stage : Dep.t list -> Structure.t -> int
     identical structures, fresh element ids included.  [on_fire] observes
     every firing in order — (stage, TGD, frontier binding) — before its
     head atoms are added; the oracle's differential runner records the
-    firing sequence through it. *)
+    firing sequence through it.  [jobs] bounds the [`Par] engine's worker
+    count (default [Pool.default_jobs ()]; ignored by other engines). *)
 val run :
   ?engine:engine ->
+  ?jobs:int ->
   ?max_stages:int ->
   ?stop:(Structure.t -> bool) ->
   ?on_fire:(stage:int -> Dep.t -> Hom.binding -> unit) ->
@@ -90,6 +94,22 @@ val run_stage :
 (** The semi-naive engine: delta-restricted trigger discovery
     ([run ~engine:`Seminaive], the default). *)
 val run_seminaive :
+  ?max_stages:int ->
+  ?stop:(Structure.t -> bool) ->
+  ?on_fire:(stage:int -> Dep.t -> Hom.binding -> unit) ->
+  Dep.t list ->
+  Structure.t ->
+  stats
+
+(** The parallel engine ([run ~engine:`Par]): semi-naive trigger
+    discovery sharded over a {!Relational.Pool} of domains.  Workers
+    enumerate body matches over disjoint delta shards (reading the
+    structure only); the matches are merged in canonical sort order,
+    deduplicated, head-checked and fired sequentially, so structures,
+    stats and firing sequences are bit-identical to [`Seminaive].
+    Hom-level effort counters are approximate when [jobs > 1]. *)
+val run_par :
+  ?jobs:int ->
   ?max_stages:int ->
   ?stop:(Structure.t -> bool) ->
   ?on_fire:(stage:int -> Dep.t -> Hom.binding -> unit) ->

@@ -31,6 +31,7 @@ val observation6_check : original:Structure.t -> chased:Structure.t -> bool
     is the chased instance (a counterexample when [`Not_determined]). *)
 val unrestricted_determinacy :
   ?engine:Chase.engine ->
+  ?jobs:int ->
   ?max_stages:int ->
   (string * Cq.Query.t) list ->
   Cq.Query.t ->

@@ -1,0 +1,230 @@
+(* Property suite holding the compiled Hom.Plan evaluator to the
+   interpreted reference (hom.mli promises bit-identity: same bindings,
+   same order, same effort counters), plus the parallel chase engine's
+   bit-identity to semi-naive. *)
+
+open Relational
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let edge = Symbol.make "E" 2
+let node = Symbol.make "N" 1
+let v = Term.var
+let c = Term.cst
+
+(* enumerate as concrete association lists so polymorphic equality sees
+   binding contents, order of enumeration included *)
+let enumerate ?init ?delta ~compiled d atoms =
+  let out = ref [] in
+  Hom.iter_all ~compiled ?init ?delta d atoms (fun b ->
+      out := Term.Var_map.bindings b :: !out);
+  List.rev !out
+
+let hom_counters () =
+  List.filter
+    (fun (name, _) -> String.length name >= 4 && String.sub name 0 4 = "hom.")
+    (Obs.Metrics.snapshot ())
+
+(* compiled and interpreted must agree on the binding sequence AND on the
+   hom.* effort counters *)
+let agree ?init ?delta what d atoms =
+  Obs.set_metrics true;
+  let before = hom_counters () in
+  let compiled = enumerate ?init ?delta ~compiled:true d atoms in
+  let mid = hom_counters () in
+  let interp = enumerate ?init ?delta ~compiled:false d atoms in
+  let after = hom_counters () in
+  Obs.set_metrics false;
+  check (what ^ ": same bindings in the same order") true (compiled = interp);
+  check
+    (what ^ ": same effort counters")
+    true
+    (Obs.Metrics.diff before mid = Obs.Metrics.diff mid after)
+
+(* --- handcrafted shapes --------------------------------------------------- *)
+
+let test_repeated_atoms () =
+  let s = Structure.create () in
+  let a = Structure.fresh s and b = Structure.fresh s in
+  let d = Structure.fresh s in
+  Structure.add2 s edge a b;
+  Structure.add2 s edge b d;
+  Structure.add2 s edge a d;
+  let atom = Atom.app2 edge (v "x") (v "y") in
+  (* physically equal repeated atoms each keep their occurrence *)
+  agree "duplicate atom" s [ atom; atom ];
+  agree "triangle with a repeat" s
+    [ Atom.app2 edge (v "x") (v "y"); Atom.app2 edge (v "y") (v "z"); atom ];
+  check_int "duplicate atom matches once per edge" 3
+    (Hom.count s [ atom; atom ])
+
+let test_constants_in_body () =
+  let s = Structure.create () in
+  let cc = Structure.constant s "c" in
+  let a = Structure.fresh s and b = Structure.fresh s in
+  Structure.add2 s edge cc a;
+  Structure.add2 s edge a b;
+  Structure.add2 s edge b cc;
+  Structure.add s node [| cc |];
+  agree "constant as source" s [ Atom.app2 edge (c "c") (v "x") ];
+  agree "constant mid-body" s
+    [ Atom.app2 edge (v "x") (v "y"); Atom.app2 edge (v "y") (c "c") ];
+  agree "ground atom" s [ Atom.app2 edge (c "c") (c "c") ];
+  agree "constant-only unary" s [ Atom.make node [ c "c" ] ];
+  check "absent ground atom finds nothing" true
+    (Hom.find s [ Atom.app2 edge (c "c") (c "c") ] = None)
+
+let test_init_seeding () =
+  let s = Structure.create () in
+  let vs = Array.init 4 (fun _ -> Structure.fresh s) in
+  for i = 0 to 2 do
+    Structure.add2 s edge vs.(i) vs.(i + 1)
+  done;
+  let body = [ Atom.app2 edge (v "x") (v "y"); Atom.app2 edge (v "y") (v "z") ] in
+  let init = Term.Var_map.singleton "y" vs.(1) in
+  agree ~init "bound middle variable" s body;
+  (* init variables outside the body pass through untouched *)
+  let init = Term.Var_map.add "w" vs.(3) init in
+  agree ~init "pass-through init variable" s body;
+  check "exists agrees" true
+    (Hom.exists ~compiled:true ~init s body
+    = Hom.exists ~compiled:false ~init s body);
+  check "find agrees" true
+    (Option.map Term.Var_map.bindings (Hom.find ~compiled:true ~init s body)
+    = Option.map Term.Var_map.bindings (Hom.find ~compiled:false ~init s body))
+
+let test_delta_handcrafted () =
+  let s = Structure.create () in
+  let vs = Array.init 5 (fun _ -> Structure.fresh s) in
+  for i = 0 to 3 do
+    Structure.add2 s edge vs.(i) vs.(i + 1)
+  done;
+  let wm = Structure.watermark s in
+  Structure.add2 s edge vs.(4) vs.(0);
+  Structure.add2 s edge vs.(0) vs.(2);
+  let delta = Structure.delta_since s wm in
+  let body = [ Atom.app2 edge (v "x") (v "y"); Atom.app2 edge (v "y") (v "z") ] in
+  agree ~delta "delta-restricted pair" s body;
+  let atom = Atom.app2 edge (v "x") (v "y") in
+  agree ~delta "delta with a duplicate atom" s [ atom; atom ];
+  agree ~delta "delta with empty body (nothing)" s [];
+  check "delta enumeration nonempty" true
+    (enumerate ~delta ~compiled:true s body <> [])
+
+(* --- generated cases ------------------------------------------------------ *)
+
+(* Chase the generated instance a little so the structure has chase-built
+   shape (fresh elements, multi-stage journal), then hold the compiled
+   evaluator to the interpreted one on every TGD body: full enumeration,
+   frontier-seeded enumeration, and delta mode over the journal tail. *)
+let test_generated_agreement () =
+  for case = 0 to 79 do
+    let r = Oracle.Gen.case_rng ~seed:7 ~case in
+    let inst = Oracle.Gen.instance r in
+    let d = Oracle.Gen.build inst in
+    let stop d = Structure.card d > 80 || Structure.size d > 200 in
+    let wm = Structure.watermark d in
+    ignore (Tgd.Chase.run ~max_stages:4 ~stop inst.Oracle.Gen.deps d);
+    let delta = Structure.delta_since d wm in
+    List.iteri
+      (fun i dep ->
+        let body = Tgd.Dep.body dep in
+        let what = Printf.sprintf "case %d dep %d" case i in
+        agree what d body;
+        agree ~delta (what ^ " (delta)") d body;
+        (* seed one frontier variable with each element of some match *)
+        match Hom.find ~compiled:false d body with
+        | None -> ()
+        | Some b ->
+            Term.Var_map.iter
+              (fun x e ->
+                agree
+                  ~init:(Term.Var_map.singleton x e)
+                  (Printf.sprintf "%s (init %s)" what x)
+                  d body)
+              b)
+      inst.Oracle.Gen.deps;
+    (* generated CQ bodies add constant-in-body coverage beyond the deps *)
+    let q = Oracle.Gen.query r inst.Oracle.Gen.signature in
+    agree (Printf.sprintf "case %d cq" case) d (Cq.Query.body q)
+  done
+
+(* plan slot round-trips: binding_of_slots ∘ iter_slots = iter *)
+let test_slot_round_trip () =
+  let s = Structure.create () in
+  let cc = Structure.constant s "c" in
+  let a = Structure.fresh s in
+  Structure.add2 s edge cc a;
+  Structure.add2 s edge a a;
+  let body = [ Atom.app2 edge (v "x") (v "y"); Atom.app2 edge (v "y") (c "c") ] in
+  let plan = Hom.Plan.compile body in
+  check_int "two slots" 2 (Hom.Plan.nslots plan);
+  check "slots cover the variables" true
+    (Hom.Plan.slot plan "x" <> None && Hom.Plan.slot plan "y" <> None);
+  let via_slots = ref [] in
+  Hom.Plan.iter_slots plan s (fun slots ->
+      via_slots :=
+        Term.Var_map.bindings (Hom.Plan.binding_of_slots plan slots)
+        :: !via_slots);
+  let direct = ref [] in
+  Hom.Plan.iter plan s (fun b -> direct := Term.Var_map.bindings b :: !direct);
+  check "slot and binding views agree" true (!via_slots = !direct)
+
+(* --- the parallel chase --------------------------------------------------- *)
+
+let test_par_bit_identity () =
+  for case = 0 to 39 do
+    let r = Oracle.Gen.case_rng ~seed:11 ~case in
+    let inst = Oracle.Gen.instance r in
+    let stop d = Structure.card d > 100 || Structure.size d > 300 in
+    let run engine jobs =
+      let d = Oracle.Gen.build inst in
+      let firings = ref [] in
+      let on_fire ~stage dep fb =
+        firings :=
+          (stage, Tgd.Dep.name dep, Term.Var_map.bindings fb) :: !firings
+      in
+      let stats =
+        Tgd.Chase.run ~engine ?jobs ~max_stages:6 ~stop ~on_fire
+          inst.Oracle.Gen.deps d
+      in
+      (d, stats, List.rev !firings)
+    in
+    let d1, s1, f1 = run `Seminaive None in
+    (* jobs:3 exercises sharding + merge even on a single-core box *)
+    let d2, s2, f2 = run `Par (Some 3) in
+    check
+      (Printf.sprintf "case %d: par structure = seminaive" case)
+      true
+      (Structure.equal_sets d1 d2);
+    check
+      (Printf.sprintf "case %d: par journal = seminaive" case)
+      true
+      (Structure.delta_since d1 0 = Structure.delta_since d2 0);
+    check
+      (Printf.sprintf "case %d: par firings = seminaive" case)
+      true (f1 = f2);
+    check
+      (Printf.sprintf "case %d: par stats = seminaive" case)
+      true (s1 = s2)
+  done
+
+let () =
+  Alcotest.run "plan"
+    [
+      ( "compiled = interpreted",
+        [
+          Alcotest.test_case "repeated atoms" `Quick test_repeated_atoms;
+          Alcotest.test_case "constants in body" `Quick test_constants_in_body;
+          Alcotest.test_case "init seeding" `Quick test_init_seeding;
+          Alcotest.test_case "delta mode" `Quick test_delta_handcrafted;
+          Alcotest.test_case "generated cases" `Quick test_generated_agreement;
+          Alcotest.test_case "slot round trip" `Quick test_slot_round_trip;
+        ] );
+      ( "parallel chase",
+        [
+          Alcotest.test_case "bit-identical to seminaive" `Quick
+            test_par_bit_identity;
+        ] );
+    ]
