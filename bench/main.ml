@@ -720,10 +720,12 @@ let regress baseline_path =
   end
   else Format.printf "bench-smoke: no wall-clock regression beyond %.1fx@." threshold
 
-(* Instrumentation-overhead measurement (EXPERIMENTS.md E16): the E1 and
-   grid(4,4) workloads timed with the obs switches off, with metrics on,
-   and with metrics+tracing on — all in one process, so the comparison
-   isolates the hooks from build/layout noise.  Best-of-[reps] per cell. *)
+(* Instrumentation-overhead measurement (EXPERIMENTS.md E16, E18): the E1
+   and grid(4,4) workloads timed with the obs switches off, with metrics
+   on, and with metrics+tracing on — all in one process, so the
+   comparison isolates the hooks from build/layout noise; then the same
+   workloads ungoverned vs under an armed governor.  Best-of-[reps] per
+   cell. *)
 let emit_overhead () =
   let workloads =
     [
@@ -765,7 +767,41 @@ let emit_overhead () =
           Format.printf "%-22s %14s %12.4fms %+9.2f%%@." name mode (w *. 1e3)
             (100. *. ((w /. !base) -. 1.)))
         modes)
-    workloads
+    workloads;
+  (* Governor overhead (EXPERIMENTS.md E18): the same workloads run
+     ungoverned (the [unlimited] fast path — physical-equality skip, one
+     bool read per poll site) and with an armed governor carrying a real
+     cancel token.  The [idle] governor (no budgets, no deadline, the
+     never token) pays only the stage-boundary checks — that row is the
+     one the <3% contract applies to; [armed] additionally turns on
+     hot-path cancellation polling, the price of Ctrl-C responsiveness. *)
+  let idle = Resilience.Governor.make () in
+  let armed =
+    Resilience.Governor.make ~cancel:(Resilience.Governor.Cancel.create ()) ()
+  in
+  let gov_workloads =
+    [
+      ( "E1 tinf stages=20",
+        fun g -> ignore (Separating.Tinf.chase ?governor:g ~stages:20 ()) );
+      ( "E2 grid (4,4)",
+        fun g ->
+          ignore (Separating.Theorem14.collision_outcome ?governor:g ~t:4 ~t':4 ())
+      );
+    ]
+  in
+  Format.printf "@.%-22s %14s %14s %10s@." "workload" "governor" "time/run"
+    "vs none";
+  List.iter
+    (fun (name, run) ->
+      let w_off = best (fun () -> run None) in
+      let row label w =
+        Format.printf "%-22s %14s %12.4fms %+9.2f%%@." name label (w *. 1e3)
+          (100. *. ((w /. w_off) -. 1.))
+      in
+      row "none" w_off;
+      row "idle" (best (fun () -> run (Some idle)));
+      row "armed" (best (fun () -> run (Some armed))))
+    gov_workloads
 
 (* Quick equivalence + JSON sanity pass, wired into `dune runtest` (prints
    to stdout only, so the test stays hermetic). *)

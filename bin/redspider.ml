@@ -5,7 +5,9 @@
      redspider worm NAME --steps 200    creep a zoo machine
      redspider reduce NAME              build the Theorem 5 instance
      redspider finite-model NAME        Section VIII.E countermodel
-     redspider theorem2 -i 2            the FO non-rewritability report *)
+     redspider theorem2 -i 2            the FO non-rewritability report
+     redspider chase -v ... -q ...      governed chase with checkpoint/resume
+     redspider faults --cases 200       seeded fault-injection campaign *)
 
 open Core
 open Cmdliner
@@ -80,6 +82,91 @@ let obs_term =
   in
   Term.(const setup $ trace $ metrics)
 
+(* --- resilience --------------------------------------------------------- *)
+
+(* One process-wide cancellation token.  The first SIGINT/SIGTERM trips
+   it: governed runs unwind at the next poll, the engine writes its final
+   boundary checkpoint, the at_exit hook flushes traces/metrics, and the
+   command exits through the documented taxonomy (code 4).  A second
+   signal exits immediately. *)
+let the_cancel = Resilience.Governor.Cancel.create ()
+
+let install_signals () =
+  let handle _ =
+    if Resilience.Governor.Cancel.tripped the_cancel then exit 4
+    else Resilience.Governor.Cancel.trip the_cancel
+  in
+  try
+    Sys.set_signal Sys.sigint (Sys.Signal_handle handle);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle handle)
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* Every governed subcommand accepts --deadline and a failpoint spec; the
+   term's value is the governor carrying the process cancel token. *)
+let resilience_term =
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SEC"
+          ~doc:
+            "Wall-clock deadline in seconds.  Checked at stage              boundaries: the run ends with its work so far and exit code              3.")
+  in
+  let failpoints =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "failpoints" ] ~docv:"SPEC"
+          ~doc:
+            "Arm failpoints, e.g. 'par.shard=0.25,arena.grow=0.01' (a              bare name fires always).  Overrides the              $(b,REDSPIDER_FAILPOINTS) environment variable.")
+  in
+  let failpoint_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "failpoint-seed" ] ~docv:"N"
+          ~doc:"Seed of the failpoint decision stream.")
+  in
+  let setup deadline failpoints failpoint_seed =
+    install_signals ();
+    (match
+       match failpoints with
+       | Some _ -> failpoints
+       | None -> Sys.getenv_opt "REDSPIDER_FAILPOINTS"
+     with
+    | None -> ()
+    | Some spec -> (
+        match Resilience.Failpoint.configure ~seed:failpoint_seed spec with
+        | Ok () -> ()
+        | Error m ->
+            Format.eprintf "error: bad failpoint spec: %s@." m;
+            exit 2));
+    Resilience.Governor.make ?deadline_in:deadline ~cancel:the_cancel ()
+  in
+  Term.(const setup $ deadline $ failpoints $ failpoint_seed)
+
+(* The documented exit-code taxonomy, shown in every subcommand's man
+   page. *)
+let exits =
+  Cmd.Exit.info 0 ~doc:"on success (fixpoint reached, no violations)."
+  :: Cmd.Exit.info 1
+       ~doc:
+         "on an audit violation, a fault-campaign corruption, or an           injected fault that aborted the run."
+  :: Cmd.Exit.info 2 ~doc:"on command-line or query parse errors."
+  :: Cmd.Exit.info 3
+       ~doc:"when a resource budget or the wall-clock deadline cut the run."
+  :: Cmd.Exit.info 4 ~doc:"when cancelled by SIGINT/SIGTERM."
+  :: Cmd.Exit.defaults
+
+(* Exploratory commands treat their own stage/step fuel as the job
+   description (exit 0); only an external interruption or a fault routes
+   through the taxonomy. *)
+let governed_exit (outcome : Resilience.Governor.outcome) =
+  match outcome with
+  | Resilience.Governor.Deadline | Resilience.Governor.Cancelled
+  | Resilience.Governor.Faulted _ ->
+      exit (Resilience.Governor.exit_code outcome)
+  | Resilience.Governor.Fixpoint | Resilience.Governor.Budget _ -> ()
+
 (* --- chase engine selection -------------------------------------------- *)
 
 let engine_arg =
@@ -122,9 +209,9 @@ let oracle = function
 
 (* --- tinf -------------------------------------------------------------- *)
 
-let tinf () stages engine jobs =
+let tinf () governor stages engine jobs =
   let engine = graph_engine engine in
-  let g, a, b, stats = Separating.Tinf.chase ~engine ?jobs ~stages () in
+  let g, a, b, stats = Separating.Tinf.chase ~engine ?jobs ~governor ~stages () in
   Format.printf "chase(T∞, D_I): %d edges, %d vertices (%a)@."
     (Greengraph.Graph.size g)
     (Greengraph.Graph.order g)
@@ -132,55 +219,62 @@ let tinf () stages engine jobs =
   List.iter
     (fun w -> Format.printf "  %a@." Greengraph.Pg.pp_word w)
     (List.sort compare (Greengraph.Pg.words_upto g ~a ~b ~max_len:(stages / 2)));
-  Format.printf "1-2 pattern: %b@." (Greengraph.Graph.has_12_pattern g)
+  Format.printf "1-2 pattern: %b@." (Greengraph.Graph.has_12_pattern g);
+  governed_exit stats.Greengraph.Rule.outcome
 
 let tinf_cmd =
   let stages =
     Arg.(value & opt int 12 & info [ "stages" ] ~doc:"Chase stage budget.")
   in
-  Cmd.v (Cmd.info "tinf" ~doc:"Chase T∞ from D_I and print its words (Figure 1).")
-    Term.(const tinf $ obs_term $ stages $ engine_arg $ jobs_arg)
+  Cmd.v
+    (Cmd.info "tinf" ~exits
+       ~doc:"Chase T∞ from D_I and print its words (Figure 1).")
+    Term.(const tinf $ obs_term $ resilience_term $ stages $ engine_arg $ jobs_arg)
 
 (* --- collide ----------------------------------------------------------- *)
 
-let collide () t u engine jobs =
+let collide () governor t u engine jobs =
   let engine = graph_engine engine in
   let pattern, stats, g =
-    Separating.Theorem14.collision_outcome ~engine ?jobs ~t ~t':u ()
+    Separating.Theorem14.collision_outcome ~engine ?jobs ~governor ~t ~t':u ()
   in
   Format.printf
     "αβ-paths of lengths %d and %d sharing both endpoints, gridded by T□:@." t u;
   Format.printf "  1-2 pattern: %b (%d edges; %a)@." pattern
-    (Greengraph.Graph.size g) Greengraph.Rule.pp_stats stats
+    (Greengraph.Graph.size g) Greengraph.Rule.pp_stats stats;
+  governed_exit stats.Greengraph.Rule.outcome
 
 let collide_cmd =
   let t = Arg.(value & opt int 3 & info [ "t" ] ~doc:"First path length.") in
   let u = Arg.(value & opt int 5 & info [ "u" ] ~doc:"Second path length.") in
   Cmd.v
-    (Cmd.info "collide"
+    (Cmd.info "collide" ~exits
        ~doc:"Grid two colliding αβ-paths with T□ (Figures 2–4).")
-    Term.(const collide $ obs_term $ t $ u $ engine_arg $ jobs_arg)
+    Term.(const collide $ obs_term $ resilience_term $ t $ u $ engine_arg $ jobs_arg)
 
 (* --- worm -------------------------------------------------------------- *)
 
-let worm () m steps =
+let worm () governor m steps =
   let o = oracle m in
-  let trace = Rainworm.Sim.creep ~max_steps:steps ~keep_history:true o in
+  let trace =
+    Rainworm.Sim.creep ~max_steps:steps ~keep_history:true ~governor o
+  in
   List.iteri
     (fun i c -> if i <= 20 then Format.printf "%4d: %a@." i Rainworm.Sym.pp_word c)
     trace.Rainworm.Sim.history;
   Format.printf "status after %d steps: %s, %d cycles, max length %d@."
     trace.Rainworm.Sim.steps
     (if Rainworm.Sim.halted trace then "halted" else "creeping")
-    trace.Rainworm.Sim.cycles trace.Rainworm.Sim.max_length
+    trace.Rainworm.Sim.cycles trace.Rainworm.Sim.max_length;
+  governed_exit trace.Rainworm.Sim.verdict
 
 let worm_cmd =
   let m = Arg.(required & pos 0 (some machine_conv) None & info [] ~docv:"MACHINE") in
   let steps =
     Arg.(value & opt int 200 & info [ "steps" ] ~doc:"Rewriting step budget.")
   in
-  Cmd.v (Cmd.info "worm" ~doc:"Creep a rainworm machine from the zoo.")
-    Term.(const worm $ obs_term $ m $ steps)
+  Cmd.v (Cmd.info "worm" ~exits ~doc:"Creep a rainworm machine from the zoo.")
+    Term.(const worm $ obs_term $ resilience_term $ m $ steps)
 
 (* --- reduce ------------------------------------------------------------ *)
 
@@ -195,7 +289,7 @@ let reduce () m =
 let reduce_cmd =
   let m = Arg.(required & pos 0 (some machine_conv) None & info [] ~docv:"MACHINE") in
   Cmd.v
-    (Cmd.info "reduce" ~doc:"Build the CQfDP instance of Theorem 5 for a machine.")
+    (Cmd.info "reduce" ~exits ~doc:"Build the CQfDP instance of Theorem 5 for a machine.")
     Term.(const reduce $ obs_term $ m)
 
 (* --- finite-model ------------------------------------------------------ *)
@@ -217,7 +311,7 @@ let finite_model () m =
 let finite_model_cmd =
   let m = Arg.(required & pos 0 (some machine_conv) None & info [] ~docv:"MACHINE") in
   Cmd.v
-    (Cmd.info "finite-model"
+    (Cmd.info "finite-model" ~exits
        ~doc:"Build and check the finite countermodel for a halting machine.")
     Term.(const finite_model $ obs_term $ m)
 
@@ -239,7 +333,7 @@ let theorem2_cmd =
   let copies = Arg.(value & opt int 1 & info [ "copies" ] ~doc:"Late-fragment copies.") in
   let rounds = Arg.(value & opt int 2 & info [ "rounds" ] ~doc:"EF round budget.") in
   Cmd.v
-    (Cmd.info "theorem2" ~doc:"FO non-rewritability report (Section IX).")
+    (Cmd.info "theorem2" ~exits ~doc:"FO non-rewritability report (Section IX).")
     Term.(const theorem2 $ obs_term $ i $ copies $ rounds)
 
 (* --- analyze ------------------------------------------------------------- *)
@@ -261,7 +355,7 @@ let analyze () m =
 let analyze_cmd =
   let m = Arg.(required & pos 0 (some machine_conv) None & info [] ~docv:"MACHINE") in
   Cmd.v
-    (Cmd.info "analyze"
+    (Cmd.info "analyze" ~exits
        ~doc:"Backward analysis of a machine (Lemmas 22-23).")
     Term.(const analyze $ obs_term $ m)
 
@@ -301,7 +395,7 @@ let audit_cmd =
       & info [ "max-facts" ] ~doc:"Fact (edge) budget per run.")
   in
   Cmd.v
-    (Cmd.info "audit"
+    (Cmd.info "audit" ~exits
        ~doc:
          "Differential audit: generate random instances, chase them under \
           every engine, diff the results bit-for-bit and audit all \
@@ -309,7 +403,7 @@ let audit_cmd =
           nonzero on any violation.")
     Term.(const audit $ obs_term $ seed $ cases $ max_stages $ max_elems $ max_facts)
 
-(* --- determinacy --------------------------------------------------------- *)
+(* --- chase (with checkpoint/resume) -------------------------------------- *)
 
 let parse_named s =
   match Cq.Parse.named_query s with
@@ -318,7 +412,146 @@ let parse_named s =
       Format.eprintf "parse error: %s@." m;
       exit 2
 
-let determinacy () view_specs q0_spec stages engine jobs =
+let chase () governor view_specs q0_spec stages engine jobs checkpoint
+    checkpoint_every resume_from =
+  let views = List.map parse_named view_specs in
+  let _, q0 = parse_named q0_spec in
+  let deps = Tgd.Dep.t_q views in
+  let on_snapshot =
+    Option.map
+      (fun path snap ->
+        match Resilience.Checkpoint.save ~kind:"tgd-chase" path snap with
+        | Ok () -> ()
+        | Error m -> Format.eprintf "warning: checkpoint not written: %s@." m)
+      checkpoint
+  in
+  let stats, d =
+    match resume_from with
+    | Some path -> (
+        match Resilience.Checkpoint.load ~kind:"tgd-chase" path with
+        | Error m ->
+            Format.eprintf "error: %s@." m;
+            exit 2
+        | Ok snap ->
+            Tgd.Chase.resume ?jobs ~governor ~max_stages:stages
+              ~snapshot_every:checkpoint_every ?on_snapshot deps snap)
+    | None ->
+        let d = fst (Tgd.Greenred.green_canonical q0) in
+        let stats =
+          Tgd.Chase.run ~engine ?jobs ~governor ~max_stages:stages
+            ~snapshot_every:checkpoint_every ?on_snapshot deps d
+        in
+        (stats, d)
+  in
+  Format.printf "chase(T_Q, green(Q0)): %d facts over %d elements (%a)@."
+    (Relational.Structure.size d)
+    (Relational.Structure.card d)
+    Tgd.Chase.pp_stats stats;
+  List.iter
+    (fun fp -> Format.printf "failpoint %a@." Resilience.Failpoint.pp_summary fp)
+    (Resilience.Failpoint.summary ());
+  exit (Resilience.Governor.exit_code stats.Tgd.Chase.outcome)
+
+let chase_cmd =
+  let views =
+    Arg.(
+      non_empty & opt_all string []
+      & info [ "view"; "v" ] ~docv:"RULE"
+          ~doc:"A view of T_Q, e.g. 'p2(x,y) :- E(x,m), E(m,y)'. Repeatable.")
+  in
+  let q0 =
+    Arg.(
+      required & opt (some string) None
+      & info [ "q0"; "q" ] ~docv:"RULE"
+          ~doc:"The query whose green canonical structure seeds the chase.")
+  in
+  let stages =
+    Arg.(value & opt int 64 & info [ "stages" ] ~doc:"Chase stage budget.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write a resumable snapshot to $(docv) (atomically: temp file              + rename) at checkpoint intervals and at the end of the run.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 1
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Checkpoint every $(docv) completed stages (default 1).")
+  in
+  let resume_from =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume the chase from a checkpoint instead of the canonical              structure; the engine is the snapshot's, and --stages counts              absolute stages, so prefix + resume replays the              uninterrupted run bit-for-bit.")
+  in
+  Cmd.v
+    (Cmd.info "chase" ~exits
+       ~doc:
+         "Chase T_Q from the green canonical structure of Q0, with           governed budgets and checkpoint/resume.  Exit code 0 means           fixpoint; 3 means the stage budget or deadline cut the run.")
+    Term.(
+      const chase $ obs_term $ resilience_term $ views $ q0 $ stages
+      $ engine_arg $ jobs_arg $ checkpoint $ checkpoint_every $ resume_from)
+
+(* --- faults -------------------------------------------------------------- *)
+
+let faults () seed cases spec max_stages max_elems max_facts =
+  install_signals ();
+  let budget = { Oracle.Diff.max_stages; max_elems; max_facts } in
+  let report = Oracle.Fault.run_campaign ~budget ~spec ~seed ~cases () in
+  Format.printf "%a@." Oracle.Fault.pp_report report;
+  if report.Oracle.Fault.corruptions <> [] then exit 1
+
+let faults_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed.")
+  in
+  let cases =
+    Arg.(
+      value & opt int 200
+      & info [ "cases" ] ~doc:"Number of generated cases to replay.")
+  in
+  let spec =
+    Arg.(
+      value
+      & opt string Oracle.Fault.default_spec
+      & info [ "spec" ] ~docv:"SPEC"
+          ~doc:"Failpoint spec armed for the faulted runs.")
+  in
+  let max_stages =
+    Arg.(
+      value
+      & opt int Oracle.Diff.default_budget.Oracle.Diff.max_stages
+      & info [ "max-stages" ] ~doc:"Chase fuel per run.")
+  in
+  let max_elems =
+    Arg.(
+      value
+      & opt int Oracle.Diff.default_budget.Oracle.Diff.max_elems
+      & info [ "max-elems" ] ~doc:"Element budget per run.")
+  in
+  let max_facts =
+    Arg.(
+      value
+      & opt int Oracle.Diff.default_budget.Oracle.Diff.max_facts
+      & info [ "max-facts" ] ~doc:"Fact budget per run.")
+  in
+  Cmd.v
+    (Cmd.info "faults" ~exits
+       ~doc:
+         "Seeded fault-injection campaign (E18): replay generated           instances with failpoints armed and verify every fault is           either recovered bit-identically or cleanly reported, and           every checkpoint write is atomic.  Exits 1 on any silent           corruption.")
+    Term.(
+      const faults $ obs_term $ seed $ cases $ spec $ max_stages $ max_elems
+      $ max_facts)
+
+(* --- determinacy --------------------------------------------------------- *)
+
+let determinacy () governor view_specs q0_spec stages engine jobs =
   let views = List.map parse_named view_specs in
   let _, q0 = parse_named q0_spec in
   let inst = Determinacy.Instance.make ~views ~q0 in
@@ -326,15 +559,17 @@ let determinacy () view_specs q0_spec stages engine jobs =
   Format.printf "engine:       %a@." Tgd.Chase.pp_engine engine;
   Format.printf "unrestricted: %a@."
     Determinacy.Solver.pp_verdict
-    (Determinacy.Solver.unrestricted ~engine ?jobs ~max_stages:stages inst);
+    (Determinacy.Solver.unrestricted ~engine ?jobs ~governor ~max_stages:stages
+       inst);
   Format.printf "finite:       %a@."
     Determinacy.Solver.pp_verdict
-    (Determinacy.Solver.finite ~engine ?jobs inst);
-  match Determinacy.Rewriting.conjunctive ~views q0 with
+    (Determinacy.Solver.finite ~engine ?jobs ~governor inst);
+  (match Determinacy.Rewriting.conjunctive ~views q0 with
   | Determinacy.Rewriting.Rewriting plan ->
       Format.printf "rewriting:    %a@." Cq.Query.pp plan
   | Determinacy.Rewriting.No_conjunctive_rewriting ->
-      Format.printf "rewriting:    no conjunctive rewriting@."
+      Format.printf "rewriting:    no conjunctive rewriting@.");
+  if Resilience.Governor.Cancel.tripped the_cancel then exit 4
 
 let determinacy_cmd =
   let views =
@@ -352,9 +587,11 @@ let determinacy_cmd =
     Arg.(value & opt int 32 & info [ "stages" ] ~doc:"Chase stage budget.")
   in
   Cmd.v
-    (Cmd.info "determinacy"
+    (Cmd.info "determinacy" ~exits
        ~doc:"Decide (boundedly) whether views determine a query.")
-    Term.(const determinacy $ obs_term $ views $ q0 $ stages $ engine_arg $ jobs_arg)
+    Term.(
+      const determinacy $ obs_term $ resilience_term $ views $ q0 $ stages
+      $ engine_arg $ jobs_arg)
 
 let () =
   let doc = "Red Spider Meets a Rainworm — PODS 2016, executable" in
@@ -363,5 +600,6 @@ let () =
        (Cmd.group (Cmd.info "redspider" ~doc)
           [
             tinf_cmd; collide_cmd; worm_cmd; reduce_cmd; finite_model_cmd;
-            theorem2_cmd; determinacy_cmd; analyze_cmd; audit_cmd;
+            theorem2_cmd; determinacy_cmd; chase_cmd; analyze_cmd; audit_cmd;
+            faults_cmd;
           ]))

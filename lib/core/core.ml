@@ -20,9 +20,11 @@
      Determinacy  CQDP/CQfDP instances and solvers
      Ef           Ehrenfeucht–Fraïssé games and Theorem 2
      Oracle       differential-testing and invariant-audit harness
+     Resilience   resource governor, checkpoint/resume, failpoints
      Obs          monotonic clock, metrics registry, span tracing *)
 
 module Obs = Obs
+module Resilience = Resilience
 module Relational = Relational
 module Cq = Cq
 module Tgd = Tgd

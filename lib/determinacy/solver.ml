@@ -23,9 +23,9 @@ let pp_verdict ppf = function
 
 (* --- unrestricted case (Section IV, via the universal chase) ---------- *)
 
-let unrestricted ?engine ?jobs ?(max_stages = 64) (inst : Instance.t) =
+let unrestricted ?engine ?jobs ?governor ?(max_stages = 64) (inst : Instance.t) =
   match
-    Tgd.Greenred.unrestricted_determinacy ?engine ?jobs ~max_stages
+    Tgd.Greenred.unrestricted_determinacy ?engine ?jobs ?governor ~max_stages
       (Instance.views inst) (Instance.q0 inst)
   with
   | `Determined (stats, _) -> Determined stats
@@ -99,10 +99,11 @@ let exhaustive ?(max_slots = 20) (inst : Instance.t) ~max_elems =
   try_n 1
 
 (* Bounded search for a finite counterexample. *)
-let finite ?engine ?jobs ?(max_stages = 8) ?(max_elems = 2) (inst : Instance.t) =
+let finite ?engine ?jobs ?governor ?(max_stages = 8) ?(max_elems = 2)
+    (inst : Instance.t) =
   (* A positive unrestricted verdict settles the finite case too:
      unrestricted determinacy implies finite determinacy. *)
-  match unrestricted ?engine ?jobs ~max_stages inst with
+  match unrestricted ?engine ?jobs ?governor ~max_stages inst with
   | Determined s -> Determined s
   | Unknown _ | Not_determined _ -> (
       match exhaustive inst ~max_elems with

@@ -14,7 +14,12 @@ val pp_verdict : Format.formatter -> verdict -> unit
 
 (** [chase(T_Q, green(Q0)) ⊨ red(Q0)]? *)
 val unrestricted :
-  ?engine:Tgd.Chase.engine -> ?jobs:int -> ?max_stages:int -> Instance.t -> verdict
+  ?engine:Tgd.Chase.engine ->
+  ?jobs:int ->
+  ?governor:Resilience.Governor.t ->
+  ?max_stages:int ->
+  Instance.t ->
+  verdict
 
 (** Certify a purported finite counterexample: D ⊨ T_Q and some green
     Q0-answer is not red. *)
@@ -32,6 +37,7 @@ val exhaustive : ?max_slots:int -> Instance.t -> max_elems:int -> Structure.t op
 val finite :
   ?engine:Tgd.Chase.engine ->
   ?jobs:int ->
+  ?governor:Resilience.Governor.t ->
   ?max_stages:int ->
   ?max_elems:int ->
   Instance.t ->

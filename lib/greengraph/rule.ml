@@ -113,16 +113,21 @@ let find_violation rules g =
     (fun r -> match triggers r g with [] -> None | t :: _ -> Some (r, t))
     rules
 
+module G = Resilience.Governor
+
 type stats = {
   stages : int;
   applications : int;
   triggers_considered : int;
-  fixpoint : bool;
+  fixpoint : bool; (* outcome = Fixpoint, kept for callers *)
+  outcome : G.outcome;
 }
 
 let pp_stats ppf s =
-  Fmt.pf ppf "stages=%d applications=%d triggers_considered=%d fixpoint=%b"
-    s.stages s.applications s.triggers_considered s.fixpoint
+  Fmt.pf ppf
+    "stages=%d applications=%d triggers_considered=%d fixpoint=%b outcome=%a"
+    s.stages s.applications s.triggers_considered s.fixpoint G.pp_outcome
+    s.outcome
 
 (* Trigger-discovery engines, mirroring [Tgd.Chase]: [`Stage] rescans
    every label bucket each stage; [`Seminaive] (default) only examines
@@ -170,6 +175,8 @@ let collect_stage ?delta ~considered rules g =
         (fun dir ((a, b), (c, d)) ->
           let seen = Hashtbl.create 32 in
           let consider x x' =
+            (* cooperative cancellation: the scan is read-only here *)
+            if !G.Cancel.poll_on then G.Cancel.poll ();
             if not (Hashtbl.mem seen (x, x')) then begin
               Hashtbl.replace seen (x, x') ();
               incr considered;
@@ -218,6 +225,8 @@ let collect_stage ?delta ~considered rules g =
    semi-naive one, so stats, surviving triggers and the firing order are
    bit-identical to [`Seminaive]. *)
 let c_merge_ms = Obs.Metrics.counter "par.merge_ms"
+let c_par_retries = Obs.Metrics.counter "resilience.par_retries"
+let c_par_degraded = Obs.Metrics.counter "resilience.par_degraded"
 
 let collect_stage_par ~jobs ~considered rules g delta_edges =
   let delta = Array.of_list delta_edges in
@@ -242,32 +251,54 @@ let collect_stage_par ~jobs ~considered rules g delta_edges =
          rules)
   in
   let dira = Array.of_list dirs in
-  let raw =
-    Relational.Pool.run ~jobs:m m (fun w ->
-        let acc = ref [] in
+  (* Candidate enumeration over one edge list, shared by the sharded
+     workers and the sequential degradation rung below. *)
+  let scan_edges edges =
+    let acc = ref [] in
+    List.iter
+      (fun (ri, dir, rule, (a, b), _) ->
+        let consider e1 e2 =
+          acc := (ri, dir, free_of rule.conn e1, free_of rule.conn e2) :: !acc
+        in
         List.iter
-          (fun (ri, dir, rule, (a, b), _) ->
-            let consider e1 e2 =
-              acc :=
-                (ri, dir, free_of rule.conn e1, free_of rule.conn e2) :: !acc
-            in
-            List.iter
-              (fun (e1 : Graph.edge) ->
-                (* lhs pairs with the first edge in the delta shard … *)
-                if Label.equal e1.Graph.label a then
-                  List.iter
-                    (fun e2 -> consider e1 e2)
-                    (edges_at_shared_with g rule.conn (shared_of rule.conn e1)
-                       b);
-                (* … and with the second edge in the delta shard *)
-                if Label.equal e1.Graph.label b then
-                  List.iter
-                    (fun e0 -> consider e0 e1)
-                    (edges_at_shared_with g rule.conn (shared_of rule.conn e1)
-                       a))
-              shards.(w))
-          dirs;
-        List.rev !acc)
+          (fun (e1 : Graph.edge) ->
+            (* lhs pairs with the first edge in the delta shard … *)
+            if Label.equal e1.Graph.label a then
+              List.iter
+                (fun e2 -> consider e1 e2)
+                (edges_at_shared_with g rule.conn (shared_of rule.conn e1) b);
+            (* … and with the second edge in the delta shard *)
+            if Label.equal e1.Graph.label b then
+              List.iter
+                (fun e0 -> consider e0 e1)
+                (edges_at_shared_with g rule.conn (shared_of rule.conn e1) a))
+          edges)
+      dirs;
+    List.rev !acc
+  in
+  (* Per-shard "par.shard" fault decisions are drawn before the workers
+     spawn (the decision stream must not be raced across domains); a
+     faulted scan is retried once, then degrades to one sequential scan
+     of the whole delta.  The canonical sorted merge deduplicates either
+     way, so the stage stays bit-identical to [`Seminaive]. *)
+  let scan_sharded () =
+    let faults = Array.make m false in
+    if Resilience.Failpoint.active () then
+      for w = 0 to m - 1 do
+        faults.(w) <- Resilience.Failpoint.fire "par.shard"
+      done;
+    Relational.Pool.run ~jobs:m m (fun w ->
+        if faults.(w) then raise (Resilience.Failpoint.Injected "par.shard");
+        scan_edges shards.(w))
+  in
+  let raw =
+    try scan_sharded () with
+    | Resilience.Failpoint.Injected "par.shard" -> (
+        if !Obs.metrics_on then Obs.Metrics.incr c_par_retries;
+        try scan_sharded () with
+        | Resilience.Failpoint.Injected "par.shard" ->
+            if !Obs.metrics_on then Obs.Metrics.incr c_par_degraded;
+            [| scan_edges delta_edges |])
   in
   let t0 = Obs.Clock.now_s () in
   let all = List.sort compare (List.concat (Array.to_list raw)) in
@@ -289,74 +320,171 @@ let collect_stage_par ~jobs ~considered rules g delta_edges =
       (int_of_float ((Obs.Clock.now_s () -. t0) *. 1000.));
   List.rev !out
 
-let chase ?(engine = `Seminaive) ?jobs ?(max_stages = max_int)
-    ?(stop = fun _ -> false) rules g =
+(* A resumable graph-chase snapshot.  The graph chase keeps no persistent
+   dedup state across stages (its trigger dedup is per stage), so a
+   snapshot is the graph (a journal-order-preserving Marshal clone), the
+   watermark and the counters.  [gsnap_stage] is the last completed
+   stage; resuming continues at [gsnap_stage + 1] with absolute stage
+   numbering. *)
+type snapshot = {
+  gsnap_engine : engine;
+  gsnap_stage : int;
+  gsnap_wm : int;
+  gsnap_considered : int;
+  gsnap_applications : int;
+  gsnap_rules : t list; (* plain data; compared to reject mismatched resumes *)
+  gsnap_graph : Graph.t;
+}
+
+let chase ?(engine = `Seminaive) ?jobs ?(governor = G.unlimited)
+    ?(max_stages = max_int) ?(stop = fun _ -> false) ?(snapshot_every = 1)
+    ?on_snapshot ?from rules g =
+  (match from with
+  | Some s ->
+      if s.gsnap_rules <> rules then
+        invalid_arg "Rule.resume: rule list differs from the snapshot's"
+  | None -> ());
   let jobs =
     match jobs with
     | Some j -> max 1 j
     | None -> Relational.Pool.default_jobs ()
   in
-  let applications = ref 0 in
-  let considered = ref 0 in
-  let wm = ref 0 in
-  let finish i fixpoint =
+  let start_stage, wm0, considered0, apps0 =
+    match from with
+    | Some s -> (s.gsnap_stage, s.gsnap_wm, s.gsnap_considered, s.gsnap_applications)
+    | None -> (0, 0, 0, 0)
+  in
+  let applications = ref apps0 in
+  let considered = ref considered0 in
+  let wm = ref wm0 in
+  let last_snap = ref (-1) in
+  let emit_snapshot i =
+    match on_snapshot with
+    | Some f when i > !last_snap ->
+        last_snap := i;
+        f
+          {
+            gsnap_engine = engine;
+            gsnap_stage = i;
+            gsnap_wm = !wm;
+            gsnap_considered = !considered;
+            gsnap_applications = !applications;
+            gsnap_rules = rules;
+            gsnap_graph = Resilience.Checkpoint.clone g;
+          }
+    | _ -> ()
+  in
+  let finish ?(snap = true) i outcome =
+    if snap then emit_snapshot i;
     {
       stages = i;
       applications = !applications;
       triggers_considered = !considered;
-      fixpoint;
+      fixpoint = (outcome = G.Fixpoint);
+      outcome;
     }
   in
+  let max_stages = min max_stages governor.G.max_stages in
   let rec go i =
-    if i > max_stages then finish (i - 1) false
-    else begin
-      (* collect the triggers against the stage-start graph, then fire
-         those still active (mirroring the chase of Section II.C) *)
-      let n_triggers = ref 0 and fired = ref 0 in
-      Obs.Trace.with_span "graph.stage"
-        ~args:(fun () ->
-          [ ("stage", i); ("triggers", !n_triggers); ("fired", !fired) ])
-        (fun () ->
-          let collected =
-            match engine with
-            | `Stage ->
-                if !Obs.metrics_on then
-                  Obs.Metrics.observe h_delta (Graph.size g);
-                collect_stage ~considered rules g
-            | `Seminaive ->
-                let d = Graph.delta_since g !wm in
-                wm := Graph.watermark g;
-                if !Obs.metrics_on then
-                  Obs.Metrics.observe h_delta (List.length d);
-                collect_stage ~delta:(index_delta d) ~considered rules g
-            | `Par ->
-                let d = Graph.delta_since g !wm in
-                wm := Graph.watermark g;
-                if !Obs.metrics_on then
-                  Obs.Metrics.observe h_delta (List.length d);
-                collect_stage_par ~jobs ~considered rules g d
+    match G.interrupted governor with
+    | Some o -> finish (i - 1) o
+    | None ->
+        if i > max_stages then finish (i - 1) (G.Budget G.Stages)
+        else begin
+          (* collect the triggers against the stage-start graph, then fire
+             those still active (mirroring the chase of Section II.C) *)
+          let n_triggers = ref 0 and fired = ref 0 in
+          let step () =
+            let collected =
+              G.with_scope governor (fun () ->
+                  match engine with
+                  | `Stage ->
+                      if !Obs.metrics_on then
+                        Obs.Metrics.observe h_delta (Graph.size g);
+                      collect_stage ~considered rules g
+                  | `Seminaive ->
+                      let d = Graph.delta_since g !wm in
+                      if !Obs.metrics_on then
+                        Obs.Metrics.observe h_delta (List.length d);
+                      let c =
+                        collect_stage ~delta:(index_delta d) ~considered rules
+                          g
+                      in
+                      (* advance only after a completed scan: a cancelled
+                         scan must not move the watermark past the last
+                         resumable boundary *)
+                      wm := Graph.watermark g;
+                      c
+                  | `Par ->
+                      let d = Graph.delta_since g !wm in
+                      if !Obs.metrics_on then
+                        Obs.Metrics.observe h_delta (List.length d);
+                      let c = collect_stage_par ~jobs ~considered rules g d in
+                      wm := Graph.watermark g;
+                      c)
+            in
+            n_triggers := List.length collected;
+            List.iter
+              (fun (rule, ((c, x), (d, x'))) ->
+                if not (pair_present g rule.conn (c, d) (x, x')) then begin
+                  fire rule g ((c, x), (d, x'));
+                  if !Obs.metrics_on then Obs.Metrics.incr c_firings;
+                  incr fired
+                end)
+              collected
           in
-          n_triggers := List.length collected;
-          List.iter
-            (fun (rule, ((c, x), (d, x'))) ->
-              if not (pair_present g rule.conn (c, d) (x, x')) then begin
-                fire rule g ((c, x), (d, x'));
-                if !Obs.metrics_on then Obs.Metrics.incr c_firings;
-                incr fired
-              end)
-            collected);
-      applications := !applications + !fired;
-      if !fired = 0 then finish i true
-      else if stop g then finish i false
-      else go (i + 1)
-    end
+          match
+            Obs.Trace.with_span "graph.stage"
+              ~args:(fun () ->
+                [ ("stage", i); ("triggers", !n_triggers); ("fired", !fired) ])
+              (fun () ->
+                try Ok (step ()) with
+                | G.Cancel.Cancelled -> Error `Cancelled
+                | Resilience.Failpoint.Injected site -> Error (`Faulted site))
+          with
+          | Error `Cancelled -> finish ~snap:false (i - 1) G.Cancelled
+          | Error (`Faulted site) -> finish ~snap:false (i - 1) (G.Faulted site)
+          | Ok () ->
+              applications := !applications + !fired;
+              if !fired = 0 then finish i G.Fixpoint
+              else begin
+                if (i - start_stage) mod snapshot_every = 0 then
+                  emit_snapshot i;
+                match
+                  (* vertex/edge counts are O(n) on graphs: only pay for
+                     them under a real governor *)
+                  if G.is_unlimited governor || not (G.has_size_budget governor)
+                  then None
+                  else
+                    G.over_budget governor
+                      ~elems:(List.length (Graph.vertices g))
+                      ~facts:(Graph.size g)
+                with
+                | Some o -> finish i o
+                | None ->
+                    if stop g then finish i (G.Budget G.Stop) else go (i + 1)
+              end
+        end
   in
   Obs.Trace.with_span
     (match engine with
     | `Stage -> "graph.chase(stage)"
     | `Seminaive -> "graph.chase(seminaive)"
     | `Par -> "graph.chase(par)")
-    (fun () -> go 1)
+    (fun () -> go (start_stage + 1))
+
+(* Continue a checkpointed graph chase on the snapshot's own graph (clone
+   the snapshot first to keep it reusable): prefix + resume is
+   bit-identical to one uninterrupted run with the same absolute
+   [max_stages]. *)
+let resume ?jobs ?governor ?max_stages ?stop ?snapshot_every ?on_snapshot
+    rules snap =
+  let g = snap.gsnap_graph in
+  let stats =
+    chase ~engine:snap.gsnap_engine ?jobs ?governor ?max_stages ?stop
+      ?snapshot_every ?on_snapshot ~from:snap rules g
+  in
+  (stats, g)
 
 (* Definition 11 for L₂, bounded: chase D_I and watch for a 1-2 pattern. *)
 let leads_to_red_spider ?(max_stages = 16) rules =

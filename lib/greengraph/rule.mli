@@ -54,7 +54,8 @@ type stats = {
   stages : int;
   applications : int;
   triggers_considered : int;
-  fixpoint : bool;
+  fixpoint : bool;  (** [outcome = Fixpoint], kept for existing callers *)
+  outcome : Resilience.Governor.outcome;  (** how the run ended *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit
@@ -66,19 +67,69 @@ val pp_stats : Format.formatter -> stats -> unit
     asymptotically cheaper; [`Par] shards the delta over a domain pool
     and merges candidates in canonical sort order.  All engines fire a
     stage's triggers in the same canonical order, so they build identical
-    graphs, fresh vertex ids included. *)
+    graphs, fresh vertex ids included.
+
+    Under the ["par.shard"] failpoint a marked [`Par] worker dies before
+    scanning its shard; the scan is retried once, then degrades to one
+    sequential scan of the whole delta — both rungs feed the same
+    canonical merge, so the run stays bit-identical to [`Seminaive]. *)
 type engine = [ `Stage | `Seminaive | `Par ]
 
+(** A resumable graph-chase snapshot: the graph (a
+    journal-order-preserving Marshal clone), the semi-naive watermark and
+    the counters; the graph chase keeps no cross-stage dedup state.
+    [gsnap_stage] is the last completed stage.  Closure-free, so
+    [Resilience.Checkpoint.save]/[load] round-trips it exactly. *)
+type snapshot = {
+  gsnap_engine : engine;
+  gsnap_stage : int;
+  gsnap_wm : int;
+  gsnap_considered : int;
+  gsnap_applications : int;
+  gsnap_rules : t list;
+  gsnap_graph : Graph.t;
+}
+
 (** [jobs] bounds the [`Par] engine's worker count (default
-    [Relational.Pool.default_jobs ()]; ignored by other engines). *)
+    [Relational.Pool.default_jobs ()]; ignored by other engines).  The
+    [governor] (default [Resilience.Governor.unlimited]) adds a
+    deadline, stage/element/edge budgets and cooperative cancellation —
+    checked at stage boundaries (cancellation also inside the read-only
+    scans), so a governed run cut short is the bit-identical prefix of
+    the ungoverned one; the verdict is [stats.outcome].  When
+    [on_snapshot] is given, a resumable {!snapshot} is delivered every
+    [snapshot_every] (default 1) completed stages and at the final stage
+    of a cleanly-ended run.  [from] resumes a snapshot (used by
+    {!resume}). *)
 val chase :
   ?engine:engine ->
   ?jobs:int ->
+  ?governor:Resilience.Governor.t ->
   ?max_stages:int ->
   ?stop:(Graph.t -> bool) ->
+  ?snapshot_every:int ->
+  ?on_snapshot:(snapshot -> unit) ->
+  ?from:snapshot ->
   t list ->
   Graph.t ->
   stats
+
+(** Continue a checkpointed graph chase in place on the snapshot's own
+    graph (clone the snapshot first if it must stay reusable); the engine
+    is the snapshot's.  Prefix + resume is bit-identical — edges, fresh
+    vertex ids and stats — to one uninterrupted run with the same
+    absolute [max_stages] and budgets.  Raises [Invalid_argument] if the
+    rule list differs from the snapshot's. *)
+val resume :
+  ?jobs:int ->
+  ?governor:Resilience.Governor.t ->
+  ?max_stages:int ->
+  ?stop:(Graph.t -> bool) ->
+  ?snapshot_every:int ->
+  ?on_snapshot:(snapshot -> unit) ->
+  t list ->
+  snapshot ->
+  stats * Graph.t
 
 (** Definition 11 for L₂, bounded: chase D_I and watch for the 1-2
     pattern. *)

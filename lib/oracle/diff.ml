@@ -19,7 +19,30 @@ let default_budget = { max_stages = 6; max_elems = 150; max_facts = 500 }
 
 (* --- single-engine runs -------------------------------------------------- *)
 
-type outcome = Fixpoint | Budget_exceeded
+type outcome = Fixpoint | Budget_exceeded | Faulted
+
+(* Collapse the engines' structured verdict onto the oracle's outcome:
+   every budget-like ending (stage fuel, element/fact budgets, the stop
+   predicate, a deadline, cancellation) is [Budget_exceeded]; an injected
+   fault is its own class. *)
+let outcome_of_chase (s : Tgd.Chase.stats) =
+  match s.Tgd.Chase.outcome with
+  | Resilience.Governor.Fixpoint -> Fixpoint
+  | Resilience.Governor.Faulted _ -> Faulted
+  | _ -> Budget_exceeded
+
+let outcome_of_graph (s : Greengraph.Rule.stats) =
+  match s.Greengraph.Rule.outcome with
+  | Resilience.Governor.Fixpoint -> Fixpoint
+  | Resilience.Governor.Faulted _ -> Faulted
+  | _ -> Budget_exceeded
+
+let pp_outcome ppf o =
+  Fmt.string ppf
+    (match o with
+    | Fixpoint -> "fixpoint"
+    | Budget_exceeded -> "budget_exceeded"
+    | Faulted -> "faulted")
 
 type firing = { at_stage : int; dep : string; frontier : (string * int) list }
 
@@ -49,7 +72,7 @@ let run_tgd budget engine inst =
   in
   {
     engine;
-    outcome = (if stats.Tgd.Chase.fixpoint then Fixpoint else Budget_exceeded);
+    outcome = outcome_of_chase stats;
     stats;
     result = d;
     firings = List.rev !firings;
@@ -72,75 +95,93 @@ let first_mismatch l1 l2 =
 
 let diff_tgd budget inst =
   let violations = ref [] in
+  let incomparable = ref 0 in
   let st = run_tgd budget `Stage inst in
   let sn = run_tgd budget `Seminaive inst in
   let ob = run_tgd budget `Oblivious inst in
   let pr = run_tgd budget `Par inst in
+  (* A pair of runs is bit-compared only when both ended the same way.
+     Mixed endings (one engine cut by a budget/deadline, the other at its
+     fixpoint; or a faulted run) are *incomparable* — counted, never
+     reported as a spurious bit-identity violation. *)
+  let comparable a b =
+    if a.outcome = b.outcome then true
+    else begin
+      incr incomparable;
+      false
+    end
+  in
   (* bit-identity of the lazy engines *)
-  if not (Structure.equal_sets st.result sn.result) then
-    fail violations "stage/seminaive structures differ: %d vs %d facts"
-      (Structure.size st.result) (Structure.size sn.result);
-  let j1 = Structure.delta_since st.result 0 in
-  let j2 = Structure.delta_since sn.result 0 in
-  (match first_mismatch j1 j2 with
-  | Some (i, f) ->
-      fail violations "stage/seminaive journals diverge at entry %d (%a)" i
-        (Fact.pp ()) f
-  | None -> ());
-  (match first_mismatch st.firings sn.firings with
-  | Some (i, f) ->
-      fail violations "stage/seminaive firing sequences diverge at firing %d (%a)"
-        i pp_firing f
-  | None -> ());
-  let s1 = st.stats and s2 = sn.stats in
-  if s1.Tgd.Chase.applications <> s2.Tgd.Chase.applications then
-    fail violations "applications differ: stage %d, seminaive %d"
-      s1.Tgd.Chase.applications s2.Tgd.Chase.applications;
-  if s1.Tgd.Chase.stages <> s2.Tgd.Chase.stages then
-    fail violations "stages differ: stage %d, seminaive %d" s1.Tgd.Chase.stages
-      s2.Tgd.Chase.stages;
-  if s1.Tgd.Chase.fixpoint <> s2.Tgd.Chase.fixpoint then
-    fail violations "fixpoint verdicts differ: stage %b, seminaive %b"
-      s1.Tgd.Chase.fixpoint s2.Tgd.Chase.fixpoint;
-  if s2.Tgd.Chase.triggers_considered > s1.Tgd.Chase.triggers_considered then
-    fail violations
-      "seminaive considered more triggers than stage (%d > %d): delta leak"
-      s2.Tgd.Chase.triggers_considered s1.Tgd.Chase.triggers_considered;
-  if s2.Tgd.Chase.body_matches > s1.Tgd.Chase.body_matches then
-    fail violations "seminaive enumerated more body matches than stage (%d > %d)"
-      s2.Tgd.Chase.body_matches s1.Tgd.Chase.body_matches;
+  if comparable st sn then begin
+    if not (Structure.equal_sets st.result sn.result) then
+      fail violations "stage/seminaive structures differ: %d vs %d facts"
+        (Structure.size st.result) (Structure.size sn.result);
+    let j1 = Structure.delta_since st.result 0 in
+    let j2 = Structure.delta_since sn.result 0 in
+    (match first_mismatch j1 j2 with
+    | Some (i, f) ->
+        fail violations "stage/seminaive journals diverge at entry %d (%a)" i
+          (Fact.pp ()) f
+    | None -> ());
+    (match first_mismatch st.firings sn.firings with
+    | Some (i, f) ->
+        fail violations
+          "stage/seminaive firing sequences diverge at firing %d (%a)" i
+          pp_firing f
+    | None -> ());
+    let s1 = st.stats and s2 = sn.stats in
+    if s1.Tgd.Chase.applications <> s2.Tgd.Chase.applications then
+      fail violations "applications differ: stage %d, seminaive %d"
+        s1.Tgd.Chase.applications s2.Tgd.Chase.applications;
+    if s1.Tgd.Chase.stages <> s2.Tgd.Chase.stages then
+      fail violations "stages differ: stage %d, seminaive %d"
+        s1.Tgd.Chase.stages s2.Tgd.Chase.stages;
+    if s2.Tgd.Chase.triggers_considered > s1.Tgd.Chase.triggers_considered then
+      fail violations
+        "seminaive considered more triggers than stage (%d > %d): delta leak"
+        s2.Tgd.Chase.triggers_considered s1.Tgd.Chase.triggers_considered;
+    if s2.Tgd.Chase.body_matches > s1.Tgd.Chase.body_matches then
+      fail violations
+        "seminaive enumerated more body matches than stage (%d > %d)"
+        s2.Tgd.Chase.body_matches s1.Tgd.Chase.body_matches
+  end;
   (* the parallel engine is sharded semi-naive: bit-identical structures
      and firings, and — the merge restoring the sequential dedup — equal
      match/consideration counts *)
-  if not (Structure.equal_sets st.result pr.result) then
-    fail violations "stage/par structures differ: %d vs %d facts"
-      (Structure.size st.result) (Structure.size pr.result);
-  (match first_mismatch j1 (Structure.delta_since pr.result 0) with
-  | Some (i, f) ->
-      fail violations "stage/par journals diverge at entry %d (%a)" i
-        (Fact.pp ()) f
-  | None -> ());
-  (match first_mismatch st.firings pr.firings with
-  | Some (i, f) ->
-      fail violations "stage/par firing sequences diverge at firing %d (%a)" i
-        pp_firing f
-  | None -> ());
-  let sp = pr.stats in
-  if sp.Tgd.Chase.applications <> s2.Tgd.Chase.applications then
-    fail violations "applications differ: seminaive %d, par %d"
-      s2.Tgd.Chase.applications sp.Tgd.Chase.applications;
-  if sp.Tgd.Chase.stages <> s2.Tgd.Chase.stages then
-    fail violations "stages differ: seminaive %d, par %d" s2.Tgd.Chase.stages
-      sp.Tgd.Chase.stages;
-  if sp.Tgd.Chase.fixpoint <> s2.Tgd.Chase.fixpoint then
-    fail violations "fixpoint verdicts differ: seminaive %b, par %b"
-      s2.Tgd.Chase.fixpoint sp.Tgd.Chase.fixpoint;
-  if sp.Tgd.Chase.triggers_considered <> s2.Tgd.Chase.triggers_considered then
-    fail violations "par considered %d triggers, seminaive %d"
-      sp.Tgd.Chase.triggers_considered s2.Tgd.Chase.triggers_considered;
-  if sp.Tgd.Chase.body_matches <> s2.Tgd.Chase.body_matches then
-    fail violations "par enumerated %d body matches, seminaive %d"
-      sp.Tgd.Chase.body_matches s2.Tgd.Chase.body_matches;
+  if comparable sn pr then begin
+    if not (Structure.equal_sets sn.result pr.result) then
+      fail violations "seminaive/par structures differ: %d vs %d facts"
+        (Structure.size sn.result) (Structure.size pr.result);
+    (match
+       first_mismatch
+         (Structure.delta_since sn.result 0)
+         (Structure.delta_since pr.result 0)
+     with
+    | Some (i, f) ->
+        fail violations "seminaive/par journals diverge at entry %d (%a)" i
+          (Fact.pp ()) f
+    | None -> ());
+    (match first_mismatch sn.firings pr.firings with
+    | Some (i, f) ->
+        fail violations
+          "seminaive/par firing sequences diverge at firing %d (%a)" i
+          pp_firing f
+    | None -> ());
+    let s2 = sn.stats and sp = pr.stats in
+    if sp.Tgd.Chase.applications <> s2.Tgd.Chase.applications then
+      fail violations "applications differ: seminaive %d, par %d"
+        s2.Tgd.Chase.applications sp.Tgd.Chase.applications;
+    if sp.Tgd.Chase.stages <> s2.Tgd.Chase.stages then
+      fail violations "stages differ: seminaive %d, par %d"
+        s2.Tgd.Chase.stages sp.Tgd.Chase.stages;
+    if sp.Tgd.Chase.triggers_considered <> s2.Tgd.Chase.triggers_considered
+    then
+      fail violations "par considered %d triggers, seminaive %d"
+        sp.Tgd.Chase.triggers_considered s2.Tgd.Chase.triggers_considered;
+    if sp.Tgd.Chase.body_matches <> s2.Tgd.Chase.body_matches then
+      fail violations "par enumerated %d body matches, seminaive %d"
+        sp.Tgd.Chase.body_matches s2.Tgd.Chase.body_matches
+  end;
   (* Per-run invariants.  A budget-exceeded run can overshoot the fact
      budget within its final stage (stop is checked between stages), so
      the quadratic audits and the full trigger rescans are only run on
@@ -177,7 +218,7 @@ let diff_tgd budget inst =
             | Some (dep, _) -> Tgd.Dep.name dep)
       end)
     [ st; sn; ob; pr ];
-  (List.rev !violations, [ st; sn; ob; pr ])
+  (List.rev !violations, [ st; sn; ob; pr ], !incomparable)
 
 (* --- green-graph diff ----------------------------------------------------- *)
 
@@ -189,57 +230,67 @@ let run_graph budget engine gc =
     Greengraph.Rule.chase ~engine ~max_stages:budget.max_stages ~stop
       gc.Gen.rules g
   in
-  let outcome =
-    if stats.Greengraph.Rule.fixpoint then Fixpoint else Budget_exceeded
-  in
+  let outcome = outcome_of_graph stats in
   (g, stats, outcome)
 
 let diff_graph budget gc =
   let module G = Greengraph.Graph in
   let violations = ref [] in
+  let incomparable = ref 0 in
   let g1, s1, o1 = run_graph budget `Stage gc in
   let g2, s2, o2 = run_graph budget `Seminaive gc in
   let g3, s3, o3 = run_graph budget `Par gc in
-  if not (G.equal g1 g2) then
-    fail violations "stage/seminaive graphs differ: %d vs %d edges" (G.size g1)
-      (G.size g2);
-  (match first_mismatch (G.delta_since g1 0) (G.delta_since g2 0) with
-  | Some (i, (e : G.edge)) ->
-      fail violations
-        "stage/seminaive edge journals diverge at entry %d (%a %d->%d)" i
-        Greengraph.Label.pp e.G.label e.G.src e.G.dst
-  | None -> ());
-  if s1.Greengraph.Rule.applications <> s2.Greengraph.Rule.applications then
-    fail violations "graph applications differ: stage %d, seminaive %d"
-      s1.Greengraph.Rule.applications s2.Greengraph.Rule.applications;
-  if s1.Greengraph.Rule.stages <> s2.Greengraph.Rule.stages then
-    fail violations "graph stages differ: stage %d, seminaive %d"
-      s1.Greengraph.Rule.stages s2.Greengraph.Rule.stages;
-  if s1.Greengraph.Rule.fixpoint <> s2.Greengraph.Rule.fixpoint then
-    fail violations "graph fixpoint verdicts differ: stage %b, seminaive %b"
-      s1.Greengraph.Rule.fixpoint s2.Greengraph.Rule.fixpoint;
-  if s2.Greengraph.Rule.triggers_considered > s1.Greengraph.Rule.triggers_considered
-  then
-    fail violations "graph seminaive considered more pairs than stage (%d > %d)"
+  let comparable oa ob =
+    if oa = ob then true
+    else begin
+      incr incomparable;
+      false
+    end
+  in
+  if comparable o1 o2 then begin
+    if not (G.equal g1 g2) then
+      fail violations "stage/seminaive graphs differ: %d vs %d edges"
+        (G.size g1) (G.size g2);
+    (match first_mismatch (G.delta_since g1 0) (G.delta_since g2 0) with
+    | Some (i, (e : G.edge)) ->
+        fail violations
+          "stage/seminaive edge journals diverge at entry %d (%a %d->%d)" i
+          Greengraph.Label.pp e.G.label e.G.src e.G.dst
+    | None -> ());
+    if s1.Greengraph.Rule.applications <> s2.Greengraph.Rule.applications then
+      fail violations "graph applications differ: stage %d, seminaive %d"
+        s1.Greengraph.Rule.applications s2.Greengraph.Rule.applications;
+    if s1.Greengraph.Rule.stages <> s2.Greengraph.Rule.stages then
+      fail violations "graph stages differ: stage %d, seminaive %d"
+        s1.Greengraph.Rule.stages s2.Greengraph.Rule.stages;
+    if
       s2.Greengraph.Rule.triggers_considered
-      s1.Greengraph.Rule.triggers_considered;
-  if not (G.equal g2 g3) then
-    fail violations "seminaive/par graphs differ: %d vs %d edges" (G.size g2)
-      (G.size g3);
-  (match first_mismatch (G.delta_since g2 0) (G.delta_since g3 0) with
-  | Some (i, (e : G.edge)) ->
+      > s1.Greengraph.Rule.triggers_considered
+    then
       fail violations
-        "seminaive/par edge journals diverge at entry %d (%a %d->%d)" i
-        Greengraph.Label.pp e.G.label e.G.src e.G.dst
-  | None -> ());
-  if s3.Greengraph.Rule.applications <> s2.Greengraph.Rule.applications
-     || s3.Greengraph.Rule.stages <> s2.Greengraph.Rule.stages
-     || s3.Greengraph.Rule.fixpoint <> s2.Greengraph.Rule.fixpoint
-     || s3.Greengraph.Rule.triggers_considered
-        <> s2.Greengraph.Rule.triggers_considered
-  then
-    fail violations "graph par stats differ from seminaive: %a vs %a"
-      Greengraph.Rule.pp_stats s3 Greengraph.Rule.pp_stats s2;
+        "graph seminaive considered more pairs than stage (%d > %d)"
+        s2.Greengraph.Rule.triggers_considered
+        s1.Greengraph.Rule.triggers_considered
+  end;
+  if comparable o2 o3 then begin
+    if not (G.equal g2 g3) then
+      fail violations "seminaive/par graphs differ: %d vs %d edges" (G.size g2)
+        (G.size g3);
+    (match first_mismatch (G.delta_since g2 0) (G.delta_since g3 0) with
+    | Some (i, (e : G.edge)) ->
+        fail violations
+          "seminaive/par edge journals diverge at entry %d (%a %d->%d)" i
+          Greengraph.Label.pp e.G.label e.G.src e.G.dst
+    | None -> ());
+    if
+      s3.Greengraph.Rule.applications <> s2.Greengraph.Rule.applications
+      || s3.Greengraph.Rule.stages <> s2.Greengraph.Rule.stages
+      || s3.Greengraph.Rule.triggers_considered
+         <> s2.Greengraph.Rule.triggers_considered
+    then
+      fail violations "graph par stats differ from seminaive: %a vs %a"
+        Greengraph.Rule.pp_stats s3 Greengraph.Rule.pp_stats s2
+  end;
   List.iter
     (fun (g, which) ->
       (* same overshoot guard as diff_tgd: the label × vertex bucket audit
@@ -253,7 +304,7 @@ let diff_graph budget gc =
   (* a graph fixpoint is a model of the rules *)
   if s1.Greengraph.Rule.fixpoint && not (Greengraph.Rule.models gc.Gen.rules g1)
   then fail violations "graph fixpoint is not a model of its rules";
-  (List.rev !violations, [ (s1, o1); (s2, o2); (s3, o3) ])
+  (List.rev !violations, [ (s1, o1); (s2, o2); (s3, o3) ], !incomparable)
 
 (* --- CQ cross-checks ------------------------------------------------------ *)
 
@@ -332,6 +383,9 @@ type report = {
   cases : int;
   engine_runs : int;
   budget_exceeded : int;
+  incomparable : int;
+      (* engine pairs whose outcomes differed, so bit-identity was not
+         checked — counted, not a violation *)
   violations : (int * string list) list;
 }
 
@@ -346,6 +400,7 @@ let pp_instance ppf (inst : Gen.instance) =
 let run_cases ?(budget = default_budget) ?fold ~seed ~cases () =
   let engine_runs = ref 0 in
   let budget_exceeded = ref 0 in
+  let incomparable = ref 0 in
   let all_violations = ref [] in
   for case = 0 to cases - 1 do
     let r = Gen.case_rng ~seed ~case in
@@ -356,18 +411,21 @@ let run_cases ?(budget = default_budget) ?fold ~seed ~cases () =
       (fun v -> fail violations "[seed structure] %s" v)
       (Audit.structure ~provenance:true (Gen.build inst));
     (* 2. four-engine differential, shrunk on failure *)
-    let dv, runs = diff_tgd budget inst in
+    let dv, runs, dinc = diff_tgd budget inst in
     engine_runs := !engine_runs + List.length runs;
+    incomparable := !incomparable + dinc;
     List.iter
       (fun r -> if r.outcome = Budget_exceeded then incr budget_exceeded)
       runs;
     (if dv <> [] then
        let inst' =
          Gen.shrink Gen.shrink_instance
-           (fun i -> fst (diff_tgd budget i) <> [])
+           (fun i ->
+             let v, _, _ = diff_tgd budget i in
+             v <> [])
            inst
        in
-       let dv', _ = diff_tgd budget inst' in
+       let dv', _, _ = diff_tgd budget inst' in
        List.iter
          (fun v ->
            fail violations "[tgd diff, shrunk to %a] %s" pp_instance inst' v)
@@ -378,18 +436,21 @@ let run_cases ?(budget = default_budget) ?fold ~seed ~cases () =
       (cq_checks ?fold r inst.Gen.signature (Gen.build inst));
     (* 4. green-graph differential, shrunk on failure *)
     let gc = Gen.graph_case r in
-    let gv, gruns = diff_graph budget gc in
+    let gv, gruns, ginc = diff_graph budget gc in
     engine_runs := !engine_runs + List.length gruns;
+    incomparable := !incomparable + ginc;
     List.iter
       (fun (_, o) -> if o = Budget_exceeded then incr budget_exceeded)
       gruns;
     (if gv <> [] then
        let gc' =
          Gen.shrink Gen.shrink_graph_case
-           (fun c -> fst (diff_graph budget c) <> [])
+           (fun c ->
+             let v, _, _ = diff_graph budget c in
+             v <> [])
            gc
        in
-       let gv', _ = diff_graph budget gc' in
+       let gv', _, _ = diff_graph budget gc' in
        List.iter
          (fun v ->
            fail violations "[graph diff, %d rules %d edges] %s"
@@ -405,16 +466,18 @@ let run_cases ?(budget = default_budget) ?fold ~seed ~cases () =
     cases;
     engine_runs = !engine_runs;
     budget_exceeded = !budget_exceeded;
+    incomparable = !incomparable;
     violations = List.rev !all_violations;
   }
 
 let pp_report ppf r =
   Fmt.pf ppf
     "@[<v>audit: seed=%d cases=%d engine_runs=%d budget_exceeded=%d (%.1f%%) \
-     violations=%d@,%a@]"
+     incomparable=%d violations=%d@,%a@]"
     r.seed r.cases r.engine_runs r.budget_exceeded
     (if r.engine_runs = 0 then 0.
      else 100. *. float_of_int r.budget_exceeded /. float_of_int r.engine_runs)
+    r.incomparable
     (List.length r.violations)
     (Fmt.list ~sep:Fmt.cut (fun ppf (case, vs) ->
          Fmt.pf ppf "case %d:@;<1 2>%a" case

@@ -24,7 +24,18 @@ val default_budget : budget
 
 (** {1 Single-engine runs} *)
 
-type outcome = Fixpoint | Budget_exceeded
+(** How a governed run ended, collapsed for comparison purposes:
+    [Budget_exceeded] covers every budget-like ending (stage fuel,
+    element/fact budgets, deadline, cancellation); [Faulted] is an
+    injected failpoint that was reported rather than recovered. *)
+type outcome = Fixpoint | Budget_exceeded | Faulted
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** Collapse an engine's structured verdict onto {!outcome}. *)
+val outcome_of_chase : Tgd.Chase.stats -> outcome
+
+val outcome_of_graph : Greengraph.Rule.stats -> outcome
 
 (** One firing of the chase, as recorded through [Chase.run ~on_fire]. *)
 type firing = { at_stage : int; dep : string; frontier : (string * int) list }
@@ -47,14 +58,22 @@ val run_tgd : budget -> Tgd.Chase.engine -> Gen.instance -> engine_run
     applications/stages/fixpoint; delta-restriction never considering
     more than stage, and the sharded merge considering exactly what
     semi-naive does), every result must pass the structure audit, and a
-    run that reached its fixpoint must model the dependencies.  Returns
-    the violations and the four runs. *)
-val diff_tgd : budget -> Gen.instance -> string list * engine_run list
+    run that reached its fixpoint must model the dependencies.
+
+    A pair of engines whose outcomes differ (one hit a budget where the
+    other reached fixpoint, or one faulted) is {e incomparable}: its
+    bit-identity diffs are skipped and the pair is counted in the third
+    component instead of producing a spurious violation.  Returns the
+    violations, the four runs and the incomparable-pair count. *)
+val diff_tgd : budget -> Gen.instance -> string list * engine_run list * int
 
 (** Same for a green-graph case under [`Stage] vs [`Seminaive] vs
-    [`Par]. *)
+    [`Par]; the third component again counts incomparable engine
+    pairs. *)
 val diff_graph :
-  budget -> Gen.graph_case -> string list * (Greengraph.Rule.stats * outcome) list
+  budget ->
+  Gen.graph_case ->
+  string list * (Greengraph.Rule.stats * outcome) list * int
 
 (** {1 CQ cross-checks} *)
 
@@ -80,6 +99,9 @@ type report = {
   cases : int;
   engine_runs : int;          (** chase runs executed across all cases *)
   budget_exceeded : int;      (** runs cut by fuel or element budgets *)
+  incomparable : int;
+      (** engine pairs with differing outcomes, skipped rather than
+          diffed — not violations *)
   violations : (int * string list) list;
       (** failing cases: (case index, shrunk violation descriptions) *)
 }

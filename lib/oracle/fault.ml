@@ -1,0 +1,264 @@
+(* The seeded fault-injection campaign (experiment E18).
+
+   Each case replays one generated instance three ways:
+
+   1. an un-faulted [`Seminaive] baseline;
+   2. a [`Par] run with the failpoint spec armed — a ["par.shard"] fault
+      must be absorbed by the retry/degrade ladder (the run stays
+      bit-identical to the baseline), an ["arena.grow"] fault must end
+      the run with the structured [Faulted] verdict and nothing else;
+   3. a checkpoint pass: run-until-k, resume, and demand bit-identity
+      with the baseline; then exercise [Checkpoint.save] under the
+      ["checkpoint.write"] failpoint and demand write-then-rename
+      atomicity — a failed save must leave the previous file loadable.
+
+   Anything that slips through those buckets — a faulted run that
+   silently diverged, a resumed run that drifted, a torn checkpoint that
+   still loads — is a *corruption*, the one count that must stay zero. *)
+
+open Relational
+module FP = Resilience.Failpoint
+module CK = Resilience.Checkpoint
+
+type report = {
+  seed : int;
+  cases : int;
+  spec : string;
+  injected : int;
+  recovered : int;
+  faulted : int;
+  retried : int;
+  degraded : int;
+  checkpoint_roundtrips : int;
+  checkpoint_saves : int;
+  checkpoint_write_faults : int;
+  corruptions : (int * string) list;
+}
+
+let default_spec = "par.shard=0.4,arena.grow=0.02,checkpoint.write=0.5"
+
+(* Bit-identity of two engine runs: fact sets with element ids, journal
+   order, firing sequences and the comparable stats.  Returns the first
+   discrepancy, phrased for the corruption log. *)
+let compare_runs ~what (a : Diff.engine_run) (b : Diff.engine_run) =
+  let sa = a.Diff.stats and sb = b.Diff.stats in
+  if not (Structure.equal_sets a.Diff.result b.Diff.result) then
+    Some
+      (Fmt.str "%s: structures differ (%d vs %d facts)" what
+         (Structure.size a.Diff.result)
+         (Structure.size b.Diff.result))
+  else if
+    Structure.delta_since a.Diff.result 0
+    <> Structure.delta_since b.Diff.result 0
+  then Some (Fmt.str "%s: journals diverge" what)
+  else if a.Diff.firings <> b.Diff.firings then
+    Some (Fmt.str "%s: firing sequences diverge" what)
+  else if
+    sa.Tgd.Chase.applications <> sb.Tgd.Chase.applications
+    || sa.Tgd.Chase.stages <> sb.Tgd.Chase.stages
+    || sa.Tgd.Chase.triggers_considered <> sb.Tgd.Chase.triggers_considered
+    || sa.Tgd.Chase.body_matches <> sb.Tgd.Chase.body_matches
+    || sa.Tgd.Chase.outcome <> sb.Tgd.Chase.outcome
+  then
+    Some
+      (Fmt.str "%s: stats differ (%a vs %a)" what Tgd.Chase.pp_stats sa
+         Tgd.Chase.pp_stats sb)
+  else None
+
+(* Replay of {!Diff.run_tgd}'s instrumentation for runs we drive
+   ourselves (prefix / resume). *)
+let recorder () =
+  let firings = ref [] in
+  let on_fire ~stage dep fb =
+    firings :=
+      {
+        Diff.at_stage = stage;
+        dep = Tgd.Dep.name dep;
+        frontier = Term.Var_map.bindings fb;
+      }
+      :: !firings
+  in
+  (firings, on_fire)
+
+let stop_of (budget : Diff.budget) d =
+  Structure.card d > budget.Diff.max_elems
+  || Structure.size d > budget.Diff.max_facts
+
+(* run-until-k + resume ≡ uninterrupted, on the case's own instance.
+   A one-stage baseline has no interior stage to interrupt at (resuming
+   a fixpoint snapshot necessarily re-scans, shifting the stage count),
+   so those cases are skipped rather than verified. *)
+let checkpoint_roundtrip budget (baseline : Diff.engine_run) inst =
+  let n = baseline.Diff.stats.Tgd.Chase.stages in
+  if n < 2 then Ok `Skipped
+  else
+  let k = n / 2 in
+  let stop = stop_of budget in
+  let firings, on_fire = recorder () in
+  let last = ref None in
+  let d = Gen.build inst in
+  let _prefix_stats =
+    Tgd.Chase.run ~engine:`Seminaive ~max_stages:k ~stop ~on_fire
+      ~snapshot_every:1
+      ~on_snapshot:(fun s -> last := Some s)
+      inst.Gen.deps d
+  in
+  match !last with
+  | None -> Error "prefix run emitted no snapshot"
+  | Some snap -> (
+      let snap = CK.clone snap in
+      let stats, d' =
+        Tgd.Chase.resume ~max_stages:budget.Diff.max_stages ~stop ~on_fire
+          inst.Gen.deps snap
+      in
+      let resumed =
+        {
+          Diff.engine = `Seminaive;
+          outcome = Diff.outcome_of_chase stats;
+          stats;
+          result = d';
+          firings = List.rev !firings;
+        }
+      in
+      match compare_runs ~what:"checkpoint resume" baseline resumed with
+      | Some v -> Error v
+      | None -> Ok `Verified)
+
+(* Save/load the prefix snapshot through a real file, with the
+   ["checkpoint.write"] failpoint possibly killing the write mid-payload.
+   Returns [`Saved] (save + load verified), [`Write_fault] (save failed
+   but the previously-saved file is intact), or an error string. *)
+let checkpoint_file_pass ~spec ~seed inst =
+  let d = Gen.build inst in
+  let snap = ref None in
+  let _ =
+    Tgd.Chase.run ~engine:`Seminaive ~max_stages:2 ~snapshot_every:1
+      ~on_snapshot:(fun s -> snap := Some s)
+      inst.Gen.deps d
+  in
+  match !snap with
+  | None -> Error "no snapshot to save"
+  | Some s -> (
+      let path = Filename.temp_file "redspider-fault" ".ckpt" in
+      let finish r =
+        (try Sys.remove path with Sys_error _ -> ());
+        (try Sys.remove (path ^ ".tmp") with Sys_error _ -> ());
+        r
+      in
+      (* first save runs un-faulted so a later torn write has a previous
+         good file to preserve *)
+      FP.clear ();
+      let first = CK.save ~kind:"tgd-chase" path s in
+      FP.configure_exn ~seed spec;
+      match first with
+      | Error e -> finish (Error ("un-faulted save failed: " ^ e))
+      | Ok () -> (
+          match CK.save ~kind:"tgd-chase" path s with
+          | Ok () -> (
+              match (CK.load ~kind:"tgd-chase" path : (Tgd.Chase.snapshot, string) result) with
+              | Ok _ -> finish (Ok `Saved)
+              | Error e -> finish (Error ("saved checkpoint fails to load: " ^ e)))
+          | Error _ -> (
+              (* the write was killed: rename must not have happened *)
+              if Sys.file_exists (path ^ ".tmp") then
+                finish (Error "torn write left its temp file behind")
+              else
+                match (CK.load ~kind:"tgd-chase" path : (Tgd.Chase.snapshot, string) result) with
+                | Ok _ -> finish (Ok `Write_fault)
+                | Error e ->
+                    finish
+                      (Error ("failed save corrupted the previous file: " ^ e)))))
+
+let run_campaign ?(budget = Diff.default_budget) ?(spec = default_spec) ~seed
+    ~cases () =
+  let injected = ref 0 in
+  let recovered = ref 0 in
+  let faulted = ref 0 in
+  let checkpoint_roundtrips = ref 0 in
+  let checkpoint_saves = ref 0 in
+  let checkpoint_write_faults = ref 0 in
+  let corruptions = ref [] in
+  let corrupt case msg = corruptions := (case, msg) :: !corruptions in
+  let retries0 = Obs.Metrics.value (Obs.Metrics.counter "resilience.par_retries")
+  and degraded0 =
+    Obs.Metrics.value (Obs.Metrics.counter "resilience.par_degraded")
+  in
+  let metrics_was = !Obs.metrics_on in
+  Obs.set_metrics true;
+  Fun.protect
+    ~finally:(fun () ->
+      FP.clear ();
+      Obs.set_metrics metrics_was)
+    (fun () ->
+      for case = 0 to cases - 1 do
+        let r = Gen.case_rng ~seed ~case in
+        let inst = Gen.instance r in
+        (* 1. un-faulted baseline *)
+        FP.clear ();
+        let baseline = Diff.run_tgd budget `Seminaive inst in
+        (* 2. faulted [`Par] run *)
+        FP.configure_exn ~seed:((seed * 1_000_003) + case) spec;
+        let faulted_run =
+          try Ok (Diff.run_tgd budget `Par inst)
+          with e -> Error (Printexc.to_string e)
+        in
+        let inj = FP.injected_total () in
+        injected := !injected + inj;
+        FP.clear ();
+        (match faulted_run with
+        | Error e -> corrupt case ("fault escaped the harness: " ^ e)
+        | Ok run -> (
+            match run.Diff.outcome with
+            | Diff.Faulted -> incr faulted
+            | Diff.Fixpoint | Diff.Budget_exceeded -> (
+                match compare_runs ~what:"faulted par run" baseline run with
+                | Some v -> corrupt case v
+                | None -> if inj > 0 then incr recovered)));
+        (* 3a. checkpoint/resume bit-identity, un-faulted *)
+        (match checkpoint_roundtrip budget baseline inst with
+        | Ok `Verified -> incr checkpoint_roundtrips
+        | Ok `Skipped -> ()
+        | Error v -> corrupt case v);
+        (* 3b. checkpoint file writes under the failpoint *)
+        (match
+           checkpoint_file_pass ~spec ~seed:((seed * 7_368_787) + case) inst
+         with
+        | Ok `Saved -> incr checkpoint_saves
+        | Ok `Write_fault -> incr checkpoint_write_faults
+        | Error v -> corrupt case v);
+        FP.clear ()
+      done;
+      let retries =
+        Obs.Metrics.value (Obs.Metrics.counter "resilience.par_retries")
+        - retries0
+      and degraded =
+        Obs.Metrics.value (Obs.Metrics.counter "resilience.par_degraded")
+        - degraded0
+      in
+      {
+        seed;
+        cases;
+        spec;
+        injected = !injected;
+        recovered = !recovered;
+        faulted = !faulted;
+        retried = retries;
+        degraded;
+        checkpoint_roundtrips = !checkpoint_roundtrips;
+        checkpoint_saves = !checkpoint_saves;
+        checkpoint_write_faults = !checkpoint_write_faults;
+        corruptions = List.rev !corruptions;
+      })
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>fault campaign: seed=%d cases=%d spec=%S@,\
+     injected=%d recovered=%d faulted=%d retried=%d degraded=%d@,\
+     checkpoints: roundtrips=%d saves=%d write_faults=%d@,\
+     corruptions=%d%a@]"
+    r.seed r.cases r.spec r.injected r.recovered r.faulted r.retried r.degraded
+    r.checkpoint_roundtrips r.checkpoint_saves r.checkpoint_write_faults
+    (List.length r.corruptions)
+    (Fmt.list ~sep:Fmt.nop (fun ppf (case, v) ->
+         Fmt.pf ppf "@,case %d: %s" case v))
+    r.corruptions

@@ -1,0 +1,43 @@
+(** The seeded fault-injection campaign (experiment E18).
+
+    Per case: an un-faulted [`Seminaive] baseline; a [`Par] run with the
+    failpoint spec armed, which must either stay bit-identical to the
+    baseline (a ["par.shard"] fault absorbed by the retry/degrade
+    ladder) or end with the structured [Faulted] verdict (an
+    ["arena.grow"] fault cleanly reported); an un-faulted
+    run-until-k/resume round-trip that must be bit-identical to the
+    baseline; and a [Checkpoint.save] pass under the
+    ["checkpoint.write"] failpoint, where a killed write must leave the
+    previously-saved file loadable.  Any other behaviour is a
+    {e corruption} — the count that must stay zero. *)
+
+type report = {
+  seed : int;
+  cases : int;
+  spec : string;             (** the failpoint spec armed for faulted runs *)
+  injected : int;            (** faults actually injected across the campaign *)
+  recovered : int;
+      (** faulted [`Par] runs that saw ≥1 injection yet stayed
+          bit-identical to the baseline *)
+  faulted : int;             (** runs ending with the [Faulted] verdict *)
+  retried : int;             (** par shard scans retried after a fault *)
+  degraded : int;            (** par scans degraded to one sequential scan *)
+  checkpoint_roundtrips : int;
+      (** run-until-k + resume passes verified bit-identical *)
+  checkpoint_saves : int;    (** file saves that survived and load-verified *)
+  checkpoint_write_faults : int;
+      (** saves killed by the failpoint with the previous file intact *)
+  corruptions : (int * string) list;
+      (** (case, description) — silent divergence; must be empty *)
+}
+
+val default_spec : string
+
+(** Run the campaign.  Deterministic in [(seed, case, spec)]: the
+    failpoint RNG for each case is derived from the campaign seed.
+    Temporarily enables the metrics switch (to count retries/degrades)
+    and always clears the failpoint registry on exit. *)
+val run_campaign :
+  ?budget:Diff.budget -> ?spec:string -> seed:int -> cases:int -> unit -> report
+
+val pp_report : Format.formatter -> report -> unit

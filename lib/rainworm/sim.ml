@@ -10,6 +10,8 @@ let c_steps = Obs.Metrics.counter "worm.steps"
 let c_cycles = Obs.Metrics.counter "worm.cycles"
 let h_config_len = Obs.Metrics.histogram "worm.config_len"
 
+module G = Resilience.Governor
+
 type outcome =
   | Halted of Config.t       (* no rule applicable: the worm stops *)
   | Running of Config.t      (* budget exhausted, still creeping *)
@@ -18,6 +20,7 @@ type trace = {
   steps : int;                   (* rewriting steps performed *)
   cycles : int;                  (* full creep cycles (♦8 firings) *)
   outcome : outcome;
+  verdict : G.outcome;           (* the structured way the creep ended *)
   max_length : int;              (* longest configuration seen *)
   history : Config.t list;       (* chronological, possibly truncated *)
 }
@@ -63,20 +66,38 @@ let step (o : Machine.oracle) (w : Config.t) : Config.t option =
 
 (* Creep for at most [max_steps] rewritings (or [max_cycles] full cycles),
    starting from [from] (default: the initial configuration α·η11).
-   [validate] re-checks Definition 19 at every step (Lemma 20). *)
+   [validate] re-checks Definition 19 at every step (Lemma 20).  The
+   [governor] is polled every step: its step fuel caps [max_steps], and
+   cancellation/deadline end the creep with a [Running] configuration and
+   the matching verdict — worm state is a plain configuration, so unlike
+   the chase there is nothing to tear. *)
 let creep ?(from = Config.initial) ?(max_steps = 10_000) ?max_cycles
-    ?(validate = false) ?(keep_history = false) (o : Machine.oracle) =
+    ?(validate = false) ?(keep_history = false)
+    ?(governor = G.unlimited) (o : Machine.oracle) =
   let cycle_budget = Option.value max_cycles ~default:max_int in
+  let max_steps = min max_steps governor.G.max_steps in
   let rec go n cycles maxlen w history =
     let history = if keep_history then w :: history else history in
     if validate && not (Config.is_valid w) then
       failwith
         (Fmt.str "Sim.creep: invalid configuration reached: %a" Config.pp w);
+    match G.interrupted governor with
+    | Some v ->
+        {
+          steps = n;
+          cycles;
+          outcome = Running w;
+          verdict = v;
+          max_length = maxlen;
+          history = List.rev history;
+        }
+    | None ->
     if n >= max_steps || cycles >= cycle_budget then
       {
         steps = n;
         cycles;
         outcome = Running w;
+        verdict = G.Budget G.Steps;
         max_length = maxlen;
         history = List.rev history;
       }
@@ -87,6 +108,7 @@ let creep ?(from = Config.initial) ?(max_steps = 10_000) ?max_cycles
             steps = n;
             cycles;
             outcome = Halted w;
+            verdict = G.Fixpoint;
             max_length = maxlen;
             history = List.rev history;
           }
@@ -120,8 +142,10 @@ let creep ?(from = Config.initial) ?(max_steps = 10_000) ?max_cycles
       out_maxlen := t.max_length;
       t)
 
-let creep_machine ?from ?max_steps ?max_cycles ?validate ?keep_history m =
-  creep ?from ?max_steps ?max_cycles ?validate ?keep_history (Machine.oracle m)
+let creep_machine ?from ?max_steps ?max_cycles ?validate ?keep_history
+    ?governor m =
+  creep ?from ?max_steps ?max_cycles ?validate ?keep_history ?governor
+    (Machine.oracle m)
 
 (* All configurations w with αη11 ⤳* w within a step budget: the slime
    words among them feed Lemma 25's check. *)

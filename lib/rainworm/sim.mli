@@ -12,6 +12,9 @@ type trace = {
   steps : int;            (** rewriting steps performed *)
   cycles : int;           (** completed creep cycles (♦8 firings) *)
   outcome : outcome;
+  verdict : Resilience.Governor.outcome;
+      (** how the creep ended: [Fixpoint] iff halted, [Budget Steps] on
+          step/cycle fuel, [Deadline]/[Cancelled] from the governor *)
   max_length : int;       (** longest configuration seen *)
   history : Config.t list;(** chronological; kept only on request *)
 }
@@ -25,13 +28,16 @@ val step : Machine.oracle -> Config.t -> Config.t option
 (** Creep from [from] (default α·η11) for at most [max_steps] rewritings
     or [max_cycles] cycles.  [validate] re-checks Definition 19 at every
     step (Lemma 20) and fails loudly on violation.  [keep_history] records
-    every configuration. *)
+    every configuration.  The [governor] (default unlimited) is polled
+    every step: its step fuel caps [max_steps], and cancellation or an
+    expired deadline end the creep with the matching [verdict]. *)
 val creep :
   ?from:Config.t ->
   ?max_steps:int ->
   ?max_cycles:int ->
   ?validate:bool ->
   ?keep_history:bool ->
+  ?governor:Resilience.Governor.t ->
   Machine.oracle ->
   trace
 
@@ -41,6 +47,7 @@ val creep_machine :
   ?max_cycles:int ->
   ?validate:bool ->
   ?keep_history:bool ->
+  ?governor:Resilience.Governor.t ->
   Machine.t ->
   trace
 

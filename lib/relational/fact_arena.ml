@@ -70,6 +70,9 @@ let sym_obj t i = t.sym_objs.(i)
 let append t f =
   let id = t.n_facts in
   if id >= Array.length t.fact_objs then begin
+    (* the arena-exhaustion failpoint: growth "fails" before any state
+       is touched, surfacing as a [Faulted] chase outcome *)
+    Resilience.Failpoint.hit "arena.grow";
     let a = Array.make (2 * Array.length t.fact_objs) dummy_fact in
     Array.blit t.fact_objs 0 a 0 t.n_facts;
     t.fact_objs <- a

@@ -378,6 +378,10 @@ module Plan = struct
           })
     in
     let rec go i =
+      (* cooperative cancellation: a read-only scan may abort here (one
+         disarmed ref read, the [Obs.metrics_on] overhead discipline) *)
+      if !Resilience.Governor.Cancel.poll_on then
+        Resilience.Governor.Cancel.poll ();
       if i >= n then emit slots
       else if dead.(i) then () (* an unresolved constant: no candidates *)
       else begin
@@ -580,6 +584,8 @@ module Plan = struct
               let undo = Array.make pivot.arity 0 in
               List.iter
                 (fun fact ->
+                  if !Resilience.Governor.Cancel.poll_on then
+                    Resilience.Governor.Cancel.poll ();
                   let fargs = Fact.args fact in
                   (* constant filter, unmetered like the interpreted
                      pivot's [pinned] check *)

@@ -1,0 +1,88 @@
+(* Atomic checkpoint files.
+
+   Format: one header line
+
+     REDSPIDER-CKPT-1 <kind> <md5-hex-of-payload> <payload-length>\n
+
+   followed by the Marshal payload.  Writes go to [path ^ ".tmp"] and
+   are published with [Sys.rename], which is atomic on POSIX: a reader
+   of [path] sees either the previous checkpoint or the new one, never
+   a torn file.  The digest additionally catches a torn or corrupted
+   *published* file (e.g. a copy truncated out-of-band), so [load]
+   always either returns the exact snapshot or a clean error.
+
+   The payload is produced by [Marshal] without closures: every snapshot
+   type in this repo (Structure.t, Graph.t, the engine snapshot records)
+   is closure-free data, and the round-trip preserves mutation order —
+   unlike [Structure.copy], which re-adds facts in hash order and would
+   destroy the delta journal a resumed semi-naive run depends on. *)
+
+let magic = "REDSPIDER-CKPT-1"
+
+(* Marshal round-trip deep clone: the only journal-order-preserving way
+   to copy a live structure for a snapshot. *)
+let clone v = Marshal.from_string (Marshal.to_string v []) 0
+
+let save ~kind path v =
+  if String.contains kind ' ' then invalid_arg "Checkpoint.save: kind has a space";
+  let payload = Marshal.to_string v [] in
+  let digest = Digest.to_hex (Digest.string payload) in
+  let tmp = path ^ ".tmp" in
+  let write () =
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Printf.fprintf oc "%s %s %s %d\n" magic kind digest
+          (String.length payload);
+        (* the crash-mid-write failpoint: half the payload lands in the
+           tmp file, the rename below never happens *)
+        if Failpoint.fire "checkpoint.write" then begin
+          output_substring oc payload 0 (String.length payload / 2);
+          flush oc;
+          raise (Failpoint.Injected "checkpoint.write")
+        end;
+        output_string oc payload;
+        flush oc)
+  in
+  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+  try
+    write ();
+    Sys.rename tmp path;
+    Ok ()
+  with
+  | Failpoint.Injected site ->
+      cleanup ();
+      Error
+        (Printf.sprintf
+           "fault injected at %s: checkpoint not published (previous \
+            checkpoint, if any, is intact)"
+           site)
+  | Sys_error m ->
+      cleanup ();
+      Error m
+
+let load ~kind path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let header = input_line ic in
+        match String.split_on_char ' ' header with
+        | [ m; k; digest; len ] when m = magic ->
+            if k <> kind then
+              Error
+                (Printf.sprintf "checkpoint kind mismatch: wanted %s, file has %s"
+                   kind k)
+            else
+              let n = int_of_string len in
+              let payload = really_input_string ic n in
+              if Digest.to_hex (Digest.string payload) <> digest then
+                Error "checkpoint digest mismatch (torn or corrupt file)"
+              else Ok (Marshal.from_string payload 0)
+        | _ -> Error "bad checkpoint header")
+  with
+  | End_of_file -> Error "truncated checkpoint"
+  | Failure _ -> Error "bad checkpoint header"
+  | Sys_error m -> Error m

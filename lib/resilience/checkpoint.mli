@@ -1,0 +1,24 @@
+(** Atomic checkpoint files: a one-line header (magic, kind, md5 digest,
+    payload length) followed by a closure-free [Marshal] payload, written
+    to [path ^ ".tmp"] and published with an atomic [Sys.rename].  A
+    reader sees either the previous checkpoint or the new one, never a
+    torn file; the digest catches out-of-band corruption of a published
+    file.
+
+    The ["checkpoint.write"] failpoint makes {!save} die mid-payload
+    before the rename: the tmp file is torn but the published path is
+    untouched. *)
+
+val clone : 'a -> 'a
+(** Marshal round-trip deep clone.  Preserves mutation order — the only
+    safe way to copy a live [Structure.t]/[Graph.t] whose delta journal a
+    resumed run depends on ([Structure.copy] re-adds facts in hash
+    order). *)
+
+val save : kind:string -> string -> 'a -> (unit, string) result
+(** [save ~kind path v] atomically publishes [v] at [path].  [kind] is a
+    space-free tag checked by {!load} (e.g. ["tgd-chase"]). *)
+
+val load : kind:string -> string -> ('a, string) result
+(** Read back a checkpoint, verifying magic, kind and digest.  The
+    caller asserts the payload type through [kind]. *)

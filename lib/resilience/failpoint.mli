@@ -1,0 +1,49 @@
+(** Seeded failpoint harness.  A spec such as
+    ["par.shard=0.25,checkpoint.write=0.1,arena.grow"] arms the named
+    sites with the given firing probabilities (a bare name means 1.0).
+    Decisions come from a private splitmix64 stream, so a (seed, spec)
+    pair replays the exact fault schedule.
+
+    Sites currently wired in:
+    - ["par.shard"]: a par discovery worker dies before scanning its
+      shard ([Tgd.Chase] and [Greengraph.Rule] retry once, then degrade
+      to sequential semi-naive discovery for that scan);
+    - ["arena.grow"]: the fact arena's growth path fails, surfacing as a
+      [Faulted] outcome;
+    - ["checkpoint.write"]: a checkpoint write dies mid-payload before
+      the atomic rename, leaving the previous checkpoint intact. *)
+
+exception Injected of string
+(** Raised at a faulting site; the payload is the site name. *)
+
+val configure : ?seed:int -> string -> (unit, string) result
+(** Arm the sites of [spec]; an empty spec disarms everything. *)
+
+val configure_exn : ?seed:int -> string -> unit
+(** [configure], raising [Invalid_argument] on a malformed spec. *)
+
+val clear : unit -> unit
+(** Disarm all sites (and forget their counters). *)
+
+val active : unit -> bool
+(** Any site armed?  The disabled fast path is this single ref read. *)
+
+val fire : string -> bool
+(** Should the named site fault now?  Counts the probe either way;
+    unarmed/unknown sites never fault and never consume randomness. *)
+
+val hit : string -> unit
+(** [fire] that raises {!Injected} instead of returning [true]. *)
+
+type summary = { name : string; prob : float; hits : int; injected : int }
+
+val summary : unit -> summary list
+(** Per-site counters, sorted by name; empty when disarmed. *)
+
+val injected_total : unit -> int
+
+val rng_state : unit -> int64 option
+(** The decision stream's position, for checkpointing mid-campaign. *)
+
+val set_rng_state : int64 -> unit
+val pp_summary : Format.formatter -> summary -> unit

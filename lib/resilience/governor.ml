@@ -1,0 +1,134 @@
+(* The resource governor: one record bundling every way a chase run is
+   allowed to end early — wall-clock deadline, stage fuel, element/fact
+   budgets and a cooperative cancellation token — plus the structured
+   outcome the engines report instead of the old [fixpoint : bool].
+
+   Budgets and the deadline are polled at stage boundaries only, so a
+   governed run cut at stage i is the bit-identical prefix of the
+   ungoverned run: no trigger order, fresh id or counter ever depends on
+   the governor.  The cancellation token is additionally polled inside
+   the read-only discovery scans (see {!Cancel.poll}), where aborting is
+   safe because the structure is not being mutated. *)
+
+module Cancel = struct
+  type t = { mutable tripped : bool }
+
+  let create () = { tripped = false }
+  let trip t = t.tripped <- true
+  let reset t = t.tripped <- false
+  let tripped t = t.tripped
+
+  (* The inert token: shared by every ungoverned run, never tripped. *)
+  let never = { tripped = false }
+
+  exception Cancelled
+
+  (* Hot-path polling follows the [Obs.metrics_on] idiom: a single ref
+     read when disarmed, so the instrumented inner loops stay within the
+     observability overhead budget.  [with_polling] arms the token for
+     the dynamic extent of a read-only scan; {!poll} raises [Cancelled]
+     out of the scan, which the engine catches at the stage boundary. *)
+  let poll_on = ref false
+  let current = ref never
+
+  let with_polling t f =
+    let saved_on = !poll_on and saved = !current in
+    poll_on := true;
+    current := t;
+    Fun.protect
+      ~finally:(fun () ->
+        poll_on := saved_on;
+        current := saved)
+      f
+
+  let poll () = if !poll_on && (!current).tripped then raise Cancelled
+end
+
+type budget_kind = Stages | Elems | Facts | Steps | Stop
+
+type outcome =
+  | Fixpoint
+  | Budget of budget_kind
+  | Deadline
+  | Cancelled
+  | Faulted of string
+
+type t = {
+  deadline : float option; (* absolute, on the Obs.Clock.now_s timeline *)
+  max_stages : int;
+  max_elems : int;
+  max_facts : int;
+  max_steps : int;
+  cancel : Cancel.t;
+}
+
+let unlimited =
+  {
+    deadline = None;
+    max_stages = max_int;
+    max_elems = max_int;
+    max_facts = max_int;
+    max_steps = max_int;
+    cancel = Cancel.never;
+  }
+
+let make ?deadline_in ?deadline ?(max_stages = max_int) ?(max_elems = max_int)
+    ?(max_facts = max_int) ?(max_steps = max_int) ?(cancel = Cancel.never) () =
+  let deadline =
+    match (deadline, deadline_in) with
+    | (Some _ as d), _ -> d
+    | None, Some dt -> Some (Obs.Clock.now_s () +. dt)
+    | None, None -> None
+  in
+  { deadline; max_stages; max_elems; max_facts; max_steps; cancel }
+
+let is_unlimited g = g == unlimited
+
+let cancelled g = Cancel.tripped g.cancel
+
+let deadline_passed g =
+  match g.deadline with None -> false | Some d -> Obs.Clock.now_s () > d
+
+(* The stage-boundary poll: cancellation wins over the deadline so a
+   Ctrl-C is always reported as such even on an expired run. *)
+let interrupted g =
+  if cancelled g then Some Cancelled
+  else if deadline_passed g then Some Deadline
+  else None
+
+let has_size_budget g = g.max_elems < max_int || g.max_facts < max_int
+
+let over_budget g ~elems ~facts =
+  if elems > g.max_elems then Some (Budget Elems)
+  else if facts > g.max_facts then Some (Budget Facts)
+  else None
+
+(* Arm hot-path cancellation polling only for a real token: ungoverned
+   runs keep the disarmed single-ref-read fast path. *)
+let with_scope g f =
+  if g.cancel == Cancel.never then f () else Cancel.with_polling g.cancel f
+
+let budget_kind_to_string = function
+  | Stages -> "stages"
+  | Elems -> "elems"
+  | Facts -> "facts"
+  | Steps -> "steps"
+  | Stop -> "stop"
+
+let pp_budget_kind ppf k = Fmt.string ppf (budget_kind_to_string k)
+
+let pp_outcome ppf = function
+  | Fixpoint -> Fmt.string ppf "fixpoint"
+  | Budget k -> Fmt.pf ppf "budget:%a" pp_budget_kind k
+  | Deadline -> Fmt.string ppf "deadline"
+  | Cancelled -> Fmt.string ppf "cancelled"
+  | Faulted site -> Fmt.pf ppf "faulted:%s" site
+
+(* The CLI exit-code taxonomy (documented in bin/redspider.ml): 0
+   success/fixpoint, 1 violation or unrecovered fault, 2 usage, 3
+   budget/deadline cut, 4 cancelled. *)
+let exit_code = function
+  | Fixpoint -> 0
+  | Budget _ | Deadline -> 3
+  | Cancelled -> 4
+  | Faulted _ -> 1

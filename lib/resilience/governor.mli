@@ -1,0 +1,112 @@
+(** The resource governor: one record bundling wall-clock deadline, stage
+    fuel, element/fact/step budgets and a cooperative cancellation token,
+    threaded through the chase engines ([Tgd.Chase], [Greengraph.Rule]),
+    the hom evaluator and the rainworm creeping semantics.  The engines
+    report a structured {!outcome} instead of the old [fixpoint : bool].
+
+    Budgets and the deadline are polled at stage boundaries only, so a
+    governed run cut at stage [i] is the bit-identical prefix of the
+    ungoverned run.  The cancellation token is additionally polled inside
+    the read-only discovery scans, where aborting cannot tear the
+    structure. *)
+
+(** Cooperative cancellation tokens. *)
+module Cancel : sig
+  type t
+
+  val create : unit -> t
+  val trip : t -> unit
+  val reset : t -> unit
+  val tripped : t -> bool
+
+  val never : t
+  (** The inert token shared by ungoverned runs; never tripped. *)
+
+  exception Cancelled
+  (** Raised by {!poll} out of a read-only scan when the armed token has
+      tripped; caught by the engines at the stage boundary. *)
+
+  val with_polling : t -> (unit -> 'a) -> 'a
+  (** Arm [t] for hot-path polling within the callback (saving and
+      restoring any previously armed token). *)
+
+  val poll_on : bool ref
+  (** Whether a token is armed.  Hot loops guard their {!poll} call with
+      this single ref read (the [Obs.metrics_on] idiom); treat as
+      read-only — {!with_polling} owns it. *)
+
+  val poll : unit -> unit
+  (** The hot-path poll: a single ref read when disarmed (the
+      [Obs.metrics_on] idiom), raising {!Cancelled} when the armed token
+      has tripped. *)
+end
+
+type budget_kind =
+  | Stages  (** stage fuel exhausted ([max_stages]) *)
+  | Elems   (** element budget exceeded *)
+  | Facts   (** fact budget exceeded *)
+  | Steps   (** step/cycle fuel exhausted (rainworm creeping) *)
+  | Stop    (** a caller-supplied [stop] predicate held *)
+
+type outcome =
+  | Fixpoint            (** no trigger was active at the last stage *)
+  | Budget of budget_kind  (** a deterministic budget cut the run *)
+  | Deadline            (** the wall-clock deadline passed *)
+  | Cancelled           (** the cancellation token tripped *)
+  | Faulted of string   (** an injected (or real) fault aborted the run;
+                            the payload names the failpoint site *)
+
+type t = {
+  deadline : float option;
+      (** absolute deadline on the [Obs.Clock.now_s] timeline *)
+  max_stages : int;
+  max_elems : int;
+  max_facts : int;
+  max_steps : int;
+  cancel : Cancel.t;
+}
+
+val unlimited : t
+(** No deadline, no budgets, the {!Cancel.never} token.  The default of
+    every run function; physically compared so ungoverned runs skip all
+    governor work. *)
+
+val make :
+  ?deadline_in:float ->
+  ?deadline:float ->
+  ?max_stages:int ->
+  ?max_elems:int ->
+  ?max_facts:int ->
+  ?max_steps:int ->
+  ?cancel:Cancel.t ->
+  unit ->
+  t
+(** [deadline_in dt] sets the absolute deadline [dt] seconds from now;
+    [deadline] (absolute) wins when both are given. *)
+
+val is_unlimited : t -> bool
+val cancelled : t -> bool
+val deadline_passed : t -> bool
+
+val interrupted : t -> outcome option
+(** The stage-boundary poll: [Some Cancelled] if the token tripped, else
+    [Some Deadline] if the deadline passed, else [None]. *)
+
+val has_size_budget : t -> bool
+(** Is either size budget finite?  Engines whose element/fact counts are
+    O(n) to compute (the graph chase) skip counting when this is false. *)
+
+val over_budget : t -> elems:int -> facts:int -> outcome option
+(** Element/fact budget check, also polled at stage boundaries. *)
+
+val with_scope : t -> (unit -> 'a) -> 'a
+(** Arm hot-path cancellation polling for the callback iff the governor
+    carries a real (non-{!Cancel.never}) token. *)
+
+val budget_kind_to_string : budget_kind -> string
+val pp_budget_kind : Format.formatter -> budget_kind -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val exit_code : outcome -> int
+(** The documented CLI taxonomy: 0 fixpoint, 3 budget/deadline, 4
+    cancelled, 1 faulted. *)

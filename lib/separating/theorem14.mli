@@ -6,6 +6,7 @@
 val chase_prefix_clean :
   ?engine:Greengraph.Rule.engine ->
   ?jobs:int ->
+  ?governor:Resilience.Governor.t ->
   stages:int ->
   unit ->
   bool * Greengraph.Graph.t
@@ -14,6 +15,7 @@ val chase_prefix_clean :
 val collision_outcome :
   ?engine:Greengraph.Rule.engine ->
   ?jobs:int ->
+  ?governor:Resilience.Governor.t ->
   ?max_stages:int ->
   t:int ->
   t':int ->
@@ -24,6 +26,7 @@ val collision_outcome :
 val single_path_outcome :
   ?engine:Greengraph.Rule.engine ->
   ?jobs:int ->
+  ?governor:Resilience.Governor.t ->
   ?max_stages:int ->
   t:int ->
   unit ->

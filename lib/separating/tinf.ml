@@ -18,9 +18,11 @@ let rules =
 
 (* chase(T∞, D_I) up to a stage bound; returns the graph and the
    constants a, b. *)
-let chase ?engine ?jobs ~stages () =
+let chase ?engine ?jobs ?governor ~stages () =
   let g, a, b = Greengraph.Graph.d_i () in
-  let stats = Greengraph.Rule.chase ?engine ?jobs ~max_stages:stages rules g in
+  let stats =
+    Greengraph.Rule.chase ?engine ?jobs ?governor ~max_stages:stages rules g
+  in
   (g, a, b, stats)
 
 (* The two word families of the Example after Definition 16:

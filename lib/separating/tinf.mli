@@ -10,6 +10,7 @@ val rules : Greengraph.Rule.t list
 val chase :
   ?engine:Greengraph.Rule.engine ->
   ?jobs:int ->
+  ?governor:Resilience.Governor.t ->
   stages:int ->
   unit ->
   Greengraph.Graph.t * int * int * Greengraph.Rule.stats

@@ -40,21 +40,27 @@ let c_considered = Obs.Metrics.counter "tgd.triggers_considered"
 let c_firings = Obs.Metrics.counter "tgd.firings"
 let c_head_checks = Obs.Metrics.counter "tgd.head_checks"
 let c_merge_ms = Obs.Metrics.counter "par.merge_ms"
+let c_par_retries = Obs.Metrics.counter "resilience.par_retries"
+let c_par_degraded = Obs.Metrics.counter "resilience.par_degraded"
 let h_delta = Obs.Metrics.histogram "tgd.delta_size"
+
+module G = Resilience.Governor
 
 type stats = {
   stages : int;              (* stages executed *)
   applications : int;        (* TGD firings *)
   triggers_considered : int; (* distinct (TGD, frontier) pairs examined *)
   body_matches : int;        (* raw body matches, before frontier dedup *)
-  fixpoint : bool;           (* no trigger was active at the last stage *)
+  fixpoint : bool;           (* outcome = Fixpoint, kept for callers *)
+  outcome : G.outcome;       (* how the run ended *)
 }
 
 let pp_stats ppf s =
   Fmt.pf ppf
     "stages=%d applications=%d triggers_considered=%d body_matches=%d \
-     fixpoint=%b"
+     fixpoint=%b outcome=%a"
     s.stages s.applications s.triggers_considered s.body_matches s.fixpoint
+    G.pp_outcome s.outcome
 
 (* Restrict a body binding to the frontier of the TGD: the b̄ of the paper. *)
 let frontier_binding dep binding =
@@ -266,12 +272,44 @@ let collect_triggers_par ~jobs ~seen_of ~considered ~matches cdeps d
     (fun di cd ->
       let fam = Lazy.force cd.body_family in
       let fi = Lazy.force cd.fr_delta in
-      let raw =
+      (* One sharded scan attempt.  The "par.shard" failpoint decisions
+         are drawn sequentially *before* the workers spawn, so the fault
+         schedule never races the decision stream across domains; a
+         marked worker dies before reading its shard, and the Pool
+         re-raises after joining everyone. *)
+      let scan_sharded () =
+        let faults = Array.make m false in
+        if Resilience.Failpoint.active () then
+          for w = 0 to m - 1 do
+            faults.(w) <- Resilience.Failpoint.fire "par.shard"
+          done;
         Pool.run ~jobs:m m (fun w ->
+            if faults.(w) then
+              raise (Resilience.Failpoint.Injected "par.shard");
             let acc = ref [] in
             Hom.Plan.iter_family fam d shards.(w) (fun slots ->
                 acc := Array.copy slots :: !acc);
             List.rev !acc)
+      in
+      (* The degradation ladder's last rung: sequential semi-naive
+         discovery over the whole delta.  The per-scan raw multisets
+         differ from the sharded ones (cross-shard duplicates), but the
+         sorted merge below deduplicates both to the same match set, so
+         triggers, stats and firings stay bit-identical. *)
+      let scan_sequential () =
+        let acc = ref [] in
+        Hom.Plan.iter_family fam d delta_facts (fun slots ->
+            acc := Array.copy slots :: !acc);
+        [| List.rev !acc |]
+      in
+      let raw =
+        try scan_sharded () with
+        | Resilience.Failpoint.Injected "par.shard" -> (
+            if !Obs.metrics_on then Obs.Metrics.incr c_par_retries;
+            try scan_sharded () with
+            | Resilience.Failpoint.Injected "par.shard" ->
+                if !Obs.metrics_on then Obs.Metrics.incr c_par_degraded;
+                scan_sequential ())
       in
       let t0 = Obs.Clock.now_s () in
       let all = List.sort compare (List.concat (Array.to_list raw)) in
@@ -354,127 +392,282 @@ let chase_stage deps d =
   in
   apply_triggers triggers d
 
+type engine = [ `Stage | `Seminaive | `Oblivious | `Par ]
+
+let pp_engine ppf e =
+  Fmt.string ppf
+    (match e with
+    | `Stage -> "stage"
+    | `Seminaive -> "seminaive"
+    | `Oblivious -> "oblivious"
+    | `Par -> "par")
+
+(* A resumable chase snapshot: the structure (a Marshal round-trip clone,
+   the only journal-order-preserving copy), the semi-naive watermark, the
+   per-TGD persistent dedup keys in canonical sorted order, and the
+   counters.  [snap_stage] is the last *completed* stage; resuming
+   continues at [snap_stage + 1] with absolute stage numbering, so a
+   prefix run + resume is bit-identical to one uninterrupted run. *)
+type snapshot = {
+  snap_engine : engine;
+  snap_stage : int;
+  snap_wm : int;
+  snap_seen : (int * int array list) list; (* TGD index -> sorted keys *)
+  snap_considered : int;
+  snap_matches : int;
+  snap_applications : int;
+  snap_deps : string list; (* Dep names, to reject mismatched resumes *)
+  snap_structure : Structure.t;
+}
+
 (* Run the chase in place for at most [max_stages] stages, or until the
-   fixpoint, or until [stop] holds (checked after every stage).  Stage
+   fixpoint, until [stop] holds, or until the [governor] interrupts
+   (cancellation/deadline at stage boundaries and inside read-only
+   discovery scans; element/fact budgets at stage boundaries).  Stage
    numbers stamp provenance into the structure: facts added at stage i
    belong to chase_i.
 
    [collect] abstracts the engines' trigger discovery; it is called once
    per stage, after the stage stamp, and shares the [considered]/[matches]
-   refs with the final stats. *)
-let run_engine ~span ~max_stages ~stop ~on_fire ~considered ~matches ~collect d
-    =
-  let applications = ref 0 in
-  let finish i fixpoint =
+   refs with the final stats.  [make_snapshot] captures the engine's
+   resumable state; snapshots are built only when [on_snapshot] is given,
+   every [snapshot_every] completed stages and at the final stage of any
+   cleanly-ended run.  A scan aborted mid-stage (cancellation) or a fault
+   leaves per-run dedup state ahead of the last boundary, so those paths
+   deliberately skip the final snapshot — the last boundary snapshot is
+   the resumable one. *)
+let run_engine ~span ~governor ~max_stages ~stop ~on_fire ~considered ~matches
+    ~collect ~make_snapshot ~snapshot_every ~on_snapshot ~start_stage
+    ~start_applications d =
+  let applications = ref start_applications in
+  let last_snap = ref (-1) in
+  let emit_snapshot i =
+    match on_snapshot with
+    | Some f when i > !last_snap ->
+        last_snap := i;
+        f (make_snapshot ~stage:i ~applications:!applications)
+    | _ -> ()
+  in
+  let finish ?(snap = true) i outcome =
+    if snap then emit_snapshot i;
     {
       stages = i;
       applications = !applications;
       triggers_considered = !considered;
       body_matches = !matches;
-      fixpoint;
+      fixpoint = (outcome = G.Fixpoint);
+      outcome;
     }
   in
+  let max_stages = min max_stages governor.G.max_stages in
   let rec go i =
-    if i > max_stages then finish (i - 1) false
-    else begin
-      Structure.set_stage d i;
-      let n_triggers = ref 0 and n_fired = ref 0 in
-      Obs.Trace.with_span "tgd.stage"
-        ~args:(fun () ->
-          [ ("stage", i); ("triggers", !n_triggers); ("fired", !n_fired) ])
-        (fun () ->
-          let triggers = collect () in
-          n_triggers := List.length triggers;
-          n_fired := apply_triggers ~on_fire:(on_fire ~stage:i) triggers d);
-      applications := !applications + !n_fired;
-      if !n_fired = 0 then finish i true
-      else if stop d then finish i false
-      else go (i + 1)
-    end
+    match G.interrupted governor with
+    | Some o -> finish (i - 1) o
+    | None ->
+        if i > max_stages then finish (i - 1) (G.Budget G.Stages)
+        else begin
+          Structure.set_stage d i;
+          let n_triggers = ref 0 and n_fired = ref 0 in
+          let step () =
+            let triggers = G.with_scope governor collect in
+            n_triggers := List.length triggers;
+            n_fired := apply_triggers ~on_fire:(on_fire ~stage:i) triggers d
+          in
+          match
+            Obs.Trace.with_span "tgd.stage"
+              ~args:(fun () ->
+                [ ("stage", i); ("triggers", !n_triggers); ("fired", !n_fired) ])
+              (fun () ->
+                try Ok (step ()) with
+                | G.Cancel.Cancelled -> Error `Cancelled
+                | Resilience.Failpoint.Injected site -> Error (`Faulted site))
+          with
+          | Error `Cancelled -> finish ~snap:false (i - 1) G.Cancelled
+          | Error (`Faulted site) ->
+              (* a fault during apply may leave a partial stage in the
+                 structure: report cleanly, never snapshot the state *)
+              finish ~snap:false (i - 1) (G.Faulted site)
+          | Ok () ->
+              applications := !applications + !n_fired;
+              if !n_fired = 0 then finish i G.Fixpoint
+              else begin
+                if (i - start_stage) mod snapshot_every = 0 then
+                  emit_snapshot i;
+                match
+                  G.over_budget governor ~elems:(Structure.card d)
+                    ~facts:(Structure.size d)
+                with
+                | Some o -> finish i o
+                | None ->
+                    if stop d then finish i (G.Budget G.Stop) else go (i + 1)
+              end
+        end
   in
-  Obs.Trace.with_span span (fun () -> go 1)
+  Obs.Trace.with_span span (fun () -> go (start_stage + 1))
 
 let no_fire ~stage:_ _ _ = ()
+let deps_signature deps = List.map Dep.name deps
 
-let run_stage ?(max_stages = max_int) ?(stop = fun _ -> false)
-    ?(on_fire = no_fire) deps d =
+let check_resume_deps deps snap =
+  if snap.snap_deps <> deps_signature deps then
+    invalid_arg "Chase.resume: dependency list differs from the snapshot's"
+
+let run_stage ?(governor = G.unlimited) ?(max_stages = max_int)
+    ?(stop = fun _ -> false) ?(on_fire = no_fire) ?(snapshot_every = 1)
+    ?on_snapshot ?from deps d =
+  (match from with Some s -> check_resume_deps deps s | None -> ());
   let cdeps = List.map compile_dep deps in
-  let considered = ref 0 and matches = ref 0 in
+  let start_stage, considered0, matches0, apps0 =
+    match from with
+    | Some s ->
+        (s.snap_stage, s.snap_considered, s.snap_matches, s.snap_applications)
+    | None -> (0, 0, 0, 0)
+  in
+  let considered = ref considered0 and matches = ref matches0 in
+  let make_snapshot ~stage ~applications =
+    {
+      snap_engine = `Stage;
+      snap_stage = stage;
+      snap_wm = Structure.watermark d;
+      snap_seen = [];
+      snap_considered = !considered;
+      snap_matches = !matches;
+      snap_applications = applications;
+      snap_deps = deps_signature deps;
+      snap_structure = Resilience.Checkpoint.clone d;
+    }
+  in
   let collect () =
     if !Obs.metrics_on then Obs.Metrics.observe h_delta (Structure.size d);
     collect_triggers
       ~seen_of:(fun _ _ -> Hashtbl.create 64)
       ~considered ~matches cdeps d
   in
-  run_engine ~span:"tgd.chase(stage)" ~max_stages ~stop ~on_fire ~considered
-    ~matches ~collect d
+  run_engine ~span:"tgd.chase(stage)" ~governor ~max_stages ~stop ~on_fire
+    ~considered ~matches ~collect ~make_snapshot ~snapshot_every ~on_snapshot
+    ~start_stage ~start_applications:apps0 d
 
-(* The per-run persistent dedup tables of the semi-naive engines. *)
-let persistent_seen () =
+(* The per-run persistent dedup tables of the semi-naive engines, with a
+   sorted dump / reload pair for snapshots. *)
+let persistent_seen ?(from = []) () =
   let tables = Hashtbl.create 8 in
-  fun di _ ->
+  List.iter
+    (fun (di, keys) ->
+      let t = Hashtbl.create (max 64 (2 * List.length keys)) in
+      List.iter (fun k -> Hashtbl.replace t k ()) keys;
+      Hashtbl.replace tables di t)
+    from;
+  let get di _ =
     match Hashtbl.find_opt tables di with
     | Some t -> t
     | None ->
         let t = Hashtbl.create 64 in
         Hashtbl.replace tables di t;
         t
+  in
+  let dump () =
+    Hashtbl.fold
+      (fun di t acc ->
+        (di, List.sort compare (Hashtbl.fold (fun k () l -> k :: l) t []))
+        :: acc)
+      tables []
+    |> List.sort compare
+  in
+  (get, dump)
 
-let run_seminaive ?(max_stages = max_int) ?(stop = fun _ -> false)
-    ?(on_fire = no_fire) deps d =
+(* The shared delta-engine driver ([`Seminaive] and [`Par]). *)
+let run_delta ~par ?jobs ~governor ~max_stages ~stop ~on_fire ~snapshot_every
+    ~on_snapshot ~from deps d =
+  (match from with Some s -> check_resume_deps deps s | None -> ());
   let cdeps = List.map compile_dep deps in
-  let seen_of = persistent_seen () in
-  let considered = ref 0 and matches = ref 0 in
+  let start_stage, wm0, seen0, considered0, matches0, apps0 =
+    match from with
+    | Some s ->
+        ( s.snap_stage,
+          s.snap_wm,
+          s.snap_seen,
+          s.snap_considered,
+          s.snap_matches,
+          s.snap_applications )
+    | None -> (0, 0, [], 0, 0, 0)
+  in
+  let seen_of, dump_seen = persistent_seen ~from:seen0 () in
+  let considered = ref considered0 and matches = ref matches0 in
   (* Watermark of the previous stage's start; the first delta is the whole
      initial structure. *)
-  let wm = ref 0 in
-  let collect () =
-    let delta = Structure.delta_since d !wm in
-    wm := Structure.watermark d;
-    if !Obs.metrics_on then Obs.Metrics.observe h_delta (List.length delta);
-    collect_triggers ~delta ~seen_of ~considered ~matches cdeps d
+  let wm = ref wm0 in
+  let make_snapshot ~stage ~applications =
+    {
+      snap_engine = (if par then `Par else `Seminaive);
+      snap_stage = stage;
+      snap_wm = !wm;
+      snap_seen = dump_seen ();
+      snap_considered = !considered;
+      snap_matches = !matches;
+      snap_applications = applications;
+      snap_deps = deps_signature deps;
+      snap_structure = Resilience.Checkpoint.clone d;
+    }
   in
-  run_engine ~span:"tgd.chase(seminaive)" ~max_stages ~stop ~on_fire
-    ~considered ~matches ~collect d
-
-let run_par ?jobs ?(max_stages = max_int) ?(stop = fun _ -> false)
-    ?(on_fire = no_fire) deps d =
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
-  let cdeps = List.map compile_dep deps in
-  let seen_of = persistent_seen () in
-  let considered = ref 0 and matches = ref 0 in
-  let wm = ref 0 in
   let collect () =
     let delta = Structure.delta_since d !wm in
-    wm := Structure.watermark d;
+    let new_wm = Structure.watermark d in
     if !Obs.metrics_on then Obs.Metrics.observe h_delta (List.length delta);
-    collect_triggers_par ~jobs ~seen_of ~considered ~matches cdeps d delta
+    let triggers =
+      if par then
+        collect_triggers_par ~jobs ~seen_of ~considered ~matches cdeps d delta
+      else collect_triggers ~delta ~seen_of ~considered ~matches cdeps d
+    in
+    (* advance only after a completed scan: a cancelled scan must not
+       move the watermark past the last resumable boundary *)
+    wm := new_wm;
+    triggers
   in
-  run_engine ~span:"tgd.chase(par)" ~max_stages ~stop ~on_fire ~considered
-    ~matches ~collect d
+  let span = if par then "tgd.chase(par)" else "tgd.chase(seminaive)" in
+  run_engine ~span ~governor ~max_stages ~stop ~on_fire ~considered ~matches
+    ~collect ~make_snapshot ~snapshot_every ~on_snapshot ~start_stage
+    ~start_applications:apps0 d
+
+let run_seminaive ?(governor = G.unlimited) ?(max_stages = max_int)
+    ?(stop = fun _ -> false) ?(on_fire = no_fire) ?(snapshot_every = 1)
+    ?on_snapshot ?from deps d =
+  run_delta ~par:false ~governor ~max_stages ~stop ~on_fire ~snapshot_every
+    ~on_snapshot ~from deps d
+
+let run_par ?jobs ?(governor = G.unlimited) ?(max_stages = max_int)
+    ?(stop = fun _ -> false) ?(on_fire = no_fire) ?(snapshot_every = 1)
+    ?on_snapshot ?from deps d =
+  run_delta ~par:true ?jobs ~governor ~max_stages ~stop ~on_fire
+    ~snapshot_every ~on_snapshot ~from deps d
 
 (* The semi-oblivious (skolem) chase: every pair (T, b̄) fires exactly
    once, whether or not the head is already satisfied.  It diverges more
    often than the paper's lazy chase — condition ­ is exactly what keeps
    chase(T_Q, ·) tame — and exists here as the ablation baseline. *)
-let run_oblivious ?(max_stages = max_int) ?(stop = fun _ -> false)
-    ?(on_fire = no_fire) deps d =
+let run_oblivious ?(governor = G.unlimited) ?(max_stages = max_int)
+    ?(stop = fun _ -> false) ?(on_fire = no_fire) deps d =
   let fired = Hashtbl.create 256 in
   let applications = ref 0 in
   let considered = ref 0 in
   let matches = ref 0 in
-  let finish i fixpoint =
+  let finish i outcome =
     {
       stages = i;
       applications = !applications;
       triggers_considered = !considered;
       body_matches = !matches;
-      fixpoint;
+      fixpoint = (outcome = G.Fixpoint);
+      outcome;
     }
   in
   let cdeps = List.map compile_dep deps in
+  let max_stages = min max_stages governor.G.max_stages in
   let rec go i =
-    if i > max_stages then finish (i - 1) false
+    match G.interrupted governor with
+    | Some o -> finish (i - 1) o
+    | None ->
+    if i > max_stages then finish (i - 1) (G.Budget G.Stages)
     else begin
       Structure.set_stage d i;
       let n = ref 0 in
@@ -505,34 +698,60 @@ let run_oblivious ?(max_stages = max_int) ?(stop = fun _ -> false)
               if !Obs.metrics_on then Obs.Metrics.incr c_firings)
             (List.rev !triggers));
       applications := !applications + !n;
-      if !n = 0 then finish i true
-      else if stop d then finish i false
-      else go (i + 1)
+      if !n = 0 then finish i G.Fixpoint
+      else begin
+        match
+          G.over_budget governor ~elems:(Structure.card d)
+            ~facts:(Structure.size d)
+        with
+        | Some o -> finish i o
+        | None -> if stop d then finish i (G.Budget G.Stop) else go (i + 1)
+      end
     end
   in
   Obs.Trace.with_span "tgd.chase(oblivious)" (fun () -> go 1)
-
-type engine = [ `Stage | `Seminaive | `Oblivious | `Par ]
-
-let pp_engine ppf e =
-  Fmt.string ppf
-    (match e with
-    | `Stage -> "stage"
-    | `Seminaive -> "seminaive"
-    | `Oblivious -> "oblivious"
-    | `Par -> "par")
 
 (* The engine front door.  Semi-naive is the default: it implements the
    same lazy stage semantics as [`Stage] (equal structures, equal firing
    sequence) with per-stage work proportional to the delta rather than to
    the whole structure.  [`Par] is semi-naive with sharded discovery;
    [jobs] bounds its worker count (ignored by the other engines). *)
-let run ?(engine = `Seminaive) ?jobs ?max_stages ?stop ?on_fire deps d =
+let run ?(engine = `Seminaive) ?jobs ?governor ?max_stages ?stop ?on_fire
+    ?snapshot_every ?on_snapshot deps d =
   match engine with
-  | `Stage -> run_stage ?max_stages ?stop ?on_fire deps d
-  | `Seminaive -> run_seminaive ?max_stages ?stop ?on_fire deps d
-  | `Oblivious -> run_oblivious ?max_stages ?stop ?on_fire deps d
-  | `Par -> run_par ?jobs ?max_stages ?stop ?on_fire deps d
+  | `Stage ->
+      run_stage ?governor ?max_stages ?stop ?on_fire ?snapshot_every
+        ?on_snapshot deps d
+  | `Seminaive ->
+      run_seminaive ?governor ?max_stages ?stop ?on_fire ?snapshot_every
+        ?on_snapshot deps d
+  | `Oblivious -> run_oblivious ?governor ?max_stages ?stop ?on_fire deps d
+  | `Par ->
+      run_par ?jobs ?governor ?max_stages ?stop ?on_fire ?snapshot_every
+        ?on_snapshot deps d
+
+(* Continue a checkpointed run on the snapshot's own structure (clone the
+   snapshot first to keep it reusable).  Stage numbering, the watermark,
+   the persistent dedup tables and every counter pick up exactly where
+   the snapshot left them, so prefix + resume is bit-identical — facts,
+   firing sequence and stats — to one uninterrupted run. *)
+let resume ?jobs ?governor ?max_stages ?stop ?on_fire ?snapshot_every
+    ?on_snapshot deps snap =
+  let d = snap.snap_structure in
+  let stats =
+    match snap.snap_engine with
+    | `Stage ->
+        run_stage ?governor ?max_stages ?stop ?on_fire ?snapshot_every
+          ?on_snapshot ~from:snap deps d
+    | `Seminaive ->
+        run_seminaive ?governor ?max_stages ?stop ?on_fire ?snapshot_every
+          ?on_snapshot ~from:snap deps d
+    | `Par ->
+        run_par ?jobs ?governor ?max_stages ?stop ?on_fire ?snapshot_every
+          ?on_snapshot ~from:snap deps d
+    | `Oblivious -> invalid_arg "Chase.resume: oblivious runs cannot resume"
+  in
+  (stats, d)
 
 (* Does D satisfy all the dependencies?  Short-circuits on the first
    active trigger instead of materialising every dependency's trigger

@@ -23,7 +23,12 @@ type stats = {
   body_matches : int;
       (** raw body matches enumerated, before frontier deduplication —
           the cost driver of trigger discovery. *)
-  fixpoint : bool;           (** no trigger was active at the last stage *)
+  fixpoint : bool;
+      (** [outcome = Fixpoint], kept for existing callers *)
+  outcome : Resilience.Governor.outcome;
+      (** how the run ended: fixpoint, a deterministic budget (stage
+          fuel, element/fact budget, a [stop] predicate), the wall-clock
+          deadline, cooperative cancellation, or an injected fault. *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit
@@ -40,6 +45,25 @@ val pp_stats : Format.formatter -> stats -> unit
 type engine = [ `Stage | `Seminaive | `Oblivious | `Par ]
 
 val pp_engine : Format.formatter -> engine -> unit
+
+(** A resumable chase snapshot: the structure (a journal-order-preserving
+    Marshal clone), the semi-naive watermark, the per-TGD persistent
+    dedup keys in canonical sorted order and the stat counters.
+    [snap_stage] is the last completed stage; {!resume} continues at
+    [snap_stage + 1] with absolute stage numbering.  The record is
+    closure-free, so [Resilience.Checkpoint.save]/[load] round-trips it
+    exactly. *)
+type snapshot = {
+  snap_engine : engine;
+  snap_stage : int;
+  snap_wm : int;
+  snap_seen : (int * int array list) list;
+  snap_considered : int;
+  snap_matches : int;
+  snap_applications : int;
+  snap_deps : string list;
+  snap_structure : Structure.t;
+}
 
 (** Restrict a body binding to the frontier: the b̄ of the paper. *)
 val frontier_binding : Dep.t -> Hom.binding -> Hom.binding
@@ -63,30 +87,73 @@ val has_active_trigger : Dep.t -> Structure.t -> bool
 val chase_stage : Dep.t list -> Structure.t -> int
 
 (** Run the chase in place for at most [max_stages] stages, until the
-    fixpoint, or until [stop] holds (checked after each stage).  Stage
-    numbers stamp provenance into the structure.  [engine] selects the
-    trigger-discovery engine (default [`Seminaive]); all engines share the
-    canonical per-stage firing order, so [`Stage] and [`Seminaive] build
-    identical structures, fresh element ids included.  [on_fire] observes
-    every firing in order — (stage, TGD, frontier binding) — before its
-    head atoms are added; the oracle's differential runner records the
-    firing sequence through it.  [jobs] bounds the [`Par] engine's worker
-    count (default [Pool.default_jobs ()]; ignored by other engines). *)
+    fixpoint, until [stop] holds (checked after each stage), or until the
+    [governor] interrupts the run.  Stage numbers stamp provenance into
+    the structure.  [engine] selects the trigger-discovery engine
+    (default [`Seminaive]); all engines share the canonical per-stage
+    firing order, so [`Stage] and [`Seminaive] build identical
+    structures, fresh element ids included.  [on_fire] observes every
+    firing in order — (stage, TGD, frontier binding) — before its head
+    atoms are added; the oracle's differential runner records the firing
+    sequence through it.  [jobs] bounds the [`Par] engine's worker count
+    (default [Pool.default_jobs ()]; ignored by other engines).
+
+    The [governor] (default [Resilience.Governor.unlimited]) bundles a
+    wall-clock deadline, stage fuel, element/fact budgets and a
+    cooperative cancellation token.  Budgets and the deadline are checked
+    at stage boundaries only, so a governed run cut short is the
+    bit-identical prefix of the ungoverned run; cancellation is
+    additionally polled inside read-only discovery scans.  The structured
+    verdict is [stats.outcome].
+
+    When [on_snapshot] is given, a resumable {!snapshot} is delivered
+    every [snapshot_every] (default 1) completed stages and at the final
+    stage of a cleanly-ended run (a mid-scan cancellation or fault skips
+    the final snapshot: the last boundary snapshot is the resumable one).
+    [`Oblivious] does not snapshot. *)
 val run :
   ?engine:engine ->
   ?jobs:int ->
+  ?governor:Resilience.Governor.t ->
   ?max_stages:int ->
   ?stop:(Structure.t -> bool) ->
   ?on_fire:(stage:int -> Dep.t -> Hom.binding -> unit) ->
+  ?snapshot_every:int ->
+  ?on_snapshot:(snapshot -> unit) ->
   Dep.t list ->
   Structure.t ->
   stats
 
-(** The stage engine: full re-enumeration each stage ([run ~engine:`Stage]). *)
-val run_stage :
+(** Continue a checkpointed run in place on the snapshot's own structure
+    (clone the snapshot first if it must stay reusable); the engine is
+    the snapshot's.  Stage numbering, the watermark, the persistent dedup
+    tables and every counter pick up exactly where the snapshot left
+    them: prefix + resume is bit-identical — facts, firing sequence via
+    [on_fire], and stats — to one uninterrupted run with the same
+    [max_stages] (absolute) and budgets.  Raises [Invalid_argument] if
+    the dependency list differs from the snapshot's or the snapshot is
+    from an [`Oblivious] run. *)
+val resume :
+  ?jobs:int ->
+  ?governor:Resilience.Governor.t ->
   ?max_stages:int ->
   ?stop:(Structure.t -> bool) ->
   ?on_fire:(stage:int -> Dep.t -> Hom.binding -> unit) ->
+  ?snapshot_every:int ->
+  ?on_snapshot:(snapshot -> unit) ->
+  Dep.t list ->
+  snapshot ->
+  stats * Structure.t
+
+(** The stage engine: full re-enumeration each stage ([run ~engine:`Stage]). *)
+val run_stage :
+  ?governor:Resilience.Governor.t ->
+  ?max_stages:int ->
+  ?stop:(Structure.t -> bool) ->
+  ?on_fire:(stage:int -> Dep.t -> Hom.binding -> unit) ->
+  ?snapshot_every:int ->
+  ?on_snapshot:(snapshot -> unit) ->
+  ?from:snapshot ->
   Dep.t list ->
   Structure.t ->
   stats
@@ -94,9 +161,13 @@ val run_stage :
 (** The semi-naive engine: delta-restricted trigger discovery
     ([run ~engine:`Seminaive], the default). *)
 val run_seminaive :
+  ?governor:Resilience.Governor.t ->
   ?max_stages:int ->
   ?stop:(Structure.t -> bool) ->
   ?on_fire:(stage:int -> Dep.t -> Hom.binding -> unit) ->
+  ?snapshot_every:int ->
+  ?on_snapshot:(snapshot -> unit) ->
+  ?from:snapshot ->
   Dep.t list ->
   Structure.t ->
   stats
@@ -107,20 +178,32 @@ val run_seminaive :
     structure only); the matches are merged in canonical sort order,
     deduplicated, head-checked and fired sequentially, so structures,
     stats and firing sequences are bit-identical to [`Seminaive].
-    Hom-level effort counters are approximate when [jobs > 1]. *)
+    Hom-level effort counters are approximate when [jobs > 1].
+
+    Under the ["par.shard"] failpoint a marked worker dies before
+    scanning its shard; the scan is retried once and then degrades to
+    sequential semi-naive discovery for that (TGD, stage) scan.  Both
+    rungs feed the same canonical merge, so the run stays bit-identical
+    to an un-faulted [`Seminaive] run. *)
 val run_par :
   ?jobs:int ->
+  ?governor:Resilience.Governor.t ->
   ?max_stages:int ->
   ?stop:(Structure.t -> bool) ->
   ?on_fire:(stage:int -> Dep.t -> Hom.binding -> unit) ->
+  ?snapshot_every:int ->
+  ?on_snapshot:(snapshot -> unit) ->
+  ?from:snapshot ->
   Dep.t list ->
   Structure.t ->
   stats
 
 (** The semi-oblivious (skolem) chase: each pair (T, b̄) fires exactly
     once, regardless of condition ­.  Diverges more often than the lazy
-    chase; kept as the ablation baseline. *)
+    chase; kept as the ablation baseline.  Governed (budgets, deadline,
+    cancellation at stage boundaries) but not resumable. *)
 val run_oblivious :
+  ?governor:Resilience.Governor.t ->
   ?max_stages:int ->
   ?stop:(Structure.t -> bool) ->
   ?on_fire:(stage:int -> Dep.t -> Hom.binding -> unit) ->

@@ -53,12 +53,15 @@ let observation6_check ~original ~chased =
    certificate), [`Not_determined stats] when the chase reached its
    fixpoint without it (a negative certificate), and [`Unknown stats] when
    the stage budget ran out. *)
-let unrestricted_determinacy ?engine ?jobs ?(max_stages = 64) named_queries q0 =
+let unrestricted_determinacy ?engine ?jobs ?governor ?(max_stages = 64)
+    named_queries q0 =
   let d, tuple = green_canonical q0 in
   let deps = Dep.t_q named_queries in
   let red_q0 = Cq.Query.paint Symbol.Red q0 in
   let found d = Cq.Eval.holds_at red_q0 d tuple in
-  let stats = Chase.run ?engine ?jobs ~max_stages ~stop:found deps d in
+  let stats =
+    Chase.run ?engine ?jobs ?governor ~max_stages ~stop:found deps d
+  in
   if found d then `Determined (stats, d)
   else if stats.Chase.fixpoint then `Not_determined (stats, d)
   else `Unknown (stats, d)

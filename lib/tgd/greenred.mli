@@ -32,6 +32,7 @@ val observation6_check : original:Structure.t -> chased:Structure.t -> bool
 val unrestricted_determinacy :
   ?engine:Chase.engine ->
   ?jobs:int ->
+  ?governor:Resilience.Governor.t ->
   ?max_stages:int ->
   (string * Cq.Query.t) list ->
   Cq.Query.t ->

@@ -162,14 +162,14 @@ let test_engines_bit_identical () =
     let r = Oracle.Gen.case_rng ~seed:9 ~case in
     let inst = Oracle.Gen.instance r in
     match Oracle.Diff.diff_tgd Oracle.Diff.default_budget inst with
-    | [], runs ->
+    | [], runs, _ ->
         let st = List.nth runs 0 and sn = List.nth runs 1 in
         check
           (Printf.sprintf "case %d: equal structures, fresh ids included" case)
           true
           (Structure.delta_since st.Oracle.Diff.result 0
           = Structure.delta_since sn.Oracle.Diff.result 0)
-    | vs, _ -> Alcotest.failf "case %d: %s" case (String.concat "; " vs)
+    | vs, _, _ -> Alcotest.failf "case %d: %s" case (String.concat "; " vs)
   done
 
 let test_find_violation_deterministic () =

@@ -1,0 +1,369 @@
+(* The resilience layer: governor semantics, failpoint determinism,
+   checkpoint atomicity, and the run-until-k + resume ≡ uninterrupted
+   contract on both the TGD chase (the E10 workload) and the graph chase
+   (the grid(4,4) collision), plus the end-to-end fault campaign. *)
+
+open Relational
+module G = Resilience.Governor
+module FP = Resilience.Failpoint
+module CK = Resilience.Checkpoint
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let edge = Symbol.make "E" 2
+let v = Term.var
+let e x y = Atom.app2 edge (v x) (v y)
+
+let path_query k =
+  let name i =
+    if i = 0 then "x" else if i = k then "y" else Printf.sprintf "m%d" i
+  in
+  Cq.Query.make ~free:[ "x"; "y" ]
+    (List.init k (fun i -> e (name i) (name (i + 1))))
+
+(* The E10 bench workload: T_Q for {p2, p3} chased from green(path 5). *)
+let e10_deps () = Tgd.Dep.t_q [ ("p2", path_query 2); ("p3", path_query 3) ]
+let e10_seed () = fst (Tgd.Greenred.green_canonical (path_query 5))
+
+(* --- governor ----------------------------------------------------------- *)
+
+let test_governor_basics () =
+  check "unlimited is unlimited" true (G.is_unlimited G.unlimited);
+  check "made governor is not" false (G.is_unlimited (G.make ()));
+  let g = G.make ~deadline:(Obs.Clock.now_s () -. 1.) () in
+  check "deadline passed" true (G.deadline_passed g);
+  check "interrupted = deadline" true (G.interrupted g = Some G.Deadline);
+  let c = G.Cancel.create () in
+  let g = G.make ~deadline:(Obs.Clock.now_s () -. 1.) ~cancel:c () in
+  G.Cancel.trip c;
+  check "cancellation wins over the deadline" true
+    (G.interrupted g = Some G.Cancelled);
+  G.Cancel.reset c;
+  check "reset untrips" true (G.interrupted g = Some G.Deadline);
+  let g = G.make ~max_elems:10 ~max_facts:100 () in
+  check "within budget" true (G.over_budget g ~elems:10 ~facts:100 = None);
+  check "element budget" true
+    (G.over_budget g ~elems:11 ~facts:0 = Some (G.Budget G.Elems));
+  check "fact budget" true
+    (G.over_budget g ~elems:0 ~facts:101 = Some (G.Budget G.Facts))
+
+let test_exit_codes () =
+  check_int "fixpoint" 0 (G.exit_code G.Fixpoint);
+  check_int "budget" 3 (G.exit_code (G.Budget G.Stages));
+  check_int "deadline" 3 (G.exit_code G.Deadline);
+  check_int "cancelled" 4 (G.exit_code G.Cancelled);
+  check_int "faulted" 1 (G.exit_code (G.Faulted "arena.grow"))
+
+let test_cancel_polling () =
+  let c = G.Cancel.create () in
+  check "disarmed outside with_polling" false !G.Cancel.poll_on;
+  G.Cancel.poll ();
+  (* no-op when disarmed *)
+  let raised =
+    G.Cancel.with_polling c (fun () ->
+        check "armed inside" true !G.Cancel.poll_on;
+        G.Cancel.poll ();
+        (* not tripped yet: returns *)
+        G.Cancel.trip c;
+        try
+          G.Cancel.poll ();
+          false
+        with G.Cancel.Cancelled -> true)
+  in
+  check "poll raised after trip" true raised;
+  check "disarmed restored" false !G.Cancel.poll_on
+
+(* --- failpoints --------------------------------------------------------- *)
+
+let schedule spec seed n =
+  FP.configure_exn ~seed spec;
+  let s = List.init n (fun _ -> FP.fire "par.shard") in
+  FP.clear ();
+  s
+
+let test_failpoint_determinism () =
+  let a = schedule "par.shard=0.5" 7 64 in
+  let b = schedule "par.shard=0.5" 7 64 in
+  let c = schedule "par.shard=0.5" 8 64 in
+  check "same (seed, spec) replays the schedule" true (a = b);
+  check "different seed, different schedule" false (a = c);
+  check "some fired" true (List.mem true a);
+  check "some did not" true (List.mem false a)
+
+let test_failpoint_spec () =
+  check "bad probability rejected" true
+    (match FP.configure "par.shard=1.5" with Error _ -> true | Ok () -> false);
+  check "garbage rejected" true
+    (match FP.configure "par.shard=x" with Error _ -> true | Ok () -> false);
+  FP.configure_exn "arena.grow";
+  check "bare name fires always" true (FP.fire "arena.grow");
+  check "unarmed site never fires" false (FP.fire "par.shard");
+  check "armed" true (FP.active ());
+  FP.clear ();
+  check "cleared" false (FP.active ());
+  check "cleared sites do not fire" false (FP.fire "arena.grow")
+
+(* --- checkpoint files --------------------------------------------------- *)
+
+let with_tmp f =
+  let path = Filename.temp_file "redspider-test" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      try Sys.remove (path ^ ".tmp") with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_checkpoint_roundtrip () =
+  with_tmp (fun path ->
+      let d = e10_seed () in
+      let journal = Structure.delta_since d 0 in
+      check "save ok" true (CK.save ~kind:"t" path d = Ok ());
+      match (CK.load ~kind:"t" path : (Structure.t, string) result) with
+      | Error m -> Alcotest.failf "load failed: %s" m
+      | Ok d' ->
+          check "facts survive" true (Structure.equal_sets d d');
+          check "journal order survives" true
+            (Structure.delta_since d' 0 = journal);
+          check "kind mismatch is a clean error" true
+            (match (CK.load ~kind:"u" path : (Structure.t, string) result) with
+            | Error _ -> true
+            | Ok _ -> false))
+
+let test_checkpoint_truncation () =
+  with_tmp (fun path ->
+      check "save ok" true (CK.save ~kind:"t" path [ 1; 2; 3 ] = Ok ());
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub full 0 (String.length full - 4)));
+      check "truncated file is a clean error" true
+        (match (CK.load ~kind:"t" path : (int list, string) result) with
+        | Error _ -> true
+        | Ok _ -> false))
+
+let test_checkpoint_torn_write () =
+  with_tmp (fun path ->
+      check "first save ok" true (CK.save ~kind:"t" path [ 1; 2; 3 ] = Ok ());
+      FP.configure_exn "checkpoint.write";
+      let second = CK.save ~kind:"t" path [ 4; 5; 6 ] in
+      FP.clear ();
+      check "faulted save reports" true
+        (match second with Error _ -> true | Ok () -> false);
+      check "no temp file left behind" false (Sys.file_exists (path ^ ".tmp"));
+      check "previous checkpoint intact" true
+        (CK.load ~kind:"t" path = Ok [ 1; 2; 3 ]))
+
+(* --- governed chase ----------------------------------------------------- *)
+
+let run_e10 ?governor ?on_fire ~max_stages engine =
+  let d = e10_seed () in
+  let stats = Tgd.Chase.run ~engine ?governor ?on_fire ~max_stages (e10_deps ()) d in
+  (stats, d)
+
+let test_governed_prefix () =
+  let full_stats, full = run_e10 ~max_stages:6 `Seminaive in
+  let g = G.make ~max_stages:3 () in
+  let cut_stats, cut = run_e10 ~governor:g ~max_stages:6 `Seminaive in
+  check "cut by the governor's stage fuel" true
+    (cut_stats.Tgd.Chase.outcome = G.Budget G.Stages);
+  check_int "exactly three stages" 3 cut_stats.Tgd.Chase.stages;
+  let jf = Structure.delta_since full 0 in
+  let jc = Structure.delta_since cut 0 in
+  check "governed run is a journal prefix of the ungoverned one" true
+    (List.length jc < List.length jf
+    && jc = List.filteri (fun i _ -> i < List.length jc) jf);
+  check "full run kept going" true
+    (full_stats.Tgd.Chase.stages = 6)
+
+let test_cancelled_before_start () =
+  let c = G.Cancel.create () in
+  G.Cancel.trip c;
+  let g = G.make ~cancel:c () in
+  let stats, _ = run_e10 ~governor:g ~max_stages:6 `Seminaive in
+  check "tripped token cancels at the first boundary" true
+    (stats.Tgd.Chase.outcome = G.Cancelled);
+  check_int "no stage ran" 0 stats.Tgd.Chase.stages
+
+let test_arena_fault_reported () =
+  FP.configure_exn "arena.grow";
+  let stats, _ = run_e10 ~max_stages:6 `Seminaive in
+  FP.clear ();
+  check "arena fault surfaces as the structured verdict" true
+    (stats.Tgd.Chase.outcome = G.Faulted "arena.grow");
+  check "fixpoint flag agrees" false stats.Tgd.Chase.fixpoint
+
+let test_par_fault_bit_identical () =
+  let baseline_stats, baseline = run_e10 ~max_stages:5 `Seminaive in
+  FP.configure_exn ~seed:3 "par.shard=0.8";
+  let par_stats, par = run_e10 ~max_stages:5 `Par in
+  let injected = FP.injected_total () in
+  FP.clear ();
+  check "faults were actually injected" true (injected > 0);
+  check "retry/degrade keeps the runs bit-identical" true
+    (Structure.delta_since baseline 0 = Structure.delta_since par 0);
+  check "stats agree" true
+    (baseline_stats.Tgd.Chase.applications = par_stats.Tgd.Chase.applications
+    && baseline_stats.Tgd.Chase.stages = par_stats.Tgd.Chase.stages
+    && baseline_stats.Tgd.Chase.triggers_considered
+       = par_stats.Tgd.Chase.triggers_considered
+    && baseline_stats.Tgd.Chase.outcome = par_stats.Tgd.Chase.outcome)
+
+(* --- run-until-k + resume ≡ uninterrupted ------------------------------- *)
+
+let record () =
+  let firings = ref [] in
+  let on_fire ~stage dep fb =
+    firings := (stage, Tgd.Dep.name dep, Term.Var_map.bindings fb) :: !firings
+  in
+  (firings, on_fire)
+
+let test_e10_resume_bit_identical () =
+  let full_fs, on_fire = record () in
+  let full_stats, full = run_e10 ~on_fire ~max_stages:6 `Seminaive in
+  List.iter
+    (fun k ->
+      let fs, on_fire = record () in
+      let d = e10_seed () in
+      let snap = ref None in
+      let _ =
+        Tgd.Chase.run ~engine:`Seminaive ~on_fire ~max_stages:k
+          ~snapshot_every:1
+          ~on_snapshot:(fun s -> snap := Some s)
+          (e10_deps ()) d
+      in
+      let snap = CK.clone (Option.get !snap) in
+      let stats, d' =
+        Tgd.Chase.resume ~on_fire ~max_stages:6 (e10_deps ()) snap
+      in
+      check
+        (Printf.sprintf "k=%d: journal identical after resume" k)
+        true
+        (Structure.delta_since d' 0 = Structure.delta_since full 0);
+      check
+        (Printf.sprintf "k=%d: firing sequence identical" k)
+        true (!fs = !full_fs);
+      check
+        (Printf.sprintf "k=%d: stats identical" k)
+        true
+        (stats = full_stats))
+    [ 1; 2; 3; 5 ]
+
+let test_e10_resume_through_file () =
+  let full_stats, full = run_e10 ~max_stages:6 `Seminaive in
+  with_tmp (fun path ->
+      let d = e10_seed () in
+      let _ =
+        Tgd.Chase.run ~engine:`Seminaive ~max_stages:3 ~snapshot_every:1
+          ~on_snapshot:(fun s ->
+            match CK.save ~kind:"tgd-chase" path s with
+            | Ok () -> ()
+            | Error m -> Alcotest.failf "checkpoint write failed: %s" m)
+          (e10_deps ()) d
+      in
+      match
+        (CK.load ~kind:"tgd-chase" path
+          : (Tgd.Chase.snapshot, string) result)
+      with
+      | Error m -> Alcotest.failf "checkpoint load failed: %s" m
+      | Ok snap ->
+          let stats, d' = Tgd.Chase.resume ~max_stages:6 (e10_deps ()) snap in
+          check "journal identical through the file" true
+            (Structure.delta_since d' 0 = Structure.delta_since full 0);
+          check "stats identical through the file" true (stats = full_stats))
+
+let test_resume_rejects_other_deps () =
+  let d = e10_seed () in
+  let snap = ref None in
+  let _ =
+    Tgd.Chase.run ~engine:`Seminaive ~max_stages:2 ~snapshot_every:1
+      ~on_snapshot:(fun s -> snap := Some s)
+      (e10_deps ()) d
+  in
+  let other = Tgd.Dep.t_q [ ("p2", path_query 2) ] in
+  check "resume with different deps raises" true
+    (try
+       ignore (Tgd.Chase.resume ~max_stages:6 other (Option.get !snap));
+       false
+     with Invalid_argument _ -> true)
+
+let test_grid_resume_bit_identical () =
+  let module R = Greengraph.Rule in
+  let module GG = Greengraph.Graph in
+  let chase ?on_snapshot ?from ~max_stages g =
+    R.chase ~engine:`Seminaive ~max_stages ~stop:GG.has_12_pattern
+      ?snapshot_every:(Option.map (fun _ -> 1) on_snapshot)
+      ?on_snapshot ?from Separating.Tbox.rules g
+  in
+  let g_full, _, _ = Separating.Paths.collision ~t:4 ~t':4 in
+  let full_stats = chase ~max_stages:64 g_full in
+  check "grid(4,4) needs several stages" true (full_stats.R.stages >= 2);
+  let k = full_stats.R.stages / 2 in
+  let g_cut, _, _ = Separating.Paths.collision ~t:4 ~t':4 in
+  let snap = ref None in
+  let _ = chase ~on_snapshot:(fun s -> snap := Some s) ~max_stages:k g_cut in
+  let snap = CK.clone (Option.get !snap) in
+  let stats, g' = R.resume ~max_stages:64 ~stop:GG.has_12_pattern
+      Separating.Tbox.rules snap
+  in
+  check "edge journal identical after resume" true
+    (GG.delta_since g' 0 = GG.delta_since g_full 0);
+  check "fresh vertices identical" true (GG.vertices g' = GG.vertices g_full);
+  check "stats identical" true (stats = full_stats)
+
+(* --- the campaign ------------------------------------------------------- *)
+
+let test_campaign_clean () =
+  let r = Oracle.Fault.run_campaign ~seed:11 ~cases:30 () in
+  check_int "no silent corruption" 0 (List.length r.Oracle.Fault.corruptions);
+  check "faults were injected" true (r.Oracle.Fault.injected > 0);
+  check "some runs recovered bit-identically" true
+    (r.Oracle.Fault.recovered > 0);
+  check "checkpoint round-trips verified" true
+    (r.Oracle.Fault.checkpoint_roundtrips > 0);
+  check "torn writes observed and survived" true
+    (r.Oracle.Fault.checkpoint_write_faults > 0)
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "governor",
+        [
+          Alcotest.test_case "basics" `Quick test_governor_basics;
+          Alcotest.test_case "exit codes" `Quick test_exit_codes;
+          Alcotest.test_case "cancel polling" `Quick test_cancel_polling;
+        ] );
+      ( "failpoints",
+        [
+          Alcotest.test_case "determinism" `Quick test_failpoint_determinism;
+          Alcotest.test_case "spec parsing" `Quick test_failpoint_spec;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "truncation" `Quick test_checkpoint_truncation;
+          Alcotest.test_case "torn write" `Quick test_checkpoint_torn_write;
+        ] );
+      ( "governed chase",
+        [
+          Alcotest.test_case "prefix bit-identity" `Quick test_governed_prefix;
+          Alcotest.test_case "cancelled before start" `Quick
+            test_cancelled_before_start;
+          Alcotest.test_case "arena fault reported" `Quick
+            test_arena_fault_reported;
+          Alcotest.test_case "par fault bit-identical" `Quick
+            test_par_fault_bit_identical;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "E10 run-until-k" `Quick
+            test_e10_resume_bit_identical;
+          Alcotest.test_case "E10 through a file" `Quick
+            test_e10_resume_through_file;
+          Alcotest.test_case "deps signature check" `Quick
+            test_resume_rejects_other_deps;
+          Alcotest.test_case "grid(4,4)" `Quick test_grid_resume_bit_identical;
+        ] );
+      ( "campaign",
+        [ Alcotest.test_case "30 cases, 0 corruptions" `Quick test_campaign_clean ] );
+    ]
