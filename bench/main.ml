@@ -720,6 +720,103 @@ let regress baseline_path =
   end
   else Format.printf "bench-smoke: no wall-clock regression beyond %.1fx@." threshold
 
+(* The par gate (`regress --engine par`): the parallel engine must be no
+   slower than semi-naive on the grid(4,4) and E10 workloads it claims to
+   win.  Noise-damped twice over: five alternating measurements per
+   engine (each a ~250ms [wall_clock] average), compared on the minima —
+   a scheduler hiccup inflates one sample, not the minimum of five — and
+   a 10% grace band on top, because the E2 margin (~10%) is about one
+   noise quantum on a loaded box.  A real regression (par falling back
+   behind semi-naive, historically a ~55% gap) clears the band easily;
+   the checked-in BENCH_chase.json rows still record par strictly
+   fastest. *)
+let par_gate () =
+  let grid engine () =
+    ignore (Separating.Theorem14.collision_outcome ~engine ~t:4 ~t':4 ())
+  in
+  let e10 engine () =
+    let deps = Tgd.Dep.t_q [ ("p2", path_query 2); ("p3", path_query 3) ] in
+    let d = fst (Tgd.Greenred.green_canonical (path_query 5)) in
+    ignore (Tgd.Chase.run ~engine ~max_stages:6 deps d)
+  in
+  let min5 f g =
+    let rec go k (mf, mg) =
+      if k = 0 then (mf, mg)
+      else
+        let wf, () = wall_clock f in
+        let wg, () = wall_clock g in
+        go (k - 1) (Float.min mf wf, Float.min mg wg)
+    in
+    go 5 (infinity, infinity)
+  in
+  let failures = ref 0 in
+  let gate name (semi, par) =
+    let verdict =
+      if par <= semi *. 1.10 then "ok"
+      else begin
+        incr failures;
+        "FAIL"
+      end
+    in
+    Format.printf "par-gate %-24s seminaive %.4fs  par %.4fs  %s@." name semi
+      par verdict
+  in
+  gate "E2 grid (4,4)" (min5 (grid `Seminaive) (grid `Par));
+  gate "E10 tgd stages=6" (min5 (e10 `Seminaive) (e10 `Par));
+  if !failures > 0 then begin
+    Format.printf "bench-smoke: par engine slower than seminaive on %d row(s)@."
+      !failures;
+    exit 1
+  end
+  else Format.printf "bench-smoke: par <= seminaive on every gated row@."
+
+(* E19: the par-pipeline ablation — plan ordering (fixed / cost / auto,
+   where auto adds the generic-join evaluator on cyclic bodies) × firing
+   (sequential / staged two-phase) on the E10 chase at jobs=1, the bench
+   box's single-shard fast path; then the scheduling axis (round-robin
+   vs work-stealing) at jobs=2, where a pool actually runs. *)
+let emit_ablation () =
+  section "E19: par pipeline ablation (E10 tgd {P2,P3}->P5, 6 stages)";
+  let e10 ?jobs tuning () =
+    let deps = Tgd.Dep.t_q [ ("p2", path_query 2); ("p3", path_query 3) ] in
+    let d = fst (Tgd.Greenred.green_canonical (path_query 5)) in
+    ignore (Tgd.Chase.run ~engine:`Par ?jobs ~tuning ~max_stages:6 deps d)
+  in
+  Format.printf "%-8s %-8s %12s@." "plan" "firing" "time/run";
+  List.iter
+    (fun (pm, pn) ->
+      List.iter
+        (fun (fm, fn) ->
+          let tuning =
+            {
+              Tgd.Chase.plan_mode = pm;
+              Tgd.Chase.par_fire = fm;
+              Tgd.Chase.stealing = true;
+            }
+          in
+          let w, () = wall_clock (e10 tuning) in
+          Format.printf "%-8s %-8s %10.4fms@." pn fn (w *. 1e3))
+        [ (`Seq, "seq"); (`Staged, "staged") ])
+    [
+      (Relational.Hom.Plan.Fixed, "fixed");
+      (Relational.Hom.Plan.Cost, "cost");
+      (Relational.Hom.Plan.Auto, "auto");
+    ];
+  Format.printf "@.%-12s %12s  (jobs=2: pooled scans, staged firing)@."
+    "scheduling" "time/run";
+  List.iter
+    (fun (st, sn) ->
+      let tuning =
+        {
+          Tgd.Chase.default_tuning with
+          Tgd.Chase.par_fire = `Staged;
+          Tgd.Chase.stealing = st;
+        }
+      in
+      let w, () = wall_clock (e10 ~jobs:2 tuning) in
+      Format.printf "%-12s %10.4fms@." sn (w *. 1e3))
+    [ (false, "round-robin"); (true, "stealing") ]
+
 (* Instrumentation-overhead measurement (EXPERIMENTS.md E16, E18): the E1
    and grid(4,4) workloads timed with the obs switches off, with metrics
    on, and with metrics+tracing on — all in one process, so the
@@ -829,8 +926,20 @@ let () =
       emit_hom_json ();
       emit_audit_json ()
   | "regress" ->
-      regress
-        (if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_chase.json")
+      (* `regress [--engine par] [baseline]`: the baseline gate always
+         runs; `--engine par` adds the par-vs-seminaive wall-clock gate. *)
+      let rest =
+        Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
+      in
+      let gate_par = List.mem "--engine" rest && List.mem "par" rest in
+      let baseline =
+        match List.filter (fun a -> a <> "--engine" && a <> "par") rest with
+        | b :: _ -> b
+        | [] -> "BENCH_chase.json"
+      in
+      regress baseline;
+      if gate_par then par_gate ()
+  | "ablation" -> emit_ablation ()
   | "overhead" -> emit_overhead ()
   | "smoke" -> smoke ()
   | _ ->

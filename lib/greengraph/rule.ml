@@ -216,109 +216,182 @@ let collect_stage ?delta ~considered rules g =
     !out
   |> List.map (fun (_, _, x, x', rule, (c, d)) -> (rule, ((c, x), (d, x'))))
 
-(* The parallel collector: the delta is sharded round-robin over a
-   domain pool; workers enumerate raw lhs-pair candidates (x, x') from
-   their shard without deduplication or rhs checks (reading the graph
-   only), and the merge sorts the candidates into the canonical
-   (rule, direction, x, x') order, deduplicates, counts and rhs-checks
-   sequentially.  The deduplicated candidate set equals the sequential
-   semi-naive one, so stats, surviving triggers and the firing order are
-   bit-identical to [`Seminaive]. *)
+(* One direction's delta-restricted candidate pairs: lhs pairs using at
+   least one delta edge, in the same join order as [collect_stage]'s
+   [Some dix] branch.  Shared by the par engine's sequential and stolen
+   scans. *)
+let iter_delta_pairs g conn ~dix (a, b) consider =
+  (* lhs pairs with the first edge in the delta … *)
+  List.iter
+    (fun (e1 : Graph.edge) ->
+      List.iter
+        (fun (e2 : Graph.edge) ->
+          consider (free_of conn e1) (free_of conn e2))
+        (edges_at_shared_with g conn (shared_of conn e1) b))
+    (delta_with dix a);
+  (* … and with the second edge in the delta *)
+  List.iter
+    (fun (e2 : Graph.edge) ->
+      List.iter
+        (fun (e1 : Graph.edge) ->
+          consider (free_of conn e1) (free_of conn e2))
+        (edges_at_shared_with g conn (shared_of conn e2) a))
+    (delta_with dix b)
+
+(* Packed integer keys for the par engine's hot tables.  A label's code
+   is [None -> 0 | Some i -> i + 1]; vertex ids are bounded by
+   [Graph.next_vertex] (every registered id is below it, and triggers
+   only mention stage-start vertices).  Structural hashing of tuple keys
+   was measured to cost more than the work the tables save, so the par
+   paths pack their keys into one tagged int when the bounds fit and
+   fall back to the structural-key paths (identical results) when they
+   would overflow. *)
+let lab_code : Label.t -> int = function None -> 0 | Some i -> i + 1
+
+(* [1 + max code] over the rule set's labels, or [0] when some code is
+   negative (user labels are nonnegative, but [make ~check:false] does
+   not enforce it) — [0] means "don't pack". *)
+let lab_bound rules =
+  List.fold_left
+    (fun m r ->
+      List.fold_left
+        (fun m l ->
+          let c = lab_code l in
+          if c < 0 || m < 0 then -1 else max m (c + 1))
+        m
+        [ r.l1; r.l2; r.r1; r.r2 ])
+    1 rules
+  |> max 0
+
+(* As [collect_stage ~delta] but with the per-direction (x, x') dedup
+   key packed into one int.  Candidate order, counts, surviving triggers
+   and the canonical sort are unchanged, so the result is the
+   [collect_stage] one bit for bit. *)
+let collect_stage_packed ~dix ~considered rules g =
+  let n0 = Graph.next_vertex g in
+  if n0 <= 0 || n0 > 1 lsl 30 then collect_stage ~delta:dix ~considered rules g
+  else begin
+    let out = ref [] in
+    List.iteri
+      (fun ri rule ->
+        List.iteri
+          (fun dir ((a, b), (c, d)) ->
+            let seen = Hashtbl.create 32 in
+            let consider x x' =
+              if !G.Cancel.poll_on then G.Cancel.poll ();
+              let key = (x * n0) + x' in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.replace seen key ();
+                incr considered;
+                if !Obs.metrics_on then Obs.Metrics.incr c_considered;
+                if not (pair_present g rule.conn (c, d) (x, x')) then
+                  out := (ri, dir, x, x', rule, (c, d)) :: !out
+              end
+            in
+            iter_delta_pairs g rule.conn ~dix (a, b) consider)
+          [
+            ((rule.l1, rule.l2), (rule.r1, rule.r2));
+            ((rule.r1, rule.r2), (rule.l1, rule.l2));
+          ])
+      rules;
+    List.sort
+      (fun (r1, d1, x1, y1, _, _) (r2, d2, x2, y2, _, _) ->
+        compare (r1, d1, x1, y1) (r2, d2, x2, y2))
+      !out
+    |> List.map (fun (_, _, x, x', rule, (c, d)) -> (rule, ((c, x), (d, x'))))
+  end
+
+(* The parallel collector: the delta is indexed by label once (shared,
+   read-only), and each (rule, direction) scan becomes a task on a
+   work-stealing pool; workers enumerate raw lhs-pair candidates
+   (x, x') through the index without deduplication or rhs checks
+   (reading the graph only), and the merge sorts the candidates into
+   the canonical (rule, direction, x, x') order, deduplicates, counts
+   and rhs-checks sequentially.  The deduplicated candidate set equals
+   the sequential semi-naive one, so stats, surviving triggers and the
+   firing order are bit-identical to [`Seminaive].  With one worker and
+   no active failpoints the pipeline collapses to the sequential
+   indexed scan — no pool, no merge. *)
 let c_merge_ms = Obs.Metrics.counter "par.merge_ms"
+let c_shards = Obs.Metrics.counter "par.shards"
 let c_par_retries = Obs.Metrics.counter "resilience.par_retries"
 let c_par_degraded = Obs.Metrics.counter "resilience.par_degraded"
 
 let collect_stage_par ~jobs ~considered rules g delta_edges =
-  let delta = Array.of_list delta_edges in
-  let nd = Array.length delta in
-  let m = max 1 (min jobs (max nd 1)) in
-  let shards =
-    Array.init m (fun w ->
-        let acc = ref [] in
-        for i = nd - 1 downto 0 do
-          if i mod m = w then acc := delta.(i) :: !acc
+  if jobs <= 1 && not (Resilience.Failpoint.active ()) then begin
+    (* one worker: the stage is its own single shard *)
+    if !Obs.metrics_on then Obs.Metrics.incr c_shards;
+    collect_stage_packed ~dix:(index_delta delta_edges) ~considered rules g
+  end
+  else begin
+    let dix = index_delta delta_edges in
+    let dirs =
+      List.concat
+        (List.mapi
+           (fun ri rule ->
+             [
+               (ri, 0, rule, (rule.l1, rule.l2), (rule.r1, rule.r2));
+               (ri, 1, rule, (rule.r1, rule.r2), (rule.l1, rule.l2));
+             ])
+           rules)
+    in
+    let dira = Array.of_list dirs in
+    let ndirs = Array.length dira in
+    (* One direction's raw candidates off the delta index — the unit of
+       work-stealing. *)
+    let scan_dir (ri, dir, rule, (a, b), _) =
+      let acc = ref [] in
+      iter_delta_pairs g rule.conn ~dix (a, b) (fun x x' ->
+          acc := (ri, dir, x, x') :: !acc);
+      List.rev !acc
+    in
+    (* Per-task "par.shard" fault decisions are drawn before the workers
+       spawn (the decision stream must not be raced across domains); a
+       faulted scan is retried once, then degrades to the sequential
+       indexed collection.  Both rungs produce the semi-naive candidate
+       set, so the stage stays bit-identical to [`Seminaive]. *)
+    let scan_stolen () =
+      let faults = Array.make ndirs false in
+      if Resilience.Failpoint.active () then
+        for w = 0 to ndirs - 1 do
+          faults.(w) <- Resilience.Failpoint.fire "par.shard"
         done;
-        !acc)
-  in
-  let dirs =
-    List.concat
-      (List.mapi
-         (fun ri rule ->
-           [
-             (ri, 0, rule, (rule.l1, rule.l2), (rule.r1, rule.r2));
-             (ri, 1, rule, (rule.r1, rule.r2), (rule.l1, rule.l2));
-           ])
-         rules)
-  in
-  let dira = Array.of_list dirs in
-  (* Candidate enumeration over one edge list, shared by the sharded
-     workers and the sequential degradation rung below. *)
-  let scan_edges edges =
-    let acc = ref [] in
-    List.iter
-      (fun (ri, dir, rule, (a, b), _) ->
-        let consider e1 e2 =
-          acc := (ri, dir, free_of rule.conn e1, free_of rule.conn e2) :: !acc
-        in
+      Relational.Pool.run_stealing ?steals:None ~jobs:(min jobs ndirs) ndirs
+        (fun w ->
+          if faults.(w) then raise (Resilience.Failpoint.Injected "par.shard");
+          scan_dir dira.(w))
+    in
+    match
+      (try Some (scan_stolen ()) with
+      | Resilience.Failpoint.Injected "par.shard" -> (
+          if !Obs.metrics_on then Obs.Metrics.incr c_par_retries;
+          try Some (scan_stolen ()) with
+          | Resilience.Failpoint.Injected "par.shard" ->
+              if !Obs.metrics_on then Obs.Metrics.incr c_par_degraded;
+              None))
+    with
+    | None -> collect_stage ~delta:dix ~considered rules g
+    | Some raw ->
+        let t0 = Obs.Clock.now_s () in
+        let all = List.sort compare (List.concat (Array.to_list raw)) in
+        let seen = Hashtbl.create 64 in
+        let out = ref [] in
         List.iter
-          (fun (e1 : Graph.edge) ->
-            (* lhs pairs with the first edge in the delta shard … *)
-            if Label.equal e1.Graph.label a then
-              List.iter
-                (fun e2 -> consider e1 e2)
-                (edges_at_shared_with g rule.conn (shared_of rule.conn e1) b);
-            (* … and with the second edge in the delta shard *)
-            if Label.equal e1.Graph.label b then
-              List.iter
-                (fun e0 -> consider e0 e1)
-                (edges_at_shared_with g rule.conn (shared_of rule.conn e1) a))
-          edges)
-      dirs;
-    List.rev !acc
-  in
-  (* Per-shard "par.shard" fault decisions are drawn before the workers
-     spawn (the decision stream must not be raced across domains); a
-     faulted scan is retried once, then degrades to one sequential scan
-     of the whole delta.  The canonical sorted merge deduplicates either
-     way, so the stage stays bit-identical to [`Seminaive]. *)
-  let scan_sharded () =
-    let faults = Array.make m false in
-    if Resilience.Failpoint.active () then
-      for w = 0 to m - 1 do
-        faults.(w) <- Resilience.Failpoint.fire "par.shard"
-      done;
-    Relational.Pool.run ~jobs:m m (fun w ->
-        if faults.(w) then raise (Resilience.Failpoint.Injected "par.shard");
-        scan_edges shards.(w))
-  in
-  let raw =
-    try scan_sharded () with
-    | Resilience.Failpoint.Injected "par.shard" -> (
-        if !Obs.metrics_on then Obs.Metrics.incr c_par_retries;
-        try scan_sharded () with
-        | Resilience.Failpoint.Injected "par.shard" ->
-            if !Obs.metrics_on then Obs.Metrics.incr c_par_degraded;
-            [| scan_edges delta_edges |])
-  in
-  let t0 = Obs.Clock.now_s () in
-  let all = List.sort compare (List.concat (Array.to_list raw)) in
-  let seen = Hashtbl.create 64 in
-  let out = ref [] in
-  List.iter
-    (fun ((ri, dir, x, x') as key) ->
-      if not (Hashtbl.mem seen key) then begin
-        Hashtbl.replace seen key ();
-        incr considered;
-        if !Obs.metrics_on then Obs.Metrics.incr c_considered;
-        let _, _, rule, _, (c, d) = dira.((ri * 2) + dir) in
-        if not (pair_present g rule.conn (c, d) (x, x')) then
-          out := (rule, ((c, x), (d, x'))) :: !out
-      end)
-    all;
-  if !Obs.metrics_on then
-    Obs.Metrics.add c_merge_ms
-      (int_of_float ((Obs.Clock.now_s () -. t0) *. 1000.));
-  List.rev !out
+          (fun ((ri, dir, x, x') as key) ->
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              incr considered;
+              if !Obs.metrics_on then Obs.Metrics.incr c_considered;
+              let _, _, rule, _, (c, d) = dira.((ri * 2) + dir) in
+              if not (pair_present g rule.conn (c, d) (x, x')) then
+                out := (rule, ((c, x), (d, x'))) :: !out
+            end)
+          all;
+        if !Obs.metrics_on then
+          Obs.Metrics.add c_merge_ms
+            (int_of_float ((Obs.Clock.now_s () -. t0) *. 1000.));
+        List.rev !out
+  end
 
 (* A resumable graph-chase snapshot.  The graph chase keeps no persistent
    dedup state across stages (its trigger dedup is per stage), so a
@@ -424,14 +497,83 @@ let chase ?(engine = `Seminaive) ?jobs ?(governor = G.unlimited)
                       c)
             in
             n_triggers := List.length collected;
-            List.iter
-              (fun (rule, ((c, x), (d, x'))) ->
-                if not (pair_present g rule.conn (c, d) (x, x')) then begin
-                  fire rule g ((c, x), (d, x'));
-                  if !Obs.metrics_on then Obs.Metrics.incr c_firings;
-                  incr fired
-                end)
-              collected
+            match engine with
+            | `Stage | `Seminaive ->
+                List.iter
+                  (fun (rule, ((c, x), (d, x'))) ->
+                    if not (pair_present g rule.conn (c, d) (x, x')) then begin
+                      fire rule g ((c, x), (d, x'));
+                      if !Obs.metrics_on then Obs.Metrics.incr c_firings;
+                      incr fired
+                    end)
+                  collected
+            | `Par ->
+                (* The fire-time re-check, O(1) per trigger.  Every
+                   collected trigger's rhs pair was absent against the
+                   stage-start graph, and a [fire] only adds edges
+                   touching its own fresh vertex, which no older edge
+                   reaches — so a pair at fire time is either wholly old
+                   (absent: it was checked at collection) or wholly among
+                   the two edges of one single firing this stage.  A
+                   table of the pairs derivable from each firing's edge
+                   pair {c: x~v, d: x'~v} therefore decides the re-check
+                   exactly: present iff probed.  Bit-identical outcomes
+                   to the reference [pair_present] re-check. *)
+                (* Keys are packed ints when the label/vertex bounds fit
+                   in a tagged word (they do on every realistic rule
+                   set); otherwise structural 5-tuples — same decisions,
+                   only the hashing cost differs.  [n0] is taken before
+                   any firing, so every trigger vertex is below it. *)
+                let n0 = Graph.next_vertex g in
+                let lb = lab_bound rules in
+                let packed =
+                  lb > 0 && n0 > 0
+                  && float_of_int lb *. float_of_int lb *. float_of_int n0
+                     *. float_of_int n0 *. 2.
+                     < 4.0e18
+                in
+                if packed then begin
+                  let fired_pairs = Hashtbl.create 64 in
+                  let pk conn c x d x' =
+                    let cb = match conn with Amp -> 0 | Slash -> 1 in
+                    ((((((cb * lb) + lab_code c) * lb) + lab_code d) * n0 + x)
+                     * n0)
+                    + x'
+                  in
+                  List.iter
+                    (fun (rule, ((c, x), (d, x'))) ->
+                      if not (Hashtbl.mem fired_pairs (pk rule.conn c x d x'))
+                      then begin
+                        fire rule g ((c, x), (d, x'));
+                        Hashtbl.replace fired_pairs (pk rule.conn c x d x') ();
+                        Hashtbl.replace fired_pairs (pk rule.conn d x' c x) ();
+                        Hashtbl.replace fired_pairs (pk rule.conn c x c x) ();
+                        Hashtbl.replace fired_pairs (pk rule.conn d x' d x') ();
+                        if !Obs.metrics_on then Obs.Metrics.incr c_firings;
+                        incr fired
+                      end)
+                    collected
+                end
+                else begin
+                  let fired_pairs = Hashtbl.create 64 in
+                  List.iter
+                    (fun (rule, ((c, x), (d, x'))) ->
+                      if not (Hashtbl.mem fired_pairs (rule.conn, c, x, d, x'))
+                      then begin
+                        fire rule g ((c, x), (d, x'));
+                        List.iter
+                          (fun k -> Hashtbl.replace fired_pairs k ())
+                          [
+                            (rule.conn, c, x, d, x');
+                            (rule.conn, d, x', c, x);
+                            (rule.conn, c, x, c, x);
+                            (rule.conn, d, x', d, x');
+                          ];
+                        if !Obs.metrics_on then Obs.Metrics.incr c_firings;
+                        incr fired
+                      end)
+                    collected
+                end
           in
           match
             Obs.Trace.with_span "graph.stage"

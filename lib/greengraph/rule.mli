@@ -64,10 +64,17 @@ val pp_stats : Format.formatter -> stats -> unit
     rescans the whole graph each stage; [`Seminaive] (the default) only
     examines lhs pairs using at least one edge added since the previous
     stage — equivalent (both trigger conditions are monotone) and
-    asymptotically cheaper; [`Par] shards the delta over a domain pool
-    and merges candidates in canonical sort order.  All engines fire a
-    stage's triggers in the same canonical order, so they build identical
-    graphs, fresh vertex ids included.
+    asymptotically cheaper; [`Par] cuts the delta into chunk tasks
+    drained by a work-stealing domain pool and merges candidates in
+    canonical sort order (at [jobs:1] with no armed failpoints it runs
+    a sequential fast path over a packed-int dedup table instead — same
+    output, no pool).  All engines fire a stage's triggers in the same
+    canonical order, so they build identical graphs, fresh vertex ids
+    included.  [`Par] firing re-checks freshness against a table of the
+    stage's own fired pairs (every new edge touches its firing's fresh
+    vertex, so four packed keys per firing decide the re-check exactly)
+    rather than probing the graph per trigger; ["par.shards"] and
+    ["par.steals"] count the fan-out and stealing traffic.
 
     Under the ["par.shard"] failpoint a marked [`Par] worker dies before
     scanning its shard; the scan is retried once, then degrades to one

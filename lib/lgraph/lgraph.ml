@@ -139,6 +139,11 @@ module Make (Label : LABEL) = struct
       true
     end
 
+  (* Every registered vertex id is [< next_vertex t] ([register] bumps
+     [next] past any id it sees), so [next_vertex] bounds vertex ids for
+     packed-integer keys over vertex pairs. *)
+  let next_vertex t = t.next
+
   (* Delta journal: every added edge in insertion order; a watermark marks
      a position so semi-naive rule engines can match against only the
      edges added since the previous stage. *)

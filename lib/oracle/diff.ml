@@ -54,7 +54,7 @@ type engine_run = {
   firings : firing list;
 }
 
-let run_tgd budget engine inst =
+let run_tgd ?tuning budget engine inst =
   let d = Gen.build inst in
   let firings = ref [] in
   let on_fire ~stage dep fb =
@@ -67,7 +67,7 @@ let run_tgd budget engine inst =
     Structure.card d > budget.max_elems || Structure.size d > budget.max_facts
   in
   let stats =
-    Tgd.Chase.run ~engine ~max_stages:budget.max_stages ~stop ~on_fire
+    Tgd.Chase.run ~engine ?tuning ~max_stages:budget.max_stages ~stop ~on_fire
       inst.Gen.deps d
   in
   {
@@ -78,7 +78,7 @@ let run_tgd budget engine inst =
     firings = List.rev !firings;
   }
 
-(* --- the four-engine diff ------------------------------------------------- *)
+(* --- the five-engine diff ------------------------------------------------- *)
 
 let pp_firing ppf f =
   Fmt.pf ppf "stage %d: %s(%a)" f.at_stage f.dep
@@ -100,6 +100,13 @@ let diff_tgd budget inst =
   let sn = run_tgd budget `Seminaive inst in
   let ob = run_tgd budget `Oblivious inst in
   let pr = run_tgd budget `Par inst in
+  (* the parallel engine again, with staged (two-phase, arena-partitioned)
+     firing forced on — the default only stages when jobs > 1 *)
+  let pf =
+    run_tgd
+      ~tuning:{ Tgd.Chase.default_tuning with Tgd.Chase.par_fire = `Staged }
+      budget `Par inst
+  in
   (* A pair of runs is bit-compared only when both ended the same way.
      Mixed endings (one engine cut by a budget/deadline, the other at its
      fixpoint; or a faulted run) are *incomparable* — counted, never
@@ -145,43 +152,53 @@ let diff_tgd budget inst =
         "seminaive enumerated more body matches than stage (%d > %d)"
         s2.Tgd.Chase.body_matches s1.Tgd.Chase.body_matches
   end;
-  (* the parallel engine is sharded semi-naive: bit-identical structures
+  (* The parallel engine is sharded semi-naive: bit-identical structures
      and firings, and — the merge restoring the sequential dedup — equal
-     match/consideration counts *)
-  if comparable sn pr then begin
-    if not (Structure.equal_sets sn.result pr.result) then
-      fail violations "seminaive/par structures differ: %d vs %d facts"
-        (Structure.size sn.result) (Structure.size pr.result);
-    (match
-       first_mismatch
-         (Structure.delta_since sn.result 0)
-         (Structure.delta_since pr.result 0)
-     with
-    | Some (i, f) ->
-        fail violations "seminaive/par journals diverge at entry %d (%a)" i
-          (Fact.pp ()) f
-    | None -> ());
-    (match first_mismatch sn.firings pr.firings with
-    | Some (i, f) ->
-        fail violations
-          "seminaive/par firing sequences diverge at firing %d (%a)" i
-          pp_firing f
-    | None -> ());
-    let s2 = sn.stats and sp = pr.stats in
-    if sp.Tgd.Chase.applications <> s2.Tgd.Chase.applications then
-      fail violations "applications differ: seminaive %d, par %d"
-        s2.Tgd.Chase.applications sp.Tgd.Chase.applications;
-    if sp.Tgd.Chase.stages <> s2.Tgd.Chase.stages then
-      fail violations "stages differ: seminaive %d, par %d"
-        s2.Tgd.Chase.stages sp.Tgd.Chase.stages;
-    if sp.Tgd.Chase.triggers_considered <> s2.Tgd.Chase.triggers_considered
-    then
-      fail violations "par considered %d triggers, seminaive %d"
-        sp.Tgd.Chase.triggers_considered s2.Tgd.Chase.triggers_considered;
-    if sp.Tgd.Chase.body_matches <> s2.Tgd.Chase.body_matches then
-      fail violations "par enumerated %d body matches, seminaive %d"
-        sp.Tgd.Chase.body_matches s2.Tgd.Chase.body_matches
-  end;
+     match/consideration counts.  Both par variants (default and forced
+     staged firing) are held to the same contract.  These are *facts and
+     journal and firings* diffs plus the plan-independent stats fields;
+     hom-effort counters ([hom.*] Obs metrics) are never compared here —
+     cost-ordered and generic-join plans visit candidates in different
+     orders, so effort differs while the emitted match set (and hence
+     everything below) is identical. *)
+  let check_vs_sn name pr =
+    if comparable sn pr then begin
+      if not (Structure.equal_sets sn.result pr.result) then
+        fail violations "seminaive/%s structures differ: %d vs %d facts" name
+          (Structure.size sn.result) (Structure.size pr.result);
+      (match
+         first_mismatch
+           (Structure.delta_since sn.result 0)
+           (Structure.delta_since pr.result 0)
+       with
+      | Some (i, f) ->
+          fail violations "seminaive/%s journals diverge at entry %d (%a)" name
+            i (Fact.pp ()) f
+      | None -> ());
+      (match first_mismatch sn.firings pr.firings with
+      | Some (i, f) ->
+          fail violations
+            "seminaive/%s firing sequences diverge at firing %d (%a)" name i
+            pp_firing f
+      | None -> ());
+      let s2 = sn.stats and sp = pr.stats in
+      if sp.Tgd.Chase.applications <> s2.Tgd.Chase.applications then
+        fail violations "applications differ: seminaive %d, %s %d"
+          s2.Tgd.Chase.applications name sp.Tgd.Chase.applications;
+      if sp.Tgd.Chase.stages <> s2.Tgd.Chase.stages then
+        fail violations "stages differ: seminaive %d, %s %d"
+          s2.Tgd.Chase.stages name sp.Tgd.Chase.stages;
+      if sp.Tgd.Chase.triggers_considered <> s2.Tgd.Chase.triggers_considered
+      then
+        fail violations "%s considered %d triggers, seminaive %d" name
+          sp.Tgd.Chase.triggers_considered s2.Tgd.Chase.triggers_considered;
+      if sp.Tgd.Chase.body_matches <> s2.Tgd.Chase.body_matches then
+        fail violations "%s enumerated %d body matches, seminaive %d" name
+          sp.Tgd.Chase.body_matches s2.Tgd.Chase.body_matches
+    end
+  in
+  check_vs_sn "par" pr;
+  check_vs_sn "par(staged)" pf;
   (* Per-run invariants.  A budget-exceeded run can overshoot the fact
      budget within its final stage (stop is checked between stages), so
      the quadratic audits and the full trigger rescans are only run on
@@ -217,8 +234,8 @@ let diff_tgd budget inst =
             | None -> "None"
             | Some (dep, _) -> Tgd.Dep.name dep)
       end)
-    [ st; sn; ob; pr ];
-  (List.rev !violations, [ st; sn; ob; pr ], !incomparable)
+    [ st; sn; ob; pr; pf ];
+  (List.rev !violations, [ st; sn; ob; pr; pf ], !incomparable)
 
 (* --- green-graph diff ----------------------------------------------------- *)
 

@@ -1,8 +1,16 @@
 (** The differential runner: chase the same generated instance under
-    [`Stage], [`Seminaive], [`Oblivious] and [`Par] with fuel and element
-    budgets, then diff structures, firing sequences and stats; cross-check CQ
-    containment and cores against independent semantics; and audit every
-    produced structure/graph with {!Audit}.
+    [`Stage], [`Seminaive], [`Oblivious], [`Par] and [`Par] with staged
+    firing forced on, with fuel and element budgets, then diff
+    structures, firing sequences and stats; cross-check CQ containment
+    and cores against independent semantics; and audit every produced
+    structure/graph with {!Audit}.
+
+    Bit-identity is compared on facts, journals and firing sequences —
+    never on the [hom.*] effort counters, which legitimately differ
+    across plan orderings (cost-ordered and generic-join plans visit
+    candidates in different orders while emitting the same match set).
+    Stats-record fields ([applications], [stages], [triggers_considered],
+    [body_matches]) are plan-independent and are compared.
 
     A run that exhausts its budget ends in the graceful
     {!outcome.Budget_exceeded} instead of diverging — the oblivious
@@ -49,12 +57,19 @@ type engine_run = {
 }
 
 (** Chase a fresh realization of the instance under one engine, within
-    the budget. *)
-val run_tgd : budget -> Tgd.Chase.engine -> Gen.instance -> engine_run
+    the budget.  [tuning] selects the parallel engine's plan/firing
+    knobs (ignored by the others). *)
+val run_tgd :
+  ?tuning:Tgd.Chase.par_tuning ->
+  budget ->
+  Tgd.Chase.engine ->
+  Gen.instance ->
+  engine_run
 
-(** Diff the instance across all four engines: [`Stage], [`Seminaive]
-    and [`Par] must agree bit-for-bit (equal fact sets with equal element
-    ids, equal journals in insertion order, equal firing sequences, equal
+(** Diff the instance across all five runs: [`Stage], [`Seminaive],
+    [`Par] and [`Par] with staged firing forced on must agree
+    bit-for-bit (equal fact sets with equal element ids, equal journals
+    in insertion order, equal firing sequences, equal
     applications/stages/fixpoint; delta-restriction never considering
     more than stage, and the sharded merge considering exactly what
     semi-naive does), every result must pass the structure audit, and a
@@ -64,7 +79,7 @@ val run_tgd : budget -> Tgd.Chase.engine -> Gen.instance -> engine_run
     other reached fixpoint, or one faulted) is {e incomparable}: its
     bit-identity diffs are skipped and the pair is counted in the third
     component instead of producing a spurious violation.  Returns the
-    violations, the four runs and the incomparable-pair count. *)
+    violations, the five runs and the incomparable-pair count. *)
 val diff_tgd : budget -> Gen.instance -> string list * engine_run list * int
 
 (** Same for a green-graph case under [`Stage] vs [`Seminaive] vs
@@ -107,7 +122,7 @@ type report = {
 }
 
 (** Run [cases] generated cases from [seed]: per case, a seed-structure
-    audit, the four-engine TGD differential (shrunk on failure), the CQ
+    audit, the five-run TGD differential (shrunk on failure), the CQ
     cross-checks and a green-graph differential.  Deterministic: case [i]
     depends only on [(seed, i)]. *)
 val run_cases :

@@ -35,7 +35,8 @@ type report = {
   corruptions : (int * string) list;
 }
 
-let default_spec = "par.shard=0.4,arena.grow=0.02,checkpoint.write=0.5"
+let default_spec =
+  "par.shard=0.4,par.fire=0.4,arena.grow=0.02,checkpoint.write=0.5"
 
 (* Bit-identity of two engine runs: fact sets with element ids, journal
    order, firing sequences and the comparable stats.  Returns the first

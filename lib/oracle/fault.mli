@@ -2,9 +2,9 @@
 
     Per case: an un-faulted [`Seminaive] baseline; a [`Par] run with the
     failpoint spec armed, which must either stay bit-identical to the
-    baseline (a ["par.shard"] fault absorbed by the retry/degrade
-    ladder) or end with the structured [Faulted] verdict (an
-    ["arena.grow"] fault cleanly reported); an un-faulted
+    baseline (a ["par.shard"] or ["par.fire"] fault absorbed by the
+    respective retry/degrade ladder) or end with the structured
+    [Faulted] verdict (an ["arena.grow"] fault cleanly reported); an un-faulted
     run-until-k/resume round-trip that must be bit-identical to the
     baseline; and a [Checkpoint.save] pass under the
     ["checkpoint.write"] failpoint, where a killed write must leave the
@@ -20,8 +20,10 @@ type report = {
       (** faulted [`Par] runs that saw ≥1 injection yet stayed
           bit-identical to the baseline *)
   faulted : int;             (** runs ending with the [Faulted] verdict *)
-  retried : int;             (** par shard scans retried after a fault *)
-  degraded : int;            (** par scans degraded to one sequential scan *)
+  retried : int;
+      (** par shard scans / staged firing passes retried after a fault *)
+  degraded : int;
+      (** par scans/firings degraded to the sequential path *)
   checkpoint_roundtrips : int;
       (** run-until-k + resume passes verified bit-identical *)
   checkpoint_saves : int;    (** file saves that survived and load-verified *)

@@ -90,3 +90,46 @@ let sym t id = Intvec.unsafe_get t.sym_of id
 
 (* Argument [pos] of fact [id], read straight off the flat store. *)
 let arg t id pos = Intvec.unsafe_get t.data (Intvec.unsafe_get t.offsets id + pos)
+
+(* Per-worker staging buffers for parallel firing.
+
+   A worker cannot append to the arena (ids, journal order and the
+   indexes are all sequential state), so the parallel fire phase instead
+   *stages* each head atom it would add into a private flat buffer:
+   [trigger; atom; arity; args...] records appended to one [Intvec].
+   Arguments are either resolved elements ([>= 0]) or the fire-plan's
+   negative placeholder codes for not-yet-allocated fresh elements and
+   constants — allocation order is a sequential resource, so placeholders
+   are resolved only at the canonical merge.
+
+   Workers own disjoint contiguous trigger ranges, and each buffer stages
+   its range in ascending trigger order, so concatenating the buffers in
+   worker order replays the exact canonical firing sequence; the merge
+   then re-checks each trigger and materializes or drops its staged
+   atoms.  No arena state is shared with the workers, which is the whole
+   bit-identity argument: only the sequential merge allocates. *)
+module Staging = struct
+  type s = { buf : Intvec.t }
+
+  let create () = { buf = Intvec.create ~capacity:256 () }
+
+  let stage s ~trigger ~atom args =
+    Intvec.push s.buf trigger;
+    Intvec.push s.buf atom;
+    Intvec.push s.buf (Array.length args);
+    Array.iter (fun v -> Intvec.push s.buf v) args
+
+  (* [iter s f] decodes the records in staging order; the args array is
+     fresh per record and safe to keep. *)
+  let iter s f =
+    let n = Intvec.length s.buf in
+    let k = ref 0 in
+    while !k < n do
+      let trigger = Intvec.unsafe_get s.buf !k in
+      let atom = Intvec.unsafe_get s.buf (!k + 1) in
+      let arity = Intvec.unsafe_get s.buf (!k + 2) in
+      let args = Array.init arity (fun p -> Intvec.unsafe_get s.buf (!k + 3 + p)) in
+      k := !k + 3 + arity;
+      f ~trigger ~atom args
+    done
+end

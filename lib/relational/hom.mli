@@ -87,14 +87,28 @@ module Plan : sig
       merge. *)
   type family
 
-  (** [compile ?ordered ?bound atoms] fixes the evaluation order (with
-      [bound] seeding {!order_atoms}) and interns the body's variables to
-      dense slots. *)
-  val compile : ?ordered:bool -> ?bound:Term.Var_set.t -> Atom.t list -> t
+  (** Atom-ordering strategy.  [Fixed] (the default) freezes the
+      connectivity-greedy order at compile time — bit-identical to the
+      interpreted reference, bindings, order and counters included.
+      [Cost] re-orders at every evaluation entry from live cardinalities
+      (pin buckets, symbol buckets; ties to the lowest original index, so
+      the ordering is deterministic for fixed cardinalities).  [Auto] is
+      [Cost] plus a generic-join (worst-case-optimal) evaluator on cyclic
+      bodies.  Cost modes preserve the emitted {e set} of bindings, not
+      the enumeration order or the [hom.*] effort counters — compare fact
+      sets/journals/firings across modes, never counters. *)
+  type mode = Fixed | Cost | Auto
+
+  (** [compile ?ordered ?bound ?mode atoms] fixes the evaluation order
+      under [Fixed] (with [bound] seeding {!order_atoms}) and interns the
+      body's variables to dense slots; cost modes defer ordering to
+      evaluation entry. *)
+  val compile :
+    ?ordered:bool -> ?bound:Term.Var_set.t -> ?mode:mode -> Atom.t list -> t
 
   (** One rest-plan per pivot occurrence, mirroring the interpreted delta
       decomposition. *)
-  val compile_family : ?ordered:bool -> Atom.t list -> family
+  val compile_family : ?ordered:bool -> ?mode:mode -> Atom.t list -> family
 
   (** Number of variable slots; emitted arrays have this length. *)
   val nslots : t -> int
@@ -128,6 +142,46 @@ module Plan : sig
       chase runs through this). *)
   val exists : ?init:binding -> t -> Structure.t -> bool
 
+  (** [exists_delta ~min_id ?init plan target] — is there a match
+      extending the [init] slot seeds whose image uses at least one fact
+      with id [>= min_id]?  Exact, and near-free when few facts are newer
+      than [min_id]: each atom in turn plays the delta pivot over the
+      binary-searched new tail of its best pin bucket.  The chase's
+      apply-time head re-check runs through this — a trigger that
+      survived discovery was unwitnessed at apply start and witnesses are
+      monotone, so only witnesses using a fact added since then can
+      exist. *)
+  val exists_delta :
+    min_id:int -> ?init:(int * int) list -> t -> Structure.t -> bool
+
+  (** [exists_since ~min_id ~cutoff ?init plan target] — the apply-time
+      re-check.  Valid ONLY under the caller's invariant that no match
+      lies wholly inside the [< min_id] id prefix (the chase has it: the
+      trigger survived discovery against exactly that structure, and
+      witnesses are monotone); the answer then equals {!exists_slots}.
+      One resolve pass dispatches between the near-free empty-tail case,
+      the delta-pivot scan of {!exists_delta} (summed tails
+      [<= cutoff]), and the plain pin-driven search — all exact under
+      the invariant, so [cutoff] only moves wall-clock. *)
+  val exists_since :
+    min_id:int ->
+    cutoff:int ->
+    ?init:(int * int) list ->
+    t ->
+    Structure.t ->
+    bool
+
+  (** [delta_weight ~min_id ?init plan target] — how many pivot
+      candidates would {!exists_delta} scan?  (The sum over atoms of the
+      new tail of each atom's best pin bucket.)  [0] means
+      [exists_delta] is trivially false.  Callers holding an invariant
+      that no match over the [< min_id] facts exists (the chase's
+      apply-time re-check) can switch to the pin-driven {!exists_slots}
+      when the weight is large — exact under that invariant, and cheaper
+      than scanning long delta tails. *)
+  val delta_weight :
+    min_id:int -> ?init:(int * int) list -> t -> Structure.t -> int
+
   (** [iter_family ?init ?dedup fam target delta emit] — semi-naive
       evaluation: each pivot against its delta facts (in delta order),
       the rest-plan against the full structure.  [dedup] (default [true])
@@ -144,6 +198,30 @@ module Plan : sig
 
   val iter_family_bindings :
     ?init:binding -> family -> Structure.t -> Fact.t list -> (binding -> unit) -> unit
+
+  (** A stage delta as a dense per-symbol index: interned symbol id (see
+      {!Structure.id_sym}) to ascending fact ids.  Built once per stage
+      and shared across every dependency's family evaluation. *)
+  type delta_index = Intvec.t array
+
+  (** [delta_index_of target ~lo ~hi] indexes the fact-id interval
+      [\[lo, hi)] by symbol. *)
+  val delta_index_of : Structure.t -> lo:int -> hi:int -> delta_index
+
+  (** The id-level counterpart of {!iter_family}: same pivot
+      decomposition, same dedup, but pivot candidates come off the
+      {!delta_index} bucket, optionally restricted to pivot ids in
+      [\[lo, hi)] (the parallel collector's chunks). *)
+  val iter_family_ids :
+    ?init:(int * int) list ->
+    ?dedup:bool ->
+    ?lo:int ->
+    ?hi:int ->
+    family ->
+    Structure.t ->
+    delta_index ->
+    (int array -> unit) ->
+    unit
 
   (** Rebuild a name binding from an emitted slot array. *)
   val binding_of_slots : ?init:binding -> t -> int array -> binding

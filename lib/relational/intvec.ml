@@ -54,6 +54,19 @@ let iter_rev f t =
     f (Array.unsafe_get t.data i)
   done
 
+(* First index whose entry is >= [x], assuming the entries are sorted
+   ascending — which bucket vectors are, since fact ids are appended in
+   allocation order.  Returns [length t] when every entry is below [x].
+   This is how the delta-restricted scans (apply-time head re-checks,
+   chunked parallel discovery) find the tail of new facts in O(log n). *)
+let lower_bound t x =
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if Array.unsafe_get t.data mid < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
 let fold_left f acc t =
   let acc = ref acc in
   for i = 0 to t.len - 1 do

@@ -13,9 +13,23 @@
    shape this code takes on single-core containers. *)
 
 let c_shards = Obs.Metrics.counter "par.shards"
+let c_steals = Obs.Metrics.counter "par.steals"
 
 (* The runtime's estimate of useful parallelism (includes the caller). *)
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* Spawn [jobs - 1] helper domains (the caller is worker 0), run [worker]
+   on each, and join every domain before re-raising any exception, so no
+   domain outlives the call. *)
+let fork_join jobs worker =
+  let doms = Array.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+  let err = ref None in
+  (try worker 0 () with e -> err := Some e);
+  Array.iter
+    (fun d ->
+      try Domain.join d with e -> if Option.is_none !err then err := Some e)
+    doms;
+  match !err with Some e -> raise e | None -> ()
 
 let run ~jobs n f =
   if n <= 0 then [||]
@@ -32,19 +46,55 @@ let run ~jobs n f =
           i := !i + jobs
         done
       in
-      (* The caller is worker 0; [jobs - 1] helper domains take the rest.
-         Every domain is joined before any exception is re-raised, so no
-         domain outlives the call. *)
-      let doms =
-        Array.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1)))
+      (* The caller is worker 0; [jobs - 1] helper domains take the rest. *)
+      fork_join jobs worker;
+      Array.map (function Some r -> r | None -> assert false) results
+    end
+
+(* Work-stealing variant: each worker owns a contiguous range of task
+   indices behind an atomic cursor; a worker that drains its own range
+   claims tasks from the other ranges with the same fetch-and-add, so a
+   skewed task (one giant delta bucket, one expensive rule direction)
+   no longer serializes the pool the way static round-robin does.  Every
+   index is claimed exactly once, results land in index order, and the
+   caller merges canonically afterwards — scheduling stays unobservable.
+
+   [steals], when given, receives the number of tasks executed by a
+   worker other than the range owner (also ticked on [par.steals]). *)
+let run_stealing ?steals ~jobs n f =
+  if n <= 0 then [||]
+  else
+    let jobs = max 1 (min jobs n) in
+    if !Obs.metrics_on then Obs.Metrics.add c_shards jobs;
+    if jobs = 1 then Array.init n f
+    else begin
+      let results = Array.make n None in
+      (* Worker w owns [lo.(w), lo.(w + 1)); remainders go to the low
+         ranges so sizes differ by at most one. *)
+      let base = n / jobs and rem = n mod jobs in
+      let lo = Array.init (jobs + 1) (fun w -> (w * base) + min w rem) in
+      let next = Array.init jobs (fun w -> Atomic.make lo.(w)) in
+      let stolen = Atomic.make 0 in
+      let worker w () =
+        let drain v =
+          let continue = ref true in
+          while !continue do
+            let i = Atomic.fetch_and_add next.(v) 1 in
+            if i < lo.(v + 1) then begin
+              results.(i) <- Some (f i);
+              if v <> w then Atomic.incr stolen
+            end
+            else continue := false
+          done
+        in
+        drain w;
+        for k = 1 to jobs - 1 do
+          drain ((w + k) mod jobs)
+        done
       in
-      let err = ref None in
-      (try worker 0 () with e -> err := Some e);
-      Array.iter
-        (fun d ->
-          try Domain.join d
-          with e -> if Option.is_none !err then err := Some e)
-        doms;
-      (match !err with Some e -> raise e | None -> ());
+      fork_join jobs worker;
+      let st = Atomic.get stolen in
+      if !Obs.metrics_on then Obs.Metrics.add c_steals st;
+      (match steals with Some r -> r := !r + st | None -> ());
       Array.map (function Some r -> r | None -> assert false) results
     end

@@ -16,3 +16,14 @@ val default_jobs : unit -> int
     task raises, every domain is joined first and one of the exceptions
     is re-raised. *)
 val run : jobs:int -> int -> (int -> 'a) -> 'a array
+
+(** As {!run}, but with work stealing: each worker owns a contiguous
+    range of task indices behind an atomic cursor and claims tasks from
+    the other ranges once its own is drained, so one skewed task no
+    longer serializes the pool.  Every index runs exactly once; results
+    come back in index order, so the observable shape is still
+    scheduling-independent.  Ticks [par.shards] with the worker count
+    and [par.steals] with the number of stolen tasks; [steals], when
+    given, accumulates the same steal count for callers that surface it
+    in their stats. *)
+val run_stealing : ?steals:int ref -> jobs:int -> int -> (int -> 'a) -> 'a array

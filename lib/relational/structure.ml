@@ -193,6 +193,10 @@ let id_fact t id = Fact_arena.fact t.arena id
 let id_sym t id = Fact_arena.sym t.arena id
 let id_arg t id pos = Fact_arena.arg t.arena id pos
 
+(* Number of interned symbol ids: every [id_sym] is below this, so it
+   sizes dense sym-id-indexed tables (the chase's per-stage delta index). *)
+let n_sym_ids t = Fact_arena.n_syms t.arena
+
 let ids_with_sym t sid =
   if sid < 0 || sid >= Array.length t.by_sym then empty_ids else t.by_sym.(sid)
 

@@ -111,6 +111,10 @@ val id_fact : t -> int -> Fact.t
 (** The interned symbol id of fact [id]. *)
 val id_sym : t -> int -> int
 
+(** Number of interned symbol ids — every {!id_sym} is below this; sizes
+    dense sym-id-indexed tables. *)
+val n_sym_ids : t -> int
+
 (** [id_arg t id pos] — argument [pos] of fact [id], off the flat arena. *)
 val id_arg : t -> int -> int -> int
 

@@ -1,9 +1,12 @@
 (* Seeded failpoint harness.  A spec like
 
-     "par.shard=0.25,checkpoint.write=0.1,arena.grow"
+     "par.shard=0.25,par.fire=0.25,checkpoint.write=0.1,arena.grow"
 
    arms the named sites with the given firing probabilities (a bare name
-   means probability 1).  Decisions are drawn from a private splitmix64
+   means probability 1).  Sites in the tree today: "par.shard" (a
+   parallel trigger-discovery task), "par.fire" (a staged parallel
+   firing pass), "arena.grow" (arena growth), "checkpoint.write" (the
+   checkpoint writer, killed mid-write).  Decisions are drawn from a private splitmix64
    stream, so a (seed, spec) pair replays the exact same fault schedule —
    the property the differential fault campaign (Oracle.Fault) and the
    @resilience-smoke alias rely on.

@@ -40,6 +40,12 @@ let c_considered = Obs.Metrics.counter "tgd.triggers_considered"
 let c_firings = Obs.Metrics.counter "tgd.firings"
 let c_head_checks = Obs.Metrics.counter "tgd.head_checks"
 let c_merge_ms = Obs.Metrics.counter "par.merge_ms"
+let c_fire_ms = Obs.Metrics.counter "par.fire_ms"
+
+(* Same registered counter as [Pool]'s: the pool ticks it per worker on
+   pooled scans; the single-shard fast path ticks it here so "par.shards"
+   reads as shards-per-run for every par chase, pooled or not. *)
+let c_shards = Obs.Metrics.counter "par.shards"
 let c_par_retries = Obs.Metrics.counter "resilience.par_retries"
 let c_par_degraded = Obs.Metrics.counter "resilience.par_degraded"
 let h_delta = Obs.Metrics.histogram "tgd.delta_size"
@@ -61,6 +67,26 @@ let pp_stats ppf s =
      fixpoint=%b outcome=%a"
     s.stages s.applications s.triggers_considered s.body_matches s.fixpoint
     G.pp_outcome s.outcome
+
+(* Knobs of the [`Par] engine, exposed for the ablation bench and the
+   oracle.  [plan_mode] picks the atom-ordering strategy of the delta
+   family ([Auto]: cost-ordered, generic join on cyclic bodies).
+   [par_fire] selects the firing path: [`Seq] is the sequential
+   delta-recheck replay, [`Staged] forces the partitioned-writer staging
+   pipeline, [`Auto] (default) stages only when it can pay off — more
+   than one worker — or when a failpoint campaign is active, so the
+   staged path and its ["par.fire"] ladder stay exercised at [jobs = 1].
+   [stealing] switches the worker pool between work-stealing and static
+   round-robin scheduling.  Every combination is bit-identical to
+   [`Seminaive]; only speed and effort counters move. *)
+type par_tuning = {
+  plan_mode : Hom.Plan.mode;
+  par_fire : [ `Auto | `Seq | `Staged ];
+  stealing : bool;
+}
+
+let default_tuning =
+  { plan_mode = Hom.Plan.Auto; par_fire = `Auto; stealing = true }
 
 (* Restrict a body binding to the frontier of the TGD: the b̄ of the paper. *)
 let frontier_binding dep binding =
@@ -102,29 +128,126 @@ let frontier_info dep ~slot_of head_plan =
   in
   { fr_names; fr_slots; fr_head }
 
+(* A compiled head for replay-based firing.  Each head-atom argument is
+   either an index into the frontier key ([>= 0], encoded [2i]) or a
+   negative placeholder: odd [-(2k+1)] for the k-th fresh (existential)
+   variable, even [-(2c+2)] for the c-th constant, both numbered in
+   first-use order over the head traversal — exactly the order {!apply}
+   allocates them, so a replay creates the same elements with the same
+   ids.  Constants are looked up (and possibly created) at replay time,
+   never earlier: a constant first materialised mid-stage must keep its
+   allocation slot between the freshes around it. *)
+type fire_plan = {
+  fp_syms : Symbol.t array;
+  fp_args : int array array;
+  fp_nfresh : int;
+  fp_consts : string array;
+}
+
+let compile_fire_plan dep =
+  let fr_names = Array.of_list (Term.Var_set.elements (Dep.frontier dep)) in
+  let fr_index = Hashtbl.create 8 in
+  Array.iteri (fun i x -> Hashtbl.replace fr_index x i) fr_names;
+  let fresh = Hashtbl.create 8 in
+  let consts = Hashtbl.create 8 in
+  let const_list = ref [] in
+  let atoms = Dep.head dep in
+  let args =
+    List.map
+      (fun atom ->
+        Array.of_list
+          (List.map
+             (fun t ->
+               match t with
+               | Term.Var x -> (
+                   match Hashtbl.find_opt fr_index x with
+                   | Some i -> 2 * i
+                   | None -> (
+                       match Hashtbl.find_opt fresh x with
+                       | Some k -> -((2 * k) + 1)
+                       | None ->
+                           let k = Hashtbl.length fresh in
+                           Hashtbl.replace fresh x k;
+                           -((2 * k) + 1)))
+               | Term.Cst c -> (
+                   match Hashtbl.find_opt consts c with
+                   | Some ci -> -((2 * ci) + 2)
+                   | None ->
+                       let ci = Hashtbl.length consts in
+                       Hashtbl.replace consts c ci;
+                       const_list := c :: !const_list;
+                       -((2 * ci) + 2)))
+             (Atom.args atom)))
+      atoms
+  in
+  {
+    fp_syms = Array.of_list (List.map Atom.sym atoms);
+    fp_args = Array.of_list args;
+    fp_nfresh = Hashtbl.length fresh;
+    fp_consts = Array.of_list (List.rev !const_list);
+  }
+
+(* Fire a staged/compiled head for frontier key [key]: the placeholder
+   codes resolve at first use, in head-traversal order — bit-identical
+   element allocation to {!apply}. *)
+let replay_fire d fp key =
+  let freshes = Array.make (max fp.fp_nfresh 1) (-1) in
+  let consts = Array.make (max (Array.length fp.fp_consts) 1) (-1) in
+  let resolve v =
+    if v >= 0 then key.(v / 2)
+    else
+      let m = -v in
+      if m land 1 = 1 then begin
+        let k = (m - 1) / 2 in
+        if freshes.(k) < 0 then freshes.(k) <- Structure.fresh d;
+        freshes.(k)
+      end
+      else begin
+        let c = (m - 2) / 2 in
+        if consts.(c) < 0 then
+          consts.(c) <- Structure.constant d fp.fp_consts.(c);
+        consts.(c)
+      end
+  in
+  for a = 0 to Array.length fp.fp_syms - 1 do
+    let args = Array.map resolve fp.fp_args.(a) in
+    ignore (Structure.add_fact d (Fact.make fp.fp_syms.(a) args))
+  done
+
 (* A dependency with its compiled plans.  All are lazy so each engine
    only pays for the plans it evaluates (the stage engine never compiles
    the delta family, the delta engines never compile the full body
-   plan).  [fr_stage]/[fr_delta] carry the frontier slot projections for
-   the two body layouts. *)
+   plan).  [fr_stage]/[fr_delta]/[fr_par] carry the frontier slot
+   projections for the three body layouts; [body_family_par] is the
+   [`Par] engine's family, compiled under [par_mode] (the cost-ordered /
+   generic-join modes — its slot layout differs from [body_family]'s,
+   hence the separate projection). *)
 type cdep = {
   dep : Dep.t;
   body_plan : Hom.Plan.t Lazy.t;
   body_family : Hom.Plan.family Lazy.t;
+  body_family_par : Hom.Plan.family Lazy.t;
   head_plan : Hom.Plan.t Lazy.t;
+  fire_plan : fire_plan Lazy.t;
   fr_stage : frontier_info Lazy.t;
   fr_delta : frontier_info Lazy.t;
+  fr_par : frontier_info Lazy.t;
 }
 
-let compile_dep dep =
+let compile_dep ?(par_mode = Hom.Plan.Auto) dep =
   let body_plan = lazy (Hom.Plan.compile (Dep.body dep)) in
   let body_family = lazy (Hom.Plan.compile_family (Dep.body dep)) in
+  let body_family_par =
+    lazy (Hom.Plan.compile_family ~mode:par_mode (Dep.body dep))
+  in
   let head_plan = lazy (Hom.Plan.compile (Dep.head dep)) in
   {
     dep;
     body_plan;
     body_family;
+    body_family_par;
     head_plan;
+    fire_plan = lazy (compile_fire_plan dep);
     fr_stage =
       lazy
         (frontier_info dep
@@ -134,6 +257,11 @@ let compile_dep dep =
       lazy
         (frontier_info dep
            ~slot_of:(Hom.Plan.family_slot (Lazy.force body_family))
+           (Lazy.force head_plan));
+    fr_par =
+      lazy
+        (frontier_info dep
+           ~slot_of:(Hom.Plan.family_slot (Lazy.force body_family_par))
            (Lazy.force head_plan));
   }
 
@@ -242,92 +370,125 @@ let collect_triggers ?delta ~seen_of ~considered ~matches cdeps d =
     cdeps;
   triggers_of !out
 
-(* The parallel collector: semi-naive discovery over disjoint delta
-   shards.  Workers only read the structure and emit raw (undeduplicated)
-   full matches as slot arrays; the merge sorts them canonically — the
-   family's shared slot layout makes the arrays comparable — then
-   deduplicates, counts and head-checks sequentially.  The global
-   deduplicated match set equals the sequential semi-naive one (a match
-   reachable through pivots in different shards is emitted by several
-   workers and merged back to one), so stats, surviving triggers and —
-   after the canonical trigger sort — the firing sequence are all
-   bit-identical to [`Seminaive].  Hom-level effort counters tick inside
-   the workers and are approximate when [jobs > 1]. *)
-let collect_triggers_par ~jobs ~seen_of ~considered ~matches cdeps d
-    delta_facts =
-  let delta = Array.of_list delta_facts in
-  let nd = Array.length delta in
-  let m = max 1 (min jobs (max nd 1)) in
-  (* Round-robin shards, each keeping the delta's relative order. *)
-  let shards =
-    Array.init m (fun w ->
-        let acc = ref [] in
-        for i = nd - 1 downto 0 do
-          if i mod m = w then acc := delta.(i) :: !acc
-        done;
-        !acc)
-  in
+(* The parallel collector: semi-naive discovery over the delta as a
+   dense fact-id index, chunked into contiguous id ranges.
+
+   Fast path ([jobs <= 1], no failpoint campaign): the per-dependency
+   id-level family scan runs inline with its own dedup, feeding
+   [consider_match] directly — no slot-array boxing, no merge.  This is
+   the single-core shape, and it must beat [`Seminaive]'s boxed-delta
+   scan outright: the delta index is built once per stage and shared by
+   all dependencies, and the [`Par] family plans run under the
+   cost-ordered / generic-join modes.
+
+   Parallel path: the tasks are (dependency x id-chunk) pairs executed
+   by a work-stealing pool (round-robin under [stealing:false]), so one
+   skewed chunk — a grid rule whose delta bucket dwarfs the others — is
+   drained by whichever workers fall idle.  Workers only read the
+   structure and emit raw full matches as slot arrays; the merge sorts
+   each dependency's matches canonically — the family's shared slot
+   layout makes the arrays comparable — then deduplicates, counts and
+   head-checks sequentially.  The deduplicated match set equals the
+   sequential semi-naive one (a match reachable through pivots in
+   different chunks is emitted by several tasks and merged back to one),
+   so stats, surviving triggers and — after the canonical trigger sort —
+   the firing sequence are all bit-identical to [`Seminaive].  Hom-level
+   effort counters tick inside the workers and are approximate when
+   [jobs > 1].
+
+   The ["par.shard"] failpoint decisions are drawn sequentially *before*
+   the workers spawn, so the fault schedule never races the decision
+   stream across domains; a marked task dies before scanning, the pool
+   re-raises after joining everyone, the whole scan is retried once and
+   then degrades to the sequential fast path — whose results feed the
+   same dedup, keeping faulted runs bit-identical too. *)
+let collect_triggers_idx ~jobs ~stealing ~seen_of ~considered ~matches cdeps d
+    ~lo ~hi =
+  let dix = Hom.Plan.delta_index_of d ~lo ~hi in
   let out = ref [] in
-  List.iteri
-    (fun di cd ->
-      let fam = Lazy.force cd.body_family in
-      let fi = Lazy.force cd.fr_delta in
-      (* One sharded scan attempt.  The "par.shard" failpoint decisions
-         are drawn sequentially *before* the workers spawn, so the fault
-         schedule never races the decision stream across domains; a
-         marked worker dies before reading its shard, and the Pool
-         re-raises after joining everyone. *)
-      let scan_sharded () =
-        let faults = Array.make m false in
-        if Resilience.Failpoint.active () then
-          for w = 0 to m - 1 do
-            faults.(w) <- Resilience.Failpoint.fire "par.shard"
-          done;
-        Pool.run ~jobs:m m (fun w ->
-            if faults.(w) then
-              raise (Resilience.Failpoint.Injected "par.shard");
-            let acc = ref [] in
-            Hom.Plan.iter_family fam d shards.(w) (fun slots ->
-                acc := Array.copy slots :: !acc);
-            List.rev !acc)
-      in
-      (* The degradation ladder's last rung: sequential semi-naive
-         discovery over the whole delta.  The per-scan raw multisets
-         differ from the sharded ones (cross-shard duplicates), but the
-         sorted merge below deduplicates both to the same match set, so
-         triggers, stats and firings stay bit-identical. *)
-      let scan_sequential () =
-        let acc = ref [] in
-        Hom.Plan.iter_family fam d delta_facts (fun slots ->
-            acc := Array.copy slots :: !acc);
-        [| List.rev !acc |]
-      in
-      let raw =
-        try scan_sharded () with
-        | Resilience.Failpoint.Injected "par.shard" -> (
-            if !Obs.metrics_on then Obs.Metrics.incr c_par_retries;
-            try scan_sharded () with
-            | Resilience.Failpoint.Injected "par.shard" ->
-                if !Obs.metrics_on then Obs.Metrics.incr c_par_degraded;
-                scan_sequential ())
-      in
-      let t0 = Obs.Clock.now_s () in
-      let all = List.sort compare (List.concat (Array.to_list raw)) in
-      let seen_full = Hashtbl.create 64 in
-      let seen = seen_of di cd in
-      List.iter
-        (fun slots ->
-          if not (Hashtbl.mem seen_full slots) then begin
-            Hashtbl.replace seen_full slots ();
+  let run_deps f = List.iteri f cdeps in
+  let sequential () =
+    run_deps (fun di cd ->
+        let seen = seen_of di cd in
+        let fi = Lazy.force cd.fr_par in
+        Hom.Plan.iter_family_ids
+          (Lazy.force cd.body_family_par)
+          d dix
+          (fun slots ->
             incr matches;
             if !Obs.metrics_on then Obs.Metrics.incr c_matches;
-            consider_match ~seen ~considered d di cd fi (key_of fi slots) out
-          end)
-        all;
-      if !Obs.metrics_on then
-        Obs.Metrics.add c_merge_ms
-          (int_of_float ((Obs.Clock.now_s () -. t0) *. 1000.)))
-    cdeps;
+            consider_match ~seen ~considered d di cd fi (key_of fi slots) out))
+  in
+  if jobs <= 1 && not (Resilience.Failpoint.active ()) then begin
+    (* one worker: the stage is its own single shard *)
+    if !Obs.metrics_on then Obs.Metrics.incr c_shards;
+    sequential ()
+  end
+  else begin
+    let cds = Array.of_list cdeps in
+    let ndeps = Array.length cds in
+    let m = max 1 (min jobs (max (hi - lo) 1)) in
+    let ntasks = ndeps * m in
+    (* Contiguous id chunks; task [t] scans dependency [t / m] over
+       chunk [t mod m]. *)
+    let csize = ((hi - lo) + m - 1) / m in
+    let chunk c = (lo + (c * csize), min hi (lo + ((c + 1) * csize))) in
+    let scan_tasks () =
+      let faults = Array.make ntasks false in
+      if Resilience.Failpoint.active () then
+        for t = 0 to ntasks - 1 do
+          faults.(t) <- Resilience.Failpoint.fire "par.shard"
+        done;
+      let pool = if stealing then Pool.run_stealing ?steals:None else Pool.run in
+      pool ~jobs:m ntasks (fun t ->
+          if faults.(t) then raise (Resilience.Failpoint.Injected "par.shard");
+          let di = t / m in
+          let clo, chi = chunk (t mod m) in
+          let acc = ref [] in
+          if chi > clo then
+            Hom.Plan.iter_family_ids
+              (Lazy.force cds.(di).body_family_par)
+              d dix ~lo:clo ~hi:chi
+              (fun slots -> acc := Array.copy slots :: !acc);
+          List.rev !acc)
+    in
+    match
+      (try Some (scan_tasks ()) with
+      | Resilience.Failpoint.Injected "par.shard" -> (
+          if !Obs.metrics_on then Obs.Metrics.incr c_par_retries;
+          try Some (scan_tasks ()) with
+          | Resilience.Failpoint.Injected "par.shard" ->
+              if !Obs.metrics_on then Obs.Metrics.incr c_par_degraded;
+              None))
+    with
+    | None -> sequential ()
+    | Some raw ->
+        let t0 = Obs.Clock.now_s () in
+        for di = 0 to ndeps - 1 do
+          let cd = cds.(di) in
+          let fi = Lazy.force cd.fr_par in
+          let seen = seen_of di cd in
+          let acc = ref [] in
+          for c = m - 1 downto 0 do
+            acc := List.rev_append (List.rev raw.((di * m) + c)) !acc
+          done;
+          let all = List.sort compare !acc in
+          let seen_full = Hashtbl.create 64 in
+          List.iter
+            (fun slots ->
+              if not (Hashtbl.mem seen_full slots) then begin
+                Hashtbl.replace seen_full slots ();
+                incr matches;
+                if !Obs.metrics_on then Obs.Metrics.incr c_matches;
+                consider_match ~seen ~considered d di cd fi (key_of fi slots)
+                  out
+              end)
+            all
+        done;
+        if !Obs.metrics_on then
+          Obs.Metrics.add c_merge_ms
+            (int_of_float ((Obs.Clock.now_s () -. t0) *. 1000.))
+  end;
   triggers_of !out
 
 (* Collect the active pairs (T, b̄) of the current structure. *)
@@ -336,7 +497,7 @@ let active_triggers deps d =
   collect_triggers
     ~seen_of:(fun _ _ -> Hashtbl.create 64)
     ~considered ~matches
-    (List.map compile_dep deps)
+    (List.map (fun dep -> compile_dep dep) deps)
     d
   |> List.map (fun (cd, fi, key) -> (cd.dep, binding_of_key fi key))
 
@@ -380,6 +541,184 @@ let apply_triggers ?(on_fire = fun _ _ -> ()) triggers d =
     triggers;
   !fired
 
+(* The apply-time re-check, delta-restricted.  A trigger that survived
+   collection was unwitnessed against the apply-start structure, and head
+   witnesses are monotone; so when the re-check runs, a witness exists
+   iff some witness uses a fact added since apply start ([wm0]).
+   {!Hom.Plan.exists_delta} checks exactly that, over the binary-searched
+   new tails of the pin buckets — near-free on the (overwhelmingly
+   common) triggers whose heads nothing re-witnessed mid-stage, where the
+   full {!head_witnessed} pays a complete existence search per trigger. *)
+(* Above this many pivot candidates the delta-tail scan loses to the
+   plain pin-driven search; below it, it is near-free.  Any value is
+   correct — both branches are exact (see [head_witnessed_delta]) — the
+   cutoff only moves wall-clock. *)
+let delta_recheck_cutoff = 32
+
+let head_witnessed_delta ~wm0 d cd fi key =
+  if !Obs.metrics_on then Obs.Metrics.incr c_head_checks;
+  let init = ref [] in
+  Array.iteri
+    (fun i s -> if s >= 0 then init := (s, key.(i)) :: !init)
+    fi.fr_head;
+  (* The trigger survived discovery against exactly the [< wm0]
+     structure, so no witness over the old facts exists —
+     {!Hom.Plan.exists_since}'s invariant — and the re-check dispatches
+     between the near-free empty-tail case, the delta-pivot scan and the
+     pin-driven full search, all exact here. *)
+  Hom.Plan.exists_since ~min_id:wm0 ~cutoff:delta_recheck_cutoff ~init:!init
+    (Lazy.force cd.head_plan) d
+
+(* As {!apply_triggers}, with the delta-restricted re-check and the
+   compiled-head replay.  Same firings, same structure, same counters
+   that matter ([c_head_checks] ticks once per trigger either way); only
+   the per-trigger cost drops.  Used by the delta engines ([`Seminaive]
+   and [`Par]'s sequential rungs); [`Stage] keeps the full re-check as
+   the pristine reference. *)
+let apply_triggers_delta ?(on_fire = fun _ _ -> ()) triggers d =
+  let wm0 = Structure.watermark d in
+  let fired = ref 0 in
+  List.iter
+    (fun (cd, fi, key) ->
+      if not (head_witnessed_delta ~wm0 d cd fi key) then begin
+        on_fire cd.dep (binding_of_key fi key);
+        replay_fire d (Lazy.force cd.fire_plan) key;
+        if !Obs.metrics_on then Obs.Metrics.incr c_firings;
+        incr fired
+      end)
+    triggers;
+  !fired
+
+(* Parallel firing via partitioned writers.  Workers cannot append to
+   the arena — fact ids, element allocation and the journal are
+   sequential resources — so the pipeline splits firing in two:
+
+   Phase 1 (parallel, read-only): the triggers are partitioned into
+   contiguous chunks; each task *stages* its triggers' head atoms into a
+   private {!Fact_arena.Staging} buffer — frontier arguments resolved to
+   elements, fresh/constant placeholders kept as the fire plan's negative
+   codes.  Nothing observable happens: no allocation, no index writes.
+
+   Phase 2 (sequential, canonical): the buffers are walked in trigger
+   order — chunks are contiguous, so buffer concatenation *is* the
+   canonical order — and each trigger is re-checked with the
+   delta-restricted condition ­ against the evolving structure; survivors
+   have their staged atoms materialised, placeholders resolving at first
+   use in traversal order.  That is exactly the sequence of
+   {!apply_triggers_delta}, so the structure, journal and firing sequence
+   are bit-identical to every other engine's.
+
+   The ["par.fire"] failpoint kills a marked task before it stages
+   (decisions drawn pre-spawn, as with "par.shard"); staging is
+   side-effect-free, so the ladder — retry once, then degrade to
+   {!apply_triggers_delta} — never leaves partial state behind. *)
+let apply_triggers_par ?(on_fire = fun _ _ -> ()) ~jobs ~stealing triggers d =
+  let tarr = Array.of_list triggers in
+  let nt = Array.length tarr in
+  if nt = 0 then 0
+  else begin
+    let t0 = Obs.Clock.now_s () in
+    let m = max 1 (min jobs nt) in
+    let csize = (nt + m - 1) / m in
+    let stage_chunk faults c =
+      if faults.(c) then raise (Resilience.Failpoint.Injected "par.fire");
+      let s = Fact_arena.Staging.create () in
+      let hi = min nt ((c + 1) * csize) in
+      for t = c * csize to hi - 1 do
+        let cd, _, key = tarr.(t) in
+        let fp = Lazy.force cd.fire_plan in
+        for a = 0 to Array.length fp.fp_syms - 1 do
+          Fact_arena.Staging.stage s ~trigger:t ~atom:a
+            (Array.map
+               (fun v -> if v >= 0 then key.(v / 2) else v)
+               fp.fp_args.(a))
+        done
+      done;
+      s
+    in
+    let run_stage_tasks () =
+      let faults = Array.make m false in
+      if Resilience.Failpoint.active () then
+        for c = 0 to m - 1 do
+          faults.(c) <- Resilience.Failpoint.fire "par.fire"
+        done;
+      let pool = if stealing then Pool.run_stealing ?steals:None else Pool.run in
+      pool ~jobs:m m (stage_chunk faults)
+    in
+    match
+      (try Some (run_stage_tasks ()) with
+      | Resilience.Failpoint.Injected "par.fire" -> (
+          if !Obs.metrics_on then Obs.Metrics.incr c_par_retries;
+          try Some (run_stage_tasks ()) with
+          | Resilience.Failpoint.Injected "par.fire" ->
+              if !Obs.metrics_on then Obs.Metrics.incr c_par_degraded;
+              None))
+    with
+    | None -> apply_triggers_delta ~on_fire triggers d
+    | Some buffers ->
+        (* Canonical merge: triggers in ascending order, the re-check and
+           placeholder resolution exactly as the sequential path runs
+           them. *)
+        let wm0 = Structure.watermark d in
+        let fired = ref 0 in
+        let cur = ref (-1) in
+        let cur_fires = ref false in
+        let freshes = ref [||] in
+        let consts = ref [||] in
+        let cur_fp = ref None in
+        let resolve fp v =
+          if v >= 0 then v
+          else
+            let m = -v in
+            if m land 1 = 1 then begin
+              let k = (m - 1) / 2 in
+              if !freshes.(k) < 0 then !freshes.(k) <- Structure.fresh d;
+              !freshes.(k)
+            end
+            else begin
+              let c = (m - 2) / 2 in
+              if !consts.(c) < 0 then
+                !consts.(c) <- Structure.constant d fp.fp_consts.(c);
+              !consts.(c)
+            end
+        in
+        Array.iter
+          (fun s ->
+            Fact_arena.Staging.iter s (fun ~trigger ~atom args ->
+                if trigger <> !cur then begin
+                  cur := trigger;
+                  let cd, fi, key = tarr.(trigger) in
+                  if head_witnessed_delta ~wm0 d cd fi key then begin
+                    cur_fires := false;
+                    cur_fp := None
+                  end
+                  else begin
+                    cur_fires := true;
+                    let fp = Lazy.force cd.fire_plan in
+                    cur_fp := Some fp;
+                    freshes := Array.make (max fp.fp_nfresh 1) (-1);
+                    consts :=
+                      Array.make (max (Array.length fp.fp_consts) 1) (-1);
+                    on_fire cd.dep (binding_of_key fi key);
+                    if !Obs.metrics_on then Obs.Metrics.incr c_firings;
+                    incr fired
+                  end
+                end;
+                if !cur_fires then
+                  match !cur_fp with
+                  | Some fp ->
+                      let args = Array.map (resolve fp) args in
+                      ignore
+                        (Structure.add_fact d
+                           (Fact.make fp.fp_syms.(atom) args))
+                  | None -> ()))
+          buffers;
+        if !Obs.metrics_on then
+          Obs.Metrics.add c_fire_ms
+            (int_of_float ((Obs.Clock.now_s () -. t0) *. 1000.));
+        !fired
+  end
+
 (* One stage of the chase procedure; returns the number of firings. *)
 let chase_stage deps d =
   let considered = ref 0 and matches = ref 0 in
@@ -387,7 +726,7 @@ let chase_stage deps d =
     collect_triggers
       ~seen_of:(fun _ _ -> Hashtbl.create 64)
       ~considered ~matches
-      (List.map compile_dep deps)
+      (List.map (fun dep -> compile_dep dep) deps)
       d
   in
   apply_triggers triggers d
@@ -427,9 +766,11 @@ type snapshot = {
    numbers stamp provenance into the structure: facts added at stage i
    belong to chase_i.
 
-   [collect] abstracts the engines' trigger discovery; it is called once
-   per stage, after the stage stamp, and shares the [considered]/[matches]
-   refs with the final stats.  [make_snapshot] captures the engine's
+   [collect] abstracts the engines' trigger discovery and [apply] their
+   firing path (full-recheck sequential, delta-recheck replay, or staged
+   parallel); [collect] is called once per stage, after the stage stamp,
+   and shares the [considered]/[matches] refs with the final stats.
+   [make_snapshot] captures the engine's
    resumable state; snapshots are built only when [on_snapshot] is given,
    every [snapshot_every] completed stages and at the final stage of any
    cleanly-ended run.  A scan aborted mid-stage (cancellation) or a fault
@@ -437,7 +778,7 @@ type snapshot = {
    deliberately skip the final snapshot — the last boundary snapshot is
    the resumable one. *)
 let run_engine ~span ~governor ~max_stages ~stop ~on_fire ~considered ~matches
-    ~collect ~make_snapshot ~snapshot_every ~on_snapshot ~start_stage
+    ~collect ~apply ~make_snapshot ~snapshot_every ~on_snapshot ~start_stage
     ~start_applications d =
   let applications = ref start_applications in
   let last_snap = ref (-1) in
@@ -471,7 +812,7 @@ let run_engine ~span ~governor ~max_stages ~stop ~on_fire ~considered ~matches
           let step () =
             let triggers = G.with_scope governor collect in
             n_triggers := List.length triggers;
-            n_fired := apply_triggers ~on_fire:(on_fire ~stage:i) triggers d
+            n_fired := apply (on_fire ~stage:i) triggers
           in
           match
             Obs.Trace.with_span "tgd.stage"
@@ -516,7 +857,7 @@ let run_stage ?(governor = G.unlimited) ?(max_stages = max_int)
     ?(stop = fun _ -> false) ?(on_fire = no_fire) ?(snapshot_every = 1)
     ?on_snapshot ?from deps d =
   (match from with Some s -> check_resume_deps deps s | None -> ());
-  let cdeps = List.map compile_dep deps in
+  let cdeps = List.map (fun dep -> compile_dep dep) deps in
   let start_stage, considered0, matches0, apps0 =
     match from with
     | Some s ->
@@ -544,8 +885,10 @@ let run_stage ?(governor = G.unlimited) ?(max_stages = max_int)
       ~considered ~matches cdeps d
   in
   run_engine ~span:"tgd.chase(stage)" ~governor ~max_stages ~stop ~on_fire
-    ~considered ~matches ~collect ~make_snapshot ~snapshot_every ~on_snapshot
-    ~start_stage ~start_applications:apps0 d
+    ~considered ~matches ~collect
+    ~apply:(fun on_fire triggers -> apply_triggers ~on_fire triggers d)
+    ~make_snapshot ~snapshot_every ~on_snapshot ~start_stage
+    ~start_applications:apps0 d
 
 (* The per-run persistent dedup tables of the semi-naive engines, with a
    sorted dump / reload pair for snapshots. *)
@@ -576,10 +919,10 @@ let persistent_seen ?(from = []) () =
   (get, dump)
 
 (* The shared delta-engine driver ([`Seminaive] and [`Par]). *)
-let run_delta ~par ?jobs ~governor ~max_stages ~stop ~on_fire ~snapshot_every
-    ~on_snapshot ~from deps d =
+let run_delta ~par ?jobs ?(tuning = default_tuning) ~governor ~max_stages
+    ~stop ~on_fire ~snapshot_every ~on_snapshot ~from deps d =
   (match from with Some s -> check_resume_deps deps s | None -> ());
-  let cdeps = List.map compile_dep deps in
+  let cdeps = List.map (compile_dep ~par_mode:tuning.plan_mode) deps in
   let start_stage, wm0, seen0, considered0, matches0, apps0 =
     match from with
     | Some s ->
@@ -611,22 +954,45 @@ let run_delta ~par ?jobs ~governor ~max_stages ~stop ~on_fire ~snapshot_every
   in
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   let collect () =
-    let delta = Structure.delta_since d !wm in
-    let new_wm = Structure.watermark d in
-    if !Obs.metrics_on then Obs.Metrics.observe h_delta (List.length delta);
-    let triggers =
-      if par then
-        collect_triggers_par ~jobs ~seen_of ~considered ~matches cdeps d delta
-      else collect_triggers ~delta ~seen_of ~considered ~matches cdeps d
-    in
-    (* advance only after a completed scan: a cancelled scan must not
-       move the watermark past the last resumable boundary *)
-    wm := new_wm;
-    triggers
+    if par then begin
+      let lo, hi = Structure.delta_ids d !wm in
+      if !Obs.metrics_on then Obs.Metrics.observe h_delta (hi - lo);
+      let triggers =
+        collect_triggers_idx ~jobs ~stealing:tuning.stealing ~seen_of
+          ~considered ~matches cdeps d ~lo ~hi
+      in
+      (* advance only after a completed scan: a cancelled scan must not
+         move the watermark past the last resumable boundary *)
+      wm := hi;
+      triggers
+    end
+    else begin
+      let delta = Structure.delta_since d !wm in
+      let new_wm = Structure.watermark d in
+      if !Obs.metrics_on then Obs.Metrics.observe h_delta (List.length delta);
+      let triggers =
+        collect_triggers ~delta ~seen_of ~considered ~matches cdeps d
+      in
+      wm := new_wm;
+      triggers
+    end
+  in
+  let apply on_fire triggers =
+    if par then
+      let staged =
+        match tuning.par_fire with
+        | `Seq -> false
+        | `Staged -> true
+        | `Auto -> jobs > 1 || Resilience.Failpoint.active ()
+      in
+      if staged then
+        apply_triggers_par ~on_fire ~jobs ~stealing:tuning.stealing triggers d
+      else apply_triggers_delta ~on_fire triggers d
+    else apply_triggers_delta ~on_fire triggers d
   in
   let span = if par then "tgd.chase(par)" else "tgd.chase(seminaive)" in
   run_engine ~span ~governor ~max_stages ~stop ~on_fire ~considered ~matches
-    ~collect ~make_snapshot ~snapshot_every ~on_snapshot ~start_stage
+    ~collect ~apply ~make_snapshot ~snapshot_every ~on_snapshot ~start_stage
     ~start_applications:apps0 d
 
 let run_seminaive ?(governor = G.unlimited) ?(max_stages = max_int)
@@ -635,10 +1001,10 @@ let run_seminaive ?(governor = G.unlimited) ?(max_stages = max_int)
   run_delta ~par:false ~governor ~max_stages ~stop ~on_fire ~snapshot_every
     ~on_snapshot ~from deps d
 
-let run_par ?jobs ?(governor = G.unlimited) ?(max_stages = max_int)
+let run_par ?jobs ?tuning ?(governor = G.unlimited) ?(max_stages = max_int)
     ?(stop = fun _ -> false) ?(on_fire = no_fire) ?(snapshot_every = 1)
     ?on_snapshot ?from deps d =
-  run_delta ~par:true ?jobs ~governor ~max_stages ~stop ~on_fire
+  run_delta ~par:true ?jobs ?tuning ~governor ~max_stages ~stop ~on_fire
     ~snapshot_every ~on_snapshot ~from deps d
 
 (* The semi-oblivious (skolem) chase: every pair (T, b̄) fires exactly
@@ -661,7 +1027,7 @@ let run_oblivious ?(governor = G.unlimited) ?(max_stages = max_int)
       outcome;
     }
   in
-  let cdeps = List.map compile_dep deps in
+  let cdeps = List.map (fun dep -> compile_dep dep) deps in
   let max_stages = min max_stages governor.G.max_stages in
   let rec go i =
     match G.interrupted governor with
@@ -716,8 +1082,8 @@ let run_oblivious ?(governor = G.unlimited) ?(max_stages = max_int)
    sequence) with per-stage work proportional to the delta rather than to
    the whole structure.  [`Par] is semi-naive with sharded discovery;
    [jobs] bounds its worker count (ignored by the other engines). *)
-let run ?(engine = `Seminaive) ?jobs ?governor ?max_stages ?stop ?on_fire
-    ?snapshot_every ?on_snapshot deps d =
+let run ?(engine = `Seminaive) ?jobs ?tuning ?governor ?max_stages ?stop
+    ?on_fire ?snapshot_every ?on_snapshot deps d =
   match engine with
   | `Stage ->
       run_stage ?governor ?max_stages ?stop ?on_fire ?snapshot_every
@@ -727,15 +1093,15 @@ let run ?(engine = `Seminaive) ?jobs ?governor ?max_stages ?stop ?on_fire
         ?on_snapshot deps d
   | `Oblivious -> run_oblivious ?governor ?max_stages ?stop ?on_fire deps d
   | `Par ->
-      run_par ?jobs ?governor ?max_stages ?stop ?on_fire ?snapshot_every
-        ?on_snapshot deps d
+      run_par ?jobs ?tuning ?governor ?max_stages ?stop ?on_fire
+        ?snapshot_every ?on_snapshot deps d
 
 (* Continue a checkpointed run on the snapshot's own structure (clone the
    snapshot first to keep it reusable).  Stage numbering, the watermark,
    the persistent dedup tables and every counter pick up exactly where
    the snapshot left them, so prefix + resume is bit-identical — facts,
    firing sequence and stats — to one uninterrupted run. *)
-let resume ?jobs ?governor ?max_stages ?stop ?on_fire ?snapshot_every
+let resume ?jobs ?tuning ?governor ?max_stages ?stop ?on_fire ?snapshot_every
     ?on_snapshot deps snap =
   let d = snap.snap_structure in
   let stats =
@@ -747,8 +1113,8 @@ let resume ?jobs ?governor ?max_stages ?stop ?on_fire ?snapshot_every
         run_seminaive ?governor ?max_stages ?stop ?on_fire ?snapshot_every
           ?on_snapshot ~from:snap deps d
     | `Par ->
-        run_par ?jobs ?governor ?max_stages ?stop ?on_fire ?snapshot_every
-          ?on_snapshot ~from:snap deps d
+        run_par ?jobs ?tuning ?governor ?max_stages ?stop ?on_fire
+          ?snapshot_every ?on_snapshot ~from:snap deps d
     | `Oblivious -> invalid_arg "Chase.resume: oblivious runs cannot resume"
   in
   (stats, d)

@@ -46,6 +46,24 @@ type engine = [ `Stage | `Seminaive | `Oblivious | `Par ]
 
 val pp_engine : Format.formatter -> engine -> unit
 
+(** Knobs of the [`Par] engine, exposed for the ablation bench and the
+    oracle.  [plan_mode] is the atom-ordering strategy of the parallel
+    delta family (default {!Hom.Plan.Auto}: cost-ordered, generic join on
+    cyclic bodies).  [par_fire] selects the firing path: [`Seq] the
+    sequential delta-recheck replay, [`Staged] the partitioned-writer
+    staging pipeline unconditionally, [`Auto] (default) staged only with
+    more than one worker or under an active failpoint campaign.
+    [stealing] (default [true]) picks work-stealing over static
+    round-robin scheduling.  Every combination is bit-identical to
+    [`Seminaive] — only wall-clock and effort counters move. *)
+type par_tuning = {
+  plan_mode : Hom.Plan.mode;
+  par_fire : [ `Auto | `Seq | `Staged ];
+  stealing : bool;
+}
+
+val default_tuning : par_tuning
+
 (** A resumable chase snapshot: the structure (a journal-order-preserving
     Marshal clone), the semi-naive watermark, the per-TGD persistent
     dedup keys in canonical sorted order and the stat counters.
@@ -96,7 +114,9 @@ val chase_stage : Dep.t list -> Structure.t -> int
     firing in order — (stage, TGD, frontier binding) — before its head
     atoms are added; the oracle's differential runner records the firing
     sequence through it.  [jobs] bounds the [`Par] engine's worker count
-    (default [Pool.default_jobs ()]; ignored by other engines).
+    (default [Pool.default_jobs ()]) and [tuning] its plan/firing/
+    scheduling knobs (default {!default_tuning}; both ignored by other
+    engines).
 
     The [governor] (default [Resilience.Governor.unlimited]) bundles a
     wall-clock deadline, stage fuel, element/fact budgets and a
@@ -114,6 +134,7 @@ val chase_stage : Dep.t list -> Structure.t -> int
 val run :
   ?engine:engine ->
   ?jobs:int ->
+  ?tuning:par_tuning ->
   ?governor:Resilience.Governor.t ->
   ?max_stages:int ->
   ?stop:(Structure.t -> bool) ->
@@ -135,6 +156,7 @@ val run :
     from an [`Oblivious] run. *)
 val resume :
   ?jobs:int ->
+  ?tuning:par_tuning ->
   ?governor:Resilience.Governor.t ->
   ?max_stages:int ->
   ?stop:(Structure.t -> bool) ->
@@ -173,20 +195,31 @@ val run_seminaive :
   stats
 
 (** The parallel engine ([run ~engine:`Par]): semi-naive trigger
-    discovery sharded over a {!Relational.Pool} of domains.  Workers
-    enumerate body matches over disjoint delta shards (reading the
-    structure only); the matches are merged in canonical sort order,
-    deduplicated, head-checked and fired sequentially, so structures,
-    stats and firing sequences are bit-identical to [`Seminaive].
-    Hom-level effort counters are approximate when [jobs > 1].
+    discovery and firing over a {!Relational.Pool} of domains, driven by
+    cost-ordered / generic-join plans over a dense per-stage delta index.
 
-    Under the ["par.shard"] failpoint a marked worker dies before
-    scanning its shard; the scan is retried once and then degrades to
-    sequential semi-naive discovery for that (TGD, stage) scan.  Both
-    rungs feed the same canonical merge, so the run stays bit-identical
-    to an un-faulted [`Seminaive] run. *)
+    Discovery: the (TGD x id-chunk) tasks run on a work-stealing pool
+    (workers read the structure only); raw matches are merged in
+    canonical sort order, deduplicated, head-checked sequentially.
+    Firing: workers stage head atoms — frontier arguments resolved,
+    fresh/constant placeholders deferred — into private
+    {!Relational.Fact_arena.Staging} buffers; the sequential canonical
+    merge re-checks each trigger (delta-restricted condition ­) and
+    materialises survivors in trigger order, so structures, stats and
+    firing sequences are bit-identical to [`Seminaive].  With one worker
+    and no failpoints both pipelines collapse to allocation-free
+    sequential fast paths.  Hom-level effort counters are approximate
+    when [jobs > 1] and legitimately differ from [`Seminaive]'s under the
+    cost-ordered plan modes.
+
+    Under the ["par.shard"] (discovery) and ["par.fire"] (staging)
+    failpoints a marked task dies before doing any work; the phase is
+    retried once and then degrades to its sequential rung.  Staging is
+    side-effect-free and every rung feeds the same canonical merge, so a
+    faulted run stays bit-identical to an un-faulted [`Seminaive] run. *)
 val run_par :
   ?jobs:int ->
+  ?tuning:par_tuning ->
   ?governor:Resilience.Governor.t ->
   ?max_stages:int ->
   ?stop:(Structure.t -> bool) ->

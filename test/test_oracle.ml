@@ -232,7 +232,9 @@ let test_harness_clean () =
   let report = Oracle.Diff.run_cases ~seed:42 ~cases:60 () in
   check_int "no violations on clean code" 0
     (List.length report.Oracle.Diff.violations);
-  check_int "seven engine runs per case" (7 * 60)
+  (* 5 TGD runs (stage, seminaive, oblivious, par, par+staged firing)
+     plus 3 graph runs per case *)
+  check_int "eight engine runs per case" (8 * 60)
     report.Oracle.Diff.engine_runs
 
 let test_harness_catches_legacy_fold () =
