@@ -900,6 +900,269 @@ let emit_overhead () =
       row "armed" (best (fun () -> run (Some armed))))
     gov_workloads
 
+(* --- daemon saturation benchmark (BENCH_serve.json, E20) ---------------- *)
+
+(* Drive a live redspiderd with N concurrent client domains and measure
+   end-to-end job latency (submit → terminal) per job class plus total
+   throughput.  One client in four keeps a divergent rainworm-style chase
+   in flight, so the numbers are taken with preemption active: the
+   divergent job is suspended and resumed across quanta while the short
+   jobs complete around it. *)
+
+module SJ = Serve.Json
+
+let serve_paths () =
+  let tag = Printf.sprintf "redspiderd-bench-%d" (Unix.getpid ()) in
+  ( Filename.concat (Filename.get_temp_dir_name ()) (tag ^ ".sock"),
+    Filename.concat (Filename.get_temp_dir_name ()) (tag ^ ".store") )
+
+let rm_rf dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+(* Run [f socket] against a fresh in-process daemon (own domain), then
+   drain it and clean the store up. *)
+let with_daemon ~workers ~quantum f =
+  let socket, store_dir = serve_paths () in
+  rm_rf store_dir;
+  let cfg =
+    {
+      Serve.Server.socket;
+      tcp_port = None;
+      workers;
+      quantum = { Serve.Runner.stages = quantum; seconds = 0. };
+      store_dir;
+      log = false;
+    }
+  in
+  let daemon = Domain.spawn (fun () -> Serve.Server.serve cfg) in
+  let rec await n =
+    if not (Sys.file_exists socket) then
+      if n = 0 then failwith "daemon did not come up"
+      else begin
+        Unix.sleepf 0.02;
+        await (n - 1)
+      end
+  in
+  await 250;
+  Fun.protect
+    ~finally:(fun () ->
+      (match Serve.Client.connect ~socket () with
+      | Ok c ->
+          ignore (Serve.Client.drain c);
+          Serve.Client.close c
+      | Error _ -> ());
+      Domain.join daemon;
+      rm_rf store_dir)
+    (fun () -> f socket)
+
+(* The three wire job classes of the saturation mix. *)
+let divergent_chase stages =
+  Serve.Job.Chase
+    {
+      views =
+        [
+          ("p2", "p2(x,y) :- E(x,m), E(m,y)");
+          ("p3", "p3(x,y) :- E(x,m), E(m,n), E(n,y)");
+        ];
+      q0 = "q0(x,y) :- E(x,a), E(a,b), E(b,c), E(c,y)";
+      max_stages = stages;
+      engine = `Seminaive;
+    }
+
+let short_chase =
+  Serve.Job.Chase
+    {
+      views = [ ("p2", "p2(x,y) :- E(x,m), E(m,y)") ];
+      q0 = "q0(x,y) :- E(x,a), E(a,b), E(b,y)";
+      max_stages = 8;
+      engine = `Seminaive;
+    }
+
+let worm_job machine steps = Serve.Job.Worm { machine; steps }
+
+let class_of_spec = function
+  | Serve.Job.Chase { max_stages; _ } when max_stages > 8 -> "chase-divergent"
+  | Serve.Job.Chase _ -> "chase-short"
+  | Serve.Job.Worm _ -> "worm"
+  | Serve.Job.Determinacy _ -> "determinacy"
+  | Serve.Job.Audit _ -> "audit"
+
+(* One client: submit its job list sequentially over one connection,
+   waiting each job to a terminal state; returns
+   (class, latency_s, slices, ok) per job. *)
+let client_session socket specs =
+  match Serve.Client.connect ~socket () with
+  | Error m -> failwith ("client connect: " ^ m)
+  | Ok conn ->
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close conn)
+        (fun () ->
+          List.map
+            (fun spec ->
+              let t0 = Obs.Clock.now_s () in
+              let job =
+                Result.bind (Serve.Client.submit conn spec) (fun id ->
+                    Serve.Client.wait_terminal ~poll_s:10. conn id)
+              in
+              let dt = Obs.Clock.now_s () -. t0 in
+              match job with
+              | Error m -> failwith ("client job: " ^ m)
+              | Ok j ->
+                  let slices =
+                    Option.value ~default:0 (SJ.mem_int "slices" j)
+                  in
+                  let ok = SJ.mem_str "state" j = Some "done" in
+                  (class_of_spec spec, dt, slices, ok))
+            specs)
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n -> sorted.(min (n - 1) (int_of_float (ceil (p *. float n)) - 1))
+
+(* The full saturation run: [clients] concurrent sessions, a divergent
+   chase in every fourth session.  Returns the JSON report. *)
+let serve_saturation ~clients ~workers ~quantum ~divergent_stages () =
+  let mix i =
+    if i mod 4 = 0 then
+      [ divergent_chase divergent_stages; worm_job "halt-now" 50; short_chase ]
+    else
+      [ worm_job "creeper" 100; short_chase; worm_job "halt-now" 50 ]
+  in
+  with_daemon ~workers ~quantum (fun socket ->
+      let t0 = Obs.Clock.now_s () in
+      let sessions =
+        Array.init clients (fun i ->
+            Domain.spawn (fun () -> client_session socket (mix i)))
+      in
+      let results =
+        Array.to_list (Array.map Domain.join sessions) |> List.concat
+      in
+      let wall_s = Obs.Clock.now_s () -. t0 in
+      let classes =
+        List.sort_uniq compare (List.map (fun (c, _, _, _) -> c) results)
+      in
+      let rows =
+        List.map
+          (fun cls ->
+            let lat =
+              List.filter_map
+                (fun (c, dt, _, _) -> if c = cls then Some dt else None)
+                results
+            in
+            let sorted = Array.of_list (List.sort compare lat) in
+            let n = Array.length sorted in
+            let mean = Array.fold_left ( +. ) 0. sorted /. float (max 1 n) in
+            SJ.Obj
+              [
+                ("class", SJ.String cls);
+                ("jobs", SJ.Int n);
+                ("p50_ms", SJ.Float (1000. *. percentile sorted 0.50));
+                ("p95_ms", SJ.Float (1000. *. percentile sorted 0.95));
+                ("mean_ms", SJ.Float (1000. *. mean));
+              ])
+          classes
+      in
+      let total = List.length results in
+      let failed =
+        List.length (List.filter (fun (_, _, _, ok) -> not ok) results)
+      in
+      let max_slices =
+        List.fold_left
+          (fun m (c, _, s, _) -> if c = "chase-divergent" then max m s else m)
+          0 results
+      in
+      SJ.Obj
+        [
+          ("experiment", SJ.String "E20");
+          ("clients", SJ.Int clients);
+          ("workers", SJ.Int workers);
+          ("quantum_stages", SJ.Int quantum);
+          ("divergent_stages", SJ.Int divergent_stages);
+          ("jobs_total", SJ.Int total);
+          ("jobs_failed", SJ.Int failed);
+          ("wall_s", SJ.Float wall_s);
+          ("jobs_per_s", SJ.Float (float total /. wall_s));
+          ("divergent_max_slices", SJ.Int max_slices);
+          ("rows", SJ.List rows);
+        ])
+
+let emit_serve_json () =
+  let report =
+    serve_saturation ~clients:8 ~workers:4 ~quantum:3 ~divergent_stages:12 ()
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (SJ.to_string report ^ "\n");
+  close_out oc;
+  let num k = Option.value ~default:0. (SJ.mem_float k report) in
+  Format.printf
+    "wrote BENCH_serve.json (%.1f jobs/s over %d clients, divergent job \
+     preempted %d times)@."
+    (num "jobs_per_s")
+    (Option.value ~default:0 (SJ.mem_int "clients" report))
+    (Option.value ~default:0 (SJ.mem_int "divergent_max_slices" report) - 1)
+
+(* The @serve-smoke gate: a small live saturation (still 8 clients, the
+   acceptance floor) that must complete every job with preemption
+   active, plus a shape check of the checked-in BENCH_serve.json. *)
+let serve_smoke baseline =
+  let report =
+    serve_saturation ~clients:8 ~workers:4 ~quantum:2 ~divergent_stages:9 ()
+  in
+  let geti k = Option.value ~default:(-1) (SJ.mem_int k report) in
+  if geti "jobs_failed" <> 0 then begin
+    Format.printf "serve smoke: %d job(s) failed@." (geti "jobs_failed");
+    exit 1
+  end;
+  if geti "divergent_max_slices" < 2 then begin
+    Format.printf
+      "serve smoke: divergent chase ran in %d slice(s); preemption inactive@."
+      (geti "divergent_max_slices");
+    exit 1
+  end;
+  (match
+     let ic = open_in baseline in
+     Fun.protect
+       ~finally:(fun () -> close_in_noerr ic)
+       (fun () -> really_input_string ic (in_channel_length ic))
+   with
+  | exception Sys_error m ->
+      Format.printf "serve smoke: %s@." m;
+      exit 1
+  | raw -> (
+      match SJ.parse (String.trim raw) with
+      | Error m ->
+          Format.printf "serve smoke: %s is not JSON: %s@." baseline m;
+          exit 1
+      | Ok base ->
+          let need k =
+            if SJ.member k base = None then begin
+              Format.printf "serve smoke: %s lacks %s@." baseline k;
+              exit 1
+            end
+          in
+          List.iter need
+            [ "clients"; "jobs_per_s"; "divergent_max_slices"; "rows" ];
+          if
+            Option.value ~default:0 (SJ.mem_int "clients" base) < 8
+            || Option.value ~default:0 (SJ.mem_int "divergent_max_slices" base)
+               < 2
+          then begin
+            Format.printf
+              "serve smoke: %s does not witness 8 clients with preemption@."
+              baseline;
+            exit 1
+          end));
+  Format.printf
+    "serve smoke: %d jobs over 8 clients, %.1f jobs/s, divergent job \
+     suspended %d time(s)@."
+    (geti "jobs_total")
+    (Option.value ~default:0. (SJ.mem_float "jobs_per_s" report))
+    (geti "divergent_max_slices" - 1)
+
 (* Quick equivalence + JSON sanity pass, wired into `dune runtest` (prints
    to stdout only, so the test stays hermetic). *)
 let smoke () =
@@ -941,6 +1204,10 @@ let () =
       if gate_par then par_gate ()
   | "ablation" -> emit_ablation ()
   | "overhead" -> emit_overhead ()
+  | "serve" -> emit_serve_json ()
+  | "serve-smoke" ->
+      serve_smoke
+        (if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_serve.json")
   | "smoke" -> smoke ()
   | _ ->
       let fast = mode = "fast" in

@@ -593,6 +593,209 @@ let determinacy_cmd =
       const determinacy $ obs_term $ resilience_term $ views $ q0 $ stages
       $ engine_arg $ jobs_arg)
 
+(* --- serve / client ----------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/redspiderd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket path of the daemon.")
+
+let tcp_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp-port" ] ~docv:"PORT"
+        ~doc:"Additionally listen on loopback TCP port $(docv).")
+
+let serve () socket tcp_port workers quantum quantum_seconds store verbose =
+  let cfg =
+    {
+      Serve.Server.socket;
+      tcp_port;
+      workers = max 1 workers;
+      quantum = { Serve.Runner.stages = max 1 quantum; seconds = quantum_seconds };
+      store_dir = store;
+      log = verbose;
+    }
+  in
+  Serve.Server.serve cfg
+
+let serve_cmd =
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Concurrent job slices per scheduling round (pool domains).")
+  in
+  let quantum =
+    Arg.(
+      value & opt int 4
+      & info [ "quantum" ] ~docv:"STAGES"
+          ~doc:
+            "Preemption quantum: chase stages a job may run per slice              before it is checkpointed and re-queued.")
+  in
+  let quantum_seconds =
+    Arg.(
+      value & opt float 0.
+      & info [ "quantum-seconds" ] ~docv:"SEC"
+          ~doc:
+            "Optional wall-clock sub-deadline per slice (0 disables; the              stage quantum remains the progress guarantee).")
+  in
+  let store =
+    Arg.(
+      value
+      & opt string "/tmp/redspiderd"
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Job store directory: manifests and suspend checkpoints,              rescanned on restart for crash recovery.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Log rounds to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:
+         "Run redspiderd: accept chase/determinacy/worm/audit jobs as           newline-delimited JSON over a Unix (and optionally loopback           TCP) socket, execute them preemptively on the domain pool —           a divergent chase is suspended to a checkpoint at every           quantum and resumed later, bit-identically — and drain           gracefully on SIGTERM.")
+    Term.(
+      const serve $ obs_term $ socket_arg $ tcp_port_arg $ workers $ quantum
+      $ quantum_seconds $ store $ verbose)
+
+(* One-shot client: print the daemon's JSON reply line and exit through
+   the taxonomy (a waited-for job propagates its own exit code). *)
+let client () socket tcp_port op id views q0 stages engine machine steps seed
+    cases job_quantum timeout =
+  let conn =
+    let tcp = Option.map (fun p -> ("127.0.0.1", p)) tcp_port in
+    match Serve.Client.connect ?tcp ~socket () with
+    | Ok c -> c
+    | Error m ->
+        Format.eprintf "error: %s@." m;
+        exit 2
+  in
+  let fail m =
+    Format.eprintf "error: %s@." m;
+    exit 2
+  in
+  let need_id () =
+    match id with Some id -> id | None -> fail "this op needs a job id"
+  in
+  let print_reply reply = print_endline (Serve.Json.to_string reply) in
+  let job_exit reply =
+    match
+      Option.bind (Serve.Json.member "job" reply) (Serve.Json.mem_int "exit_code")
+    with
+    | Some c -> exit c
+    | None -> ()
+  in
+  let spec_of_op kind =
+    match kind with
+    | "submit-chase" | "submit-determinacy" ->
+        let q0 = match q0 with Some q -> q | None -> fail "missing --q0" in
+        if views = [] then fail "missing --view";
+        let views = List.mapi (fun i r -> (Printf.sprintf "v%d" i, r)) views in
+        if kind = "submit-chase" then
+          Serve.Job.Chase { views; q0; max_stages = stages; engine }
+        else Serve.Job.Determinacy { views; q0; max_stages = stages; engine }
+    | "submit-worm" ->
+        let machine =
+          match machine with Some m -> m | None -> fail "missing --machine"
+        in
+        Serve.Job.Worm { machine; steps }
+    | _ -> Serve.Job.Audit { seed; cases; max_stages = stages }
+  in
+  let result =
+    match op with
+    | "ping" -> Serve.Client.ping conn
+    | "jobs" -> Serve.Client.jobs conn
+    | "stats" -> Serve.Client.stats conn
+    | "drain" -> Serve.Client.drain conn
+    | "status" -> Serve.Client.status conn (need_id ())
+    | "cancel" -> Serve.Client.cancel conn (need_id ())
+    | "wait" -> (
+        match Serve.Client.wait_terminal ?poll_s:timeout conn (need_id ()) with
+        | Error m -> Error m
+        | Ok job ->
+            let reply = Serve.Json.Obj [ ("ok", Serve.Json.Bool true); ("job", job) ] in
+            print_reply reply;
+            job_exit reply;
+            exit 0)
+    | ("submit-chase" | "submit-determinacy" | "submit-worm" | "submit-audit")
+      as kind -> (
+        let spec = spec_of_op kind in
+        match Serve.Client.submit conn ?quantum:job_quantum spec with
+        | Error m -> Error m
+        | Ok id -> Ok (Serve.Json.Obj [ ("ok", Serve.Json.Bool true); ("id", Serve.Json.String id) ]))
+    | op -> fail (Printf.sprintf "unknown op %s" op)
+  in
+  Serve.Client.close conn;
+  match result with
+  | Ok reply ->
+      print_reply reply;
+      job_exit reply
+  | Error m ->
+      Format.eprintf "error: %s@." m;
+      exit 1
+
+let client_cmd =
+  let op =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OP"
+          ~doc:
+            "One of: ping, submit-chase, submit-determinacy, submit-worm,              submit-audit, status, wait, cancel, jobs, stats, drain.")
+  in
+  let id = Arg.(value & pos 1 (some string) None & info [] ~docv:"JOB") in
+  let views =
+    Arg.(
+      value & opt_all string []
+      & info [ "view"; "v" ] ~docv:"RULE" ~doc:"A view rule (repeatable).")
+  in
+  let q0 =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "q0"; "q" ] ~docv:"RULE" ~doc:"The query rule.")
+  in
+  let stages =
+    Arg.(value & opt int 64 & info [ "stages" ] ~doc:"Job stage budget.")
+  in
+  let machine =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "machine" ] ~docv:"NAME" ~doc:"Zoo machine of a worm job.")
+  in
+  let steps =
+    Arg.(value & opt int 200 & info [ "steps" ] ~doc:"Worm step budget.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Audit seed.") in
+  let cases =
+    Arg.(value & opt int 50 & info [ "cases" ] ~doc:"Audit case count.")
+  in
+  let job_quantum =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "quantum" ] ~docv:"STAGES"
+          ~doc:"Per-job preemption quantum override.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SEC" ~doc:"Poll interval for wait.")
+  in
+  Cmd.v
+    (Cmd.info "client" ~exits
+       ~doc:
+         "Talk to a running redspiderd: submit jobs, query status, wait           for results, cancel, or drain the daemon.")
+    Term.(
+      const client $ obs_term $ socket_arg $ tcp_port_arg $ op $ id $ views
+      $ q0 $ stages $ engine_arg $ machine $ steps $ seed $ cases
+      $ job_quantum $ timeout)
+
 let () =
   let doc = "Red Spider Meets a Rainworm — PODS 2016, executable" in
   exit
@@ -601,5 +804,5 @@ let () =
           [
             tinf_cmd; collide_cmd; worm_cmd; reduce_cmd; finite_model_cmd;
             theorem2_cmd; determinacy_cmd; chase_cmd; analyze_cmd; audit_cmd;
-            faults_cmd;
+            faults_cmd; serve_cmd; client_cmd;
           ]))

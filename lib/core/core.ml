@@ -21,6 +21,7 @@
      Ef           Ehrenfeucht–Fraïssé games and Theorem 2
      Oracle       differential-testing and invariant-audit harness
      Resilience   resource governor, checkpoint/resume, failpoints
+     Serve        redspiderd: the preemptive job daemon + client
      Obs          monotonic clock, metrics registry, span tracing *)
 
 module Obs = Obs
@@ -39,6 +40,7 @@ module Reduction = Reduction
 module Determinacy = Determinacy
 module Ef = Ef
 module Oracle = Oracle
+module Serve = Serve
 
 (* --- the paper's headline statements, as runnable functions ----------- *)
 

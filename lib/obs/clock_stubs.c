@@ -1,0 +1,28 @@
+/* Monotonic clock stub.
+
+   Obs.Clock.now_s must never move backwards: the governor compares
+   absolute deadlines against it and the span/bench timers subtract
+   consecutive samples, so an NTP step on the wall clock would fire
+   deadlines early or produce negative durations.  CLOCK_MONOTONIC is
+   immune to clock_settime/NTP jumps (it is subject only to gradual
+   NTP rate slewing, which cannot run it backwards). */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value redspider_clock_monotonic_s(value unit)
+{
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+  /* No monotonic clock (should not happen on any supported target):
+     fall back to the wall clock; the OCaml-side monotonize wrapper
+     still clamps backwards steps. */
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+}

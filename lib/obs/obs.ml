@@ -13,11 +13,23 @@ let trace_on = ref false
 (* --- clock ------------------------------------------------------------ *)
 
 module Clock = struct
-  let raw_s = Unix.gettimeofday
+  (* CLOCK_MONOTONIC via a C stub (see clock_stubs.c).  Arbitrary epoch;
+     immune to NTP steps, so deadline arithmetic and span durations can
+     never see time move backwards. *)
+  external monotonic_s : unit -> float = "redspider_clock_monotonic_s"
+
+  let raw_s = monotonic_s
+
+  (* The wall clock.  Kept only for epoch stamps in exported artifacts
+     (trace files, job manifests); never used for durations or
+     deadlines. *)
+  let wall_s = Unix.gettimeofday
 
   (* Clamp a possibly non-monotonic sampler to its running maximum: a
      backwards clock step reads as a 0-length interval instead of a
-     negative one. *)
+     negative one.  With [raw_s] on CLOCK_MONOTONIC this is belt and
+     braces (the stub's wall-clock fallback is the one path that could
+     still step). *)
   let monotonize sample =
     let last = ref neg_infinity in
     fun () ->
@@ -210,7 +222,16 @@ module Trace = struct
   let count = ref 0
   let epoch = ref nan
 
-  let stamp_epoch () = if Float.is_nan !epoch then epoch := Clock.now_s ()
+  (* The wall-clock time at which the (monotonic) epoch was stamped: the
+     one place wall time enters a trace, so exported (relative,
+     monotonic) timestamps can be anchored to civil time. *)
+  let epoch_wall = ref nan
+
+  let stamp_epoch () =
+    if Float.is_nan !epoch then begin
+      epoch := Clock.now_s ();
+      epoch_wall := Clock.wall_s ()
+    end
 
   let with_span name ?args f =
     if not !trace_on then f ()
@@ -247,6 +268,18 @@ module Trace = struct
     let epoch = if Float.is_nan !epoch then 0. else !epoch in
     Buffer.add_string b "[";
     let first = ref true in
+    (* Anchor event: the wall-clock time of the trace epoch, as an
+       instant at ts 0.  Every other timestamp is monotonic-relative. *)
+    if not (Float.is_nan !epoch_wall) then begin
+      first := false;
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n{\"name\": \"trace_epoch\", \"cat\": \"redspider\", \"ph\": \
+            \"I\", \"pid\": 1, \"tid\": 1, \"ts\": 0.000, \"args\": \
+            {\"wall_s\": %d, \"wall_us\": %d}}"
+           (int_of_float !epoch_wall)
+           (int_of_float (Float.rem !epoch_wall 1. *. 1e6)))
+    end;
     List.iter
       (fun e ->
         if not !first then Buffer.add_char b ',';

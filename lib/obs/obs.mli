@@ -29,9 +29,17 @@ val disable_all : unit -> unit
 (** {1 Clock} *)
 
 module Clock : sig
-  (** The raw wall clock ([Unix.gettimeofday], seconds).  Non-monotonic:
-      NTP steps can move it backwards. *)
+  (** The raw monotonic clock (CLOCK_MONOTONIC via a C stub, seconds
+      from an arbitrary epoch).  Immune to NTP steps: deadlines compared
+      against it cannot fire early and span durations cannot go
+      negative. *)
   val raw_s : unit -> float
+
+  (** The wall clock ([Unix.gettimeofday]).  Non-monotonic — NTP steps
+      can move it backwards — so it is used only for epoch fields of
+      exported artifacts (trace files, job manifests), never for
+      durations or deadline arithmetic. *)
+  val wall_s : unit -> float
 
   (** [monotonize sample] wraps a possibly non-monotonic sampler into a
       non-decreasing one: a sample below the running maximum is clamped
@@ -39,8 +47,10 @@ module Clock : sig
       reading 0 across a backwards step). *)
   val monotonize : (unit -> float) -> unit -> float
 
-  (** The process-wide monotonized clock, in seconds.  All obs
-      timestamps and all bench timings go through this. *)
+  (** The process-wide monotonic clock, in seconds (monotonized as belt
+      and braces around the stub's wall-clock fallback).  All obs
+      timestamps, governor deadlines and bench timings go through
+      this. *)
   val now_s : unit -> float
 end
 

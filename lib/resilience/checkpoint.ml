@@ -1,15 +1,31 @@
-(* Atomic checkpoint files.
+(* Atomic, durable checkpoint files.
 
    Format: one header line
 
      REDSPIDER-CKPT-1 <kind> <md5-hex-of-payload> <payload-length>\n
 
-   followed by the Marshal payload.  Writes go to [path ^ ".tmp"] and
-   are published with [Sys.rename], which is atomic on POSIX: a reader
-   of [path] sees either the previous checkpoint or the new one, never
-   a torn file.  The digest additionally catches a torn or corrupted
-   *published* file (e.g. a copy truncated out-of-band), so [load]
-   always either returns the exact snapshot or a clean error.
+   followed by the Marshal payload.  Writes go to a *unique* temp file
+   next to [path] and are published with [Sys.rename], which is atomic
+   on POSIX: a reader of [path] sees either the previous checkpoint or
+   the new one, never a torn file.
+
+   Durability: the temp fd is fsynced before the rename and the
+   containing directory is fsynced after it.  Without the first fsync a
+   crash shortly after "publish" can leave [path] pointing at pages the
+   kernel never flushed — an empty or torn file whose digest check then
+   rejects it, silently losing the *previous* good checkpoint that the
+   rename replaced.  Without the second, the rename itself may not have
+   reached disk.  The digest additionally catches out-of-band corruption
+   of a published file, so [load] always either returns the exact
+   snapshot or a clean error.
+
+   Temp names embed the pid and a process-wide counter
+   ([path ^ ".tmp.<pid>.<n>"]): two concurrent writers — two daemon
+   workers suspending jobs to the same store, or a daemon and a CLI run
+   sharing a path — each write their own temp file and publish with
+   their own rename, so the last rename wins with a *consistent*
+   payload; a fixed suffix would let them interleave writes into one
+   file and publish a mismatched header/payload pair.
 
    The payload is produced by [Marshal] without closures: every snapshot
    type in this repo (Structure.t, Graph.t, the engine snapshot records)
@@ -23,44 +39,92 @@ let magic = "REDSPIDER-CKPT-1"
    to copy a live structure for a snapshot. *)
 let clone v = Marshal.from_string (Marshal.to_string v []) 0
 
-let save ~kind path v =
-  if String.contains kind ' ' then invalid_arg "Checkpoint.save: kind has a space";
-  let payload = Marshal.to_string v [] in
-  let digest = Digest.to_hex (Digest.string payload) in
-  let tmp = path ^ ".tmp" in
+(* Process-wide temp-name counter; atomic because daemon pool workers
+   checkpoint concurrently. *)
+let tmp_counter = Atomic.make 0
+
+let fresh_tmp path =
+  Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+    (Atomic.fetch_and_add tmp_counter 1)
+
+(* Directory fsync after rename, so the publish itself is on disk.
+   Best-effort: some filesystems refuse to fsync a directory fd, and a
+   failure here cannot un-publish the checkpoint. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let error_message = function
+  | Sys_error m -> m
+  | Unix.Unix_error (e, fn, arg) ->
+      Printf.sprintf "%s: %s (%s)" fn (Unix.error_message e) arg
+  | e -> Printexc.to_string e
+
+(* Write [emit]'s output to a unique temp file, fsync it, publish it at
+   [path] with an atomic rename, and fsync the directory.  The temp file
+   is removed on *every* failure — including exceptions other than
+   [Sys_error]/[Unix_error], which are re-raised after cleanup rather
+   than silently leaking the temp. *)
+let publish_atomic path emit =
+  let tmp = fresh_tmp path in
+  let cleanup () =
+    try Sys.remove tmp with Sys_error _ | Unix.Unix_error _ -> ()
+  in
   let write () =
-    let oc = open_out_bin tmp in
+    let fd =
+      Unix.openfile tmp
+        [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+        0o644
+    in
+    let oc = Unix.out_channel_of_descr fd in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
       (fun () ->
-        Printf.fprintf oc "%s %s %s %d\n" magic kind digest
-          (String.length payload);
-        (* the crash-mid-write failpoint: half the payload lands in the
-           tmp file, the rename below never happens *)
-        if Failpoint.fire "checkpoint.write" then begin
-          output_substring oc payload 0 (String.length payload / 2);
-          flush oc;
-          raise (Failpoint.Injected "checkpoint.write")
-        end;
-        output_string oc payload;
-        flush oc)
+        emit oc;
+        flush oc;
+        Unix.fsync fd)
   in
-  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
-  try
+  match
     write ();
     Sys.rename tmp path;
-    Ok ()
+    fsync_dir (Filename.dirname path)
   with
-  | Failpoint.Injected site ->
+  | () -> Ok ()
+  | exception Failpoint.Injected site ->
       cleanup ();
       Error
         (Printf.sprintf
            "fault injected at %s: checkpoint not published (previous \
             checkpoint, if any, is intact)"
            site)
-  | Sys_error m ->
+  | exception ((Sys_error _ | Unix.Unix_error _) as e) ->
       cleanup ();
-      Error m
+      Error (error_message e)
+  | exception e ->
+      cleanup ();
+      raise e
+
+let write_atomic path content =
+  publish_atomic path (fun oc -> output_string oc content)
+
+let save ~kind path v =
+  if String.contains kind ' ' then invalid_arg "Checkpoint.save: kind has a space";
+  let payload = Marshal.to_string v [] in
+  let digest = Digest.to_hex (Digest.string payload) in
+  publish_atomic path (fun oc ->
+      Printf.fprintf oc "%s %s %s %d\n" magic kind digest
+        (String.length payload);
+      (* the crash-mid-write failpoint: half the payload lands in the
+         temp file, the rename never happens *)
+      if Failpoint.fire "checkpoint.write" then begin
+        output_substring oc payload 0 (String.length payload / 2);
+        flush oc;
+        raise (Failpoint.Injected "checkpoint.write")
+      end;
+      output_string oc payload)
 
 let load ~kind path =
   try
@@ -75,12 +139,28 @@ let load ~kind path =
               Error
                 (Printf.sprintf "checkpoint kind mismatch: wanted %s, file has %s"
                    kind k)
-            else
-              let n = int_of_string len in
-              let payload = really_input_string ic n in
-              if Digest.to_hex (Digest.string payload) <> digest then
-                Error "checkpoint digest mismatch (torn or corrupt file)"
-              else Ok (Marshal.from_string payload 0)
+            else (
+              (* The header length is untrusted input (the daemon loads
+                 checkpoints it did not write): a negative value would
+                 crash [really_input_string] and an absurdly large one
+                 would try to allocate it.  Anything outside the bytes
+                 actually present is the same clean error a torn file
+                 gets. *)
+              match int_of_string_opt len with
+              | None -> Error "bad checkpoint header"
+              | Some n ->
+                  let remaining = in_channel_length ic - pos_in ic in
+                  if n < 0 || n > remaining then
+                    Error
+                      (Printf.sprintf
+                         "bad checkpoint payload length %d (file has %d \
+                          bytes after the header)"
+                         n remaining)
+                  else
+                    let payload = really_input_string ic n in
+                    if Digest.to_hex (Digest.string payload) <> digest then
+                      Error "checkpoint digest mismatch (torn or corrupt file)"
+                    else Ok (Marshal.from_string payload 0))
         | _ -> Error "bad checkpoint header")
   with
   | End_of_file -> Error "truncated checkpoint"

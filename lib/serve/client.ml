@@ -1,0 +1,115 @@
+(* The thin client side of the wire protocol: connect, write one JSON
+   line, read one JSON line back.  Blocking by design — callers that
+   want concurrency open several connections (the daemon multiplexes
+   them with [select]). *)
+
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ?tcp ~socket () =
+  match
+    let fd =
+      match tcp with
+      | Some (host, port) ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          let addr =
+            try Unix.inet_addr_of_string host
+            with Failure _ -> (
+              match Unix.gethostbyname host with
+              | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+              | h -> h.Unix.h_addr_list.(0))
+          in
+          Unix.connect fd (Unix.ADDR_INET (addr, port));
+          fd
+      | None ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX socket);
+          fd
+    in
+    { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  with
+  | conn -> Ok conn
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "connect: %s" (Unix.error_message e))
+  | exception Not_found -> Error "connect: host not found"
+
+let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let request conn (req : Json.t) =
+  match
+    output_string conn.oc (Json.to_string req);
+    output_char conn.oc '\n';
+    flush conn.oc;
+    input_line conn.ic
+  with
+  | line -> Json.parse line
+  | exception End_of_file -> Error "daemon closed the connection"
+  | exception Sys_error m -> Error m
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+(* A request that must come back [ok: true]; flattens protocol and
+   daemon errors into one [Error _]. *)
+let request_ok conn req =
+  match request conn req with
+  | Error _ as e -> e
+  | Ok reply -> (
+      match Json.mem_bool "ok" reply with
+      | Some true -> Ok reply
+      | _ ->
+          Error
+            (Option.value ~default:"daemon refused the request"
+               (Json.mem_str "error" reply)))
+
+(* --- convenience ops ---------------------------------------------------- *)
+
+let op name fields = Json.Obj (("op", Json.String name) :: fields)
+
+let ping conn = request_ok conn (op "ping" [])
+
+let submit conn ?quantum spec =
+  let fields = [ ("spec", Job.spec_to_json spec) ] in
+  let fields =
+    match quantum with
+    | Some q -> ("quantum", Json.Int q) :: fields
+    | None -> fields
+  in
+  Result.bind (request_ok conn (op "submit" fields)) (fun reply ->
+      match Json.mem_str "id" reply with
+      | Some id -> Ok id
+      | None -> Error "submit reply carried no id")
+
+let status conn id = request_ok conn (op "status" [ ("id", Json.String id) ])
+
+let wait conn ?timeout_s id =
+  let fields = [ ("id", Json.String id) ] in
+  let fields =
+    match timeout_s with
+    | Some s -> ("timeout_s", Json.Float s) :: fields
+    | None -> fields
+  in
+  request_ok conn (op "wait" fields)
+
+let cancel conn id = request_ok conn (op "cancel" [ ("id", Json.String id) ])
+let jobs conn = request_ok conn (op "jobs" [])
+let stats conn = request_ok conn (op "stats" [])
+let drain conn = request_ok conn (op "drain" [])
+
+(* The job object of a status/wait reply. *)
+let job_of_reply reply =
+  match Json.member "job" reply with
+  | Some j -> Ok j
+  | None -> Error "reply carried no job"
+
+(* Block until [id] is terminal, re-issuing bounded waits so a slow job
+   does not hold one socket read forever. *)
+let rec wait_terminal ?(poll_s = 5.) conn id =
+  match wait conn ~timeout_s:poll_s id with
+  | Error _ as e -> e
+  | Ok reply -> (
+      match job_of_reply reply with
+      | Error _ as e -> e
+      | Ok j -> (
+          match Json.mem_str "state" j with
+          | Some ("done" | "faulted" | "cancelled") -> Ok j
+          | _ ->
+              if Json.mem_bool "draining" reply = Some true then Ok j
+              else wait_terminal ~poll_s conn id))

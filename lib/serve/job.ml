@@ -1,0 +1,390 @@
+(* Jobs: what the daemon runs.
+
+   A job is a self-contained work description decoded from the wire (and
+   persisted verbatim in its manifest), plus the mutable lifecycle state
+   the scheduler drives:
+
+     queued -> running -> done | faulted | cancelled
+                  \-> suspended -> (requeued) running -> ...
+
+   [Suspended] means the job exhausted its preemption quantum: its
+   engine snapshot sits in the job store as a checkpoint and the job
+   goes back to the run queue, so a divergent chase (which the source
+   paper guarantees exists) never monopolizes a worker.  Only chase jobs
+   suspend — the other classes are bounded by their own budgets and run
+   to completion within a slice.
+
+   Everything on the wire uses the PR 5 outcome taxonomy
+   ([Governor.pp_outcome] strings and the documented exit codes). *)
+
+type engine = Tgd.Chase.engine
+
+type spec =
+  | Chase of {
+      views : (string * string) list; (* (name, rule) as submitted *)
+      q0 : string;
+      max_stages : int;
+      engine : engine;
+    }
+  | Determinacy of {
+      views : (string * string) list;
+      q0 : string;
+      max_stages : int;
+      engine : engine;
+    }
+  | Worm of { machine : string; steps : int }
+  | Audit of { seed : int; cases : int; max_stages : int }
+
+type result_ = {
+  outcome : string;  (* Governor.pp_outcome string, or a class verdict *)
+  exit_code : int;   (* the PR 5 exit taxonomy for this outcome *)
+  digest : string;   (* canonical digest of the produced artifact; "" if n/a *)
+  detail : (string * Json.t) list; (* class-specific numbers *)
+}
+
+type state =
+  | Queued
+  | Running
+  | Suspended
+  | Done of result_
+  | Faulted of string
+  | Cancelled
+
+type t = {
+  id : string;
+  seq : int;
+  spec : spec;
+  quantum_override : int option; (* per-job stage quantum, if requested *)
+  submitted_wall_s : float;      (* wall clock, epoch field only *)
+  mutable state : state;
+  mutable slices : int;          (* quanta executed so far *)
+  mutable stages_done : int;     (* chase: last completed (absolute) stage *)
+  mutable wall_s : float;        (* total on-worker wall clock *)
+  mutable applications : int;
+  mutable considered : int;
+}
+
+let id_of_seq seq = Printf.sprintf "j%06d" seq
+
+let make ~seq ?quantum spec =
+  {
+    id = id_of_seq seq;
+    seq;
+    spec;
+    quantum_override = quantum;
+    submitted_wall_s = Obs.Clock.wall_s ();
+    state = Queued;
+    slices = 0;
+    stages_done = 0;
+    wall_s = 0.;
+    applications = 0;
+    considered = 0;
+  }
+
+let kind = function
+  | Chase _ -> "chase"
+  | Determinacy _ -> "determinacy"
+  | Worm _ -> "worm"
+  | Audit _ -> "audit"
+
+let state_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Suspended -> "suspended"
+  | Done _ -> "done"
+  | Faulted _ -> "faulted"
+  | Cancelled -> "cancelled"
+
+(* A job in a terminal state will never run again. *)
+let terminal j =
+  match j.state with
+  | Done _ | Faulted _ | Cancelled -> true
+  | Queued | Running | Suspended -> false
+
+(* --- engines ----------------------------------------------------------- *)
+
+let engine_name : engine -> string = function
+  | `Stage -> "stage"
+  | `Seminaive -> "seminaive"
+  | `Oblivious -> "oblivious"
+  | `Par -> "par"
+
+let engine_of_name : string -> engine option = function
+  | "stage" -> Some `Stage
+  | "seminaive" -> Some `Seminaive
+  | "oblivious" -> Some `Oblivious
+  | "par" -> Some `Par
+  | _ -> None
+
+(* --- outcome strings --------------------------------------------------- *)
+
+let outcome_string (o : Resilience.Governor.outcome) =
+  Format.asprintf "%a" Resilience.Governor.pp_outcome o
+
+let result_of_outcome ?(digest = "") ?(detail = []) o =
+  {
+    outcome = outcome_string o;
+    exit_code = Resilience.Governor.exit_code o;
+    digest;
+    detail;
+  }
+
+(* --- view parsing ------------------------------------------------------ *)
+
+(* Views and q0 are validated at submit time, so a malformed rule is a
+   synchronous error response instead of a faulted job. *)
+let parse_rules views q0 =
+  let ( let* ) = Result.bind in
+  let rec parse_views acc = function
+    | [] -> Ok (List.rev acc)
+    | (_, rule) :: rest -> (
+        match Cq.Parse.named_query rule with
+        | Ok nq -> parse_views (nq :: acc) rest
+        | Error m -> Error (Printf.sprintf "bad view %S: %s" rule m))
+  in
+  let* views = parse_views [] views in
+  match Cq.Parse.named_query q0 with
+  | Ok (_, q0) -> Ok (views, q0)
+  | Error m -> Error (Printf.sprintf "bad q0 %S: %s" q0 m)
+
+let validate spec =
+  match spec with
+  | Chase { views; q0; max_stages; _ }
+  | Determinacy { views; q0; max_stages; _ } ->
+      if max_stages <= 0 then Error "max_stages must be positive"
+      else Result.map (fun _ -> ()) (parse_rules views q0)
+  | Worm { machine; steps } ->
+      if steps <= 0 then Error "steps must be positive"
+      else if Option.is_none (List.assoc_opt machine Zoo_table.machines) then
+        Error
+          (Printf.sprintf "unknown machine %s (try: %s)" machine
+             (String.concat ", " (List.map fst Zoo_table.machines)))
+      else Ok ()
+  | Audit { cases; _ } ->
+      if cases <= 0 then Error "cases must be positive" else Ok ()
+
+(* --- structure digest -------------------------------------------------- *)
+
+(* Canonical digest of a chased structure: the journal (order included)
+   rendered to text, plus the element count.  Textual rather than
+   [Marshal] bytes so physical sharing differences between two runs that
+   built equal values can never flip the digest — this is the witness the
+   bit-identity tests compare across preempted vs uninterrupted runs. *)
+let structure_digest d =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun f ->
+      Buffer.add_string b (Format.asprintf "%a" (Relational.Fact.pp ()) f);
+      Buffer.add_char b '\n')
+    (Relational.Structure.delta_since d 0);
+  Buffer.add_string b (Printf.sprintf "card=%d" (Relational.Structure.card d));
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* --- wire encoding ----------------------------------------------------- *)
+
+let spec_to_json spec =
+  let views_json vs =
+    Json.List
+      (List.map
+         (fun (n, r) -> Json.Obj [ ("name", Json.String n); ("rule", Json.String r) ])
+         vs)
+  in
+  match spec with
+  | Chase { views; q0; max_stages; engine } ->
+      Json.Obj
+        [
+          ("kind", Json.String "chase");
+          ("views", views_json views);
+          ("q0", Json.String q0);
+          ("max_stages", Json.Int max_stages);
+          ("engine", Json.String (engine_name engine));
+        ]
+  | Determinacy { views; q0; max_stages; engine } ->
+      Json.Obj
+        [
+          ("kind", Json.String "determinacy");
+          ("views", views_json views);
+          ("q0", Json.String q0);
+          ("max_stages", Json.Int max_stages);
+          ("engine", Json.String (engine_name engine));
+        ]
+  | Worm { machine; steps } ->
+      Json.Obj
+        [
+          ("kind", Json.String "worm");
+          ("machine", Json.String machine);
+          ("steps", Json.Int steps);
+        ]
+  | Audit { seed; cases; max_stages } ->
+      Json.Obj
+        [
+          ("kind", Json.String "audit");
+          ("seed", Json.Int seed);
+          ("cases", Json.Int cases);
+          ("max_stages", Json.Int max_stages);
+        ]
+
+let spec_of_json j =
+  let ( let* ) = Result.bind in
+  let req what = function Some v -> Ok v | None -> Error ("missing " ^ what) in
+  let views () =
+    match Json.mem_list "views" j with
+    | None -> Error "missing views"
+    | Some vs ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | v :: rest -> (
+              match (Json.mem_str "name" v, Json.mem_str "rule" v) with
+              | Some n, Some r -> go ((n, r) :: acc) rest
+              | _ -> (
+                  (* also accept a bare rule string; the name is parsed
+                     out of the rule head anyway *)
+                  match Json.to_str v with
+                  | Some r -> go (("", r) :: acc) rest
+                  | None -> Error "bad view entry"))
+        in
+        go [] vs
+  in
+  let engine () =
+    match Json.mem_str "engine" j with
+    | None -> Ok `Seminaive
+    | Some s -> (
+        match engine_of_name s with
+        | Some e -> Ok e
+        | None -> Error (Printf.sprintf "unknown engine %s" s))
+  in
+  let* k = req "kind" (Json.mem_str "kind" j) in
+  match k with
+  | "chase" ->
+      let* views = views () in
+      let* q0 = req "q0" (Json.mem_str "q0" j) in
+      let* engine = engine () in
+      let max_stages = Option.value (Json.mem_int "max_stages" j) ~default:64 in
+      Ok (Chase { views; q0; max_stages; engine })
+  | "determinacy" ->
+      let* views = views () in
+      let* q0 = req "q0" (Json.mem_str "q0" j) in
+      let* engine = engine () in
+      let max_stages = Option.value (Json.mem_int "max_stages" j) ~default:32 in
+      Ok (Determinacy { views; q0; max_stages; engine })
+  | "worm" ->
+      let* machine = req "machine" (Json.mem_str "machine" j) in
+      let steps = Option.value (Json.mem_int "steps" j) ~default:200 in
+      Ok (Worm { machine; steps })
+  | "audit" ->
+      let seed = Option.value (Json.mem_int "seed" j) ~default:42 in
+      let cases = Option.value (Json.mem_int "cases" j) ~default:50 in
+      let max_stages = Option.value (Json.mem_int "max_stages" j) ~default:4 in
+      Ok (Audit { seed; cases; max_stages })
+  | k -> Error (Printf.sprintf "unknown job kind %s" k)
+
+let result_to_json r =
+  Json.Obj
+    ([
+       ("outcome", Json.String r.outcome);
+       ("exit_code", Json.Int r.exit_code);
+       ("digest", Json.String r.digest);
+     ]
+    @ r.detail)
+
+let result_of_json j =
+  let outcome = Option.value (Json.mem_str "outcome" j) ~default:"?" in
+  let exit_code = Option.value (Json.mem_int "exit_code" j) ~default:1 in
+  let digest = Option.value (Json.mem_str "digest" j) ~default:"" in
+  let detail =
+    match j with
+    | Json.Obj kvs ->
+        List.filter
+          (fun (k, _) -> k <> "outcome" && k <> "exit_code" && k <> "digest")
+          kvs
+    | _ -> []
+  in
+  { outcome; exit_code; digest; detail }
+
+(* The job summary shown by status/jobs responses. *)
+let summary_json j =
+  Json.Obj
+    ([
+       ("id", Json.String j.id);
+       ("kind", Json.String (kind j.spec));
+       ("state", Json.String (state_name j.state));
+       ("slices", Json.Int j.slices);
+       ("stages_done", Json.Int j.stages_done);
+       ("wall_s", Json.Float j.wall_s);
+       ("applications", Json.Int j.applications);
+       ("triggers_considered", Json.Int j.considered);
+     ]
+    @ (match j.state with
+      | Done r -> [ ("result", result_to_json r) ]
+      | Faulted m -> [ ("error", Json.String m) ]
+      | _ -> []))
+
+(* --- manifest (de)serialization ---------------------------------------- *)
+
+let manifest_json j =
+  Json.Obj
+    [
+      ("id", Json.String j.id);
+      ("seq", Json.Int j.seq);
+      ("spec", spec_to_json j.spec);
+      ( "quantum",
+        match j.quantum_override with None -> Json.Null | Some q -> Json.Int q );
+      ("submitted_wall_s", Json.Float j.submitted_wall_s);
+      ("state", Json.String (state_name j.state));
+      ( "result",
+        match j.state with Done r -> result_to_json r | _ -> Json.Null );
+      ( "fault",
+        match j.state with Faulted m -> Json.String m | _ -> Json.Null );
+      ("slices", Json.Int j.slices);
+      ("stages_done", Json.Int j.stages_done);
+      ("wall_s", Json.Float j.wall_s);
+      ("applications", Json.Int j.applications);
+      ("considered", Json.Int j.considered);
+    ]
+
+let manifest_of_json j =
+  let ( let* ) = Result.bind in
+  let* id =
+    match Json.mem_str "id" j with Some v -> Ok v | None -> Error "missing id"
+  in
+  let* seq =
+    match Json.mem_int "seq" j with Some v -> Ok v | None -> Error "missing seq"
+  in
+  let* spec =
+    match Json.member "spec" j with
+    | Some s -> spec_of_json s
+    | None -> Error "missing spec"
+  in
+  let state_s = Option.value (Json.mem_str "state" j) ~default:"queued" in
+  let* state =
+    match state_s with
+    | "queued" -> Ok Queued
+    (* a manifest frozen mid-run means the daemon crashed inside a
+       slice: the slice's work is lost, but the last published
+       checkpoint (if any) is intact — recover as suspended/queued *)
+    | "running" -> Ok Running
+    | "suspended" -> Ok Suspended
+    | "done" -> (
+        match Json.member "result" j with
+        | Some r -> Ok (Done (result_of_json r))
+        | None -> Error "done manifest without result")
+    | "faulted" ->
+        Ok (Faulted (Option.value (Json.mem_str "fault" j) ~default:"?"))
+    | "cancelled" -> Ok Cancelled
+    | s -> Error (Printf.sprintf "unknown state %s" s)
+  in
+  Ok
+    {
+      id;
+      seq;
+      spec;
+      quantum_override = Json.mem_int "quantum" j;
+      submitted_wall_s =
+        Option.value (Json.mem_float "submitted_wall_s" j) ~default:0.;
+      state;
+      slices = Option.value (Json.mem_int "slices" j) ~default:0;
+      stages_done = Option.value (Json.mem_int "stages_done" j) ~default:0;
+      wall_s = Option.value (Json.mem_float "wall_s" j) ~default:0.;
+      applications = Option.value (Json.mem_int "applications" j) ~default:0;
+      considered = Option.value (Json.mem_int "considered" j) ~default:0;
+    }

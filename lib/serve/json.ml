@@ -1,0 +1,271 @@
+(* A minimal JSON value type with a recursive-descent parser and a
+   compact printer — just enough for the daemon's newline-delimited wire
+   protocol and the job manifests.  No external dependency: the repo
+   deliberately ships its own ~200 lines instead of pulling in a JSON
+   library the container may not have.
+
+   Numbers without [.eE] parse as [Int] (OCaml 63-bit); anything else as
+   [Float].  Strings decode the standard escapes; [\uXXXX] is encoded
+   back to UTF-8 bytes (surrogate pairs are not recombined — the wire
+   protocol never carries them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- printing ---------------------------------------------------------- *)
+
+let escape_into b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec print_into b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string b (Printf.sprintf "%.1f" f)
+      else Buffer.add_string b (Printf.sprintf "%.12g" f)
+  | String s -> escape_into b s
+  | List vs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          print_into b v)
+        vs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape_into b k;
+          Buffer.add_char b ':';
+          print_into b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  print_into b v;
+  Buffer.contents b
+
+(* --- parsing ----------------------------------------------------------- *)
+
+exception Bad of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail m = raise (Bad (Printf.sprintf "%s at offset %d" m !pos)) in
+  let rec ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let h = String.sub s !pos 4 in
+    pos := !pos + 4;
+    match int_of_string_opt ("0x" ^ h) with
+    | Some c -> c
+    | None -> fail "bad \\u escape"
+  in
+  let utf8_into b c =
+    if c < 0x80 then Buffer.add_char b (Char.chr c)
+    else if c < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xc0 lor (c lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (c land 0x3f)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xe0 lor (c lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((c lsr 6) land 0x3f)));
+      Buffer.add_char b (Char.chr (0x80 lor (c land 0x3f)))
+    end
+  in
+  let string_body () =
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+          advance ();
+          Buffer.contents b
+      | '\\' ->
+          advance ();
+          if !pos >= n then fail "unterminated escape";
+          let c = s.[!pos] in
+          advance ();
+          (match c with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' -> utf8_into b (hex4 ())
+          | _ -> fail "bad escape");
+          go ()
+      | c when Char.code c < 0x20 -> fail "raw control character in string"
+      | c ->
+          advance ();
+          Buffer.add_char b c;
+          go ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    let num_char c =
+      c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      || (c >= '0' && c <= '9')
+    in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') lit then
+      match float_of_string_opt lit with
+      | Some f -> Float f
+      | None -> fail "bad number"
+    else
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> (
+          (* integer literal overflowing 63 bits: keep it as a float *)
+          match float_of_string_opt lit with
+          | Some f -> Float f
+          | None -> fail "bad number")
+  in
+  let rec value () =
+    ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            ws ();
+            expect '"';
+            let k = string_body () in
+            ws ();
+            expect ':';
+            let v = value () in
+            ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elems acc =
+            let v = value () in
+            ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems (v :: acc)
+            | Some ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elems []
+        end
+    | Some '"' ->
+        advance ();
+        String (string_body ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some c when c = '-' || (c >= '0' && c <= '9') -> number ()
+    | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+  in
+  match
+    let v = value () in
+    ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad m -> Error m
+
+(* --- accessors --------------------------------------------------------- *)
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let to_int = function Int i -> Some i | Float f when Float.is_integer f -> Some (int_of_float f) | _ -> None
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+let to_str = function String s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List vs -> Some vs | _ -> None
+
+let string_list v =
+  Option.bind (to_list v) (fun vs ->
+      let ss = List.filter_map to_str vs in
+      if List.length ss = List.length vs then Some ss else None)
+
+(* Typed member lookups, for decoding requests/manifests. *)
+let mem_int k v = Option.bind (member k v) to_int
+let mem_float k v = Option.bind (member k v) to_float
+let mem_str k v = Option.bind (member k v) to_str
+let mem_bool k v = Option.bind (member k v) to_bool
+let mem_list k v = Option.bind (member k v) to_list
+let mem_string_list k v = Option.bind (member k v) string_list

@@ -1,0 +1,224 @@
+(* The quantum executor: one scheduling slice of one job.
+
+   Chase jobs are preemptible: a slice runs the engine for at most
+   [quantum.stages] further (absolute) stages — and, when configured, a
+   wall-clock sub-deadline — under a governor carrying the daemon's
+   cancel token.  The engine's stage-boundary snapshots (PR 5) are the
+   suspend mechanism: a job cut by its quantum publishes the last
+   boundary snapshot to the job store and reports [Suspended]; the next
+   slice resumes from the checkpoint with absolute stage numbering, so
+   the finished structure is bit-identical to an uninterrupted governed
+   run (the digest in the result is the witness).
+
+   The other job classes are bounded by their own budgets and run to
+   completion within one slice; they still honor the cancel token, so
+   drain interrupts them cleanly.
+
+   Slices run on pool worker domains: everything here touches only the
+   job's own structures plus the job's own store files (unique temp
+   names make concurrent checkpoint writes safe), and Obs counters,
+   whose racy increments are benign. *)
+
+module G = Resilience.Governor
+module CK = Resilience.Checkpoint
+
+type quantum = {
+  stages : int;    (* further chase stages per slice *)
+  seconds : float; (* wall-clock sub-deadline per slice; 0 = none *)
+}
+
+let default_quantum = { stages = 4; seconds = 0. }
+
+let ckpt_kind = "tgd-chase"
+
+let digest_of_string s = Digest.to_hex (Digest.string s)
+
+(* --- chase ------------------------------------------------------------- *)
+
+let finish_chase ~store (job : Job.t) (stats : Tgd.Chase.stats) d =
+  let detail =
+    [
+      ("stages", Json.Int stats.Tgd.Chase.stages);
+      ("applications", Json.Int stats.Tgd.Chase.applications);
+      ("facts", Json.Int (Relational.Structure.size d));
+      ("elems", Json.Int (Relational.Structure.card d));
+    ]
+  in
+  job.Job.state <-
+    Job.Done
+      (Job.result_of_outcome ~digest:(Job.structure_digest d) ~detail
+         stats.Tgd.Chase.outcome);
+  Store.remove_checkpoint store job.Job.id
+
+let suspend_chase ~store (job : Job.t) last_snap =
+  match last_snap with
+  | Some snap -> (
+      match CK.save ~kind:ckpt_kind (Store.ckpt_path store job.Job.id) snap with
+      | Ok () -> job.Job.state <- Job.Suspended
+      | Error m -> job.Job.state <- Job.Faulted ("checkpoint: " ^ m))
+  | None ->
+      (* the quantum expired before the first boundary of this slice:
+         nothing new to persist; the job simply goes back to the queue
+         (an earlier slice's checkpoint, if any, is still the resume
+         point) *)
+      job.Job.state <-
+        (if Store.has_checkpoint store job.Job.id then Job.Suspended
+         else Job.Queued)
+
+let run_chase_slice ~store ~cancel ~quantum (job : Job.t) ~views ~q0
+    ~max_stages ~engine =
+  match Job.parse_rules views q0 with
+  | Error m -> job.Job.state <- Job.Faulted m
+  | Ok (views, q0) -> (
+      let deps = Tgd.Dep.t_q views in
+      let quantum =
+        match job.Job.quantum_override with
+        | Some s -> { quantum with stages = s }
+        | None -> quantum
+      in
+      let target = min max_stages (job.Job.stages_done + quantum.stages) in
+      let governor =
+        if quantum.seconds > 0. then
+          G.make ~deadline_in:quantum.seconds ~cancel ()
+        else G.make ~cancel ()
+      in
+      let last_snap = ref None in
+      let on_snapshot s = last_snap := Some s in
+      let ran =
+        if Store.has_checkpoint store job.Job.id then
+          match CK.load ~kind:ckpt_kind (Store.ckpt_path store job.Job.id) with
+          | Error m -> Error ("checkpoint: " ^ m)
+          | Ok snap ->
+              Ok
+                (Tgd.Chase.resume ~jobs:1 ~governor ~max_stages:target
+                   ~snapshot_every:1 ~on_snapshot deps snap)
+        else
+          let d = fst (Tgd.Greenred.green_canonical q0) in
+          let stats =
+            Tgd.Chase.run ~engine ~jobs:1 ~governor ~max_stages:target
+              ~snapshot_every:1 ~on_snapshot deps d
+          in
+          Ok (stats, d)
+      in
+      match ran with
+      | Error m -> job.Job.state <- Job.Faulted m
+      | Ok (stats, d) -> (
+          job.Job.stages_done <- stats.Tgd.Chase.stages;
+          job.Job.applications <- stats.Tgd.Chase.applications;
+          job.Job.considered <- stats.Tgd.Chase.triggers_considered;
+          match stats.Tgd.Chase.outcome with
+          | G.Fixpoint -> finish_chase ~store job stats d
+          | G.Budget G.Stages when stats.Tgd.Chase.stages >= max_stages ->
+              (* the job's own fuel, not the quantum: done *)
+              finish_chase ~store job stats d
+          | G.Budget G.Stages | G.Deadline ->
+              (* quantum exhausted mid-flight: suspend at the last
+                 boundary snapshot and let the queue move on *)
+              suspend_chase ~store job !last_snap
+          | G.Budget _ -> finish_chase ~store job stats d
+          | G.Cancelled ->
+              (* drain (or per-job cancel observed mid-slice): persist
+                 the boundary and keep the job resumable *)
+              suspend_chase ~store job !last_snap
+          | G.Faulted site -> job.Job.state <- Job.Faulted site))
+
+(* --- determinacy ------------------------------------------------------- *)
+
+let run_determinacy ~cancel (job : Job.t) ~views ~q0 ~max_stages ~engine =
+  match Job.parse_rules views q0 with
+  | Error m -> job.Job.state <- Job.Faulted m
+  | Ok (views, q0) ->
+      let inst = Determinacy.Instance.make ~views ~q0 in
+      let governor = G.make ~cancel () in
+      let verdict v = Format.asprintf "%a" Determinacy.Solver.pp_verdict v in
+      let unrestricted =
+        verdict
+          (Determinacy.Solver.unrestricted ~engine ~jobs:1 ~governor
+             ~max_stages inst)
+      in
+      let finite =
+        verdict (Determinacy.Solver.finite ~engine ~jobs:1 ~governor inst)
+      in
+      let outcome = if G.cancelled governor then G.Cancelled else G.Fixpoint in
+      let detail =
+        [
+          ("unrestricted", Json.String unrestricted);
+          ("finite", Json.String finite);
+        ]
+      in
+      job.Job.state <-
+        Job.Done
+          (Job.result_of_outcome
+             ~digest:(digest_of_string (unrestricted ^ "|" ^ finite))
+             ~detail outcome)
+
+(* --- worm -------------------------------------------------------------- *)
+
+let run_worm ~cancel (job : Job.t) ~machine ~steps =
+  match Zoo_table.oracle machine with
+  | None -> job.Job.state <- Job.Faulted ("unknown machine " ^ machine)
+  | Some o ->
+      let governor = G.make ~cancel () in
+      let tr = Rainworm.Sim.creep ~max_steps:steps ~governor o in
+      let final =
+        Format.asprintf "%a" Rainworm.Sym.pp_word (Rainworm.Sim.final_config tr)
+      in
+      let detail =
+        [
+          ("steps", Json.Int tr.Rainworm.Sim.steps);
+          ("cycles", Json.Int tr.Rainworm.Sim.cycles);
+          ("max_length", Json.Int tr.Rainworm.Sim.max_length);
+          ("halted", Json.Bool (Rainworm.Sim.halted tr));
+        ]
+      in
+      job.Job.state <-
+        Job.Done
+          (Job.result_of_outcome ~digest:(digest_of_string final) ~detail
+             tr.Rainworm.Sim.verdict)
+
+(* --- audit ------------------------------------------------------------- *)
+
+let run_audit (job : Job.t) ~seed ~cases ~max_stages =
+  let budget = { Oracle.Diff.default_budget with Oracle.Diff.max_stages } in
+  let report = Oracle.Diff.run_cases ~budget ~seed ~cases () in
+  let violations = List.length report.Oracle.Diff.violations in
+  let detail =
+    [
+      ("cases", Json.Int report.Oracle.Diff.cases);
+      ("engine_runs", Json.Int report.Oracle.Diff.engine_runs);
+      ("budget_exceeded", Json.Int report.Oracle.Diff.budget_exceeded);
+      ("violations", Json.Int violations);
+    ]
+  in
+  let r =
+    if violations = 0 then Job.result_of_outcome ~detail G.Fixpoint
+    else
+      {
+        Job.outcome = "violations";
+        exit_code = 1;
+        digest = "";
+        detail;
+      }
+  in
+  job.Job.state <- Job.Done r
+
+(* --- dispatch ---------------------------------------------------------- *)
+
+(* Execute one slice of [job].  Never raises: any escaped exception
+   becomes a [Faulted] state, so one broken job cannot take down the
+   pool round it ran in. *)
+let run_slice ~store ~cancel ~quantum (job : Job.t) =
+  let t0 = Obs.Clock.now_s () in
+  (try
+     match job.Job.spec with
+     | Job.Chase { views; q0; max_stages; engine } ->
+         run_chase_slice ~store ~cancel ~quantum job ~views ~q0 ~max_stages
+           ~engine
+     | Job.Determinacy { views; q0; max_stages; engine } ->
+         run_determinacy ~cancel job ~views ~q0 ~max_stages ~engine
+     | Job.Worm { machine; steps } -> run_worm ~cancel job ~machine ~steps
+     | Job.Audit { seed; cases; max_stages } ->
+         run_audit job ~seed ~cases ~max_stages
+   with e -> job.Job.state <- Job.Faulted (Printexc.to_string e));
+  job.Job.slices <- job.Job.slices + 1;
+  job.Job.wall_s <- job.Job.wall_s +. (Obs.Clock.now_s () -. t0)

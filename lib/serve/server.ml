@@ -1,0 +1,482 @@
+(* redspiderd: the job daemon.
+
+   One single-threaded [select] event loop owns all sockets and all job
+   bookkeeping; chase work happens in bounded synchronous *scheduling
+   rounds* — up to [workers] runnable jobs each execute one quantum
+   ([Runner.run_slice]) on the existing [Relational.Pool] fork-join
+   domains, then control returns to the loop to accept clients, answer
+   requests and pick the next round.  Preemption therefore needs no
+   locks: between rounds no job is running, so every state transition
+   happens on the loop thread, and a divergent chase can never hold a
+   worker for more than one quantum while short jobs queue behind it.
+
+   The wire protocol is newline-delimited JSON, one request per line,
+   one response line per request, over a Unix socket (and optionally a
+   loopback TCP socket).  Ops: ping, submit, status, wait, cancel,
+   jobs, stats, drain.
+
+   Durability: every lifecycle transition is published to the job store
+   before the next round ([Store.save_manifest], atomic tmp+fsync+
+   rename), and suspended chases keep their last stage-boundary snapshot
+   as [<id>.ckpt].  On restart the daemon rescans the store: terminal
+   jobs become history, queued/suspended jobs re-enter the run queue,
+   and a job frozen as "running" (the daemon died inside a slice) is
+   demoted to its last checkpoint or to a fresh start — the slice it
+   died in was never published, so no torn state can be resumed.
+
+   Drain (SIGTERM or the [drain] op) trips the shared cancel token:
+   in-flight slices end [Cancelled] at the next stage boundary and are
+   checkpointed as suspended; the loop then persists everything, answers
+   pending waiters, closes the sockets and returns cleanly. *)
+
+module G = Resilience.Governor
+
+type config = {
+  socket : string;           (* Unix socket path *)
+  tcp_port : int option;     (* optional loopback TCP listener *)
+  workers : int;             (* max concurrent slices per round *)
+  quantum : Runner.quantum;  (* default preemption quantum *)
+  store_dir : string;        (* job store directory *)
+  log : bool;                (* chatter on stderr *)
+}
+
+let default_config ~socket ~store_dir =
+  {
+    socket;
+    tcp_port = None;
+    workers = 4;
+    quantum = Runner.default_quantum;
+    store_dir;
+    log = false;
+  }
+
+type waiter = { wfd : Unix.file_descr; wdeadline : float option }
+
+type t = {
+  cfg : config;
+  store : Store.t;
+  jobs : (string, Job.t) Hashtbl.t;
+  queue : string Queue.t;
+  mutable seq : int;
+  drain : G.Cancel.t;        (* shared by every slice's governor *)
+  mutable stop : bool;
+  waiters : (string, waiter list) Hashtbl.t;
+  mutable listeners : Unix.file_descr list;
+  mutable clients : Unix.file_descr list;
+  bufs : (Unix.file_descr, Buffer.t) Hashtbl.t;
+  mutable slices_total : int;
+  mutable rounds_total : int;
+  started_s : float;         (* monotonic *)
+}
+
+let logf t fmt =
+  if t.cfg.log then Printf.eprintf ("redspiderd: " ^^ fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+(* --- plumbing ----------------------------------------------------------- *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let drop_client t fd =
+  t.clients <- List.filter (fun c -> c <> fd) t.clients;
+  Hashtbl.remove t.bufs fd;
+  (* forget any waits registered by this client *)
+  Hashtbl.iter
+    (fun id ws ->
+      let ws' = List.filter (fun w -> w.wfd <> fd) ws in
+      if List.length ws' <> List.length ws then Hashtbl.replace t.waiters id ws')
+    (Hashtbl.copy t.waiters);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let send t fd (v : Json.t) =
+  let line = Json.to_string v ^ "\n" in
+  try write_all fd line 0 (String.length line)
+  with Unix.Unix_error _ | Sys_error _ -> drop_client t fd
+
+let error_json msg = Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]
+
+let ok_fields fields = Json.Obj (("ok", Json.Bool true) :: fields)
+
+(* --- job bookkeeping ---------------------------------------------------- *)
+
+let persist t job =
+  match Store.save_manifest t.store job with
+  | Ok () -> ()
+  | Error m -> logf t "manifest %s: %s" job.Job.id m
+
+let notify_waiters t (job : Job.t) =
+  match Hashtbl.find_opt t.waiters job.Job.id with
+  | None -> ()
+  | Some ws ->
+      Hashtbl.remove t.waiters job.Job.id;
+      List.iter
+        (fun w -> send t w.wfd (ok_fields [ ("job", Job.summary_json job) ]))
+        ws
+
+let enqueue t (job : Job.t) = Queue.add job.Job.id t.queue
+
+(* Expire [wait] requests whose client-supplied timeout has passed. *)
+let expire_waiters t =
+  let now = Obs.Clock.now_s () in
+  Hashtbl.iter
+    (fun id ws ->
+      let expired, live =
+        List.partition
+          (fun w -> match w.wdeadline with Some d -> now >= d | None -> false)
+          ws
+      in
+      if expired <> [] then begin
+        Hashtbl.replace t.waiters id live;
+        let payload =
+          match Hashtbl.find_opt t.jobs id with
+          | Some job ->
+              ok_fields
+                [ ("timeout", Json.Bool true); ("job", Job.summary_json job) ]
+          | None -> error_json ("unknown job " ^ id)
+        in
+        List.iter (fun w -> send t w.wfd payload) expired
+      end)
+    (Hashtbl.copy t.waiters)
+
+(* --- scheduling rounds -------------------------------------------------- *)
+
+let runnable (job : Job.t) =
+  match job.Job.state with Job.Queued | Job.Suspended -> true | _ -> false
+
+(* Run one round: up to [workers] runnable jobs, one quantum each, on the
+   domain pool.  Returns true if any slice ran. *)
+let run_round t =
+  let batch = ref [] in
+  let n_batch = ref 0 in
+  while !n_batch < t.cfg.workers && not (Queue.is_empty t.queue) do
+    let id = Queue.pop t.queue in
+    match Hashtbl.find_opt t.jobs id with
+    | Some job when runnable job ->
+        batch := job :: !batch;
+        incr n_batch
+    | _ -> () (* cancelled or already terminal: drop the stale entry *)
+  done;
+  match Array.of_list (List.rev !batch) with
+  | [||] -> false
+  | batch ->
+      let n = Array.length batch in
+      Array.iter
+        (fun (j : Job.t) ->
+          j.Job.state <- Job.Running;
+          persist t j)
+        batch;
+      let quantum = t.cfg.quantum in
+      ignore
+        (Relational.Pool.run ~jobs:(min t.cfg.workers n) n (fun i ->
+             Runner.run_slice ~store:t.store ~cancel:t.drain ~quantum batch.(i)));
+      t.slices_total <- t.slices_total + n;
+      t.rounds_total <- t.rounds_total + 1;
+      Array.iter
+        (fun (j : Job.t) ->
+          (match j.Job.state with
+          | Job.Queued | Job.Suspended -> enqueue t j
+          | Job.Running ->
+              (* a slice must leave a verdict; treat silence as a fault *)
+              j.Job.state <- Job.Faulted "slice returned without a verdict"
+          | _ -> ());
+          persist t j;
+          if Job.terminal j then notify_waiters t j)
+        batch;
+      logf t "round %d: %d slice(s), %d queued" t.rounds_total n
+        (Queue.length t.queue);
+      true
+
+(* --- request handling --------------------------------------------------- *)
+
+let counts_json t =
+  let tally = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ (j : Job.t) ->
+      let k = Job.state_name j.Job.state in
+      Hashtbl.replace tally k (1 + Option.value ~default:0 (Hashtbl.find_opt tally k)))
+    t.jobs;
+  Json.Obj
+    (List.sort compare
+       (Hashtbl.fold (fun k v acc -> (k, Json.Int v) :: acc) tally []))
+
+let sorted_jobs t =
+  List.sort
+    (fun (a : Job.t) b -> compare a.Job.seq b.Job.seq)
+    (Hashtbl.fold (fun _ j acc -> j :: acc) t.jobs [])
+
+let handle_submit t req =
+  let spec_json = Option.value ~default:req (Json.member "spec" req) in
+  match Job.spec_of_json spec_json with
+  | Error m -> error_json m
+  | Ok spec -> (
+      match Job.validate spec with
+      | Error m -> error_json m
+      | Ok () ->
+          let quantum = Json.mem_int "quantum" req in
+          let job = Job.make ~seq:t.seq ?quantum spec in
+          t.seq <- t.seq + 1;
+          Hashtbl.replace t.jobs job.Job.id job;
+          persist t job;
+          enqueue t job;
+          ok_fields
+            [
+              ("id", Json.String job.Job.id);
+              ("kind", Json.String (Job.kind job.Job.spec));
+              ("state", Json.String (Job.state_name job.Job.state));
+            ])
+
+let handle_cancel t req =
+  match Json.mem_str "id" req with
+  | None -> error_json "missing id"
+  | Some id -> (
+      match Hashtbl.find_opt t.jobs id with
+      | None -> error_json ("unknown job " ^ id)
+      | Some job ->
+          if not (Job.terminal job) then begin
+            job.Job.state <- Job.Cancelled;
+            Store.remove_checkpoint t.store id;
+            persist t job;
+            notify_waiters t job
+          end;
+          ok_fields [ ("job", Job.summary_json job) ])
+
+(* Returns [None] when the request registered a waiter (no reply yet). *)
+let handle_request t fd line =
+  match Json.parse line with
+  | Error m -> Some (error_json ("bad request: " ^ m))
+  | Ok req -> (
+      match Json.mem_str "op" req with
+      | None -> Some (error_json "missing op")
+      | Some "ping" ->
+          Some
+            (ok_fields
+               [
+                 ("pid", Json.Int (Unix.getpid ()));
+                 ( "uptime_s",
+                   Json.Float (Obs.Clock.now_s () -. t.started_s) );
+               ])
+      | Some "submit" -> Some (handle_submit t req)
+      | Some "status" -> (
+          match Json.mem_str "id" req with
+          | None -> Some (error_json "missing id")
+          | Some id -> (
+              match Hashtbl.find_opt t.jobs id with
+              | None -> Some (error_json ("unknown job " ^ id))
+              | Some job -> Some (ok_fields [ ("job", Job.summary_json job) ])))
+      | Some "wait" -> (
+          match Json.mem_str "id" req with
+          | None -> Some (error_json "missing id")
+          | Some id -> (
+              match Hashtbl.find_opt t.jobs id with
+              | None -> Some (error_json ("unknown job " ^ id))
+              | Some job ->
+                  if Job.terminal job then
+                    Some (ok_fields [ ("job", Job.summary_json job) ])
+                  else begin
+                    let wdeadline =
+                      Option.map
+                        (fun s -> Obs.Clock.now_s () +. s)
+                        (Json.mem_float "timeout_s" req)
+                    in
+                    let ws =
+                      Option.value ~default:[] (Hashtbl.find_opt t.waiters id)
+                    in
+                    Hashtbl.replace t.waiters id ({ wfd = fd; wdeadline } :: ws);
+                    None
+                  end))
+      | Some "jobs" ->
+          Some
+            (ok_fields
+               [ ("jobs", Json.List (List.map Job.summary_json (sorted_jobs t))) ])
+      | Some "cancel" -> Some (handle_cancel t req)
+      | Some "stats" ->
+          Some
+            (ok_fields
+               [
+                 ("uptime_s", Json.Float (Obs.Clock.now_s () -. t.started_s));
+                 ("rounds", Json.Int t.rounds_total);
+                 ("slices", Json.Int t.slices_total);
+                 ("queued", Json.Int (Queue.length t.queue));
+                 ("counts", counts_json t);
+                 ( "metrics",
+                   Json.Obj
+                     (List.map
+                        (fun (k, v) -> (k, Json.Int v))
+                        (Obs.Metrics.snapshot ())) );
+                 ("jobs", Json.List (List.map Job.summary_json (sorted_jobs t)));
+               ])
+      | Some "drain" ->
+          t.stop <- true;
+          G.Cancel.trip t.drain;
+          Some (ok_fields [ ("draining", Json.Bool true) ])
+      | Some op -> Some (error_json ("unknown op " ^ op)))
+
+(* --- socket plumbing ---------------------------------------------------- *)
+
+let listen_unix path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  fd
+
+let read_chunk t fd =
+  let buf = Bytes.create 4096 in
+  match Unix.read fd buf 0 4096 with
+  | 0 | (exception Unix.Unix_error _) -> drop_client t fd
+  | n ->
+      let b =
+        match Hashtbl.find_opt t.bufs fd with
+        | Some b -> b
+        | None ->
+            let b = Buffer.create 256 in
+            Hashtbl.replace t.bufs fd b;
+            b
+      in
+      Buffer.add_subbytes b buf 0 n;
+      (* dispatch every complete line *)
+      let data = Buffer.contents b in
+      let rec lines from =
+        match String.index_from_opt data from '\n' with
+        | None ->
+            Buffer.clear b;
+            Buffer.add_substring b data from (String.length data - from)
+        | Some nl ->
+            let line = String.sub data from (nl - from) in
+            if String.trim line <> "" then begin
+              match handle_request t fd line with
+              | Some reply -> send t fd reply
+              | None -> ()
+            end;
+            lines (nl + 1)
+      in
+      lines 0
+
+let poll_io t timeout =
+  expire_waiters t;
+  let fds = t.listeners @ t.clients in
+  match Unix.select fds [] [] timeout with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | readable, _, _ ->
+      List.iter
+        (fun fd ->
+          if List.mem fd t.listeners then begin
+            match Unix.accept fd with
+            | cfd, _ -> t.clients <- cfd :: t.clients
+            | exception Unix.Unix_error _ -> ()
+          end
+          else read_chunk t fd)
+        readable
+
+(* --- lifecycle ---------------------------------------------------------- *)
+
+(* Rebuild daemon state from the job store after a restart. *)
+let recover t =
+  let jobs, bad = Store.load_all t.store in
+  List.iter (fun (file, m) -> logf t "store: skipping %s: %s" file m) bad;
+  List.iter
+    (fun (job : Job.t) ->
+      (match job.Job.state with
+      | Job.Running ->
+          (* died inside a slice: fall back to the last published
+             checkpoint, or to a fresh start *)
+          job.Job.state <-
+            (if Store.has_checkpoint t.store job.Job.id then Job.Suspended
+             else Job.Queued);
+          job.Job.slices <- 0;
+          persist t job
+      | _ -> ());
+      Hashtbl.replace t.jobs job.Job.id job;
+      if runnable job then enqueue t job)
+    jobs;
+  t.seq <- Store.next_seq jobs;
+  logf t "recovered %d job(s), %d runnable, %d unreadable" (List.length jobs)
+    (Queue.length t.queue) (List.length bad)
+
+let create cfg =
+  let t =
+    {
+      cfg;
+      store = Store.open_ cfg.store_dir;
+      jobs = Hashtbl.create 64;
+      queue = Queue.create ();
+      seq = 1;
+      drain = G.Cancel.create ();
+      stop = false;
+      waiters = Hashtbl.create 16;
+      listeners = [];
+      clients = [];
+      bufs = Hashtbl.create 16;
+      slices_total = 0;
+      rounds_total = 0;
+      started_s = Obs.Clock.now_s ();
+    }
+  in
+  recover t;
+  t.listeners <-
+    (listen_unix cfg.socket
+    :: (match cfg.tcp_port with Some p -> [ listen_tcp p ] | None -> []));
+  t
+
+let request_drain t =
+  t.stop <- true;
+  G.Cancel.trip t.drain
+
+let shutdown t =
+  (* every runnable job is already durable (manifest + checkpoint); tell
+     anyone still waiting, then tear the sockets down *)
+  Hashtbl.iter
+    (fun id ws ->
+      let payload =
+        match Hashtbl.find_opt t.jobs id with
+        | Some job ->
+            ok_fields
+              [ ("draining", Json.Bool true); ("job", Job.summary_json job) ]
+        | None -> error_json ("unknown job " ^ id)
+      in
+      List.iter (fun w -> send t w.wfd payload) ws)
+    (Hashtbl.copy t.waiters);
+  Hashtbl.reset t.waiters;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.clients;
+  t.clients <- [];
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
+  t.listeners <- [];
+  (try Unix.unlink t.cfg.socket with Unix.Unix_error _ -> ());
+  logf t "drained: %d round(s), %d slice(s)" t.rounds_total t.slices_total
+
+(* Serve until drained (SIGTERM or the [drain] op).  Installs a SIGTERM
+   handler for the duration and restores the previous one on exit. *)
+let serve cfg =
+  let t = create cfg in
+  let prev_term =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> request_drain t))
+  in
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigpipe prev_pipe)
+    (fun () ->
+      let rec loop () =
+        if t.stop then shutdown t
+        else begin
+          let ran = run_round t in
+          let timeout =
+            if ran || not (Queue.is_empty t.queue) then 0. else 0.2
+          in
+          poll_io t timeout;
+          loop ()
+        end
+      in
+      loop ())

@@ -1,0 +1,71 @@
+(* The persistent job store: one directory, two files per job.
+
+     <id>.job    the JSON manifest (spec + lifecycle state + counters)
+     <id>.ckpt   the engine snapshot of a suspended chase job
+                 (REDSPIDER-CKPT-1, kind "tgd-chase")
+
+   Both are published with [Checkpoint]'s unique-temp + fsync + rename
+   discipline, so a crash at any point leaves every job either at its
+   previous durable state or its new one — never torn.  Daemon restart
+   is a directory scan: terminal jobs are history, suspended/queued jobs
+   re-enter the run queue, and a job frozen as "running" (the daemon
+   died inside a slice) falls back to its last checkpoint, or to a fresh
+   start if it never completed a quantum. *)
+
+type t = { dir : string }
+
+let manifest_suffix = ".job"
+
+let open_ dir =
+  let rec mkdirs d =
+    if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      mkdirs (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  mkdirs dir;
+  if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Store.open_: %s is not a directory" dir);
+  { dir }
+
+let manifest_path t id = Filename.concat t.dir (id ^ manifest_suffix)
+let ckpt_path t id = Filename.concat t.dir (id ^ ".ckpt")
+
+let save_manifest t (job : Job.t) =
+  Resilience.Checkpoint.write_atomic (manifest_path t job.Job.id)
+    (Json.to_string (Job.manifest_json job) ^ "\n")
+
+let has_checkpoint t id = Sys.file_exists (ckpt_path t id)
+
+let remove_checkpoint t id =
+  try Sys.remove (ckpt_path t id) with Sys_error _ -> ()
+
+(* Every parseable manifest, sorted by submission sequence; unreadable
+   or corrupt manifests are returned as (file, error) pairs rather than
+   aborting recovery — one damaged job must not take the store down. *)
+let load_all t =
+  let entries = try Sys.readdir t.dir with Sys_error _ -> [||] in
+  let jobs = ref [] and bad = ref [] in
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name manifest_suffix then begin
+        let path = Filename.concat t.dir name in
+        match
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with
+        | exception Sys_error m -> bad := (name, m) :: !bad
+        | raw -> (
+            match Result.bind (Json.parse raw) Job.manifest_of_json with
+            | Ok job -> jobs := job :: !jobs
+            | Error m -> bad := (name, m) :: !bad)
+      end)
+    entries;
+  ( List.sort (fun (a : Job.t) b -> compare a.Job.seq b.Job.seq) !jobs,
+    List.rev !bad )
+
+(* The next submission sequence number after a restart. *)
+let next_seq jobs =
+  1 + List.fold_left (fun m (j : Job.t) -> max m j.Job.seq) 0 jobs

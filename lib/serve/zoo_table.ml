@@ -1,0 +1,31 @@
+(* The zoo machines servable as worm jobs, by wire name.  Mirrors the
+   CLI's table in bin/redspider.ml; Turing-machine entries are compiled
+   on first use and cached, so repeated worm jobs do not recompile. *)
+
+let machines =
+  [
+    ("creeper", `M Rainworm.Zoo.eternal_creeper);
+    ("stillborn", `M Rainworm.Zoo.stillborn);
+    ("halt-now", `Tm Rainworm.Zoo.tm_halt_now);
+    ("write-3", `Tm (Rainworm.Zoo.tm_write_k 3));
+    ("right-forever", `Tm Rainworm.Zoo.tm_right_forever);
+    ("zigzag", `Tm Rainworm.Zoo.tm_zigzag);
+    ("bouncer-2", `Tm (Rainworm.Zoo.tm_bouncer 2));
+  ]
+
+let oracles : (string, Rainworm.Machine.oracle) Hashtbl.t = Hashtbl.create 8
+
+let oracle name =
+  match Hashtbl.find_opt oracles name with
+  | Some o -> Some o
+  | None ->
+      Option.map
+        (fun m ->
+          let o =
+            match m with
+            | `M m -> Rainworm.Machine.oracle m
+            | `Tm tm -> Rainworm.Tm_compiler.oracle tm
+          in
+          Hashtbl.replace oracles name o;
+          o)
+        (List.assoc_opt name machines)

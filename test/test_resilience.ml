@@ -106,12 +106,25 @@ let test_failpoint_spec () =
 
 (* --- checkpoint files --------------------------------------------------- *)
 
+(* Temp files are now unique per (pid, counter) — [path ^ ".tmp.<pid>.<n>"]
+   — so leak checks scan for any sibling with the temp prefix instead of
+   probing one fixed name. *)
+let tmp_siblings path =
+  let dir = Filename.dirname path and base = Filename.basename path in
+  let prefix = base ^ ".tmp" in
+  Array.to_list (Sys.readdir dir)
+  |> List.filter (fun f -> String.starts_with ~prefix f)
+
 let with_tmp f =
   let path = Filename.temp_file "redspider-test" ".ckpt" in
   Fun.protect
     ~finally:(fun () ->
-      (try Sys.remove path with Sys_error _ -> ());
-      try Sys.remove (path ^ ".tmp") with Sys_error _ -> ())
+      List.iter
+        (fun f ->
+          try Sys.remove (Filename.concat (Filename.dirname path) f)
+          with Sys_error _ -> ())
+        (tmp_siblings path);
+      try Sys.remove path with Sys_error _ -> ())
     (fun () -> f path)
 
 let test_checkpoint_roundtrip () =
@@ -150,9 +163,82 @@ let test_checkpoint_torn_write () =
       FP.clear ();
       check "faulted save reports" true
         (match second with Error _ -> true | Ok () -> false);
-      check "no temp file left behind" false (Sys.file_exists (path ^ ".tmp"));
+      check "no temp file left behind" true (tmp_siblings path = []);
       check "previous checkpoint intact" true
         (CK.load ~kind:"t" path = Ok [ 1; 2; 3 ]))
+
+(* A stale temp file from a crashed writer (or another process) must not
+   break the next publish, and must not be mistaken for ours and
+   deleted. *)
+let test_checkpoint_stale_tmp () =
+  with_tmp (fun path ->
+      let stale = path ^ ".tmp.99999.0" in
+      Out_channel.with_open_bin stale (fun oc ->
+          Out_channel.output_string oc "garbage");
+      check "save ok despite stale temp" true
+        (CK.save ~kind:"t" path [ 7; 8 ] = Ok ());
+      check "published value readable" true
+        (CK.load ~kind:"t" path = Ok [ 7; 8 ]);
+      check "stale temp untouched" true (Sys.file_exists stale))
+
+(* The header's payload length is validated against the bytes actually
+   present, so a corrupt length can neither over-allocate nor feed
+   [Marshal] a short buffer. *)
+let rewrite_length path f =
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let nl = String.index full '\n' in
+  let header = String.sub full 0 nl in
+  let payload = String.sub full (nl + 1) (String.length full - nl - 1) in
+  let parts = String.split_on_char ' ' header in
+  let n = List.nth parts (List.length parts - 1) in
+  let forged = f (int_of_string n) (String.length payload) in
+  let header' =
+    String.concat " "
+      (List.mapi
+         (fun i p -> if i = List.length parts - 1 then forged else p)
+         parts)
+  in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (header' ^ "\n" ^ payload))
+
+let test_checkpoint_bad_length () =
+  with_tmp (fun path ->
+      check "save ok" true (CK.save ~kind:"t" path [ 1; 2; 3 ] = Ok ());
+      rewrite_length path (fun _ _ -> string_of_int max_int);
+      check "oversized length is a clean error, not an allocation" true
+        (match (CK.load ~kind:"t" path : (int list, string) result) with
+        | Error _ -> true
+        | Ok _ -> false);
+      check "save again ok" true (CK.save ~kind:"t" path [ 1; 2; 3 ] = Ok ());
+      rewrite_length path (fun _ _ -> "-1");
+      check "negative length is a clean error" true
+        (match (CK.load ~kind:"t" path : (int list, string) result) with
+        | Error _ -> true
+        | Ok _ -> false);
+      check "save again ok" true (CK.save ~kind:"t" path [ 1; 2; 3 ] = Ok ());
+      rewrite_length path (fun _ have -> string_of_int (have + 1));
+      check "length past end-of-file is a clean error" true
+        (match (CK.load ~kind:"t" path : (int list, string) result) with
+        | Error _ -> true
+        | Ok _ -> false))
+
+(* Two domains saving to the same path concurrently: unique temp names
+   mean neither torn output nor a stolen rename — the survivor is one of
+   the two committed values, intact. *)
+let test_checkpoint_concurrent_save () =
+  with_tmp (fun path ->
+      let save v () = CK.save ~kind:"t" path (List.init 2000 (fun i -> i * v)) in
+      let other = Domain.spawn (save 3) in
+      let mine = save 5 () in
+      let theirs = Domain.join other in
+      check "both saves succeed" true (mine = Ok () && theirs = Ok ());
+      check "no temp files left behind" true (tmp_siblings path = []);
+      match (CK.load ~kind:"t" path : (int list, string) result) with
+      | Error m -> Alcotest.failf "load after concurrent save: %s" m
+      | Ok l ->
+          check "survivor is one committed value, not a mix" true
+            (l = List.init 2000 (fun i -> i * 3)
+            || l = List.init 2000 (fun i -> i * 5)))
 
 (* --- governed chase ----------------------------------------------------- *)
 
@@ -343,6 +429,11 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
           Alcotest.test_case "truncation" `Quick test_checkpoint_truncation;
           Alcotest.test_case "torn write" `Quick test_checkpoint_torn_write;
+          Alcotest.test_case "stale temp" `Quick test_checkpoint_stale_tmp;
+          Alcotest.test_case "bad header length" `Quick
+            test_checkpoint_bad_length;
+          Alcotest.test_case "concurrent save" `Quick
+            test_checkpoint_concurrent_save;
         ] );
       ( "governed chase",
         [

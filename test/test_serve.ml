@@ -1,0 +1,419 @@
+(* redspiderd: the wire JSON codec, job manifests, the on-disk store,
+   and a live daemon — submit/wait round-trips, quantum preemption with
+   bit-identical resume, concurrent clients, graceful drain, and
+   daemon-restart recovery from the job store. *)
+
+open Serve
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* --- json --------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\nd\te\x01f");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.String "x"; Json.Obj [] ]);
+      ]
+  in
+  check "print/parse round-trips" true (Json.parse (Json.to_string v) = Ok v);
+  check "unicode escape decodes to UTF-8" true
+    (Json.parse {|"éA"|} = Ok (Json.String "\xc3\xa9A"));
+  check "whitespace tolerated" true
+    (Json.parse " { \"a\" : [ 1 , 2 ] } "
+    = Ok (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Int 2 ]) ]));
+  check "trailing garbage rejected" true
+    (match Json.parse "{} x" with Error _ -> true | Ok _ -> false);
+  check "truncated rejected" true
+    (match Json.parse "{\"a\": [1," with Error _ -> true | Ok _ -> false);
+  check "floats survive" true
+    (match Json.parse "[0.25, 2e3]" with
+    | Ok (Json.List [ Json.Float a; Json.Float b ]) -> a = 0.25 && b = 2000.
+    | _ -> false)
+
+let divergent_views =
+  [
+    ("p2", "p2(x,y) :- E(x,m), E(m,y)");
+    ("p3", "p3(x,y) :- E(x,m), E(m,n), E(n,y)");
+  ]
+
+let divergent_q0 = "q0(x,y) :- E(x,a), E(a,b), E(b,c), E(c,y)"
+
+let divergent_spec stages =
+  Job.Chase
+    { views = divergent_views; q0 = divergent_q0; max_stages = stages;
+      engine = `Seminaive }
+
+let test_spec_roundtrip () =
+  let specs =
+    [
+      divergent_spec 9;
+      Job.Determinacy
+        { views = divergent_views; q0 = divergent_q0; max_stages = 16;
+          engine = `Par };
+      Job.Worm { machine = "creeper"; steps = 77 };
+      Job.Audit { seed = 5; cases = 12; max_stages = 3 };
+    ]
+  in
+  List.iter
+    (fun spec ->
+      check "spec json round-trips" true
+        (Job.spec_of_json (Job.spec_to_json spec) = Ok spec))
+    specs;
+  check "unknown kind rejected" true
+    (match Job.spec_of_json (Json.Obj [ ("kind", Json.String "frobnicate") ]) with
+    | Error _ -> true
+    | Ok _ -> false);
+  check "malformed rule rejected at validate" true
+    (match
+       Job.validate
+         (Job.Chase
+            { views = [ ("v", "not a rule") ]; q0 = divergent_q0;
+              max_stages = 4; engine = `Seminaive })
+     with
+    | Error _ -> true
+    | Ok () -> false);
+  check "unknown machine rejected at validate" true
+    (match Job.validate (Job.Worm { machine = "nope"; steps = 5 }) with
+    | Error _ -> true
+    | Ok () -> false)
+
+let test_manifest_roundtrip () =
+  let job = Job.make ~seq:7 ~quantum:2 (divergent_spec 9) in
+  job.Job.state <-
+    Job.Done
+      {
+        Job.outcome = "fixpoint";
+        exit_code = 0;
+        digest = "abc";
+        detail = [ ("stages", Json.Int 3) ];
+      };
+  job.Job.slices <- 4;
+  job.Job.stages_done <- 9;
+  job.Job.applications <- 123;
+  match Job.manifest_of_json (Job.manifest_json job) with
+  | Error m -> Alcotest.failf "manifest: %s" m
+  | Ok j' ->
+      check_str "id survives" job.Job.id j'.Job.id;
+      check_int "seq survives" job.Job.seq j'.Job.seq;
+      check "spec survives" true (j'.Job.spec = job.Job.spec);
+      check "state survives" true (j'.Job.state = job.Job.state);
+      check_int "slices survive" job.Job.slices j'.Job.slices;
+      check_int "stages survive" job.Job.stages_done j'.Job.stages_done;
+      check "quantum override survives" true
+        (j'.Job.quantum_override = Some 2)
+
+(* --- store -------------------------------------------------------------- *)
+
+let rm_rf dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let counter = ref 0
+
+let fresh_dir () =
+  incr counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "redspider-test-store-%d-%d" (Unix.getpid ()) !counter)
+  in
+  rm_rf d;
+  d
+
+let test_store_roundtrip () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let store = Store.open_ dir in
+      let mk seq spec = Job.make ~seq spec in
+      let jobs =
+        [
+          mk 2 (Job.Worm { machine = "creeper"; steps = 10 });
+          mk 1 (divergent_spec 9);
+          mk 3 (Job.Audit { seed = 1; cases = 2; max_stages = 2 });
+        ]
+      in
+      List.iter
+        (fun j ->
+          check "manifest saved" true (Store.save_manifest store j = Ok ()))
+        jobs;
+      (* one corrupt manifest must not take recovery down *)
+      Out_channel.with_open_bin (Filename.concat dir "zz9999.job") (fun oc ->
+          Out_channel.output_string oc "{ not json");
+      let loaded, bad = Store.load_all store in
+      check_int "all good manifests load" 3 (List.length loaded);
+      check_int "the corrupt one is reported" 1 (List.length bad);
+      check "sorted by seq" true
+        (List.map (fun (j : Job.t) -> j.Job.seq) loaded = [ 1; 2; 3 ]);
+      check_int "next_seq is max+1" 4 (Store.next_seq loaded);
+      check "no checkpoint yet" false (Store.has_checkpoint store "j000001");
+      Store.remove_checkpoint store "j000001" (* no-op, must not raise *))
+
+(* --- live daemon harness ------------------------------------------------ *)
+
+let fresh_socket () =
+  incr counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "rs-t-%d-%d.sock" (Unix.getpid ()) !counter)
+
+let start_daemon ~socket ~store_dir ~workers ~quantum () =
+  let cfg =
+    {
+      Server.socket;
+      tcp_port = None;
+      workers;
+      quantum = { Runner.stages = quantum; seconds = 0. };
+      store_dir;
+      log = false;
+    }
+  in
+  let d = Domain.spawn (fun () -> Server.serve cfg) in
+  let rec await n =
+    if not (Sys.file_exists socket) then
+      if n = 0 then Alcotest.fail "daemon did not come up"
+      else begin
+        Unix.sleepf 0.02;
+        await (n - 1)
+      end
+  in
+  await 250;
+  d
+
+let connect socket =
+  match Client.connect ~socket () with
+  | Ok c -> c
+  | Error m -> Alcotest.failf "connect: %s" m
+
+let drain_and_join socket daemon =
+  (match Client.connect ~socket () with
+  | Ok c ->
+      ignore (Client.drain c);
+      Client.close c
+  | Error _ -> ());
+  Domain.join daemon
+
+let with_daemon ?(workers = 2) ?(quantum = 2) ?store_dir f =
+  let socket = fresh_socket () in
+  let store_dir = match store_dir with Some d -> d | None -> fresh_dir () in
+  let daemon = start_daemon ~socket ~store_dir ~workers ~quantum () in
+  Fun.protect
+    ~finally:(fun () ->
+      drain_and_join socket daemon;
+      rm_rf store_dir)
+    (fun () -> f socket)
+
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "%s: %s" what m
+
+let job_field j k = Json.mem_str k j
+let job_int j k = Option.value ~default:(-1) (Json.mem_int k j)
+
+let job_digest j =
+  Option.value ~default:""
+    (Option.bind (Json.member "result" j) (Json.mem_str "digest"))
+
+(* The uninterrupted governed reference run, in-process. *)
+let uninterrupted stages =
+  let views, q0 =
+    ok_or_fail "parse" (Job.parse_rules divergent_views divergent_q0)
+  in
+  let deps = Tgd.Dep.t_q views in
+  let d = fst (Tgd.Greenred.green_canonical q0) in
+  let stats = Tgd.Chase.run ~engine:`Seminaive ~max_stages:stages deps d in
+  (stats, Job.structure_digest d)
+
+(* --- live tests --------------------------------------------------------- *)
+
+let test_submit_wait () =
+  with_daemon (fun socket ->
+      let conn = connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          ignore (ok_or_fail "ping" (Client.ping conn));
+          let worm =
+            ok_or_fail "submit worm"
+              (Client.submit conn (Job.Worm { machine = "halt-now"; steps = 50 }))
+          in
+          let audit =
+            ok_or_fail "submit audit"
+              (Client.submit conn (Job.Audit { seed = 42; cases = 5; max_stages = 3 }))
+          in
+          let jw = ok_or_fail "wait worm" (Client.wait_terminal conn worm) in
+          let ja = ok_or_fail "wait audit" (Client.wait_terminal conn audit) in
+          check "worm done" true (job_field jw "state" = Some "done");
+          check "worm halted at fixpoint" true
+            (Option.bind (Json.member "result" jw) (Json.mem_str "outcome")
+            = Some "fixpoint");
+          check "audit done" true (job_field ja "state" = Some "done");
+          let stats = ok_or_fail "stats" (Client.stats conn) in
+          check "stats counts jobs" true
+            (Option.bind (Json.member "counts" stats) (Json.mem_int "done")
+            = Some 2);
+          check "stats carries metrics" true
+            (Json.member "metrics" stats <> None);
+          (* submit-side validation is synchronous *)
+          check "bad rule refused at submit" true
+            (match
+               Client.submit conn
+                 (Job.Chase
+                    { views = [ ("v", "nonsense") ]; q0 = divergent_q0;
+                      max_stages = 4; engine = `Seminaive })
+             with
+            | Error _ -> true
+            | Ok _ -> false)))
+
+let test_preemption_bit_identity () =
+  let stages = 9 in
+  let ref_stats, ref_digest = uninterrupted stages in
+  with_daemon ~workers:2 ~quantum:2 (fun socket ->
+      let conn = connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          let id =
+            ok_or_fail "submit" (Client.submit conn (divergent_spec stages))
+          in
+          (* short jobs keep completing around the preempted chase *)
+          let shorts =
+            List.init 3 (fun _ ->
+                ok_or_fail "submit short"
+                  (Client.submit conn (Job.Worm { machine = "halt-now"; steps = 50 })))
+          in
+          let j = ok_or_fail "wait" (Client.wait_terminal conn id) in
+          check "divergent job done" true (job_field j "state" = Some "done");
+          check "preempted into several slices" true (job_int j "slices" >= 3);
+          check_int "all stages ran" stages (job_int j "stages_done");
+          check_str "resumed structure digest = uninterrupted digest"
+            ref_digest (job_digest j);
+          check_int "applications agree with the uninterrupted run"
+            ref_stats.Tgd.Chase.applications
+            (job_int j "applications");
+          List.iter
+            (fun sid ->
+              let js = ok_or_fail "wait short" (Client.wait_terminal conn sid) in
+              check "short job done" true (job_field js "state" = Some "done");
+              check "short job took one slice" true (job_int js "slices" = 1))
+            shorts))
+
+let test_concurrent_clients () =
+  with_daemon ~workers:4 ~quantum:2 (fun socket ->
+      let session i =
+        let conn = connect socket in
+        Fun.protect
+          ~finally:(fun () -> Client.close conn)
+          (fun () ->
+            let spec =
+              if i mod 2 = 0 then Job.Worm { machine = "creeper"; steps = 60 }
+              else
+                Job.Chase
+                  { views = [ ("p2", "p2(x,y) :- E(x,m), E(m,y)") ];
+                    q0 = "q0(x,y) :- E(x,a), E(a,b), E(b,y)";
+                    max_stages = 8; engine = `Seminaive }
+            in
+            let id = ok_or_fail "submit" (Client.submit conn spec) in
+            let j = ok_or_fail "wait" (Client.wait_terminal conn id) in
+            job_field j "state" = Some "done")
+      in
+      let doms = Array.init 8 (fun i -> Domain.spawn (fun () -> session i)) in
+      let oks = Array.map Domain.join doms in
+      check "8 concurrent clients all served" true
+        (Array.for_all (fun b -> b) oks))
+
+let test_drain_restart_recovery () =
+  let stages = 12 in
+  let _, ref_digest = uninterrupted stages in
+  let store_dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf store_dir)
+    (fun () ->
+      (* first daemon: get the divergent job preempted at least once,
+         then drain mid-job *)
+      let socket = fresh_socket () in
+      let daemon =
+        start_daemon ~socket ~store_dir ~workers:2 ~quantum:1 ()
+      in
+      let conn = connect socket in
+      let id = ok_or_fail "submit" (Client.submit conn (divergent_spec stages)) in
+      let rec await_progress n =
+        if n = 0 then Alcotest.fail "job never progressed"
+        else
+          let j =
+            ok_or_fail "status"
+              (Result.bind (Client.status conn id) Client.job_of_reply)
+          in
+          if job_int j "slices" < 1 then begin
+            Unix.sleepf 0.02;
+            await_progress (n - 1)
+          end
+      in
+      await_progress 500;
+      ignore (ok_or_fail "drain" (Client.drain conn));
+      Client.close conn;
+      Domain.join daemon;
+      check "socket removed on drain" false (Sys.file_exists socket);
+      (* the job survived as durable state *)
+      let store = Store.open_ store_dir in
+      let loaded, bad = Store.load_all store in
+      check_int "no manifest corrupted by drain" 0 (List.length bad);
+      check "job manifest persisted" true
+        (List.exists (fun (j : Job.t) -> j.Job.id = id) loaded);
+      let persisted =
+        List.find (fun (j : Job.t) -> j.Job.id = id) loaded
+      in
+      check "job is resumable, not terminal" false (Job.terminal persisted);
+      (* second daemon on the same store finishes it *)
+      let socket2 = fresh_socket () in
+      let daemon2 =
+        start_daemon ~socket:socket2 ~store_dir ~workers:2 ~quantum:4 ()
+      in
+      Fun.protect
+        ~finally:(fun () -> drain_and_join socket2 daemon2)
+        (fun () ->
+          let conn2 = connect socket2 in
+          Fun.protect
+            ~finally:(fun () -> Client.close conn2)
+            (fun () ->
+              let j = ok_or_fail "wait" (Client.wait_terminal conn2 id) in
+              check "recovered job completes" true
+                (job_field j "state" = Some "done");
+              check_int "absolute stage count preserved" stages
+                (job_int j "stages_done");
+              check_str "digest across daemon restart = uninterrupted"
+                ref_digest (job_digest j))))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "spec round-trip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "manifest round-trip" `Quick
+            test_manifest_roundtrip;
+        ] );
+      ("store", [ Alcotest.test_case "round-trip" `Quick test_store_roundtrip ]);
+      ( "daemon",
+        [
+          Alcotest.test_case "submit/wait" `Quick test_submit_wait;
+          Alcotest.test_case "preemption bit-identity" `Quick
+            test_preemption_bit_identity;
+          Alcotest.test_case "8 concurrent clients" `Quick
+            test_concurrent_clients;
+          Alcotest.test_case "drain + restart recovery" `Quick
+            test_drain_restart_recovery;
+        ] );
+    ]
