@@ -770,6 +770,274 @@ let par_gate () =
   end
   else Format.printf "bench-smoke: par <= seminaive on every gated row@."
 
+(* --- E21: incremental maintenance vs from-scratch re-chase --------------- *)
+
+(* The two standing edit workloads.  Each returns a pair of thunks
+   [(incremental, scratch)] where one call of either performs the same
+   logical work — insert a single fresh base fact at the instance's
+   tail, restore the fixpoint, retract it, restore the fixpoint again —
+   so their wall-clocks compare directly.  [incremental] maintains one
+   long-lived instance through [Maint.apply_edit]; [scratch] re-chases
+   a fresh copy of the edited base for every edit, which is what a
+   daemon without maintenance state would have to do for each mutate
+   job.  A tail edit is the common case an IVM layer exists for — a
+   cascade local to the edit, against a full re-derivation; cutting a
+   load-bearing base fact (the fold edge, a mid-path edge) tears off a
+   large cone and is the worst case the smoke and test_incr exercise
+   instead.
+
+   E10 runs the terminating {p2} restriction of its view set (the full
+   {p2,p3} pair diverges — see test_incr.ml) over a scaled green path;
+   the grid extends the tail of the second αβ-path of the Theorem 14
+   (4,4) collision under the T-box rules. *)
+let incr_e10_pair ~engine =
+  let deps = Tgd.Dep.t_q [ ("p2", path_query 2) ] in
+  (* the canonical E10 seed is a 5-edge path — small enough that the
+     edit's support bookkeeping drowns the cascade in constants — so
+     the bench scales the same machinery to a 96-edge green path: the
+     view is linear in the base, the cascade stays tail-local *)
+  let gedge = Relational.Symbol.green (Relational.Symbol.make "E" 2) in
+  let n = 96 in
+  let mk_path extended =
+    let d = Relational.Structure.create () in
+    let vs = Array.init (n + 2) (fun _ -> Relational.Structure.fresh d) in
+    let edges = if extended then n + 1 else n in
+    for i = 0 to edges - 1 do
+      Relational.Structure.add2 d gedge vs.(i) vs.(i + 1)
+    done;
+    (d, Relational.Fact.make gedge [| vs.(n); vs.(n + 1) |])
+  in
+  let base, tail = mk_path false in
+  let m, _ =
+    Tgd.Chase.Maint.create ~engine deps (Relational.Structure.copy base)
+  in
+  let incremental () =
+    ignore (Tgd.Chase.Maint.apply_edit m [ Tgd.Chase.Maint.Insert tail ]);
+    ignore (Tgd.Chase.Maint.apply_edit m [ Tgd.Chase.Maint.Retract tail ])
+  in
+  let scratch () =
+    let engine = (engine :> Tgd.Chase.engine) in
+    let d, _ = mk_path true in
+    ignore (Tgd.Chase.run ~engine deps d);
+    let d', _ = mk_path false in
+    ignore (Tgd.Chase.run ~engine deps d')
+  in
+  (incremental, scratch)
+
+let incr_grid_pair ~(engine : [ `Par | `Seminaive ]) =
+  let module G = Greengraph.Graph in
+  let module R = Greengraph.Rule in
+  let base, _, _ = Separating.Paths.collision ~t:4 ~t':4 in
+  let rules = Separating.Tbox.rules in
+  (* extend the tail of the second αβ-path by a fresh vertex under the
+     same label — the derived cone stays local to the new tail *)
+  let edges = G.edges base in
+  let e = List.nth edges (List.length edges - 1) in
+  let lab =
+    match e.G.label with
+    | Some i -> Greengraph.Label.l i
+    | None -> Greengraph.Label.empty
+  in
+  let held = G.copy base in
+  let w = G.fresh held in
+  let m, _ = R.Maint.create rules held in
+  let incremental () =
+    ignore (R.Maint.apply_edit m [ R.Maint.Insert (lab, e.G.dst, w) ]);
+    ignore (R.Maint.apply_edit m [ R.Maint.Retract (lab, e.G.dst, w) ])
+  in
+  let scratch () =
+    let engine = (engine :> R.engine) in
+    let g = G.copy base in
+    let w' = G.fresh g in
+    ignore (G.add_edge g lab e.G.dst w');
+    ignore (R.chase ~engine rules g);
+    let g' = G.copy base in
+    ignore (R.chase ~engine rules g')
+  in
+  (incremental, scratch)
+
+let incr_workload_names =
+  [ "E10 tgd {p2} tail-edge edit"; "E2 grid (4,4) tail-extension edit" ]
+
+let incr_workloads ~engine =
+  List.combine incr_workload_names
+    [ incr_e10_pair ~engine; incr_grid_pair ~engine ]
+
+let render_incr_json rows =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i (name, scratch, incremental) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "  {\"experiment\": %S, \"engine\": \"seminaive\", \"mode\": \
+            \"scratch\", \"wall_s\": %.6f},\n"
+           name scratch);
+      Buffer.add_string b
+        (Printf.sprintf
+           "  {\"experiment\": %S, \"engine\": \"seminaive\", \"mode\": \
+            \"incr\", \"wall_s\": %.6f, \"speedup\": %.2f}"
+           name incremental (scratch /. incremental)))
+    rows;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+let emit_incr_json () =
+  section "E21: incremental maintenance vs from-scratch re-chase";
+  let rows =
+    List.map
+      (fun (name, (incremental, scratch)) ->
+        let w_inc, () = wall_clock incremental in
+        let w_scr, () = wall_clock scratch in
+        Format.printf "%-32s scratch %.4fms  incr %.4fms  %6.1fx@." name
+          (w_scr *. 1e3) (w_inc *. 1e3) (w_scr /. w_inc);
+        (name, w_scr, w_inc))
+      (incr_workloads ~engine:`Seminaive)
+  in
+  let oc = open_out "BENCH_incr.json" in
+  output_string oc (render_incr_json rows);
+  close_out oc;
+  Format.printf "wrote BENCH_incr.json (%d rows)@." (2 * List.length rows)
+
+(* E21 gate (dune build @bench-smoke, via `regress --incr`): a single-
+   fact edit through the maintenance path must beat from-scratch
+   re-chase by at least 5x on both standing workloads.  Same shape as
+   the par gate: min-of-5 alternating measurements so a scheduler
+   hiccup inflates one sample, not the minimum, and a 10% grace band on
+   the floor.  The margin is not tight — the checked-in BENCH_incr.json
+   records well over 5x on both rows — so the band only absorbs noise,
+   never a real regression. *)
+let incr_gate () =
+  let min5 f g =
+    let rec go k (mf, mg) =
+      if k = 0 then (mf, mg)
+      else
+        let wf, () = wall_clock f in
+        let wg, () = wall_clock g in
+        go (k - 1) (Float.min mf wf, Float.min mg wg)
+    in
+    go 5 (infinity, infinity)
+  in
+  let failures = ref 0 in
+  let gate name (scr, inc) =
+    let verdict =
+      if inc *. 5.0 <= scr *. 1.10 then "ok"
+      else begin
+        incr failures;
+        "FAIL"
+      end
+    in
+    Format.printf "incr-gate %-32s scratch %.4fs  incr %.4fs  %5.1fx  %s@."
+      name scr inc (scr /. inc) verdict
+  in
+  List.iter
+    (fun (name, (incremental, scratch)) ->
+      gate name (min5 scratch incremental))
+    (incr_workloads ~engine:`Seminaive);
+  if !failures > 0 then begin
+    Format.printf
+      "bench-smoke: incremental edit not 5x faster than scratch on %d row(s)@."
+      !failures;
+    exit 1
+  end
+  else Format.printf "bench-smoke: incremental edit >= 5x on every gated row@."
+
+(* E21 smoke (dune runtest via @incr-smoke): a deterministic
+   correctness pass, no timing.  On each standing workload, run the
+   cut+regrow cycle through Maint and require (a) a clean support audit
+   after every edit, (b) the maintained state back at its pre-edit size
+   — the regrow must re-fire the killed derivations with their original
+   vertices, not grow a second grid.  Then shape-check the checked-in
+   BENCH_incr.json: both workloads present in both modes, every
+   recorded speedup at or above the 5x floor the gate enforces. *)
+let incr_smoke baseline_path =
+  let failures = ref 0 in
+  let check name ok =
+    Format.printf "incr-smoke %-44s %s@." name (if ok then "ok" else "FAIL");
+    if not ok then incr failures
+  in
+  (* E10 tgd cycle *)
+  (let deps = Tgd.Dep.t_q [ ("p2", path_query 2) ] in
+   let base = fst (Tgd.Greenred.green_canonical (path_query 5)) in
+   let gedge = Relational.Symbol.green (Relational.Symbol.make "E" 2) in
+   let greens =
+     List.sort Relational.Fact.compare
+       (Relational.Structure.facts_with_sym base gedge)
+   in
+   let mid = List.nth greens (List.length greens / 2) in
+   let m, s0 =
+     Tgd.Chase.Maint.create deps (Relational.Structure.copy base)
+   in
+   check "E10 initial chase reached fixpoint" s0.Tgd.Chase.fixpoint;
+   let size0 = Relational.Structure.size (Tgd.Chase.Maint.structure m) in
+   let st = Tgd.Chase.Maint.apply_edit m [ Tgd.Chase.Maint.Retract mid ] in
+   check "E10 cut retracted the base fact" (st.Tgd.Chase.Maint.e_retracted = 1);
+   check "E10 audit clean after cut" (Tgd.Chase.Maint.check m = []);
+   ignore (Tgd.Chase.Maint.apply_edit m [ Tgd.Chase.Maint.Insert mid ]);
+   check "E10 audit clean after regrow" (Tgd.Chase.Maint.check m = []);
+   check "E10 regrow restored the pre-edit size"
+     (Relational.Structure.size (Tgd.Chase.Maint.structure m) = size0));
+  (* grid (4,4) graph cycle *)
+  (let module G = Greengraph.Graph in
+   let module R = Greengraph.Rule in
+   let base, _, _ = Separating.Paths.collision ~t:4 ~t':4 in
+   let rules = Separating.Tbox.rules in
+   let e = List.hd (G.edges base) in
+   let lab =
+     match e.G.label with
+     | Some i -> Greengraph.Label.l i
+     | None -> Greengraph.Label.empty
+   in
+   let m, s0 = R.Maint.create rules (G.copy base) in
+   check "grid initial chase reached fixpoint" s0.R.fixpoint;
+   let size0 = G.size (R.Maint.graph m) in
+   let st = R.Maint.apply_edit m [ R.Maint.Retract (lab, e.G.src, e.G.dst) ] in
+   check "grid cut tore the grid off the fold edge" (st.R.Maint.e_killed >= 50);
+   check "grid audit clean after cut" (R.Maint.check m = []);
+   ignore (R.Maint.apply_edit m [ R.Maint.Insert (lab, e.G.src, e.G.dst) ]);
+   check "grid audit clean after regrow" (R.Maint.check m = []);
+   check "grid regrow restored the pre-edit size"
+     (G.size (R.Maint.graph m) = size0);
+   check "grid models the T-box at fixpoint" (R.models rules (R.Maint.graph m)));
+  (* shape of the checked-in baseline *)
+  (let ic = open_in baseline_path in
+   let rows = ref [] in
+   (try
+      while true do
+        let line = input_line ic in
+        match
+          ( scan_field line "experiment",
+            scan_field line "mode",
+            scan_field line "wall_s" )
+        with
+        | Some e, Some mo, Some w ->
+            rows :=
+              (e, mo, float_of_string w, scan_field line "speedup") :: !rows
+        | _ -> ()
+      done
+    with End_of_file -> close_in ic);
+   List.iter
+     (fun name ->
+       let mode m = List.exists (fun (e, mo, _, _) -> e = name && mo = m) !rows in
+       check (name ^ ": scratch row present") (mode "scratch");
+       check (name ^ ": incr row present") (mode "incr"))
+     incr_workload_names;
+   List.iter
+     (fun (e, mo, _, speedup) ->
+       if mo = "incr" then
+         check
+           (e ^ ": recorded speedup >= 5x")
+           (match speedup with
+           | Some s -> float_of_string s >= 5.0
+           | None -> false))
+     !rows);
+  if !failures > 0 then begin
+    Format.printf "incr-smoke: %d check(s) failed@." !failures;
+    exit 1
+  end
+  else Format.printf "incr-smoke: all checks passed@."
+
 (* E19: the par-pipeline ablation — plan ordering (fixed / cost / auto,
    where auto adds the generic-join evaluator on cyclic bodies) × firing
    (sequential / staged two-phase) on the E10 chase at jobs=1, the bench
@@ -989,6 +1257,7 @@ let class_of_spec = function
   | Serve.Job.Worm _ -> "worm"
   | Serve.Job.Determinacy _ -> "determinacy"
   | Serve.Job.Audit _ -> "audit"
+  | Serve.Job.Mutate _ -> "mutate"
 
 (* One client: submit its job list sequentially over one connection,
    waiting each job to a terminal state; returns
@@ -1189,21 +1458,32 @@ let () =
       emit_hom_json ();
       emit_audit_json ()
   | "regress" ->
-      (* `regress [--engine par] [baseline]`: the baseline gate always
-         runs; `--engine par` adds the par-vs-seminaive wall-clock gate. *)
+      (* `regress [--engine par] [--incr] [baseline]`: the baseline gate
+         always runs; `--engine par` adds the par-vs-seminaive
+         wall-clock gate, `--incr` the incremental-vs-scratch one. *)
       let rest =
         Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
       in
       let gate_par = List.mem "--engine" rest && List.mem "par" rest in
+      let gate_incr = List.mem "--incr" rest in
       let baseline =
-        match List.filter (fun a -> a <> "--engine" && a <> "par") rest with
+        match
+          List.filter
+            (fun a -> a <> "--engine" && a <> "par" && a <> "--incr")
+            rest
+        with
         | b :: _ -> b
         | [] -> "BENCH_chase.json"
       in
       regress baseline;
-      if gate_par then par_gate ()
+      if gate_par then par_gate ();
+      if gate_incr then incr_gate ()
   | "ablation" -> emit_ablation ()
   | "overhead" -> emit_overhead ()
+  | "incr" -> emit_incr_json ()
+  | "incr-smoke" ->
+      incr_smoke
+        (if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_incr.json")
   | "serve" -> emit_serve_json ()
   | "serve-smoke" ->
       serve_smoke

@@ -664,7 +664,7 @@ let serve_cmd =
 (* One-shot client: print the daemon's JSON reply line and exit through
    the taxonomy (a waited-for job propagates its own exit code). *)
 let client () socket tcp_port op id views q0 stages engine machine steps seed
-    cases job_quantum timeout =
+    cases job_quantum timeout instance edits =
   let conn =
     let tcp = Option.map (fun p -> ("127.0.0.1", p)) tcp_port in
     match Serve.Client.connect ?tcp ~socket () with
@@ -702,6 +702,42 @@ let client () socket tcp_port op id views q0 stages engine machine steps seed
           match machine with Some m -> m | None -> fail "missing --machine"
         in
         Serve.Job.Worm { machine; steps }
+    | "submit-mutate" ->
+        let q0 = match q0 with Some q -> q | None -> fail "missing --q0" in
+        let instance =
+          match instance with
+          | Some i -> i
+          | None -> fail "missing --instance"
+        in
+        if views = [] then fail "missing --view";
+        if edits = [] then fail "missing --edit";
+        let views = List.mapi (fun i r -> (Printf.sprintf "v%d" i, r)) views in
+        (* --edit insert:rel:1,2 | retract:rel:1,-1 (negative = fresh) *)
+        let parse_edit s =
+          match String.split_on_char ':' s with
+          | [ verb; rel; args ] -> (
+              let add =
+                match verb with
+                | "insert" -> true
+                | "retract" -> false
+                | _ -> fail (Printf.sprintf "bad edit verb in %S" s)
+              in
+              match
+                List.map int_of_string (String.split_on_char ',' args)
+              with
+              | args -> { Serve.Job.add; rel; args }
+              | exception _ -> fail (Printf.sprintf "bad edit args in %S" s))
+          | _ -> fail (Printf.sprintf "bad edit %S (verb:rel:a,b)" s)
+        in
+        Serve.Job.Mutate
+          {
+            instance;
+            views;
+            q0;
+            ops = List.map parse_edit edits;
+            max_stages = stages;
+            engine;
+          }
     | _ -> Serve.Job.Audit { seed; cases; max_stages = stages }
   in
   let result =
@@ -720,8 +756,8 @@ let client () socket tcp_port op id views q0 stages engine machine steps seed
             print_reply reply;
             job_exit reply;
             exit 0)
-    | ("submit-chase" | "submit-determinacy" | "submit-worm" | "submit-audit")
-      as kind -> (
+    | ( "submit-chase" | "submit-determinacy" | "submit-worm" | "submit-audit"
+      | "submit-mutate" ) as kind -> (
         let spec = spec_of_op kind in
         match Serve.Client.submit conn ?quantum:job_quantum spec with
         | Error m -> Error m
@@ -744,7 +780,7 @@ let client_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"OP"
           ~doc:
-            "One of: ping, submit-chase, submit-determinacy, submit-worm,              submit-audit, status, wait, cancel, jobs, stats, drain.")
+            "One of: ping, submit-chase, submit-determinacy, submit-worm,              submit-audit, submit-mutate, status, wait, cancel, jobs,              stats, drain.")
   in
   let id = Arg.(value & pos 1 (some string) None & info [] ~docv:"JOB") in
   let views =
@@ -787,6 +823,20 @@ let client_cmd =
       & opt (some float) None
       & info [ "timeout" ] ~docv:"SEC" ~doc:"Poll interval for wait.")
   in
+  let instance =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "instance" ] ~docv:"NAME"
+          ~doc:"Held-instance name of a mutate job.")
+  in
+  let edits =
+    Arg.(
+      value & opt_all string []
+      & info [ "edit"; "e" ] ~docv:"EDIT"
+          ~doc:
+            "An edit op (repeatable, in order): insert:REL:A,B or              retract:REL:A,B — negative element ids allocate fresh              elements, shared across the instance.")
+  in
   Cmd.v
     (Cmd.info "client" ~exits
        ~doc:
@@ -794,7 +844,7 @@ let client_cmd =
     Term.(
       const client $ obs_term $ socket_arg $ tcp_port_arg $ op $ id $ views
       $ q0 $ stages $ engine_arg $ machine $ steps $ seed $ cases
-      $ job_quantum $ timeout)
+      $ job_quantum $ timeout $ instance $ edits)
 
 let () =
   let doc = "Red Spider Meets a Rainworm — PODS 2016, executable" in

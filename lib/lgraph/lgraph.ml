@@ -32,6 +32,13 @@ module Make (Label : LABEL) = struct
 
   module Label_tbl = Hashtbl.Make (Label_key)
 
+  module Edge_tbl = Hashtbl.Make (struct
+    type t = edge
+
+    let equal a b = edge_compare a b = 0
+    let hash (e : edge) = Hashtbl.hash (Hashtbl.hash e.label, e.src, e.dst)
+  end)
+
   (* (vertex, label) adjacency buckets — the graph analog of the
      relational (symbol, position, element) pin index: joins that fix one
      endpoint and a label read their candidates off directly instead of
@@ -43,6 +50,12 @@ module Make (Label : LABEL) = struct
     let hash (v, l) = Hashtbl.hash (v, Hashtbl.hash l)
   end)
 
+  (* Journal cells carry a liveness bit: a removed edge's entry becomes a
+     tombstone so old watermarks keep their positions, and a re-added
+     edge gets a fresh cell — the resurrection lands in the current
+     delta, mirroring the relational fact arena. *)
+  type jcell = { je : edge; mutable jlive : bool }
+
   type t = {
     mutable next : int;
     mutable edges : Edge_set.t;
@@ -53,8 +66,9 @@ module Make (Label : LABEL) = struct
     by_dst_lab : edge list ref Vlab_tbl.t;
     names : (int, string) Hashtbl.t;
     mutable vertices : (int, unit) Hashtbl.t;
-    mutable journal_rev : edge list;  (* delta journal, newest first *)
+    mutable journal : jcell array; (* delta journal, oldest first *)
     mutable journal_len : int;
+    jpos : int Edge_tbl.t; (* live edge -> its journal cell *)
   }
 
   let create () =
@@ -68,9 +82,23 @@ module Make (Label : LABEL) = struct
       by_dst_lab = Vlab_tbl.create 64;
       names = Hashtbl.create 16;
       vertices = Hashtbl.create 64;
-      journal_rev = [];
+      journal = [||];
       journal_len = 0;
+      jpos = Edge_tbl.create 64;
     }
+
+  let journal_push t e =
+    let n = Array.length t.journal in
+    if t.journal_len >= n then begin
+      let grown =
+        Array.make (max 16 (2 * n)) { je = e; jlive = false }
+      in
+      Array.blit t.journal 0 grown 0 t.journal_len;
+      t.journal <- grown
+    end;
+    t.journal.(t.journal_len) <- { je = e; jlive = true };
+    Edge_tbl.replace t.jpos e t.journal_len;
+    t.journal_len <- t.journal_len + 1
 
   let register t v =
     if not (Hashtbl.mem t.vertices v) then Hashtbl.replace t.vertices v ();
@@ -134,10 +162,62 @@ module Make (Label : LABEL) = struct
       in
       push_vlab t.by_src_lab (src, label);
       push_vlab t.by_dst_lab (dst, label);
-      t.journal_rev <- e :: t.journal_rev;
-      t.journal_len <- t.journal_len + 1;
+      journal_push t e;
       true
     end
+
+  (* Remove a live edge from the edge set and every index bucket; its
+     journal cell becomes a tombstone, so watermarks taken before the
+     removal stay valid.  Returns [false] if the edge was not present.
+     Endpoints stay registered — see {!remove_vertex}. *)
+  let remove_edge t label src dst =
+    let e = { label; src; dst } in
+    if not (Edge_set.mem e t.edges) then false
+    else begin
+      t.edges <- Edge_set.remove e t.edges;
+      let drop tbl k =
+        match Hashtbl.find_opt tbl k with
+        | Some r -> r := List.filter (fun e' -> edge_compare e e' <> 0) !r
+        | None -> ()
+      in
+      drop t.by_src src;
+      drop t.by_dst dst;
+      (match Label_tbl.find_opt t.by_label label with
+      | Some r -> r := List.filter (fun e' -> edge_compare e e' <> 0) !r
+      | None -> ());
+      let drop_vlab tbl k =
+        match Vlab_tbl.find_opt tbl k with
+        | Some r -> r := List.filter (fun e' -> edge_compare e e' <> 0) !r
+        | None -> ()
+      in
+      drop_vlab t.by_src_lab (src, label);
+      drop_vlab t.by_dst_lab (dst, label);
+      (match Edge_tbl.find_opt t.jpos e with
+      | Some i ->
+          t.journal.(i).jlive <- false;
+          Edge_tbl.remove t.jpos e
+      | None -> ());
+      true
+    end
+
+  (* Unregister an isolated vertex (no incident live edges).  The id is
+     never reallocated — [next] does not move back — so a later re-added
+     edge may re-register the same id.  Returns [false] if the vertex is
+     unknown or still has incident edges. *)
+  let remove_vertex t v =
+    if not (Hashtbl.mem t.vertices v) then false
+    else
+      let busy tbl =
+        match Hashtbl.find_opt tbl v with
+        | Some r -> !r <> []
+        | None -> false
+      in
+      if busy t.by_src || busy t.by_dst then false
+      else begin
+        Hashtbl.remove t.vertices v;
+        Hashtbl.remove t.names v;
+        true
+      end
 
   (* Every registered vertex id is [< next_vertex t] ([register] bumps
      [next] past any id it sees), so [next_vertex] bounds vertex ids for
@@ -146,15 +226,17 @@ module Make (Label : LABEL) = struct
 
   (* Delta journal: every added edge in insertion order; a watermark marks
      a position so semi-naive rule engines can match against only the
-     edges added since the previous stage. *)
+     edges added since the previous stage.  Tombstoned (removed) entries
+     are skipped. *)
   let watermark t = t.journal_len
 
   let delta_since t wm =
-    let rec take acc k l =
-      if k <= 0 then acc
-      else match l with [] -> acc | e :: rest -> take (e :: acc) (k - 1) rest
-    in
-    take [] (t.journal_len - wm) t.journal_rev
+    let acc = ref [] in
+    for i = t.journal_len - 1 downto max wm 0 do
+      let c = t.journal.(i) in
+      if c.jlive then acc := c.je :: !acc
+    done;
+    !acc
 
   let edges t = Edge_set.elements t.edges
   let size t = Edge_set.cardinal t.edges

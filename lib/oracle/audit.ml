@@ -110,32 +110,57 @@ let structure ?(provenance = false) d =
         fail violations "element bucket %d: %d facts indexed, %d expected" e
           (List.length got) (List.length expected))
     elems;
-  (* the dense-id arena view agrees with the boxed facts *)
-  if Structure.nfacts d <> n then
-    fail violations "nfacts=%d but %d facts enumerate" (Structure.nfacts d) n;
+  (* the dense-id arena view agrees with the boxed facts.  With
+     retractions the journal keeps dead entries: the id bound is the
+     live count plus the retraction count, and dead ids are excluded
+     from the bucket ground truth below. *)
+  let nretr = Structure.retraction_count d in
+  if Structure.nfacts d <> n + nretr then
+    fail violations "nfacts=%d but %d facts enumerate (+%d retracted)"
+      (Structure.nfacts d) n nretr;
   for id = 0 to Structure.nfacts d - 1 do
-    let f = Structure.id_fact d id in
-    let sym = Fact.sym f in
-    let sid = Structure.sym_id d sym in
-    if sid < 0 then
-      fail violations "fact %d's symbol %a is not interned" id Symbol.pp sym
-    else if Structure.id_sym d id <> sid then
-      fail violations "id_sym %d=%d but sym_id %a=%d" id
-        (Structure.id_sym d id) Symbol.pp sym sid;
-    Array.iteri
-      (fun pos e ->
-        if Structure.id_arg d id pos <> e then
-          fail violations "arena arg (%d,%d)=%d but fact %a has %d" id pos
-            (Structure.id_arg d id pos) (Fact.pp ()) f e)
-      (Fact.args f)
+    if Structure.live_id d id then begin
+      let f = Structure.id_fact d id in
+      let sym = Fact.sym f in
+      let sid = Structure.sym_id d sym in
+      if sid < 0 then
+        fail violations "fact %d's symbol %a is not interned" id Symbol.pp sym
+      else if Structure.id_sym d id <> sid then
+        fail violations "id_sym %d=%d but sym_id %a=%d" id
+          (Structure.id_sym d id) Symbol.pp sym sid;
+      Array.iteri
+        (fun pos e ->
+          if Structure.id_arg d id pos <> e then
+            fail violations "arena arg (%d,%d)=%d but fact %a has %d" id pos
+              (Structure.id_arg d id pos) (Fact.pp ()) f e)
+        (Fact.args f)
+    end
   done;
-  (* dense-id buckets are the id images of the boxed buckets *)
+  (* the retraction journal names exactly the dead ids *)
+  let retr = Structure.retractions d in
+  if List.length retr <> nretr then
+    fail violations "retraction journal has %d entries, count says %d"
+      (List.length retr) nretr;
+  List.iter
+    (fun (id, f) ->
+      if id < 0 || id >= Structure.nfacts d then
+        fail violations "retracted id %d outside the journal" id
+      else if Structure.live_id d id then
+        fail violations "retracted id %d still live" id
+      else if not (Fact.equal (Structure.id_fact d id) f) then
+        fail violations "retracted id %d holds %a, journal says %a" id
+          (Fact.pp ()) (Structure.id_fact d id) (Fact.pp ()) f)
+    retr;
+  (* dense-id buckets are the id images of the boxed buckets (live ids
+     only: a resurrected fact's dead former id must not count) *)
   let ids_of fs =
     List.sort Int.compare
       (List.concat_map
          (fun f ->
            List.filteri
-             (fun id _ -> Fact.equal (Structure.id_fact d id) f)
+             (fun id _ ->
+               Structure.live_id d id
+               && Fact.equal (Structure.id_fact d id) f)
              (List.init (Structure.nfacts d) Fun.id))
          fs)
   in
@@ -166,14 +191,15 @@ let structure ?(provenance = false) d =
           (List.length expected))
     truth;
   (* journal and watermark *)
-  if Structure.watermark d <> n then
-    fail violations "watermark=%d but size=%d" (Structure.watermark d) n;
+  if Structure.watermark d <> n + nretr then
+    fail violations "watermark=%d but size=%d (+%d retracted)"
+      (Structure.watermark d) n nretr;
   let lo, hi = Structure.delta_ids d (Structure.watermark d) in
   if lo <> hi then
     fail violations "delta_ids at the watermark is nonempty: [%d, %d)" lo hi;
   (let lo, hi = Structure.delta_ids d 0 in
-   if lo <> 0 || hi <> n then
-     fail violations "delta_ids 0 = [%d, %d), expected [0, %d)" lo hi n);
+   if lo <> 0 || hi <> n + nretr then
+     fail violations "delta_ids 0 = [%d, %d), expected [0, %d)" lo hi (n + nretr));
   let journal = Structure.delta_since d 0 in
   if List.length journal <> n then
     fail violations "journal has %d entries for %d facts" (List.length journal) n;

@@ -1,0 +1,23 @@
+(** The incremental-maintenance oracle: seeded random edit scripts over
+    random instances and rule sets, with the maintained structure
+    bit-diffed (audit, models, pinned hom-equivalence) against a
+    from-scratch chase after every script.  Cases whose runs exhaust the
+    stage budget are counted incomparable and skipped — capped runs need
+    not align — so a clean report means: every comparable script
+    preserved universal-model equivalence, on both the TGD and the
+    green-graph maintenance layers, across both delta engines. *)
+
+type report = {
+  seed : int;
+  cases : int;
+  scripts : int;  (** edit scripts actually diffed *)
+  edits : int;  (** individual ops across those scripts *)
+  incomparable : int;  (** runs skipped: no fixpoint within budget *)
+  violations : (int * string list) list;
+      (** failing cases: (case index, violation descriptions) *)
+}
+
+(** Deterministic: case [i] depends only on [(seed, i)]. *)
+val run_cases : seed:int -> cases:int -> unit -> report
+
+val pp_report : Format.formatter -> report -> unit

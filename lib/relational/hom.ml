@@ -1195,6 +1195,7 @@ module Plan = struct
   let delta_index_of target ~lo ~hi : delta_index =
     let idx = Array.make (max (Structure.n_sym_ids target) 1) no_ids in
     for id = lo to hi - 1 do
+      if Structure.live_id target id then begin
       let sid = Structure.id_sym target id in
       let v =
         if idx.(sid) == no_ids then begin
@@ -1205,6 +1206,7 @@ module Plan = struct
         else idx.(sid)
       in
       Intvec.push v id
+      end
     done;
     idx
 

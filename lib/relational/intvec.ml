@@ -67,6 +67,21 @@ let lower_bound t x =
   done;
   !lo
 
+(* Remove one occurrence of [x] from a sorted vector, preserving the
+   ascending order of the survivors: binary search, then shift the tail
+   left by one.  Returns [false] when [x] is absent.  This is the
+   retraction path of the index buckets — removal keeps every invariant
+   the hot paths rely on ([lower_bound] tails, newest-first enumeration),
+   it only makes the retracted id invisible. *)
+let remove_sorted t x =
+  let i = lower_bound t x in
+  if i < t.len && Array.unsafe_get t.data i = x then begin
+    Array.blit t.data (i + 1) t.data i (t.len - i - 1);
+    t.len <- t.len - 1;
+    true
+  end
+  else false
+
 let fold_left f acc t =
   let acc = ref acc in
   for i = 0 to t.len - 1 do

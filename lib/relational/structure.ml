@@ -44,13 +44,18 @@ type t = {
   const_of : (int, string) Hashtbl.t;        (* element -> constant name *)
   names : (int, string) Hashtbl.t;           (* optional debug labels *)
   facts : int Fact.Tbl.t;                    (* fact -> stage added *)
+  ids : int Fact.Tbl.t;                      (* live fact -> arena id *)
   arena : Fact_arena.t;                      (* interned flat fact store *)
   mutable by_sym : Intvec.t array;           (* sym id -> fact ids *)
   by_elem : (int, Fact.t list ref) Hashtbl.t;
   by_pin : Intvec.t Pin_tbl.t;               (* (sym id, pos, elem) -> ids *)
   dom : (int, int) Hashtbl.t;                (* element -> birth stage *)
+  elem_refs : (int, int) Hashtbl.t;          (* element -> live facts using it *)
+  dead : (int, unit) Hashtbl.t;              (* retracted arena ids *)
+  mutable retracted : (int * Fact.t) list;   (* retraction journal, newest first *)
+  mutable nretracted : int;
   mutable stage : int;                       (* current provenance stage *)
-  mutable nfacts : int;
+  mutable nfacts : int;                      (* live fact count *)
 }
 
 let create () =
@@ -60,11 +65,16 @@ let create () =
     const_of = Hashtbl.create 16;
     names = Hashtbl.create 64;
     facts = Fact.Tbl.create 256;
+    ids = Fact.Tbl.create 256;
     arena = Fact_arena.create ();
     by_sym = Array.make 8 empty_ids;
     by_elem = Hashtbl.create 256;
     by_pin = Pin_tbl.create 256;
     dom = Hashtbl.create 256;
+    elem_refs = Hashtbl.create 256;
+    dead = Hashtbl.create 16;
+    retracted = [];
+    nretracted = 0;
     stage = 0;
     nfacts = 0;
   }
@@ -114,8 +124,12 @@ let add_fact t f =
   else begin
     Fact.Tbl.replace t.facts f t.stage;
     t.nfacts <- t.nfacts + 1;
-    (* the arena assigns the dense id; its id order IS the journal *)
+    (* the arena assigns the dense id; its id order IS the journal.  A
+       re-added fact (inserted after a retraction) gets a *new* id: the
+       journal is append-only, so the resurrection lands in the current
+       delta and semi-naive discovery sees it like any other new fact. *)
     let id = Fact_arena.append t.arena f in
+    Fact.Tbl.replace t.ids f id;
     let sid = Fact_arena.sym t.arena id in
     if sid >= Array.length t.by_sym then begin
       let a = Array.make (2 * max (sid + 1) (Array.length t.by_sym)) empty_ids in
@@ -147,6 +161,8 @@ let add_fact t f =
         Intvec.push b id;
         if not (Hashtbl.mem seen e) then begin
           Hashtbl.replace seen e ();
+          Hashtbl.replace t.elem_refs e
+            (1 + Option.value ~default:0 (Hashtbl.find_opt t.elem_refs e));
           let r =
             match Hashtbl.find_opt t.by_elem e with
             | Some r -> r
@@ -161,10 +177,72 @@ let add_fact t f =
     true
   end
 
+(* Retract a live fact: physical, order-preserving removal from every
+   index the homomorphism engine reads.  The arena keeps the dead entry —
+   the journal is append-only and fact ids are never reused — but the id
+   leaves its [by_sym] and [by_pin] buckets (a sorted shift, so bucket
+   order, [lower_bound] tails and newest-first enumeration are exactly
+   what a structure that never held the fact would present) and the fact
+   leaves [facts]/[by_elem].  The retraction is recorded in its own
+   journal, newest first.
+
+   Elements are reference-counted by live facts: a non-constant element
+   whose count reaches zero and whose birth stage is past the base stage
+   (a chase-created null) leaves the domain — re-adding a fact over it
+   later re-registers it.  Base-stage elements stay: they belong to the
+   instance, facts or not. *)
+let retract_fact t f =
+  match Fact.Tbl.find_opt t.ids f with
+  | None -> false
+  | Some id ->
+      Fact.Tbl.remove t.facts f;
+      Fact.Tbl.remove t.ids f;
+      t.nfacts <- t.nfacts - 1;
+      Hashtbl.replace t.dead id ();
+      t.retracted <- (id, f) :: t.retracted;
+      t.nretracted <- t.nretracted + 1;
+      let sid = Fact_arena.sym t.arena id in
+      ignore (Intvec.remove_sorted t.by_sym.(sid) id);
+      let seen = Hashtbl.create 4 in
+      Array.iteri
+        (fun i e ->
+          (match Pin_tbl.find_opt t.by_pin (sid, i, e) with
+          | Some b -> ignore (Intvec.remove_sorted b id)
+          | None -> ());
+          if not (Hashtbl.mem seen e) then begin
+            Hashtbl.replace seen e ();
+            (match Hashtbl.find_opt t.by_elem e with
+            | Some r -> r := List.filter (fun g -> not (Fact.equal g f)) !r
+            | None -> ());
+            let refs =
+              Option.value ~default:1 (Hashtbl.find_opt t.elem_refs e) - 1
+            in
+            if refs <= 0 then begin
+              Hashtbl.remove t.elem_refs e;
+              if
+                (not (Hashtbl.mem t.const_of e))
+                && Option.value ~default:0 (Hashtbl.find_opt t.dom e) > 0
+              then begin
+                Hashtbl.remove t.dom e;
+                Hashtbl.remove t.by_elem e
+              end
+            end
+            else Hashtbl.replace t.elem_refs e refs
+          end)
+        (Fact.args f);
+      true
+
+let live_id t id = not (Hashtbl.mem t.dead id)
+let retraction_count t = t.nretracted
+
+(* The retraction journal, oldest first: (arena id, fact) pairs. *)
+let retractions t = List.rev t.retracted
+
 let add t sym args = ignore (add_fact t (Fact.make sym args))
 let add2 t sym a b = ignore (add_fact t (Fact.app2 sym a b))
 
 let fact_stage t f = Fact.Tbl.find_opt t.facts f
+let fact_id t f = Fact.Tbl.find_opt t.ids f
 let elem_stage t e = Hashtbl.find_opt t.dom e
 
 let card t = Hashtbl.length t.dom
@@ -183,7 +261,10 @@ let elems t = Hashtbl.fold (fun e _ acc -> e :: acc) t.dom []
    the flat argument arena — never on boxed [Fact.t]s.  Buckets are
    returned as shared [Intvec.t]s; callers must not mutate them. *)
 
-let nfacts t = t.nfacts
+(* Dense-id bound: every live id is below this.  With retractions the
+   arena length and the live count diverge; the hot path iterates ids via
+   the buckets (which hold live ids only), so the bound is the arena's. *)
+let nfacts t = Fact_arena.n_facts t.arena
 
 (* The interned id of [sym], or [-1] when the structure has no fact with
    it (an un-interned symbol has an empty pool by construction). *)
@@ -226,20 +307,26 @@ let pin_count t sym pos e =
   let sid = sym_id t sym in
   if sid < 0 then 0 else pin_count_id t sid pos e
 
-(* The delta journal: the arena's id order is insertion order and
-   [nfacts] doubles as the journal length, so a watermark is just the
-   fact count at some past moment and a delta is an id interval. *)
-let watermark t = t.nfacts
+(* The delta journal: the arena's id order is insertion order and the
+   arena length is the journal length, so a watermark is the journal
+   length at some past moment and a delta is an id interval.  Retraction
+   never rewrites the journal — dead ids simply stop being enumerated —
+   so watermarks taken before an edit stay valid across it. *)
+let watermark t = Fact_arena.n_facts t.arena
 
 let delta_since t wm =
   let rec go id acc =
-    if id < wm then acc else go (id - 1) (id_fact t id :: acc)
+    if id < wm then acc
+    else
+      go (id - 1) (if Hashtbl.mem t.dead id then acc else id_fact t id :: acc)
   in
-  go (t.nfacts - 1) []
+  go (Fact_arena.n_facts t.arena - 1) []
 
-(* Delta as an id interval [wm, nfacts): what the sharded parallel scan
-   partitions. *)
-let delta_ids t wm = (wm, t.nfacts)
+(* Delta as an id interval [wm, journal length): what the sharded
+   parallel scan partitions.  Dead ids inside the interval are skipped by
+   the bucket-driven scans (a dead id is in no bucket); raw-range
+   consumers must check {!live_id}. *)
+let delta_ids t wm = (wm, Fact_arena.n_facts t.arena)
 
 let symbols t =
   let acc = ref [] in

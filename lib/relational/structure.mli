@@ -23,6 +23,10 @@ val stage : t -> int
 (** The stage at which a fact was added, if present. *)
 val fact_stage : t -> Fact.t -> int option
 
+(** The dense (journal) id of a live fact, if present.  A fact retracted
+    and re-added carries the id of its latest insertion. *)
+val fact_id : t -> Fact.t -> int option
+
 (** The stage at which an element was created, if present. *)
 val elem_stage : t -> int -> int option
 
@@ -66,6 +70,26 @@ val add : t -> Symbol.t -> int array -> unit
 (** Binary convenience. *)
 val add2 : t -> Symbol.t -> int -> int -> unit
 
+(** [retract_fact t f] removes a live fact: its id leaves every index
+    bucket (a sorted in-place shift, so bucket order and [lower_bound]
+    tails stay exact) and the fact leaves the live set, while the
+    append-only journal keeps the dead entry so old watermarks stay
+    valid.  The retraction is recorded in the retraction journal.
+    Non-constant elements born after the base stage whose last live fact
+    disappears leave the domain.  Returns [false] if [f] was not
+    present.  Re-adding [f] later assigns a fresh journal id, so the
+    resurrection lands in the current delta. *)
+val retract_fact : t -> Fact.t -> bool
+
+(** [live_id t id] — is journal entry [id] still a live fact? *)
+val live_id : t -> int -> bool
+
+(** The retraction journal, oldest first: (journal id, fact) pairs. *)
+val retractions : t -> (int * Fact.t) list
+
+(** Length of the retraction journal. *)
+val retraction_count : t -> int
+
 (** Number of elements. *)
 val card : t -> int
 
@@ -99,7 +123,9 @@ val pin_count : t -> Symbol.t -> int -> int -> int
     this view.  Returned buckets are the live index vectors — treat them
     as read-only. *)
 
-(** Number of facts; the id space is [0 .. nfacts - 1]. *)
+(** The dense-id bound: every (live or dead) id is in
+    [0 .. nfacts - 1].  Equals {!size} until the first retraction;
+    afterwards it is the journal length, which only grows. *)
 val nfacts : t -> int
 
 (** The interned id of [sym], or [-1] if no fact uses it. *)
@@ -139,11 +165,13 @@ val delta_ids : t -> int -> int * int
     point in that journal.  The semi-naive chase matches each stage's TGD
     bodies only against the facts added since the previous stage. *)
 
-(** The current journal position (equals {!size}). *)
+(** The current journal position: the journal length (equals {!size}
+    until the first retraction).  Watermarks taken before an edit stay
+    valid across retractions — the journal is append-only. *)
 val watermark : t -> int
 
-(** [delta_since t wm] — the facts added since [watermark t] returned
-    [wm], oldest first. *)
+(** [delta_since t wm] — the live facts journalled since [watermark t]
+    returned [wm], oldest first.  Retracted entries are skipped. *)
 val delta_since : t -> int -> Fact.t list
 
 (** The symbols with at least one fact. *)

@@ -19,6 +19,13 @@
 
 type engine = Tgd.Chase.engine
 
+(* One fact edit of a mutate job.  Elements are referenced by the
+   structure's integer ids; a negative id names a fresh element, to be
+   allocated on first use and shared across the whole edit script (so
+   [{add; rel="E"; args=[4; -1]}] appends an edge into a brand-new
+   vertex). *)
+type edit_op = { add : bool; rel : string; args : int list }
+
 type spec =
   | Chase of {
       views : (string * string) list; (* (name, rule) as submitted *)
@@ -34,6 +41,14 @@ type spec =
     }
   | Worm of { machine : string; steps : int }
   | Audit of { seed : int; cases : int; max_stages : int }
+  | Mutate of {
+      instance : string; (* daemon-held maintained instance, by name *)
+      views : (string * string) list; (* its definition, used on first touch *)
+      q0 : string;
+      ops : edit_op list; (* the edit script, applied as one edit *)
+      max_stages : int;
+      engine : engine;
+    }
 
 type result_ = {
   outcome : string;  (* Governor.pp_outcome string, or a class verdict *)
@@ -86,6 +101,13 @@ let kind = function
   | Determinacy _ -> "determinacy"
   | Worm _ -> "worm"
   | Audit _ -> "audit"
+  | Mutate _ -> "mutate"
+
+(* The daemon-held instance a job drives, if any: the scheduler never
+   batches two jobs of the same instance into one round. *)
+let instance_of = function
+  | Mutate { instance; _ } -> Some instance
+  | Chase _ | Determinacy _ | Worm _ | Audit _ -> None
 
 let state_name = function
   | Queued -> "queued"
@@ -162,6 +184,14 @@ let validate spec =
       else Ok ()
   | Audit { cases; _ } ->
       if cases <= 0 then Error "cases must be positive" else Ok ()
+  | Mutate { instance; views; q0; ops; max_stages; engine } ->
+      if instance = "" then Error "instance must be named"
+      else if max_stages <= 0 then Error "max_stages must be positive"
+      else if engine <> `Seminaive && engine <> `Par then
+        Error "mutate jobs need a maintained engine (seminaive/par)"
+      else if List.exists (fun o -> o.rel = "") ops then
+        Error "edit op with an empty relation name"
+      else Result.map (fun _ -> ()) (parse_rules views q0)
 
 (* --- structure digest -------------------------------------------------- *)
 
@@ -223,6 +253,27 @@ let spec_to_json spec =
           ("cases", Json.Int cases);
           ("max_stages", Json.Int max_stages);
         ]
+  | Mutate { instance; views; q0; ops; max_stages; engine } ->
+      Json.Obj
+        [
+          ("kind", Json.String "mutate");
+          ("instance", Json.String instance);
+          ("views", views_json views);
+          ("q0", Json.String q0);
+          ( "ops",
+            Json.List
+              (List.map
+                 (fun o ->
+                   Json.Obj
+                     [
+                       ("op", Json.String (if o.add then "insert" else "retract"));
+                       ("rel", Json.String o.rel);
+                       ("args", Json.List (List.map (fun a -> Json.Int a) o.args));
+                     ])
+                 ops) );
+          ("max_stages", Json.Int max_stages);
+          ("engine", Json.String (engine_name engine));
+        ]
 
 let spec_of_json j =
   let ( let* ) = Result.bind in
@@ -276,6 +327,35 @@ let spec_of_json j =
       let cases = Option.value (Json.mem_int "cases" j) ~default:50 in
       let max_stages = Option.value (Json.mem_int "max_stages" j) ~default:4 in
       Ok (Audit { seed; cases; max_stages })
+  | "mutate" ->
+      let* instance = req "instance" (Json.mem_str "instance" j) in
+      let* views = views () in
+      let* q0 = req "q0" (Json.mem_str "q0" j) in
+      let* engine = engine () in
+      let* ops =
+        match Json.mem_list "ops" j with
+        | None -> Error "missing ops"
+        | Some os ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | o :: rest -> (
+                  let args =
+                    Option.bind (Json.mem_list "args" o) (fun vs ->
+                        let is = List.filter_map Json.to_int vs in
+                        if List.length is = List.length vs then Some is
+                        else None)
+                  in
+                  match (Json.mem_str "op" o, Json.mem_str "rel" o, args) with
+                  | Some "insert", Some rel, Some args ->
+                      go ({ add = true; rel; args } :: acc) rest
+                  | Some "retract", Some rel, Some args ->
+                      go ({ add = false; rel; args } :: acc) rest
+                  | _ -> Error "bad edit op (want op/rel/args)")
+            in
+            go [] os
+      in
+      let max_stages = Option.value (Json.mem_int "max_stages" j) ~default:64 in
+      Ok (Mutate { instance; views; q0; ops; max_stages; engine })
   | k -> Error (Printf.sprintf "unknown job kind %s" k)
 
 let result_to_json r =

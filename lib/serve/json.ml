@@ -6,8 +6,8 @@
 
    Numbers without [.eE] parse as [Int] (OCaml 63-bit); anything else as
    [Float].  Strings decode the standard escapes; [\uXXXX] is encoded
-   back to UTF-8 bytes (surrogate pairs are not recombined — the wire
-   protocol never carries them). *)
+   back to UTF-8 bytes, with high+low surrogate pairs recombined into one
+   4-byte code point and lone surrogates rejected as a parse error. *)
 
 type t =
   | Null
@@ -112,11 +112,36 @@ let parse s =
       Buffer.add_char b (Char.chr (0xc0 lor (c lsr 6)));
       Buffer.add_char b (Char.chr (0x80 lor (c land 0x3f)))
     end
-    else begin
+    else if c < 0x10000 then begin
       Buffer.add_char b (Char.chr (0xe0 lor (c lsr 12)));
       Buffer.add_char b (Char.chr (0x80 lor ((c lsr 6) land 0x3f)));
       Buffer.add_char b (Char.chr (0x80 lor (c land 0x3f)))
     end
+    else begin
+      Buffer.add_char b (Char.chr (0xf0 lor (c lsr 18)));
+      Buffer.add_char b (Char.chr (0x80 lor ((c lsr 12) land 0x3f)));
+      Buffer.add_char b (Char.chr (0x80 lor ((c lsr 6) land 0x3f)));
+      Buffer.add_char b (Char.chr (0x80 lor (c land 0x3f)))
+    end
+  in
+  (* A \u escape: BMP scalars pass through; a high surrogate must be
+     chased by a \uXXXX low surrogate (the pair recombines into one
+     supplementary code point, 4 UTF-8 bytes); anything else
+     surrogate-shaped is malformed. *)
+  let unicode_escape b =
+    let c = hex4 () in
+    if c >= 0xd800 && c <= 0xdbff then begin
+      if
+        not
+          (!pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+      then fail "lone high surrogate";
+      pos := !pos + 2;
+      let lo = hex4 () in
+      if lo < 0xdc00 || lo > 0xdfff then fail "lone high surrogate";
+      utf8_into b (0x10000 + ((c - 0xd800) lsl 10) + (lo - 0xdc00))
+    end
+    else if c >= 0xdc00 && c <= 0xdfff then fail "lone low surrogate"
+    else utf8_into b c
   in
   let string_body () =
     let b = Buffer.create 16 in
@@ -140,7 +165,7 @@ let parse s =
           | 'n' -> Buffer.add_char b '\n'
           | 'r' -> Buffer.add_char b '\r'
           | 't' -> Buffer.add_char b '\t'
-          | 'u' -> utf8_into b (hex4 ())
+          | 'u' -> unicode_escape b
           | _ -> fail "bad escape");
           go ()
       | c when Char.code c < 0x20 -> fail "raw control character in string"

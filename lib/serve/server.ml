@@ -55,6 +55,7 @@ type waiter = { wfd : Unix.file_descr; wdeadline : float option }
 type t = {
   cfg : config;
   store : Store.t;
+  instances : Runner.instances; (* daemon-held maintained chase instances *)
   jobs : (string, Job.t) Hashtbl.t;
   queue : string Queue.t;
   mutable seq : int;
@@ -152,14 +153,36 @@ let runnable (job : Job.t) =
 let run_round t =
   let batch = ref [] in
   let n_batch = ref 0 in
+  (* Jobs driving the same held instance are serialized, in submission
+     order: a mutate job is deferred while any earlier-submitted job on
+     its instance is still alive (the [Maint] state is not shareable
+     between concurrent slices, and edits must land in order), and at
+     most one job per instance enters any round. *)
+  let blocked (job : Job.t) name =
+    Hashtbl.fold
+      (fun _ (o : Job.t) acc ->
+        acc
+        || (o.Job.seq < job.Job.seq
+           && (not (Job.terminal o))
+           && Job.instance_of o.Job.spec = Some name))
+      t.jobs false
+  in
+  let busy = Hashtbl.create 4 in
+  let deferred = ref [] in
   while !n_batch < t.cfg.workers && not (Queue.is_empty t.queue) do
     let id = Queue.pop t.queue in
     match Hashtbl.find_opt t.jobs id with
-    | Some job when runnable job ->
-        batch := job :: !batch;
-        incr n_batch
+    | Some job when runnable job -> (
+        match Job.instance_of job.Job.spec with
+        | Some name when Hashtbl.mem busy name || blocked job name ->
+            deferred := id :: !deferred
+        | inst ->
+            Option.iter (fun name -> Hashtbl.replace busy name ()) inst;
+            batch := job :: !batch;
+            incr n_batch)
     | _ -> () (* cancelled or already terminal: drop the stale entry *)
   done;
+  List.iter (fun id -> Queue.add id t.queue) (List.rev !deferred);
   match Array.of_list (List.rev !batch) with
   | [||] -> false
   | batch ->
@@ -172,7 +195,8 @@ let run_round t =
       let quantum = t.cfg.quantum in
       ignore
         (Relational.Pool.run ~jobs:(min t.cfg.workers n) n (fun i ->
-             Runner.run_slice ~store:t.store ~cancel:t.drain ~quantum batch.(i)));
+             Runner.run_slice ~store:t.store ~instances:t.instances
+               ~cancel:t.drain ~quantum batch.(i)));
       t.slices_total <- t.slices_total + n;
       t.rounds_total <- t.rounds_total + 1;
       Array.iter
@@ -184,7 +208,13 @@ let run_round t =
               j.Job.state <- Job.Faulted "slice returned without a verdict"
           | _ -> ());
           persist t j;
-          if Job.terminal j then notify_waiters t j)
+          if Job.terminal j then begin
+            (* a terminal job never resumes: whatever its path here —
+               done, faulted mid-slice, or cancelled — its suspend
+               checkpoint must not outlive it *)
+            Store.remove_checkpoint t.store j.Job.id;
+            notify_waiters t j
+          end)
         batch;
       logf t "round %d: %d slice(s), %d queued" t.rounds_total n
         (Queue.length t.queue);
@@ -387,8 +417,16 @@ let recover t =
   List.iter (fun (file, m) -> logf t "store: skipping %s: %s" file m) bad;
   List.iter
     (fun (job : Job.t) ->
-      (match job.Job.state with
-      | Job.Running ->
+      (match (job.Job.state, Job.instance_of job.Job.spec) with
+      | (Job.Running | Job.Suspended), Some _ ->
+          (* a mutate job's suspended state was the held instance, which
+             died with the daemon: restart it from scratch — first touch
+             recreates the instance and its edit re-applies *)
+          job.Job.state <- Job.Queued;
+          job.Job.slices <- 0;
+          job.Job.stages_done <- 0;
+          persist t job
+      | Job.Running, None ->
           (* died inside a slice: fall back to the last published
              checkpoint, or to a fresh start *)
           job.Job.state <-
@@ -401,6 +439,18 @@ let recover t =
       if runnable job then enqueue t job)
     jobs;
   t.seq <- Store.next_seq jobs;
+  (* Sweep checkpoints with no live owner: a crash can beat the removal
+     at a terminal transition, and a manifest can be lost outright —
+     either way the snapshot must not survive as an orphan that a later
+     job with a recycled id could resume from. *)
+  let keep id =
+    match Hashtbl.find_opt t.jobs id with
+    | Some job -> not (Job.terminal job)
+    | None -> false
+  in
+  List.iter
+    (fun id -> logf t "store: swept orphaned checkpoint %s" id)
+    (Store.sweep_checkpoints t.store ~keep);
   logf t "recovered %d job(s), %d runnable, %d unreadable" (List.length jobs)
     (Queue.length t.queue) (List.length bad)
 
@@ -409,6 +459,7 @@ let create cfg =
     {
       cfg;
       store = Store.open_ cfg.store_dir;
+      instances = Runner.instances ();
       jobs = Hashtbl.create 64;
       queue = Queue.create ();
       seq = 1;

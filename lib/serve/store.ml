@@ -40,6 +40,27 @@ let has_checkpoint t id = Sys.file_exists (ckpt_path t id)
 let remove_checkpoint t id =
   try Sys.remove (ckpt_path t id) with Sys_error _ -> ()
 
+let ckpt_suffix = ".ckpt"
+
+(* Delete every [<id>.ckpt] whose owner [keep id] disavows — the crash-
+   recovery sweep for checkpoints orphaned by a job that reached a
+   terminal state (or lost its manifest) before the file was removed.
+   Returns the ids swept. *)
+let sweep_checkpoints t ~keep =
+  let entries = try Sys.readdir t.dir with Sys_error _ -> [||] in
+  Array.fold_left
+    (fun acc name ->
+      if Filename.check_suffix name ckpt_suffix then begin
+        let id = Filename.chop_suffix name ckpt_suffix in
+        if keep id then acc
+        else begin
+          (try Sys.remove (Filename.concat t.dir name) with Sys_error _ -> ());
+          id :: acc
+        end
+      end
+      else acc)
+    [] entries
+
 (* Every parseable manifest, sorted by submission sequence; unreadable
    or corrupt manifests are returned as (file, error) pairs rather than
    aborting recovery — one damaged job must not take the store down. *)

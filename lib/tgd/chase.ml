@@ -331,14 +331,20 @@ let triggers_of out =
   List.map (fun (_, cd, fi, key) -> (cd, fi, key)) (sort_triggers out)
 
 (* Examine one deduplicated body match: first-time frontier keys count as
-   considerations; those with no head witness survive as triggers. *)
-let consider_match ~seen ~considered d di cd fi key out =
+   considerations; those with no head witness survive as triggers.
+   [note] observes every first consideration — (dependency index, key) —
+   whether or not the trigger survives; the maintenance layer rebuilds
+   its withheld-trigger records from it. *)
+let consider_match ~seen ~considered ~note d di cd fi key out =
   if not (Hashtbl.mem seen key) then begin
     Hashtbl.replace seen key ();
     incr considered;
     if !Obs.metrics_on then Obs.Metrics.incr c_considered;
+    note di key;
     if not (head_witnessed d cd fi key) then out := (di, cd, fi, key) :: !out
   end
+
+let no_note (_ : int) (_ : int array) = ()
 
 (* Collect the stage's triggers: deduplicate body matches per TGD by
    frontier key, drop those whose head is already witnessed (condition ­),
@@ -348,7 +354,8 @@ let consider_match ~seen ~considered d di cd fi key out =
    frontier keys; [matches] counts every body match before dedup — the
    paper enumerates pairs (T, b̄), so two matches differing only in their
    existential witnesses are one consideration but two matches. *)
-let collect_triggers ?delta ~seen_of ~considered ~matches cdeps d =
+let collect_triggers ?delta ?(note = no_note) ~seen_of ~considered ~matches
+    cdeps d =
   let out = ref [] in
   List.iteri
     (fun di cd ->
@@ -356,7 +363,7 @@ let collect_triggers ?delta ~seen_of ~considered ~matches cdeps d =
       let emit fi slots =
         incr matches;
         if !Obs.metrics_on then Obs.Metrics.incr c_matches;
-        consider_match ~seen ~considered d di cd fi (key_of fi slots) out
+        consider_match ~seen ~considered ~note d di cd fi (key_of fi slots) out
       in
       match delta with
       | None ->
@@ -402,8 +409,8 @@ let collect_triggers ?delta ~seen_of ~considered ~matches cdeps d =
    re-raises after joining everyone, the whole scan is retried once and
    then degrades to the sequential fast path — whose results feed the
    same dedup, keeping faulted runs bit-identical too. *)
-let collect_triggers_idx ~jobs ~stealing ~seen_of ~considered ~matches cdeps d
-    ~lo ~hi =
+let collect_triggers_idx ?(note = no_note) ~jobs ~stealing ~seen_of ~considered
+    ~matches cdeps d ~lo ~hi =
   let dix = Hom.Plan.delta_index_of d ~lo ~hi in
   let out = ref [] in
   let run_deps f = List.iteri f cdeps in
@@ -417,7 +424,8 @@ let collect_triggers_idx ~jobs ~stealing ~seen_of ~considered ~matches cdeps d
           (fun slots ->
             incr matches;
             if !Obs.metrics_on then Obs.Metrics.incr c_matches;
-            consider_match ~seen ~considered d di cd fi (key_of fi slots) out))
+            consider_match ~seen ~considered ~note d di cd fi (key_of fi slots)
+              out))
   in
   if jobs <= 1 && not (Resilience.Failpoint.active ()) then begin
     (* one worker: the stage is its own single shard *)
@@ -480,8 +488,8 @@ let collect_triggers_idx ~jobs ~stealing ~seen_of ~considered ~matches cdeps d
                 Hashtbl.replace seen_full slots ();
                 incr matches;
                 if !Obs.metrics_on then Obs.Metrics.incr c_matches;
-                consider_match ~seen ~considered d di cd fi (key_of fi slots)
-                  out
+                consider_match ~seen ~considered ~note d di cd fi
+                  (key_of fi slots) out
               end)
             all
         done;
@@ -919,8 +927,8 @@ let persistent_seen ?(from = []) () =
   (get, dump)
 
 (* The shared delta-engine driver ([`Seminaive] and [`Par]). *)
-let run_delta ~par ?jobs ?(tuning = default_tuning) ~governor ~max_stages
-    ~stop ~on_fire ~snapshot_every ~on_snapshot ~from deps d =
+let run_delta ~par ?jobs ?(tuning = default_tuning) ?(note = no_note) ~governor
+    ~max_stages ~stop ~on_fire ~snapshot_every ~on_snapshot ~from deps d =
   (match from with Some s -> check_resume_deps deps s | None -> ());
   let cdeps = List.map (compile_dep ~par_mode:tuning.plan_mode) deps in
   let start_stage, wm0, seen0, considered0, matches0, apps0 =
@@ -958,7 +966,7 @@ let run_delta ~par ?jobs ?(tuning = default_tuning) ~governor ~max_stages
       let lo, hi = Structure.delta_ids d !wm in
       if !Obs.metrics_on then Obs.Metrics.observe h_delta (hi - lo);
       let triggers =
-        collect_triggers_idx ~jobs ~stealing:tuning.stealing ~seen_of
+        collect_triggers_idx ~note ~jobs ~stealing:tuning.stealing ~seen_of
           ~considered ~matches cdeps d ~lo ~hi
       in
       (* advance only after a completed scan: a cancelled scan must not
@@ -971,7 +979,7 @@ let run_delta ~par ?jobs ?(tuning = default_tuning) ~governor ~max_stages
       let new_wm = Structure.watermark d in
       if !Obs.metrics_on then Obs.Metrics.observe h_delta (List.length delta);
       let triggers =
-        collect_triggers ~delta ~seen_of ~considered ~matches cdeps d
+        collect_triggers ~delta ~note ~seen_of ~considered ~matches cdeps d
       in
       wm := new_wm;
       triggers
@@ -1137,3 +1145,684 @@ let find_violation deps d =
         | fb :: _ -> Some (dep, fb)
         | [] -> None)
     deps
+
+(* Incremental maintenance of a chased structure under base edits
+   (insertions AND retractions), in the spirit of counting / DRed view
+   maintenance, but over the lazy chase rather than Datalog.
+
+   The chase is non-monotone (condition ­ withholds a firing when a head
+   witness already exists), so maintaining the *identical* structure that
+   a from-scratch chase would build is hopeless in general: retracting
+   the fact that witnessed a head un-withholds an old trigger whose
+   firing order can no longer be replayed.  What CAN be maintained
+   cheaply is a *universal model* of the edited base: every fact kept
+   alive is grounded in a derivation from the edited base, and the
+   structure is run back to a chase fixpoint.  Such a structure is
+   hom-equivalent to the from-scratch chase, so every CQ answer over
+   constants — the view level served to clients — is bit-identical.
+
+   Bookkeeping, rebuilt from the engine's own journals after each run:
+
+   - a FIRED record per fired (TGD, frontier key): one body witness (the
+     instantiated body atoms of a match), the full head instance it
+     created (its products — including head atoms that were already
+     present, recovered by replaying the fire plan against the journal
+     segment), and the support edges product -> record;
+   - a WITHHELD record per considered-but-witnessed key: the head
+     instance that witnessed it;
+   - [uses]: fact -> records whose recorded witness mentions it.
+
+   Retraction = counting cascade + DRed re-exam: kill records whose
+   witness died, over-delete products whose support count reaches zero
+   (base facts count as their own support), then re-examine each killed
+   key in canonical (TGD, key) order — a frontier-bound [Hom.find] —
+   re-withholding, re-firing (re-adding the recorded head instance, so
+   surviving nulls keep their identity), or leaving it dead.  Insertions
+   and re-fired products land past the pre-edit watermark, so one
+   semi-naive continuation — an ordinary [run_delta] resumed from a
+   synthetic snapshot whose seen-keys are the live records — runs the
+   structure back to a fixpoint.  Preemption comes for free: the
+   continuation takes any governor, and a cut run leaves the records
+   conservative (unconsumed delta is rescanned on the next slice). *)
+module Maint = struct
+  type op = Insert of Fact.t | Retract of Fact.t
+
+  type record = {
+    r_di : int;
+    r_key : int array;
+    mutable r_witness : Fact.t array; (* body witness of a fired record *)
+    mutable r_products : Fact.t array; (* full head instance of a firing *)
+    mutable r_born : bool array;
+        (* per product: was it added by THIS firing?  Only born facts
+           draw support from the record — a pre-existing head atom has
+           its own derivation, and counting it here would forge a
+           support cycle (the atom witnessing a record that props the
+           atom up).  Pre-existing atoms register in [m_uses] instead:
+           their death voids the head instance and kills the record. *)
+    mutable r_head_wit : Fact.t array; (* head witness of a withheld one *)
+    mutable r_fired : bool;
+    mutable r_alive : bool;
+  }
+
+  type t = {
+    m_deps : Dep.t list;
+    m_dep_arr : Dep.t array;
+    m_cdeps : cdep array;
+    m_frnames : string array array; (* frontier vars, canonical order *)
+    m_engine : [ `Seminaive | `Par ];
+    m_jobs : int option;
+    m_d : Structure.t;
+    m_recs : (int array, record) Hashtbl.t array; (* per dep: key -> record *)
+    m_supports : record list ref Fact.Tbl.t; (* product -> producing records *)
+    m_uses : record list ref Fact.Tbl.t; (* witness fact -> records *)
+    m_base : unit Fact.Tbl.t;
+    mutable m_stage : int; (* last completed absolute stage *)
+    mutable m_wm : int; (* continuation watermark *)
+    mutable m_considered : int;
+    mutable m_matches : int;
+    mutable m_applications : int;
+    mutable m_pending : bool; (* last run ended short of fixpoint *)
+    mutable m_grave : int; (* records evicted from [m_recs], not yet swept *)
+  }
+
+  type edit_stats = {
+    e_retracted : int; (* base retractions processed *)
+    e_inserted : int; (* base facts newly added *)
+    e_killed : int; (* facts over-deleted by the cascade *)
+    e_refired : int; (* re-exam re-derivations *)
+    e_rewithheld : int; (* re-exam keys re-witnessed *)
+    e_run : stats; (* the continuation run *)
+  }
+
+  let structure t = t.m_d
+  let pending t = t.m_pending
+  let base_facts t = Fact.Tbl.fold (fun f () acc -> f :: acc) t.m_base []
+
+  let di_of t dep =
+    let n = Array.length t.m_dep_arr in
+    let rec go i =
+      if i >= n then invalid_arg "Chase.Maint: unknown dependency"
+      else if t.m_dep_arr.(i) == dep then i
+      else go (i + 1)
+    in
+    go 0
+
+  let key_of_binding fb =
+    Array.of_list (List.map snd (Term.Var_map.bindings fb))
+
+  let binding_of_key' t di key =
+    let names = t.m_frnames.(di) in
+    let m = ref Term.Var_map.empty in
+    Array.iteri (fun i x -> m := Term.Var_map.add x key.(i) !m) names;
+    !m
+
+  (* Instantiate atoms under a full binding (constants resolve through the
+     structure's constant table — they exist, the atoms matched). *)
+  let inst_atoms d b atoms =
+    Array.of_list
+      (List.map
+         (fun atom ->
+           let args =
+             List.map
+               (fun tm ->
+                 match tm with
+                 | Term.Cst c -> Structure.constant d c
+                 | Term.Var x -> Term.Var_map.find x b)
+               (Atom.args atom)
+           in
+           Fact.make (Atom.sym atom) (Array.of_list args))
+         atoms)
+
+  let body_binding t di key =
+    Hom.find ~init:(binding_of_key' t di key) t.m_d
+      (Dep.body t.m_dep_arr.(di))
+
+  let body_witness t di key =
+    match body_binding t di key with
+    | None -> None
+    | Some b -> Some (inst_atoms t.m_d b (Dep.body t.m_dep_arr.(di)))
+
+  (* A body witness whose facts all predate journal position [wm] — the
+     structure as the firing saw it.  An arbitrary current match could
+     include the firing's own products ("R1(y) matched by the R1(v) this
+     very record added"), making the record self-justifying: support
+     must be well-founded in firing order, so each witness may only use
+     facts born strictly before the fire. *)
+  let body_witness_before t di key wm =
+    let body = Dep.body t.m_dep_arr.(di) in
+    let found = ref None in
+    (try
+       Hom.iter_all ~init:(binding_of_key' t di key) t.m_d body (fun b ->
+           let w = inst_atoms t.m_d b body in
+           if
+             Array.for_all
+               (fun f ->
+                 match Structure.fact_id t.m_d f with
+                 | Some id -> id < wm
+                 | None -> false)
+               w
+           then begin
+             found := Some w;
+             raise Exit
+           end)
+     with Exit -> ());
+    !found
+
+  let head_witness t di key =
+    match
+      Hom.find ~init:(binding_of_key' t di key) t.m_d
+        (Dep.head t.m_dep_arr.(di))
+    with
+    | None -> None
+    | Some b -> Some (inst_atoms t.m_d b (Dep.head t.m_dep_arr.(di)))
+
+  let add_edge tbl f r =
+    match Fact.Tbl.find_opt tbl f with
+    | Some rs -> if not (List.memq r !rs) then rs := r :: !rs
+    | None -> Fact.Tbl.replace tbl f (ref [ r ])
+
+  let supported t f =
+    match Fact.Tbl.find_opt t.m_supports f with
+    | Some rs -> List.exists (fun r -> r.r_alive && r.r_fired) !rs
+    | None -> false
+
+  (* A record evicted from [m_recs] by a newer firing of its key can
+     never be revived (re-exam requires it to still be current), but it
+     lingers in the per-fact support/use lists, where every cascade walk
+     and [add_edge] dedup pays for it — left alone, the cost of an edit
+     grows with the whole edit history, not the live instance.  Amortized
+     sweep: once the graveyard outgrows the live population, rebuild both
+     tables keeping only records still current for their key.  Alive
+     records are always current (the engine only fires unseen keys, and
+     seen = alive), so the sweep drops exactly the unrevivable. *)
+  let current t r =
+    match Hashtbl.find_opt t.m_recs.(r.r_di) r.r_key with
+    | Some r' -> r' == r
+    | None -> false
+
+  let compact t =
+    let live =
+      Array.fold_left (fun n tbl -> n + Hashtbl.length tbl) 0 t.m_recs
+    in
+    if t.m_grave > 64 + live then begin
+      let sweep tbl =
+        let empty = ref [] in
+        Fact.Tbl.iter
+          (fun f rs ->
+            let rs' = List.filter (current t) !rs in
+            if rs' = [] then empty := f :: !empty else rs := rs')
+          tbl;
+        List.iter (Fact.Tbl.remove tbl) !empty
+      in
+      sweep t.m_supports;
+      sweep t.m_uses;
+      t.m_grave <- 0
+    end
+
+  (* The full head instance of a firing, from its fire plan, frontier key
+     and journal segment (the facts the firing actually added, in
+     traversal order).  Head atoms already present at fire time are
+     missing from the segment; the replay walks the atoms in plan order,
+     consuming segment facts exactly when an atom introduces an unseen
+     fresh element (a fact with a brand-new element cannot pre-exist, so
+     every first-use atom is in the segment), and recomputes the others
+     from the resolved placeholders.  Each instance atom comes with a
+     born flag: did THIS firing add the fact (it was consumed from the
+     segment), or did it pre-exist? *)
+  let full_head_instance d fp key segment =
+    let freshes = Array.make (max fp.fp_nfresh 1) (-1) in
+    let wi = ref 0 in
+    let out = ref [] in
+    let born = ref [] in
+    let natoms = Array.length fp.fp_syms in
+    for a = 0 to natoms - 1 do
+      let codes = fp.fp_args.(a) in
+      let unresolved =
+        Array.exists
+          (fun v -> v < 0 && -v land 1 = 1 && freshes.((-v - 1) / 2) < 0)
+          codes
+      in
+      if unresolved then begin
+        if !wi >= Array.length segment then
+          invalid_arg "Chase.Maint: fire replay desynchronised";
+        let p = segment.(!wi) in
+        incr wi;
+        let pargs = Fact.args p in
+        Array.iteri
+          (fun pos v ->
+            if v < 0 && -v land 1 = 1 then begin
+              let k = (-v - 1) / 2 in
+              if freshes.(k) < 0 then freshes.(k) <- pargs.(pos)
+            end)
+          codes;
+        out := p :: !out;
+        born := true :: !born
+      end
+      else begin
+        let args =
+          Array.map
+            (fun v ->
+              if v >= 0 then key.(v / 2)
+              else
+                let m = -v in
+                if m land 1 = 1 then freshes.((m - 1) / 2)
+                else Structure.constant d fp.fp_consts.((m - 2) / 2))
+            codes
+        in
+        let g = Fact.make fp.fp_syms.(a) args in
+        let added =
+          !wi < Array.length segment && Fact.equal segment.(!wi) g
+        in
+        if added then incr wi;
+        out := g :: !out;
+        born := added :: !born
+      end
+    done;
+    (Array.of_list (List.rev !out), Array.of_list (List.rev !born))
+
+  (* Register a fired record against its head instance: born facts draw
+     support from it, pre-existing ones become uses (their death kills
+     the record, like a witness). *)
+  let register_products t r =
+    Array.iteri
+      (fun i g ->
+        if r.r_born.(i) then add_edge t.m_supports g r
+        else add_edge t.m_uses g r)
+      r.r_products
+
+  (* The engine's persistent seen-keys, reconstructed from the live
+     records: this is what a continuation must skip. *)
+  let seen_dump t =
+    let acc = ref [] in
+    Array.iteri
+      (fun di tbl ->
+        let keys =
+          Hashtbl.fold (fun k r l -> if r.r_alive then k :: l else l) tbl []
+        in
+        if keys <> [] then acc := (di, List.sort compare keys) :: !acc)
+      t.m_recs;
+    List.sort compare !acc
+
+  (* Run the engine from the current watermark with the live records as
+     seen state, observing every firing and first consideration, then
+     fold the run's journals back into records. *)
+  let tracked_run ?(governor = G.unlimited) ?(max_stages = max_int) t =
+    let d = t.m_d in
+    let fire_log = ref [] in
+    let consider_log = ref [] in
+    let cur_stage = ref (-1) in
+    let stage_wm = ref t.m_wm in
+    let fired_any = ref false in
+    let on_fire ~stage dep fb =
+      let di = di_of t dep in
+      let key = key_of_binding fb in
+      let wm = Structure.watermark d in
+      if stage <> !cur_stage then begin
+        cur_stage := stage;
+        stage_wm := wm
+      end;
+      fired_any := true;
+      fire_log := (di, key, wm) :: !fire_log
+    in
+    let note di key = consider_log := (di, key) :: !consider_log in
+    let snap =
+      {
+        snap_engine = (t.m_engine :> engine);
+        snap_stage = t.m_stage;
+        snap_wm = t.m_wm;
+        snap_seen = seen_dump t;
+        snap_considered = t.m_considered;
+        snap_matches = t.m_matches;
+        snap_applications = t.m_applications;
+        snap_deps = deps_signature t.m_deps;
+        snap_structure = d;
+      }
+    in
+    let abs_max =
+      if max_stages = max_int then max_int else t.m_stage + max_stages
+    in
+    let stats =
+      run_delta ~par:(t.m_engine = `Par) ?jobs:t.m_jobs ~note ~governor
+        ~max_stages:abs_max
+        ~stop:(fun _ -> false)
+        ~on_fire ~snapshot_every:1 ~on_snapshot:None ~from:(Some snap) t.m_deps
+        d
+    in
+    t.m_stage <- stats.stages;
+    t.m_considered <- stats.triggers_considered;
+    t.m_matches <- stats.body_matches;
+    t.m_applications <- stats.applications;
+    t.m_pending <- stats.outcome <> G.Fixpoint;
+    (* Where must the next continuation rescan from?  After a clean
+       fixpoint: nothing.  After a budget cut at a stage boundary the
+       engine's watermark sat at the last completed stage's collect
+       point — the watermark seen by that stage's first firing.  A
+       cancelled or faulted run may have died mid-stage; keeping the old
+       watermark merely rescans (records dedup), never loses. *)
+    (match stats.outcome with
+    | G.Fixpoint -> t.m_wm <- Structure.watermark d
+    | G.Budget _ | G.Deadline -> if !fired_any then t.m_wm <- !stage_wm
+    | G.Cancelled | G.Faulted _ -> ());
+    (* Fold the firing journal into FIRED records: products are the
+       journal segment between consecutive firings, completed to the full
+       head instance by the fire-plan replay. *)
+    let fires = Array.of_list (List.rev !fire_log) in
+    let final_wm = Structure.watermark d in
+    Array.iteri
+      (fun i (di, key, wm) ->
+        let wm_next =
+          if i + 1 < Array.length fires then
+            let _, _, w = fires.(i + 1) in
+            w
+          else final_wm
+        in
+        let seg =
+          Array.init (wm_next - wm) (fun j -> Structure.id_fact d (wm + j))
+        in
+        let fp = Lazy.force t.m_cdeps.(di).fire_plan in
+        let products, born = full_head_instance d fp key seg in
+        let r =
+          {
+            r_di = di;
+            r_key = key;
+            r_witness = [||];
+            r_products = products;
+            r_born = born;
+            r_head_wit = [||];
+            r_fired = true;
+            r_alive = true;
+          }
+        in
+        if Hashtbl.mem t.m_recs.(di) key then t.m_grave <- t.m_grave + 1;
+        Hashtbl.replace t.m_recs.(di) key r;
+        register_products t r)
+      fires;
+    (* Witness pass, after the structure settled: nothing is deleted
+       during a run, so the firing-time body match — all its facts below
+       the fire watermark — is still live and is found again.  (The
+       unbounded fallback is unreachable; it merely keeps a desync
+       non-fatal.) *)
+    Array.iter
+      (fun (di, key, wm) ->
+        match Hashtbl.find_opt t.m_recs.(di) key with
+        | Some r when r.r_alive && r.r_fired && r.r_witness = [||] -> (
+            match
+              match body_witness_before t di key wm with
+              | Some w -> Some w
+              | None -> body_witness t di key
+            with
+            | Some w ->
+                r.r_witness <- w;
+                Array.iter (fun f -> add_edge t.m_uses f r) w
+            | None -> ())
+        | _ -> ())
+      fires;
+    (* Considered-but-unfired keys become WITHHELD records — unless no
+       head witness exists yet (a pending trigger of an aborted stage),
+       in which case the key stays unseen and the conservative watermark
+       guarantees rediscovery. *)
+    List.iter
+      (fun (di, key) ->
+        match Hashtbl.find_opt t.m_recs.(di) key with
+        | Some r when r.r_alive -> ()
+        | _ -> (
+            match head_witness t di key with
+            | Some hw ->
+                let r =
+                  {
+                    r_di = di;
+                    r_key = key;
+                    r_witness = [||];
+                    r_products = [||];
+                    r_born = [||];
+                    r_head_wit = hw;
+                    r_fired = false;
+                    r_alive = true;
+                  }
+                in
+                if Hashtbl.mem t.m_recs.(di) key then
+                  t.m_grave <- t.m_grave + 1;
+                Hashtbl.replace t.m_recs.(di) key r;
+                Array.iter (fun f -> add_edge t.m_uses f r) hw
+            | None -> ()))
+      (List.rev !consider_log);
+    stats
+
+  (* Chase the base structure to a fixpoint under maintenance tracking.
+     Every fact already in [d] is a base fact. *)
+  let create ?(engine = `Seminaive) ?jobs ?governor ?max_stages deps d =
+    let dep_arr = Array.of_list deps in
+    let t =
+      {
+        m_deps = deps;
+        m_dep_arr = dep_arr;
+        m_cdeps = Array.map compile_dep dep_arr;
+        m_frnames =
+          Array.map
+            (fun dep ->
+              Array.of_list (Term.Var_set.elements (Dep.frontier dep)))
+            dep_arr;
+        m_engine = engine;
+        m_jobs = jobs;
+        m_d = d;
+        m_recs = Array.map (fun _ -> Hashtbl.create 64) dep_arr;
+        m_supports = Fact.Tbl.create 256;
+        m_uses = Fact.Tbl.create 256;
+        m_base = Fact.Tbl.create 64;
+        m_stage = 0;
+        m_wm = 0;
+        m_considered = 0;
+        m_matches = 0;
+        m_applications = 0;
+        m_pending = false;
+        m_grave = 0;
+      }
+    in
+    Structure.iter_facts d (fun f -> Fact.Tbl.replace t.m_base f ());
+    let stats = tracked_run ?governor ?max_stages t in
+    (t, stats)
+
+  (* Resume a continuation cut by the governor (preemption slice). *)
+  let continue_ ?governor ?max_stages t = tracked_run ?governor ?max_stages t
+
+  let apply_edit ?governor ?max_stages t ops =
+    if t.m_pending then
+      invalid_arg "Chase.Maint.apply_edit: continuation pending (continue_)";
+    compact t;
+    let d = t.m_d in
+    Structure.set_stage d t.m_stage;
+    (* Net effect per fact: the last op wins. *)
+    let net = Fact.Tbl.create 16 in
+    List.iter
+      (function
+        | Insert f -> Fact.Tbl.replace net f true
+        | Retract f -> Fact.Tbl.replace net f false)
+      ops;
+    let part want =
+      Fact.Tbl.fold (fun f v acc -> if v = want then f :: acc else acc) net []
+      |> List.sort Fact.compare
+    in
+    let retracts = part false and inserts = part true in
+    (* Counting cascade: drop base flags, over-delete unsupported facts,
+       kill every record whose recorded witness died. *)
+    let killq = Queue.create () in
+    let n_retracted = ref 0 and n_killed = ref 0 in
+    let reexam = ref [] in
+    List.iter
+      (fun f ->
+        if Fact.Tbl.mem t.m_base f then begin
+          Fact.Tbl.remove t.m_base f;
+          incr n_retracted
+        end;
+        if Structure.mem d f && not (supported t f) then Queue.add f killq)
+      retracts;
+    while not (Queue.is_empty killq) do
+      let f = Queue.pop killq in
+      if
+        Structure.mem d f
+        && (not (Fact.Tbl.mem t.m_base f))
+        && not (supported t f)
+      then begin
+        ignore (Structure.retract_fact d f);
+        incr n_killed;
+        match Fact.Tbl.find_opt t.m_uses f with
+        | None -> ()
+        | Some rs ->
+            List.iter
+              (fun r ->
+                if r.r_alive then begin
+                  r.r_alive <- false;
+                  reexam := r :: !reexam;
+                  if r.r_fired then
+                    (* only born products drew support from this record;
+                       pre-existing head atoms have their own lifeline *)
+                    Array.iteri
+                      (fun i g ->
+                        if
+                          r.r_born.(i)
+                          && Structure.mem d g
+                          && (not (Fact.Tbl.mem t.m_base g))
+                          && not (supported t g)
+                        then Queue.add g killq)
+                      r.r_products
+                end)
+              !rs
+      end
+    done;
+    (* DRed re-exam, canonical (TGD, key) order: each killed key either
+       no longer matches, is re-witnessed, or re-fires — re-adding its
+       recorded head instance so surviving nulls keep their identity. *)
+    let reexam =
+      List.sort
+        (fun a b ->
+          let c = compare a.r_di b.r_di in
+          if c <> 0 then c else compare a.r_key b.r_key)
+        !reexam
+    in
+    let n_refired = ref 0 and n_rewithheld = ref 0 in
+    List.iter
+      (fun r ->
+        let current = Hashtbl.find_opt t.m_recs.(r.r_di) r.r_key in
+        if current = Some r && not r.r_alive then
+          match body_binding t r.r_di r.r_key with
+          | None -> () (* inactive: stays dead, key stays unseen *)
+          | Some b -> (
+              (* the witness must come from this pre-re-add match: a
+                 search after the products return could pick them up and
+                 leave the record self-justifying *)
+              let w = inst_atoms d b (Dep.body t.m_dep_arr.(r.r_di)) in
+              match head_witness t r.r_di r.r_key with
+              | Some hw ->
+                  r.r_fired <- false;
+                  r.r_head_wit <- hw;
+                  r.r_alive <- true;
+                  incr n_rewithheld;
+                  Array.iter (fun f -> add_edge t.m_uses f r) hw
+              | None ->
+                  (if r.r_fired && r.r_products <> [||] then
+                     (* re-add the recorded head instance (surviving
+                        nulls keep their identity) and reclassify: born
+                        is whatever THIS re-firing actually adds *)
+                     r.r_born <-
+                       Array.map (fun g -> Structure.add_fact d g) r.r_products
+                   else begin
+                     (* first firing of a formerly withheld key *)
+                     let dep = t.m_dep_arr.(r.r_di) in
+                     let fb = binding_of_key' t r.r_di r.r_key in
+                     let w0 = Structure.watermark d in
+                     apply d dep fb;
+                     let seg =
+                       Array.init
+                         (Structure.watermark d - w0)
+                         (fun j -> Structure.id_fact d (w0 + j))
+                     in
+                     let fp = Lazy.force t.m_cdeps.(r.r_di).fire_plan in
+                     let products, born =
+                       full_head_instance d fp r.r_key seg
+                     in
+                     r.r_products <- products;
+                     r.r_born <- born;
+                     r.r_fired <- true
+                   end);
+                  r.r_alive <- true;
+                  incr n_refired;
+                  register_products t r;
+                  r.r_witness <- w;
+                  Array.iter (fun f -> add_edge t.m_uses f r) w))
+      reexam;
+    (* A record still dead after re-exam has no body match left — its
+       key can never fire again as recorded (a later re-fire goes
+       through the engine and builds a fresh record anyway).  Drop it
+       from [m_recs] so the key table and [seen_dump] track the live
+       instance, not the whole edit history, and count it into the
+       graveyard so the support lists get swept too. *)
+    List.iter
+      (fun r ->
+        if not r.r_alive then begin
+          (match Hashtbl.find_opt t.m_recs.(r.r_di) r.r_key with
+          | Some r' when r' == r -> Hashtbl.remove t.m_recs.(r.r_di) r.r_key
+          | _ -> ());
+          t.m_grave <- t.m_grave + 1
+        end)
+      reexam;
+    (* Insertions: base facts past the pre-edit watermark, so the
+       continuation's delta scan picks them up. *)
+    let n_inserted = ref 0 in
+    List.iter
+      (fun f ->
+        Fact.Tbl.replace t.m_base f ();
+        if Structure.add_fact d f then incr n_inserted)
+      inserts;
+    (* One semi-naive continuation back to the fixpoint (or to the
+       governor's cut — resume with [continue_]). *)
+    let run = tracked_run ?governor ?max_stages t in
+    {
+      e_retracted = !n_retracted;
+      e_inserted = !n_inserted;
+      e_killed = !n_killed;
+      e_refired = !n_refired;
+      e_rewithheld = !n_rewithheld;
+      e_run = run;
+    }
+
+  (* Internal-consistency audit for the tests: every live fact is base or
+     supported by an alive firing, every alive record's recorded facts
+     are live.  Returns human-readable violations. *)
+  let check t =
+    let d = t.m_d in
+    let bad = ref [] in
+    let fail fmt = Format.kasprintf (fun s -> bad := s :: !bad) fmt in
+    Structure.iter_facts d (fun f ->
+        if (not (Fact.Tbl.mem t.m_base f)) && not (supported t f) then
+          fail "unsupported live fact %a" (Relational.Fact.pp ()) f);
+    Fact.Tbl.iter
+      (fun f () ->
+        if not (Structure.mem d f) then
+          fail "base fact not live %a" (Relational.Fact.pp ()) f)
+      t.m_base;
+    Array.iter
+      (fun tbl ->
+        Hashtbl.iter
+          (fun _ r ->
+            if r.r_alive then begin
+              let live what fs =
+                Array.iter
+                  (fun f ->
+                    if not (Structure.mem d f) then
+                      fail "dead %s fact of alive record (dep %d) %a" what
+                        r.r_di (Relational.Fact.pp ()) f)
+                  fs
+              in
+              if r.r_fired then begin
+                live "witness" r.r_witness;
+                live "product" r.r_products
+              end
+              else live "head-witness" r.r_head_wit
+            end)
+          tbl)
+      t.m_recs;
+    List.rev !bad
+end
+
+(* Convenience alias: the edit entry point at the [Chase] top level. *)
+let apply_edit = Maint.apply_edit

@@ -255,3 +255,96 @@ val models : Dep.t list -> Structure.t -> bool
     trigger order (ascending variable name, then element).  Satisfied
     prefixes cost one short-circuited probe each. *)
 val find_violation : Dep.t list -> Structure.t -> (Dep.t * Hom.binding) option
+
+(** {1 Incremental maintenance}
+
+    Maintain a chased structure under base-fact edits — insertions AND
+    retractions — without re-running the chase from scratch.
+
+    The lazy chase is non-monotone (condition ­ withholds firings), so
+    the maintained structure is not promised to be bit-identical to a
+    from-scratch chase of the edited base.  The contract is semantic:
+    after every [apply_edit] run to fixpoint the structure is a
+    {e universal model} of the edited base under the dependencies —
+    every live fact is grounded in a derivation from live base facts
+    (counting/DRed support tracking guarantees it), and no dependency
+    has an active trigger.  Universal models are hom-equivalent, so all
+    CQ answers over constants — the view level — are bit-identical to
+    the from-scratch chase. *)
+module Maint : sig
+  type t
+
+  (** One edit operation on the base.  In a script the last op on a fact
+      wins; retracting an absent fact and inserting a present one are
+      no-ops (the latter still marks the fact as base). *)
+  type op = Insert of Fact.t | Retract of Fact.t
+
+  type edit_stats = {
+    e_retracted : int;  (** base retractions processed *)
+    e_inserted : int;  (** base facts newly added *)
+    e_killed : int;  (** facts over-deleted by the counting cascade *)
+    e_refired : int;  (** re-exam re-derivations *)
+    e_rewithheld : int;  (** re-exam keys found head-witnessed again *)
+    e_run : stats;  (** the semi-naive continuation run *)
+  }
+
+  (** [create deps d] chases [d] in place to a fixpoint under maintenance
+      tracking; every fact initially in [d] is a base fact.  [engine]
+      restricts to the delta engines (default [`Seminaive]); [jobs]
+      bounds [`Par] workers.  A [governor] may cut the initial run — it
+      stays resumable with {!continue_}. *)
+  val create :
+    ?engine:[ `Seminaive | `Par ] ->
+    ?jobs:int ->
+    ?governor:Resilience.Governor.t ->
+    ?max_stages:int ->
+    Dep.t list ->
+    Structure.t ->
+    t * stats
+
+  (** The maintained structure (live view; do not mutate directly). *)
+  val structure : t -> Structure.t
+
+  (** The current base facts. *)
+  val base_facts : t -> Fact.t list
+
+  (** Did the last run end short of the fixpoint (governor cut)?  Apply
+      {!continue_} until this clears before the next {!apply_edit}. *)
+  val pending : t -> bool
+
+  (** Resume a continuation cut by the governor.  [max_stages] is
+      relative to the stages already run. *)
+  val continue_ :
+    ?governor:Resilience.Governor.t -> ?max_stages:int -> t -> stats
+
+  (** [apply_edit t ops] applies the edit script: counting cascade for
+      the retractions (over-deleting facts whose support count reaches
+      zero), DRed-style re-examination of every killed derivation in
+      canonical (TGD, frontier key) order — re-deriving through
+      existential nulls by re-adding the recorded head instances, so
+      surviving nulls keep their identity — then one semi-naive
+      continuation back to the fixpoint.  The continuation honours the
+      [governor]: a cut edit leaves {!pending} set and is completed by
+      {!continue_} (preemptible maintenance).
+      @raise Invalid_argument if a continuation is pending. *)
+  val apply_edit :
+    ?governor:Resilience.Governor.t ->
+    ?max_stages:int ->
+    t ->
+    op list ->
+    edit_stats
+
+  (** Internal-consistency audit (for tests): every live fact is base or
+      supported by an alive firing; every alive record's recorded
+      witness/product facts are live.  Returns violations, empty when
+      consistent. *)
+  val check : t -> string list
+end
+
+(** Alias for {!Maint.apply_edit}. *)
+val apply_edit :
+  ?governor:Resilience.Governor.t ->
+  ?max_stages:int ->
+  Maint.t ->
+  Maint.op list ->
+  Maint.edit_stats

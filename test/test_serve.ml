@@ -38,6 +38,34 @@ let test_json_roundtrip () =
     | Ok (Json.List [ Json.Float a; Json.Float b ]) -> a = 0.25 && b = 2000.
     | _ -> false)
 
+let test_json_surrogates () =
+  (* a surrogate pair decodes to ONE 4-byte UTF-8 code point (U+1F600),
+     not to two 3-byte encodings of the surrogate halves *)
+  check "surrogate pair recombines" true
+    (Json.parse {|"\ud83d\ude00"|} = Ok (Json.String "\xf0\x9f\x98\x80"));
+  check "first astral scalar U+10000 decodes" true
+    (Json.parse {|"\ud800\udc00"|} = Ok (Json.String "\xf0\x90\x80\x80"));
+  check "last scalar U+10FFFF decodes" true
+    (Json.parse {|"\udbff\udfff"|} = Ok (Json.String "\xf4\x8f\xbf\xbf"));
+  (* the printer passes raw UTF-8 through, so parse·print·parse is the
+     identity on non-BMP text *)
+  let v = Json.Obj [ ("emoji", Json.String "\xf0\x9f\x98\x80 ok") ] in
+  check "non-BMP print/parse round-trips" true
+    (Json.parse (Json.to_string v) = Ok v);
+  (* surrogate halves on their own are malformed JSON *)
+  List.iter
+    (fun s ->
+      check (Printf.sprintf "%s rejected" s) true
+        (match Json.parse s with Error _ -> true | Ok _ -> false))
+    [
+      {|"\ud83d"|} (* lone high *);
+      {|"\ude00"|} (* lone low *);
+      {|"\ud83dx"|} (* high chased by a raw char *);
+      {|"\ud83d\n"|} (* high chased by a non-u escape *);
+      {|"\ud83d\ud83d"|} (* high chased by another high *);
+      {|"\ud83dA"|} (* high chased by a BMP scalar *);
+    ]
+
 let divergent_views =
   [
     ("p2", "p2(x,y) :- E(x,m), E(m,y)");
@@ -60,6 +88,19 @@ let test_spec_roundtrip () =
           engine = `Par };
       Job.Worm { machine = "creeper"; steps = 77 };
       Job.Audit { seed = 5; cases = 12; max_stages = 3 };
+      Job.Mutate
+        {
+          instance = "i1";
+          views = divergent_views;
+          q0 = divergent_q0;
+          ops =
+            [
+              { Job.add = false; rel = "E"; args = [ 0; 1 ] };
+              { Job.add = true; rel = "E"; args = [ 4; -1 ] };
+            ];
+          max_stages = 16;
+          engine = `Par;
+        };
     ]
   in
   List.iter
@@ -82,6 +123,24 @@ let test_spec_roundtrip () =
     | Ok () -> false);
   check "unknown machine rejected at validate" true
     (match Job.validate (Job.Worm { machine = "nope"; steps = 5 }) with
+    | Error _ -> true
+    | Ok () -> false);
+  check "anonymous mutate instance rejected at validate" true
+    (match
+       Job.validate
+         (Job.Mutate
+            { instance = ""; views = divergent_views; q0 = divergent_q0;
+              ops = []; max_stages = 4; engine = `Seminaive })
+     with
+    | Error _ -> true
+    | Ok () -> false);
+  check "non-incremental mutate engine rejected at validate" true
+    (match
+       Job.validate
+         (Job.Mutate
+            { instance = "i"; views = divergent_views; q0 = divergent_q0;
+              ops = []; max_stages = 4; engine = `Oblivious })
+     with
     | Error _ -> true
     | Ok () -> false)
 
@@ -158,7 +217,24 @@ let test_store_roundtrip () =
         (List.map (fun (j : Job.t) -> j.Job.seq) loaded = [ 1; 2; 3 ]);
       check_int "next_seq is max+1" 4 (Store.next_seq loaded);
       check "no checkpoint yet" false (Store.has_checkpoint store "j000001");
-      Store.remove_checkpoint store "j000001" (* no-op, must not raise *))
+      Store.remove_checkpoint store "j000001" (* no-op, must not raise *);
+      (* the orphan sweep: a checkpoint without a live owner goes, one
+         with a live owner stays *)
+      let plant id =
+        Out_channel.with_open_bin (Store.ckpt_path store id) (fun oc ->
+            Out_channel.output_string oc "snapshot bytes")
+      in
+      plant "j000001";
+      plant "j999999" (* no manifest at all *);
+      let swept =
+        List.sort compare
+          (Store.sweep_checkpoints store ~keep:(fun id -> id = "j000001"))
+      in
+      check "only the orphan is swept" true (swept = [ "j999999" ]);
+      check "kept checkpoint survives the sweep" true
+        (Store.has_checkpoint store "j000001");
+      check "orphan checkpoint is gone" false
+        (Store.has_checkpoint store "j999999"))
 
 (* --- live daemon harness ------------------------------------------------ *)
 
@@ -393,7 +469,104 @@ let test_drain_restart_recovery () =
               check_int "absolute stage count preserved" stages
                 (job_int j "stages_done");
               check_str "digest across daemon restart = uninterrupted"
-                ref_digest (job_digest j))))
+                ref_digest (job_digest j)));
+      (* the suspend checkpoint must not outlive the finished job: after
+         the second daemon completed it and drained, the store holds
+         manifests only *)
+      let leaked =
+        List.filter
+          (fun f -> Filename.check_suffix f ".ckpt")
+          (Array.to_list (Sys.readdir store_dir))
+      in
+      check_int "no checkpoint leaked across drain + restart + completion" 0
+        (List.length leaked))
+
+(* --- mutate jobs -------------------------------------------------------- *)
+
+(* A terminating multi-stage workload: composing the path views makes the
+   initial chase take several stages, so a 1-stage quantum preempts it. *)
+let mutate_views =
+  [
+    ("p2", "p2(x,y) :- E(x,m), E(m,y)");
+    ("p4", "p4(x,y) :- p2(x,m), p2(m,y)");
+  ]
+
+let mutate_q0 = "q0(x,y) :- E(x,a), E(a,b), E(b,c), E(c,y)"
+
+let mutate_spec ~instance ops =
+  Job.Mutate
+    { instance; views = mutate_views; q0 = mutate_q0; ops; max_stages = 64;
+      engine = `Seminaive }
+
+let test_mutate_jobs () =
+  (* the in-process reference: the same maintained instance, the same
+     edits in submission order — the daemon result must be bit-identical
+     (same digest), because the maintenance path is deterministic *)
+  let views, q0 = ok_or_fail "parse" (Job.parse_rules mutate_views mutate_q0) in
+  let deps = Tgd.Dep.t_q views in
+  let base = fst (Tgd.Greenred.green_canonical q0) in
+  let m, _ = Tgd.Chase.Maint.create ~engine:`Seminaive ~jobs:1 deps base in
+  let ge = Relational.Symbol.make ~color:Relational.Symbol.Green "E" 2 in
+  let edge =
+    List.hd
+      (List.sort Relational.Fact.compare
+         (Relational.Structure.facts_with_sym (Tgd.Chase.Maint.structure m) ge))
+  in
+  let a = (Relational.Fact.args edge).(0)
+  and b = (Relational.Fact.args edge).(1) in
+  let digest_after ops =
+    ignore (Tgd.Chase.Maint.apply_edit m ops);
+    check "reference maintenance is at fixpoint" false
+      (Tgd.Chase.Maint.pending m);
+    Job.structure_digest (Tgd.Chase.Maint.structure m)
+  in
+  let d1 = digest_after [ Tgd.Chase.Maint.Retract edge ] in
+  let d2 = digest_after [ Tgd.Chase.Maint.Insert edge ] in
+  with_daemon ~workers:2 ~quantum:1 (fun socket ->
+      let conn = connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          (* both jobs drive the same held instance; the scheduler must
+             serialize them in submission order even with 2 workers *)
+          let j1 =
+            ok_or_fail "submit mutate 1"
+              (Client.submit conn
+                 (mutate_spec ~instance:"i1"
+                    [ { Job.add = false; rel = "E"; args = [ a; b ] } ]))
+          in
+          let j2 =
+            ok_or_fail "submit mutate 2"
+              (Client.submit conn
+                 (mutate_spec ~instance:"i1"
+                    [ { Job.add = true; rel = "E"; args = [ a; b ] } ]))
+          in
+          let r1 = ok_or_fail "wait mutate 1" (Client.wait_terminal conn j1) in
+          let r2 = ok_or_fail "wait mutate 2" (Client.wait_terminal conn j2) in
+          check "mutate 1 done" true (job_field r1 "state" = Some "done");
+          check "mutate 2 done" true (job_field r2 "state" = Some "done");
+          let applied r =
+            Option.bind (Json.member "result" r) (Json.mem_bool "applied")
+          in
+          check "edit 1 went through the maintenance path" true
+            (applied r1 = Some true);
+          check "edit 2 went through the maintenance path" true
+            (applied r2 = Some true);
+          (* quantum 1 on a multi-stage initial chase: preempted, and the
+             suspended state lived in daemon memory, not in a .ckpt *)
+          check "first mutate preempted into several slices" true
+            (job_int r1 "slices" >= 2);
+          check_str "maintained digest after edit 1 = reference"
+            d1 (job_digest r1);
+          check_str "maintained digest after edit 2 = reference"
+            d2 (job_digest r2);
+          (* the second job rode the held instance: its stage counter
+             continues the instance's absolute numbering instead of
+             restarting at a fresh create (and its digest above encodes
+             job 1's retraction in the journal history, which a
+             re-chase from scratch could not reproduce) *)
+          check "second mutate continued the held instance's stages" true
+            (job_int r2 "stages_done" >= job_int r1 "stages_done")))
 
 let () =
   Alcotest.run "serve"
@@ -401,6 +574,7 @@ let () =
       ( "codec",
         [
           Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "surrogate pairs" `Quick test_json_surrogates;
           Alcotest.test_case "spec round-trip" `Quick test_spec_roundtrip;
           Alcotest.test_case "manifest round-trip" `Quick
             test_manifest_roundtrip;
@@ -415,5 +589,7 @@ let () =
             test_concurrent_clients;
           Alcotest.test_case "drain + restart recovery" `Quick
             test_drain_restart_recovery;
+          Alcotest.test_case "mutate jobs on a held instance" `Quick
+            test_mutate_jobs;
         ] );
     ]
