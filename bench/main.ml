@@ -1191,8 +1191,10 @@ let rm_rf dir =
   end
 
 (* Run [f socket] against a fresh in-process daemon (own domain), then
-   drain it and clean the store up. *)
-let with_daemon ~workers ~quantum f =
+   drain it and clean the store up.  The result cache defaults OFF so
+   the saturation rows measure the scheduler, not the cache — the
+   duplicate-heavy row turns it on explicitly. *)
+let with_daemon ~workers ~quantum ?(cache = 0) f =
   let socket, store_dir = serve_paths () in
   rm_rf store_dir;
   let cfg =
@@ -1202,6 +1204,8 @@ let with_daemon ~workers ~quantum f =
       workers;
       quantum = { Serve.Runner.stages = quantum; seconds = 0. };
       store_dir;
+      cache_capacity = cache;
+      cache_persist = true;
       log = false;
     }
   in
@@ -1359,9 +1363,87 @@ let serve_saturation ~clients ~workers ~quantum ~divergent_stages () =
           ("rows", SJ.List rows);
         ])
 
+(* The duplicate-heavy row: every client submits the same moderately
+   expensive chase several times in one pipelined batch.  With the cache
+   on, one submission executes and the rest are answered by coalescing
+   or by the entry; with it off, every duplicate re-chases.  Returns
+   (jobs_per_s, cache counters JSON). *)
+let serve_dup ~clients ~jobs_per_client ~workers ~quantum ~stages ~cache () =
+  with_daemon ~workers ~quantum ~cache (fun socket ->
+      let t0 = Obs.Clock.now_s () in
+      let sessions =
+        Array.init clients (fun _ ->
+            Domain.spawn (fun () ->
+                match Serve.Client.connect ~socket () with
+                | Error m -> failwith ("dup client connect: " ^ m)
+                | Ok conn ->
+                    Fun.protect
+                      ~finally:(fun () -> Serve.Client.close conn)
+                      (fun () ->
+                        let ids =
+                          match
+                            Serve.Client.submit_many conn
+                              (List.init jobs_per_client (fun _ ->
+                                   divergent_chase stages))
+                          with
+                          | Ok ids -> ids
+                          | Error m -> failwith ("dup submit: " ^ m)
+                        in
+                        List.iter
+                          (fun id ->
+                            match
+                              Serve.Client.wait_terminal ~poll_s:10. conn id
+                            with
+                            | Ok j when SJ.mem_str "state" j = Some "done" -> ()
+                            | Ok _ -> failwith "dup job did not finish done"
+                            | Error m -> failwith ("dup wait: " ^ m))
+                          ids)))
+      in
+      Array.iter Domain.join sessions;
+      let wall_s = Obs.Clock.now_s () -. t0 in
+      let counters =
+        match Serve.Client.connect ~socket () with
+        | Error _ -> SJ.Obj []
+        | Ok conn ->
+            Fun.protect
+              ~finally:(fun () -> Serve.Client.close conn)
+              (fun () ->
+                match Serve.Client.stats conn with
+                | Ok stats ->
+                    Option.value ~default:(SJ.Obj []) (SJ.member "cache" stats)
+                | Error _ -> SJ.Obj [])
+      in
+      (float (clients * jobs_per_client) /. wall_s, counters))
+
+let dup_row ~clients ~jobs_per_client ~workers ~quantum ~stages () =
+  let cached_jps, counters =
+    serve_dup ~clients ~jobs_per_client ~workers ~quantum ~stages ~cache:512 ()
+  in
+  let uncached_jps, _ =
+    serve_dup ~clients ~jobs_per_client ~workers ~quantum ~stages ~cache:0 ()
+  in
+  SJ.Obj
+    [
+      ("clients", SJ.Int clients);
+      ("jobs_per_client", SJ.Int jobs_per_client);
+      ("stages", SJ.Int stages);
+      ("cached_jobs_per_s", SJ.Float cached_jps);
+      ("uncached_jobs_per_s", SJ.Float uncached_jps);
+      ("speedup", SJ.Float (cached_jps /. uncached_jps));
+      ("cache", counters);
+    ]
+
 let emit_serve_json () =
   let report =
     serve_saturation ~clients:8 ~workers:4 ~quantum:3 ~divergent_stages:12 ()
+  in
+  let dup =
+    dup_row ~clients:8 ~jobs_per_client:6 ~workers:4 ~quantum:3 ~stages:12 ()
+  in
+  let report =
+    match report with
+    | SJ.Obj kvs -> SJ.Obj (kvs @ [ ("dup", dup) ])
+    | other -> other
   in
   let oc = open_out "BENCH_serve.json" in
   output_string oc (SJ.to_string report ^ "\n");
@@ -1369,10 +1451,12 @@ let emit_serve_json () =
   let num k = Option.value ~default:0. (SJ.mem_float k report) in
   Format.printf
     "wrote BENCH_serve.json (%.1f jobs/s over %d clients, divergent job \
-     preempted %d times)@."
+     preempted %d times, duplicate row %.1fx cached speedup)@."
     (num "jobs_per_s")
     (Option.value ~default:0 (SJ.mem_int "clients" report))
     (Option.value ~default:0 (SJ.mem_int "divergent_max_slices" report) - 1)
+    (Option.value ~default:0.
+       (Option.bind (SJ.member "dup" report) (SJ.mem_float "speedup")))
 
 (* The @serve-smoke gate: a small live saturation (still 8 clients, the
    acceptance floor) that must complete every job with preemption
@@ -1414,7 +1498,7 @@ let serve_smoke baseline =
             end
           in
           List.iter need
-            [ "clients"; "jobs_per_s"; "divergent_max_slices"; "rows" ];
+            [ "clients"; "jobs_per_s"; "divergent_max_slices"; "rows"; "dup" ];
           if
             Option.value ~default:0 (SJ.mem_int "clients" base) < 8
             || Option.value ~default:0 (SJ.mem_int "divergent_max_slices" base)
@@ -1424,6 +1508,21 @@ let serve_smoke baseline =
               "serve smoke: %s does not witness 8 clients with preemption@."
               baseline;
             exit 1
+          end;
+          let dup = SJ.member "dup" base in
+          if
+            Option.value ~default:0.
+              (Option.bind dup (SJ.mem_float "speedup"))
+            < 3.
+            || Option.bind dup (fun d ->
+                   Option.bind (SJ.member "cache" d) (SJ.mem_int "hits"))
+               = None
+          then begin
+            Format.printf
+              "serve smoke: %s duplicate row lacks the 3x cached speedup (or \
+               its cache counters)@."
+              baseline;
+            exit 1
           end));
   Format.printf
     "serve smoke: %d jobs over 8 clients, %.1f jobs/s, divergent job \
@@ -1431,6 +1530,113 @@ let serve_smoke baseline =
     (geti "jobs_total")
     (Option.value ~default:0. (SJ.mem_float "jobs_per_s" report))
     (geti "divergent_max_slices" - 1)
+
+(* The `regress --serve` gate: cached duplicate-heavy traffic must move
+   at least 3x the jobs/s of the same traffic uncached.  Live daemon
+   timing is noisy, so like the par gate it takes the best of 5
+   alternating measurements per mode and allows a 10% band on the 3x
+   floor. *)
+let serve_gate () =
+  let run cache =
+    fst
+      (serve_dup ~clients:4 ~jobs_per_client:6 ~workers:4 ~quantum:3 ~stages:9
+         ~cache ())
+  in
+  let best_cached = ref 0. and best_uncached = ref 0. in
+  for _ = 1 to 5 do
+    best_uncached := Float.max !best_uncached (run 0);
+    best_cached := Float.max !best_cached (run 512)
+  done;
+  let speedup = !best_cached /. !best_uncached in
+  Format.printf
+    "serve-gate duplicate-heavy      cached %.1f jobs/s  uncached %.1f jobs/s \
+     (%.2fx)@."
+    !best_cached !best_uncached speedup;
+  if !best_cached *. 1.10 < 3. *. !best_uncached then begin
+    Format.printf
+      "bench-smoke: result cache below the 3x duplicate-traffic floor@.";
+    exit 1
+  end
+  else Format.printf "bench-smoke: cache >= 3x on duplicate-heavy traffic@."
+
+(* The @cache-smoke gate: deterministic result-cache semantics against a
+   live daemon — no timing, so it can ride `dune runtest`.  Checks the
+   counter arithmetic exactly: a resubmission is a hit, a pipelined
+   duplicate batch is one miss plus followers (hit or coalesced,
+   depending on arrival timing — their sum is invariant), and every
+   duplicate carries the bit-identical digest. *)
+let cache_smoke () =
+  let fail fmt = Format.kasprintf (fun m -> print_endline m; exit 1) fmt in
+  with_daemon ~workers:2 ~quantum:2 ~cache:64 (fun socket ->
+      match Serve.Client.connect ~socket () with
+      | Error m -> fail "cache smoke: connect: %s" m
+      | Ok conn ->
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close conn)
+            (fun () ->
+              let wait id =
+                match Serve.Client.wait_terminal ~poll_s:10. conn id with
+                | Ok j -> j
+                | Error m -> fail "cache smoke: wait: %s" m
+              in
+              let digest j =
+                Option.value ~default:""
+                  (Option.bind (SJ.member "result" j) (SJ.mem_str "digest"))
+              in
+              let slices j = Option.value ~default:(-1) (SJ.mem_int "slices" j) in
+              let submit spec =
+                match Serve.Client.submit conn spec with
+                | Ok id -> id
+                | Error m -> fail "cache smoke: submit: %s" m
+              in
+              (* resubmission of a finished chase: hit, zero slices,
+                 identical digest *)
+              let j1 = wait (submit (divergent_chase 9)) in
+              if slices j1 < 1 then fail "cache smoke: first run did not execute";
+              let j2 = wait (submit (divergent_chase 9)) in
+              if slices j2 <> 0 then
+                fail "cache smoke: resubmission executed (%d slices)" (slices j2);
+              if digest j2 <> digest j1 || digest j1 = "" then
+                fail "cache smoke: resubmission digest differs";
+              (* pipelined duplicates: one executes, all bit-identical *)
+              let ids =
+                match
+                  Serve.Client.submit_many conn
+                    (List.init 4 (fun _ -> Serve.Job.Worm { machine = "halt-now"; steps = 50 }))
+                with
+                | Ok ids -> ids
+                | Error m -> fail "cache smoke: submit_many: %s" m
+              in
+              let js = List.map wait ids in
+              let wd = digest (List.hd js) in
+              if wd = "" then fail "cache smoke: worm digest empty";
+              List.iter
+                (fun j ->
+                  if digest j <> wd then
+                    fail "cache smoke: duplicate worm digest differs")
+                js;
+              if List.length (List.filter (fun j -> slices j > 0) js) <> 1 then
+                fail "cache smoke: duplicate batch executed more than once";
+              (* the counters add up: 2 misses (chase primary + worm
+                 primary), and 4 duplicates answered without running *)
+              match Serve.Client.stats conn with
+              | Error m -> fail "cache smoke: stats: %s" m
+              | Ok stats ->
+                  let c k =
+                    Option.value ~default:(-1)
+                      (Option.bind (SJ.member "cache" stats) (SJ.mem_int k))
+                  in
+                  if c "misses" <> 2 then
+                    fail "cache smoke: expected 2 misses, saw %d" (c "misses");
+                  if c "hits" + c "coalesced" <> 4 then
+                    fail "cache smoke: expected 4 cache-answered duplicates, saw %d"
+                      (c "hits" + c "coalesced");
+                  if SJ.member "sched" stats = None then
+                    fail "cache smoke: stats reply lacks the sched block";
+                  Format.printf
+                    "cache smoke: 2 misses, %d hits + %d coalesced, every \
+                     duplicate bit-identical@."
+                    (c "hits") (c "coalesced")))
 
 (* Quick equivalence + JSON sanity pass, wired into `dune runtest` (prints
    to stdout only, so the test stays hermetic). *)
@@ -1458,18 +1664,22 @@ let () =
       emit_hom_json ();
       emit_audit_json ()
   | "regress" ->
-      (* `regress [--engine par] [--incr] [baseline]`: the baseline gate
-         always runs; `--engine par` adds the par-vs-seminaive
-         wall-clock gate, `--incr` the incremental-vs-scratch one. *)
+      (* `regress [--engine par] [--incr] [--serve] [baseline]`: the
+         baseline gate always runs; `--engine par` adds the
+         par-vs-seminaive wall-clock gate, `--incr` the
+         incremental-vs-scratch one, `--serve` the daemon result-cache
+         jobs/s one. *)
       let rest =
         Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
       in
       let gate_par = List.mem "--engine" rest && List.mem "par" rest in
       let gate_incr = List.mem "--incr" rest in
+      let gate_serve = List.mem "--serve" rest in
       let baseline =
         match
           List.filter
-            (fun a -> a <> "--engine" && a <> "par" && a <> "--incr")
+            (fun a ->
+              a <> "--engine" && a <> "par" && a <> "--incr" && a <> "--serve")
             rest
         with
         | b :: _ -> b
@@ -1477,7 +1687,8 @@ let () =
       in
       regress baseline;
       if gate_par then par_gate ();
-      if gate_incr then incr_gate ()
+      if gate_incr then incr_gate ();
+      if gate_serve then serve_gate ()
   | "ablation" -> emit_ablation ()
   | "overhead" -> emit_overhead ()
   | "incr" -> emit_incr_json ()
@@ -1488,6 +1699,7 @@ let () =
   | "serve-smoke" ->
       serve_smoke
         (if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_serve.json")
+  | "cache-smoke" -> cache_smoke ()
   | "smoke" -> smoke ()
   | _ ->
       let fast = mode = "fast" in

@@ -608,7 +608,8 @@ let tcp_port_arg =
     & info [ "tcp-port" ] ~docv:"PORT"
         ~doc:"Additionally listen on loopback TCP port $(docv).")
 
-let serve () socket tcp_port workers quantum quantum_seconds store verbose =
+let serve () socket tcp_port workers quantum quantum_seconds store cache_capacity
+    no_cache_persist verbose =
   let cfg =
     {
       Serve.Server.socket;
@@ -616,6 +617,8 @@ let serve () socket tcp_port workers quantum quantum_seconds store verbose =
       workers = max 1 workers;
       quantum = { Serve.Runner.stages = max 1 quantum; seconds = quantum_seconds };
       store_dir = store;
+      cache_capacity = max 0 cache_capacity;
+      cache_persist = not no_cache_persist;
       log = verbose;
     }
   in
@@ -626,7 +629,7 @@ let serve_cmd =
     Arg.(
       value & opt int 4
       & info [ "workers" ] ~docv:"N"
-          ~doc:"Concurrent job slices per scheduling round (pool domains).")
+          ~doc:"Worker domains (max concurrently running job slices).")
   in
   let quantum =
     Arg.(
@@ -650,16 +653,30 @@ let serve_cmd =
           ~doc:
             "Job store directory: manifests and suspend checkpoints,              rescanned on restart for crash recovery.")
   in
+  let cache_capacity =
+    Arg.(
+      value & opt int 512
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:
+            "Result-cache entries (digest-keyed; duplicates coalesce              behind an in-flight primary).  0 disables caching.")
+  in
+  let no_cache_persist =
+    Arg.(
+      value & flag
+      & info [ "no-cache-persist" ]
+          ~doc:
+            "Keep the result cache in memory only instead of persisting              pure entries to the job store.")
+  in
   let verbose =
-    Arg.(value & flag & info [ "verbose" ] ~doc:"Log rounds to stderr.")
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Log scheduling to stderr.")
   in
   Cmd.v
     (Cmd.info "serve" ~exits
        ~doc:
-         "Run redspiderd: accept chase/determinacy/worm/audit jobs as           newline-delimited JSON over a Unix (and optionally loopback           TCP) socket, execute them preemptively on the domain pool —           a divergent chase is suspended to a checkpoint at every           quantum and resumed later, bit-identically — and drain           gracefully on SIGTERM.")
+         "Run redspiderd: accept chase/determinacy/worm/audit jobs as           newline-delimited JSON over a Unix (and optionally loopback           TCP) socket, execute them preemptively on persistent worker           domains under a continuous batched scheduler — a divergent           chase is suspended to a checkpoint at every quantum and           resumed later, bit-identically, and duplicate submissions are           answered from a digest-keyed result cache — and drain           gracefully on SIGTERM.")
     Term.(
       const serve $ obs_term $ socket_arg $ tcp_port_arg $ workers $ quantum
-      $ quantum_seconds $ store $ verbose)
+      $ quantum_seconds $ store $ cache_capacity $ no_cache_persist $ verbose)
 
 (* One-shot client: print the daemon's JSON reply line and exit through
    the taxonomy (a waited-for job propagates its own exit code). *)

@@ -33,6 +33,24 @@ let pp ppf t =
     (if t.name = "" then "" else t.name ^ ": ")
     Label.pp t.l1 c Label.pp t.l2 Label.pp t.r1 c Label.pp t.r2
 
+(* Canonical ruleset digest, mirroring [Tgd.Dep.digest_hex]: connector
+   and label pairs in rule order, names excluded (renamed rulesets
+   rewrite identically).  Order-sensitive — firing order determines
+   fresh-vertex identity. *)
+let digest_hex rules =
+  let dg = Relational.Digest128.create () in
+  List.iter
+    (fun r ->
+      Relational.Digest128.feed_int dg
+        (match r.conn with Amp -> 0 | Slash -> 1);
+      List.iter
+        (fun l ->
+          Relational.Digest128.feed_string dg
+            (Format.asprintf "%a" Label.pp l))
+        [ r.l1; r.l2; r.r1; r.r2 ])
+    rules;
+  Relational.Digest128.hex ~salt:[ List.length rules ] dg
+
 (* --- semantics -------------------------------------------------------- *)
 
 let shared_of conn (e : Graph.edge) =
@@ -176,7 +194,7 @@ let collect_stage ?delta ~considered rules g =
           let seen = Hashtbl.create 32 in
           let consider x x' =
             (* cooperative cancellation: the scan is read-only here *)
-            if !G.Cancel.poll_on then G.Cancel.poll ();
+            G.Cancel.poll ();
             if not (Hashtbl.mem seen (x, x')) then begin
               Hashtbl.replace seen (x, x') ();
               incr considered;
@@ -278,7 +296,7 @@ let collect_stage_packed ~dix ~considered rules g =
           (fun dir ((a, b), (c, d)) ->
             let seen = Hashtbl.create 32 in
             let consider x x' =
-              if !G.Cancel.poll_on then G.Cancel.poll ();
+              G.Cancel.poll ();
               let key = (x * n0) + x' in
               if not (Hashtbl.mem seen key) then begin
                 Hashtbl.replace seen key ();
@@ -827,7 +845,7 @@ module Maint = struct
                           let (a, b), (c, d) = sides rule dir in
                           let seen = Hashtbl.create 32 in
                           let consider (e1 : Graph.edge) (e2 : Graph.edge) =
-                            if !G.Cancel.poll_on then G.Cancel.poll ();
+                            G.Cancel.poll ();
                             let x = free_of rule.conn e1
                             and x' = free_of rule.conn e2 in
                             let k = (ri, dir, x, x') in

@@ -23,6 +23,11 @@ val slash : ?name:string -> Label.t * Label.t -> Label.t * Label.t -> t
 
 val pp : Format.formatter -> t -> unit
 
+(** Canonical 128-bit digest of a rule list: connector + label pairs in
+    rule order, names excluded.  Order-sensitive, because firing order
+    determines fresh-vertex identity. *)
+val digest_hex : t list -> string
+
 (** {1 Semantics} *)
 
 val shared_of : conn -> Graph.edge -> int

@@ -69,6 +69,9 @@ module Make (Label : LABEL) = struct
     mutable journal : jcell array; (* delta journal, oldest first *)
     mutable journal_len : int;
     jpos : int Edge_tbl.t; (* live edge -> its journal cell *)
+    dg : Relational.Digest128.t; (* incremental journal digest *)
+    mutable dg_wm : int; (* journal cells fed so far *)
+    mutable dg_valid : bool; (* false: refeed from cell 0 *)
   }
 
   let create () =
@@ -85,6 +88,9 @@ module Make (Label : LABEL) = struct
       journal = [||];
       journal_len = 0;
       jpos = Edge_tbl.create 64;
+      dg = Relational.Digest128.create ();
+      dg_wm = 0;
+      dg_valid = true;
     }
 
   let journal_push t e =
@@ -195,7 +201,10 @@ module Make (Label : LABEL) = struct
       (match Edge_tbl.find_opt t.jpos e with
       | Some i ->
           t.journal.(i).jlive <- false;
-          Edge_tbl.remove t.jpos e
+          Edge_tbl.remove t.jpos e;
+          (* Tombstoning below the digest watermark falsifies the fed
+             prefix; the next digest refeeds the journal (streamed). *)
+          if i < t.dg_wm then t.dg_valid <- false
       | None -> ());
       true
     end
@@ -237,6 +246,31 @@ module Make (Label : LABEL) = struct
       if c.jlive then acc := c.je :: !acc
     done;
     !acc
+
+  (* Canonical 128-bit digest of the graph's build history: live journal
+     cells in order (label rendered through [Label.pp], endpoints by
+     vertex id) plus the vertex count.  Mirrors
+     {!Relational.Structure.digest_hex}: lazy incremental feed from a
+     watermark, streamed full refeed after a tombstone below it, no
+     O(journal) intermediate string.  Copies rebuild their own journal in
+     set order and digest accordingly. *)
+  let digest_hex t =
+    if not t.dg_valid then begin
+      Relational.Digest128.reset t.dg;
+      t.dg_wm <- 0;
+      t.dg_valid <- true
+    end;
+    for i = t.dg_wm to t.journal_len - 1 do
+      let c = t.journal.(i) in
+      if c.jlive then begin
+        Relational.Digest128.feed_string t.dg
+          (Format.asprintf "%a" Label.pp c.je.label);
+        Relational.Digest128.feed_int t.dg c.je.src;
+        Relational.Digest128.feed_int t.dg c.je.dst
+      end
+    done;
+    t.dg_wm <- t.journal_len;
+    Relational.Digest128.hex ~salt:[ Hashtbl.length t.vertices ] t.dg
 
   let edges t = Edge_set.elements t.edges
   let size t = Edge_set.cardinal t.edges

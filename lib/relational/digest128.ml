@@ -1,0 +1,91 @@
+(* Streaming 128-bit structure/ruleset digests.
+
+   The serve layer keys its result cache — and witnesses engine
+   bit-identity — by a digest of the chase journal.  The original witness
+   rendered the whole journal through [Format.asprintf] into a [Buffer]
+   and MD5'd the string: an O(journal) allocation per digest call, paid on
+   every job completion.  This module replaces the text render with a
+   streamed feed: the caller pushes ints and strings directly into two
+   64-bit mixing lanes, and may keep feeding the same state incrementally
+   as the journal grows (the structure remembers its feed watermark).
+
+   The mixer is xxhash-flavoured — per-word odd-multiplier rounds with
+   rotations, finished by an xmx avalanche over both lanes with the fed
+   word count folded in.  It is a fast non-cryptographic mix: collisions
+   are astronomically unlikely for the cache's working sets, but nothing
+   here resists an adversary.  Determinism is the contract that matters:
+   the digest is a pure function of the sequence of [feed_*] calls, so
+   two runs that feed the same values in the same order — a preempted and
+   an uninterrupted chase, an incremental feed and a from-scratch refeed —
+   produce the same hex, regardless of where the feed was split across
+   calls.
+
+   The state is three scalars (two boxed int64s and an int), so it
+   marshals inside engine snapshots and copies in O(1). *)
+
+type t = { mutable a : int64; mutable b : int64; mutable n : int }
+
+let p1 = 0x9E3779B185EBCA87L
+let p2 = 0xC2B2AE3D27D4EB4FL
+let p3 = 0x165667B19E3779F9L
+
+let create () = { a = 0x7365696467657131L; b = 0x1c65776f726d5f64L; n = 0 }
+let copy t = { a = t.a; b = t.b; n = t.n }
+
+let reset t =
+  let u = create () in
+  t.a <- u.a;
+  t.b <- u.b;
+  t.n <- u.n
+
+let rotl x r =
+  Int64.logor (Int64.shift_left x r) (Int64.shift_right_logical x (64 - r))
+
+let feed_int64 t w =
+  t.a <- Int64.mul (rotl (Int64.add t.a (Int64.mul w p2)) 31) p1;
+  t.b <- Int64.mul (rotl (Int64.logxor t.b w) 29) p3;
+  t.n <- t.n + 1
+
+let feed_int t i = feed_int64 t (Int64.of_int i)
+
+(* A string feed is the length followed by its bytes packed into
+   little-endian words (last word zero-padded).  The length prefix keeps
+   consecutive string feeds unambiguous ("ab","c" vs "a","bc"). *)
+let feed_string t s =
+  let len = String.length s in
+  feed_int t len;
+  let i = ref 0 in
+  while !i < len do
+    let w = ref 0L in
+    for k = 0 to 7 do
+      if !i + k < len then
+        w :=
+          Int64.logor !w
+            (Int64.shift_left
+               (Int64.of_int (Char.code (String.unsafe_get s (!i + k))))
+               (8 * k))
+    done;
+    feed_int64 t !w;
+    i := !i + 8
+  done
+
+let avalanche x =
+  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 33)) p2 in
+  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 29)) p3 in
+  Int64.logxor x (Int64.shift_right_logical x 32)
+
+(* Finalize a snapshot of the state — the live state stays feedable.
+   [salt] folds trailing values (cardinalities, params) into the result
+   without disturbing the incremental feed. *)
+let hex ?(salt = []) t =
+  let u = copy t in
+  List.iter (fun i -> feed_int u i) salt;
+  let a = avalanche (Int64.add u.a (Int64.mul (Int64.of_int u.n) p3)) in
+  let b = avalanche (Int64.logxor u.b a) in
+  Printf.sprintf "%016Lx%016Lx" a b
+
+(* One-shot convenience: digest a list of strings. *)
+let of_strings ss =
+  let t = create () in
+  List.iter (feed_string t) ss;
+  hex t

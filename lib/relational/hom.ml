@@ -540,8 +540,7 @@ module Plan = struct
     let rec go k =
       (* cooperative cancellation: a read-only scan may abort here (one
          disarmed ref read, the [Obs.metrics_on] overhead discipline) *)
-      if !Resilience.Governor.Cancel.poll_on then
-        Resilience.Governor.Cancel.poll ();
+      Resilience.Governor.Cancel.poll ();
       if k >= n then emit slots
       else begin
         let i = order.(k) in
@@ -732,8 +731,7 @@ module Plan = struct
       let occ = plan.occ in
       let nslots = Array.length occ in
       let rec go () =
-        if !Resilience.Governor.Cancel.poll_on then
-          Resilience.Governor.Cancel.poll ();
+        Resilience.Governor.Cancel.poll ();
         (* choose the unbound slot with the smallest supporting pool *)
         let best_s = ref (-1) and best_a = ref (-1) and best_p = ref (-1) in
         let best_n = ref max_int in
@@ -929,8 +927,7 @@ module Plan = struct
                   Obs.Metrics.add c_candidates !best_n;
                 let undo = Array.make (max pa.arity 1) 0 in
                 for k = !best_lb to len - 1 do
-                  if !Resilience.Governor.Cancel.poll_on then
-                    Resilience.Governor.Cancel.poll ();
+                  Resilience.Governor.Cancel.poll ();
                   let id = Intvec.unsafe_get pool k in
                   (* every constant and every seeded slot must agree *)
                   let ok = ref true in
@@ -1083,8 +1080,7 @@ module Plan = struct
                     Obs.Metrics.add c_candidates (len - blb.(j));
                   let undo = Array.make (max pa.arity 1) 0 in
                   for k = blb.(j) to len - 1 do
-                    if !Resilience.Governor.Cancel.poll_on then
-                      Resilience.Governor.Cancel.poll ();
+                    Resilience.Governor.Cancel.poll ();
                     let id = Intvec.unsafe_get pool k in
                     let ok = ref true in
                     for p = 0 to pa.arity - 1 do
@@ -1253,8 +1249,7 @@ module Plan = struct
               let undo = Array.make pivot.arity 0 in
               List.iter
                 (fun fact ->
-                  if !Resilience.Governor.Cancel.poll_on then
-                    Resilience.Governor.Cancel.poll ();
+                  Resilience.Governor.Cancel.poll ();
                   let fargs = Fact.args fact in
                   (* constant filter, unmetered like the interpreted
                      pivot's [pinned] check *)
@@ -1374,8 +1369,7 @@ module Plan = struct
                 let id = Intvec.unsafe_get bucket !k in
                 if id >= hi then continue := false
                 else begin
-                  if !Resilience.Governor.Cancel.poll_on then
-                    Resilience.Governor.Cancel.poll ();
+                  Resilience.Governor.Cancel.poll ();
                   (* constant filter (unmetered, like [iter_family]) *)
                   let ok = ref true in
                   for p = 0 to pivot.arity - 1 do

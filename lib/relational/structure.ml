@@ -56,6 +56,9 @@ type t = {
   mutable nretracted : int;
   mutable stage : int;                       (* current provenance stage *)
   mutable nfacts : int;                      (* live fact count *)
+  dg : Digest128.t;                          (* incremental journal digest *)
+  mutable dg_wm : int;                       (* journal ids fed so far *)
+  mutable dg_valid : bool;                   (* false: refeed from id 0 *)
 }
 
 let create () =
@@ -77,6 +80,9 @@ let create () =
     nretracted = 0;
     stage = 0;
     nfacts = 0;
+    dg = Digest128.create ();
+    dg_wm = 0;
+    dg_valid = true;
   }
 
 let set_stage t s = t.stage <- s
@@ -198,6 +204,11 @@ let retract_fact t f =
       Fact.Tbl.remove t.facts f;
       Fact.Tbl.remove t.ids f;
       t.nfacts <- t.nfacts - 1;
+      (* A retraction below the digest watermark falsifies the fed prefix;
+         the next digest refeeds the whole journal (still streamed, no
+         intermediate string).  At or above the watermark the entry was
+         never fed — skipping dead ids at feed time suffices. *)
+      if id < t.dg_wm then t.dg_valid <- false;
       Hashtbl.replace t.dead id ();
       t.retracted <- (id, f) :: t.retracted;
       t.nretracted <- t.nretracted + 1;
@@ -327,6 +338,47 @@ let delta_since t wm =
    the bucket-driven scans (a dead id is in no bucket); raw-range
    consumers must check {!live_id}. *)
 let delta_ids t wm = (wm, Fact_arena.n_facts t.arena)
+
+(* {2 Incremental journal digest}
+
+   The canonical digest of the structure's build history: the live facts
+   in journal order, plus the element count.  Symbols are fed by content
+   (name, color, arity) — never by interned id, which depends on the
+   order symbols were first seen and so differs between an incremental
+   run and a from-scratch one — while elements are fed by id, because
+   fresh-element identity is exactly what the bit-identity witness is
+   meant to observe.
+
+   The feed is lazy and incremental: [digest_hex] feeds only the journal
+   suffix since the last call.  The split points always fall between
+   facts, so the streamed state is identical to a single from-scratch
+   feed (see {!Digest128}).  A retraction below the fed watermark resets
+   the state and refeeds — still streaming, no O(journal) string. *)
+
+let feed_fact dg f =
+  let sym = Fact.sym f in
+  Digest128.feed_string dg (Symbol.name sym);
+  Digest128.feed_int dg
+    (match Symbol.color sym with
+    | None -> 0
+    | Some Symbol.Green -> 1
+    | Some Symbol.Red -> 2);
+  let args = Fact.args f in
+  Digest128.feed_int dg (Array.length args);
+  Array.iter (fun e -> Digest128.feed_int dg e) args
+
+let digest_hex t =
+  if not t.dg_valid then begin
+    Digest128.reset t.dg;
+    t.dg_wm <- 0;
+    t.dg_valid <- true
+  end;
+  let n = Fact_arena.n_facts t.arena in
+  for id = t.dg_wm to n - 1 do
+    if not (Hashtbl.mem t.dead id) then feed_fact t.dg (id_fact t id)
+  done;
+  t.dg_wm <- n;
+  Digest128.hex ~salt:[ card t ] t.dg
 
 let symbols t =
   let acc = ref [] in

@@ -177,6 +177,17 @@ val delta_since : t -> int -> Fact.t list
 (** The symbols with at least one fact. *)
 val symbols : t -> Symbol.t list
 
+(** The canonical 128-bit digest of the structure's build history: the
+    live facts in journal order (symbols by content, elements by id) plus
+    the element count.  History-sensitive — a retract-then-re-add leaves
+    a different journal than never touching the fact, which is what the
+    engine bit-identity witness observes.  Incremental: each call feeds
+    only the journal suffix since the previous call, O(delta) amortized;
+    a retraction below the fed watermark triggers a streamed full refeed.
+    Copies ({!copy}, {!filter}, …) rebuild their own journal in their own
+    order and digest accordingly. *)
+val digest_hex : t -> string
+
 (** {1 Whole-structure operations} *)
 
 (** Deep copy sharing nothing mutable. *)

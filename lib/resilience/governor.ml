@@ -23,25 +23,53 @@ module Cancel = struct
 
   exception Cancelled
 
-  (* Hot-path polling follows the [Obs.metrics_on] idiom: a single ref
-     read when disarmed, so the instrumented inner loops stay within the
-     observability overhead budget.  [with_polling] arms the token for
-     the dynamic extent of a read-only scan; {!poll} raises [Cancelled]
-     out of the scan, which the engine catches at the stage boundary. *)
-  let poll_on = ref false
-  let current = ref never
+  (* Hot-path polling: [with_polling] arms the token for the dynamic
+     extent of a read-only scan; {!poll} raises [Cancelled] out of the
+     scan, which the engine catches at the stage boundary.
+
+     The armed state is DOMAIN-LOCAL.  Slices of different jobs run
+     concurrently on separate worker domains (and a daemon can coexist
+     with in-process governed runs); with a shared global, interleaved
+     save/restores scramble each other, and a later scan can observe a
+     *stale* token — notably an old daemon's tripped drain token, which
+     then cancels every slice of a fresh daemon forever.  Domain-local
+     armed state makes with_polling's save/restore properly nested per
+     domain, so a scan only ever polls the token its own dynamic extent
+     armed.
+
+     [poll] sits on the innermost backtracking path of the hom join
+     evaluator — millions of calls per scan — and [Domain.DLS.get] is
+     ~9x the cost of a plain load, so the disarmed case (every
+     ungoverned run: the CLI one-shots, the whole chase bench suite)
+     must not pay it.  A process-global count of live [with_polling]
+     extents guards the slow path: when it is zero — no domain armed
+     anywhere — poll is a single [Atomic.get], matching the old
+     one-ref-read discipline.  When any domain is armed, polls
+     everywhere fall through to the domain-local check; only the
+     domains actually inside a [with_polling] extent can raise. *)
+  type armed = { mutable on : bool; mutable tok : t }
+
+  let armed_key = Domain.DLS.new_key (fun () -> { on = false; tok = never })
+  let armed_extents = Atomic.make 0
 
   let with_polling t f =
-    let saved_on = !poll_on and saved = !current in
-    poll_on := true;
-    current := t;
+    let a = Domain.DLS.get armed_key in
+    let saved_on = a.on and saved_tok = a.tok in
+    a.on <- true;
+    a.tok <- t;
+    Atomic.incr armed_extents;
     Fun.protect
       ~finally:(fun () ->
-        poll_on := saved_on;
-        current := saved)
+        Atomic.decr armed_extents;
+        a.on <- saved_on;
+        a.tok <- saved_tok)
       f
 
-  let poll () = if !poll_on && (!current).tripped then raise Cancelled
+  let poll () =
+    if Atomic.get armed_extents > 0 then begin
+      let a = Domain.DLS.get armed_key in
+      if a.on && a.tok.tripped then raise Cancelled
+    end
 end
 
 type budget_kind = Stages | Elems | Facts | Steps | Stop

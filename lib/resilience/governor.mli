@@ -28,17 +28,14 @@ module Cancel : sig
 
   val with_polling : t -> (unit -> 'a) -> 'a
   (** Arm [t] for hot-path polling within the callback (saving and
-      restoring any previously armed token). *)
-
-  val poll_on : bool ref
-  (** Whether a token is armed.  Hot loops guard their {!poll} call with
-      this single ref read (the [Obs.metrics_on] idiom); treat as
-      read-only — {!with_polling} owns it. *)
+      restoring any previously armed token).  The armed state is
+      domain-local: concurrent scans on other domains neither observe
+      [t] nor disturb this domain's arming. *)
 
   val poll : unit -> unit
-  (** The hot-path poll: a single ref read when disarmed (the
-      [Obs.metrics_on] idiom), raising {!Cancelled} when the armed token
-      has tripped. *)
+  (** The hot-path poll: one global load when no domain is armed
+      anywhere, raising {!Cancelled} when the token armed by this
+      domain's enclosing {!with_polling} has tripped. *)
 end
 
 type budget_kind =

@@ -1,0 +1,245 @@
+(* The daemon's digest-keyed result cache.
+
+   One entry per cache key (see [Job.cache_class]): the completed
+   result plus the counters a hit replays onto the served job, so a
+   cached answer is indistinguishable from a fresh run — same outcome,
+   same digest, same stage/application/trigger numbers — except that it
+   costs zero slices.
+
+   Two layers:
+
+     - the entry table, LRU-evicted at [capacity] (an O(n) min-tick
+       scan; capacities are hundreds, not millions);
+     - the in-flight table, which coalesces duplicates: the first job to
+       claim a key becomes the *primary* and actually runs; later
+       arrivals park as *followers* and are completed by replication
+       when the primary finishes.  A primary that ends without a result
+       (faulted, cancelled) is abandoned and the server promotes a
+       follower in its place.
+
+   Pure entries may also be persisted as [<key>.res] files in the job
+   store, surviving restarts.  Instance-read entries (mutate jobs with
+   an empty edit script against a daemon-held instance) are in-memory
+   only: their keys embed a per-instance version that restarts reset,
+   and [drop_instance] sweeps them the moment an edit commits, so an
+   edited instance can never serve a stale digest.
+
+   Every operation runs on the daemon's select-loop thread; no locking
+   needed. *)
+
+type entry = {
+  e_key : string;
+  e_result : Job.result_;
+  e_stages : int;        (* stages_done of the producing run *)
+  e_applications : int;
+  e_considered : int;
+  e_instance : string option;  (* Some name for instance-read entries *)
+  e_persisted : bool;          (* has a [.res] file to clean up *)
+  mutable e_tick : int;        (* LRU clock *)
+}
+
+type flight = {
+  f_primary : string;              (* job id actually running *)
+  mutable f_followers : string list;  (* parked job ids, arrival order *)
+}
+
+type t = {
+  capacity : int;                  (* 0 disables the cache entirely *)
+  persist : bool;                  (* write pure entries to the store *)
+  store : Store.t;
+  tbl : (string, entry) Hashtbl.t;
+  inflight : (string, flight) Hashtbl.t;
+  mutable tick : int;
+  (* per-daemon counts for the stats reply (the Obs counters below are
+     process-wide and shared by every daemon in the process) *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable coalesced : int;
+  mutable evictions : int;
+}
+
+let m_hits = Obs.Metrics.counter "cache.hits"
+let m_misses = Obs.Metrics.counter "cache.misses"
+let m_coalesced = Obs.Metrics.counter "cache.coalesced"
+
+let entry_json e =
+  Json.Obj
+    [
+      ("result", Job.result_to_json e.e_result);
+      ("stages_done", Json.Int e.e_stages);
+      ("applications", Json.Int e.e_applications);
+      ("considered", Json.Int e.e_considered);
+    ]
+
+let entry_of_json ~key ~persisted j =
+  match Json.member "result" j with
+  | None -> None
+  | Some r ->
+      Some
+        {
+          e_key = key;
+          e_result = Job.result_of_json r;
+          e_stages = Option.value (Json.mem_int "stages_done" j) ~default:0;
+          e_applications = Option.value (Json.mem_int "applications" j) ~default:0;
+          e_considered = Option.value (Json.mem_int "considered" j) ~default:0;
+          e_instance = None;  (* only pure entries persist *)
+          e_persisted = persisted;
+          e_tick = 0;
+        }
+
+let create ~capacity ~persist store =
+  let t =
+    {
+      capacity = max 0 capacity;
+      persist;
+      store;
+      tbl = Hashtbl.create 64;
+      inflight = Hashtbl.create 16;
+      tick = 0;
+      hits = 0;
+      misses = 0;
+      coalesced = 0;
+      evictions = 0;
+    }
+  in
+  if t.capacity > 0 && persist then
+    List.iter
+      (fun (key, json) ->
+        match entry_of_json ~key ~persisted:true json with
+        | Some e when Hashtbl.length t.tbl < t.capacity ->
+            Hashtbl.replace t.tbl key e
+        | Some _ | None -> Store.remove_result store key)
+      (Store.load_results store);
+  t
+
+let enabled t = t.capacity > 0
+let entries t = Hashtbl.length t.tbl
+let inflight t = Hashtbl.length t.inflight
+
+(* Internal lookup for follower replication — no hit accounting, no LRU
+   touch: the primary's completion is one logical execution however many
+   duplicates it answers. *)
+let find_entry t key = Hashtbl.find_opt t.tbl key
+
+let evict_to_capacity t =
+  while Hashtbl.length t.tbl > t.capacity do
+    let victim =
+      Hashtbl.fold
+        (fun _ e acc ->
+          match acc with
+          | Some v when v.e_tick <= e.e_tick -> acc
+          | _ -> Some e)
+        t.tbl None
+    in
+    match victim with
+    | None -> ()
+    | Some e ->
+        Hashtbl.remove t.tbl e.e_key;
+        if e.e_persisted then Store.remove_result t.store e.e_key;
+        t.evictions <- t.evictions + 1
+  done
+
+(* Route a keyed job: serve it from an entry, park it behind the running
+   primary, or make it the primary that runs for everyone. *)
+let acquire t ~key ~job_id =
+  if t.capacity = 0 then `Bypass
+  else
+    match Hashtbl.find_opt t.tbl key with
+    | Some e ->
+        t.tick <- t.tick + 1;
+        e.e_tick <- t.tick;
+        t.hits <- t.hits + 1;
+        Obs.Metrics.incr m_hits;
+        `Hit e
+    | None -> (
+        match Hashtbl.find_opt t.inflight key with
+        | Some f ->
+            f.f_followers <- f.f_followers @ [ job_id ];
+            t.coalesced <- t.coalesced + 1;
+            Obs.Metrics.incr m_coalesced;
+            `Follower
+        | None ->
+            t.misses <- t.misses + 1;
+            Obs.Metrics.incr m_misses;
+            Hashtbl.replace t.inflight key { f_primary = job_id; f_followers = [] };
+            `Primary)
+
+(* The primary finished with a result: insert the entry (persisting pure
+   entries if configured) and hand back the parked followers for
+   replication. *)
+let complete t ~key ~instance ~result ~stages ~applications ~considered =
+  let followers =
+    match Hashtbl.find_opt t.inflight key with
+    | Some f ->
+        Hashtbl.remove t.inflight key;
+        f.f_followers
+    | None -> []
+  in
+  if t.capacity > 0 then begin
+    let persisted = t.persist && instance = None in
+    let e =
+      {
+        e_key = key;
+        e_result = result;
+        e_stages = stages;
+        e_applications = applications;
+        e_considered = considered;
+        e_instance = instance;
+        e_persisted = persisted;
+        e_tick =
+          (t.tick <- t.tick + 1;
+           t.tick);
+      }
+    in
+    Hashtbl.replace t.tbl key e;
+    (* a failed write only costs persistence, never correctness *)
+    if persisted then
+      (match Store.save_result t.store ~key (entry_json e) with
+      | Ok () | Error _ -> ());
+    evict_to_capacity t
+  end;
+  followers
+
+(* The primary ended without a result (faulted/cancelled/lost): drop the
+   flight and return the followers so the server can promote one. *)
+let abandon t ~key =
+  match Hashtbl.find_opt t.inflight key with
+  | Some f ->
+      Hashtbl.remove t.inflight key;
+      f.f_followers
+  | None -> []
+
+(* A parked follower went terminal on its own (cancelled). *)
+let drop_follower t ~key ~job_id =
+  match Hashtbl.find_opt t.inflight key with
+  | Some f -> f.f_followers <- List.filter (fun id -> id <> job_id) f.f_followers
+  | None -> ()
+
+let is_primary t ~key ~job_id =
+  match Hashtbl.find_opt t.inflight key with
+  | Some f -> f.f_primary = job_id
+  | None -> false
+
+(* Strict invalidation: an edit committed on [name] — every cached read
+   of that instance dies now.  (Version-keying already makes the old
+   entries unreachable; sweeping them keeps capacity honest and makes
+   staleness impossible even if a version counter were ever reused.) *)
+let drop_instance t name =
+  let doomed =
+    Hashtbl.fold
+      (fun key e acc -> if e.e_instance = Some name then key :: acc else acc)
+      t.tbl []
+  in
+  List.iter (Hashtbl.remove t.tbl) doomed;
+  List.length doomed
+
+let stats_json t =
+  Json.Obj
+    [
+      ("hits", Json.Int t.hits);
+      ("misses", Json.Int t.misses);
+      ("coalesced", Json.Int t.coalesced);
+      ("evictions", Json.Int t.evictions);
+      ("entries", Json.Int (entries t));
+      ("inflight", Json.Int (inflight t));
+    ]

@@ -77,6 +77,45 @@ let submit conn ?quantum spec =
       | Some id -> Ok id
       | None -> Error "submit reply carried no id")
 
+(* Pipelined submission: write every submit line, flush once, then read
+   the replies back in order.  One round trip for the whole batch, which
+   is what makes duplicate-heavy traffic land inside one coalescing
+   window instead of arriving a result apart. *)
+let submit_many conn ?quantum specs =
+  match
+    List.iter
+      (fun spec ->
+        let fields = [ ("spec", Job.spec_to_json spec) ] in
+        let fields =
+          match quantum with
+          | Some q -> ("quantum", Json.Int q) :: fields
+          | None -> fields
+        in
+        output_string conn.oc (Json.to_string (op "submit" fields));
+        output_char conn.oc '\n')
+      specs;
+    flush conn.oc;
+    List.map (fun _ -> input_line conn.ic) specs
+  with
+  | exception End_of_file -> Error "daemon closed the connection"
+  | exception Sys_error m -> Error m
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | lines ->
+      let rec decode acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest -> (
+            match Json.parse line with
+            | Error _ as e -> e
+            | Ok reply -> (
+                match (Json.mem_bool "ok" reply, Json.mem_str "id" reply) with
+                | Some true, Some id -> decode (id :: acc) rest
+                | _ ->
+                    Error
+                      (Option.value ~default:"daemon refused a submit"
+                         (Json.mem_str "error" reply))))
+      in
+      decode [] lines
+
 let status conn id = request_ok conn (op "status" [ ("id", Json.String id) ])
 
 let wait conn ?timeout_s id =

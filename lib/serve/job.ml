@@ -77,6 +77,8 @@ type t = {
   mutable wall_s : float;        (* total on-worker wall clock *)
   mutable applications : int;
   mutable considered : int;
+  mutable ckey : string option;  (* resolved cache key; runtime-only, not
+                                    persisted — recovery re-derives it *)
 }
 
 let id_of_seq seq = Printf.sprintf "j%06d" seq
@@ -94,6 +96,7 @@ let make ~seq ?quantum spec =
     wall_s = 0.;
     applications = 0;
     considered = 0;
+    ckey = None;
   }
 
 let kind = function
@@ -195,20 +198,87 @@ let validate spec =
 
 (* --- structure digest -------------------------------------------------- *)
 
-(* Canonical digest of a chased structure: the journal (order included)
-   rendered to text, plus the element count.  Textual rather than
-   [Marshal] bytes so physical sharing differences between two runs that
-   built equal values can never flip the digest — this is the witness the
-   bit-identity tests compare across preempted vs uninterrupted runs. *)
-let structure_digest d =
-  let b = Buffer.create 4096 in
-  List.iter
-    (fun f ->
-      Buffer.add_string b (Format.asprintf "%a" (Relational.Fact.pp ()) f);
-      Buffer.add_char b '\n')
-    (Relational.Structure.delta_since d 0);
-  Buffer.add_string b (Printf.sprintf "card=%d" (Relational.Structure.card d));
-  Digest.to_hex (Digest.string (Buffer.contents b))
+(* Canonical digest of a chased structure: the live journal (order
+   included, symbols by content, elements by id) plus the element count —
+   the witness the bit-identity tests compare across preempted vs
+   uninterrupted runs, across engines, and now across cache paths.  The
+   digest is history-sensitive on purpose: a retract-then-re-add leaves
+   a different journal than never touching the fact, which is exactly
+   what distinguishes a maintained instance from a re-chase.
+
+   Streamed: [Structure.digest_hex] feeds the journal suffix since its
+   last call straight into the 128-bit mixer — no O(journal) text render
+   per digest (the old witness built the whole journal as a string and
+   MD5'd it on every job completion). *)
+let structure_digest d = Relational.Structure.digest_hex d
+
+(* --- cache classification ---------------------------------------------- *)
+
+(* How a spec may be served from the result cache.
+
+   [Pure k]: the result is a function of the spec alone — the key [k]
+   canonicalizes the inputs (ruleset digest + canonical-instance digest
+   for chases, machine/steps for worms, parameters for audits).  The
+   engine is deliberately NOT part of the key: the engines are proven
+   bit-identical (same structures, same fresh ids, same digest), so a
+   [`Par] submission may legitimately be answered by a cached
+   [`Seminaive] result.  [quantum_override] is excluded for the same
+   reason — preempted ≡ uninterrupted is an invariant, not a parameter.
+
+   [Instance_read]: a mutate job with an empty edit script reads a
+   daemon-held instance; its key is only complete once the scheduler
+   appends the instance's predicted version, and the entry must die with
+   the version (see [Server] — such entries are never persisted).
+
+   [Uncacheable]: a mutate with edits changes daemon state; running it
+   twice is two distinct edits. *)
+type cache_class =
+  | Uncacheable
+  | Pure of string
+  | Instance_read of { instance : string; partial : string }
+
+let chase_key ~tag views q0 max_stages =
+  match parse_rules views q0 with
+  | Error _ -> None (* validation rejects it before it gets a key *)
+  | Ok (named, q0) ->
+      let deps = Tgd.Dep.t_q named in
+      let canon, _ = Tgd.Greenred.green_canonical q0 in
+      Some
+        (Relational.Digest128.of_strings
+           [
+             tag;
+             Tgd.Dep.digest_hex deps;
+             Relational.Structure.digest_hex canon;
+             string_of_int max_stages;
+           ])
+
+let cache_class = function
+  | Chase { views; q0; max_stages; _ } -> (
+      match chase_key ~tag:"chase" views q0 max_stages with
+      | Some k -> Pure k
+      | None -> Uncacheable)
+  | Determinacy { views; q0; max_stages; _ } -> (
+      match chase_key ~tag:"determinacy" views q0 max_stages with
+      | Some k -> Pure k
+      | None -> Uncacheable)
+  | Worm { machine; steps } ->
+      Pure
+        (Relational.Digest128.of_strings
+           [ "worm"; machine; string_of_int steps ])
+  | Audit { seed; cases; max_stages } ->
+      Pure
+        (Relational.Digest128.of_strings
+           [
+             "audit";
+             string_of_int seed;
+             string_of_int cases;
+             string_of_int max_stages;
+           ])
+  | Mutate { ops = _ :: _; _ } -> Uncacheable
+  | Mutate { instance; views; q0; ops = []; max_stages; _ } -> (
+      match chase_key ~tag:"mutate-read" views q0 max_stages with
+      | Some partial -> Instance_read { instance; partial }
+      | None -> Uncacheable)
 
 (* --- wire encoding ----------------------------------------------------- *)
 
@@ -467,4 +537,5 @@ let manifest_of_json j =
       wall_s = Option.value (Json.mem_float "wall_s" j) ~default:0.;
       applications = Option.value (Json.mem_int "applications" j) ~default:0;
       considered = Option.value (Json.mem_int "considered" j) ~default:0;
+      ckey = None;
     }

@@ -1,14 +1,44 @@
 (* redspiderd: the job daemon.
 
    One single-threaded [select] event loop owns all sockets and all job
-   bookkeeping; chase work happens in bounded synchronous *scheduling
-   rounds* — up to [workers] runnable jobs each execute one quantum
-   ([Runner.run_slice]) on the existing [Relational.Pool] fork-join
-   domains, then control returns to the loop to accept clients, answer
-   requests and pick the next round.  Preemption therefore needs no
-   locks: between rounds no job is running, so every state transition
-   happens on the loop thread, and a divergent chase can never hold a
-   worker for more than one quantum while short jobs queue behind it.
+   bookkeeping; chase work runs on a pool of persistent worker domains
+   under a *continuous batching* scheduler — there is no round barrier.
+   The loop dispatches runnable jobs to a shared run mailbox whenever a
+   worker slot is free; each worker executes one quantum
+   ([Runner.run_slice]), pushes the job onto a completion queue, and
+   pulls the next one immediately.  A worker never waits for its
+   round-mates, and socket I/O overlaps compute: the loop keeps
+   accepting clients and answering requests while slices are in flight,
+   woken by a self-pipe byte whenever a completion lands.
+
+   Job bookkeeping still happens only on the loop thread: workers touch
+   nothing but the job handed to them (plus the instance table, which
+   has its own lock), and every state transition — dispatch, completion,
+   cancel, cache fill — is applied by the loop.  Publication between
+   the loop and a worker, and between consecutive slices of one job or
+   one instance, flows through the mailbox mutex.  Cancelling a job
+   whose slice is on a worker is deferred: the request marks the job and
+   the loop applies it when the slice reports back (at most one quantum
+   later) — the same boundary preemption has always used.  Per-instance
+   submission-order serialization is unchanged: a job driving a held
+   instance is dispatched only when no earlier-submitted job of that
+   instance is still live, so edits land in order and the [Maint] state
+   is never shared between concurrent slices.  Status snapshots of a
+   running job may observe a slice mid-update; that is the same
+   instantaneous fuzziness a round-based status had, made visible.
+
+   Results are cached ([Cache]) under canonical digest keys
+   ([Job.cache_class]): a submission whose key matches a completed entry
+   is answered immediately with the identical result — digest included —
+   at zero slices; duplicates of a key already in flight coalesce behind
+   the running primary and are completed by replication when it
+   finishes.  Pure entries persist as [<key>.res] files in the job store
+   and survive restarts.  Reads of a daemon-held instance are keyed by a
+   predicted instance version — the applied-edit count the read will
+   observe under per-instance ordering — and every committed (or
+   aborted-after-touching) edit bumps the version and sweeps the
+   instance's entries, so an edited instance can never serve a stale
+   digest.
 
    The wire protocol is newline-delimited JSON, one request per line,
    one response line per request, over a Unix socket (and optionally a
@@ -16,27 +46,32 @@
    jobs, stats, drain.
 
    Durability: every lifecycle transition is published to the job store
-   before the next round ([Store.save_manifest], atomic tmp+fsync+
+   before it is acted on ([Store.save_manifest], atomic tmp+fsync+
    rename), and suspended chases keep their last stage-boundary snapshot
    as [<id>.ckpt].  On restart the daemon rescans the store: terminal
-   jobs become history, queued/suspended jobs re-enter the run queue,
-   and a job frozen as "running" (the daemon died inside a slice) is
-   demoted to its last checkpoint or to a fresh start — the slice it
-   died in was never published, so no torn state can be resumed.
+   jobs become history, queued/suspended jobs re-enter the run queue
+   (re-claiming their cache keys in submission order, so pre-drain
+   coalescing groups reform), and a job frozen as "running" (the daemon
+   died inside a slice) is demoted to its last checkpoint or to a fresh
+   start — the slice it died in was never published, so no torn state
+   can be resumed.
 
    Drain (SIGTERM or the [drain] op) trips the shared cancel token:
-   in-flight slices end [Cancelled] at the next stage boundary and are
-   checkpointed as suspended; the loop then persists everything, answers
-   pending waiters, closes the sockets and returns cleanly. *)
+   in-flight slices end at the next stage boundary and are checkpointed
+   as suspended; the loop stops dispatching, waits for the last
+   completion, persists everything, answers pending waiters, closes the
+   sockets, joins the workers and returns cleanly. *)
 
 module G = Resilience.Governor
 
 type config = {
   socket : string;           (* Unix socket path *)
   tcp_port : int option;     (* optional loopback TCP listener *)
-  workers : int;             (* max concurrent slices per round *)
+  workers : int;             (* worker domains = max concurrent slices *)
   quantum : Runner.quantum;  (* default preemption quantum *)
   store_dir : string;        (* job store directory *)
+  cache_capacity : int;      (* result-cache entries; 0 disables *)
+  cache_persist : bool;      (* keep pure entries as [.res] files *)
   log : bool;                (* chatter on stderr *)
 }
 
@@ -47,28 +82,54 @@ let default_config ~socket ~store_dir =
     workers = 4;
     quantum = Runner.default_quantum;
     store_dir;
+    cache_capacity = 512;
+    cache_persist = true;
     log = false;
   }
 
 type waiter = { wfd : Unix.file_descr; wdeadline : float option }
 
+(* The worker mailbox.  [eq] carries dispatched jobs to the workers,
+   [edone] carries finished slices back; both under [emu].  The loop is
+   woken by a byte on the self-pipe.  [eidle_s] accumulates worker time
+   spent parked waiting for work — the scheduler's overlap metric. *)
+type exec = {
+  emu : Mutex.t;
+  econd : Condition.t;
+  eq : Job.t Queue.t;
+  edone : Job.t Queue.t;
+  mutable estop : bool;
+  mutable eidle_s : float;
+  epipe_r : Unix.file_descr;
+  epipe_w : Unix.file_descr;
+  mutable edomains : unit Domain.t list;
+}
+
 type t = {
   cfg : config;
   store : Store.t;
   instances : Runner.instances; (* daemon-held maintained chase instances *)
+  cache : Cache.t;
   jobs : (string, Job.t) Hashtbl.t;
   queue : string Queue.t;
   mutable seq : int;
   drain : G.Cancel.t;        (* shared by every slice's governor *)
   mutable stop : bool;
   waiters : (string, waiter list) Hashtbl.t;
+  (* per-instance applied-edit versions, for instance-read cache keys *)
+  iversions : (string, int) Hashtbl.t;
+  (* cancels requested while the job's slice was on a worker *)
+  cancel_req : (string, unit) Hashtbl.t;
+  mutable inflight : int;    (* dispatched, completion not yet processed *)
+  ex : exec;
   mutable listeners : Unix.file_descr list;
   mutable clients : Unix.file_descr list;
   bufs : (Unix.file_descr, Buffer.t) Hashtbl.t;
   mutable slices_total : int;
-  mutable rounds_total : int;
   started_s : float;         (* monotonic *)
 }
+
+let m_idle = Obs.Metrics.counter "sched.idle_ms"
 
 let logf t fmt =
   if t.cfg.log then Printf.eprintf ("redspiderd: " ^^ fmt ^^ "\n%!")
@@ -143,82 +204,212 @@ let expire_waiters t =
       end)
     (Hashtbl.copy t.waiters)
 
-(* --- scheduling rounds -------------------------------------------------- *)
+(* --- result cache ------------------------------------------------------- *)
+
+(* The entry a terminal mutate-read keys; pure entries record no
+   instance. *)
+let entry_instance (job : Job.t) =
+  match job.Job.spec with
+  | Job.Mutate { instance; ops = []; _ } -> Some instance
+  | _ -> None
+
+(* The instance version a read submitted as [seq] will observe: the
+   applied-edit count so far plus every live edit submitted before it —
+   exact under per-instance submission-order serialization, because by
+   the time the read runs, precisely those edits have gone terminal. *)
+let predicted_version t instance seq =
+  Hashtbl.fold
+    (fun _ (o : Job.t) acc ->
+      match o.Job.spec with
+      | Job.Mutate { instance = i; ops = _ :: _; _ }
+        when i = instance && o.Job.seq < seq && not (Job.terminal o) ->
+          acc + 1
+      | _ -> acc)
+    t.jobs
+    (Option.value ~default:0 (Hashtbl.find_opt t.iversions instance))
+
+(* Complete [job] from a cache entry: identical result (digest included)
+   and replayed counters, zero slices. *)
+let serve_from_entry (job : Job.t) (e : Cache.entry) =
+  job.Job.state <- Job.Done e.Cache.e_result;
+  job.Job.stages_done <- e.Cache.e_stages;
+  job.Job.applications <- e.Cache.e_applications;
+  job.Job.considered <- e.Cache.e_considered
+
+(* Route a fresh (or recovered) job through the cache.  [`Served]: done
+   right now from an entry.  [`Parked]: a duplicate of an in-flight key,
+   left Queued but off the run queue — the primary's completion will
+   finish it.  [`Run]: it must execute. *)
+let try_cache t (job : Job.t) =
+  if not (Cache.enabled t.cache) then `Run
+  else begin
+    let route key =
+      job.Job.ckey <- Some key;
+      match Cache.acquire t.cache ~key ~job_id:job.Job.id with
+      | `Bypass | `Primary -> `Run
+      | `Hit e ->
+          serve_from_entry job e;
+          `Served
+      | `Follower -> `Parked
+    in
+    match Job.cache_class job.Job.spec with
+    | Job.Uncacheable -> `Run
+    | Job.Pure key -> route key
+    | Job.Instance_read { instance; partial } ->
+        route
+          (Printf.sprintf "%s:%s:v%d" partial instance
+             (predicted_version t instance job.Job.seq))
+  end
+
+(* --- terminal transitions ----------------------------------------------- *)
+
+(* Apply everything a terminal state implies: checkpoint removal,
+   instance-version bump + strict invalidation for committed edits,
+   cache fill + follower replication (or abandonment + promotion),
+   persistence, waiter notification.  Runs on the loop thread only. *)
+let rec on_terminal t (job : Job.t) =
+  Store.remove_checkpoint t.store job.Job.id;
+  (match job.Job.spec with
+  | Job.Mutate { instance; ops = _ :: _; _ } ->
+      (* the edit is over — committed, faulted or cancelled, it may have
+         touched the instance, so the version moves on and every cached
+         read of the old version dies *)
+      Hashtbl.replace t.iversions instance
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.iversions instance));
+      let dropped = Cache.drop_instance t.cache instance in
+      if dropped > 0 then
+        logf t "cache: invalidated %d entr(ies) of instance %s" dropped instance
+  | _ -> ());
+  (match job.Job.ckey with
+  | None -> ()
+  | Some key ->
+      if Cache.is_primary t.cache ~key ~job_id:job.Job.id then
+        match job.Job.state with
+        | Job.Done r ->
+            let followers =
+              Cache.complete t.cache ~key ~instance:(entry_instance job)
+                ~result:r ~stages:job.Job.stages_done
+                ~applications:job.Job.applications
+                ~considered:job.Job.considered
+            in
+            (* replicate onto every parked duplicate: same terminal
+               path, zero slices each *)
+            List.iter
+              (fun fid ->
+                match Hashtbl.find_opt t.jobs fid with
+                | Some f when not (Job.terminal f) -> (
+                    match Cache.find_entry t.cache key with
+                    | Some e ->
+                        serve_from_entry f e;
+                        on_terminal t f
+                    | None ->
+                        (* cache disabled mid-flight is impossible, but a
+                           fallback keeps the follower correct anyway *)
+                        serve_from_entry f
+                          {
+                            Cache.e_key = key;
+                            e_result = r;
+                            e_stages = job.Job.stages_done;
+                            e_applications = job.Job.applications;
+                            e_considered = job.Job.considered;
+                            e_instance = entry_instance job;
+                            e_persisted = false;
+                            e_tick = 0;
+                          };
+                        on_terminal t f)
+                | _ -> ())
+              followers
+        | _ ->
+            (* the primary never produced a result: promote the first
+               live follower to primary (re-routing the rest behind it)
+               and put it on the run queue *)
+            List.iter
+              (fun fid ->
+                match Hashtbl.find_opt t.jobs fid with
+                | Some f when not (Job.terminal f) -> (
+                    match try_cache t f with
+                    | `Run -> enqueue t f
+                    | `Served ->
+                        persist t f;
+                        notify_waiters t f
+                    | `Parked -> ())
+                | _ -> ())
+              (Cache.abandon t.cache ~key)
+      else Cache.drop_follower t.cache ~key ~job_id:job.Job.id);
+  persist t job;
+  notify_waiters t job
+
+(* --- continuous dispatch ------------------------------------------------ *)
 
 let runnable (job : Job.t) =
   match job.Job.state with Job.Queued | Job.Suspended -> true | _ -> false
 
-(* Run one round: up to [workers] runnable jobs, one quantum each, on the
-   domain pool.  Returns true if any slice ran. *)
-let run_round t =
-  let batch = ref [] in
-  let n_batch = ref 0 in
-  (* Jobs driving the same held instance are serialized, in submission
-     order: a mutate job is deferred while any earlier-submitted job on
-     its instance is still alive (the [Maint] state is not shareable
-     between concurrent slices, and edits must land in order), and at
-     most one job per instance enters any round. *)
-  let blocked (job : Job.t) name =
-    Hashtbl.fold
-      (fun _ (o : Job.t) acc ->
-        acc
-        || (o.Job.seq < job.Job.seq
-           && (not (Job.terminal o))
-           && Job.instance_of o.Job.spec = Some name))
-      t.jobs false
-  in
-  let busy = Hashtbl.create 4 in
+(* Jobs driving the same held instance are serialized, in submission
+   order: a job is deferred while any earlier-submitted job on its
+   instance is still alive (the [Maint] state is not shareable between
+   concurrent slices, and edits must land in order).  At most one job
+   per instance is ever in flight — a later job of the instance is
+   blocked by the earlier one until its terminal transition. *)
+let blocked t (job : Job.t) name =
+  Hashtbl.fold
+    (fun _ (o : Job.t) acc ->
+      acc
+      || (o.Job.seq < job.Job.seq
+         && (not (Job.terminal o))
+         && Job.instance_of o.Job.spec = Some name))
+    t.jobs false
+
+(* Hand runnable jobs to the workers until every slot is busy.  Work-
+   conserving: called after every completion and every submit, so a
+   freed slot is refilled as soon as anything is runnable. *)
+let dispatch t =
   let deferred = ref [] in
-  while !n_batch < t.cfg.workers && not (Queue.is_empty t.queue) do
+  while t.inflight < t.cfg.workers && not (Queue.is_empty t.queue) do
     let id = Queue.pop t.queue in
     match Hashtbl.find_opt t.jobs id with
     | Some job when runnable job -> (
         match Job.instance_of job.Job.spec with
-        | Some name when Hashtbl.mem busy name || blocked job name ->
-            deferred := id :: !deferred
-        | inst ->
-            Option.iter (fun name -> Hashtbl.replace busy name ()) inst;
-            batch := job :: !batch;
-            incr n_batch)
+        | Some name when blocked t job name -> deferred := id :: !deferred
+        | _ ->
+            job.Job.state <- Job.Running;
+            persist t job;
+            t.inflight <- t.inflight + 1;
+            Mutex.lock t.ex.emu;
+            Queue.add job t.ex.eq;
+            Condition.signal t.ex.econd;
+            Mutex.unlock t.ex.emu)
     | _ -> () (* cancelled or already terminal: drop the stale entry *)
   done;
-  List.iter (fun id -> Queue.add id t.queue) (List.rev !deferred);
-  match Array.of_list (List.rev !batch) with
-  | [||] -> false
-  | batch ->
-      let n = Array.length batch in
-      Array.iter
-        (fun (j : Job.t) ->
-          j.Job.state <- Job.Running;
-          persist t j)
-        batch;
-      let quantum = t.cfg.quantum in
-      ignore
-        (Relational.Pool.run ~jobs:(min t.cfg.workers n) n (fun i ->
-             Runner.run_slice ~store:t.store ~instances:t.instances
-               ~cancel:t.drain ~quantum batch.(i)));
-      t.slices_total <- t.slices_total + n;
-      t.rounds_total <- t.rounds_total + 1;
-      Array.iter
-        (fun (j : Job.t) ->
-          (match j.Job.state with
-          | Job.Queued | Job.Suspended -> enqueue t j
-          | Job.Running ->
-              (* a slice must leave a verdict; treat silence as a fault *)
-              j.Job.state <- Job.Faulted "slice returned without a verdict"
-          | _ -> ());
-          persist t j;
-          if Job.terminal j then begin
-            (* a terminal job never resumes: whatever its path here —
-               done, faulted mid-slice, or cancelled — its suspend
-               checkpoint must not outlive it *)
-            Store.remove_checkpoint t.store j.Job.id;
-            notify_waiters t j
-          end)
-        batch;
-      logf t "round %d: %d slice(s), %d queued" t.rounds_total n
-        (Queue.length t.queue);
-      true
+  List.iter (fun id -> Queue.add id t.queue) (List.rev !deferred)
+
+(* Drain the completion queue and apply each slice's verdict.  The only
+   place [inflight] decreases. *)
+let process_completions t =
+  let finished = ref [] in
+  Mutex.lock t.ex.emu;
+  while not (Queue.is_empty t.ex.edone) do
+    finished := Queue.pop t.ex.edone :: !finished
+  done;
+  Mutex.unlock t.ex.emu;
+  List.iter
+    (fun (job : Job.t) ->
+      t.inflight <- t.inflight - 1;
+      t.slices_total <- t.slices_total + 1;
+      (* a cancel requested mid-slice lands here, at the boundary *)
+      if Hashtbl.mem t.cancel_req job.Job.id then begin
+        Hashtbl.remove t.cancel_req job.Job.id;
+        if not (Job.terminal job) then job.Job.state <- Job.Cancelled
+      end;
+      match job.Job.state with
+      | Job.Queued | Job.Suspended ->
+          persist t job;
+          enqueue t job
+      | Job.Running ->
+          (* a slice must leave a verdict; treat silence as a fault *)
+          job.Job.state <- Job.Faulted "slice returned without a verdict";
+          on_terminal t job
+      | Job.Done _ | Job.Faulted _ | Job.Cancelled -> on_terminal t job)
+    (List.rev !finished)
 
 (* --- request handling --------------------------------------------------- *)
 
@@ -250,8 +441,14 @@ let handle_submit t req =
           let job = Job.make ~seq:t.seq ?quantum spec in
           t.seq <- t.seq + 1;
           Hashtbl.replace t.jobs job.Job.id job;
-          persist t job;
-          enqueue t job;
+          (match try_cache t job with
+          | `Run ->
+              persist t job;
+              enqueue t job
+          | `Parked -> persist t job
+          | `Served ->
+              persist t job;
+              notify_waiters t job);
           ok_fields
             [
               ("id", Json.String job.Job.id);
@@ -266,13 +463,23 @@ let handle_cancel t req =
       match Hashtbl.find_opt t.jobs id with
       | None -> error_json ("unknown job " ^ id)
       | Some job ->
-          if not (Job.terminal job) then begin
-            job.Job.state <- Job.Cancelled;
-            Store.remove_checkpoint t.store id;
-            persist t job;
-            notify_waiters t job
-          end;
+          (if not (Job.terminal job) then
+             match job.Job.state with
+             | Job.Running ->
+                 (* the slice is on a worker: apply at its boundary *)
+                 Hashtbl.replace t.cancel_req id ()
+             | _ ->
+                 job.Job.state <- Job.Cancelled;
+                 on_terminal t job);
           ok_fields [ ("job", Job.summary_json job) ])
+
+let sched_json t =
+  Json.Obj
+    [
+      ("idle_ms", Json.Int (int_of_float (t.ex.eidle_s *. 1000.)));
+      ("inflight", Json.Int t.inflight);
+      ("workers", Json.Int (List.length t.ex.edomains));
+    ]
 
 (* Returns [None] when the request registered a waiter (no reply yet). *)
 let handle_request t fd line =
@@ -328,9 +535,10 @@ let handle_request t fd line =
             (ok_fields
                [
                  ("uptime_s", Json.Float (Obs.Clock.now_s () -. t.started_s));
-                 ("rounds", Json.Int t.rounds_total);
                  ("slices", Json.Int t.slices_total);
                  ("queued", Json.Int (Queue.length t.queue));
+                 ("cache", Cache.stats_json t.cache);
+                 ("sched", sched_json t);
                  ("counts", counts_json t);
                  ( "metrics",
                    Json.Obj
@@ -393,21 +601,79 @@ let read_chunk t fd =
       in
       lines 0
 
+let drain_wakeup_pipe t =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.ex.epipe_r buf 0 64 with
+    | 64 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
 let poll_io t timeout =
   expire_waiters t;
-  let fds = t.listeners @ t.clients in
+  let fds = (t.ex.epipe_r :: t.listeners) @ t.clients in
   match Unix.select fds [] [] timeout with
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   | readable, _, _ ->
       List.iter
         (fun fd ->
-          if List.mem fd t.listeners then begin
+          if fd = t.ex.epipe_r then drain_wakeup_pipe t
+          else if List.mem fd t.listeners then begin
             match Unix.accept fd with
             | cfd, _ -> t.clients <- cfd :: t.clients
             | exception Unix.Unix_error _ -> ()
           end
           else read_chunk t fd)
         readable
+
+(* --- worker domains ------------------------------------------------------ *)
+
+let wake_loop ex =
+  (* a full pipe already guarantees a pending wakeup *)
+  try ignore (Unix.write ex.epipe_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+let worker_loop ~store ~instances ~cancel ~quantum ex =
+  let rec go () =
+    Mutex.lock ex.emu;
+    let t0 = Obs.Clock.now_s () in
+    while Queue.is_empty ex.eq && not ex.estop do
+      Condition.wait ex.econd ex.emu
+    done;
+    let idled = Obs.Clock.now_s () -. t0 in
+    ex.eidle_s <- ex.eidle_s +. idled;
+    if idled > 0. then Obs.Metrics.add m_idle (int_of_float (idled *. 1000.));
+    if Queue.is_empty ex.eq then Mutex.unlock ex.emu (* estop: exit *)
+    else begin
+      let job = Queue.pop ex.eq in
+      Mutex.unlock ex.emu;
+      Runner.run_slice ~store ~instances ~cancel ~quantum job;
+      Mutex.lock ex.emu;
+      Queue.add job ex.edone;
+      Mutex.unlock ex.emu;
+      wake_loop ex;
+      go ()
+    end
+  in
+  go ()
+
+let start_workers t =
+  t.ex.edomains <-
+    List.init (max 1 t.cfg.workers) (fun _ ->
+        Domain.spawn (fun () ->
+            worker_loop ~store:t.store ~instances:t.instances ~cancel:t.drain
+              ~quantum:t.cfg.quantum t.ex))
+
+let stop_workers t =
+  Mutex.lock t.ex.emu;
+  t.ex.estop <- true;
+  Condition.broadcast t.ex.econd;
+  Mutex.unlock t.ex.emu;
+  List.iter Domain.join t.ex.edomains;
+  t.ex.edomains <- []
 
 (* --- lifecycle ---------------------------------------------------------- *)
 
@@ -435,10 +701,23 @@ let recover t =
           job.Job.slices <- 0;
           persist t job
       | _ -> ());
-      Hashtbl.replace t.jobs job.Job.id job;
-      if runnable job then enqueue t job)
+      Hashtbl.replace t.jobs job.Job.id job)
     jobs;
   t.seq <- Store.next_seq jobs;
+  (* Re-route every runnable job through the cache in submission order:
+     a persisted entry serves it outright, pre-drain coalescing groups
+     reform (the lowest-seq claimant of a key becomes primary again),
+     the rest re-enter the run queue. *)
+  List.iter
+    (fun (job : Job.t) ->
+      if runnable job then
+        match try_cache t job with
+        | `Run -> enqueue t job
+        | `Parked -> ()
+        | `Served ->
+            logf t "cache: served recovered job %s" job.Job.id;
+            on_terminal t job)
+    jobs;
   (* Sweep checkpoints with no live owner: a crash can beat the removal
      at a terminal transition, and a manifest can be lost outright —
      either way the snapshot must not survive as an orphan that a later
@@ -455,26 +734,48 @@ let recover t =
     (Queue.length t.queue) (List.length bad)
 
 let create cfg =
+  let epipe_r, epipe_w = Unix.pipe () in
+  Unix.set_nonblock epipe_r;
+  Unix.set_nonblock epipe_w;
+  let store = Store.open_ cfg.store_dir in
   let t =
     {
       cfg;
-      store = Store.open_ cfg.store_dir;
+      store;
       instances = Runner.instances ();
+      cache =
+        Cache.create ~capacity:cfg.cache_capacity ~persist:cfg.cache_persist
+          store;
       jobs = Hashtbl.create 64;
       queue = Queue.create ();
       seq = 1;
       drain = G.Cancel.create ();
       stop = false;
       waiters = Hashtbl.create 16;
+      iversions = Hashtbl.create 8;
+      cancel_req = Hashtbl.create 8;
+      inflight = 0;
+      ex =
+        {
+          emu = Mutex.create ();
+          econd = Condition.create ();
+          eq = Queue.create ();
+          edone = Queue.create ();
+          estop = false;
+          eidle_s = 0.;
+          epipe_r;
+          epipe_w;
+          edomains = [];
+        };
       listeners = [];
       clients = [];
       bufs = Hashtbl.create 16;
       slices_total = 0;
-      rounds_total = 0;
       started_s = Obs.Clock.now_s ();
     }
   in
   recover t;
+  start_workers t;
   t.listeners <-
     (listen_unix cfg.socket
     :: (match cfg.tcp_port with Some p -> [ listen_tcp p ] | None -> []));
@@ -503,8 +804,11 @@ let shutdown t =
   t.clients <- [];
   List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
   t.listeners <- [];
+  (try Unix.close t.ex.epipe_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.ex.epipe_w with Unix.Unix_error _ -> ());
   (try Unix.unlink t.cfg.socket with Unix.Unix_error _ -> ());
-  logf t "drained: %d round(s), %d slice(s)" t.rounds_total t.slices_total
+  logf t "drained: %d slice(s), %.0f ms worker idle" t.slices_total
+    (t.ex.eidle_s *. 1000.)
 
 (* Serve until drained (SIGTERM or the [drain] op).  Installs a SIGTERM
    handler for the duration and restores the previous one on exit. *)
@@ -520,13 +824,15 @@ let serve cfg =
       Sys.set_signal Sys.sigpipe prev_pipe)
     (fun () ->
       let rec loop () =
-        if t.stop then shutdown t
+        process_completions t;
+        if t.stop && t.inflight = 0 then begin
+          stop_workers t;
+          process_completions t;
+          shutdown t
+        end
         else begin
-          let ran = run_round t in
-          let timeout =
-            if ran || not (Queue.is_empty t.queue) then 0. else 0.2
-          in
-          poll_io t timeout;
+          if not t.stop then dispatch t;
+          poll_io t 0.2;
           loop ()
         end
       in

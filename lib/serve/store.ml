@@ -1,8 +1,11 @@
-(* The persistent job store: one directory, two files per job.
+(* The persistent job store: one directory, two files per job, plus the
+   persistent segment of the result cache.
 
      <id>.job    the JSON manifest (spec + lifecycle state + counters)
      <id>.ckpt   the engine snapshot of a suspended chase job
                  (REDSPIDER-CKPT-1, kind "tgd-chase")
+     <key>.res   a cached result, named by its 32-hex-digit cache key
+                 (pure keys only — instance reads never persist)
 
    Both are published with [Checkpoint]'s unique-temp + fsync + rename
    discipline, so a crash at any point leaves every job either at its
@@ -90,3 +93,42 @@ let load_all t =
 (* The next submission sequence number after a restart. *)
 let next_seq jobs =
   1 + List.fold_left (fun m (j : Job.t) -> max m j.Job.seq) 0 jobs
+
+(* --- persistent result-cache segment ----------------------------------- *)
+
+let res_suffix = ".res"
+let res_path t key = Filename.concat t.dir (key ^ res_suffix)
+
+let save_result t ~key json =
+  Resilience.Checkpoint.write_atomic (res_path t key)
+    (Json.to_string json ^ "\n")
+
+let remove_result t key =
+  try Sys.remove (res_path t key) with Sys_error _ -> ()
+
+(* Every parseable [<key>.res] entry; a corrupt entry is deleted rather
+   than reported — the cache is a performance artifact, losing one entry
+   re-runs one job. *)
+let load_results t =
+  let entries = try Sys.readdir t.dir with Sys_error _ -> [||] in
+  Array.fold_left
+    (fun acc name ->
+      if Filename.check_suffix name res_suffix then begin
+        let path = Filename.concat t.dir name in
+        let key = Filename.chop_suffix name res_suffix in
+        match
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with
+        | exception Sys_error _ -> acc
+        | raw -> (
+            match Json.parse raw with
+            | Ok json -> (key, json) :: acc
+            | Error _ ->
+                (try Sys.remove path with Sys_error _ -> ());
+                acc)
+      end
+      else acc)
+    [] entries

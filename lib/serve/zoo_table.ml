@@ -1,6 +1,12 @@
 (* The zoo machines servable as worm jobs, by wire name.  Mirrors the
    CLI's table in bin/redspider.ml; Turing-machine entries are compiled
-   on first use and cached, so repeated worm jobs do not recompile. *)
+   on first use and cached, so repeated worm jobs do not recompile.
+
+   The compile cache is shared by every worker domain of the continuous
+   scheduler — two worm jobs can race the same first-use compile — so
+   the table is guarded by a mutex.  A lost race costs one redundant
+   compile (both produce the same oracle; the later [replace] wins),
+   never a torn Hashtbl. *)
 
 let machines =
   [
@@ -14,18 +20,29 @@ let machines =
   ]
 
 let oracles : (string, Rainworm.Machine.oracle) Hashtbl.t = Hashtbl.create 8
+let oracles_mu = Mutex.create ()
 
 let oracle name =
-  match Hashtbl.find_opt oracles name with
+  let cached =
+    Mutex.lock oracles_mu;
+    let o = Hashtbl.find_opt oracles name in
+    Mutex.unlock oracles_mu;
+    o
+  in
+  match cached with
   | Some o -> Some o
   | None ->
       Option.map
         (fun m ->
+          (* compile outside the lock: oracle construction is pure and
+             the lock only has to protect the table itself *)
           let o =
             match m with
             | `M m -> Rainworm.Machine.oracle m
             | `Tm tm -> Rainworm.Tm_compiler.oracle tm
           in
+          Mutex.lock oracles_mu;
           Hashtbl.replace oracles name o;
+          Mutex.unlock oracles_mu;
           o)
         (List.assoc_opt name machines)

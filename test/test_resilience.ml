@@ -57,12 +57,10 @@ let test_exit_codes () =
 
 let test_cancel_polling () =
   let c = G.Cancel.create () in
-  check "disarmed outside with_polling" false !G.Cancel.poll_on;
   G.Cancel.poll ();
   (* no-op when disarmed *)
   let raised =
     G.Cancel.with_polling c (fun () ->
-        check "armed inside" true !G.Cancel.poll_on;
         G.Cancel.poll ();
         (* not tripped yet: returns *)
         G.Cancel.trip c;
@@ -72,7 +70,21 @@ let test_cancel_polling () =
         with G.Cancel.Cancelled -> true)
   in
   check "poll raised after trip" true raised;
-  check "disarmed restored" false !G.Cancel.poll_on
+  (* disarmed again outside the scope: polling a tripped token is a
+     no-op (the dynamic extent ended) *)
+  G.Cancel.poll ();
+  (* the armed state is domain-local: another domain polling while this
+     one holds a tripped token armed must NOT observe it *)
+  G.Cancel.with_polling c (fun () ->
+      let other =
+        Domain.spawn (fun () ->
+            try
+              G.Cancel.poll ();
+              true
+            with G.Cancel.Cancelled -> false)
+      in
+      check "other domain unaffected by this domain's armed token" true
+        (Domain.join other))
 
 (* --- failpoints --------------------------------------------------------- *)
 

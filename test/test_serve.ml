@@ -244,7 +244,8 @@ let fresh_socket () =
     (Filename.get_temp_dir_name ())
     (Printf.sprintf "rs-t-%d-%d.sock" (Unix.getpid ()) !counter)
 
-let start_daemon ~socket ~store_dir ~workers ~quantum () =
+let start_daemon ~socket ~store_dir ~workers ~quantum ?(cache = 512)
+    ?(cache_persist = true) () =
   let cfg =
     {
       Server.socket;
@@ -252,6 +253,8 @@ let start_daemon ~socket ~store_dir ~workers ~quantum () =
       workers;
       quantum = { Runner.stages = quantum; seconds = 0. };
       store_dir;
+      cache_capacity = cache;
+      cache_persist;
       log = false;
     }
   in
@@ -280,10 +283,10 @@ let drain_and_join socket daemon =
   | Error _ -> ());
   Domain.join daemon
 
-let with_daemon ?(workers = 2) ?(quantum = 2) ?store_dir f =
+let with_daemon ?(workers = 2) ?(quantum = 2) ?(cache = 512) ?store_dir f =
   let socket = fresh_socket () in
   let store_dir = match store_dir with Some d -> d | None -> fresh_dir () in
-  let daemon = start_daemon ~socket ~store_dir ~workers ~quantum () in
+  let daemon = start_daemon ~socket ~store_dir ~workers ~quantum ~cache () in
   Fun.protect
     ~finally:(fun () ->
       drain_and_join socket daemon;
@@ -378,12 +381,27 @@ let test_preemption_bit_identity () =
           check_int "applications agree with the uninterrupted run"
             ref_stats.Tgd.Chase.applications
             (job_int j "applications");
-          List.iter
-            (fun sid ->
-              let js = ok_or_fail "wait short" (Client.wait_terminal conn sid) in
-              check "short job done" true (job_field js "state" = Some "done");
-              check "short job took one slice" true (job_int js "slices" = 1))
-            shorts))
+          (* the three shorts are identical submissions: exactly one
+             executes (one slice); the others are answered by the cache
+             — coalesced behind it or served from its entry — at zero
+             slices, with the identical result *)
+          let short_digests =
+            List.map
+              (fun sid ->
+                let js =
+                  ok_or_fail "wait short" (Client.wait_terminal conn sid)
+                in
+                check "short job done" true (job_field js "state" = Some "done");
+                check "short job took at most one slice" true
+                  (job_int js "slices" <= 1);
+                job_digest js)
+              shorts
+          in
+          (match short_digests with
+          | d :: rest ->
+              check "duplicate shorts all carry the identical digest" true
+                (List.for_all (String.equal d) rest)
+          | [] -> ())))
 
 let test_concurrent_clients () =
   with_daemon ~workers:4 ~quantum:2 (fun socket ->
@@ -568,6 +586,224 @@ let test_mutate_jobs () =
           check "second mutate continued the held instance's stages" true
             (job_int r2 "stages_done" >= job_int r1 "stages_done")))
 
+(* --- result cache ------------------------------------------------------- *)
+
+let cache_int stats k =
+  Option.value ~default:(-1)
+    (Option.bind (Json.member "cache" stats) (Json.mem_int k))
+
+let test_cache_hit_and_coalesce () =
+  let stages = 9 in
+  let ref_stats, ref_digest = uninterrupted stages in
+  with_daemon ~workers:2 ~quantum:2 (fun socket ->
+      let conn = connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          (* one pipelined batch of identical chases: one primary
+             executes (preempted several times at quantum 2), the rest
+             coalesce behind it or hit its entry — all four must carry
+             the bit-identical result *)
+          let ids =
+            ok_or_fail "submit batch"
+              (Client.submit_many conn
+                 (List.init 4 (fun _ -> divergent_spec stages)))
+          in
+          let js =
+            List.map
+              (fun id -> ok_or_fail "wait" (Client.wait_terminal conn id))
+              ids
+          in
+          List.iter
+            (fun j ->
+              check "duplicate done" true (job_field j "state" = Some "done");
+              check_str "digest = uninterrupted reference" ref_digest
+                (job_digest j);
+              check_int "stage counter replayed" stages (job_int j "stages_done");
+              check_int "applications replayed"
+                ref_stats.Tgd.Chase.applications
+                (job_int j "applications"))
+            js;
+          let executed = List.filter (fun j -> job_int j "slices" > 0) js in
+          check_int "exactly one of four duplicates executed" 1
+            (List.length executed);
+          check "the one that executed was preempted" true
+            (List.for_all (fun j -> job_int j "slices" >= 3) executed);
+          let stats = ok_or_fail "stats" (Client.stats conn) in
+          check "at least the primary missed" true (cache_int stats "misses" >= 1);
+          check_int "three duplicates answered without running" 3
+            (cache_int stats "hits" + cache_int stats "coalesced");
+          check "entry table populated" true (cache_int stats "entries" >= 1);
+          (* the key excludes the engine: the engines are proven
+             bit-identical, so a [`Par] submission is served by the
+             [`Seminaive] entry *)
+          let id_par =
+            ok_or_fail "submit par duplicate"
+              (Client.submit conn
+                 (Job.Chase
+                    { views = divergent_views; q0 = divergent_q0;
+                      max_stages = stages; engine = `Par }))
+          in
+          let j_par =
+            ok_or_fail "wait par duplicate" (Client.wait_terminal conn id_par)
+          in
+          check_int "cross-engine duplicate served at zero slices" 0
+            (job_int j_par "slices");
+          check_str "cross-engine duplicate digest identical" ref_digest
+            (job_digest j_par)))
+
+let test_mutate_read_invalidation () =
+  (* pick a base edge of the canonical instance, exactly as the daemon
+     will build it (bit-identity makes the element ids line up) *)
+  let views, q0 = ok_or_fail "parse" (Job.parse_rules mutate_views mutate_q0) in
+  let deps = Tgd.Dep.t_q views in
+  let base = fst (Tgd.Greenred.green_canonical q0) in
+  let m, _ = Tgd.Chase.Maint.create ~engine:`Seminaive ~jobs:1 deps base in
+  let ge = Relational.Symbol.make ~color:Relational.Symbol.Green "E" 2 in
+  let edge =
+    List.hd
+      (List.sort Relational.Fact.compare
+         (Relational.Structure.facts_with_sym (Tgd.Chase.Maint.structure m) ge))
+  in
+  let a = (Relational.Fact.args edge).(0)
+  and b = (Relational.Fact.args edge).(1) in
+  with_daemon ~workers:2 ~quantum:4 (fun socket ->
+      let conn = connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          let run spec =
+            let id = ok_or_fail "submit" (Client.submit conn spec) in
+            let j = ok_or_fail "wait" (Client.wait_terminal conn id) in
+            check "job done" true (job_field j "state" = Some "done");
+            j
+          in
+          let read = mutate_spec ~instance:"m" [] in
+          let r0 = run read in
+          let d0 = job_digest r0 in
+          check "first read executed" true (job_int r0 "slices" >= 1);
+          (* identical read, instance untouched: cache hit *)
+          let r1 = run read in
+          check_int "unedited re-read served at zero slices" 0
+            (job_int r1 "slices");
+          check_str "unedited re-read digest identical" d0 (job_digest r1);
+          (* commit an edit: the instance version moves on *)
+          let re =
+            run
+              (mutate_spec ~instance:"m"
+                 [ { Job.add = false; rel = "E"; args = [ a; b ] } ])
+          in
+          check "edit went through the maintenance path" true
+            (Option.bind (Json.member "result" re) (Json.mem_bool "applied")
+            = Some true);
+          (* the same read after the edit must MISS — never the stale
+             digest — and observe the retraction in the journal *)
+          let r2 = run read in
+          check "post-edit re-read executed (stale entry not served)" true
+            (job_int r2 "slices" >= 1);
+          check "post-edit digest differs from the stale entry" true
+            (job_digest r2 <> d0)))
+
+let test_cache_persistence_restart () =
+  let stages = 12 in
+  let _, ref_digest = uninterrupted stages in
+  let store_dir = fresh_dir () in
+  let res_count () =
+    List.length
+      (List.filter
+         (fun f -> Filename.check_suffix f ".res")
+         (Array.to_list (Sys.readdir store_dir)))
+  in
+  Fun.protect
+    ~finally:(fun () -> rm_rf store_dir)
+    (fun () ->
+      (* daemon 1: a finished worm persists its entry; a duplicate chase
+         pair is drained with the primary suspended mid-flight and the
+         follower still parked *)
+      let socket = fresh_socket () in
+      let daemon = start_daemon ~socket ~store_dir ~workers:2 ~quantum:1 () in
+      let conn = connect socket in
+      let worm_spec = Job.Worm { machine = "halt-now"; steps = 50 } in
+      let wid = ok_or_fail "submit worm" (Client.submit conn worm_spec) in
+      let jw = ok_or_fail "wait worm" (Client.wait_terminal conn wid) in
+      check "worm done before drain" true (job_field jw "state" = Some "done");
+      let worm_digest = job_digest jw in
+      let ids =
+        ok_or_fail "submit duplicate chases"
+          (Client.submit_many conn (List.init 2 (fun _ -> divergent_spec stages)))
+      in
+      let primary_id = List.hd ids in
+      let rec await_progress n =
+        if n = 0 then Alcotest.fail "chase never progressed"
+        else
+          let j =
+            ok_or_fail "status"
+              (Result.bind (Client.status conn primary_id) Client.job_of_reply)
+          in
+          if job_int j "slices" < 1 then begin
+            Unix.sleepf 0.02;
+            await_progress (n - 1)
+          end
+      in
+      await_progress 500;
+      ignore (ok_or_fail "drain" (Client.drain conn));
+      Client.close conn;
+      Domain.join daemon;
+      check "a result entry file was persisted" true (res_count () >= 1);
+      let n_res = res_count () in
+      (* daemon 2 on the same store *)
+      let socket2 = fresh_socket () in
+      let daemon2 =
+        start_daemon ~socket:socket2 ~store_dir ~workers:2 ~quantum:4 ()
+      in
+      Fun.protect
+        ~finally:(fun () -> drain_and_join socket2 daemon2)
+        (fun () ->
+          let conn2 = connect socket2 in
+          Fun.protect
+            ~finally:(fun () -> Client.close conn2)
+            (fun () ->
+              (* resubmitting the finished worm hits the entry loaded
+                 from disk: zero slices, identical digest *)
+              let wid2 = ok_or_fail "resubmit worm" (Client.submit conn2 worm_spec) in
+              let jw2 =
+                ok_or_fail "wait worm hit" (Client.wait_terminal conn2 wid2)
+              in
+              check_int "persisted entry serves at zero slices" 0
+                (job_int jw2 "slices");
+              check_str "persisted entry digest identical" worm_digest
+                (job_digest jw2);
+              (* the drained duplicate pair reforms across the restart:
+                 the primary resumes from its checkpoint, the follower is
+                 completed by replication — one execution, two identical
+                 results *)
+              let jds =
+                List.map
+                  (fun id ->
+                    ok_or_fail "wait chase" (Client.wait_terminal conn2 id))
+                  ids
+              in
+              List.iter
+                (fun j ->
+                  check "recovered duplicate done" true
+                    (job_field j "state" = Some "done");
+                  check_str "recovered duplicate digest = uninterrupted"
+                    ref_digest (job_digest j))
+                jds;
+              check_int "the reformed pair executed exactly once" 1
+                (List.length
+                   (List.filter (fun j -> job_int j "slices" > 0) jds))));
+      (* the chase pair adds exactly one entry file; serving hits adds
+         none, and nothing is orphaned *)
+      check_int "entry files accounted for, no orphans" (n_res + 1)
+        (res_count ());
+      let leaked =
+        List.filter
+          (fun f -> Filename.check_suffix f ".ckpt")
+          (Array.to_list (Sys.readdir store_dir))
+      in
+      check_int "no checkpoint leaked" 0 (List.length leaked))
+
 let () =
   Alcotest.run "serve"
     [
@@ -591,5 +827,14 @@ let () =
             test_drain_restart_recovery;
           Alcotest.test_case "mutate jobs on a held instance" `Quick
             test_mutate_jobs;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit + coalesce bit-identity" `Quick
+            test_cache_hit_and_coalesce;
+          Alcotest.test_case "mutate-read strict invalidation" `Quick
+            test_mutate_read_invalidation;
+          Alcotest.test_case "persistence across restart" `Quick
+            test_cache_persistence_restart;
         ] );
     ]
