@@ -1206,6 +1206,8 @@ let with_daemon ~workers ~quantum ?(cache = 0) f =
       store_dir;
       cache_capacity = cache;
       cache_persist = true;
+      read_deadline_s = 60.;
+      max_frame = 1 lsl 20;
       log = false;
     }
   in
@@ -1638,6 +1640,123 @@ let cache_smoke () =
                      duplicate bit-identical@."
                     (c "hits") (c "coalesced")))
 
+(* The @campaign-smoke gate (E23): chaos-proven exactly-once shard
+   accounting.  Three legs, all deterministic in their seeds:
+
+   1. the in-process chaos gate — per seed, an uninterrupted reference
+      campaign vs. the same campaign with the failpoint ladder armed
+      (workers killed mid-shard, completions dropped, ledger appends
+      torn), interrupted twice and resumed twice; coverage counters and
+      the counterexample corpus must come back byte-identical, with 0
+      shards lost and 0 duplicated;
+   2. the ledger drill — torn appends at p=0.6, every one followed by a
+      full recovery load;
+   3. the daemon leg — the same campaign run as redspiderd audit jobs
+      under socket chaos (connects failing, polls dropping their
+      socket), compared byte-for-byte against an in-process reference.
+
+   The combined injected-fault count must reach the 200-fault floor the
+   experiment claims, so a quiet regression in fault delivery (sites
+   unwired, probabilities never drawn) also fails the gate. *)
+let campaign_smoke () =
+  let fail fmt = Format.kasprintf (fun m -> print_endline m; exit 1) fmt in
+  let module FP = Resilience.Failpoint in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "redspider-campaign-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      (* leg 1: kill/vanish/torn-ledger chaos, interrupted and resumed *)
+      let g = Campaign.Chaos.gate ~dir () in
+      List.iter print_endline g.Campaign.Chaos.g_failures;
+      if g.Campaign.Chaos.g_failures <> [] then
+        fail "campaign smoke: chaos gate failed (%d invariant violations)"
+          (List.length g.Campaign.Chaos.g_failures);
+      (* leg 2: dense torn-append recovery *)
+      let drill_injected, drill_failures =
+        Campaign.Chaos.ledger_drill
+          ~path:(Filename.concat dir "drill.ledger")
+          ~seed:13 ()
+      in
+      List.iter print_endline drill_failures;
+      if drill_failures <> [] then
+        fail "campaign smoke: ledger drill failed (%d violations)"
+          (List.length drill_failures);
+      (* leg 3: the same shards as daemon audit jobs, under socket chaos *)
+      let mk ~ledger ~mode =
+        {
+          (Campaign.Supervisor.default_config ~ledger) with
+          Campaign.Supervisor.families = [ Oracle.Shard.Audit; Oracle.Shard.Incr ];
+          seed = 7;
+          cases = 12;
+          shard_cases = 4;
+          budget = { Oracle.Diff.default_budget with Oracle.Diff.max_stages = 3 };
+          jobs = 3;
+          mode;
+          lease_s = 1.0;
+          max_attempts = 30;
+          backoff_base_s = 0.01;
+          backoff_cap_s = 0.05;
+        }
+      in
+      FP.clear ();
+      let reference =
+        match
+          Campaign.Supervisor.run
+            (mk ~ledger:(Filename.concat dir "pool.ledger")
+               ~mode:Campaign.Supervisor.Pool)
+        with
+        | Ok s -> s
+        | Error m -> fail "campaign smoke: pool reference: %s" m
+      in
+      let daemon_injected =
+        with_daemon ~workers:3 ~quantum:4 (fun socket ->
+            FP.configure_exn ~seed:5 "campaign.sock=0.25,client.connect=0.25";
+            let r =
+              Campaign.Supervisor.run
+                (mk ~ledger:(Filename.concat dir "daemon.ledger")
+                   ~mode:(Campaign.Supervisor.Daemon { socket }))
+            in
+            let injected = FP.injected_total () in
+            FP.clear ();
+            (match r with
+            | Error m -> fail "campaign smoke: daemon campaign: %s" m
+            | Ok s ->
+                List.iter print_endline
+                  (Campaign.Chaos.compare_summaries ~seed:7 reference s);
+                if
+                  Campaign.Supervisor.canonical s
+                  <> Campaign.Supervisor.canonical reference
+                then
+                  fail
+                    "campaign smoke: daemon campaign diverged from the \
+                     in-process reference";
+                let a = s.Campaign.Supervisor.s_accounting in
+                if a.Campaign.Ledger.a_lost > 0 || a.Campaign.Ledger.a_duplicated > 0
+                then
+                  fail "campaign smoke: daemon accounting %d lost / %d duplicated"
+                    a.Campaign.Ledger.a_lost a.Campaign.Ledger.a_duplicated);
+            injected)
+      in
+      let total = g.Campaign.Chaos.g_injected + drill_injected + daemon_injected in
+      if total < 200 then
+        fail
+          "campaign smoke: only %d faults injected (gate %d + drill %d + \
+           daemon %d); the experiment claims a 200-fault floor"
+          total g.Campaign.Chaos.g_injected drill_injected daemon_injected;
+      Format.printf
+        "campaign smoke: %d faults injected (gate %d over seeds %s, drill %d, \
+         daemon %d); coverage + corpus byte-identical, 0 shards lost, 0 \
+         duplicated@."
+        total g.Campaign.Chaos.g_injected
+        (String.concat "," (List.map string_of_int g.Campaign.Chaos.g_seeds))
+        drill_injected daemon_injected)
+
 (* Quick equivalence + JSON sanity pass, wired into `dune runtest` (prints
    to stdout only, so the test stays hermetic). *)
 let smoke () =
@@ -1700,6 +1819,7 @@ let () =
       serve_smoke
         (if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_serve.json")
   | "cache-smoke" -> cache_smoke ()
+  | "campaign-smoke" -> campaign_smoke ()
   | "smoke" -> smoke ()
   | _ ->
       let fast = mode = "fast" in

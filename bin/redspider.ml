@@ -549,6 +549,196 @@ let faults_cmd =
       const faults $ obs_term $ seed $ cases $ spec $ max_stages $ max_elems
       $ max_facts)
 
+(* --- campaign ------------------------------------------------------------ *)
+
+let campaign () ledger families seed cases shard jobs resume daemon_socket
+    lease max_attempts backoff_base backoff_cap max_stages max_elems max_facts
+    failpoints failpoint_seed verbose =
+  install_signals ();
+  (match failpoints with
+  | None -> ()
+  | Some spec -> (
+      match Resilience.Failpoint.configure ~seed:failpoint_seed spec with
+      | Ok () -> ()
+      | Error m ->
+          Format.eprintf "error: bad failpoint spec: %s@." m;
+          exit 2));
+  let families =
+    List.map
+      (fun name ->
+        match Oracle.Shard.family_of_name name with
+        | Some f -> f
+        | None ->
+            Format.eprintf "error: unknown family %s (audit, faults, incr)@."
+              name;
+            exit 2)
+      families
+  in
+  let cfg =
+    {
+      (Campaign.Supervisor.default_config ~ledger) with
+      Campaign.Supervisor.families =
+        (if families = [] then [ Oracle.Shard.Audit ] else families);
+      seed;
+      cases;
+      shard_cases = shard;
+      budget = { Oracle.Diff.max_stages; max_elems; max_facts };
+      jobs = max 1 jobs;
+      mode =
+        (match daemon_socket with
+        | Some socket -> Campaign.Supervisor.Daemon { socket }
+        | None -> Campaign.Supervisor.Pool);
+      lease_s = lease;
+      max_attempts = max 1 max_attempts;
+      backoff_base_s = backoff_base;
+      backoff_cap_s = backoff_cap;
+      should_stop =
+        (fun () -> Resilience.Governor.Cancel.tripped the_cancel);
+      log = verbose;
+    }
+  in
+  match Campaign.Supervisor.run ~resume cfg with
+  | Error m ->
+      Format.eprintf "error: %s@." m;
+      exit 2
+  | Ok s ->
+      Format.printf "%a@." Campaign.Supervisor.pp_summary s;
+      if s.Campaign.Supervisor.s_interrupted then exit 4;
+      let a = s.Campaign.Supervisor.s_accounting in
+      if a.Campaign.Ledger.a_lost > 0 || a.Campaign.Ledger.a_duplicated > 0
+      then begin
+        Format.eprintf "error: accounting violated (%d lost, %d duplicated)@."
+          a.Campaign.Ledger.a_lost a.Campaign.Ledger.a_duplicated;
+        exit 1
+      end;
+      let bad (_, e) =
+        e.Oracle.Shard.e_kind = "violation"
+        || e.Oracle.Shard.e_kind = "corruption"
+      in
+      if
+        List.exists bad s.Campaign.Supervisor.s_corpus
+        || s.Campaign.Supervisor.s_quarantined > 0
+      then exit 1
+
+let campaign_cmd =
+  let ledger =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            "Durable campaign ledger (JSON lines, written atomically).              Created fresh, or replayed with $(b,--resume).")
+  in
+  let families =
+    Arg.(
+      value & opt_all string []
+      & info [ "family"; "f" ] ~docv:"FAMILY"
+          ~doc:
+            "Oracle family to shard: audit, faults or incr (repeatable;              default audit).  The faults family runs strictly alone and              only in the in-process pool.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed.")
+  in
+  let cases =
+    Arg.(
+      value & opt int 200
+      & info [ "cases" ] ~doc:"Cases per family, split into shards.")
+  in
+  let shard =
+    Arg.(
+      value & opt int 25
+      & info [ "shard" ] ~docv:"CASES" ~doc:"Cases per shard (seed range).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains (or daemon connections).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay the ledger and continue: completed shards are never              re-run, quarantined shards stay quarantined, and the final              coverage counters are bit-identical to an uninterrupted run.")
+  in
+  let daemon_socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "daemon-socket" ] ~docv:"PATH"
+          ~doc:
+            "Run shards as audit jobs on the redspiderd at $(docv) instead              of the in-process pool.")
+  in
+  let lease =
+    Arg.(
+      value & opt float 5.0
+      & info [ "lease" ] ~docv:"SEC"
+          ~doc:
+            "Shard lease deadline; a worker heartbeats per case, and an              expired lease is reclaimed and re-dispatched.")
+  in
+  let max_attempts =
+    Arg.(
+      value & opt int 8
+      & info [ "max-attempts" ] ~docv:"K"
+          ~doc:"Failures before a shard is quarantined as poison.")
+  in
+  let backoff_base =
+    Arg.(
+      value & opt float 0.02
+      & info [ "backoff-base" ] ~docv:"SEC"
+          ~doc:"Base of the jittered exponential retry backoff.")
+  in
+  let backoff_cap =
+    Arg.(
+      value & opt float 0.5
+      & info [ "backoff-cap" ] ~docv:"SEC" ~doc:"Cap of the retry backoff.")
+  in
+  let max_stages =
+    Arg.(
+      value
+      & opt int Oracle.Diff.default_budget.Oracle.Diff.max_stages
+      & info [ "max-stages" ] ~doc:"Chase fuel per run.")
+  in
+  let max_elems =
+    Arg.(
+      value
+      & opt int Oracle.Diff.default_budget.Oracle.Diff.max_elems
+      & info [ "max-elems" ] ~doc:"Element budget per run.")
+  in
+  let max_facts =
+    Arg.(
+      value
+      & opt int Oracle.Diff.default_budget.Oracle.Diff.max_facts
+      & info [ "max-facts" ] ~doc:"Fact budget per run.")
+  in
+  let failpoints =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "failpoints" ] ~docv:"SPEC"
+          ~doc:
+            "Arm failpoints for the whole campaign, e.g.              'shard.case=0.2,campaign.vanish=0.3,campaign.ledger=0.5' — the              chaos ladder the supervisor must survive with exactly-once              accounting.")
+  in
+  let failpoint_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "failpoint-seed" ] ~docv:"N"
+          ~doc:"Seed of the failpoint decision stream.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Log shard events to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~exits
+       ~doc:
+         "Run a crash-tolerant sharded oracle campaign: seed-range shards           tracked in a durable ledger, leased to workers with deadlines,           reclaimed on expiry, retried with jittered backoff and           quarantined (auto-shrunk) when poison.  $(b,--resume) continues           an interrupted campaign with exactly-once shard accounting;           exit 1 means a violation, corruption or quarantined shard, 4           means interrupted.")
+    Term.(
+      const campaign $ obs_term $ ledger $ families $ seed $ cases $ shard
+      $ jobs $ resume $ daemon_socket $ lease $ max_attempts $ backoff_base
+      $ backoff_cap $ max_stages $ max_elems $ max_facts $ failpoints
+      $ failpoint_seed $ verbose)
+
 (* --- determinacy --------------------------------------------------------- *)
 
 let determinacy () governor view_specs q0_spec stages engine jobs =
@@ -609,7 +799,7 @@ let tcp_port_arg =
         ~doc:"Additionally listen on loopback TCP port $(docv).")
 
 let serve () socket tcp_port workers quantum quantum_seconds store cache_capacity
-    no_cache_persist verbose =
+    no_cache_persist read_deadline max_frame verbose =
   let cfg =
     {
       Serve.Server.socket;
@@ -619,6 +809,8 @@ let serve () socket tcp_port workers quantum quantum_seconds store cache_capacit
       store_dir = store;
       cache_capacity = max 0 cache_capacity;
       cache_persist = not no_cache_persist;
+      read_deadline_s = read_deadline;
+      max_frame = max 1024 max_frame;
       log = verbose;
     }
   in
@@ -667,6 +859,21 @@ let serve_cmd =
           ~doc:
             "Keep the result cache in memory only instead of persisting              pure entries to the job store.")
   in
+  let read_deadline =
+    Arg.(
+      value & opt float 60.
+      & info [ "read-deadline" ] ~docv:"SEC"
+          ~doc:
+            "Drop a client that stays idle past $(docv) seconds while the              daemon owes it no reply (half-open peers; 0 disables).")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:
+            "Maximum in-flight bytes of one request line; a client              exceeding it gets a structured error and is disconnected.")
+  in
   let verbose =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Log scheduling to stderr.")
   in
@@ -676,12 +883,13 @@ let serve_cmd =
          "Run redspiderd: accept chase/determinacy/worm/audit jobs as           newline-delimited JSON over a Unix (and optionally loopback           TCP) socket, execute them preemptively on persistent worker           domains under a continuous batched scheduler — a divergent           chase is suspended to a checkpoint at every quantum and           resumed later, bit-identically, and duplicate submissions are           answered from a digest-keyed result cache — and drain           gracefully on SIGTERM.")
     Term.(
       const serve $ obs_term $ socket_arg $ tcp_port_arg $ workers $ quantum
-      $ quantum_seconds $ store $ cache_capacity $ no_cache_persist $ verbose)
+      $ quantum_seconds $ store $ cache_capacity $ no_cache_persist
+      $ read_deadline $ max_frame $ verbose)
 
 (* One-shot client: print the daemon's JSON reply line and exit through
    the taxonomy (a waited-for job propagates its own exit code). *)
 let client () socket tcp_port op id views q0 stages engine machine steps seed
-    cases job_quantum timeout instance edits =
+    cases family from_case job_quantum timeout instance edits =
   let conn =
     let tcp = Option.map (fun p -> ("127.0.0.1", p)) tcp_port in
     match Serve.Client.connect ?tcp ~socket () with
@@ -755,7 +963,7 @@ let client () socket tcp_port op id views q0 stages engine machine steps seed
             max_stages = stages;
             engine;
           }
-    | _ -> Serve.Job.Audit { seed; cases; max_stages = stages }
+    | _ -> Serve.Job.Audit { seed; cases; max_stages = stages; family; from_case }
   in
   let result =
     match op with
@@ -827,6 +1035,18 @@ let client_cmd =
   let cases =
     Arg.(value & opt int 50 & info [ "cases" ] ~doc:"Audit case count.")
   in
+  let family =
+    Arg.(
+      value & opt string "audit"
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:"Oracle family of an audit job: audit or incr.")
+  in
+  let from_case =
+    Arg.(
+      value & opt int 0
+      & info [ "from-case" ] ~docv:"N"
+          ~doc:"First case index of the audit shard (campaign sharding).")
+  in
   let job_quantum =
     Arg.(
       value
@@ -860,8 +1080,8 @@ let client_cmd =
          "Talk to a running redspiderd: submit jobs, query status, wait           for results, cancel, or drain the daemon.")
     Term.(
       const client $ obs_term $ socket_arg $ tcp_port_arg $ op $ id $ views
-      $ q0 $ stages $ engine_arg $ machine $ steps $ seed $ cases
-      $ job_quantum $ timeout $ instance $ edits)
+      $ q0 $ stages $ engine_arg $ machine $ steps $ seed $ cases $ family
+      $ from_case $ job_quantum $ timeout $ instance $ edits)
 
 let () =
   let doc = "Red Spider Meets a Rainworm — PODS 2016, executable" in
@@ -871,5 +1091,5 @@ let () =
           [
             tinf_cmd; collide_cmd; worm_cmd; reduce_cmd; finite_model_cmd;
             theorem2_cmd; determinacy_cmd; chase_cmd; analyze_cmd; audit_cmd;
-            faults_cmd; serve_cmd; client_cmd;
+            faults_cmd; campaign_cmd; serve_cmd; client_cmd;
           ]))

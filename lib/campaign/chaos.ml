@@ -1,0 +1,202 @@
+(* The chaos gate: proves the campaign's exactly-once accounting under
+   the extended PR-5 failpoint ladder.
+
+   Per seed, an uninterrupted reference campaign runs with the registry
+   clear; then the ladder is armed (["shard.case"] kills workers
+   mid-shard, ["campaign.vanish"] drops completions so only lease
+   expiry recovers them, ["campaign.ledger"] tears ledger appends) and
+   the same campaign runs interrupted twice (abort-after-k-completes,
+   which drops unprocessed completions exactly as a crash would) and
+   resumed twice before finishing.  The gate then requires the chaotic
+   run's canonical coverage + corpus to be byte-identical to the
+   reference and its ledger accounting to show 0 lost / 0 duplicated.
+
+   Unlike E18's per-case fault schedules, the ladder here is NOT
+   replayable: worker domains race on the global failpoint stream, so
+   which probe draws which decision varies run to run.  That is the
+   point — the gate asserts invariants that must hold under any fault
+   schedule, not a recorded one.
+
+   A separate ledger drill hammers append/load with torn writes at high
+   probability to exercise recovery's skip-bad-trailing-line path far
+   more densely than a campaign's natural append rate. *)
+
+module FP = Resilience.Failpoint
+module Shard = Oracle.Shard
+
+let default_spec = "shard.case=0.12,campaign.vanish=0.25,campaign.ledger=0.6"
+
+type report = {
+  g_seeds : int list;
+  g_injected : int;
+  g_shards : int;  (** per campaign *)
+  g_corpus : int;  (** corpus entries in the reference runs *)
+  g_failures : string list;  (** invariant violations; empty = pass *)
+}
+
+let compare_summaries ~seed (a : Supervisor.summary) (b : Supervisor.summary) =
+  let ca = Supervisor.canonical a and cb = Supervisor.canonical b in
+  if ca = cb then []
+  else
+    [
+      Printf.sprintf
+        "seed %d: resumed coverage/corpus diverged from reference\n--- \
+         reference:\n%s--- resumed:\n%s"
+        seed ca cb;
+    ]
+
+let check_accounting ~seed ~what (s : Supervisor.summary) =
+  let a = s.Supervisor.s_accounting in
+  let err fmt = Printf.ksprintf (fun m -> Some m) fmt in
+  List.filter_map
+    (fun x -> x)
+    [
+      (if a.Ledger.a_lost > 0 then
+         err "seed %d: %s lost %d shard(s)" seed what a.Ledger.a_lost
+       else None);
+      (if a.Ledger.a_duplicated > 0 then
+         err "seed %d: %s duplicated %d shard(s)" seed what
+           a.Ledger.a_duplicated
+       else None);
+    ]
+
+let gate ?(spec = default_spec) ?(seeds = [ 11; 23; 42 ]) ?(jobs = 3)
+    ?(cases = 10) ?(shard_cases = 3) ?budget ?(lease_s = 1.0)
+    ?(stop_after = 2) ~dir () =
+  let budget =
+    Option.value budget
+      ~default:
+        {
+          Oracle.Diff.max_stages = 3;
+          Oracle.Diff.max_elems = 60;
+          Oracle.Diff.max_facts = 150;
+        }
+  in
+  let cfg ~ledger ~seed =
+    {
+      (Supervisor.default_config ~ledger) with
+      Supervisor.families = [ Shard.Audit; Shard.Incr ];
+      seed;
+      cases;
+      shard_cases;
+      budget;
+      jobs;
+      lease_s;
+      max_attempts = 30;
+      backoff_base_s = 0.01;
+      backoff_cap_s = 0.05;
+    }
+  in
+  let injected = ref 0 in
+  let failures = ref [] in
+  let corpus = ref 0 in
+  let shards = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  List.iter
+    (fun seed ->
+      (* 1. the uninterrupted reference, registry clear *)
+      FP.clear ();
+      let ref_ledger = Filename.concat dir (Printf.sprintf "ref-%d.ledger" seed) in
+      let chaos_ledger =
+        Filename.concat dir (Printf.sprintf "chaos-%d.ledger" seed)
+      in
+      match Supervisor.run (cfg ~ledger:ref_ledger ~seed) with
+      | Error e -> fail "seed %d: reference campaign failed: %s" seed e
+      | Ok reference -> (
+          shards := reference.Supervisor.s_shards;
+          corpus := !corpus + List.length reference.Supervisor.s_corpus;
+          List.iter
+            (fun m -> failures := m :: !failures)
+            (check_accounting ~seed ~what:"reference" reference);
+          (* 2. the same campaign under the ladder: interrupted twice,
+             resumed twice, then run to completion *)
+          FP.configure_exn ~seed spec;
+          let chaos_cfg = cfg ~ledger:chaos_ledger ~seed in
+          let final =
+            match
+              Supervisor.run ~stop_after_completes:stop_after chaos_cfg
+            with
+            | Error e -> Error e
+            | Ok _ -> (
+                match
+                  Supervisor.run ~resume:true
+                    ~stop_after_completes:stop_after chaos_cfg
+                with
+                | Error e -> Error e
+                | Ok _ -> Supervisor.run ~resume:true chaos_cfg)
+          in
+          injected := !injected + FP.injected_total ();
+          FP.clear ();
+          match final with
+          | Error e -> fail "seed %d: chaotic campaign failed: %s" seed e
+          | Ok resumed ->
+              if resumed.Supervisor.s_interrupted then
+                fail "seed %d: final resume did not run to completion" seed;
+              List.iter
+                (fun m -> failures := m :: !failures)
+                (check_accounting ~seed ~what:"chaotic run" resumed);
+              List.iter
+                (fun m -> failures := m :: !failures)
+                (compare_summaries ~seed reference resumed)))
+    seeds;
+  {
+    g_seeds = seeds;
+    g_injected = !injected;
+    g_shards = !shards;
+    g_corpus = !corpus;
+    g_failures = List.rev !failures;
+  }
+
+(* Hammer the ledger with torn appends: after every append — torn or
+   not — a fresh [load] must succeed, count at most one skipped line,
+   and yield a prefix of the in-memory record sequence.  Returns the
+   number of injected tears (with failure descriptions, empty = pass). *)
+let ledger_drill ?(appends = 250) ~path ~seed () =
+  FP.clear ();
+  FP.configure_exn ~seed "campaign.ledger=0.6";
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let header =
+    {
+      Ledger.h_families = [ Shard.Audit ];
+      h_seed = seed;
+      h_cases = 1;
+      h_shard_cases = 1;
+      h_max_attempts = 1;
+    }
+  in
+  (match Ledger.create ~path header with
+  | Error e -> fail "create: %s" e
+  | Ok led ->
+      for i = 1 to appends do
+        let r =
+          if i mod 2 = 0 then
+            Ledger.Fail { sid = "audit:1:0"; attempt = i; error = "drill" }
+          else
+            Ledger.Lease
+              {
+                sid = "audit:1:0";
+                attempt = i;
+                worker = "drill";
+                deadline_s = float_of_int i;
+              }
+        in
+        (match Ledger.append led r with Ok () -> () | Error _ -> ());
+        let mem = Ledger.records led in
+        match Ledger.load ~path with
+        | Error e -> fail "append %d: reload failed: %s" i e
+        | Ok led2 ->
+            if Ledger.skipped led2 > 1 then
+              fail "append %d: %d skipped lines (expected <= 1)" i
+                (Ledger.skipped led2);
+            let disk = Ledger.records led2 in
+            let k = List.length disk in
+            if k < List.length mem - 1 then
+              fail "append %d: disk lost %d records (at most 1 may lag)" i
+                (List.length mem - k);
+            if disk <> List.filteri (fun j _ -> j < k) mem then
+              fail "append %d: disk records are not a prefix of memory" i
+      done);
+  let injected = FP.injected_total () in
+  FP.clear ();
+  (injected, List.rev !failures)

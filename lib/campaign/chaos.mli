@@ -1,0 +1,55 @@
+(** The chaos gate for campaign exactly-once accounting.
+
+    Extends the PR-5 failpoint ladder with three campaign sites —
+    ["shard.case"] (kill a worker mid-shard), ["campaign.vanish"]
+    (worker completes but drops the completion; only lease expiry
+    recovers the shard) and ["campaign.ledger"] (torn ledger append) —
+    and requires that a campaign interrupted twice and resumed twice
+    under the armed ladder reproduce the uninterrupted run's per-family
+    coverage counters and counterexample corpus {e byte-identically}
+    ({!Supervisor.canonical}), with ledger accounting showing 0 lost
+    and 0 duplicated shards.
+
+    Unlike E18's per-case schedules, the ladder here is deliberately
+    not replayable — worker domains race on the global failpoint
+    stream — because the gate asserts invariants that must hold under
+    {e any} fault schedule, not a recorded one. *)
+
+val default_spec : string
+
+type report = {
+  g_seeds : int list;
+  g_injected : int;  (** faults injected across all chaotic runs *)
+  g_shards : int;  (** per campaign *)
+  g_corpus : int;  (** corpus entries in the reference runs *)
+  g_failures : string list;  (** invariant violations; empty = pass *)
+}
+
+(** Mismatch descriptions between two summaries' canonical
+    coverage/corpus renderings; empty when byte-identical. *)
+val compare_summaries :
+  seed:int -> Supervisor.summary -> Supervisor.summary -> string list
+
+(** Run the gate: per seed, one clean reference campaign and one
+    chaotic interrupted-twice/resumed-twice campaign over the audit and
+    incr families, compared byte-for-byte.  Ledgers are written under
+    [dir] (caller creates and cleans it). *)
+val gate :
+  ?spec:string ->
+  ?seeds:int list ->
+  ?jobs:int ->
+  ?cases:int ->
+  ?shard_cases:int ->
+  ?budget:Oracle.Diff.budget ->
+  ?lease_s:float ->
+  ?stop_after:int ->
+  dir:string ->
+  unit ->
+  report
+
+(** Hammer {!Ledger.append} under a high-probability torn-write site:
+    after every append a fresh {!Ledger.load} must succeed, skip at
+    most one line, and yield a prefix of the in-memory records.
+    Returns (injected tears, failure descriptions — empty = pass). *)
+val ledger_drill :
+  ?appends:int -> path:string -> seed:int -> unit -> int * string list

@@ -1,0 +1,401 @@
+(* The campaign ledger: one JSON record per line, published with the
+   PR-5 atomic-write discipline.  Appends rewrite the whole file via
+   [Checkpoint.write_atomic] — campaign ledgers are small (one line per
+   shard event, not per case), so O(n²) bytes over a campaign's life is
+   noise next to the oracle work, and a rewriting appender is
+   self-healing: the next successful append republishes any record a
+   torn write lost from disk.
+
+   The ["campaign.ledger"] failpoint emulates the torn append of a
+   naive in-place writer (previous content plus half of the new record,
+   no trailing newline) so recovery's skip-bad-trailing-line path stays
+   exercised even though the atomic writer cannot tear. *)
+
+module J = Serve.Json
+module FP = Resilience.Failpoint
+module Shard = Oracle.Shard
+
+type header = {
+  h_families : Shard.family list;
+  h_seed : int;
+  h_cases : int;
+  h_shard_cases : int;
+  h_max_attempts : int;
+}
+
+type record =
+  | Create of header
+  | Lease of { sid : string; attempt : int; worker : string; deadline_s : float }
+  | Complete of { sid : string; attempt : int; outcome : Shard.outcome }
+  | Fail of { sid : string; attempt : int; error : string }
+  | Reclaim of { sid : string; attempt : int; reason : string }
+  | Quarantine of {
+      sid : string;
+      attempts : int;
+      poison_case : int option;
+      desc : string list;
+    }
+
+type t = { path : string; mutable rev_records : record list; skipped : int }
+
+(* --- shard naming ------------------------------------------------------ *)
+
+let sid family ~seed ~lo = Printf.sprintf "%s:%d:%d" (Shard.family_name family) seed lo
+
+let parse_sid s =
+  match String.split_on_char ':' s with
+  | [ fam; seed; lo ] -> (
+      match
+        (Shard.family_of_name fam, int_of_string_opt seed, int_of_string_opt lo)
+      with
+      | Some f, Some seed, Some lo -> Some (f, seed, lo)
+      | _ -> None)
+  | _ -> None
+
+let plan h =
+  List.concat_map
+    (fun f ->
+      let rec shards lo acc =
+        if lo >= h.h_cases then List.rev acc
+        else
+          let n = min h.h_shard_cases (h.h_cases - lo) in
+          shards (lo + n) ((f, lo, n) :: acc)
+      in
+      shards 0 [])
+    h.h_families
+
+(* --- JSON codec -------------------------------------------------------- *)
+
+let strings ss = J.List (List.map (fun s -> J.String s) ss)
+
+let header_to_json h =
+  J.Obj
+    [
+      ("r", J.String "create");
+      ("families", strings (List.map Shard.family_name h.h_families));
+      ("seed", J.Int h.h_seed);
+      ("cases", J.Int h.h_cases);
+      ("shard_cases", J.Int h.h_shard_cases);
+      ("max_attempts", J.Int h.h_max_attempts);
+    ]
+
+let outcome_to_json (o : Shard.outcome) =
+  J.Obj
+    [
+      ("family", J.String (Shard.family_name o.Shard.o_family));
+      ("seed", J.Int o.Shard.o_seed);
+      ("lo", J.Int o.Shard.o_lo);
+      ("n", J.Int o.Shard.o_n);
+      ("counters", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) o.Shard.o_counters));
+      ( "corpus",
+        J.List
+          (List.map
+             (fun (e : Shard.entry) ->
+               J.Obj
+                 [
+                   ("case", J.Int e.Shard.e_case);
+                   ("kind", J.String e.Shard.e_kind);
+                   ("desc", strings e.Shard.e_desc);
+                 ])
+             o.Shard.o_corpus) );
+    ]
+
+let record_to_json = function
+  | Create h -> header_to_json h
+  | Lease { sid; attempt; worker; deadline_s } ->
+      J.Obj
+        [
+          ("r", J.String "lease");
+          ("sid", J.String sid);
+          ("attempt", J.Int attempt);
+          ("worker", J.String worker);
+          ("deadline", J.Float deadline_s);
+        ]
+  | Complete { sid; attempt; outcome } ->
+      J.Obj
+        [
+          ("r", J.String "complete");
+          ("sid", J.String sid);
+          ("attempt", J.Int attempt);
+          ("outcome", outcome_to_json outcome);
+        ]
+  | Fail { sid; attempt; error } ->
+      J.Obj
+        [
+          ("r", J.String "fail");
+          ("sid", J.String sid);
+          ("attempt", J.Int attempt);
+          ("error", J.String error);
+        ]
+  | Reclaim { sid; attempt; reason } ->
+      J.Obj
+        [
+          ("r", J.String "reclaim");
+          ("sid", J.String sid);
+          ("attempt", J.Int attempt);
+          ("reason", J.String reason);
+        ]
+  | Quarantine { sid; attempts; poison_case; desc } ->
+      J.Obj
+        [
+          ("r", J.String "quarantine");
+          ("sid", J.String sid);
+          ("attempts", J.Int attempts);
+          ( "poison_case",
+            match poison_case with Some c -> J.Int c | None -> J.Null );
+          ("desc", strings desc);
+        ]
+
+let ( let* ) = Option.bind
+
+let header_of_json j =
+  let* fams = J.mem_string_list "families" j in
+  let* families =
+    List.fold_left
+      (fun acc name ->
+        let* acc = acc in
+        let* f = Shard.family_of_name name in
+        Some (f :: acc))
+      (Some []) fams
+    |> Option.map List.rev
+  in
+  let* h_seed = J.mem_int "seed" j in
+  let* h_cases = J.mem_int "cases" j in
+  let* h_shard_cases = J.mem_int "shard_cases" j in
+  let* h_max_attempts = J.mem_int "max_attempts" j in
+  Some { h_families = families; h_seed; h_cases; h_shard_cases; h_max_attempts }
+
+let outcome_of_json j =
+  let* fam = J.mem_str "family" j in
+  let* o_family = Shard.family_of_name fam in
+  let* o_seed = J.mem_int "seed" j in
+  let* o_lo = J.mem_int "lo" j in
+  let* o_n = J.mem_int "n" j in
+  let* counters = J.member "counters" j in
+  let* o_counters =
+    match counters with
+    | J.Obj kvs ->
+        List.fold_left
+          (fun acc (k, v) ->
+            let* acc = acc in
+            let* v = J.to_int v in
+            Some ((k, v) :: acc))
+          (Some []) kvs
+        |> Option.map List.rev
+    | _ -> None
+  in
+  let* corpus = J.mem_list "corpus" j in
+  let* o_corpus =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        let* e_case = J.mem_int "case" e in
+        let* e_kind = J.mem_str "kind" e in
+        let* e_desc = J.mem_string_list "desc" e in
+        Some ({ Shard.e_case; e_kind; e_desc } :: acc))
+      (Some []) corpus
+    |> Option.map List.rev
+  in
+  Some { Shard.o_family; o_seed; o_lo; o_n; o_counters; o_corpus }
+
+let record_of_json j =
+  let* r = J.mem_str "r" j in
+  match r with
+  | "create" ->
+      let* h = header_of_json j in
+      Some (Create h)
+  | "lease" ->
+      let* sid = J.mem_str "sid" j in
+      let* attempt = J.mem_int "attempt" j in
+      let* worker = J.mem_str "worker" j in
+      let* deadline_s = J.mem_float "deadline" j in
+      Some (Lease { sid; attempt; worker; deadline_s })
+  | "complete" ->
+      let* sid = J.mem_str "sid" j in
+      let* attempt = J.mem_int "attempt" j in
+      let* oj = J.member "outcome" j in
+      let* outcome = outcome_of_json oj in
+      Some (Complete { sid; attempt; outcome })
+  | "fail" ->
+      let* sid = J.mem_str "sid" j in
+      let* attempt = J.mem_int "attempt" j in
+      let* error = J.mem_str "error" j in
+      Some (Fail { sid; attempt; error })
+  | "reclaim" ->
+      let* sid = J.mem_str "sid" j in
+      let* attempt = J.mem_int "attempt" j in
+      let* reason = J.mem_str "reason" j in
+      Some (Reclaim { sid; attempt; reason })
+  | "quarantine" ->
+      let* sid = J.mem_str "sid" j in
+      let* attempts = J.mem_int "attempts" j in
+      let poison_case =
+        match J.member "poison_case" j with
+        | Some (J.Int c) -> Some c
+        | _ -> None
+      in
+      let* desc = J.mem_string_list "desc" j in
+      Some (Quarantine { sid; attempts; poison_case; desc })
+  | _ -> None
+
+(* --- persistence ------------------------------------------------------- *)
+
+let render rev_records =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      Buffer.add_string b (J.to_string (record_to_json r));
+      Buffer.add_char b '\n')
+    (List.rev rev_records);
+  Buffer.contents b
+
+let torn_write path content fragment =
+  (* best-effort non-atomic write: what a naive appender leaves behind
+     when killed mid-record *)
+  try
+    let oc = open_out path in
+    output_string oc content;
+    output_string oc fragment;
+    close_out oc
+  with Sys_error _ -> ()
+
+let append t record =
+  t.rev_records <- record :: t.rev_records;
+  if FP.fire "campaign.ledger" then begin
+    let line = J.to_string (record_to_json record) in
+    let frag = String.sub line 0 (String.length line / 2) in
+    torn_write t.path (render (List.tl t.rev_records)) frag;
+    Error "fault injected at campaign.ledger: append torn mid-record"
+  end
+  else Resilience.Checkpoint.write_atomic t.path (render t.rev_records)
+
+let create ~path header =
+  if Sys.file_exists path then
+    Error (Printf.sprintf "ledger %s already exists (resume instead?)" path)
+  else
+    let t = { path; rev_records = [ Create header ]; skipped = 0 } in
+    (* bypass the "campaign.ledger" failpoint: the Create header must be
+       durable or a crash before the first successful append would
+       strand a resume with no header at all *)
+    match Resilience.Checkpoint.write_atomic path (render t.rev_records) with
+    | Ok () -> Ok t
+    | Error e -> Error e
+
+let load ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | content ->
+      let lines =
+        String.split_on_char '\n' content
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      let skipped = ref 0 in
+      let records =
+        List.filter_map
+          (fun line ->
+            match J.parse line with
+            | Ok j -> (
+                match record_of_json j with
+                | Some r -> Some r
+                | None ->
+                    incr skipped;
+                    None)
+            | Error _ ->
+                incr skipped;
+                None)
+          lines
+      in
+      (match records with
+      | Create _ :: _ ->
+          Ok { path; rev_records = List.rev records; skipped = !skipped }
+      | _ -> Error (Printf.sprintf "ledger %s has no create header" path))
+
+let records t = List.rev t.rev_records
+let skipped t = t.skipped
+
+(* --- replay ------------------------------------------------------------ *)
+
+type replay = {
+  rp_header : header;
+  rp_completed : (string * Shard.outcome) list;
+  rp_attempts : (string * int) list;
+  rp_quarantined : (string * (int option * string list)) list;
+  rp_duplicated : int;
+}
+
+let replay t =
+  match records t with
+  | Create rp_header :: rest ->
+      let completed = Hashtbl.create 32 in
+      let order = ref [] in
+      let attempts = Hashtbl.create 32 in
+      let quarantined = ref [] in
+      let duplicated = ref 0 in
+      List.iter
+        (fun r ->
+          match r with
+          | Create _ -> ()
+          | Lease _ -> ()
+          | Complete { sid; outcome; _ } ->
+              if Hashtbl.mem completed sid then incr duplicated
+              else begin
+                Hashtbl.add completed sid outcome;
+                order := sid :: !order
+              end
+          | Fail { sid; _ } | Reclaim { sid; _ } ->
+              Hashtbl.replace attempts sid
+                (1 + Option.value ~default:0 (Hashtbl.find_opt attempts sid))
+          | Quarantine { sid; poison_case; desc; _ } ->
+              quarantined := (sid, (poison_case, desc)) :: !quarantined)
+        rest;
+      Ok
+        {
+          rp_header;
+          rp_completed =
+            List.rev_map (fun sid -> (sid, Hashtbl.find completed sid)) !order;
+          rp_attempts =
+            Hashtbl.fold (fun sid n acc -> (sid, n) :: acc) attempts [];
+          rp_quarantined = List.rev !quarantined;
+          rp_duplicated = !duplicated;
+        }
+  | _ -> Error "ledger has no create header"
+
+type accounting = {
+  a_shards : int;
+  a_completed : int;
+  a_quarantined : int;
+  a_duplicated : int;
+  a_lost : int;
+}
+
+let account t =
+  match replay t with
+  | Error e -> Error e
+  | Ok rp ->
+      let h = rp.rp_header in
+      let planned = plan h in
+      let lost =
+        List.filter
+          (fun (f, lo, _) ->
+            let s = sid f ~seed:h.h_seed ~lo in
+            (not (List.mem_assoc s rp.rp_completed))
+            && not (List.mem_assoc s rp.rp_quarantined))
+          planned
+      in
+      Ok
+        {
+          a_shards = List.length planned;
+          a_completed = List.length rp.rp_completed;
+          a_quarantined = List.length rp.rp_quarantined;
+          a_duplicated = rp.rp_duplicated;
+          a_lost = List.length lost;
+        }
+
+let pp_header ppf h =
+  Fmt.pf ppf "families=[%a] seed=%d cases=%d shard_cases=%d max_attempts=%d"
+    Fmt.(list ~sep:(any ",") Shard.pp_family)
+    h.h_families h.h_seed h.h_cases h.h_shard_cases h.h_max_attempts
+
+let pp_accounting ppf a =
+  Fmt.pf ppf "%d shards: %d completed, %d quarantined, %d duplicated, %d lost"
+    a.a_shards a.a_completed a.a_quarantined a.a_duplicated a.a_lost

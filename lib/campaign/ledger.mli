@@ -1,0 +1,96 @@
+(** The durable campaign ledger: one JSON record per line, republished
+    atomically on every append via {!Resilience.Checkpoint.write_atomic}
+    (unique temp + fsync + rename + directory fsync).  Ledgers are
+    small — one record per shard {e event}, never per case — so the
+    whole-file rewrite is noise next to the oracle work it accounts,
+    and it makes the appender self-healing: a torn write (emulated by
+    the ["campaign.ledger"] failpoint) is repaired by the next
+    successful append, and recovery skips unparseable trailing lines
+    instead of refusing the ledger.
+
+    Exactly-once accounting rests on two facts: replay keeps only the
+    {e first} [Complete] per shard id (later ones are counted as
+    duplicates — the chaos gate requires that count to be 0 because the
+    supervisor never re-dispatches a completed shard), and shard
+    outcomes are deterministic in [(family, seed, range)], so a re-run
+    forced by a lost completion reproduces bit-identical counters —
+    "exactly once in effect" even when the work ran twice. *)
+
+(** The campaign spec, stored as the ledger's first record; resuming
+    validates the configured spec against it. *)
+type header = {
+  h_families : Oracle.Shard.family list;
+  h_seed : int;
+  h_cases : int;  (** cases per family *)
+  h_shard_cases : int;  (** cases per shard (last shard may be short) *)
+  h_max_attempts : int;  (** K: failures before quarantine *)
+}
+
+type record =
+  | Create of header
+  | Lease of { sid : string; attempt : int; worker : string; deadline_s : float }
+  | Complete of { sid : string; attempt : int; outcome : Oracle.Shard.outcome }
+  | Fail of { sid : string; attempt : int; error : string }
+  | Reclaim of { sid : string; attempt : int; reason : string }
+      (** a lease expired (vanished worker) or was abandoned at resume *)
+  | Quarantine of {
+      sid : string;
+      attempts : int;
+      poison_case : int option;  (** first reproducibly-crashing case *)
+      desc : string list;  (** minimized description, via {!Oracle.Shard.minimize} *)
+    }
+
+type t
+
+(** The shard id ["family:seed:lo"]. *)
+val sid : Oracle.Shard.family -> seed:int -> lo:int -> string
+
+val parse_sid : string -> (Oracle.Shard.family * int * int) option
+
+(** All shards of a campaign, in canonical order: [(family, lo, n)]. *)
+val plan : header -> (Oracle.Shard.family * int * int) list
+
+(** Create a fresh ledger holding the [Create] record.  Refuses an
+    existing path (resume instead — an accidental restart must not
+    clobber a campaign).  The create bypasses the ["campaign.ledger"]
+    failpoint: the header must be durable, or a crash before the first
+    successful append would strand the resume with no header. *)
+val create : path:string -> header -> (t, string) result
+
+(** Load an existing ledger, skipping unparseable lines (torn trailing
+    writes); fails only when no [Create] header survives. *)
+val load : path:string -> (t, string) result
+
+(** Append one record.  The record always enters the in-memory ledger;
+    [Error] means disk publication failed (injected torn write) and the
+    next successful append will republish it. *)
+val append : t -> record -> (unit, string) result
+
+val records : t -> record list
+
+(** Unparseable lines dropped by {!load}. *)
+val skipped : t -> int
+
+type replay = {
+  rp_header : header;
+  rp_completed : (string * Oracle.Shard.outcome) list;
+      (** first [Complete] per sid, in ledger order *)
+  rp_attempts : (string * int) list;
+      (** per sid, [Fail] + [Reclaim] records so far *)
+  rp_quarantined : (string * (int option * string list)) list;
+  rp_duplicated : int;  (** [Complete] records beyond a sid's first *)
+}
+
+val replay : t -> (replay, string) result
+
+type accounting = {
+  a_shards : int;  (** planned shards *)
+  a_completed : int;
+  a_quarantined : int;
+  a_duplicated : int;  (** must be 0: no shard counted twice *)
+  a_lost : int;  (** must be 0 at campaign end: no shard dropped *)
+}
+
+val account : t -> (accounting, string) result
+val pp_header : Format.formatter -> header -> unit
+val pp_accounting : Format.formatter -> accounting -> unit

@@ -1,0 +1,638 @@
+(* The campaign supervisor.
+
+   One supervisor thread owns the ledger (single writer — workers never
+   touch it) and a lease table; worker domains pull shards from a work
+   queue and push outcomes back.  Crash tolerance is the ledger's:
+   every shard event is a durable record, and [run ~resume:true]
+   rebuilds completed/quarantined/attempt state by replay, so an
+   interrupted campaign continues with nothing lost and nothing
+   re-counted.  Exactly-once is "in effect", not "in execution": a
+   shard whose completion vanished (worker killed, lease expired,
+   ledger record torn away) re-runs, and determinism in
+   [(family, seed, range)] makes the re-run's counters bit-identical,
+   while replay's first-complete-wins keeps the accounting single. *)
+
+module Shard = Oracle.Shard
+module FP = Resilience.Failpoint
+module J = Serve.Json
+
+type mode = Pool | Daemon of { socket : string }
+
+type config = {
+  ledger_path : string;
+  families : Shard.family list;
+  seed : int;
+  cases : int;
+  shard_cases : int;
+  budget : Oracle.Diff.budget;
+  jobs : int;
+  mode : mode;
+  lease_s : float;
+  max_attempts : int;
+  backoff_base_s : float;
+  backoff_cap_s : float;
+  should_stop : unit -> bool;
+  log : bool;
+}
+
+let default_config ~ledger =
+  {
+    ledger_path = ledger;
+    families = [ Shard.Audit ];
+    seed = 42;
+    cases = 50;
+    shard_cases = 10;
+    budget = Oracle.Diff.default_budget;
+    jobs = 2;
+    mode = Pool;
+    lease_s = 5.;
+    max_attempts = 8;
+    backoff_base_s = 0.02;
+    backoff_cap_s = 0.5;
+    should_stop = (fun () -> false);
+    log = false;
+  }
+
+type summary = {
+  s_coverage : (string * (string * int) list) list;
+  s_corpus : (string * Shard.entry) list;
+  s_shards : int;
+  s_completed : int;
+  s_quarantined : int;
+  s_reclaimed : int;
+  s_retried : int;
+  s_append_errors : int;
+  s_interrupted : bool;
+  s_accounting : Ledger.accounting;
+}
+
+(* The canonical text rendering of what must be bit-identical across
+   interrupted/resumed/uninterrupted schedules: per-family coverage
+   counters and the counterexample corpus — never scheduling noise like
+   retry or reclaim counts. *)
+let canonical s =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (fam, counters) ->
+      Buffer.add_string b fam;
+      Buffer.add_string b ":";
+      List.iter
+        (fun (k, v) -> Buffer.add_string b (Printf.sprintf " %s=%d" k v))
+        counters;
+      Buffer.add_char b '\n')
+    s.s_coverage;
+  List.iter
+    (fun (fam, (e : Shard.entry)) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s case %d %s: %s\n" fam e.Shard.e_case e.Shard.e_kind
+           (String.concat " | " e.Shard.e_desc)))
+    s.s_corpus;
+  Buffer.contents b
+
+let pp_summary ppf s =
+  Fmt.pf ppf "@[<v>campaign: %d shards, %d completed, %d quarantined (%a)%s@,%a@]"
+    s.s_shards s.s_completed s.s_quarantined Ledger.pp_accounting s.s_accounting
+    (if s.s_interrupted then " [interrupted]" else "")
+    Fmt.lines
+    (String.trim (canonical s))
+
+(* --- internal plumbing -------------------------------------------------- *)
+
+type task = { t_family : Shard.family; t_lo : int; t_n : int; t_attempt : int }
+
+type done_msg = { d_task : task; d_result : (Shard.outcome, string) result }
+
+type lease = { mutable l_deadline : float; l_attempt : int }
+
+let jitter_state seed = ref (Int64.of_int ((seed * 0x9e37) lxor 0x7f4a7c15))
+
+let jitter_next st =
+  let open Int64 in
+  st := add !st 0x9e3779b97f4a7c15L;
+  let z = mul (logxor !st (shift_right_logical !st 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  to_float (shift_right_logical (logxor z (shift_right_logical z 31)) 11)
+  /. 9007199254740992.
+
+let now_s = Obs.Clock.now_s
+
+(* Decode a daemon audit result back into a shard outcome.  The shard
+   identity comes from the task, not from the wire echo. *)
+let outcome_of_result task result =
+  let ( let* ) = Option.bind in
+  let decoded =
+    let* counters =
+      match J.member "counters" result with
+      | Some (J.Obj kvs) ->
+          List.fold_left
+            (fun acc (k, v) ->
+              let* acc = acc in
+              let* v = J.to_int v in
+              Some ((k, v) :: acc))
+            (Some []) kvs
+          |> Option.map List.rev
+      | _ -> None
+    in
+    let* corpus = J.mem_list "corpus" result in
+    let* corpus =
+      List.fold_left
+        (fun acc e ->
+          let* acc = acc in
+          let* e_case = J.mem_int "case" e in
+          let* e_kind = J.mem_str "kind" e in
+          let* e_desc = J.mem_string_list "desc" e in
+          Some ({ Shard.e_case; e_kind; e_desc } :: acc))
+        (Some []) corpus
+      |> Option.map List.rev
+    in
+    Some (counters, corpus)
+  in
+  match decoded with
+  | None -> Error "audit result carried no shard counters"
+  | Some (counters, corpus) ->
+      Ok
+        {
+          Shard.o_family = task.t_family;
+          o_seed = 0 (* filled by caller *);
+          o_lo = task.t_lo;
+          o_n = task.t_n;
+          o_counters = Shard.counters_add [] counters;
+          o_corpus = Shard.sort_corpus corpus;
+        }
+
+(* --- the run ------------------------------------------------------------ *)
+
+let exec (cfg : config) ledger (rp : Ledger.replay) ~stop_after_completes =
+  let header = rp.Ledger.rp_header in
+  let seed = header.Ledger.h_seed in
+  let plan = Ledger.plan header in
+  let logf fmt =
+    if cfg.log then Printf.eprintf ("campaign: " ^^ fmt ^^ "\n%!")
+    else Printf.ifprintf stderr fmt
+  in
+
+  (* replayed state *)
+  let completed : (string, Shard.outcome) Hashtbl.t = Hashtbl.create 64 in
+  let quarantined : (string, int option * string list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let attempts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (s, o) -> Hashtbl.replace completed s o) rp.Ledger.rp_completed;
+  List.iter
+    (fun (s, q) -> Hashtbl.replace quarantined s q)
+    rp.Ledger.rp_quarantined;
+  List.iter (fun (s, n) -> Hashtbl.replace attempts s n) rp.Ledger.rp_attempts;
+  let failures sid = Option.value ~default:0 (Hashtbl.find_opt attempts sid) in
+
+  let pending =
+    ref
+      (List.filter_map
+         (fun (f, lo, n) ->
+           let sid = Ledger.sid f ~seed ~lo in
+           if Hashtbl.mem completed sid || Hashtbl.mem quarantined sid then None
+           else
+             Some { t_family = f; t_lo = lo; t_n = n; t_attempt = failures sid + 1 })
+         plan)
+  in
+  let delayed = ref [] in
+
+  (* worker plumbing *)
+  let mu = Mutex.create () and cond = Condition.create () in
+  let work : task Queue.t = Queue.create () in
+  let dones : done_msg Queue.t = Queue.create () in
+  let wstop = ref false in
+  let leases : (string, lease) Hashtbl.t = Hashtbl.create 16 in
+  let sid_of t = Ledger.sid t.t_family ~seed ~lo:t.t_lo in
+
+  let heartbeat sid =
+    Mutex.lock mu;
+    (match Hashtbl.find_opt leases sid with
+    | Some l -> l.l_deadline <- now_s () +. cfg.lease_s
+    | None -> ());
+    Mutex.unlock mu
+  in
+
+  let run_local task =
+    let sid = sid_of task in
+    try
+      Ok
+        (Shard.run ~budget:cfg.budget
+           ~on_case:(fun _ -> heartbeat sid)
+           task.t_family ~seed ~lo:task.t_lo ~n:task.t_n)
+    with e -> Error (Printexc.to_string e)
+  in
+
+  let run_remote socket task =
+    let sid = sid_of task in
+    let spec =
+      Serve.Job.Audit
+        {
+          seed;
+          cases = task.t_n;
+          max_stages = cfg.budget.Oracle.Diff.max_stages;
+          family = Shard.family_name task.t_family;
+          from_case = task.t_lo;
+        }
+    in
+    (* the whole exchange retries — reconnect included — because the
+       daemon's digest-keyed result cache makes resubmission idempotent;
+       backoff stays under the lease so heartbeats keep the lease alive *)
+    Serve.Client.with_retry ~socket
+      ~deadline_s:(Float.max 10. (4. *. cfg.lease_s))
+      ~base_s:0.02
+      ~cap_s:(Float.max 0.05 (cfg.lease_s /. 8.))
+      ~seed:(seed + task.t_lo)
+      (fun conn ->
+        match Serve.Client.submit conn spec with
+        | Error _ as e -> e
+        | Ok id ->
+            let rec poll () =
+              heartbeat sid;
+              if FP.fire "campaign.sock" then Error "injected socket drop"
+              else
+                match
+                  Serve.Client.wait conn
+                    ~timeout_s:(Float.max 0.05 (cfg.lease_s /. 4.))
+                    id
+                with
+                | Error _ as e -> e
+                | Ok reply -> (
+                    match Serve.Client.job_of_reply reply with
+                    | Error _ as e -> e
+                    | Ok j -> (
+                        match J.mem_str "state" j with
+                        | Some "done" -> (
+                            match J.member "result" j with
+                            | None -> Error "done job without result"
+                            | Some r ->
+                                Result.map
+                                  (fun (o : Shard.outcome) ->
+                                    { o with Shard.o_seed = seed })
+                                  (outcome_of_result task r))
+                        | Some "faulted" ->
+                            Error
+                              (Option.value ~default:"job faulted"
+                                 (J.mem_str "error" j))
+                        | Some "cancelled" -> Error "job cancelled"
+                        | _ ->
+                            if J.mem_bool "draining" reply = Some true then
+                              Error "daemon draining"
+                            else poll ()))
+            in
+            poll ())
+  in
+
+  let worker () =
+    let rec go () =
+      Mutex.lock mu;
+      while Queue.is_empty work && not !wstop do
+        Condition.wait cond mu
+      done;
+      if !wstop then Mutex.unlock mu (* abandon queued work: crash semantics *)
+      else begin
+        let task = Queue.pop work in
+        Mutex.unlock mu;
+        let result =
+          match cfg.mode with
+          | Pool -> run_local task
+          | Daemon { socket } -> run_remote socket task
+        in
+        (* chaos: a vanishing worker computed the shard, then dropped the
+           completion on the floor — only lease expiry can recover it *)
+        let vanish =
+          match result with Ok _ -> FP.fire "campaign.vanish" | Error _ -> false
+        in
+        if not vanish then begin
+          Mutex.lock mu;
+          Queue.add { d_task = task; d_result = result } dones;
+          Mutex.unlock mu
+        end;
+        go ()
+      end
+    in
+    go ()
+  in
+
+  (* supervisor-side accounting *)
+  let reclaimed = ref 0 and retried = ref 0 and append_errors = ref 0 in
+  let completes_this_run = ref 0 in
+  let interrupted = ref false in
+  let jst = jitter_state seed in
+  let append r =
+    match Ledger.append ledger r with
+    | Ok () -> ()
+    | Error e ->
+        incr append_errors;
+        logf "ledger append: %s" e
+  in
+
+  let quarantine task err =
+    let sid = sid_of task in
+    let rec probe case =
+      if case >= task.t_lo + task.t_n then None
+      else
+        match Shard.try_case ~budget:cfg.budget task.t_family ~seed ~case with
+        | Ok () -> probe (case + 1)
+        | Error e -> Some (case, e)
+    in
+    let poison_case, desc =
+      match probe task.t_lo with
+      | Some (case, e) ->
+          ( Some case,
+            (Printf.sprintf "case %d: %s" case e)
+            :: Shard.minimize ~budget:cfg.budget task.t_family ~seed ~case )
+      | None ->
+          ( None,
+            [
+              Printf.sprintf
+                "failed %d attempts (last: %s); probes clean — injected \
+                 faults or environment"
+                cfg.max_attempts err;
+            ] )
+    in
+    Hashtbl.replace quarantined sid (poison_case, desc);
+    append
+      (Ledger.Quarantine { sid; attempts = cfg.max_attempts; poison_case; desc });
+    logf "quarantined %s" sid
+  in
+
+  let retry_or_quarantine task err =
+    let sid = sid_of task in
+    let n = failures sid in
+    if n >= cfg.max_attempts then quarantine task err
+    else begin
+      incr retried;
+      let back =
+        Float.min cfg.backoff_cap_s
+          (cfg.backoff_base_s *. (2. ** float_of_int (n - 1)))
+      in
+      let delay = back *. (0.5 +. (0.5 *. jitter_next jst)) in
+      delayed :=
+        (now_s () +. delay, { task with t_attempt = n + 1 }) :: !delayed
+    end
+  in
+
+  let process_done d =
+    let sid = sid_of d.d_task in
+    Mutex.lock mu;
+    Hashtbl.remove leases sid;
+    Mutex.unlock mu;
+    match d.d_result with
+    | Ok outcome ->
+        if not (Hashtbl.mem completed sid) then begin
+          Hashtbl.add completed sid outcome;
+          append
+            (Ledger.Complete { sid; attempt = d.d_task.t_attempt; outcome });
+          incr completes_this_run
+        end
+    | Error e ->
+        Hashtbl.replace attempts sid (failures sid + 1);
+        append (Ledger.Fail { sid; attempt = d.d_task.t_attempt; error = e });
+        logf "%s attempt %d failed: %s" sid d.d_task.t_attempt e;
+        retry_or_quarantine d.d_task e
+  in
+
+  let sweep_leases () =
+    let now = now_s () in
+    Mutex.lock mu;
+    let expired =
+      Hashtbl.fold
+        (fun sid l acc -> if now > l.l_deadline then (sid, l) :: acc else acc)
+        leases []
+    in
+    List.iter (fun (sid, _) -> Hashtbl.remove leases sid) expired;
+    Mutex.unlock mu;
+    List.iter
+      (fun (sid, (l : lease)) ->
+        incr reclaimed;
+        append
+          (Ledger.Reclaim
+             { sid; attempt = l.l_attempt; reason = "lease expired" });
+        Hashtbl.replace attempts sid (failures sid + 1);
+        logf "reclaimed expired lease %s" sid;
+        match
+          List.find_opt
+            (fun (f, lo, _) -> Ledger.sid f ~seed ~lo = sid)
+            plan
+        with
+        | Some (f, lo, n) ->
+            retry_or_quarantine
+              { t_family = f; t_lo = lo; t_n = n; t_attempt = l.l_attempt }
+              "lease expired"
+        | None -> ())
+      expired
+  in
+
+  let faults_inflight () =
+    Hashtbl.fold
+      (fun sid _ acc ->
+        acc
+        ||
+        match Ledger.parse_sid sid with
+        | Some (Shard.Faults, _, _) -> true
+        | _ -> false)
+      leases false
+  in
+
+  let dispatch () =
+    let now = now_s () in
+    let ready, still = List.partition (fun (t, _) -> t <= now) !delayed in
+    delayed := still;
+    pending := !pending @ List.map snd ready;
+    let continue = ref true in
+    while !continue do
+      Mutex.lock mu;
+      let inflight = Hashtbl.length leases in
+      let faults_busy = faults_inflight () in
+      Mutex.unlock mu;
+      if inflight >= cfg.jobs then continue := false
+      else begin
+        (* faults shards own the process-global failpoint registry, so
+           they run strictly alone: dispatched only into an idle pool,
+           and nothing else dispatches while one is leased *)
+        let dispatchable t =
+          match t.t_family with
+          | Shard.Faults -> inflight = 0
+          | _ -> not faults_busy
+        in
+        match List.find_opt dispatchable !pending with
+        | None -> continue := false
+        | Some task ->
+            pending := List.filter (fun t -> t != task) !pending;
+            let sid = sid_of task in
+            let deadline = now_s () +. cfg.lease_s in
+            Mutex.lock mu;
+            Hashtbl.replace leases sid
+              { l_deadline = deadline; l_attempt = task.t_attempt };
+            Queue.add task work;
+            Condition.signal cond;
+            Mutex.unlock mu;
+            append
+              (Ledger.Lease
+                 {
+                   sid;
+                   attempt = task.t_attempt;
+                   worker =
+                     (match cfg.mode with
+                     | Pool -> "pool"
+                     | Daemon _ -> "daemon");
+                   deadline_s = deadline;
+                 })
+      end
+    done
+  in
+
+  let total = List.length plan in
+  let finished () = Hashtbl.length completed + Hashtbl.length quarantined in
+  let domains = List.init (max 1 cfg.jobs) (fun _ -> Domain.spawn worker) in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock mu;
+      wstop := true;
+      Condition.broadcast cond;
+      Mutex.unlock mu;
+      List.iter Domain.join domains)
+    (fun () ->
+      let running = ref true in
+      while !running do
+        (* drain completions; an abort mid-drain drops the rest, exactly
+           as a crash would *)
+        Mutex.lock mu;
+        let ds = ref [] in
+        while not (Queue.is_empty dones) do
+          ds := Queue.pop dones :: !ds
+        done;
+        Mutex.unlock mu;
+        List.iter
+          (fun d ->
+            if !running then begin
+              process_done d;
+              match stop_after_completes with
+              | Some k when !completes_this_run >= k ->
+                  interrupted := true;
+                  running := false
+              | _ -> ()
+            end)
+          (List.rev !ds);
+        if !running && cfg.should_stop () then begin
+          interrupted := true;
+          running := false
+        end;
+        if !running then begin
+          sweep_leases ();
+          dispatch ();
+          if finished () >= total then running := false
+          else Unix.sleepf 0.004
+        end
+      done);
+
+  (* summary over the full (replayed + this-run) state *)
+  let coverage =
+    List.filter_map
+      (fun f ->
+        if List.mem f header.Ledger.h_families then
+          Some
+            ( Shard.family_name f,
+              Hashtbl.fold
+                (fun _ (o : Shard.outcome) acc ->
+                  if o.Shard.o_family = f then
+                    Shard.counters_add acc o.Shard.o_counters
+                  else acc)
+                completed [] )
+        else None)
+      Shard.all_families
+  in
+  let corpus =
+    let from_completed =
+      Hashtbl.fold
+        (fun _ (o : Shard.outcome) acc ->
+          List.map (fun e -> (Shard.family_name o.Shard.o_family, e)) o.Shard.o_corpus
+          @ acc)
+        completed []
+    in
+    let from_quarantine =
+      Hashtbl.fold
+        (fun sid (poison, desc) acc ->
+          match Ledger.parse_sid sid with
+          | Some (f, _, lo) ->
+              ( Shard.family_name f,
+                {
+                  Shard.e_case = Option.value ~default:lo poison;
+                  e_kind = "quarantine";
+                  e_desc = desc;
+                } )
+              :: acc
+          | None -> acc)
+        quarantined []
+    in
+    List.sort
+      (fun (fa, (a : Shard.entry)) (fb, b) ->
+        compare (fa, a.Shard.e_case, a.Shard.e_kind) (fb, b.Shard.e_case, b.Shard.e_kind))
+      (from_completed @ from_quarantine)
+  in
+  match Ledger.account ledger with
+  | Error e -> Error e
+  | Ok acct ->
+      Ok
+        {
+          s_coverage = coverage;
+          s_corpus = corpus;
+          s_shards = total;
+          s_completed = Hashtbl.length completed;
+          s_quarantined = Hashtbl.length quarantined;
+          s_reclaimed = !reclaimed;
+          s_retried = !retried;
+          s_append_errors = !append_errors;
+          s_interrupted = !interrupted;
+          s_accounting = acct;
+        }
+
+let run ?(resume = false) ?stop_after_completes (cfg : config) =
+  let header =
+    {
+      Ledger.h_families = cfg.families;
+      h_seed = cfg.seed;
+      h_cases = cfg.cases;
+      h_shard_cases = cfg.shard_cases;
+      h_max_attempts = cfg.max_attempts;
+    }
+  in
+  if cfg.families = [] then Error "no families configured"
+  else if cfg.cases <= 0 || cfg.shard_cases <= 0 then
+    Error "cases and shard_cases must be positive"
+  else if List.mem Shard.Faults cfg.families && FP.active () then
+    (* the faults oracle reconfigures the registry the chaos ladder is
+       using; running both would corrupt either's schedule *)
+    Error "faults family cannot run while failpoints are armed"
+  else if
+    List.mem Shard.Faults cfg.families
+    && match cfg.mode with Daemon _ -> true | Pool -> false
+  then Error "faults family cannot run in daemon mode"
+  else if resume then
+    match Ledger.load ~path:cfg.ledger_path with
+    | Error e -> Error e
+    | Ok ledger -> (
+        match Ledger.replay ledger with
+        | Error e -> Error e
+        | Ok rp ->
+            if rp.Ledger.rp_header <> header then
+              Error
+                (Format.asprintf
+                   "ledger header does not match the configured campaign@.  \
+                    ledger:     %a@.  configured: %a"
+                   Ledger.pp_header rp.Ledger.rp_header Ledger.pp_header
+                   header)
+            else exec cfg ledger rp ~stop_after_completes)
+  else
+    match Ledger.create ~path:cfg.ledger_path header with
+    | Error e -> Error e
+    | Ok ledger ->
+        exec cfg ledger
+          {
+            Ledger.rp_header = header;
+            rp_completed = [];
+            rp_attempts = [];
+            rp_quarantined = [];
+            rp_duplicated = 0;
+          }
+          ~stop_after_completes

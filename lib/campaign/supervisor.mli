@@ -1,0 +1,81 @@
+(** The crash-tolerant campaign supervisor.
+
+    Splits a seeded oracle campaign into seed-range shards
+    ({!Oracle.Shard}), tracks every shard event in the durable
+    {!Ledger}, leases shards to workers with deadlines refreshed by a
+    per-case heartbeat, reclaims expired leases (a killed or vanished
+    worker), retries failed shards with capped jittered exponential
+    backoff, and after [max_attempts] failures quarantines a poison
+    shard — probing its cases individually and shrinking a reproducible
+    crasher via {!Oracle.Shard.minimize} — instead of retrying forever.
+
+    One supervisor thread is the ledger's single writer; workers (pool
+    domains, or daemon connections in [Daemon] mode) never touch it.
+    [run ~resume:true] replays the ledger and continues with per-family
+    coverage counters intact; determinism of shards in
+    [(family, seed, range)] plus replay's first-complete-wins makes
+    every shard count {e exactly once in effect} no matter how often
+    faults force re-execution. *)
+
+(** Where shards execute: on in-process domains, or as audit jobs
+    submitted to a redspiderd socket (so one campaign can span daemon
+    restarts and processes).  Daemon shards run under the daemon's
+    default element/fact budgets — keep [budget] at the default (with
+    any [max_stages]) when comparing coverage across modes. *)
+type mode = Pool | Daemon of { socket : string }
+
+type config = {
+  ledger_path : string;
+  families : Oracle.Shard.family list;
+  seed : int;
+  cases : int;  (** per family *)
+  shard_cases : int;
+  budget : Oracle.Diff.budget;
+  jobs : int;  (** worker domains / daemon connections *)
+  mode : mode;
+  lease_s : float;  (** lease deadline; refreshed per completed case *)
+  max_attempts : int;  (** K failures before quarantine *)
+  backoff_base_s : float;
+  backoff_cap_s : float;
+  should_stop : unit -> bool;  (** polled between rounds; SIGINT hook *)
+  log : bool;
+}
+
+val default_config : ledger:string -> config
+
+type summary = {
+  s_coverage : (string * (string * int) list) list;
+      (** per-family summed coverage counters, canonically sorted *)
+  s_corpus : (string * Oracle.Shard.entry) list;
+      (** the counterexample corpus: violations, corruptions and
+          quarantine records, canonically sorted *)
+  s_shards : int;
+  s_completed : int;
+  s_quarantined : int;
+  s_reclaimed : int;  (** expired leases, this run *)
+  s_retried : int;  (** re-dispatches after failures, this run *)
+  s_append_errors : int;  (** ledger appends that failed (torn) this run *)
+  s_interrupted : bool;  (** stopped before every shard resolved *)
+  s_accounting : Ledger.accounting;
+}
+
+(** The canonical byte rendering of coverage + corpus — exactly the
+    part that must be bit-identical between an uninterrupted run and
+    any interrupted/resumed/fault-ridden schedule of the same
+    campaign.  Scheduling noise (retries, reclaims) is excluded. *)
+val canonical : summary -> string
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Run (or, with [resume], continue) the campaign.  Refuses a faults
+    family when failpoints are armed or in daemon mode (that family
+    owns the process-global registry, so it also runs strictly alone
+    within the pool).  [stop_after_completes] aborts the run after
+    processing that many completions — dropping whatever else is in
+    flight, exactly as a crash would — and is how tests and the chaos
+    gate simulate interruption. *)
+val run :
+  ?resume:bool ->
+  ?stop_after_completes:int ->
+  config ->
+  (summary, string) result

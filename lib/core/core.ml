@@ -22,6 +22,7 @@
      Oracle       differential-testing and invariant-audit harness
      Resilience   resource governor, checkpoint/resume, failpoints
      Serve        redspiderd: the preemptive job daemon + client
+     Campaign     crash-tolerant sharded oracle campaigns + chaos gate
      Obs          monotonic clock, metrics registry, span tracing *)
 
 module Obs = Obs
@@ -41,6 +42,7 @@ module Determinacy = Determinacy
 module Ef = Ef
 module Oracle = Oracle
 module Serve = Serve
+module Campaign = Campaign
 
 (* --- the paper's headline statements, as runnable functions ----------- *)
 

@@ -414,12 +414,13 @@ let pp_instance ppf (inst : Gen.instance) =
     (Fmt.list ~sep:(Fmt.any ";@ ") Tgd.Dep.pp)
     inst.Gen.deps
 
-let run_cases ?(budget = default_budget) ?fold ~seed ~cases () =
+let run_cases ?(budget = default_budget) ?fold ?(from_case = 0) ~seed ~cases ()
+    =
   let engine_runs = ref 0 in
   let budget_exceeded = ref 0 in
   let incomparable = ref 0 in
   let all_violations = ref [] in
-  for case = 0 to cases - 1 do
+  for case = from_case to from_case + cases - 1 do
     let r = Gen.case_rng ~seed ~case in
     let violations = ref [] in
     (* 1. generated instance: audit the seed structure itself *)

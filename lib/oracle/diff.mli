@@ -121,13 +121,18 @@ type report = {
       (** failing cases: (case index, shrunk violation descriptions) *)
 }
 
-(** Run [cases] generated cases from [seed]: per case, a seed-structure
-    audit, the five-run TGD differential (shrunk on failure), the CQ
-    cross-checks and a green-graph differential.  Deterministic: case [i]
-    depends only on [(seed, i)]. *)
+(** Run [cases] generated cases from [seed], starting at absolute case
+    index [from_case] (default 0): per case, a seed-structure audit, the
+    five-run TGD differential (shrunk on failure), the CQ cross-checks
+    and a green-graph differential.  Deterministic: case [i] depends
+    only on [(seed, i)] — never on other cases — so the range
+    [[from_case, from_case+cases)] is a {e shard} whose report does not
+    depend on how the remaining cases are split or ordered (the
+    property campaign sharding relies on). *)
 val run_cases :
   ?budget:budget ->
   ?fold:(Cq.Query.t -> Cq.Query.t option) ->
+  ?from_case:int ->
   seed:int ->
   cases:int ->
   unit ->

@@ -170,8 +170,8 @@ let checkpoint_file_pass ~spec ~seed inst =
                     finish
                       (Error ("failed save corrupted the previous file: " ^ e)))))
 
-let run_campaign ?(budget = Diff.default_budget) ?(spec = default_spec) ~seed
-    ~cases () =
+let run_campaign ?(budget = Diff.default_budget) ?(spec = default_spec)
+    ?(from_case = 0) ~seed ~cases () =
   let injected = ref 0 in
   let recovered = ref 0 in
   let faulted = ref 0 in
@@ -191,7 +191,7 @@ let run_campaign ?(budget = Diff.default_budget) ?(spec = default_spec) ~seed
       FP.clear ();
       Obs.set_metrics metrics_was)
     (fun () ->
-      for case = 0 to cases - 1 do
+      for case = from_case to from_case + cases - 1 do
         let r = Gen.case_rng ~seed ~case in
         let inst = Gen.instance r in
         (* 1. un-faulted baseline *)

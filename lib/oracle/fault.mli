@@ -35,11 +35,23 @@ type report = {
 
 val default_spec : string
 
-(** Run the campaign.  Deterministic in [(seed, case, spec)]: the
-    failpoint RNG for each case is derived from the campaign seed.
+(** Run the campaign over cases [[from_case, from_case+cases)] (default
+    [from_case = 0]).  Deterministic in [(seed, case, spec)]: the
+    failpoint RNG for each case is derived from the campaign seed and
+    the {e absolute} case index, so a shard reproduces exactly the
+    faults the same range would see in a single monolithic run.
     Temporarily enables the metrics switch (to count retries/degrades)
-    and always clears the failpoint registry on exit. *)
+    and always clears the failpoint registry on exit.  Because the run
+    reconfigures the process-global failpoint registry per case, shards
+    of this family must never run concurrently with any other oracle
+    work in the same process — {!Shard} serializes them. *)
 val run_campaign :
-  ?budget:Diff.budget -> ?spec:string -> seed:int -> cases:int -> unit -> report
+  ?budget:Diff.budget ->
+  ?spec:string ->
+  ?from_case:int ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  report
 
 val pp_report : Format.formatter -> report -> unit

@@ -230,10 +230,10 @@ let graph_case r violations counters =
 
 (* --- the campaign ------------------------------------------------------- *)
 
-let run_cases ~seed ~cases () =
+let run_cases ?(from_case = 0) ~seed ~cases () =
   let scripts = ref 0 and edits = ref 0 and incomparable = ref 0 in
   let all_violations = ref [] in
-  for case = 0 to cases - 1 do
+  for case = from_case to from_case + cases - 1 do
     let r = Gen.case_rng ~seed ~case in
     let violations = ref [] in
     let engine = if case mod 2 = 0 then `Seminaive else `Par in

@@ -17,7 +17,10 @@ type report = {
       (** failing cases: (case index, violation descriptions) *)
 }
 
-(** Deterministic: case [i] depends only on [(seed, i)]. *)
-val run_cases : seed:int -> cases:int -> unit -> report
+(** Deterministic: case [i] depends only on [(seed, i)], so the range
+    [[from_case, from_case+cases)] (default [from_case = 0]) is a shard
+    whose report is independent of how the rest of the campaign is
+    split — the property campaign sharding relies on. *)
+val run_cases : ?from_case:int -> seed:int -> cases:int -> unit -> report
 
 val pp_report : Format.formatter -> report -> unit

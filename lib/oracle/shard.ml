@@ -1,0 +1,174 @@
+(* The shared shard runner: one seed-range slice of an oracle campaign,
+   executed case by case so a supervisor can heartbeat between cases.
+   Everything here is plain data — no JSON — because both lib/campaign
+   (ledger records) and lib/serve (job results) consume shards and each
+   owns its own encoding. *)
+
+module FP = Resilience.Failpoint
+
+type family = Audit | Faults | Incr
+
+let all_families = [ Audit; Faults; Incr ]
+
+let family_name = function
+  | Audit -> "audit"
+  | Faults -> "faults"
+  | Incr -> "incr"
+
+let family_of_name = function
+  | "audit" -> Some Audit
+  | "faults" -> Some Faults
+  | "incr" -> Some Incr
+  | _ -> None
+
+type entry = { e_case : int; e_kind : string; e_desc : string list }
+
+type outcome = {
+  o_family : family;
+  o_seed : int;
+  o_lo : int;
+  o_n : int;
+  o_counters : (string * int) list;
+  o_corpus : entry list;
+}
+
+let sort_counters cs = List.sort (fun (a, _) (b, _) -> compare a b) cs
+
+let sort_corpus es =
+  List.sort
+    (fun a b -> compare (a.e_case, a.e_kind) (b.e_case, b.e_kind))
+    es
+
+let counters_add a b =
+  let bump acc (k, v) =
+    match List.assoc_opt k acc with
+    | Some v0 -> (k, v0 + v) :: List.remove_assoc k acc
+    | None -> (k, v) :: acc
+  in
+  sort_counters (List.fold_left bump a b)
+
+let entries_of_violations kind vs =
+  List.map (fun (case, desc) -> { e_case = case; e_kind = kind; e_desc = desc }) vs
+
+(* [Fault.run_campaign] owns the process-global failpoint registry and
+   reads global metric deltas, so two faults shards interleaving would
+   scramble each other's fault schedules.  This lock serializes them
+   against each other; keeping them exclusive of *all* concurrent
+   oracle work in the process (an armed registry perturbs even plain
+   audit shards running `Par engines) is the supervisor's job. *)
+let faults_lock = Mutex.create ()
+
+let case_results ?(budget = Diff.default_budget) family ~seed ~case =
+  match family with
+  | Audit ->
+      let r = Diff.run_cases ~budget ~from_case:case ~seed ~cases:1 () in
+      ( [
+          ("budget_exceeded", r.Diff.budget_exceeded);
+          ("cases", 1);
+          ("engine_runs", r.Diff.engine_runs);
+          ("incomparable", r.Diff.incomparable);
+          ("violations", List.length r.Diff.violations);
+        ],
+        entries_of_violations "violation" r.Diff.violations )
+  | Incr ->
+      let r = Incr.run_cases ~from_case:case ~seed ~cases:1 () in
+      ( [
+          ("cases", 1);
+          ("edits", r.Incr.edits);
+          ("incomparable", r.Incr.incomparable);
+          ("scripts", r.Incr.scripts);
+          ("violations", List.length r.Incr.violations);
+        ],
+        entries_of_violations "violation" r.Incr.violations )
+  | Faults ->
+      Mutex.lock faults_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock faults_lock)
+        (fun () ->
+          let r = Fault.run_campaign ~budget ~from_case:case ~seed ~cases:1 () in
+          (* retried/degraded are deltas of process-global metrics and
+             are perturbed by unrelated concurrent work, so they are
+             not per-case deterministic and stay out of the coverage
+             counters that must be bit-identical across schedules. *)
+          ( [
+              ("cases", 1);
+              ("checkpoint_roundtrips", r.Fault.checkpoint_roundtrips);
+              ("checkpoint_saves", r.Fault.checkpoint_saves);
+              ("checkpoint_write_faults", r.Fault.checkpoint_write_faults);
+              ("corruptions", List.length r.Fault.corruptions);
+              ("faulted", r.Fault.faulted);
+              ("injected", r.Fault.injected);
+              ("recovered", r.Fault.recovered);
+            ],
+            List.map
+              (fun (case, msg) ->
+                { e_case = case; e_kind = "corruption"; e_desc = [ msg ] })
+              r.Fault.corruptions ))
+
+let run_case ?budget family ~seed ~case =
+  (* chaos probe: an armed ["shard.case"] kills the worker right here,
+     before the case runs — the mid-shard crash of the chaos ladder *)
+  FP.hit "shard.case";
+  case_results ?budget family ~seed ~case
+
+let run ?budget ?on_case family ~seed ~lo ~n =
+  let counters = ref [] and corpus = ref [] in
+  for case = lo to lo + n - 1 do
+    let cs, es = run_case ?budget family ~seed ~case in
+    counters := counters_add !counters cs;
+    corpus := es @ !corpus;
+    match on_case with Some f -> f case | None -> ()
+  done;
+  {
+    o_family = family;
+    o_seed = seed;
+    o_lo = lo;
+    o_n = n;
+    o_counters = sort_counters !counters;
+    o_corpus = sort_corpus !corpus;
+  }
+
+let try_case ?budget family ~seed ~case =
+  (* no ["shard.case"] probe: quarantine probing must see the shard's
+     own behaviour, not the chaos ladder's *)
+  match case_results ?budget family ~seed ~case with
+  | _ -> Ok ()
+  | exception e -> Error (Printexc.to_string e)
+
+let instance_desc (inst : Gen.instance) =
+  let open Relational in
+  Fmt.str "signature: %a"
+    (Fmt.list ~sep:Fmt.comma Symbol.pp_short)
+    inst.Gen.signature
+  :: Fmt.str "elems: %d, consts: %a" inst.Gen.n_elems
+       (Fmt.list ~sep:Fmt.comma Fmt.string)
+       inst.Gen.consts
+  :: List.map (fun f -> Fmt.str "fact: %a" (Fact.pp ()) f) inst.Gen.facts
+  @ List.map (fun d -> Fmt.str "dep: %a" Tgd.Dep.pp d) inst.Gen.deps
+
+let minimize ?(budget = Diff.default_budget) family ~seed ~case =
+  let raises f =
+    match f () with () -> false | exception _ -> true
+  in
+  match family with
+  | Audit ->
+      let inst = Gen.instance (Gen.case_rng ~seed ~case) in
+      let crashes i = raises (fun () -> ignore (Diff.diff_tgd budget i)) in
+      if crashes inst then
+        "shrunk crashing instance:"
+        :: instance_desc (Gen.shrink Gen.shrink_instance crashes inst)
+      else [ "not reproducible without injected faults" ]
+  | Incr | Faults -> [ "not minimized (only audit instances shrink)" ]
+
+let pp_family ppf f = Fmt.string ppf (family_name f)
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "@[<v>%a shard seed %d cases [%d, %d): %a%a@]" pp_family
+    o.o_family o.o_seed o.o_lo (o.o_lo + o.o_n)
+    (Fmt.list ~sep:Fmt.comma (fun ppf (k, v) -> Fmt.pf ppf "%s=%d" k v))
+    o.o_counters
+    (Fmt.list ~sep:Fmt.nop (fun ppf e ->
+         Fmt.pf ppf "@,%s case %d: %a" e.e_kind e.e_case
+           (Fmt.list ~sep:Fmt.sp Fmt.string)
+           e.e_desc))
+    o.o_corpus

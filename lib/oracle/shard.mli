@@ -1,0 +1,85 @@
+(** The shared shard runner for sharded oracle campaigns.
+
+    A {e shard} is a contiguous seed-range slice
+    [[lo, lo+n)] of one oracle family's case space.  Because every
+    family's case [i] depends only on [(seed, i)], a shard's outcome is
+    independent of how the rest of the campaign is split, ordered or
+    scheduled; summing shard counters therefore reproduces the
+    monolithic run bit-for-bit.  That invariance is what lets a
+    campaign supervisor re-run a shard after a crash, a vanished worker
+    or an expired lease and still account every case {e exactly once in
+    effect}.
+
+    Outcomes are plain data — no JSON — because both [lib/campaign]
+    (ledger records) and [lib/serve] (job results) consume shards, each
+    with its own encoding. *)
+
+(** The three campaignable oracle families. *)
+type family = Audit | Faults | Incr
+
+val all_families : family list
+val family_name : family -> string
+val family_of_name : string -> family option
+
+(** A counterexample-corpus entry: the absolute case index, the entry
+    kind (["violation"], ["corruption"] or ["quarantine"]) and its
+    (already shrunk, where the family shrinks) description lines. *)
+type entry = { e_case : int; e_kind : string; e_desc : string list }
+
+(** A completed shard: canonical counters (sorted by name) and corpus
+    entries (sorted by case then kind), so equal coverage compares as
+    structural equality. *)
+type outcome = {
+  o_family : family;
+  o_seed : int;
+  o_lo : int;
+  o_n : int;
+  o_counters : (string * int) list;
+  o_corpus : entry list;
+}
+
+(** Pointwise sum of two canonical counter lists, canonically sorted. *)
+val counters_add :
+  (string * int) list -> (string * int) list -> (string * int) list
+
+val sort_corpus : entry list -> entry list
+
+(** Run one case.  Probes the ["shard.case"] failpoint first — the
+    chaos ladder's kill-worker-mid-shard site — then dispatches on the
+    family.  [Faults] cases serialize behind a module-global lock
+    (they reconfigure the process-global failpoint registry); keeping
+    them exclusive of all other concurrent oracle work is the
+    caller's job.  @raise Resilience.Failpoint.Injected under chaos. *)
+val run_case :
+  ?budget:Diff.budget ->
+  family ->
+  seed:int ->
+  case:int ->
+  (string * int) list * entry list
+
+(** Run the whole shard, invoking [on_case] after each completed case —
+    the campaign supervisor's lease heartbeat. *)
+val run :
+  ?budget:Diff.budget ->
+  ?on_case:(int -> unit) ->
+  family ->
+  seed:int ->
+  lo:int ->
+  n:int ->
+  outcome
+
+(** Quarantine probe: run one case with no ["shard.case"] probe,
+    catching any escaping exception.  [Ok ()] means the case is clean —
+    the shard's earlier failures were injected or environmental. *)
+val try_case :
+  ?budget:Diff.budget -> family -> seed:int -> case:int -> (unit, string) result
+
+(** Minimize a reproducibly crashing case for the quarantine corpus:
+    for [Audit], greedily shrink the generated instance with
+    {!Gen.shrink} under the predicate "the differential still raises"
+    and describe the shrunk instance; other families (and
+    non-reproducible cases) get a one-line explanation instead. *)
+val minimize : ?budget:Diff.budget -> family -> seed:int -> case:int -> string list
+
+val pp_family : Format.formatter -> family -> unit
+val pp_outcome : Format.formatter -> outcome -> unit

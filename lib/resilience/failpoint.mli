@@ -11,7 +11,19 @@
     - ["arena.grow"]: the fact arena's growth path fails, surfacing as a
       [Faulted] outcome;
     - ["checkpoint.write"]: a checkpoint write dies mid-payload before
-      the atomic rename, leaving the previous checkpoint intact. *)
+      the atomic rename, leaving the previous checkpoint intact;
+    - ["shard.case"]: an oracle shard worker dies at the start of a
+      case ([Oracle.Shard.run] propagates it; the campaign supervisor
+      reclaims the lease and retries the shard);
+    - ["campaign.vanish"]: a campaign worker finishes a shard but its
+      completion is silently dropped — only lease expiry recovers it;
+    - ["campaign.ledger"]: a campaign ledger append is torn mid-record
+      (recovery skips the bad trailing line; the next successful append
+      republishes it);
+    - ["campaign.sock"]: the daemon-mode campaign poll loop loses its
+      socket mid-wait and must reconnect;
+    - ["client.connect"]: a [Serve.Client] connection attempt fails,
+      exercising the jittered connect/request retry path. *)
 
 exception Injected of string
 (** Raised at a faulting site; the payload is the site name. *)

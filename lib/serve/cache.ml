@@ -121,6 +121,11 @@ let inflight t = Hashtbl.length t.inflight
    duplicates it answers. *)
 let find_entry t key = Hashtbl.find_opt t.tbl key
 
+(* Membership without accounting, for the recovery sweep of the
+   persistent segment: a [.res] file whose key is not resident after
+   [create] reloaded the segment is an orphan. *)
+let mem t key = Hashtbl.mem t.tbl key
+
 let evict_to_capacity t =
   while Hashtbl.length t.tbl > t.capacity do
     let victim =

@@ -6,6 +6,10 @@
 type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
 let connect ?tcp ~socket () =
+  if Resilience.Failpoint.fire "client.connect" then
+    (* chaos ladder: a connect that fails as if the daemon were down *)
+    Error "connect: injected fault"
+  else
   match
     let fd =
       match tcp with
@@ -33,6 +37,90 @@ let connect ?tcp ~socket () =
   | exception Not_found -> Error "connect: host not found"
 
 let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+(* --- retry with jittered exponential backoff ---------------------------- *)
+
+(* Private jitter stream (splitmix64, as everywhere in the repo) so
+   retries desynchronize across clients without touching any global
+   RNG; a caller-provided seed makes tests deterministic. *)
+let jitter_state seed =
+  match seed with
+  | Some s -> ref (Int64.of_int s)
+  | None ->
+      ref
+        (Int64.logxor
+           (Int64.of_float (Unix.gettimeofday () *. 1e6))
+           (Int64.of_int (Unix.getpid () * 0x9e37)))
+
+let jitter_next st =
+  let open Int64 in
+  st := add !st 0x9e3779b97f4a7c15L;
+  let z = mul (logxor !st (shift_right_logical !st 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  to_float (shift_right_logical (logxor z (shift_right_logical z 31)) 11)
+  /. 9007199254740992.
+
+let backoff_s ~base_s ~cap_s st attempt =
+  let full = Float.min cap_s (base_s *. (2. ** float_of_int (attempt - 1))) in
+  full *. (0.5 +. (0.5 *. jitter_next st))
+
+(* Connect, retrying refused/failed attempts with capped jittered
+   exponential backoff until the overall deadline — a client racing a
+   daemon restart waits out the gap instead of failing on the first
+   [ECONNREFUSED]. *)
+let connect_retry ?tcp ?(deadline_s = 10.) ?(base_s = 0.05) ?(cap_s = 1.0)
+    ?seed ~socket () =
+  let st = jitter_state seed in
+  let t0 = Obs.Clock.now_s () in
+  let rec go attempt =
+    match connect ?tcp ~socket () with
+    | Ok _ as ok -> ok
+    | Error e ->
+        let elapsed = Obs.Clock.now_s () -. t0 in
+        if elapsed >= deadline_s then
+          Error
+            (Printf.sprintf "%s (gave up after %d attempts in %.2fs)" e attempt
+               elapsed)
+        else begin
+          Unix.sleepf
+            (Float.min (backoff_s ~base_s ~cap_s st attempt)
+               (Float.max 0.001 (deadline_s -. elapsed)));
+          go (attempt + 1)
+        end
+  in
+  go 1
+
+(* Run [f] over a fresh connection, retrying the whole exchange —
+   reconnect included — on any error until the overall deadline.  [f]
+   must be idempotent; the daemon ops are (submit is deduplicated by
+   the digest-keyed result cache, status/wait are reads), which is what
+   makes blind re-issue after a dropped socket safe. *)
+let with_retry ?tcp ?(deadline_s = 10.) ?(base_s = 0.05) ?(cap_s = 1.0) ?seed
+    ~socket f =
+  let st = jitter_state seed in
+  let t0 = Obs.Clock.now_s () in
+  let rec go attempt =
+    let outcome =
+      match connect ?tcp ~socket () with
+      | Error _ as e -> e
+      | Ok conn -> Fun.protect ~finally:(fun () -> close conn) (fun () -> f conn)
+    in
+    match outcome with
+    | Ok _ as ok -> ok
+    | Error e ->
+        let elapsed = Obs.Clock.now_s () -. t0 in
+        if elapsed >= deadline_s then
+          Error
+            (Printf.sprintf "%s (gave up after %d attempts in %.2fs)" e attempt
+               elapsed)
+        else begin
+          Unix.sleepf
+            (Float.min (backoff_s ~base_s ~cap_s st attempt)
+               (Float.max 0.001 (deadline_s -. elapsed)));
+          go (attempt + 1)
+        end
+  in
+  go 1
 
 let request conn (req : Json.t) =
   match

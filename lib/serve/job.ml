@@ -40,7 +40,13 @@ type spec =
       engine : engine;
     }
   | Worm of { machine : string; steps : int }
-  | Audit of { seed : int; cases : int; max_stages : int }
+  | Audit of {
+      seed : int;
+      cases : int;
+      max_stages : int;
+      family : string; (* an Oracle.Shard family name; "audit" default *)
+      from_case : int; (* shard offset: cases [from_case, from_case+cases) *)
+    }
   | Mutate of {
       instance : string; (* daemon-held maintained instance, by name *)
       views : (string * string) list; (* its definition, used on first touch *)
@@ -185,8 +191,17 @@ let validate spec =
           (Printf.sprintf "unknown machine %s (try: %s)" machine
              (String.concat ", " (List.map fst Zoo_table.machines)))
       else Ok ()
-  | Audit { cases; _ } ->
-      if cases <= 0 then Error "cases must be positive" else Ok ()
+  | Audit { cases; family; from_case; _ } ->
+      if cases <= 0 then Error "cases must be positive"
+      else if from_case < 0 then Error "from_case must be non-negative"
+      else if family = "faults" then
+        (* the faults oracle owns the process-global failpoint registry;
+           running it inside a multi-worker daemon would perturb every
+           concurrent par-engine slice *)
+        Error "faults shards cannot run as daemon jobs"
+      else if Option.is_none (Oracle.Shard.family_of_name family) then
+        Error (Printf.sprintf "unknown oracle family %s" family)
+      else Ok ()
   | Mutate { instance; views; q0; ops; max_stages; engine } ->
       if instance = "" then Error "instance must be named"
       else if max_stages <= 0 then Error "max_stages must be positive"
@@ -265,14 +280,16 @@ let cache_class = function
       Pure
         (Relational.Digest128.of_strings
            [ "worm"; machine; string_of_int steps ])
-  | Audit { seed; cases; max_stages } ->
+  | Audit { seed; cases; max_stages; family; from_case } ->
       Pure
         (Relational.Digest128.of_strings
            [
              "audit";
+             family;
              string_of_int seed;
              string_of_int cases;
              string_of_int max_stages;
+             string_of_int from_case;
            ])
   | Mutate { ops = _ :: _; _ } -> Uncacheable
   | Mutate { instance; views; q0; ops = []; max_stages; _ } -> (
@@ -315,13 +332,15 @@ let spec_to_json spec =
           ("machine", Json.String machine);
           ("steps", Json.Int steps);
         ]
-  | Audit { seed; cases; max_stages } ->
+  | Audit { seed; cases; max_stages; family; from_case } ->
       Json.Obj
         [
           ("kind", Json.String "audit");
           ("seed", Json.Int seed);
           ("cases", Json.Int cases);
           ("max_stages", Json.Int max_stages);
+          ("family", Json.String family);
+          ("from_case", Json.Int from_case);
         ]
   | Mutate { instance; views; q0; ops; max_stages; engine } ->
       Json.Obj
@@ -396,7 +415,9 @@ let spec_of_json j =
       let seed = Option.value (Json.mem_int "seed" j) ~default:42 in
       let cases = Option.value (Json.mem_int "cases" j) ~default:50 in
       let max_stages = Option.value (Json.mem_int "max_stages" j) ~default:4 in
-      Ok (Audit { seed; cases; max_stages })
+      let family = Option.value (Json.mem_str "family" j) ~default:"audit" in
+      let from_case = Option.value (Json.mem_int "from_case" j) ~default:0 in
+      Ok (Audit { seed; cases; max_stages; family; from_case })
   | "mutate" ->
       let* instance = req "instance" (Json.mem_str "instance" j) in
       let* views = views () in

@@ -199,7 +199,12 @@ let parse s =
           | Some f -> Float f
           | None -> fail "bad number")
   in
-  let rec value () =
+  (* Nesting is bounded so hostile input ([[[[…) fails as a parse
+     error instead of a stack overflow escaping the [Bad] handler and
+     killing the daemon's select loop. *)
+  let max_depth = 512 in
+  let rec value depth =
+    if depth > max_depth then fail "nesting too deep";
     ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -217,7 +222,7 @@ let parse s =
             let k = string_body () in
             ws ();
             expect ':';
-            let v = value () in
+            let v = value (depth + 1) in
             ws ();
             match peek () with
             | Some ',' ->
@@ -239,7 +244,7 @@ let parse s =
         end
         else begin
           let rec elems acc =
-            let v = value () in
+            let v = value (depth + 1) in
             ws ();
             match peek () with
             | Some ',' ->
@@ -262,7 +267,7 @@ let parse s =
     | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
   in
   match
-    let v = value () in
+    let v = value 0 in
     ws ();
     if !pos <> n then fail "trailing garbage";
     v

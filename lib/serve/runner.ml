@@ -215,29 +215,51 @@ let run_worm ~cancel (job : Job.t) ~machine ~steps =
 
 (* --- audit ------------------------------------------------------------- *)
 
-let run_audit (job : Job.t) ~seed ~cases ~max_stages =
+let run_audit (job : Job.t) ~seed ~cases ~max_stages ~family ~from_case =
   let budget = { Oracle.Diff.default_budget with Oracle.Diff.max_stages } in
-  let report = Oracle.Diff.run_cases ~budget ~seed ~cases () in
-  let violations = List.length report.Oracle.Diff.violations in
-  let detail =
-    [
-      ("cases", Json.Int report.Oracle.Diff.cases);
-      ("engine_runs", Json.Int report.Oracle.Diff.engine_runs);
-      ("budget_exceeded", Json.Int report.Oracle.Diff.budget_exceeded);
-      ("violations", Json.Int violations);
-    ]
-  in
-  let r =
-    if violations = 0 then Job.result_of_outcome ~detail G.Fixpoint
-    else
-      {
-        Job.outcome = "violations";
-        exit_code = 1;
-        digest = "";
-        detail;
-      }
-  in
-  job.Job.state <- Job.Done r
+  match Oracle.Shard.family_of_name family with
+  | None -> job.Job.state <- Job.Faulted ("unknown oracle family " ^ family)
+  | Some fam ->
+      let o = Oracle.Shard.run ~budget fam ~seed ~lo:from_case ~n:cases in
+      let counter k =
+        Option.value ~default:0 (List.assoc_opt k o.Oracle.Shard.o_counters)
+      in
+      let bad = List.length o.Oracle.Shard.o_corpus in
+      let detail =
+        [
+          ("family", Json.String family);
+          ("from_case", Json.Int from_case);
+          ("cases", Json.Int cases);
+          ("engine_runs", Json.Int (counter "engine_runs"));
+          ("budget_exceeded", Json.Int (counter "budget_exceeded"));
+          ("violations", Json.Int bad);
+          ( "counters",
+            Json.Obj
+              (List.map
+                 (fun (k, v) -> (k, Json.Int v))
+                 o.Oracle.Shard.o_counters) );
+          ( "corpus",
+            Json.List
+              (List.map
+                 (fun (e : Oracle.Shard.entry) ->
+                   Json.Obj
+                     [
+                       ("case", Json.Int e.Oracle.Shard.e_case);
+                       ("kind", Json.String e.Oracle.Shard.e_kind);
+                       ( "desc",
+                         Json.List
+                           (List.map
+                              (fun s -> Json.String s)
+                              e.Oracle.Shard.e_desc) );
+                     ])
+                 o.Oracle.Shard.o_corpus) );
+        ]
+      in
+      let r =
+        if bad = 0 then Job.result_of_outcome ~detail G.Fixpoint
+        else { Job.outcome = "violations"; exit_code = 1; digest = ""; detail }
+      in
+      job.Job.state <- Job.Done r
 
 (* --- mutate ------------------------------------------------------------- *)
 
@@ -402,8 +424,8 @@ let run_slice ~store ~instances ~cancel ~quantum (job : Job.t) =
      | Job.Determinacy { views; q0; max_stages; engine } ->
          run_determinacy ~cancel job ~views ~q0 ~max_stages ~engine
      | Job.Worm { machine; steps } -> run_worm ~cancel job ~machine ~steps
-     | Job.Audit { seed; cases; max_stages } ->
-         run_audit job ~seed ~cases ~max_stages
+     | Job.Audit { seed; cases; max_stages; family; from_case } ->
+         run_audit job ~seed ~cases ~max_stages ~family ~from_case
      | Job.Mutate { instance; views; q0; ops; max_stages; engine } ->
          run_mutate_slice ~instances ~cancel ~quantum job ~instance ~views
            ~q0 ~ops ~max_stages ~engine

@@ -72,6 +72,9 @@ type config = {
   store_dir : string;        (* job store directory *)
   cache_capacity : int;      (* result-cache entries; 0 disables *)
   cache_persist : bool;      (* keep pure entries as [.res] files *)
+  read_deadline_s : float;   (* idle limit for clients the daemon owes
+                                no reply; half-open peers are dropped *)
+  max_frame : int;           (* max in-flight bytes of one request line *)
   log : bool;                (* chatter on stderr *)
 }
 
@@ -84,6 +87,8 @@ let default_config ~socket ~store_dir =
     store_dir;
     cache_capacity = 512;
     cache_persist = true;
+    read_deadline_s = 60.;
+    max_frame = 1 lsl 20;
     log = false;
   }
 
@@ -125,6 +130,7 @@ type t = {
   mutable listeners : Unix.file_descr list;
   mutable clients : Unix.file_descr list;
   bufs : (Unix.file_descr, Buffer.t) Hashtbl.t;
+  last_rx : (Unix.file_descr, float) Hashtbl.t; (* per-client last byte *)
   mutable slices_total : int;
   started_s : float;         (* monotonic *)
 }
@@ -146,6 +152,7 @@ let rec write_all fd s off len =
 let drop_client t fd =
   t.clients <- List.filter (fun c -> c <> fd) t.clients;
   Hashtbl.remove t.bufs fd;
+  Hashtbl.remove t.last_rx fd;
   (* forget any waits registered by this client *)
   Hashtbl.iter
     (fun id ws ->
@@ -574,6 +581,7 @@ let read_chunk t fd =
   match Unix.read fd buf 0 4096 with
   | 0 | (exception Unix.Unix_error _) -> drop_client t fd
   | n ->
+      Hashtbl.replace t.last_rx fd (Obs.Clock.now_s ());
       let b =
         match Hashtbl.find_opt t.bufs fd with
         | Some b -> b
@@ -599,7 +607,45 @@ let read_chunk t fd =
             end;
             lines (nl + 1)
       in
-      lines 0
+      lines 0;
+      (* a request line still unterminated past the frame cap will never
+         be served: refuse it with a structured error and close, so an
+         unbounded sender cannot balloon the buffer *)
+      if Buffer.length b > t.cfg.max_frame then begin
+        send t fd
+          (error_json
+             (Printf.sprintf "frame too large (%d > %d bytes); closing"
+                (Buffer.length b) t.cfg.max_frame));
+        logf t "dropped client: frame over %d bytes" t.cfg.max_frame;
+        drop_client t fd
+      end
+
+(* Close connections that have sent nothing for the read deadline and
+   are owed no reply (a registered waiter legitimately sits silent for
+   as long as its job runs).  A half-open or slowloris peer stops
+   pinning a connection slot forever. *)
+let expire_clients t =
+  if t.cfg.read_deadline_s > 0. then begin
+    let now = Obs.Clock.now_s () in
+    let owed =
+      Hashtbl.fold
+        (fun _ ws acc -> List.fold_left (fun a w -> w.wfd :: a) acc ws)
+        t.waiters []
+    in
+    List.iter
+      (fun fd ->
+        if not (List.mem fd owed) then
+          match Hashtbl.find_opt t.last_rx fd with
+          | Some last when now -. last > t.cfg.read_deadline_s ->
+              send t fd
+                (error_json
+                   (Printf.sprintf "read deadline (%.0fs idle) exceeded; closing"
+                      t.cfg.read_deadline_s));
+              logf t "dropped client: idle past read deadline";
+              drop_client t fd
+          | _ -> ())
+      t.clients
+  end
 
 let drain_wakeup_pipe t =
   let buf = Bytes.create 64 in
@@ -614,6 +660,7 @@ let drain_wakeup_pipe t =
 
 let poll_io t timeout =
   expire_waiters t;
+  expire_clients t;
   let fds = (t.ex.epipe_r :: t.listeners) @ t.clients in
   match Unix.select fds [] [] timeout with
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -623,10 +670,12 @@ let poll_io t timeout =
           if fd = t.ex.epipe_r then drain_wakeup_pipe t
           else if List.mem fd t.listeners then begin
             match Unix.accept fd with
-            | cfd, _ -> t.clients <- cfd :: t.clients
+            | cfd, _ ->
+                Hashtbl.replace t.last_rx cfd (Obs.Clock.now_s ());
+                t.clients <- cfd :: t.clients
             | exception Unix.Unix_error _ -> ()
           end
-          else read_chunk t fd)
+          else if List.mem fd t.clients then read_chunk t fd)
         readable
 
 (* --- worker domains ------------------------------------------------------ *)
@@ -730,6 +779,18 @@ let recover t =
   List.iter
     (fun id -> logf t "store: swept orphaned checkpoint %s" id)
     (Store.sweep_checkpoints t.store ~keep);
+  (* Same sweep for the persistent result-cache segment: [Cache.create]
+     has already reloaded (and capacity-trimmed) the segment, so any
+     [.res] not resident now — cache disabled, persistence off, or a
+     stale key schema — is an orphan that would otherwise live forever. *)
+  List.iter
+    (fun key -> logf t "store: swept orphaned result %s" key)
+    (Store.sweep_results t.store ~keep:(fun key ->
+         Cache.enabled t.cache && t.cfg.cache_persist && Cache.mem t.cache key));
+  (* and temp files from writers the previous daemon's death interrupted *)
+  List.iter
+    (fun name -> logf t "store: swept stale temp %s" name)
+    (Store.sweep_temps t.store);
   logf t "recovered %d job(s), %d runnable, %d unreadable" (List.length jobs)
     (Queue.length t.queue) (List.length bad)
 
@@ -770,6 +831,7 @@ let create cfg =
       listeners = [];
       clients = [];
       bufs = Hashtbl.create 16;
+      last_rx = Hashtbl.create 16;
       slices_total = 0;
       started_s = Obs.Clock.now_s ();
     }

@@ -106,6 +106,49 @@ let save_result t ~key json =
 let remove_result t key =
   try Sys.remove (res_path t key) with Sys_error _ -> ()
 
+(* Delete every [<key>.res] the result cache disavows — the mirror of
+   [sweep_checkpoints] for the persistent cache segment.  Entries are
+   orphaned when the cache restarts disabled (capacity 0 or persistence
+   off), shrinks below a previously persisted population, or when a key
+   schema change strands old digests; without the sweep they accumulate
+   forever.  Returns the keys swept. *)
+let sweep_results t ~keep =
+  let entries = try Sys.readdir t.dir with Sys_error _ -> [||] in
+  Array.fold_left
+    (fun acc name ->
+      if Filename.check_suffix name res_suffix then begin
+        let key = Filename.chop_suffix name res_suffix in
+        if keep key then acc
+        else begin
+          (try Sys.remove (Filename.concat t.dir name) with Sys_error _ -> ());
+          key :: acc
+        end
+      end
+      else acc)
+    [] entries
+
+(* Delete temp files left by writers the daemon's death interrupted.
+   [Checkpoint.fresh_tmp] names them [<target>.tmp.<pid>.<n>]; at
+   recovery no writer of this store is alive (one daemon per store),
+   so anything tmp-infixed is garbage.  Returns the names swept. *)
+let sweep_temps t =
+  let entries = try Sys.readdir t.dir with Sys_error _ -> [||] in
+  let tmp_infix name =
+    let rec find i =
+      i + 5 <= String.length name
+      && (String.sub name i 5 = ".tmp." || find (i + 1))
+    in
+    find 0
+  in
+  Array.fold_left
+    (fun acc name ->
+      if tmp_infix name then begin
+        (try Sys.remove (Filename.concat t.dir name) with Sys_error _ -> ());
+        name :: acc
+      end
+      else acc)
+    [] entries
+
 (* Every parseable [<key>.res] entry; a corrupt entry is deleted rather
    than reported — the cache is a performance artifact, losing one entry
    re-runs one job. *)

@@ -1,0 +1,357 @@
+(* lib/campaign: the durable shard ledger (torn-append recovery,
+   first-complete-wins replay, accounting), shard determinism under
+   splitting, and the supervisor — pool campaigns reproducing the
+   monolithic oracle runs bit-for-bit, deterministic interrupt/resume,
+   and quarantine of poison shards.  The chaos ladder and the daemon
+   leg live in the @campaign-smoke gate (bench/main.ml). *)
+
+module FP = Resilience.Failpoint
+module Shard = Oracle.Shard
+module Ledger = Campaign.Ledger
+module Supervisor = Campaign.Supervisor
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let counter = ref 0
+
+let fresh_path name =
+  incr counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "rs-camp-%d-%d-%s" (Unix.getpid ()) !counter name)
+
+let small_budget =
+  { Oracle.Diff.max_stages = 3; Oracle.Diff.max_elems = 60; Oracle.Diff.max_facts = 150 }
+
+let header =
+  {
+    Ledger.h_families = [ Shard.Audit; Shard.Incr ];
+    h_seed = 9;
+    h_cases = 10;
+    h_shard_cases = 4;
+    h_max_attempts = 3;
+  }
+
+let outcome family ~seed ~lo ~n = Shard.run ~budget:small_budget family ~seed ~lo ~n
+
+(* --- ledger ------------------------------------------------------------- *)
+
+let test_sid_and_plan () =
+  List.iter
+    (fun f ->
+      let s = Ledger.sid f ~seed:7 ~lo:12 in
+      check "sid round-trips" true (Ledger.parse_sid s = Some (f, 7, 12)))
+    Shard.all_families;
+  check "garbage sid rejected" true (Ledger.parse_sid "nope" = None);
+  let plan = Ledger.plan header in
+  (* 10 cases at 4/shard = shards of 4, 4, 2 — per family *)
+  check_int "plan covers both families" 6 (List.length plan);
+  check "last shard is short" true
+    (List.mem (Shard.Audit, 8, 2) plan && List.mem (Shard.Incr, 8, 2) plan);
+  let covered f =
+    List.filter (fun (g, _, _) -> g = f) plan
+    |> List.concat_map (fun (_, lo, n) -> List.init n (fun i -> lo + i))
+    |> List.sort_uniq compare
+  in
+  check "plan partitions the case space" true
+    (covered Shard.Audit = List.init 10 Fun.id
+    && covered Shard.Incr = List.init 10 Fun.id)
+
+let test_ledger_roundtrip () =
+  FP.clear ();
+  let path = fresh_path "roundtrip.ledger" in
+  let o = outcome Shard.Audit ~seed:9 ~lo:0 ~n:2 in
+  let records =
+    [
+      Ledger.Lease { sid = "audit:9:0"; attempt = 1; worker = "w0"; deadline_s = 1.5 };
+      Ledger.Fail { sid = "audit:9:0"; attempt = 1; error = "boom" };
+      Ledger.Reclaim { sid = "audit:9:0"; attempt = 2; reason = "lease expired" };
+      Ledger.Complete { sid = "audit:9:0"; attempt = 3; outcome = o };
+      Ledger.Quarantine
+        { sid = "incr:9:4"; attempts = 3; poison_case = Some 5; desc = [ "bad"; "worse" ] };
+    ]
+  in
+  (match Ledger.create ~path header with
+  | Error m -> Alcotest.failf "create: %s" m
+  | Ok led ->
+      List.iter
+        (fun r ->
+          match Ledger.append led r with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "append: %s" m)
+        records);
+  check "create refuses an existing ledger" true
+    (match Ledger.create ~path header with Error _ -> true | Ok _ -> false);
+  (match Ledger.load ~path with
+  | Error m -> Alcotest.failf "load: %s" m
+  | Ok led2 ->
+      check "records round-trip through disk" true
+        (Ledger.records led2 = Ledger.Create header :: records);
+      check_int "clean ledger skips nothing" 0 (Ledger.skipped led2);
+      match Ledger.replay led2 with
+      | Error m -> Alcotest.failf "replay: %s" m
+      | Ok rp ->
+          check "replay keeps the completed outcome" true
+            (rp.Ledger.rp_completed = [ ("audit:9:0", o) ]);
+          check "replay counts fail + reclaim attempts" true
+            (List.assoc_opt "audit:9:0" rp.Ledger.rp_attempts = Some 2);
+          check "replay keeps the quarantine" true
+            (List.assoc_opt "incr:9:4" rp.Ledger.rp_quarantined
+            = Some (Some 5, [ "bad"; "worse" ])));
+  (* a torn trailing line (half a record) is skipped, not fatal *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"kind\": \"complete\", \"sid\": \"audit";
+  close_out oc;
+  (match Ledger.load ~path with
+  | Error m -> Alcotest.failf "load after tear: %s" m
+  | Ok led3 ->
+      check_int "torn trailing line skipped" 1 (Ledger.skipped led3);
+      check "records before the tear survive" true
+        (Ledger.records led3 = Ledger.Create header :: records));
+  Sys.remove path
+
+let test_ledger_duplicate_accounting () =
+  FP.clear ();
+  let path = fresh_path "dup.ledger" in
+  let o1 = outcome Shard.Audit ~seed:9 ~lo:0 ~n:2 in
+  (match Ledger.create ~path header with
+  | Error m -> Alcotest.failf "create: %s" m
+  | Ok led ->
+      List.iter
+        (fun r -> ignore (Ledger.append led r))
+        [
+          Ledger.Complete { sid = "audit:9:0"; attempt = 1; outcome = o1 };
+          Ledger.Complete { sid = "audit:9:0"; attempt = 2; outcome = o1 };
+        ];
+      match Ledger.account led with
+      | Error m -> Alcotest.failf "account: %s" m
+      | Ok a ->
+          check_int "6 planned shards" 6 a.Ledger.a_shards;
+          check_int "one shard completed" 1 a.Ledger.a_completed;
+          check_int "double-complete shows up as a duplicate" 1
+            a.Ledger.a_duplicated;
+          check_int "the rest are lost (campaign unfinished)" 5
+            a.Ledger.a_lost);
+  Sys.remove path
+
+(* --- shard determinism --------------------------------------------------- *)
+
+(* The invariance the exactly-once argument rests on: a shard's outcome
+   does not depend on how the case space was split, and summed shard
+   counters reproduce the monolithic oracle run bit-for-bit. *)
+let test_shard_split_invariance () =
+  FP.clear ();
+  List.iter
+    (fun family ->
+      let full = outcome family ~seed:9 ~lo:0 ~n:8 in
+      let again = outcome family ~seed:9 ~lo:0 ~n:8 in
+      check "re-run is bit-identical" true (full = again);
+      let left = outcome family ~seed:9 ~lo:0 ~n:3 in
+      let right = outcome family ~seed:9 ~lo:3 ~n:5 in
+      check "split counters sum to the monolithic run" true
+        (Shard.counters_add left.Shard.o_counters right.Shard.o_counters
+        = full.Shard.o_counters);
+      check "split corpus concatenates to the monolithic run" true
+        (Shard.sort_corpus (left.Shard.o_corpus @ right.Shard.o_corpus)
+        = full.Shard.o_corpus))
+    Shard.all_families
+
+let test_shard_matches_oracle () =
+  FP.clear ();
+  (* the audit family's counters are the Diff.run_cases report *)
+  let o = outcome Shard.Audit ~seed:9 ~lo:0 ~n:8 in
+  let r = Oracle.Diff.run_cases ~budget:small_budget ~seed:9 ~cases:8 () in
+  let c k = Option.value ~default:(-1) (List.assoc_opt k o.Shard.o_counters) in
+  check_int "engine_runs" r.Oracle.Diff.engine_runs (c "engine_runs");
+  check_int "budget_exceeded" r.Oracle.Diff.budget_exceeded (c "budget_exceeded");
+  check_int "incomparable" r.Oracle.Diff.incomparable (c "incomparable");
+  check_int "violations" (List.length r.Oracle.Diff.violations) (c "violations");
+  (* and a shifted shard is the tail of a longer monolithic report *)
+  let shifted = outcome Shard.Audit ~seed:9 ~lo:5 ~n:3 in
+  let tail =
+    Oracle.Diff.run_cases ~budget:small_budget ~from_case:5 ~seed:9 ~cases:3 ()
+  in
+  check_int "shifted shard = from_case oracle run" tail.Oracle.Diff.engine_runs
+    (Option.value ~default:(-1)
+       (List.assoc_opt "engine_runs" shifted.Shard.o_counters))
+
+(* --- supervisor ---------------------------------------------------------- *)
+
+let base_config ~ledger =
+  {
+    (Supervisor.default_config ~ledger) with
+    Supervisor.families = [ Shard.Audit; Shard.Incr ];
+    seed = 9;
+    cases = 10;
+    shard_cases = 4;
+    budget = small_budget;
+    jobs = 3;
+    lease_s = 2.0;
+    max_attempts = 4;
+    backoff_base_s = 0.002;
+    backoff_cap_s = 0.02;
+  }
+
+let run_ok ?resume ?stop_after_completes cfg =
+  match Supervisor.run ?resume ?stop_after_completes cfg with
+  | Ok s -> s
+  | Error m -> Alcotest.failf "campaign: %s" m
+
+let test_pool_campaign () =
+  FP.clear ();
+  let ledger = fresh_path "pool.ledger" in
+  let s = run_ok (base_config ~ledger) in
+  check "campaign ran to completion" false s.Supervisor.s_interrupted;
+  check_int "all shards completed" 6 s.Supervisor.s_completed;
+  check_int "nothing quarantined" 0 s.Supervisor.s_quarantined;
+  let a = s.Supervisor.s_accounting in
+  check_int "0 lost" 0 a.Ledger.a_lost;
+  check_int "0 duplicated" 0 a.Ledger.a_duplicated;
+  (* coverage = the monolithic per-family runs, bit-for-bit *)
+  List.iter
+    (fun family ->
+      let mono = outcome family ~seed:9 ~lo:0 ~n:10 in
+      check
+        (Printf.sprintf "%s coverage matches the monolithic run"
+           (Shard.family_name family))
+        true
+        (List.assoc_opt (Shard.family_name family) s.Supervisor.s_coverage
+        = Some mono.Shard.o_counters))
+    [ Shard.Audit; Shard.Incr ];
+  Sys.remove ledger
+
+let test_faults_campaign () =
+  FP.clear ();
+  let ledger = fresh_path "faults.ledger" in
+  let cfg =
+    { (base_config ~ledger) with Supervisor.families = [ Shard.Faults ]; cases = 6;
+      shard_cases = 2 }
+  in
+  let s = run_ok cfg in
+  check "faults campaign completes" false s.Supervisor.s_interrupted;
+  check_int "faults shards all completed" 3 s.Supervisor.s_completed;
+  let mono = outcome Shard.Faults ~seed:9 ~lo:0 ~n:6 in
+  check "faults coverage matches the monolithic campaign" true
+    (List.assoc_opt "faults" s.Supervisor.s_coverage = Some mono.Shard.o_counters);
+  check "faults campaign leaves the registry disarmed" false (FP.active ());
+  (* the guard: a faults campaign under an armed ladder is refused *)
+  FP.configure_exn ~seed:1 "shard.case=0.5";
+  check "faults family refused while failpoints are armed" true
+    (match Supervisor.run { cfg with Supervisor.ledger_path = fresh_path "refused.ledger" } with
+    | Error _ -> true
+    | Ok _ -> false);
+  FP.clear ();
+  Sys.remove ledger
+
+let test_resume_bit_identity () =
+  FP.clear ();
+  let reference = run_ok (base_config ~ledger:(fresh_path "ref.ledger")) in
+  let ledger = fresh_path "interrupted.ledger" in
+  let cfg = base_config ~ledger in
+  (* crash twice: each aborted run drops whatever was still in flight *)
+  let s1 = run_ok ~stop_after_completes:2 cfg in
+  check "first run interrupted" true s1.Supervisor.s_interrupted;
+  check "first segment completed something" true (s1.Supervisor.s_completed >= 2);
+  let s2 = run_ok ~resume:true ~stop_after_completes:2 cfg in
+  check "second run interrupted" true s2.Supervisor.s_interrupted;
+  check "resume does not forget completed shards" true
+    (s2.Supervisor.s_completed >= s1.Supervisor.s_completed);
+  let s3 = run_ok ~resume:true cfg in
+  check "final resume runs to completion" false s3.Supervisor.s_interrupted;
+  check_int "all shards accounted" 6 s3.Supervisor.s_completed;
+  let a = s3.Supervisor.s_accounting in
+  check_int "0 lost after interrupts" 0 a.Ledger.a_lost;
+  check_int "0 duplicated after interrupts" 0 a.Ledger.a_duplicated;
+  check "interrupted+resumed coverage/corpus byte-identical to reference" true
+    (Supervisor.canonical s3 = Supervisor.canonical reference);
+  (* resuming a finished campaign is a no-op with the same summary *)
+  let s4 = run_ok ~resume:true cfg in
+  check "resume of a finished campaign is stable" true
+    (Supervisor.canonical s4 = Supervisor.canonical reference);
+  check "a mismatched config is refused at resume" true
+    (match Supervisor.run ~resume:true { cfg with Supervisor.seed = 10 } with
+    | Error _ -> true
+    | Ok _ -> false);
+  Sys.remove ledger
+
+let test_quarantine () =
+  let ledger = fresh_path "quarantine.ledger" in
+  let cfg =
+    {
+      (base_config ~ledger) with
+      Supervisor.families = [ Shard.Audit ];
+      cases = 4;
+      shard_cases = 2;
+      jobs = 2;
+      max_attempts = 2;
+    }
+  in
+  (* every case dies at the shard.case probe: both shards exhaust their
+     attempts; the quarantine probe (which skips the probe site) then
+     finds every case clean, so the verdict is injected/environmental *)
+  FP.configure_exn ~seed:3 "shard.case=1.0";
+  let s = run_ok cfg in
+  FP.clear ();
+  check "campaign resolves despite ever-failing shards" false
+    s.Supervisor.s_interrupted;
+  check_int "nothing completed" 0 s.Supervisor.s_completed;
+  check_int "both shards quarantined" 2 s.Supervisor.s_quarantined;
+  check "retries happened before quarantine" true (s.Supervisor.s_retried >= 2);
+  let quarantine_entries =
+    List.filter
+      (fun (_, e) -> e.Shard.e_kind = "quarantine")
+      s.Supervisor.s_corpus
+  in
+  check_int "corpus records both quarantines" 2 (List.length quarantine_entries);
+  check "probes-clean verdict names injected faults" true
+    (List.for_all
+       (fun (_, e) ->
+         List.exists
+           (fun line ->
+             let n = String.length line in
+             let rec has i =
+               i + 8 <= n && (String.sub line i 8 = "injected" || has (i + 1))
+             in
+             has 0)
+           e.Shard.e_desc)
+       quarantine_entries);
+  (* resume with the ladder disarmed: quarantined shards stay
+     quarantined — they are not silently retried *)
+  let s2 = run_ok ~resume:true cfg in
+  check_int "quarantine survives resume" 2 s2.Supervisor.s_quarantined;
+  check_int "resume does not re-run quarantined shards" 0
+    s2.Supervisor.s_completed;
+  let a = s2.Supervisor.s_accounting in
+  check_int "quarantined shards are accounted, not lost" 0 a.Ledger.a_lost;
+  Sys.remove ledger
+
+let () =
+  Alcotest.run "campaign"
+    [
+      ( "ledger",
+        [
+          Alcotest.test_case "sid + plan" `Quick test_sid_and_plan;
+          Alcotest.test_case "round-trip + torn-line recovery" `Quick
+            test_ledger_roundtrip;
+          Alcotest.test_case "duplicate + lost accounting" `Quick
+            test_ledger_duplicate_accounting;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "split invariance" `Quick
+            test_shard_split_invariance;
+          Alcotest.test_case "matches the monolithic oracle" `Quick
+            test_shard_matches_oracle;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "pool campaign = monolithic run" `Quick
+            test_pool_campaign;
+          Alcotest.test_case "faults family, serialized" `Quick
+            test_faults_campaign;
+          Alcotest.test_case "interrupt twice, resume bit-identically" `Quick
+            test_resume_bit_identity;
+          Alcotest.test_case "poison shards quarantined" `Quick test_quarantine;
+        ] );
+    ]

@@ -87,7 +87,7 @@ let test_spec_roundtrip () =
         { views = divergent_views; q0 = divergent_q0; max_stages = 16;
           engine = `Par };
       Job.Worm { machine = "creeper"; steps = 77 };
-      Job.Audit { seed = 5; cases = 12; max_stages = 3 };
+      Job.Audit { seed = 5; cases = 12; max_stages = 3; family = "incr"; from_case = 4 };
       Job.Mutate
         {
           instance = "i1";
@@ -200,7 +200,7 @@ let test_store_roundtrip () =
         [
           mk 2 (Job.Worm { machine = "creeper"; steps = 10 });
           mk 1 (divergent_spec 9);
-          mk 3 (Job.Audit { seed = 1; cases = 2; max_stages = 2 });
+          mk 3 (Job.Audit { seed = 1; cases = 2; max_stages = 2; family = "audit"; from_case = 0 });
         ]
       in
       List.iter
@@ -245,7 +245,8 @@ let fresh_socket () =
     (Printf.sprintf "rs-t-%d-%d.sock" (Unix.getpid ()) !counter)
 
 let start_daemon ~socket ~store_dir ~workers ~quantum ?(cache = 512)
-    ?(cache_persist = true) () =
+    ?(cache_persist = true) ?(read_deadline_s = 60.) ?(max_frame = 1 lsl 20)
+    () =
   let cfg =
     {
       Server.socket;
@@ -255,6 +256,8 @@ let start_daemon ~socket ~store_dir ~workers ~quantum ?(cache = 512)
       store_dir;
       cache_capacity = cache;
       cache_persist;
+      read_deadline_s;
+      max_frame;
       log = false;
     }
   in
@@ -329,7 +332,7 @@ let test_submit_wait () =
           in
           let audit =
             ok_or_fail "submit audit"
-              (Client.submit conn (Job.Audit { seed = 42; cases = 5; max_stages = 3 }))
+              (Client.submit conn (Job.Audit { seed = 42; cases = 5; max_stages = 3; family = "audit"; from_case = 0 }))
           in
           let jw = ok_or_fail "wait worm" (Client.wait_terminal conn worm) in
           let ja = ok_or_fail "wait audit" (Client.wait_terminal conn audit) in
@@ -804,6 +807,319 @@ let test_cache_persistence_restart () =
       in
       check_int "no checkpoint leaked" 0 (List.length leaked))
 
+(* --- decoder fuzz ------------------------------------------------------- *)
+
+(* Seeded fuzz over malformed, truncated, mutated and oversized frames:
+   [Json.parse] must return [Ok]/[Error] on every input — no exception
+   may escape, and adversarial nesting must hit the depth cap instead of
+   the OCaml stack. *)
+let test_json_fuzz () =
+  let state = ref 0x2545F4914F6CDD1DL in
+  let next () =
+    let open Int64 in
+    state := add !state 0x9e3779b97f4a7c15L;
+    let z = mul (logxor !state (shift_right_logical !state 30)) 0xbf58476d1ce4e5b9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+    to_int (shift_right_logical (logxor z (shift_right_logical z 31)) 2)
+  in
+  let rand n = if n <= 0 then 0 else next () mod n in
+  let valid =
+    Json.to_string (Job.manifest_json (Job.make ~seq:7 ~quantum:2 (divergent_spec 9)))
+  in
+  let no_exn what s =
+    match Json.parse s with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "%s: exception escaped the decoder: %s (input %S)" what
+          (Printexc.to_string e)
+          (if String.length s > 80 then String.sub s 0 80 ^ "…" else s)
+  in
+  (* pure noise *)
+  for _ = 1 to 2_000 do
+    let s = String.init (rand 64) (fun _ -> Char.chr (rand 256)) in
+    no_exn "noise" s
+  done;
+  (* truncations of a real manifest frame *)
+  for _ = 1 to 1_000 do
+    no_exn "truncated" (String.sub valid 0 (rand (String.length valid)))
+  done;
+  (* single-byte mutations of a real frame *)
+  for _ = 1 to 2_000 do
+    let b = Bytes.of_string valid in
+    Bytes.set b (rand (Bytes.length b)) (Char.chr (rand 256));
+    no_exn "mutated" (Bytes.to_string b)
+  done;
+  (* adversarial nesting: far past any sane frame, must be a normal
+     parse error, not a stack overflow *)
+  List.iter
+    (fun n ->
+      let s = String.make n '[' in
+      no_exn "deep-nesting" s;
+      check (Printf.sprintf "%d-deep nesting rejected" n) true
+        (match Json.parse s with Error _ -> true | Ok _ -> false);
+      no_exn "deep-nesting-obj" (String.concat "" (List.init n (fun _ -> "{\"a\":"))))
+    [ 600; 10_000; 200_000 ];
+  (* oversized atom: a multi-megabyte string token parses (the frame
+     limit is the daemon's job, not the decoder's) without incident *)
+  let big = "\"" ^ String.make (2 * 1024 * 1024) 'x' ^ "\"" in
+  check "oversized string atom parses" true
+    (match Json.parse big with Ok (Json.String _) -> true | _ -> false);
+  (* moderate nesting within the cap still parses *)
+  let nested =
+    String.make 100 '[' ^ "1" ^ String.make 100 ']'
+  in
+  check "100-deep nesting parses" true
+    (match Json.parse nested with Ok _ -> true | _ -> false)
+
+(* Garbage on a live daemon socket: every bad line gets a structured
+   error reply, and the connection stays usable for a well-formed ping
+   afterwards. *)
+let test_daemon_garbage () =
+  with_daemon ~workers:1 ~quantum:2 (fun socket ->
+      let conn = connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          List.iter
+            (fun garbage ->
+              output_string conn.Client.oc garbage;
+              output_char conn.Client.oc '\n';
+              flush conn.Client.oc;
+              let line = input_line conn.Client.ic in
+              match Json.parse line with
+              | Ok reply ->
+                  check "garbage gets a structured error" true
+                    (Json.mem_bool "ok" reply = Some false)
+              | Error m -> Alcotest.failf "error reply not JSON: %s" m)
+            [ "not json"; "{\"op\": \"ping\""; "[1,2,"; "\xff\xfe\x00" ];
+          check "connection survives garbage" true
+            (match Client.ping conn with Ok _ -> true | Error _ -> false)))
+
+(* --- connection hardening ----------------------------------------------- *)
+
+(* An idle client is dropped at the read deadline with a structured
+   error; a client the daemon owes a reply (a registered waiter) is
+   exempt, and an active client is never touched. *)
+let test_read_deadline () =
+  let socket = fresh_socket () in
+  let store_dir = fresh_dir () in
+  let daemon =
+    start_daemon ~socket ~store_dir ~workers:1 ~quantum:1
+      ~read_deadline_s:0.3 ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      drain_and_join socket daemon;
+      rm_rf store_dir)
+    (fun () ->
+      let idle = connect socket in
+      let active = connect socket in
+      let waiter = connect socket in
+      (* the waiter blocks on a job that cannot finish: an effectively
+         unbounded divergent chase on the daemon's only worker *)
+      let id = ok_or_fail "submit" (Client.submit active (divergent_spec 100_000)) in
+      let waiter_dom =
+        Domain.spawn (fun () -> Client.wait waiter id (* no timeout *))
+      in
+      (* keep [active] chatty well past the deadline; [idle] says nothing *)
+      for _ = 1 to 8 do
+        Unix.sleepf 0.1;
+        ignore (ok_or_fail "active ping" (Client.ping active))
+      done;
+      (* the idle client was sent the structured error, then dropped *)
+      (match Json.parse (input_line idle.Client.ic) with
+      | Ok reply ->
+          check "idle client told why" true
+            (match Json.mem_str "error" reply with
+            | Some m -> Json.mem_bool "ok" reply = Some false
+                        && String.length m >= 13
+                        && String.sub m 0 13 = "read deadline"
+            | None -> false)
+      | Error m -> Alcotest.failf "deadline error not JSON: %s" m);
+      check "idle client connection closed" true
+        (match input_line idle.Client.ic with
+        | _ -> false
+        | exception End_of_file -> true);
+      Client.close idle;
+      (* the waiter outlived the deadline because the daemon owes it a
+         reply; cancelling the job delivers that reply on the old
+         connection *)
+      ignore (ok_or_fail "cancel" (Client.cancel active id));
+      (match Domain.join waiter_dom with
+      | Ok reply ->
+          check "waiter survived the deadline and got the job" true
+            (match Client.job_of_reply reply with
+            | Ok j -> Json.mem_str "state" j = Some "cancelled"
+            | Error _ -> false)
+      | Error m -> Alcotest.failf "waiter dropped: %s" m);
+      Client.close waiter;
+      Client.close active)
+
+(* A frame above --max-frame gets a structured error and the socket is
+   closed, before any parse is attempted. *)
+let test_max_frame () =
+  let socket = fresh_socket () in
+  let store_dir = fresh_dir () in
+  let daemon =
+    start_daemon ~socket ~store_dir ~workers:1 ~quantum:2 ~max_frame:4096 ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      drain_and_join socket daemon;
+      rm_rf store_dir)
+    (fun () ->
+      let conn = connect socket in
+      (* 8 KiB of an unterminated frame against a 4 KiB limit *)
+      output_string conn.Client.oc (String.make 8192 'x');
+      flush conn.Client.oc;
+      (match Json.parse (input_line conn.Client.ic) with
+      | Ok reply ->
+          check "oversized frame gets a structured error" true
+            (match Json.mem_str "error" reply with
+            | Some m -> Json.mem_bool "ok" reply = Some false
+                        && String.length m >= 15
+                        && String.sub m 0 15 = "frame too large"
+            | None -> false)
+      | Error m -> Alcotest.failf "max-frame error not JSON: %s" m);
+      check "oversized client connection closed" true
+        (match input_line conn.Client.ic with
+        | _ -> false
+        | exception End_of_file -> true);
+      Client.close conn;
+      (* a fresh client under the limit is served normally *)
+      let conn2 = connect socket in
+      check "daemon healthy after oversized frame" true
+        (match Client.ping conn2 with Ok _ -> true | Error _ -> false);
+      Client.close conn2)
+
+(* --- client retry -------------------------------------------------------- *)
+
+(* connect_retry rides out a daemon that comes up late; a dead socket
+   exhausts the deadline with a bounded number of jittered attempts. *)
+let test_connect_retry () =
+  let gone = fresh_socket () in
+  let t0 = Unix.gettimeofday () in
+  (match Client.connect_retry ~deadline_s:0.4 ~base_s:0.02 ~cap_s:0.1 ~seed:7
+           ~socket:gone () with
+  | Ok _ -> Alcotest.fail "connected to a nonexistent socket"
+  | Error m ->
+      check "deadline exhausted with attempt count" true
+        (let held = Unix.gettimeofday () -. t0 in
+         held >= 0.4 && held < 5.
+         &&
+         (* the message names the attempts, e.g. "gave up after 9 attempts" *)
+         let has_sub s sub =
+           let n = String.length s and m = String.length sub in
+           let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+           go 0
+         in
+         has_sub m "gave up after"));
+  (* daemon comes up 0.3s late; with_retry keeps reconnecting until the
+     ping lands *)
+  let socket = fresh_socket () in
+  let store_dir = fresh_dir () in
+  let starter =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.3;
+        start_daemon ~socket ~store_dir ~workers:1 ~quantum:2 ())
+  in
+  let reply =
+    Client.with_retry ~deadline_s:10. ~base_s:0.02 ~cap_s:0.1 ~seed:7 ~socket
+      (fun conn -> Client.ping conn)
+  in
+  let daemon = Domain.join starter in
+  Fun.protect
+    ~finally:(fun () ->
+      drain_and_join socket daemon;
+      rm_rf store_dir)
+    (fun () ->
+      check "with_retry outlasted the late daemon start" true
+        (match reply with Ok _ -> true | Error _ -> false))
+
+(* --- store sweeps -------------------------------------------------------- *)
+
+(* Orphaned result segments and torn temp files are swept on recovery:
+   a cache-backed [.res] survives a restart, an orphan does not, and
+   neither [.res] orphans nor [.tmp.*] debris outlive drain + crash +
+   restart. *)
+let test_store_sweeps () =
+  let store_dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf store_dir)
+    (fun () ->
+      (* daemon 1 persists one real cache entry *)
+      let socket = fresh_socket () in
+      let daemon = start_daemon ~socket ~store_dir ~workers:1 ~quantum:2 () in
+      let conn = connect socket in
+      let wid =
+        ok_or_fail "submit"
+          (Client.submit conn (Job.Worm { machine = "halt-now"; steps = 50 }))
+      in
+      ignore (ok_or_fail "wait" (Client.wait_terminal conn wid));
+      ignore (ok_or_fail "drain" (Client.drain conn));
+      Client.close conn;
+      Domain.join daemon;
+      let files () = List.sort compare (Array.to_list (Sys.readdir store_dir)) in
+      let with_suffix sfx =
+        List.filter (fun f -> Filename.check_suffix f sfx) (files ())
+      in
+      check_int "one persisted cache entry" 1 (List.length (with_suffix ".res"));
+      let real_res = List.hd (with_suffix ".res") in
+      (* simulate a crash mid-write: an orphan result segment (its digest
+         is in no manifest and no cache) plus torn write_atomic temps *)
+      let plant name content =
+        let oc = open_out (Filename.concat store_dir name) in
+        output_string oc content;
+        close_out oc
+      in
+      plant "deadbeef0123.res" "{\"torn\": true";
+      plant "j000042.ckpt.tmp.1234" "half a checkpoint";
+      plant "deadbeef0123.res.tmp.99" "half a result";
+      (* daemon 2, cache persistence ON: the real entry is re-adopted,
+         the orphan and the temps are swept *)
+      let socket2 = fresh_socket () in
+      let daemon2 =
+        start_daemon ~socket:socket2 ~store_dir ~workers:1 ~quantum:2 ()
+      in
+      (match Client.connect ~socket:socket2 () with
+      | Ok c ->
+          ignore (ok_or_fail "drain 2" (Client.drain c));
+          Client.close c
+      | Error m -> Alcotest.failf "connect 2: %s" m);
+      Domain.join daemon2;
+      check "cache-backed result survives recovery" true
+        (List.mem real_res (files ()));
+      check "orphan result swept on recovery" false
+        (List.mem "deadbeef0123.res" (files ()));
+      check_int "no temp debris survives recovery" 0
+        (List.length
+           (List.filter
+              (fun f ->
+                let has_sub s sub =
+                  let n = String.length s and m = String.length sub in
+                  let rec go i =
+                    i + m <= n && (String.sub s i m = sub || go (i + 1))
+                  in
+                  go 0
+                in
+                has_sub f ".tmp.")
+              (files ())));
+      (* daemon 3, cache disabled: nothing backs the entry now, so even
+         the real segment is swept — no .res outlives its cache *)
+      let socket3 = fresh_socket () in
+      let daemon3 =
+        start_daemon ~socket:socket3 ~store_dir ~workers:1 ~quantum:2 ~cache:0
+          ()
+      in
+      (match Client.connect ~socket:socket3 () with
+      | Ok c ->
+          ignore (ok_or_fail "drain 3" (Client.drain c));
+          Client.close c
+      | Error m -> Alcotest.failf "connect 3: %s" m);
+      Domain.join daemon3;
+      check_int "cache off: every result segment swept" 0
+        (List.length (with_suffix ".res")))
+
 let () =
   Alcotest.run "serve"
     [
@@ -814,8 +1130,24 @@ let () =
           Alcotest.test_case "spec round-trip" `Quick test_spec_roundtrip;
           Alcotest.test_case "manifest round-trip" `Quick
             test_manifest_roundtrip;
+          Alcotest.test_case "decoder fuzz" `Quick test_json_fuzz;
         ] );
-      ("store", [ Alcotest.test_case "round-trip" `Quick test_store_roundtrip ]);
+      ( "store",
+        [
+          Alcotest.test_case "round-trip" `Quick test_store_roundtrip;
+          Alcotest.test_case "orphan + temp sweeps" `Quick test_store_sweeps;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "garbage frames on a live socket" `Quick
+            test_daemon_garbage;
+          Alcotest.test_case "read deadline drops idle, spares waiters" `Quick
+            test_read_deadline;
+          Alcotest.test_case "max frame closes with an error" `Quick
+            test_max_frame;
+          Alcotest.test_case "connect/request retry with backoff" `Quick
+            test_connect_retry;
+        ] );
       ( "daemon",
         [
           Alcotest.test_case "submit/wait" `Quick test_submit_wait;
